@@ -1,0 +1,113 @@
+//! Microbenchmark: buffer-tree primitives — append/close, role decrement
+//! with cascade purging, and pin/unpin. These are the per-node costs of
+//! active garbage collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcx_core::buffer::{BufferTree, NodeId, Ordinals};
+use gcx_query::ast::RoleId;
+use gcx_xml::Symbol;
+
+const N: u32 = 10_000;
+
+fn ords(k: u32) -> Ordinals {
+    Ordinals {
+        same_kind: k,
+        elem: k,
+        any: k,
+    }
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer");
+
+    g.bench_function("append_close_purge_flat", |b| {
+        // The streaming steady state: node arrives, closes, gets purged.
+        b.iter(|| {
+            let mut buf = BufferTree::new(true);
+            let parent = buf.append_element(
+                NodeId::ROOT,
+                Symbol(0),
+                Box::new([]),
+                &[(RoleId(0), 1)],
+                ords(1),
+            );
+            for i in 0..N {
+                let n = buf.append_element(parent, Symbol(1), Box::new([]), &[], ords(i + 1));
+                buf.close(n);
+            }
+            buf.stats().purged
+        })
+    });
+
+    g.bench_function("role_decrement_with_purge", |b| {
+        b.iter(|| {
+            let mut buf = BufferTree::new(true);
+            let parent = buf.append_element(
+                NodeId::ROOT,
+                Symbol(0),
+                Box::new([]),
+                &[(RoleId(0), 1)],
+                ords(1),
+            );
+            let mut nodes = Vec::with_capacity(N as usize);
+            for i in 0..N {
+                let n = buf.append_element(
+                    parent,
+                    Symbol(1),
+                    Box::new([]),
+                    &[(RoleId(1), 1)],
+                    ords(i + 1),
+                );
+                buf.close(n);
+                nodes.push(n);
+            }
+            for n in nodes {
+                buf.decrement_role(n, RoleId(1), 1);
+            }
+            buf.stats().purged
+        })
+    });
+
+    g.bench_function("deep_chain_cascade", |b| {
+        // A purge that cascades through a deep ancestor chain.
+        b.iter(|| {
+            let mut buf = BufferTree::new(true);
+            let mut cur = NodeId::ROOT;
+            let mut chain = Vec::new();
+            for _ in 0..200 {
+                cur = buf.append_element(cur, Symbol(0), Box::new([]), &[], ords(1));
+                chain.push(cur);
+            }
+            let leaf = buf.append_element(cur, Symbol(1), Box::new([]), &[(RoleId(0), 1)], ords(1));
+            buf.close(leaf);
+            for &n in chain.iter().rev() {
+                buf.close(n);
+            }
+            buf.decrement_role(leaf, RoleId(0), 1);
+            buf.stats().purged
+        })
+    });
+
+    g.bench_function("pin_unpin", |b| {
+        let mut buf = BufferTree::new(true);
+        let mut cur = NodeId::ROOT;
+        for _ in 0..20 {
+            cur = buf.append_element(cur, Symbol(0), Box::new([]), &[(RoleId(0), 1)], ords(1));
+        }
+        b.iter(|| {
+            for _ in 0..1000 {
+                buf.pin(cur);
+                buf.unpin(cur);
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_buffer
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! End-to-end query benchmarks: the five Figure 5 queries under the GCX
+//! configuration on a ~1MB document (Q8, the quadratic join, on a smaller
+//! one so `cargo bench` stays fast).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcx_core::{CompiledQuery, EngineOptions};
+use gcx_xmark::queries;
+
+fn bench_queries(c: &mut Criterion) {
+    let doc = gcx_bench::xmark_string(1);
+    let mut g = c.benchmark_group("queries_gcx");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    for (name, text) in [
+        ("Q1", queries::Q1),
+        ("Q6", queries::Q6),
+        ("Q13", queries::Q13),
+        ("Q20", queries::Q20),
+    ] {
+        let q = CompiledQuery::compile(text).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                gcx_core::run(&q, &EngineOptions::gcx(), doc.as_bytes(), std::io::sink())
+                    .unwrap()
+                    .tokens
+            })
+        });
+    }
+    g.finish();
+
+    // Q8 is O(persons × auctions): bench on a quarter-size document.
+    let small: String = {
+        let cfg = gcx_xmark::XmarkConfig::sized(256 * 1024);
+        gcx_xmark::generate_string(&cfg)
+    };
+    let mut g = c.benchmark_group("queries_join");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(small.len() as u64));
+    let q8 = CompiledQuery::compile(queries::Q8).unwrap();
+    g.bench_function("Q8_256KB", |b| {
+        b.iter(|| {
+            gcx_core::run(
+                &q8,
+                &EngineOptions::gcx(),
+                small.as_bytes(),
+                std::io::sink(),
+            )
+            .unwrap()
+            .tokens
+        })
+    });
+    g.finish();
+
+    // Compilation cost (parse + normalize + static analysis).
+    let mut g = c.benchmark_group("compile");
+    g.bench_function("Q8", |b| {
+        b.iter(|| CompiledQuery::compile(queries::Q8).unwrap())
+    });
+    g.bench_function("running_example", |b| {
+        b.iter(|| CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

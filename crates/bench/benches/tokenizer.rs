@@ -1,0 +1,65 @@
+//! Microbenchmark: raw XML tokenizer throughput — the floor every engine
+//! configuration pays (the paper's engines all "read the complete input
+//! document for each query evaluation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcx_xml::Tokenizer;
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let doc = gcx_bench::xmark_string(1);
+    let mut g = c.benchmark_group("tokenizer");
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function(BenchmarkId::new("xmark", "1MB"), |b| {
+        b.iter(|| {
+            let mut t = Tokenizer::from_str(&doc);
+            let mut n = 0u64;
+            while t.next_token().unwrap().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+
+    // Attribute-heavy and text-heavy extremes.
+    let attr_heavy: String = {
+        let mut s = String::from("<r>");
+        for i in 0..5000 {
+            s.push_str(&format!("<e a=\"{i}\" b=\"x{i}\" c=\"yy\" d=\"zzz\"/>"));
+        }
+        s.push_str("</r>");
+        s
+    };
+    g.throughput(Throughput::Bytes(attr_heavy.len() as u64));
+    g.bench_function("attr_heavy", |b| {
+        b.iter(|| {
+            let mut t = Tokenizer::from_str(&attr_heavy);
+            t.validate_to_end().unwrap()
+        })
+    });
+
+    let text_heavy: String = {
+        let mut s = String::from("<r>");
+        for _ in 0..500 {
+            s.push_str("<t>");
+            s.push_str(&"lorem ipsum dolor sit amet ".repeat(40));
+            s.push_str("</t>");
+        }
+        s.push_str("</r>");
+        s
+    };
+    g.throughput(Throughput::Bytes(text_heavy.len() as u64));
+    g.bench_function("text_heavy", |b| {
+        b.iter(|| {
+            let mut t = Tokenizer::from_str(&text_heavy);
+            t.validate_to_end().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tokenizer
+}
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Shared harness utilities for the GCX experiment regenerators.
+//!
+//! The binaries in `src/bin/` regenerate the paper's figures and tables:
+//!
+//! * `fig3` — buffer plots on the micro documents (Figure 3(b)/(c));
+//! * `fig4` — buffer plots for XMark Q6/Q8 on a ~10MB document (Figure 4);
+//! * `fig5` — the time/memory comparison table (Figure 5);
+//! * `ablation` — the 2×2 {projection}×{GC} grid plus the aggregation
+//!   extension (not in the paper; documents our design choices).
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+use gcx_core::{CompiledQuery, EngineOptions, RunReport};
+use gcx_xmark::XmarkConfig;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Generate (or reuse a cached copy of) an XMark-like document of roughly
+/// `mb` megabytes; returns its path. Cached under `target/xmark-cache/`.
+pub fn xmark_file(mb: u64) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/xmark-cache");
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    let path = dir.join(format!("xmark-{mb}mb.xml"));
+    if !path.exists() {
+        eprintln!("generating {} ...", path.display());
+        let tmp = path.with_extension("tmp");
+        let f = BufWriter::new(File::create(&tmp).expect("create doc"));
+        gcx_xmark::generate(&XmarkConfig::sized(mb * 1024 * 1024), f).expect("generate doc");
+        std::fs::rename(&tmp, &path).expect("publish doc");
+    }
+    path
+}
+
+/// Read a cached document fully into memory (criterion benches).
+pub fn xmark_string(mb: u64) -> String {
+    let mut s = String::new();
+    BufReader::new(File::open(xmark_file(mb)).unwrap())
+        .read_to_string(&mut s)
+        .unwrap();
+    s
+}
+
+/// One measured engine run over a file: wall time + engine report.
+pub fn run_streaming(
+    q: &CompiledQuery,
+    opts: &EngineOptions,
+    path: &std::path::Path,
+) -> (Duration, RunReport) {
+    let input = BufReader::new(File::open(path).expect("open input"));
+    let start = Instant::now();
+    let report = gcx_core::run(q, opts, input, std::io::sink()).expect("engine run failed");
+    (start.elapsed(), report)
+}
+
+/// One measured DOM-baseline run over a file: wall time + node count +
+/// output bytes.
+pub fn run_dom(query_text: &str, path: &std::path::Path) -> (Duration, usize, u64) {
+    let q = gcx_query::compile(query_text).expect("query compiles");
+    let input = BufReader::new(File::open(path).expect("open input"));
+    let start = Instant::now();
+    let report = gcx_dom::run(&q, input, std::io::sink()).expect("dom run failed");
+    (start.elapsed(), report.nodes, report.output_bytes)
+}
+
+/// Format a duration the way the paper's table does: `0.18s` or `2:07`.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 100.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{}:{:02}", d.as_secs() / 60, d.as_secs() % 60)
+    }
+}
+
+/// Write a `(token, buffered nodes)` series as CSV next to the figures.
+pub fn write_series_csv(name: &str, series: &[(u64, u64)]) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+    std::fs::create_dir_all(&dir).expect("create figures dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = BufWriter::new(File::create(&path).expect("create csv"));
+    writeln!(f, "tokens,buffered_nodes").unwrap();
+    for (t, n) in series {
+        writeln!(f, "{t},{n}").unwrap();
+    }
+    f.flush().unwrap();
+    path
+}
+
+/// Compact ASCII rendering of a buffer timeline (for terminal output).
+pub fn ascii_plot(series: &[(u64, u64)], width: usize, height: usize) -> String {
+    if series.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let max_y = series.iter().map(|&(_, y)| y).max().unwrap_or(0).max(1);
+    let max_x = series.last().unwrap().0.max(1);
+    // Downsample to `width` columns, keeping the max per column.
+    let mut cols = vec![0u64; width];
+    for &(x, y) in series {
+        let c = ((x.saturating_mul(width as u64 - 1)) / max_x).min(width as u64 - 1) as usize;
+        cols[c] = cols[c].max(y);
+    }
+    let mut out = String::new();
+    for row in (1..=height).rev() {
+        let threshold = (row as u64 * max_y).div_ceil(height as u64);
+        let y_label = if row == height {
+            format!("{max_y:>8}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&y_label);
+        out.push('|');
+        for &v in &cols {
+            out.push(if v >= threshold { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8}+{}\n", 0, "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>9}{}{}\n",
+        "0",
+        " ".repeat(width.saturating_sub(12)),
+        max_x
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting_matches_paper_style() {
+        assert_eq!(fmt_duration(Duration::from_millis(180)), "0.18s");
+        assert_eq!(fmt_duration(Duration::from_secs(127)), "2:07");
+    }
+
+    #[test]
+    fn ascii_plot_has_requested_dimensions() {
+        let series: Vec<(u64, u64)> = (0..100).map(|i| (i, i % 17)).collect();
+        let plot = ascii_plot(&series, 40, 8);
+        assert_eq!(plot.lines().count(), 10);
+    }
+
+    #[test]
+    fn xmark_file_is_cached() {
+        let p1 = xmark_file(1);
+        let modified = p1.metadata().unwrap().modified().unwrap();
+        let p2 = xmark_file(1);
+        assert_eq!(p1, p2);
+        assert_eq!(p2.metadata().unwrap().modified().unwrap(), modified);
+    }
+}

@@ -1,0 +1,212 @@
+//! `gcx` — command-line interface for the GCX streaming XQuery engine.
+//!
+//! ```text
+//! gcx run <query.xq|-e QUERY> <input.xml>   evaluate a query over a document
+//! gcx explain <query.xq|-e QUERY>           show roles + rewritten query
+//! gcx trace <query.xq|-e QUERY> <input.xml> buffer-occupancy trace (CSV)
+//! gcx generate <MB> [out.xml]               emit an XMark-like document
+//! gcx validate <input.xml>                  well-formedness check
+//! ```
+
+use gcx_core::{CompiledQuery, EngineOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `gcx help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gcx: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "gcx — streaming XQuery evaluation with dynamic buffer minimization
+
+USAGE:
+  gcx run     <query.xq | -e QUERY> <input.xml> [--engine gcx|projection|full|dom]
+              [--stats] [--indent]
+  gcx explain <query.xq | -e QUERY>
+  gcx trace   <query.xq | -e QUERY> <input.xml> [--every N]
+  gcx generate <MB> [out.xml] [--seed N]
+  gcx validate <input.xml>
+
+Query files use the composition-free XQuery fragment of the GCX paper
+(VLDB 2007); `-e` passes the query inline. Results stream to stdout."
+    );
+}
+
+/// Read the query from `-e TEXT` or a file path; returns (query, rest).
+fn take_query(args: &[String]) -> Result<(String, &[String]), String> {
+    match args.first().map(String::as_str) {
+        Some("-e") => {
+            let text = args.get(1).ok_or("`-e` needs a query argument")?.clone();
+            Ok((text, &args[2..]))
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read query file `{path}`: {e}"))?;
+            Ok((text, &args[1..]))
+        }
+        None => Err("missing query (file path or `-e QUERY`)".into()),
+    }
+}
+
+fn open_input(path: &str) -> Result<Box<dyn Read>, String> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdin().lock()))
+    } else {
+        let f =
+            std::fs::File::open(path).map_err(|e| format!("cannot open input `{path}`: {e}"))?;
+        Ok(Box::new(BufReader::new(f)))
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (query_text, rest) = take_query(args)?;
+    let input_path = rest.first().ok_or("missing input document")?;
+    let flags: Vec<&str> = rest[1..].iter().map(String::as_str).collect();
+    let engine = flags
+        .iter()
+        .position(|f| *f == "--engine")
+        .and_then(|i| flags.get(i + 1).copied())
+        .unwrap_or("gcx");
+    let stats = flags.contains(&"--stats");
+    let indent = flags.contains(&"--indent");
+
+    if engine == "dom" {
+        let q = gcx_query::compile(&query_text).map_err(|e| e.to_string())?;
+        let input = open_input(input_path)?;
+        let out = BufWriter::new(std::io::stdout().lock());
+        let report = gcx_dom::run(&q, input, out).map_err(|e| e.to_string())?;
+        println!();
+        if stats {
+            eprintln!(
+                "dom nodes: {}   output bytes: {}",
+                report.nodes, report.output_bytes
+            );
+        }
+        return Ok(());
+    }
+
+    let mut opts = match engine {
+        "gcx" => EngineOptions::gcx(),
+        "projection" => EngineOptions::projection_only(),
+        "full" => EngineOptions::full_buffering(),
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    if indent {
+        opts.indent = Some("  ".to_string());
+    }
+    let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
+    let input = open_input(input_path)?;
+    let out = BufWriter::new(std::io::stdout().lock());
+    let report = gcx_core::run(&q, &opts, input, out).map_err(|e| e.to_string())?;
+    println!();
+    if stats {
+        eprintln!(
+            "tokens: {}   peak buffered nodes: {}   allocated: {}   purged: {}   out bytes: {}",
+            report.tokens,
+            report.buffer.peak_live,
+            report.buffer.allocated,
+            report.buffer.purged,
+            report.output_bytes
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let (query_text, _) = take_query(args)?;
+    let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
+    print!("{}", q.explain());
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (query_text, rest) = take_query(args)?;
+    let input_path = rest.first().ok_or("missing input document")?;
+    let every = rest
+        .iter()
+        .position(|f| f == "--every")
+        .and_then(|i| rest.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1);
+    let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
+    let input = open_input(input_path)?;
+    let report = gcx_core::run(
+        &q,
+        &EngineOptions::gcx().with_timeline(every),
+        input,
+        std::io::sink(),
+    )
+    .map_err(|e| e.to_string())?;
+    let tl = report.timeline.expect("timeline enabled");
+    let mut out = BufWriter::new(std::io::stdout().lock());
+    writeln!(out, "tokens,buffered_nodes").unwrap();
+    for (t, n) in &tl.points {
+        writeln!(out, "{t},{n}").unwrap();
+    }
+    eprintln!("peak buffered nodes: {}", tl.peak());
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let mb: u64 = args
+        .first()
+        .ok_or("missing size in MB")?
+        .parse()
+        .map_err(|_| "size must be a number (MB)")?;
+    let seed = args
+        .iter()
+        .position(|f| f == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
+    let mut cfg = gcx_xmark::XmarkConfig::sized(mb * 1024 * 1024);
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    let written = match args.get(1).filter(|a| !a.starts_with("--")) {
+        Some(path) => {
+            let f = BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?,
+            );
+            gcx_xmark::generate(&cfg, f).map_err(|e| e.to_string())?
+        }
+        None => {
+            let out = BufWriter::new(std::io::stdout().lock());
+            gcx_xmark::generate(&cfg, out).map_err(|e| e.to_string())?
+        }
+    };
+    eprintln!("wrote {written} bytes");
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing input document")?;
+    let input = open_input(path)?;
+    let mut t = gcx_xml::Tokenizer::new(input);
+    match t.validate_to_end() {
+        Ok(tokens) => {
+            eprintln!("well-formed ({tokens} tokens)");
+            Ok(())
+        }
+        Err(e) => Err(format!("not well-formed: {e}")),
+    }
+}

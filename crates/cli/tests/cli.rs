@@ -1,0 +1,148 @@
+//! End-to-end tests of the `gcx` binary: every subcommand, both success
+//! and failure paths.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn gcx_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gcx"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("gcx-cli-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn run_inline_query() {
+    let doc = write_temp("run.xml", "<bib><book><title>T</title></book></bib>");
+    let out = gcx_bin()
+        .args(["run", "-e", "for $b in /bib/book return $b/title"])
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<title>T</title>");
+}
+
+#[test]
+fn run_with_stats_and_engines() {
+    let doc = write_temp("engines.xml", "<l><i>1</i><i>2</i></l>");
+    for engine in ["gcx", "projection", "full", "dom"] {
+        let out = gcx_bin()
+            .args(["run", "-e", "for $i in /l/i return $i/text()"])
+            .arg(&doc)
+            .args(["--engine", engine, "--stats"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "engine {engine}");
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "12", "engine {engine}");
+        assert!(!out.stderr.is_empty(), "--stats must print to stderr ({engine})");
+    }
+}
+
+#[test]
+fn run_reads_query_from_file() {
+    let qf = write_temp("query.xq", "for $i in /l/i return $i");
+    let doc = write_temp("qfile.xml", "<l><i>x</i></l>");
+    let out = gcx_bin().arg("run").arg(&qf).arg(&doc).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<i>x</i>");
+}
+
+#[test]
+fn run_reads_stdin_with_dash() {
+    let mut child = gcx_bin()
+        .args(["run", "-e", "for $i in /l/i return $i/text()", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"<l><i>7</i></l>").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "7");
+}
+
+#[test]
+fn explain_prints_roles() {
+    let out = gcx_bin()
+        .args(["explain", "-e", "for $b in /bib/book return $b/title"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("r2: /bib/book"), "{text}");
+    assert!(text.contains("signOff($b, r2)"), "{text}");
+}
+
+#[test]
+fn trace_emits_csv() {
+    let doc = write_temp("trace.xml", "<l><i/><i/></l>");
+    let out = gcx_bin()
+        .args(["trace", "-e", "for $i in /l/i return 'x'"])
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("tokens,buffered_nodes"), "{text}");
+    assert_eq!(text.lines().count(), 7, "header + 6 tokens: {text}");
+}
+
+#[test]
+fn generate_then_validate_then_query() {
+    let doc = std::env::temp_dir().join(format!("gcx-cli-gen-{}.xml", std::process::id()));
+    let out = gcx_bin()
+        .args(["generate", "1"])
+        .arg(&doc)
+        .args(["--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(doc.metadata().unwrap().len() > 100_000);
+
+    let out = gcx_bin().arg("validate").arg(&doc).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("well-formed"));
+
+    let out = gcx_bin()
+        .args(["run", "-e", "for $p in /site/people/person return if ($p/@id = 'person0') then $p/name else ()"])
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("<name>"));
+    let _ = std::fs::remove_file(&doc);
+}
+
+#[test]
+fn validate_rejects_malformed() {
+    let doc = write_temp("bad.xml", "<a><b></a>");
+    let out = gcx_bin().arg("validate").arg(&doc).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not well-formed"));
+}
+
+#[test]
+fn bad_query_fails_with_message() {
+    let doc = write_temp("bq.xml", "<a/>");
+    let out = gcx_bin().args(["run", "-e", "for $x in"]).arg(&doc).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("gcx:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = gcx_bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = gcx_bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

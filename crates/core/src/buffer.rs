@@ -1,0 +1,876 @@
+//! The GCX buffer: an arena-backed XML fragment tree with role bookkeeping,
+//! evaluator pins, and **active garbage collection**.
+//!
+//! Every buffered node carries a multiset of role instances (the paper's
+//! `book{r3, r5, r6}` annotations). Two aggregated counters per node make
+//! garbage collection cheap:
+//!
+//! * `subtree_roles` — total role instances in the node's subtree;
+//! * `subtree_pins` — evaluator references (loop bindings, cursor stacks)
+//!   in the subtree.
+//!
+//! **Purge rule** (paper §2): a node is reclaimed as soon as it is closed
+//! (its end tag has been read), its subtree holds zero role instances, and
+//! the evaluator holds no pin inside it. Purges cascade upward so the
+//! highest fully-dead ancestor is freed in one pass. Purge attempts are
+//! triggered by exactly three events: a role decrement (signOff), a node
+//! closing (reclaims speculatively buffered prefixes), and an unpin.
+//!
+//! Reclaimed slots go on a free list and are reused; `NodeId`s carry a
+//! generation so stale ids are caught in debug builds.
+
+use gcx_query::ast::RoleId;
+use gcx_xml::{Symbol, SymbolTable, XmlResult, XmlWriter};
+
+/// Handle to a buffered node. Carries a generation to detect stale use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    idx: u32,
+    gen: u32,
+}
+
+impl NodeId {
+    /// The virtual document root (always live).
+    pub const ROOT: NodeId = NodeId { idx: 0, gen: 0 };
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Document-order ordinals of a node among its siblings, stamped by the
+/// preprojector from the *original* document — projection may drop earlier
+/// siblings from the buffer, so buffer positions cannot be used to evaluate
+/// positional predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ordinals {
+    /// 1-based position among siblings with the same name (elements) or
+    /// among text siblings (text nodes).
+    pub same_kind: u32,
+    /// 1-based position among element siblings.
+    pub elem: u32,
+    /// 1-based position among all siblings.
+    pub any: u32,
+}
+
+impl Ordinals {
+    /// Ordinals for a first/only child (used by tests and the DOM shim).
+    pub const FIRST: Ordinals = Ordinals {
+        same_kind: 1,
+        elem: 1,
+        any: 1,
+    };
+}
+
+/// Element payload or text payload.
+#[derive(Debug)]
+pub enum NodeKind {
+    /// An element: interned tag plus attributes.
+    Element {
+        /// Interned tag name.
+        name: Symbol,
+        /// Attributes in document order (interned names, owned values).
+        attrs: Box<[(Symbol, Box<str>)]>,
+    },
+    /// A text node.
+    Text {
+        /// Character data (entities already resolved).
+        content: Box<str>,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    parent: u32,
+    first_child: u32,
+    last_child: u32,
+    prev_sibling: u32,
+    next_sibling: u32,
+    kind: NodeKind,
+    ordinals: Ordinals,
+    /// End tag seen (text nodes are born closed).
+    closed: bool,
+    /// Role instances: (role, count), kept sorted by role.
+    roles: Vec<(RoleId, u32)>,
+    /// Total role instances in this subtree (including self).
+    subtree_roles: u64,
+    /// Evaluator pins on this node.
+    pins: u32,
+    /// Total pins in this subtree (including self).
+    subtree_pins: u64,
+    gen: u32,
+    in_use: bool,
+}
+
+impl Node {
+    fn own_roles(&self) -> u64 {
+        self.roles.iter().map(|&(_, c)| c as u64).sum()
+    }
+}
+
+/// Buffer statistics maintained incrementally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BufferStats {
+    /// Nodes currently buffered (excluding the virtual root).
+    pub live: u64,
+    /// High watermark of `live`.
+    pub peak_live: u64,
+    /// Total nodes ever buffered.
+    pub allocated: u64,
+    /// Total nodes reclaimed by active garbage collection.
+    pub purged: u64,
+}
+
+/// The buffer tree. See the module docs for the GC model.
+#[derive(Debug)]
+pub struct BufferTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    stats: BufferStats,
+    /// When false, purging is disabled entirely (full-buffering baseline).
+    purge_enabled: bool,
+}
+
+impl BufferTree {
+    /// Create a buffer containing only the (open) virtual document root.
+    pub fn new(purge_enabled: bool) -> BufferTree {
+        let root = Node {
+            parent: NIL,
+            first_child: NIL,
+            last_child: NIL,
+            prev_sibling: NIL,
+            next_sibling: NIL,
+            kind: NodeKind::Element {
+                name: Symbol(u32::MAX),
+                attrs: Box::new([]),
+            },
+            ordinals: Ordinals::FIRST,
+            closed: false,
+            roles: Vec::new(),
+            subtree_roles: 0,
+            pins: 0,
+            subtree_pins: 0,
+            gen: 0,
+            in_use: true,
+        };
+        BufferTree {
+            nodes: vec![root],
+            free: Vec::new(),
+            stats: BufferStats::default(),
+            purge_enabled,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    #[inline]
+    fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id.idx as usize];
+        debug_assert!(n.in_use && n.gen == id.gen, "stale NodeId {id:?}");
+        n
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        let n = &mut self.nodes[id.idx as usize];
+        debug_assert!(n.in_use && n.gen == id.gen, "stale NodeId {id:?}");
+        n
+    }
+
+    fn id_at(&self, idx: u32) -> Option<NodeId> {
+        if idx == NIL {
+            None
+        } else {
+            Some(NodeId {
+                idx,
+                gen: self.nodes[idx as usize].gen,
+            })
+        }
+    }
+
+    // ---- navigation ---------------------------------------------------------
+
+    /// Parent of a node (None for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.id_at(self.node(id).parent)
+    }
+
+    /// First child, in document order.
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.id_at(self.node(id).first_child)
+    }
+
+    /// Next sibling, in document order.
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.id_at(self.node(id).next_sibling)
+    }
+
+    /// Node payload.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// Element tag, if `id` is an element.
+    pub fn name(&self, id: NodeId) -> Option<Symbol> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(*name),
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    /// True for text nodes.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text { .. })
+    }
+
+    /// Text content of a text node.
+    pub fn text_content(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text { content } => Some(content),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Attribute value by interned name.
+    pub fn attr(&self, id: NodeId, name: Symbol) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().find(|(n, _)| *n == name).map(|(_, v)| &**v)
+            }
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    /// All attributes of an element.
+    pub fn attrs(&self, id: NodeId) -> &[(Symbol, Box<str>)] {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            NodeKind::Text { .. } => &[],
+        }
+    }
+
+    /// Whether the node's end tag has been read.
+    pub fn is_closed(&self, id: NodeId) -> bool {
+        self.node(id).closed
+    }
+
+    /// Document-order sibling ordinals (see [`Ordinals`]).
+    pub fn ordinals(&self, id: NodeId) -> Ordinals {
+        self.node(id).ordinals
+    }
+
+    /// Instances of `role` on this node.
+    pub fn role_count(&self, id: NodeId, role: RoleId) -> u32 {
+        self.node(id)
+            .roles
+            .iter()
+            .find(|(r, _)| *r == role)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// The node's role multiset (sorted by role id), for diagnostics.
+    pub fn roles(&self, id: NodeId) -> &[(RoleId, u32)] {
+        &self.node(id).roles
+    }
+
+    // ---- construction -------------------------------------------------------
+
+    /// Append an element under `parent` with its role instances.
+    pub fn append_element(
+        &mut self,
+        parent: NodeId,
+        name: Symbol,
+        attrs: Box<[(Symbol, Box<str>)]>,
+        roles: &[(RoleId, u32)],
+        ordinals: Ordinals,
+    ) -> NodeId {
+        self.append(
+            parent,
+            NodeKind::Element { name, attrs },
+            roles,
+            false,
+            ordinals,
+        )
+    }
+
+    /// Append a text node under `parent`. Text nodes are born closed.
+    pub fn append_text(
+        &mut self,
+        parent: NodeId,
+        content: &str,
+        roles: &[(RoleId, u32)],
+        ordinals: Ordinals,
+    ) -> NodeId {
+        self.append(
+            parent,
+            NodeKind::Text {
+                content: content.into(),
+            },
+            roles,
+            true,
+            ordinals,
+        )
+    }
+
+    fn append(
+        &mut self,
+        parent: NodeId,
+        kind: NodeKind,
+        roles: &[(RoleId, u32)],
+        closed: bool,
+        ordinals: Ordinals,
+    ) -> NodeId {
+        debug_assert!(!self.node(parent).closed, "appending under a closed node");
+        let mut role_vec: Vec<(RoleId, u32)> = roles.to_vec();
+        role_vec.sort_unstable_by_key(|&(r, _)| r);
+        let own: u64 = role_vec.iter().map(|&(_, c)| c as u64).sum();
+        let prev = self.node(parent).last_child;
+        let node = Node {
+            parent: parent.idx,
+            first_child: NIL,
+            last_child: NIL,
+            prev_sibling: prev,
+            next_sibling: NIL,
+            kind,
+            ordinals,
+            closed,
+            roles: role_vec,
+            subtree_roles: own,
+            pins: 0,
+            subtree_pins: 0,
+            gen: 0,
+            in_use: true,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let gen = self.nodes[i as usize].gen;
+                self.nodes[i as usize] = node;
+                self.nodes[i as usize].gen = gen;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        // Link into the parent's child list.
+        {
+            let p = self.node_mut(parent);
+            if p.first_child == NIL {
+                p.first_child = idx;
+            }
+            p.last_child = idx;
+        }
+        if prev != NIL {
+            self.nodes[prev as usize].next_sibling = idx;
+        }
+        // Propagate the subtree role count upward.
+        if own > 0 {
+            let mut cur = parent.idx;
+            while cur != NIL {
+                self.nodes[cur as usize].subtree_roles += own;
+                cur = self.nodes[cur as usize].parent;
+            }
+        }
+        self.stats.live += 1;
+        self.stats.allocated += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
+        NodeId {
+            idx,
+            gen: self.nodes[idx as usize].gen,
+        }
+    }
+
+    /// Mark a node closed (its end tag was read) and attempt a purge: this
+    /// reclaims speculatively buffered subtrees that never produced a role.
+    pub fn close(&mut self, id: NodeId) {
+        self.node_mut(id).closed = true;
+        self.try_purge(id);
+    }
+
+    // ---- roles & garbage collection ------------------------------------------
+
+    /// Remove up to `amount` instances of `role` from `id` (saturating),
+    /// then attempt a purge. Returns the number actually removed.
+    pub fn decrement_role(&mut self, id: NodeId, role: RoleId, amount: u32) -> u32 {
+        let node = self.node_mut(id);
+        let mut removed = 0;
+        if let Some(pos) = node.roles.iter().position(|(r, _)| *r == role) {
+            let have = node.roles[pos].1;
+            removed = have.min(amount);
+            if removed == have {
+                node.roles.remove(pos);
+            } else {
+                node.roles[pos].1 -= removed;
+            }
+        }
+        if removed > 0 {
+            let mut cur = id.idx;
+            while cur != NIL {
+                self.nodes[cur as usize].subtree_roles -= removed as u64;
+                cur = self.nodes[cur as usize].parent;
+            }
+            self.try_purge(id);
+        }
+        removed
+    }
+
+    /// Pin a node against purging (evaluator references).
+    pub fn pin(&mut self, id: NodeId) {
+        self.node_mut(id).pins += 1;
+        let mut cur = id.idx;
+        while cur != NIL {
+            self.nodes[cur as usize].subtree_pins += 1;
+            cur = self.nodes[cur as usize].parent;
+        }
+    }
+
+    /// Release a pin; attempts the purge that may have been deferred.
+    pub fn unpin(&mut self, id: NodeId) {
+        {
+            let n = self.node_mut(id);
+            debug_assert!(n.pins > 0, "unbalanced unpin");
+            n.pins -= 1;
+        }
+        let mut cur = id.idx;
+        while cur != NIL {
+            self.nodes[cur as usize].subtree_pins -= 1;
+            cur = self.nodes[cur as usize].parent;
+        }
+        self.try_purge(id);
+    }
+
+    /// Garbage collection: free the highest ancestor-or-self of `id` whose
+    /// whole subtree is closed, role-free and pin-free.
+    fn try_purge(&mut self, id: NodeId) {
+        if !self.purge_enabled {
+            return;
+        }
+        let mut candidate: Option<u32> = None;
+        let mut cur = id.idx;
+        while cur != NIL && cur != NodeId::ROOT.idx {
+            let n = &self.nodes[cur as usize];
+            if n.closed && n.subtree_roles == 0 && n.subtree_pins == 0 {
+                candidate = Some(cur);
+                cur = n.parent;
+            } else {
+                break;
+            }
+        }
+        if let Some(top) = candidate {
+            self.free_subtree(top);
+        }
+    }
+
+    /// Detach `top` from its parent and free its whole subtree.
+    fn free_subtree(&mut self, top: u32) {
+        // Unlink from the sibling chain.
+        let (parent, prev, next) = {
+            let n = &self.nodes[top as usize];
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next_sibling = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sibling = prev;
+        }
+        if parent != NIL {
+            let p = &mut self.nodes[parent as usize];
+            if p.first_child == top {
+                p.first_child = next;
+            }
+            if p.last_child == top {
+                p.last_child = prev;
+            }
+        }
+        // Free the subtree iteratively (DFS).
+        let mut stack = vec![top];
+        while let Some(i) = stack.pop() {
+            let mut child = self.nodes[i as usize].first_child;
+            while child != NIL {
+                stack.push(child);
+                child = self.nodes[child as usize].next_sibling;
+            }
+            let n = &mut self.nodes[i as usize];
+            debug_assert_eq!(n.pins, 0, "freeing a pinned node");
+            n.in_use = false;
+            n.gen = n.gen.wrapping_add(1);
+            n.first_child = NIL;
+            n.kind = NodeKind::Text { content: "".into() };
+            n.roles = Vec::new();
+            self.free.push(i);
+            self.stats.live -= 1;
+            self.stats.purged += 1;
+        }
+    }
+
+    // ---- values & serialization ----------------------------------------------
+
+    /// XPath string value: concatenated text content of the subtree.
+    pub fn string_value(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text { content } => out.push_str(content),
+            NodeKind::Element { .. } => {
+                let mut child = self.first_child(id);
+                while let Some(c) = child {
+                    self.string_value(c, out);
+                    child = self.next_sibling(c);
+                }
+            }
+        }
+    }
+
+    /// Serialize the subtree rooted at `id` (which must be closed) to a
+    /// writer. The virtual root serializes its children only.
+    pub fn serialize<W: std::io::Write>(
+        &self,
+        id: NodeId,
+        symbols: &SymbolTable,
+        w: &mut XmlWriter<W>,
+    ) -> XmlResult<()> {
+        if id == NodeId::ROOT {
+            let mut child = self.first_child(id);
+            while let Some(c) = child {
+                self.serialize(c, symbols, w)?;
+                child = self.next_sibling(c);
+            }
+            return Ok(());
+        }
+        match &self.node(id).kind {
+            NodeKind::Text { content } => w.text(content),
+            NodeKind::Element { name, attrs } => {
+                w.start_element(symbols.resolve(*name))?;
+                for (an, av) in attrs.iter() {
+                    w.attribute(symbols.resolve(*an), av)?;
+                }
+                let mut child = self.first_child(id);
+                while let Some(c) = child {
+                    self.serialize(c, symbols, w)?;
+                    child = self.next_sibling(c);
+                }
+                w.end_element()
+            }
+        }
+    }
+
+    // ---- integrity (used by tests and debug assertions) -----------------------
+
+    /// Recompute aggregate counters and compare with the maintained ones.
+    /// Panics on mismatch. O(n); tests only.
+    pub fn check_integrity(&self) {
+        self.check_node(0);
+    }
+
+    fn check_node(&self, idx: u32) -> (u64, u64) {
+        let n = &self.nodes[idx as usize];
+        assert!(n.in_use, "dead node linked into the tree");
+        let mut roles = n.own_roles();
+        let mut pins = n.pins as u64;
+        let mut child = n.first_child;
+        let mut prev = NIL;
+        while child != NIL {
+            assert_eq!(self.nodes[child as usize].parent, idx, "parent link broken");
+            assert_eq!(
+                self.nodes[child as usize].prev_sibling, prev,
+                "sibling chain broken"
+            );
+            let (r, p) = self.check_node(child);
+            roles += r;
+            pins += p;
+            prev = child;
+            child = self.nodes[child as usize].next_sibling;
+        }
+        assert_eq!(n.last_child, prev, "last_child out of date");
+        assert_eq!(n.subtree_roles, roles, "subtree_roles out of sync at {idx}");
+        assert_eq!(n.subtree_pins, pins, "subtree_pins out of sync at {idx}");
+        (roles, pins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: u32) -> Symbol {
+        Symbol(n)
+    }
+
+    fn el(buf: &mut BufferTree, parent: NodeId, name: u32, roles: &[(RoleId, u32)]) -> NodeId {
+        buf.append_element(parent, sym(name), Box::new([]), roles, Ordinals::FIRST)
+    }
+
+    #[test]
+    fn builds_a_tree() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[(RoleId(0), 1)]);
+        let c1 = el(&mut b, a, 2, &[(RoleId(1), 1)]);
+        let c2 = el(&mut b, a, 3, &[(RoleId(1), 1)]);
+        assert_eq!(b.first_child(a), Some(c1));
+        assert_eq!(b.next_sibling(c1), Some(c2));
+        assert_eq!(b.parent(c2), Some(a));
+        assert_eq!(b.stats().live, 3);
+        b.check_integrity();
+    }
+
+    #[test]
+    fn role_less_subtree_purged_on_close() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        let c = el(&mut b, a, 2, &[]);
+        b.close(c);
+        // c alone can be purged once closed (no roles anywhere beneath).
+        assert_eq!(b.stats().live, 1);
+        b.close(a);
+        assert_eq!(b.stats().live, 0);
+        assert_eq!(b.stats().purged, 2);
+        b.check_integrity();
+    }
+
+    #[test]
+    fn roles_prevent_purge_until_decremented() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        let c = el(&mut b, a, 2, &[(RoleId(0), 1)]);
+        b.close(c);
+        b.close(a);
+        assert_eq!(b.stats().live, 2, "role on c keeps both alive");
+        b.decrement_role(c, RoleId(0), 1);
+        assert_eq!(
+            b.stats().live,
+            0,
+            "decrement cascades the purge up through a"
+        );
+        b.check_integrity();
+    }
+
+    #[test]
+    fn paper_figure1_purge_sequence() {
+        // book{r3,r5,r6} title{r5,r7} author{r5}; after signing off r3, r4,
+        // r5 the buffer holds book{r6} and title{r7} (author gone).
+        let r3 = RoleId(2);
+        let r5 = RoleId(4);
+        let r6 = RoleId(5);
+        let r7 = RoleId(6);
+        let mut b = BufferTree::new(true);
+        let bib = el(&mut b, NodeId::ROOT, 1, &[(RoleId(1), 1)]);
+        let book = el(&mut b, bib, 2, &[(r3, 1), (r5, 1), (r6, 1)]);
+        let title = el(&mut b, book, 3, &[(r5, 1), (r7, 1)]);
+        let author = el(&mut b, book, 4, &[(r5, 1)]);
+        b.close(title);
+        b.close(author);
+        b.close(book);
+        assert_eq!(b.stats().live, 4);
+        // signOff($x, r3); signOff($x/descendant-or-self::node(), r5).
+        b.decrement_role(book, r3, 1);
+        b.decrement_role(book, r5, 1);
+        b.decrement_role(title, r5, 1);
+        b.decrement_role(author, r5, 1);
+        // Figure 1(c): author purged; book{r6}, title{r7} remain.
+        assert_eq!(b.stats().live, 3);
+        assert_eq!(b.role_count(book, r6), 1);
+        assert_eq!(b.role_count(title, r7), 1);
+        assert_eq!(b.roles(book).len(), 1);
+        // Second loop signs off r6 and r7: everything drains.
+        b.decrement_role(book, r6, 1);
+        b.decrement_role(title, r7, 1);
+        b.decrement_role(bib, RoleId(1), 1);
+        b.close(bib);
+        assert_eq!(b.stats().live, 0);
+        b.check_integrity();
+    }
+
+    #[test]
+    fn open_nodes_are_never_purged() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        // a is open: closing nothing, no purge even though no roles.
+        assert_eq!(b.stats().live, 1);
+        let c = el(&mut b, a, 2, &[(RoleId(0), 1)]);
+        b.decrement_role(c, RoleId(0), 1);
+        // c closed? No: element children born open.
+        assert_eq!(b.stats().live, 2, "open c cannot be purged");
+        b.close(c);
+        assert_eq!(b.stats().live, 1, "closing triggers the deferred purge");
+        b.check_integrity();
+    }
+
+    #[test]
+    fn pins_defer_purge() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        let c = el(&mut b, a, 2, &[(RoleId(0), 1)]);
+        b.pin(c);
+        b.close(c);
+        b.decrement_role(c, RoleId(0), 1);
+        assert_eq!(b.stats().live, 2, "pin keeps c (and its parent chain)");
+        b.unpin(c);
+        assert_eq!(b.stats().live, 1, "unpin executes the deferred purge");
+        b.check_integrity();
+    }
+
+    #[test]
+    fn pin_on_descendant_protects_ancestors() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        let c = el(&mut b, a, 2, &[]);
+        b.pin(c);
+        b.close(c);
+        b.close(a);
+        assert_eq!(
+            b.stats().live,
+            2,
+            "pinned descendant blocks the whole chain"
+        );
+        b.unpin(c);
+        assert_eq!(b.stats().live, 0);
+        b.check_integrity();
+    }
+
+    #[test]
+    fn purge_frees_highest_dead_ancestor() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        let m = el(&mut b, a, 2, &[]);
+        let c = el(&mut b, m, 3, &[(RoleId(0), 1)]);
+        b.close(c);
+        b.close(m);
+        b.close(a);
+        assert_eq!(b.stats().live, 3);
+        b.decrement_role(c, RoleId(0), 1);
+        // All three die in one cascade.
+        assert_eq!(b.stats().live, 0);
+        assert_eq!(b.stats().purged, 3);
+        b.check_integrity();
+    }
+
+    #[test]
+    fn siblings_survive_purge_of_neighbor() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[(RoleId(9), 1)]);
+        let c1 = el(&mut b, a, 2, &[(RoleId(0), 1)]);
+        let c2 = el(&mut b, a, 3, &[(RoleId(1), 1)]);
+        let c3 = el(&mut b, a, 4, &[(RoleId(2), 1)]);
+        for c in [c1, c2, c3] {
+            b.close(c);
+        }
+        b.decrement_role(c2, RoleId(1), 1);
+        assert_eq!(b.stats().live, 3);
+        assert_eq!(
+            b.next_sibling(c1),
+            Some(c3),
+            "sibling chain bridges the gap"
+        );
+        b.check_integrity();
+    }
+
+    #[test]
+    fn slot_reuse_with_generations() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        let c = el(&mut b, a, 2, &[]);
+        b.close(c); // purged
+        let d = el(&mut b, a, 3, &[]);
+        // d reuses c's slot with a different generation.
+        assert_ne!(c, d);
+        assert_eq!(b.name(d), Some(sym(3)));
+        b.check_integrity();
+    }
+
+    #[test]
+    fn multiset_roles_decrement_partially() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[(RoleId(0), 3)]);
+        b.close(a);
+        assert_eq!(b.decrement_role(a, RoleId(0), 1), 1);
+        assert_eq!(b.role_count(a, RoleId(0)), 2);
+        assert_eq!(b.stats().live, 1);
+        assert_eq!(b.decrement_role(a, RoleId(0), 5), 2, "saturating");
+        assert_eq!(b.stats().live, 0);
+        b.check_integrity();
+    }
+
+    #[test]
+    fn purge_disabled_mode_keeps_everything() {
+        let mut b = BufferTree::new(false);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        let c = el(&mut b, a, 2, &[]);
+        b.close(c);
+        b.close(a);
+        assert_eq!(b.stats().live, 2, "no purging in full-buffering mode");
+        b.check_integrity();
+    }
+
+    #[test]
+    fn string_value_concatenates_subtree_text() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[(RoleId(0), 1)]);
+        b.append_text(a, "Hello ", &[(RoleId(0), 1)], Ordinals::FIRST);
+        let inner = el(&mut b, a, 2, &[(RoleId(0), 1)]);
+        b.append_text(inner, "wor", &[(RoleId(0), 1)], Ordinals::FIRST);
+        b.close(inner);
+        b.append_text(a, "ld", &[(RoleId(0), 1)], Ordinals::FIRST);
+        let mut s = String::new();
+        b.string_value(a, &mut s);
+        assert_eq!(s, "Hello world");
+    }
+
+    #[test]
+    fn attributes_are_accessible() {
+        let mut b = BufferTree::new(true);
+        let attrs: Box<[(Symbol, Box<str>)]> = Box::new([(sym(7), "person0".into())]);
+        let a = b.append_element(
+            NodeId::ROOT,
+            sym(1),
+            attrs,
+            &[(RoleId(0), 1)],
+            Ordinals::FIRST,
+        );
+        assert_eq!(b.attr(a, sym(7)), Some("person0"));
+        assert_eq!(b.attr(a, sym(8)), None);
+        assert_eq!(b.attrs(a).len(), 1);
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let mut symbols = SymbolTable::new();
+        let title = symbols.intern("title");
+        let book = symbols.intern("book");
+        let id_attr = symbols.intern("id");
+        let mut b = BufferTree::new(true);
+        let r = &[(RoleId(0), 1)][..];
+        let bk = b.append_element(
+            NodeId::ROOT,
+            book,
+            Box::new([(id_attr, "b&1".into())]),
+            r,
+            Ordinals::FIRST,
+        );
+        let t = b.append_element(bk, title, Box::new([]), r, Ordinals::FIRST);
+        b.append_text(t, "On <Streams>", r, Ordinals::FIRST);
+        b.close(t);
+        b.close(bk);
+        let mut w = XmlWriter::new(Vec::new());
+        b.serialize(bk, &symbols, &mut w).unwrap();
+        let out = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(
+            out,
+            "<book id=\"b&amp;1\"><title>On &lt;Streams&gt;</title></book>"
+        );
+    }
+
+    #[test]
+    fn peak_statistics_track_watermark() {
+        let mut b = BufferTree::new(true);
+        let a = el(&mut b, NodeId::ROOT, 1, &[]);
+        for i in 0..10 {
+            let c = el(&mut b, a, 10 + i, &[]);
+            b.close(c); // each purged right away
+        }
+        assert_eq!(b.stats().peak_live, 2);
+        assert_eq!(b.stats().allocated, 11);
+        assert_eq!(b.stats().purged, 10);
+    }
+}

@@ -1,0 +1,650 @@
+//! Lazy document-order path iteration over the buffer, with blocking.
+//!
+//! A [`PathCursor`] enumerates the nodes matching a step sequence below a
+//! context node, in document order, *while the document is still
+//! streaming in*. When iteration reaches the end of a node's currently
+//! buffered children and that node is still open, the cursor reports
+//! [`CursorState::NeedInput`]; the engine pulls one token from the
+//! preprojector and retries. This is exactly the paper's blocking protocol:
+//! "query evaluation remains blocked until the buffer manager has
+//! responded", with the buffer manager issuing `nextNode()` requests.
+//!
+//! Every node the cursor references (frame contexts and scan positions) is
+//! **pinned** in the buffer, so active garbage collection — which may run
+//! between two `advance` calls as signOffs from the loop body execute —
+//! never frees a node the cursor will touch again. A match stays pinned as
+//! the scan position of its parent frame until the cursor advances past it,
+//! which is what keeps a for-loop's current binding alive through the body.
+
+use crate::buffer::{BufferTree, NodeId};
+use gcx_xml::Symbol;
+use std::collections::HashSet;
+
+/// A node test compiled against the symbol table (evaluator side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ETest {
+    /// Element with this tag.
+    Name(Symbol),
+    /// Any element.
+    Star,
+    /// Any text node.
+    Text,
+    /// Any node (element or text).
+    AnyNode,
+}
+
+impl ETest {
+    /// Does `node` satisfy the test?
+    pub fn matches(self, buf: &BufferTree, node: NodeId) -> bool {
+        match self {
+            ETest::Name(s) => buf.name(node) == Some(s),
+            ETest::Star => !buf.is_text(node),
+            ETest::Text => buf.is_text(node),
+            ETest::AnyNode => true,
+        }
+    }
+
+    /// The document ordinal of `node` relevant to a `[k]` predicate on a
+    /// child step with this test: same-name position for name tests,
+    /// element position for `*`, text position for `text()`, any-sibling
+    /// position for `node()`.
+    pub fn pred_ordinal(self, buf: &BufferTree, node: NodeId) -> u32 {
+        let o = buf.ordinals(node);
+        match self {
+            ETest::Name(_) | ETest::Text => o.same_kind,
+            ETest::Star => o.elem,
+            ETest::AnyNode => o.any,
+        }
+    }
+}
+
+/// Axes the cursor evaluates (attribute steps are handled by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EAxis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `self::`
+    SelfAxis,
+}
+
+/// One compiled evaluation step.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalStep {
+    /// Axis.
+    pub axis: EAxis,
+    /// Node test.
+    pub test: ETest,
+    /// `[k]` positional predicate (child axis only).
+    pub pos: Option<u32>,
+}
+
+/// Result of one [`PathCursor::advance`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorState {
+    /// The next match in document order.
+    Match(NodeId),
+    /// More input is needed: pull a token and call `advance` again.
+    NeedInput,
+    /// Iteration complete.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FrameKind {
+    /// Dispatch `steps[step..]` against `node` (one-shot).
+    Eval,
+    /// Child-axis scan over `node`'s children.
+    ChildScan {
+        /// Last child examined (pinned); None = before the first.
+        last: Option<NodeId>,
+    },
+    /// Descendant scan: each child is evaluated descendant-or-self.
+    DescScan {
+        /// Last child examined (pinned).
+        last: Option<NodeId>,
+    },
+    /// Descendant-or-self entry at `node`: check self, then descend.
+    DosEntry,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    node: NodeId,
+    step: usize,
+    kind: FrameKind,
+}
+
+/// A lazy, pinned, blocking path iterator. Create with [`PathCursor::new`],
+/// drive with [`PathCursor::advance`], and always dispose with
+/// [`PathCursor::finish`] (or run it to `Done`) so pins are released.
+#[derive(Debug)]
+pub struct PathCursor {
+    steps: Vec<EvalStep>,
+    stack: Vec<Frame>,
+    done: bool,
+    /// XQuery paths select *distinct* nodes, but two or more descendant
+    /// axes in one path can reach a node through several derivations.
+    /// Only then is the (purge-safe: ids are generation-tagged) dedup set
+    /// engaged.
+    emitted: Option<HashSet<NodeId>>,
+}
+
+impl PathCursor {
+    /// Start iterating matches of `steps` below `ctx`.
+    pub fn new(buf: &mut BufferTree, ctx: NodeId, steps: Vec<EvalStep>) -> PathCursor {
+        buf.pin(ctx);
+        let descendant_steps = steps
+            .iter()
+            .filter(|s| matches!(s.axis, EAxis::Descendant | EAxis::DescendantOrSelf))
+            .count();
+        PathCursor {
+            steps,
+            stack: vec![Frame {
+                node: ctx,
+                step: 0,
+                kind: FrameKind::Eval,
+            }],
+            done: false,
+            emitted: (descendant_steps >= 2).then(HashSet::new),
+        }
+    }
+
+    /// Release every pin. Idempotent; must be called when abandoning the
+    /// cursor before `Done`.
+    pub fn finish(&mut self, buf: &mut BufferTree) {
+        while let Some(f) = self.stack.pop() {
+            if let FrameKind::ChildScan { last: Some(c) } | FrameKind::DescScan { last: Some(c) } =
+                f.kind
+            {
+                buf.unpin(c);
+            }
+            buf.unpin(f.node);
+        }
+        self.done = true;
+    }
+
+    /// Produce the next match, request input, or finish.
+    pub fn advance(&mut self, buf: &mut BufferTree) -> CursorState {
+        if self.done {
+            return CursorState::Done;
+        }
+        loop {
+            let Some(top_idx) = self.stack.len().checked_sub(1) else {
+                self.done = true;
+                return CursorState::Done;
+            };
+            // Copy the frame out so the stack can be mutated freely below.
+            let Frame { node, step, kind } = self.stack[top_idx];
+            match kind {
+                FrameKind::Eval => {
+                    if step == self.steps.len() {
+                        self.pop(buf);
+                        if let Some(emitted) = self.emitted.as_mut() {
+                            if !emitted.insert(node) {
+                                continue; // duplicate derivation of a node
+                            }
+                        }
+                        return CursorState::Match(node);
+                    }
+                    let s = self.steps[step];
+                    match s.axis {
+                        EAxis::Child => {
+                            self.stack[top_idx].kind = FrameKind::ChildScan { last: None };
+                        }
+                        EAxis::Descendant => {
+                            self.stack[top_idx].kind = FrameKind::DescScan { last: None };
+                        }
+                        EAxis::DescendantOrSelf => {
+                            self.stack[top_idx].kind = FrameKind::DosEntry;
+                        }
+                        EAxis::SelfAxis => {
+                            if s.test.matches(buf, node) {
+                                self.stack[top_idx].step += 1;
+                                // kind stays Eval: re-dispatch next round.
+                            } else {
+                                self.pop(buf);
+                            }
+                        }
+                    }
+                }
+                FrameKind::DosEntry => {
+                    // Become the descendant scan; but first, the self part
+                    // (pushed on top so it is handled before descending —
+                    // document order).
+                    self.stack[top_idx].kind = FrameKind::DescScan { last: None };
+                    let s = self.steps[step];
+                    if s.test.matches(buf, node) {
+                        self.push(buf, node, step + 1);
+                    }
+                }
+                FrameKind::ChildScan { last } => {
+                    let next = match last {
+                        None => buf.first_child(node),
+                        Some(c) => buf.next_sibling(c),
+                    };
+                    match next {
+                        Some(c) => {
+                            // Move the scan-position pin forward.
+                            buf.pin(c);
+                            if let Some(old) = last {
+                                buf.unpin(old);
+                            }
+                            let s = self.steps[step];
+                            let mut emit = false;
+                            let mut exhausted = false;
+                            if s.test.matches(buf, c) {
+                                // Positional predicates compare against
+                                // *document* ordinals: projection may have
+                                // dropped earlier matching siblings.
+                                match s.pos {
+                                    Some(k) => {
+                                        let ord = s.test.pred_ordinal(buf, c);
+                                        emit = ord == k;
+                                        exhausted = ord >= k;
+                                    }
+                                    None => emit = true,
+                                }
+                            }
+                            self.stack[top_idx].kind = FrameKind::ChildScan { last: Some(c) };
+                            if emit {
+                                self.push(buf, c, step + 1);
+                            }
+                            if exhausted && !emit {
+                                self.pop(buf);
+                            }
+                        }
+                        None => {
+                            if buf.is_closed(node) {
+                                self.pop(buf);
+                            } else {
+                                return CursorState::NeedInput;
+                            }
+                        }
+                    }
+                }
+                FrameKind::DescScan { last } => {
+                    let next = match last {
+                        None => buf.first_child(node),
+                        Some(c) => buf.next_sibling(c),
+                    };
+                    match next {
+                        Some(c) => {
+                            buf.pin(c);
+                            if let Some(old) = last {
+                                buf.unpin(old);
+                            }
+                            self.stack[top_idx].kind = FrameKind::DescScan { last: Some(c) };
+                            // The child is evaluated descendant-or-self at
+                            // the same step (its own frame pin).
+                            buf.pin(c);
+                            self.stack.push(Frame {
+                                node: c,
+                                step,
+                                kind: FrameKind::DosEntry,
+                            });
+                        }
+                        None => {
+                            if buf.is_closed(node) {
+                                self.pop(buf);
+                            } else {
+                                return CursorState::NeedInput;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, buf: &mut BufferTree, node: NodeId, step: usize) {
+        buf.pin(node);
+        self.stack.push(Frame {
+            node,
+            step,
+            kind: FrameKind::Eval,
+        });
+    }
+
+    fn pop(&mut self, buf: &mut BufferTree) {
+        let f = self.stack.pop().expect("pop on empty cursor stack");
+        if let FrameKind::ChildScan { last: Some(c) } | FrameKind::DescScan { last: Some(c) } =
+            f.kind
+        {
+            buf.unpin(c);
+        }
+        buf.unpin(f.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Ordinals;
+    use gcx_query::ast::RoleId;
+    use gcx_xml::SymbolTable;
+
+    /// Ordinal helper: position k among same-name siblings, same among all.
+    fn ord(k: u32) -> Ordinals {
+        Ordinals {
+            same_kind: k,
+            elem: k,
+            any: k,
+        }
+    }
+
+    /// Build a small closed tree:
+    /// <a><b/><c><b>text</b></c><b/></a>  (all nodes role-pinned alive)
+    fn build() -> (BufferTree, SymbolTable, NodeId) {
+        let mut sy = SymbolTable::new();
+        let (a, b, c) = (sy.intern("a"), sy.intern("b"), sy.intern("c"));
+        let mut buf = BufferTree::new(true);
+        let r = &[(RoleId(0), 1)][..];
+        let na = buf.append_element(NodeId::ROOT, a, Box::new([]), r, ord(1));
+        let nb1 = buf.append_element(na, b, Box::new([]), r, ord(1));
+        buf.close(nb1);
+        let nc = buf.append_element(
+            na,
+            c,
+            Box::new([]),
+            r,
+            Ordinals {
+                same_kind: 1,
+                elem: 2,
+                any: 2,
+            },
+        );
+        let nb2 = buf.append_element(nc, b, Box::new([]), r, ord(1));
+        buf.append_text(nb2, "text", r, ord(1));
+        buf.close(nb2);
+        buf.close(nc);
+        let nb3 = buf.append_element(
+            na,
+            b,
+            Box::new([]),
+            r,
+            Ordinals {
+                same_kind: 2,
+                elem: 3,
+                any: 3,
+            },
+        );
+        buf.close(nb3);
+        buf.close(na);
+        buf.close(NodeId::ROOT);
+        (buf, sy, na)
+    }
+
+    fn drain(buf: &mut BufferTree, mut cur: PathCursor) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        loop {
+            match cur.advance(buf) {
+                CursorState::Match(n) => out.push(n),
+                CursorState::Done => break,
+                CursorState::NeedInput => panic!("closed tree cannot need input"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn child_axis_in_document_order() {
+        let (mut buf, sy, na) = build();
+        let b = sy.get("b").unwrap();
+        let steps = vec![EvalStep {
+            axis: EAxis::Child,
+            test: ETest::Name(b),
+            pos: None,
+        }];
+        let cur = PathCursor::new(&mut buf, na, steps);
+        let matches = drain(&mut buf, cur);
+        assert_eq!(matches.len(), 2, "b1 and b3 are children; nested b is not");
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn descendant_axis_finds_nested() {
+        let (mut buf, sy, na) = build();
+        let b = sy.get("b").unwrap();
+        let steps = vec![EvalStep {
+            axis: EAxis::Descendant,
+            test: ETest::Name(b),
+            pos: None,
+        }];
+        let cur = PathCursor::new(&mut buf, na, steps);
+        let matches = drain(&mut buf, cur);
+        assert_eq!(matches.len(), 3);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn descendant_or_self_node_counts_everything() {
+        let (mut buf, _, na) = build();
+        let steps = vec![EvalStep {
+            axis: EAxis::DescendantOrSelf,
+            test: ETest::AnyNode,
+            pos: None,
+        }];
+        let cur = PathCursor::new(&mut buf, na, steps);
+        let matches = drain(&mut buf, cur);
+        // a, b1, c, b2, text, b3
+        assert_eq!(matches.len(), 6);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn positional_predicate_selects_kth() {
+        let (mut buf, sy, na) = build();
+        let b = sy.get("b").unwrap();
+        for (k, expect) in [(1u32, 1usize), (2, 1), (3, 0)] {
+            let steps = vec![EvalStep {
+                axis: EAxis::Child,
+                test: ETest::Name(b),
+                pos: Some(k),
+            }];
+            let cur = PathCursor::new(&mut buf, na, steps);
+            assert_eq!(drain(&mut buf, cur).len(), expect, "k={k}");
+        }
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn text_test_matches_text_nodes() {
+        let (mut buf, _, na) = build();
+        let steps = vec![EvalStep {
+            axis: EAxis::Descendant,
+            test: ETest::Text,
+            pos: None,
+        }];
+        let cur = PathCursor::new(&mut buf, na, steps);
+        let matches = drain(&mut buf, cur);
+        assert_eq!(matches.len(), 1);
+        assert!(buf.is_text(matches[0]));
+    }
+
+    #[test]
+    fn self_axis_filters_context() {
+        let (mut buf, sy, na) = build();
+        let a = sy.get("a").unwrap();
+        let b = sy.get("b").unwrap();
+        let hit = vec![EvalStep {
+            axis: EAxis::SelfAxis,
+            test: ETest::Name(a),
+            pos: None,
+        }];
+        let cur = PathCursor::new(&mut buf, na, hit);
+        assert_eq!(drain(&mut buf, cur).len(), 1);
+        let miss = vec![EvalStep {
+            axis: EAxis::SelfAxis,
+            test: ETest::Name(b),
+            pos: None,
+        }];
+        let cur = PathCursor::new(&mut buf, na, miss);
+        assert_eq!(drain(&mut buf, cur).len(), 0);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn empty_steps_match_context_itself() {
+        let (mut buf, _, na) = build();
+        let cur = PathCursor::new(&mut buf, na, Vec::new());
+        let matches = drain(&mut buf, cur);
+        assert_eq!(matches, vec![na]);
+    }
+
+    #[test]
+    fn needs_input_on_open_node() {
+        let mut sy = SymbolTable::new();
+        let a = sy.intern("a");
+        let b = sy.intern("b");
+        let mut buf = BufferTree::new(true);
+        let r = &[(RoleId(0), 1)][..];
+        let na = buf.append_element(NodeId::ROOT, a, Box::new([]), r, ord(1));
+        let steps = vec![EvalStep {
+            axis: EAxis::Child,
+            test: ETest::Name(b),
+            pos: None,
+        }];
+        let mut cur = PathCursor::new(&mut buf, na, steps);
+        assert_eq!(
+            cur.advance(&mut buf),
+            CursorState::NeedInput,
+            "a is still open"
+        );
+        // Stream delivers a matching child.
+        let nb = buf.append_element(na, b, Box::new([]), r, ord(1));
+        buf.close(nb);
+        assert_eq!(cur.advance(&mut buf), CursorState::Match(nb));
+        assert_eq!(
+            cur.advance(&mut buf),
+            CursorState::NeedInput,
+            "a still open"
+        );
+        buf.close(na);
+        assert_eq!(cur.advance(&mut buf), CursorState::Done);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn match_stays_pinned_until_cursor_advances() {
+        let mut sy = SymbolTable::new();
+        let a = sy.intern("a");
+        let b = sy.intern("b");
+        let mut buf = BufferTree::new(true);
+        let role = RoleId(0);
+        let na = buf.append_element(NodeId::ROOT, a, Box::new([]), &[(role, 1)], ord(1));
+        let nb1 = buf.append_element(na, b, Box::new([]), &[(role, 1)], ord(1));
+        buf.close(nb1);
+        let nb2 = buf.append_element(na, b, Box::new([]), &[(role, 1)], ord(2));
+        buf.close(nb2);
+        buf.close(na);
+        buf.close(NodeId::ROOT);
+        let steps = vec![EvalStep {
+            axis: EAxis::Child,
+            test: ETest::Name(b),
+            pos: None,
+        }];
+        let mut cur = PathCursor::new(&mut buf, na, steps);
+        let CursorState::Match(m1) = cur.advance(&mut buf) else {
+            panic!()
+        };
+        assert_eq!(m1, nb1);
+        // Loop body signs off the binding: without the cursor pin this
+        // would free nb1 and break iteration.
+        buf.decrement_role(nb1, role, 1);
+        assert_eq!(buf.stats().live, 3, "pin defers the purge");
+        let CursorState::Match(m2) = cur.advance(&mut buf) else {
+            panic!()
+        };
+        assert_eq!(m2, nb2, "iteration continues past the signed-off node");
+        assert_eq!(
+            buf.stats().live,
+            2,
+            "nb1 reclaimed once the cursor moved on"
+        );
+        buf.decrement_role(nb2, role, 1);
+        assert_eq!(cur.advance(&mut buf), CursorState::Done);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn finish_releases_all_pins() {
+        let (mut buf, sy, na) = build();
+        let b = sy.get("b").unwrap();
+        let steps = vec![EvalStep {
+            axis: EAxis::Descendant,
+            test: ETest::Name(b),
+            pos: None,
+        }];
+        let mut cur = PathCursor::new(&mut buf, na, steps);
+        let _ = cur.advance(&mut buf); // partial progress
+        cur.finish(&mut buf);
+        buf.check_integrity(); // asserts subtree_pins are consistent (zero)
+                               // All pins released: decrementing all roles drains the buffer.
+        assert_eq!(
+            cur.advance(&mut buf),
+            CursorState::Done,
+            "finished cursor stays done"
+        );
+    }
+
+    #[test]
+    fn double_descendant_path_yields_distinct_nodes() {
+        // /descendant::a/descendant::b with nested a's: b is reachable via
+        // two derivations but must be bound once.
+        let mut sy = SymbolTable::new();
+        let a = sy.intern("a");
+        let b = sy.intern("b");
+        let mut buf = BufferTree::new(true);
+        let r = &[(RoleId(0), 1)][..];
+        let na1 = buf.append_element(NodeId::ROOT, a, Box::new([]), r, ord(1));
+        let na2 = buf.append_element(na1, a, Box::new([]), r, ord(1));
+        let nb = buf.append_element(na2, b, Box::new([]), r, ord(1));
+        buf.close(nb);
+        buf.close(na2);
+        buf.close(na1);
+        buf.close(NodeId::ROOT);
+        let steps = vec![
+            EvalStep {
+                axis: EAxis::Descendant,
+                test: ETest::Name(a),
+                pos: None,
+            },
+            EvalStep {
+                axis: EAxis::Descendant,
+                test: ETest::Name(b),
+                pos: None,
+            },
+        ];
+        let cur = PathCursor::new(&mut buf, NodeId::ROOT, steps);
+        let matches = drain(&mut buf, cur);
+        assert_eq!(matches, vec![nb], "one binding despite two derivations");
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn multi_step_path() {
+        let (mut buf, sy, na) = build();
+        let c = sy.get("c").unwrap();
+        let b = sy.get("b").unwrap();
+        let steps = vec![
+            EvalStep {
+                axis: EAxis::Child,
+                test: ETest::Name(c),
+                pos: None,
+            },
+            EvalStep {
+                axis: EAxis::Child,
+                test: ETest::Name(b),
+                pos: None,
+            },
+        ];
+        let cur = PathCursor::new(&mut buf, na, steps);
+        let matches = drain(&mut buf, cur);
+        assert_eq!(matches.len(), 1, "only the b nested under c");
+        buf.check_integrity();
+    }
+}

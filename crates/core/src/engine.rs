@@ -1,0 +1,178 @@
+//! Public engine API: compile once, run many times, in any of the three
+//! buffer-management configurations the experiments compare.
+
+use crate::buffer::{BufferStats, BufferTree};
+use crate::error::EngineError;
+use crate::eval::Run;
+use crate::stream::{Preprojector, Timeline};
+use gcx_projection::{analyze, Analysis, CompiledPaths, StreamMatcher};
+use gcx_query::Query;
+use gcx_xml::{SymbolTable, Tokenizer, WriterOptions, XmlWriter};
+use std::io::{Read, Write};
+
+/// A compiled query: normalized AST + static analysis (roles, rewriting).
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The normalized user query.
+    pub query: Query,
+    /// Roles, projection paths and the rewritten query with signOffs.
+    pub analysis: Analysis,
+}
+
+impl CompiledQuery {
+    /// Parse, normalize and statically analyze query text.
+    pub fn compile(text: &str) -> Result<CompiledQuery, EngineError> {
+        let query = gcx_query::compile(text)?;
+        let analysis = analyze(&query);
+        Ok(CompiledQuery { query, analysis })
+    }
+
+    /// Human-readable static-analysis report: the mapping between query,
+    /// paths, roles and preemption points that the demo visualizes in its
+    /// Figure 3(a).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Projection paths and roles ==\n");
+        out.push_str(&self.analysis.roles_listing());
+        out.push_str("\n== Rewritten query with signOff statements ==\n");
+        out.push_str(&self.analysis.rewritten.to_string());
+        out.push('\n');
+        out
+    }
+}
+
+/// Buffer-management configuration. The three presets span the comparison
+/// axis of the paper's evaluation (Figure 5):
+///
+/// * [`EngineOptions::gcx`] — static projection **and** dynamic buffer
+///   minimization via active garbage collection (the paper's system);
+/// * [`EngineOptions::projection_only`] — static projection, no dynamic
+///   purging (the FluXQuery / projection-based-systems class);
+/// * [`EngineOptions::full_buffering`] — everything buffered (the naive
+///   in-memory engine class).
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Run the stream preprojector's skip logic (static projection).
+    pub project: bool,
+    /// Execute signOff statements (dynamic buffer minimization).
+    pub execute_signoffs: bool,
+    /// Allow the buffer to reclaim dead subtrees at all.
+    pub purge: bool,
+    /// Read the rest of the input after evaluation completes (the paper's
+    /// engines scan the full document; also validates well-formedness).
+    pub drain_input: bool,
+    /// Sample the buffer-occupancy timeline every N tokens (None = off).
+    pub timeline_every: Option<u64>,
+    /// Pretty-print output with this indent.
+    pub indent: Option<String>,
+}
+
+impl EngineOptions {
+    /// The full GCX configuration: projection + active garbage collection.
+    pub fn gcx() -> EngineOptions {
+        EngineOptions {
+            project: true,
+            execute_signoffs: true,
+            purge: true,
+            drain_input: true,
+            timeline_every: None,
+            indent: None,
+        }
+    }
+
+    /// Static projection only: signOffs are ignored, the buffer grows to
+    /// the size of the projected document.
+    pub fn projection_only() -> EngineOptions {
+        EngineOptions {
+            execute_signoffs: false,
+            ..EngineOptions::gcx()
+        }
+    }
+
+    /// No projection, no GC: the whole document is buffered.
+    pub fn full_buffering() -> EngineOptions {
+        EngineOptions {
+            project: false,
+            execute_signoffs: false,
+            purge: false,
+            ..EngineOptions::gcx()
+        }
+    }
+
+    /// Enable timeline sampling (builder style).
+    pub fn with_timeline(mut self, every: u64) -> EngineOptions {
+        self.timeline_every = Some(every);
+        self
+    }
+
+    /// Disable the final input drain (builder style).
+    pub fn without_drain(mut self) -> EngineOptions {
+        self.drain_input = false;
+        self
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions::gcx()
+    }
+}
+
+/// What a run observed — the measurements the paper's figures are made of.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Structural tokens processed.
+    pub tokens: u64,
+    /// Buffer statistics: peak/live node counts, allocation/purge totals.
+    pub buffer: BufferStats,
+    /// Buffer-occupancy samples (when enabled).
+    pub timeline: Option<Timeline>,
+    /// Bytes of serialized output.
+    pub output_bytes: u64,
+}
+
+/// Run a compiled query over an XML input stream, writing the result to
+/// `output`. The configuration selects the buffer-management strategy.
+pub fn run<R: Read, W: Write>(
+    q: &CompiledQuery,
+    opts: &EngineOptions,
+    input: R,
+    output: W,
+) -> Result<RunReport, EngineError> {
+    let mut symbols = SymbolTable::new();
+    let compiled = CompiledPaths::compile(&q.analysis.roles, &mut symbols);
+    let (matcher, _root_roles) = StreamMatcher::new(compiled);
+    // Root roles (the paper's r1) are not materialized: the virtual root is
+    // never purged, so its bookkeeping would be inert.
+    let buf = BufferTree::new(opts.purge);
+    let tokenizer = Tokenizer::new(input);
+    let pre = Preprojector::new(tokenizer, matcher, opts.project, opts.timeline_every);
+    let out = XmlWriter::with_options(
+        output,
+        WriterOptions {
+            indent: opts.indent.clone(),
+        },
+    );
+    let mut run = Run::new(
+        buf,
+        pre,
+        symbols,
+        out,
+        &q.analysis,
+        opts.execute_signoffs,
+        q.query.var_names.len(),
+    );
+    run.eval(&q.analysis.rewritten.root)?;
+    if opts.drain_input {
+        while run.pull_public()? {}
+    }
+    run.finish_report()
+}
+
+/// Convenience: compile and run with the GCX configuration.
+pub fn run_query(query_text: &str, input: &str) -> Result<String, EngineError> {
+    let q = CompiledQuery::compile(query_text)?;
+    let mut out = Vec::new();
+    run(&q, &EngineOptions::gcx(), input.as_bytes(), &mut out)?;
+    String::from_utf8(out).map_err(|_| EngineError::Internal("non-UTF8 output".into()))
+}

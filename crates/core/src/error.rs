@@ -1,0 +1,63 @@
+//! Engine error type.
+
+use gcx_query::QueryError;
+use gcx_xml::XmlError;
+use std::fmt;
+
+/// Anything that can go wrong while compiling or running a query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// XML input (or output serialization) failure.
+    Xml(XmlError),
+    /// Query compilation failure.
+    Query(QueryError),
+    /// An internal invariant was violated — a bug in the engine, reported
+    /// instead of panicking so callers can recover.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xml(e) => write!(f, "XML error: {e}"),
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Xml(e) => Some(e),
+            EngineError::Query(e) => Some(e),
+            EngineError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<XmlError> for EngineError {
+    fn from(e: XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_sources() {
+        let q = gcx_query::compile("$unbound").unwrap_err();
+        let e: EngineError = q.into();
+        assert!(e.to_string().contains("unbound"));
+        let e = EngineError::Internal("oops".into());
+        assert_eq!(e.to_string(), "internal engine error: oops");
+    }
+}

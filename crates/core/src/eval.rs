@@ -1,0 +1,689 @@
+//! The pull-based query evaluator (paper Figure 2, right component).
+//!
+//! The evaluator interprets the *rewritten* query (with signOff statements)
+//! sequentially. Whenever it needs data that is not yet buffered — the next
+//! node of a for-loop, the witness of an `exists`, the closing tag of a
+//! subtree about to be emitted — it blocks, and the buffer manager pulls
+//! tokens from the stream preprojector until the request can be answered.
+//! signOff statements decrement role instances (with derivation
+//! multiplicity) and thereby trigger active garbage collection.
+//!
+//! ## Multiplicity accounting
+//!
+//! The stream matcher assigns role instances per *derivation* of the
+//! absolute projection path. A `signOff($v/rel, r)` at the end of `$v`'s
+//! loop body removes, for every buffered node matching `rel` below the
+//! current binding `b`, `derivations(rel from b) × mult(b)` instances,
+//! where `mult(b)` is the derivation count of `b`'s own binding (captured
+//! when the binding was established). Summed over all bindings this equals
+//! exactly the assigned count — the buffer drains to the virtual root by
+//! the end of every run (asserted by tests).
+
+use crate::buffer::{BufferTree, NodeId};
+use crate::cursor::{CursorState, EAxis, ETest, EvalStep, PathCursor};
+use crate::error::EngineError;
+use crate::stream::Preprojector;
+use gcx_projection::Analysis;
+use gcx_query::ast::{
+    AggFunc, Axis, CmpOp, Cond, Expr, NodeTest, Operand, PathExpr, PathRoot, RoleId, Step, VarId,
+};
+use gcx_xml::{Symbol, SymbolTable, XmlWriter};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+/// A for-variable binding: the node plus its binding-role multiplicity
+/// (derivation count), captured at iteration start.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    node: NodeId,
+    mult: u32,
+}
+
+/// Attribute selector for attribute-terminated paths.
+#[derive(Debug, Clone, Copy)]
+enum AttrSel {
+    Name(Symbol),
+    Any,
+}
+
+/// The running evaluator: buffer + preprojector + output + environment.
+pub(crate) struct Run<'q, R, W: Write> {
+    pub buf: BufferTree,
+    pub pre: Preprojector<R>,
+    pub symbols: SymbolTable,
+    pub out: XmlWriter<W>,
+    pub analysis: &'q Analysis,
+    pub execute_signoffs: bool,
+    env: Vec<Option<Binding>>,
+    /// Scratch reused by string-value extraction.
+    value_scratch: String,
+}
+
+impl<'q, R: Read, W: Write> Run<'q, R, W> {
+    pub(crate) fn new(
+        buf: BufferTree,
+        pre: Preprojector<R>,
+        symbols: SymbolTable,
+        out: XmlWriter<W>,
+        analysis: &'q Analysis,
+        execute_signoffs: bool,
+        n_vars: usize,
+    ) -> Self {
+        Run {
+            buf,
+            pre,
+            symbols,
+            out,
+            analysis,
+            execute_signoffs,
+            env: vec![None; n_vars],
+            value_scratch: String::new(),
+        }
+    }
+
+    /// Pull one token from the preprojector (a `nextNode()` request).
+    fn pull(&mut self) -> Result<bool, EngineError> {
+        Ok(self.pre.advance(&mut self.buf, &mut self.symbols)?)
+    }
+
+    /// Pull one token (used by the engine's final input drain).
+    pub(crate) fn pull_public(&mut self) -> Result<bool, EngineError> {
+        self.pull()
+    }
+
+    /// Flush output and assemble the run report.
+    pub(crate) fn finish_report(mut self) -> Result<crate::engine::RunReport, EngineError> {
+        self.out.flush()?;
+        Ok(crate::engine::RunReport {
+            tokens: self.pre.tokens(),
+            buffer: self.buf.stats(),
+            timeline: self.pre.take_timeline(),
+            output_bytes: self.out.bytes_written(),
+        })
+    }
+
+    /// Block until `n` is closed (its end tag has been read).
+    fn wait_closed(&mut self, n: NodeId) -> Result<(), EngineError> {
+        while !self.buf.is_closed(n) {
+            if !self.pull()? {
+                return Err(EngineError::Internal(
+                    "input exhausted with an open buffered node".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a path's context node and the binding multiplicity of the
+    /// variable it is rooted at (1 for the document root).
+    fn resolve_root(&self, root: &PathRoot) -> Result<(NodeId, u32), EngineError> {
+        match root {
+            PathRoot::Root => Ok((NodeId::ROOT, 1)),
+            PathRoot::Var(v) => self.env[v.id.index()]
+                .map(|b| (b.node, b.mult))
+                .ok_or_else(|| {
+                    EngineError::Internal(format!("variable ${} unbound at runtime", v.name))
+                }),
+        }
+    }
+
+    /// Compile AST steps to evaluator steps, interning names. Attribute
+    /// steps must have been split off by the caller.
+    fn compile_steps(&mut self, steps: &[Step]) -> Vec<EvalStep> {
+        steps
+            .iter()
+            .map(|s| EvalStep {
+                axis: match s.axis {
+                    Axis::Child => EAxis::Child,
+                    Axis::Descendant => EAxis::Descendant,
+                    Axis::DescendantOrSelf => EAxis::DescendantOrSelf,
+                    Axis::SelfAxis => EAxis::SelfAxis,
+                    Axis::Attribute => unreachable!("attribute steps split off by caller"),
+                },
+                test: match &s.test {
+                    NodeTest::Name(n) => ETest::Name(self.symbols.intern(n)),
+                    NodeTest::Star => ETest::Star,
+                    NodeTest::Text => ETest::Text,
+                    NodeTest::AnyNode => ETest::AnyNode,
+                },
+                pos: s.pred.map(|gcx_query::ast::Pred::Position(k)| k),
+            })
+            .collect()
+    }
+
+    /// Split an attribute-terminated path into (element steps, selector).
+    fn split_attr<'a>(&mut self, p: &'a PathExpr) -> (&'a [Step], Option<AttrSel>) {
+        if p.ends_in_attribute() {
+            let (last, rest) = p.steps.split_last().unwrap();
+            let sel = match &last.test {
+                NodeTest::Name(n) => AttrSel::Name(self.symbols.intern(n)),
+                _ => AttrSel::Any,
+            };
+            (rest, Some(sel))
+        } else {
+            (&p.steps, None)
+        }
+    }
+
+    // ---- expression evaluation ----------------------------------------------
+
+    /// Evaluate an expression, streaming its result to the output writer.
+    pub(crate) fn eval(&mut self, e: &Expr) -> Result<(), EngineError> {
+        match e {
+            Expr::Empty => Ok(()),
+            Expr::Sequence(items) => {
+                for item in items {
+                    self.eval(item)?;
+                }
+                Ok(())
+            }
+            Expr::StringLit(s) => {
+                self.out.text(s)?;
+                Ok(())
+            }
+            Expr::NumberLit(v) => {
+                self.out.text(&fmt_number(*v))?;
+                Ok(())
+            }
+            Expr::Element {
+                name,
+                attrs,
+                content,
+            } => {
+                self.out.start_element(name)?;
+                for (k, v) in attrs {
+                    self.out.attribute(k, v)?;
+                }
+                self.eval(content)?;
+                self.out.end_element()?;
+                Ok(())
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval_cond(cond)? {
+                    self.eval(then_branch)
+                } else {
+                    self.eval(else_branch)
+                }
+            }
+            Expr::For {
+                var, source, body, ..
+            } => self.eval_for(var.id, source, body),
+            Expr::Path(p) => self.eval_output_path(p),
+            Expr::Aggregate { func, arg } => self.eval_aggregate(*func, arg),
+            Expr::SignOff { target, role } => {
+                if self.execute_signoffs {
+                    self.exec_signoff(target, *role)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_for(&mut self, var: VarId, source: &PathExpr, body: &Expr) -> Result<(), EngineError> {
+        let (ctx, _) = self.resolve_root(&source.root)?;
+        let steps = self.compile_steps(&source.steps);
+        let binding_role = self.analysis.binding_roles[var.index()]
+            .ok_or_else(|| EngineError::Internal("for-variable without binding role".into()))?;
+        let mut cursor = PathCursor::new(&mut self.buf, ctx, steps);
+        let result = loop {
+            match cursor.advance(&mut self.buf) {
+                CursorState::Match(n) => {
+                    let mult = self.buf.role_count(n, binding_role).max(1);
+                    self.env[var.index()] = Some(Binding { node: n, mult });
+                    let r = self.eval(body);
+                    self.env[var.index()] = None;
+                    if let Err(e) = r {
+                        break Err(e);
+                    }
+                }
+                CursorState::NeedInput => {
+                    if let Err(e) = self.pull() {
+                        break Err(e);
+                    }
+                }
+                CursorState::Done => break Ok(()),
+            }
+        };
+        cursor.finish(&mut self.buf);
+        result
+    }
+
+    /// Emit the nodes selected by a path: deep copies of element subtrees,
+    /// the content of text nodes, the values of selected attributes.
+    fn eval_output_path(&mut self, p: &PathExpr) -> Result<(), EngineError> {
+        let (ctx, _) = self.resolve_root(&p.root)?;
+        let (elem_steps, attr_sel) = self.split_attr(p);
+        let elem_steps = self.compile_steps(elem_steps);
+        let mut cursor = PathCursor::new(&mut self.buf, ctx, elem_steps);
+        let result = loop {
+            match cursor.advance(&mut self.buf) {
+                CursorState::Match(n) => {
+                    let r = match attr_sel {
+                        Some(sel) => self.emit_attr(n, sel),
+                        None => self.emit_node(n),
+                    };
+                    if let Err(e) = r {
+                        break Err(e);
+                    }
+                }
+                CursorState::NeedInput => {
+                    if let Err(e) = self.pull() {
+                        break Err(e);
+                    }
+                }
+                CursorState::Done => break Ok(()),
+            }
+        };
+        cursor.finish(&mut self.buf);
+        result
+    }
+
+    fn emit_attr(&mut self, n: NodeId, sel: AttrSel) -> Result<(), EngineError> {
+        match sel {
+            AttrSel::Name(name) => {
+                if let Some(v) = self.buf.attr(n, name) {
+                    let v = v.to_string();
+                    self.out.text(&v)?;
+                }
+            }
+            AttrSel::Any => {
+                let values: Vec<String> = self
+                    .buf
+                    .attrs(n)
+                    .iter()
+                    .map(|(_, v)| v.to_string())
+                    .collect();
+                for v in values {
+                    self.out.text(&v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_node(&mut self, n: NodeId) -> Result<(), EngineError> {
+        if let Some(content) = self.buf.text_content(n) {
+            let content = content.to_string();
+            self.out.text(&content)?;
+            return Ok(());
+        }
+        // Elements are emitted whole: wait for the subtree to finish
+        // streaming, then serialize it from the buffer.
+        self.wait_closed(n)?;
+        self.buf.serialize(n, &self.symbols, &mut self.out)?;
+        Ok(())
+    }
+
+    // ---- conditions -----------------------------------------------------------
+
+    fn eval_cond(&mut self, c: &Cond) -> Result<bool, EngineError> {
+        match c {
+            Cond::True => Ok(true),
+            Cond::False => Ok(false),
+            Cond::Not(inner) => Ok(!self.eval_cond(inner)?),
+            Cond::And(a, b) => Ok(self.eval_cond(a)? && self.eval_cond(b)?),
+            Cond::Or(a, b) => Ok(self.eval_cond(a)? || self.eval_cond(b)?),
+            Cond::Exists(p) => self.eval_exists(p),
+            Cond::Compare { op, lhs, rhs } => {
+                let l = self.collect_values(lhs)?;
+                let r = self.collect_values(rhs)?;
+                Ok(compare_existential(*op, &l, &r))
+            }
+            Cond::StringFn {
+                func,
+                haystack,
+                needle,
+            } => {
+                let h = self.collect_values(haystack)?;
+                let n = self.collect_values(needle)?;
+                Ok(h.iter()
+                    .any(|hv| n.iter().any(|nv| func.apply(&hv.text, &nv.text))))
+            }
+        }
+    }
+
+    /// `exists($x/p)`: block until the first witness appears or the search
+    /// region is exhausted — the paper's "until the data is available in
+    /// the buffer or it has become evident that the data does not exist".
+    fn eval_exists(&mut self, p: &PathExpr) -> Result<bool, EngineError> {
+        let (ctx, _) = self.resolve_root(&p.root)?;
+        let (elem_steps, attr_sel) = self.split_attr(p);
+        let elem_steps = self.compile_steps(elem_steps);
+        let mut cursor = PathCursor::new(&mut self.buf, ctx, elem_steps);
+        let result = loop {
+            match cursor.advance(&mut self.buf) {
+                CursorState::Match(n) => match attr_sel {
+                    None => break Ok(true),
+                    Some(AttrSel::Any) => {
+                        if !self.buf.attrs(n).is_empty() {
+                            break Ok(true);
+                        }
+                    }
+                    Some(AttrSel::Name(a)) => {
+                        if self.buf.attr(n, a).is_some() {
+                            break Ok(true);
+                        }
+                    }
+                },
+                CursorState::NeedInput => {
+                    if let Err(e) = self.pull() {
+                        break Err(e);
+                    }
+                }
+                CursorState::Done => break Ok(false),
+            }
+        };
+        cursor.finish(&mut self.buf);
+        result
+    }
+
+    /// Collect the atomized values of an operand (blocking until the
+    /// selected subtrees are complete).
+    fn collect_values(&mut self, op: &Operand) -> Result<Vec<Value>, EngineError> {
+        match op {
+            Operand::StringLit(s) => Ok(vec![Value::from_string(s.clone())]),
+            Operand::NumberLit(v) => Ok(vec![Value {
+                text: fmt_number(*v),
+                num: Some(*v),
+            }]),
+            Operand::Path(p) => {
+                let (ctx, _) = self.resolve_root(&p.root)?;
+                let (elem_steps, attr_sel) = self.split_attr(p);
+                let elem_steps = self.compile_steps(elem_steps);
+                let mut values = Vec::new();
+                let mut cursor = PathCursor::new(&mut self.buf, ctx, elem_steps);
+                let result = loop {
+                    match cursor.advance(&mut self.buf) {
+                        CursorState::Match(n) => {
+                            let r = self.value_of(n, attr_sel, &mut values);
+                            if let Err(e) = r {
+                                break Err(e);
+                            }
+                        }
+                        CursorState::NeedInput => {
+                            if let Err(e) = self.pull() {
+                                break Err(e);
+                            }
+                        }
+                        CursorState::Done => break Ok(()),
+                    }
+                };
+                cursor.finish(&mut self.buf);
+                result?;
+                Ok(values)
+            }
+        }
+    }
+
+    fn value_of(
+        &mut self,
+        n: NodeId,
+        attr_sel: Option<AttrSel>,
+        values: &mut Vec<Value>,
+    ) -> Result<(), EngineError> {
+        match attr_sel {
+            Some(AttrSel::Name(a)) => {
+                if let Some(v) = self.buf.attr(n, a) {
+                    values.push(Value::from_string(v.to_string()));
+                }
+            }
+            Some(AttrSel::Any) => {
+                for (_, v) in self.buf.attrs(n) {
+                    values.push(Value::from_string(v.to_string()));
+                }
+            }
+            None => {
+                if !self.buf.is_text(n) {
+                    self.wait_closed(n)?;
+                }
+                self.value_scratch.clear();
+                self.buf.string_value(n, &mut self.value_scratch);
+                values.push(Value::from_string(self.value_scratch.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- aggregates (extension) ------------------------------------------------
+
+    fn eval_aggregate(&mut self, func: AggFunc, arg: &PathExpr) -> Result<(), EngineError> {
+        let values = self.collect_values(&Operand::Path(arg.clone()))?;
+        let text = match func {
+            AggFunc::Count => Some(fmt_number(values.len() as f64)),
+            AggFunc::Sum => {
+                let sum: f64 = values.iter().filter_map(|v| v.num).sum();
+                Some(fmt_number(sum))
+            }
+            AggFunc::Min => values
+                .iter()
+                .filter_map(|v| v.num)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.min(v)))
+                })
+                .map(fmt_number),
+            AggFunc::Max => values
+                .iter()
+                .filter_map(|v| v.num)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                })
+                .map(fmt_number),
+            AggFunc::Avg => {
+                let nums: Vec<f64> = values.iter().filter_map(|v| v.num).collect();
+                if nums.is_empty() {
+                    None
+                } else {
+                    Some(fmt_number(nums.iter().sum::<f64>() / nums.len() as f64))
+                }
+            }
+        };
+        if let Some(t) = text {
+            self.out.text(&t)?;
+        }
+        Ok(())
+    }
+
+    // ---- signOff execution -------------------------------------------------------
+
+    /// Execute `signOff(target, role)`: decrement role instances on every
+    /// buffered node matching the target path, with derivation
+    /// multiplicities, triggering garbage collection.
+    fn exec_signoff(&mut self, target: &PathExpr, role: RoleId) -> Result<(), EngineError> {
+        // "These commands must not be issued too early" (paper §3): a
+        // signOff over a non-empty path decrements role instances on a
+        // whole region, so that region must have finished streaming —
+        // otherwise nodes arriving later keep instances nobody will ever
+        // remove. For a variable anchor the region is the binding's
+        // subtree (block until its end tag); loop bodies that never block
+        // (e.g. attribute-only conditions) finish while the binding is
+        // still open, so this wait is load-bearing. For a query-end anchor
+        // the region is the whole document (evaluation may have
+        // short-circuited). A signOff of the anchor node itself (empty
+        // path) is always safe: roles are assigned at node creation.
+        let (ctx, mult) = self.resolve_root(&target.root)?;
+        if !target.steps.is_empty() {
+            match target.root {
+                PathRoot::Root => while self.pull()? {},
+                PathRoot::Var(_) => self.wait_closed(ctx)?,
+            }
+        }
+        // Attribute steps never appear in signOff targets (analysis strips
+        // them when deriving role paths).
+        let steps = self.compile_steps(&target.steps);
+        // Collect first (merging duplicate derivations), then decrement:
+        // decrements purge eagerly and would invalidate a live walk.
+        let mut matches: HashMap<NodeId, u32> = HashMap::new();
+        collect_derivations(&self.buf, ctx, &steps, 0, mult, &mut matches);
+        for (node, times) in matches {
+            self.buf.decrement_role(node, role, times);
+        }
+        Ok(())
+    }
+}
+
+/// Walk the buffered subtree counting derivations of `steps[i..]` from
+/// `node`; accumulate `mult × derivations` per matched node.
+fn collect_derivations(
+    buf: &BufferTree,
+    node: NodeId,
+    steps: &[EvalStep],
+    i: usize,
+    mult: u32,
+    out: &mut HashMap<NodeId, u32>,
+) {
+    if i == steps.len() {
+        *out.entry(node).or_insert(0) += mult;
+        return;
+    }
+    let step = steps[i];
+    match step.axis {
+        EAxis::Child => {
+            let mut child = buf.first_child(node);
+            while let Some(c) = child {
+                if step.test.matches(buf, c) {
+                    match step.pos {
+                        Some(k) if step.test.pred_ordinal(buf, c) != k => {}
+                        _ => collect_derivations(buf, c, steps, i + 1, mult, out),
+                    }
+                }
+                child = buf.next_sibling(c);
+            }
+        }
+        EAxis::Descendant => {
+            let mut child = buf.first_child(node);
+            while let Some(c) = child {
+                collect_dos(buf, c, steps, i, mult, out);
+                child = buf.next_sibling(c);
+            }
+        }
+        EAxis::DescendantOrSelf => collect_dos(buf, node, steps, i, mult, out),
+        EAxis::SelfAxis => {
+            if step.test.matches(buf, node) {
+                collect_derivations(buf, node, steps, i + 1, mult, out);
+            }
+        }
+    }
+}
+
+/// Descendant-or-self helper: self match, then recurse into children at the
+/// same step.
+fn collect_dos(
+    buf: &BufferTree,
+    node: NodeId,
+    steps: &[EvalStep],
+    i: usize,
+    mult: u32,
+    out: &mut HashMap<NodeId, u32>,
+) {
+    let step = steps[i];
+    if step.test.matches(buf, node) {
+        collect_derivations(buf, node, steps, i + 1, mult, out);
+    }
+    let mut child = buf.first_child(node);
+    while let Some(c) = child {
+        collect_dos(buf, c, steps, i, mult, out);
+        child = buf.next_sibling(c);
+    }
+}
+
+/// An atomized value: string plus pre-parsed numeric form.
+#[derive(Debug, Clone)]
+struct Value {
+    text: String,
+    num: Option<f64>,
+}
+
+impl Value {
+    fn from_string(text: String) -> Value {
+        let num = text.trim().parse::<f64>().ok();
+        Value { text, num }
+    }
+}
+
+/// General comparison with existential semantics: true iff some pair of
+/// values satisfies the operator. Numeric comparison when both sides are
+/// numeric, string comparison otherwise.
+fn compare_existential(op: CmpOp, lhs: &[Value], rhs: &[Value]) -> bool {
+    lhs.iter().any(|l| {
+        rhs.iter().any(|r| match (l.num, r.num) {
+            (Some(a), Some(b)) => cmp_ord(op, a.partial_cmp(&b)),
+            _ => cmp_ord(op, Some(l.text.cmp(&r.text))),
+        })
+    })
+}
+
+fn cmp_ord(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
+    use std::cmp::Ordering::*;
+    let Some(ord) = ord else { return false };
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+/// Print a number the way the output model expects (no trailing `.0`).
+pub(crate) fn fmt_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::from_string(s.to_string())
+    }
+
+    #[test]
+    fn numeric_comparison_when_both_numeric() {
+        assert!(compare_existential(CmpOp::Lt, &[v("9")], &[v("10")]));
+        // String comparison would say "9" > "10".
+        assert!(!compare_existential(CmpOp::Gt, &[v("9")], &[v("10")]));
+    }
+
+    #[test]
+    fn string_comparison_otherwise() {
+        assert!(compare_existential(CmpOp::Eq, &[v("abc")], &[v("abc")]));
+        assert!(compare_existential(CmpOp::Lt, &[v("abc")], &[v("abd")]));
+        assert!(!compare_existential(CmpOp::Eq, &[v("abc")], &[v("ABC")]));
+    }
+
+    #[test]
+    fn existential_over_sequences() {
+        let lhs = [v("1"), v("5"), v("9")];
+        let rhs = [v("5")];
+        assert!(compare_existential(CmpOp::Eq, &lhs, &rhs));
+        assert!(compare_existential(CmpOp::Gt, &lhs, &rhs));
+        assert!(compare_existential(CmpOp::Lt, &lhs, &rhs));
+        assert!(
+            !compare_existential(CmpOp::Eq, &[], &rhs),
+            "empty sequence matches nothing"
+        );
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_number(3.0), "3");
+        assert_eq!(fmt_number(3.5), "3.5");
+        assert_eq!(fmt_number(0.0), "0");
+        assert_eq!(fmt_number(-2.0), "-2");
+    }
+
+    #[test]
+    fn value_parses_numbers_with_whitespace() {
+        assert_eq!(v(" 42 ").num, Some(42.0));
+        assert_eq!(v("x42").num, None);
+    }
+}

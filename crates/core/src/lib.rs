@@ -1,0 +1,44 @@
+//! # gcx-core — the GCX streaming XQuery runtime
+//!
+//! The runtime half of the GCX system (VLDB'07): a main-memory streaming
+//! XQuery engine whose buffer manager performs **active garbage
+//! collection** — nodes are purged from the buffer the moment static roles
+//! and dynamic signOff execution prove they are irrelevant to the rest of
+//! the evaluation.
+//!
+//! The architecture mirrors the paper's Figure 2:
+//!
+//! * [`Preprojector`](stream::Preprojector) — reads the input stream, runs
+//!   the projection NFA, copies matched tokens into the buffer;
+//! * [`buffer::BufferTree`] — the buffer + role bookkeeping +
+//!   garbage collector;
+//! * the evaluator (`eval`, internal) — interprets the rewritten query,
+//!   blocking on the buffer manager for data, issuing signOffs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! let out = gcx_core::run_query(
+//!     "<books> { for $b in /bib/book return $b/title } </books>",
+//!     "<bib><book><title>Stream Processing</title><price>10</price></book></bib>",
+//! ).unwrap();
+//! assert_eq!(out, "<books><title>Stream Processing</title></books>");
+//! ```
+//!
+//! ## Configurations
+//!
+//! [`EngineOptions`] selects between the full GCX strategy
+//! (projection + active GC), projection-only, and full buffering — the
+//! comparison axis of the paper's evaluation.
+
+pub mod buffer;
+pub mod cursor;
+mod engine;
+mod error;
+mod eval;
+pub mod stream;
+
+pub use buffer::{BufferStats, BufferTree, NodeId};
+pub use engine::{run, run_query, CompiledQuery, EngineOptions, RunReport};
+pub use error::EngineError;
+pub use stream::Timeline;

@@ -1,0 +1,414 @@
+//! The stream preprojector (paper Figure 2, left component).
+//!
+//! Pulls tokens from the XML tokenizer one at a time ("a lookahead of just
+//! one token"), runs the projection NFA, and copies matched tokens into the
+//! buffer with their role instances. Irrelevant subtrees are skipped with a
+//! depth counter and zero per-path work. Every structural token — kept or
+//! skipped — advances the token counter and (optionally) samples the
+//! buffer-occupancy timeline that the paper's Figures 3 and 4 plot.
+//!
+//! For the full-buffering baseline (`project = false`) the preprojector
+//! buffers *every* element and non-whitespace text node; roles are still
+//! assigned so the evaluator and the signOff machinery behave identically.
+
+use crate::buffer::{BufferTree, NodeId, Ordinals};
+use gcx_projection::StreamMatcher;
+use gcx_xml::{Symbol, SymbolTable, Token, Tokenizer, XmlResult};
+use std::collections::HashMap;
+use std::io::Read;
+
+/// Buffer-occupancy timeline: `(token index, live buffered nodes)` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Sampled points in token order.
+    pub points: Vec<(u64, u64)>,
+    /// Sampling stride (1 = every token).
+    pub every: u64,
+}
+
+impl Timeline {
+    fn record(&mut self, token: u64, live: u64) {
+        if self.every > 0 && token.is_multiple_of(self.every) {
+            self.points.push((token, live));
+        }
+    }
+
+    /// Highest buffered-node count over the recorded samples.
+    pub fn peak(&self) -> u64 {
+        self.points.iter().map(|&(_, live)| live).max().unwrap_or(0)
+    }
+}
+
+/// One open element as the preprojector sees it.
+#[derive(Debug)]
+struct OpenEntry {
+    node: NodeId,
+    /// Whether the matcher holds a frame for this element. False only in
+    /// full-buffering mode for elements the matcher would have skipped.
+    matched: bool,
+    /// Document child counters for ordinal stamping: every child — kept,
+    /// skipped or text — bumps these, so positional predicates evaluate
+    /// against true document positions.
+    elem_children: u32,
+    text_children: u32,
+    any_children: u32,
+    by_name: HashMap<Symbol, u32>,
+}
+
+impl OpenEntry {
+    fn new(node: NodeId, matched: bool) -> OpenEntry {
+        OpenEntry {
+            node,
+            matched,
+            elem_children: 0,
+            text_children: 0,
+            any_children: 0,
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Register an element child named `name`; returns its ordinals.
+    fn next_elem(&mut self, name: Symbol) -> Ordinals {
+        self.elem_children += 1;
+        self.any_children += 1;
+        let same = self.by_name.entry(name).or_insert(0);
+        *same += 1;
+        Ordinals {
+            same_kind: *same,
+            elem: self.elem_children,
+            any: self.any_children,
+        }
+    }
+
+    /// Register a text child; returns its ordinals.
+    fn next_text(&mut self) -> Ordinals {
+        self.text_children += 1;
+        self.any_children += 1;
+        Ordinals {
+            same_kind: self.text_children,
+            elem: self.elem_children,
+            any: self.any_children,
+        }
+    }
+}
+
+/// The preprojector: tokenizer + matcher + buffer writer.
+pub struct Preprojector<R> {
+    tokenizer: Tokenizer<R>,
+    matcher: StreamMatcher,
+    /// Open *kept* elements; the top is the parent of incoming nodes.
+    open: Vec<OpenEntry>,
+    /// Depth inside a skipped subtree (0 = not skipping). Only used when
+    /// projection is enabled.
+    skip_depth: u32,
+    /// Structural tokens processed so far (start/end/text).
+    tokens: u64,
+    finished: bool,
+    /// Projection on (GCX / projection-only) or off (full buffering).
+    project: bool,
+    timeline: Option<Timeline>,
+}
+
+impl<R: Read> Preprojector<R> {
+    /// Create a preprojector over a token stream.
+    pub fn new(
+        tokenizer: Tokenizer<R>,
+        matcher: StreamMatcher,
+        project: bool,
+        timeline_every: Option<u64>,
+    ) -> Preprojector<R> {
+        Preprojector {
+            tokenizer,
+            matcher,
+            open: vec![OpenEntry::new(NodeId::ROOT, true)],
+            skip_depth: 0,
+            tokens: 0,
+            finished: false,
+            project,
+            timeline: timeline_every.map(|every| Timeline {
+                points: Vec::new(),
+                every,
+            }),
+        }
+    }
+
+    /// Structural tokens processed so far.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// True once the input has been exhausted (root closed).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Extract the recorded timeline (if enabled).
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take()
+    }
+
+    /// Process one token. Returns `false` when the input is exhausted
+    /// (after closing the virtual root). This is the `nextNode()` edge of
+    /// the paper's architecture: the buffer manager calls it until a
+    /// blocked evaluator request can be answered.
+    pub fn advance(&mut self, buf: &mut BufferTree, symbols: &mut SymbolTable) -> XmlResult<bool> {
+        if self.finished {
+            return Ok(false);
+        }
+        let Some(token) = self.tokenizer.next_token()? else {
+            self.finished = true;
+            // Close the virtual root: cursors waiting on "more children or
+            // closed" terminate.
+            buf.close(NodeId::ROOT);
+            return Ok(false);
+        };
+        match token {
+            Token::StartTag(start) => {
+                let self_closing = start.self_closing;
+                if self.skip_depth > 0 {
+                    if !self_closing {
+                        self.skip_depth += 1;
+                    }
+                } else {
+                    let name = symbols.intern(start.name);
+                    let top = self.open.last_mut().expect("open stack never empty");
+                    let ordinals = top.next_elem(name);
+                    let (top_node, top_matched) = (top.node, top.matched);
+                    // Inside an unmatched region the matcher has no frame;
+                    // children are unmatched too.
+                    let outcome = if top_matched {
+                        Some(self.matcher.enter_element(name))
+                    } else {
+                        None
+                    };
+                    let (keep, matched, roles) = match &outcome {
+                        Some(o) if o.keep => (true, true, o.roles.as_slice()),
+                        Some(_) => (!self.project, false, &[][..]),
+                        None => (true, false, &[][..]),
+                    };
+                    if keep {
+                        let attrs: Box<[(Symbol, Box<str>)]> = start
+                            .attrs
+                            .iter()
+                            .map(|a| (symbols.intern(a.name), Box::<str>::from(&*a.value)))
+                            .collect();
+                        let id = buf.append_element(top_node, name, attrs, roles, ordinals);
+                        if self_closing {
+                            if matched {
+                                self.matcher.leave_element();
+                            }
+                            buf.close(id);
+                        } else {
+                            self.open.push(OpenEntry::new(id, matched));
+                        }
+                    } else if !self_closing {
+                        self.skip_depth = 1;
+                    }
+                }
+                self.bump(buf);
+                if self_closing {
+                    // A self-closing tag stands for open+close: count both.
+                    self.bump(buf);
+                }
+            }
+            Token::EndTag { .. } => {
+                if self.skip_depth > 0 {
+                    self.skip_depth -= 1;
+                } else {
+                    let entry = self.open.pop().expect("unbalanced end tag past tokenizer");
+                    debug_assert!(entry.node != NodeId::ROOT, "root popped before EOF");
+                    if entry.matched {
+                        self.matcher.leave_element();
+                    }
+                    buf.close(entry.node);
+                }
+                self.bump(buf);
+            }
+            Token::Text(content) => {
+                if self.skip_depth == 0 {
+                    let top_matched = self.open.last().unwrap().matched;
+                    let roles = if top_matched {
+                        self.matcher.text()
+                    } else {
+                        Vec::new()
+                    };
+                    let keep = !roles.is_empty() || (!self.project && !content.trim().is_empty());
+                    let top = self.open.last_mut().unwrap();
+                    let ordinals = top.next_text();
+                    if keep {
+                        buf.append_text(top.node, &content, &roles, ordinals);
+                    }
+                }
+                self.bump(buf);
+            }
+            // Comments, PIs and the doctype are not part of the data model.
+            Token::Comment(_) | Token::ProcessingInstruction { .. } | Token::Doctype(_) => {}
+        }
+        Ok(true)
+    }
+
+    fn bump(&mut self, buf: &mut BufferTree) {
+        self.tokens += 1;
+        if let Some(t) = self.timeline.as_mut() {
+            t.record(self.tokens, buf.stats().live);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_projection::{analyze, CompiledPaths};
+    use gcx_query::compile;
+
+    /// Run the preprojector to completion; return (buffer, symbols, tokens).
+    /// Purging is enabled exactly when projecting, mirroring the engine's
+    /// presets (full buffering disables the garbage collector).
+    fn project_all(query: &str, xml: &str, project: bool) -> (BufferTree, SymbolTable, u64) {
+        let q = compile(query).unwrap();
+        let a = analyze(&q);
+        let mut symbols = SymbolTable::new();
+        let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
+        let (matcher, _root_roles) = StreamMatcher::new(compiled);
+        let mut buf = BufferTree::new(project);
+        let tokenizer = Tokenizer::from_str(xml);
+        let mut pre = Preprojector::new(tokenizer, matcher, project, Some(1));
+        while pre.advance(&mut buf, &mut symbols).unwrap() {}
+        let tokens = pre.tokens();
+        (buf, symbols, tokens)
+    }
+
+    const PAPER_QUERY: &str = r#"
+        <r> {
+          for $bib in /bib return
+            (for $x in $bib/* return
+               if (not(exists($x/price))) then $x else (),
+             for $b in $bib/book return $b/title)
+        } </r>
+    "#;
+
+    #[test]
+    fn projects_paper_prefix() {
+        // <bib><book><title/><author/></book></bib>: all five nodes carry
+        // roles (figure 1a), so all are buffered.
+        let (buf, _, tokens) = project_all(
+            PAPER_QUERY,
+            "<bib><book><title/><author/></book></bib>",
+            true,
+        );
+        // bib + book + title + author are buffered; with no signOffs
+        // executed they all remain.
+        assert_eq!(buf.stats().allocated, 4);
+        assert_eq!(tokens, 8);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn skips_irrelevant_subtrees() {
+        let (buf, _, tokens) = project_all(
+            "for $a in /x/y return $a",
+            "<x><junk><deep><deeper/></deep></junk><y>keep</y></x>",
+            true,
+        );
+        // junk subtree skipped entirely; x, y, "keep" buffered.
+        assert_eq!(buf.stats().allocated, 3);
+        assert_eq!(tokens, 11);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn speculative_prefixes_purged_on_close() {
+        // /x/y: an x with no y-children is buffered speculatively (it
+        // matched the path prefix) and reclaimed as soon as it closes
+        // with a role-free subtree.
+        let (buf, _, _) = project_all("for $a in /x/y return 'found'", "<x><z/></x>", true);
+        assert_eq!(
+            buf.stats().allocated,
+            1,
+            "only the speculative x was buffered"
+        );
+        assert_eq!(buf.stats().live, 0, "purged at its end tag");
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn document_element_not_on_any_path_skips_whole_input() {
+        let (buf, _, tokens) = project_all(
+            "for $a in /x/y return 'found'",
+            "<root><x><y/></x></root>",
+            true,
+        );
+        // `/x` requires the document element to be named x; <root> fails
+        // the very first transition, so nothing at all is buffered.
+        assert_eq!(buf.stats().allocated, 0);
+        // <root>, <x>, <y/> (counts twice), </x>, </root>
+        assert_eq!(tokens, 6);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn full_buffering_keeps_everything() {
+        let (buf, _, _) = project_all(
+            "for $a in /x/y return $a",
+            "<x><junk><deep/></junk><y>keep</y></x>",
+            false,
+        );
+        // x, junk, deep, y, text all buffered.
+        assert_eq!(buf.stats().allocated, 5);
+        assert_eq!(buf.stats().live, 5);
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn whitespace_between_elements_not_buffered() {
+        let (buf, _, _) = project_all(
+            "for $a in /x/y return 'z'",
+            "<x>\n  <y/>\n  <y/>\n</x>",
+            true,
+        );
+        // Only x and the two y elements; whitespace runs carry no roles.
+        assert_eq!(buf.stats().allocated, 3);
+    }
+
+    #[test]
+    fn token_counting_matches_paper_arithmetic() {
+        // The paper's micro documents: 10 children of 3 subelements each =
+        // 82 tags; all tags count, text would too (none here).
+        let mut doc = String::from("<bib>");
+        for i in 0..10 {
+            let t = if i == 9 { "book" } else { "article" };
+            doc.push_str(&format!(
+                "<{t}><author></author><title></title><price></price></{t}>"
+            ));
+        }
+        doc.push_str("</bib>");
+        let (_, _, tokens) = project_all(PAPER_QUERY, &doc, true);
+        assert_eq!(tokens, 82);
+    }
+
+    #[test]
+    fn timeline_records_buffer_growth_and_purge() {
+        let q = "for $a in /x/y return 'z'";
+        let query = compile(q).unwrap();
+        let a = analyze(&query);
+        let mut symbols = SymbolTable::new();
+        let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
+        let (matcher, _) = StreamMatcher::new(compiled);
+        let mut buf = BufferTree::new(true);
+        let tokenizer = Tokenizer::from_str("<x><w/><w/><y/></x>");
+        let mut pre = Preprojector::new(tokenizer, matcher, true, Some(1));
+        while pre.advance(&mut buf, &mut symbols).unwrap() {}
+        let tl = pre.take_timeline().unwrap();
+        assert_eq!(tl.points.len(), 8);
+        assert!(tl.peak() >= 2);
+        // Growth then eventual stability: last sample has x + y buffered
+        // (no signOffs executed here).
+        assert_eq!(tl.points.last().unwrap().1, 2);
+    }
+
+    #[test]
+    fn self_closing_counts_as_two_tokens() {
+        let (_, _, tokens) = project_all("for $a in /x return $a", "<x/>", true);
+        assert_eq!(tokens, 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Model-based property tests for the buffer tree: random interleavings of
+//! stream-shaped construction, role decrements, pins and closes must keep
+//! the aggregate counters consistent (`check_integrity`) and obey the GC
+//! contract (nodes with live roles/pins in their subtree are never freed;
+//! fully dead closed subtrees are always freed).
+
+use gcx_core::buffer::{BufferTree, NodeId, Ordinals};
+use gcx_query::ast::RoleId;
+use gcx_xml::Symbol;
+use proptest::prelude::*;
+
+/// A scripted operation on the buffer.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a child element under the current node with `n` role instances
+    /// of role `r`.
+    Open { role: u8, count: u8 },
+    /// Append a closed text child.
+    Text { role: u8, count: u8 },
+    /// Close the current node (move the cursor up).
+    Close,
+    /// Decrement a role on a random previously created node.
+    Decrement { node_idx: u16, role: u8, amount: u8 },
+    /// Pin a random node.
+    Pin { node_idx: u16 },
+    /// Unpin (only executed if we pinned it before).
+    Unpin { node_idx: u16 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 0u8..3).prop_map(|(role, count)| Op::Open { role, count }),
+        2 => (0u8..4, 0u8..3).prop_map(|(role, count)| Op::Text { role, count }),
+        4 => Just(Op::Close),
+        3 => (0u16..64, 0u8..4, 1u8..3)
+            .prop_map(|(node_idx, role, amount)| Op::Decrement { node_idx, role, amount }),
+        1 => (0u16..64u16,).prop_map(|(node_idx,)| Op::Pin { node_idx }),
+        1 => (0u16..64u16,).prop_map(|(node_idx,)| Op::Unpin { node_idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_op_sequences_keep_invariants(ops in prop::collection::vec(op(), 1..120)) {
+        let mut buf = BufferTree::new(true);
+        // Stream cursor: stack of open nodes.
+        let mut open: Vec<NodeId> = vec![NodeId::ROOT];
+        // All created nodes (may be dead).
+        let mut created: Vec<NodeId> = Vec::new();
+        // Pins we hold: (node, count).
+        let mut pins: Vec<NodeId> = Vec::new();
+        let mut child_seq = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Open { role, count } => {
+                    let parent = *open.last().unwrap();
+                    child_seq += 1;
+                    let ords = Ordinals { same_kind: child_seq, elem: child_seq, any: child_seq };
+                    let roles: &[(RoleId, u32)] = &[(RoleId(role as u32), count as u32)];
+                    let roles = if count == 0 { &[][..] } else { roles };
+                    let id = buf.append_element(parent, Symbol(role as u32), Box::new([]), roles, ords);
+                    open.push(id);
+                    created.push(id);
+                }
+                Op::Text { role, count } => {
+                    let parent = *open.last().unwrap();
+                    // Engine contract: role-less text is only ever buffered
+                    // below an element that will close (and purge it); the
+                    // preprojector never appends role-less text at the
+                    // document level. Model that contract here.
+                    if count == 0 && parent == NodeId::ROOT {
+                        continue;
+                    }
+                    child_seq += 1;
+                    let ords = Ordinals { same_kind: child_seq, elem: child_seq, any: child_seq };
+                    let roles: &[(RoleId, u32)] = &[(RoleId(role as u32), count as u32)];
+                    let roles = if count == 0 { &[][..] } else { roles };
+                    let id = buf.append_text(parent, "t", roles, ords);
+                    created.push(id);
+                }
+                Op::Close => {
+                    if open.len() > 1 {
+                        let id = open.pop().unwrap();
+                        buf.close(id);
+                    }
+                }
+                Op::Decrement { node_idx, role, amount } => {
+                    if let Some(&id) = created.get(node_idx as usize) {
+                        // The node may have been purged: only touch live ids.
+                        if is_live(&buf, id, &open, &pins) {
+                            buf.decrement_role(id, RoleId(role as u32), amount as u32);
+                        }
+                    }
+                }
+                Op::Pin { node_idx } => {
+                    if let Some(&id) = created.get(node_idx as usize) {
+                        if is_live(&buf, id, &open, &pins) {
+                            buf.pin(id);
+                            pins.push(id);
+                        }
+                    }
+                }
+                Op::Unpin { node_idx } => {
+                    if let Some(&id) = created.get(node_idx as usize) {
+                        if let Some(pos) = pins.iter().position(|&p| p == id) {
+                            pins.remove(pos);
+                            buf.unpin(id);
+                        }
+                    }
+                }
+            }
+            buf.check_integrity();
+        }
+        // Drain: close everything, release pins, decrement all roles.
+        while open.len() > 1 {
+            let id = open.pop().unwrap();
+            buf.close(id);
+        }
+        for id in pins.drain(..) {
+            buf.unpin(id);
+        }
+        buf.check_integrity();
+        // Remove every remaining role instance: the buffer must empty.
+        // A decrement can purge the node (and relatives), so re-check
+        // liveness before every touch.
+        for &id in &created {
+            for r in 0..4u32 {
+                if is_live(&buf, id, &open, &pins) {
+                    buf.decrement_role(id, RoleId(r), u32::MAX);
+                }
+            }
+        }
+        buf.close(NodeId::ROOT);
+        buf.check_integrity();
+        prop_assert_eq!(buf.stats().live, 0, "fully signed-off closed buffer must drain");
+    }
+}
+
+/// Conservative liveness check: a created node is known-live if it is still
+/// reachable from the root (the buffer reuses slots, so a stale id could
+/// alias a new node; walking down from the root avoids the debug
+/// generation assertion entirely).
+fn is_live(buf: &BufferTree, id: NodeId, open: &[NodeId], pins: &[NodeId]) -> bool {
+    // Open nodes and pinned nodes are always live.
+    if open.contains(&id) || pins.contains(&id) {
+        return true;
+    }
+    fn walk(buf: &BufferTree, cur: NodeId, target: NodeId) -> bool {
+        if cur == target {
+            return true;
+        }
+        let mut child = buf.first_child(cur);
+        while let Some(c) = child {
+            if walk(buf, c, target) {
+                return true;
+            }
+            child = buf.next_sibling(c);
+        }
+        false
+    }
+    walk(buf, NodeId::ROOT, id)
+}

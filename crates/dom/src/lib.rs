@@ -1,0 +1,27 @@
+//! # gcx-dom — in-memory DOM and naive XQuery evaluator
+//!
+//! The full-buffering baseline of the GCX experiments: load the entire
+//! document into a DOM, then evaluate the query recursively. This is the
+//! qualitative behaviour of the conventional in-memory engines the paper
+//! compares against (Galax, Saxon, QizX): memory linear in the input, no
+//! streaming, no projection, no garbage collection.
+//!
+//! The implementation is deliberately **independent** of `gcx-core` — same
+//! AST, same output model, different code — so it doubles as a
+//! differential-testing oracle: property tests assert that GCX (all three
+//! buffer configurations) and this evaluator produce byte-identical
+//! results.
+//!
+//! ```
+//! let out = gcx_dom::run_query(
+//!     "<books>{ for $b in /bib/book return $b/title }</books>",
+//!     "<bib><book><title>T</title></book></bib>",
+//! ).unwrap();
+//! assert_eq!(out, "<books><title>T</title></books>");
+//! ```
+
+mod eval;
+mod tree;
+
+pub use eval::{run, run_query, DomError};
+pub use tree::{Dom, DomId, DomNode};

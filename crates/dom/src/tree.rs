@@ -1,0 +1,215 @@
+//! A straightforward DOM: the whole document as an owned tree.
+
+use gcx_xml::{Token, Tokenizer, XmlResult, XmlWriter};
+use std::io::Read;
+
+/// Index of a node in the DOM arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomId(pub u32);
+
+/// A DOM node.
+#[derive(Debug, Clone)]
+pub enum DomNode {
+    /// An element with its tag, attributes and children (in order).
+    Element {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Children ids in document order.
+        children: Vec<DomId>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+/// The document: arena of nodes plus the top-level children.
+#[derive(Debug, Clone, Default)]
+pub struct Dom {
+    nodes: Vec<DomNode>,
+    /// Document-level children (normally a single document element).
+    pub roots: Vec<DomId>,
+}
+
+impl Dom {
+    /// Parse a full document from a reader.
+    pub fn parse<R: Read>(input: R) -> XmlResult<Dom> {
+        let mut t = Tokenizer::new(input);
+        let mut dom = Dom::default();
+        // Stack of open element ids.
+        let mut open: Vec<DomId> = Vec::new();
+        while let Some(tok) = t.next_token()? {
+            match tok {
+                Token::StartTag(s) => {
+                    let id = DomId(dom.nodes.len() as u32);
+                    dom.nodes.push(DomNode::Element {
+                        name: s.name.to_string(),
+                        attrs: s
+                            .attrs
+                            .iter()
+                            .map(|a| (a.name.to_string(), a.value.to_string()))
+                            .collect(),
+                        children: Vec::new(),
+                    });
+                    let self_closing = s.self_closing;
+                    match open.last() {
+                        Some(&p) => dom.push_child(p, id),
+                        None => dom.roots.push(id),
+                    }
+                    if !self_closing {
+                        open.push(id);
+                    }
+                }
+                Token::EndTag { .. } => {
+                    open.pop();
+                }
+                Token::Text(content) => {
+                    // Text between top-level constructs (whitespace only,
+                    // per well-formedness) is ignored, like the streaming
+                    // engine does.
+                    if let Some(&p) = open.last() {
+                        let id = DomId(dom.nodes.len() as u32);
+                        dom.nodes.push(DomNode::Text(content.to_string()));
+                        dom.push_child(p, id);
+                    }
+                }
+                Token::Comment(_) | Token::ProcessingInstruction { .. } | Token::Doctype(_) => {}
+            }
+        }
+        Ok(dom)
+    }
+
+    fn push_child(&mut self, parent: DomId, child: DomId) {
+        match &mut self.nodes[parent.0 as usize] {
+            DomNode::Element { children, .. } => children.push(child),
+            DomNode::Text(_) => unreachable!("text nodes have no children"),
+        }
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: DomId) -> &DomNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Total nodes (elements + text) — the memory proxy of this baseline.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty document (nothing parsed).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Children of a node (empty for text).
+    pub fn children(&self, id: DomId) -> &[DomId] {
+        match self.node(id) {
+            DomNode::Element { children, .. } => children,
+            DomNode::Text(_) => &[],
+        }
+    }
+
+    /// Element name, if an element.
+    pub fn name(&self, id: DomId) -> Option<&str> {
+        match self.node(id) {
+            DomNode::Element { name, .. } => Some(name),
+            DomNode::Text(_) => None,
+        }
+    }
+
+    /// True for text nodes.
+    pub fn is_text(&self, id: DomId) -> bool {
+        matches!(self.node(id), DomNode::Text(_))
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, id: DomId, name: &str) -> Option<&str> {
+        match self.node(id) {
+            DomNode::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str()),
+            DomNode::Text(_) => None,
+        }
+    }
+
+    /// All attributes (empty for text nodes).
+    pub fn attrs(&self, id: DomId) -> &[(String, String)] {
+        match self.node(id) {
+            DomNode::Element { attrs, .. } => attrs,
+            DomNode::Text(_) => &[],
+        }
+    }
+
+    /// XPath string value: concatenated subtree text.
+    pub fn string_value(&self, id: DomId, out: &mut String) {
+        match self.node(id) {
+            DomNode::Text(t) => out.push_str(t),
+            DomNode::Element { children, .. } => {
+                for &c in children {
+                    self.string_value(c, out);
+                }
+            }
+        }
+    }
+
+    /// Serialize a subtree.
+    pub fn serialize<W: std::io::Write>(&self, id: DomId, w: &mut XmlWriter<W>) -> XmlResult<()> {
+        match self.node(id) {
+            DomNode::Text(t) => w.text(t),
+            DomNode::Element {
+                name,
+                attrs,
+                children,
+            } => {
+                w.start_element(name)?;
+                for (k, v) in attrs {
+                    w.attribute(k, v)?;
+                }
+                for &c in children {
+                    self.serialize(c, w)?;
+                }
+                w.end_element()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let dom = Dom::parse("<a><b x=\"1\">hi</b><c/></a>".as_bytes()).unwrap();
+        assert_eq!(dom.roots.len(), 1);
+        let a = dom.roots[0];
+        assert_eq!(dom.name(a), Some("a"));
+        assert_eq!(dom.children(a).len(), 2);
+        let b = dom.children(a)[0];
+        assert_eq!(dom.attr(b, "x"), Some("1"));
+        assert_eq!(dom.len(), 4);
+    }
+
+    #[test]
+    fn string_value_concatenates() {
+        let dom = Dom::parse("<a>x<b>y</b>z</a>".as_bytes()).unwrap();
+        let mut s = String::new();
+        dom.string_value(dom.roots[0], &mut s);
+        assert_eq!(s, "xyz");
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let doc = "<a k=\"v&amp;w\"><b>1 &lt; 2</b><c/></a>";
+        let dom = Dom::parse(doc.as_bytes()).unwrap();
+        let mut w = XmlWriter::new(Vec::new());
+        dom.serialize(dom.roots[0], &mut w).unwrap();
+        assert_eq!(String::from_utf8(w.finish().unwrap()).unwrap(), doc);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(Dom::parse("<a><b></a>".as_bytes()).is_err());
+    }
+}

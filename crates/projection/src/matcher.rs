@@ -1,0 +1,618 @@
+//! Streaming projection-path matcher.
+//!
+//! The stream preprojector runs this NFA over the tag stream to decide,
+//! with one token of lookahead (paper §3), (a) whether a token is matched
+//! by any projection path and must be buffered, and (b) which role
+//! instances the buffered node receives.
+//!
+//! ## State model
+//!
+//! A state `(path, i)` on a node `n` means: one derivation has matched the
+//! first `i` steps of `path`, with `n` as the context node for step `i`.
+//! States carry **counts** — the number of distinct derivations — because a
+//! descendant axis can reach the same node several ways, and the paper's
+//! role semantics is a multiset ("a role can be assigned to a node multiple
+//! times").
+//!
+//! * `child::t` consumes the step when a matching child is entered;
+//! * `descendant::t` both propagates (deeper descendants) and consumes;
+//! * `descendant-or-self::t` / `self::t` additionally consume *in place*
+//!   (epsilon closure) — this is how `descendant-or-self::node()` roles
+//!   land on every node of a subtree;
+//! * a state `(path, len)` is a completed match: the node receives
+//!   `path`'s role with the state's count;
+//! * positional predicates (`[k]`, child axis only) are counted per parent
+//!   frame, so `price[1]` matches only the first price child (the paper's
+//!   first-witness role r4).
+//!
+//! A token whose pre-closure state set is empty can be skipped **together
+//! with its entire subtree** — no projection path can match inside. The
+//! preprojector uses this for constant-time skipping of irrelevant regions.
+
+use crate::roles::RoleTable;
+use gcx_query::ast::{Axis, NodeTest, Pred, RoleId};
+use gcx_xml::{Symbol, SymbolTable};
+
+/// A node test compiled against the symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CTest {
+    Name(Symbol),
+    Star,
+    Text,
+    AnyNode,
+}
+
+impl CTest {
+    /// Does an element with tag `name` pass?
+    #[inline]
+    fn matches_element(self, name: Symbol) -> bool {
+        match self {
+            CTest::Name(s) => s == name,
+            CTest::Star | CTest::AnyNode => true,
+            CTest::Text => false,
+        }
+    }
+
+    /// Does a text node pass?
+    #[inline]
+    fn matches_text(self) -> bool {
+        matches!(self, CTest::Text | CTest::AnyNode)
+    }
+}
+
+/// One compiled step.
+#[derive(Debug, Clone, Copy)]
+struct CStep {
+    axis: Axis,
+    test: CTest,
+    /// 1-based position for `[k]` predicates (child axis only).
+    pos: Option<u32>,
+}
+
+/// All projection paths of a query, compiled against a symbol table.
+#[derive(Debug, Clone)]
+pub struct CompiledPaths {
+    /// Steps of all paths, flattened.
+    steps: Vec<CStep>,
+    /// `paths[p] = (first_step, len, role)`.
+    paths: Vec<(u32, u32, RoleId)>,
+}
+
+/// Dense state id: index of the *next* step to match. A state equal to the
+/// path's end offset is a completed match.
+type StateId = u32;
+
+impl CompiledPaths {
+    /// Compile the role table's absolute paths, interning names.
+    ///
+    /// Attribute steps never reach the matcher: the analysis strips them
+    /// (roles land on the owning element).
+    pub fn compile(roles: &RoleTable, symbols: &mut SymbolTable) -> CompiledPaths {
+        let mut steps = Vec::new();
+        let mut paths = Vec::new();
+        for role in roles.iter() {
+            let first = steps.len() as u32;
+            for step in &role.abs {
+                assert_ne!(
+                    step.axis,
+                    Axis::Attribute,
+                    "attribute steps are stripped by analysis"
+                );
+                let test = match &step.test {
+                    NodeTest::Name(n) => CTest::Name(symbols.intern(n)),
+                    NodeTest::Star => CTest::Star,
+                    NodeTest::Text => CTest::Text,
+                    NodeTest::AnyNode => CTest::AnyNode,
+                };
+                let pos = step.pred.map(|Pred::Position(k)| k);
+                steps.push(CStep {
+                    axis: step.axis,
+                    test,
+                    pos,
+                });
+            }
+            paths.push((first, role.abs.len() as u32, role.id));
+        }
+        CompiledPaths { steps, paths }
+    }
+
+    /// Number of compiled paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when there are no paths (degenerate queries).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Role instances granted to one node.
+pub type RoleAssignment = Vec<(RoleId, u32)>;
+
+/// Outcome of entering an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementOutcome {
+    /// False: no projection path can match this element or anything below
+    /// it — the caller must skip the whole subtree (and must NOT call
+    /// `leave_element`).
+    pub keep: bool,
+    /// Role instances for the node (empty for speculative keeps).
+    pub roles: RoleAssignment,
+}
+
+/// A state with its derivation count: `(path index, state id, count)`.
+#[derive(Debug, Clone, Copy)]
+struct St {
+    path: u32,
+    sid: StateId,
+    count: u32,
+}
+
+/// Per-open-element matcher frame.
+#[derive(Debug, Default, Clone)]
+struct Frame {
+    /// Post-closure states whose next step can still consume children.
+    states: Vec<St>,
+    /// Predicate counters: (state id of the predicated step, matches seen).
+    pred_seen: Vec<(StateId, u32)>,
+}
+
+/// The streaming matcher. One instance per engine run.
+#[derive(Debug)]
+pub struct StreamMatcher {
+    compiled: CompiledPaths,
+    frames: Vec<Frame>,
+    /// Scratch for building child state sets.
+    scratch: Vec<St>,
+}
+
+impl StreamMatcher {
+    /// Create the matcher and compute the document root's roles (paths with
+    /// zero steps, e.g. the paper's `r1: /`).
+    pub fn new(compiled: CompiledPaths) -> (StreamMatcher, RoleAssignment) {
+        let mut root = Frame::default();
+        let mut root_roles = Vec::new();
+        for (p, &(first, len, role)) in compiled.paths.iter().enumerate() {
+            if len == 0 {
+                root_roles.push((role, 1));
+            } else {
+                root.states.push(St {
+                    path: p as u32,
+                    sid: first,
+                    count: 1,
+                });
+            }
+        }
+        // The document root is a node: run closure for leading
+        // self/descendant-or-self steps (e.g. role `/descendant-or-self...`).
+        let mut m = StreamMatcher {
+            compiled,
+            frames: vec![root],
+            scratch: Vec::new(),
+        };
+        let mut completions = Vec::new();
+        m.close_element_states(0, &mut completions);
+        merge_roles(&mut root_roles, completions);
+        (m, root_roles)
+    }
+
+    /// Current nesting depth (document root frame excluded).
+    pub fn depth(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    /// Epsilon-closure of the frame at `frames[idx]` treating it as an
+    /// element node: `self::`/`descendant-or-self::` steps that match an
+    /// element consume in place. Completed paths are appended to `out`.
+    fn close_element_states(&mut self, idx: usize, out: &mut Vec<(RoleId, u32)>) {
+        // The frame's element name is not needed: the only tests that can
+        // consume in place on an element are Star/AnyNode (name-tested
+        // self steps would need the name; the closure below receives it
+        // from the caller via `enter_element` for the initial transition —
+        // for in-place closure we must know the name, so it is threaded
+        // through `closure_with_name` instead). This method handles the
+        // virtual document root, which only `node()` tests can match.
+        self.closure_with_name(idx, None, out);
+    }
+
+    /// Run the epsilon closure on `frames[idx]`. `name` is the element's
+    /// tag (None for the virtual document root, Some for real elements).
+    fn closure_with_name(
+        &mut self,
+        idx: usize,
+        name: Option<Symbol>,
+        out: &mut Vec<(RoleId, u32)>,
+    ) {
+        let mut i = 0;
+        while i < self.frames[idx].states.len() {
+            let st = self.frames[idx].states[i];
+            let (first, len, role) = self.compiled.paths[st.path as usize];
+            if st.sid == first + len {
+                // Completed match: assign the role, drop the state.
+                out.push((role, st.count));
+                self.frames[idx].states.swap_remove(i);
+                continue;
+            }
+            let step = self.compiled.steps[st.sid as usize];
+            let consumes_in_place = match step.axis {
+                Axis::SelfAxis | Axis::DescendantOrSelf => match name {
+                    Some(n) => step.test.matches_element(n),
+                    // The virtual document root: only node() matches it.
+                    None => step.test == CTest::AnyNode,
+                },
+                _ => false,
+            };
+            if consumes_in_place {
+                // Self steps are consumed (state replaced); desc-or-self
+                // steps both consume and persist for deeper matches.
+                let advanced = St {
+                    path: st.path,
+                    sid: st.sid + 1,
+                    count: st.count,
+                };
+                if step.axis == Axis::SelfAxis {
+                    self.frames[idx].states[i] = advanced;
+                    // Re-examine the same slot (it may complete or chain).
+                    continue;
+                } else {
+                    push_state(&mut self.frames[idx].states, advanced);
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Process an element start tag. When the result's `keep` is false the
+    /// caller skips the subtree and must not call [`StreamMatcher::leave_element`]
+    /// for it.
+    pub fn enter_element(&mut self, name: Symbol) -> ElementOutcome {
+        self.scratch.clear();
+        let parent = self.frames.len() - 1;
+        // Transitions from the parent's states to this child.
+        // Split borrows: iterate over a temporary copy of indices to allow
+        // predicate counting on the parent frame.
+        for si in 0..self.frames[parent].states.len() {
+            let st = self.frames[parent].states[si];
+            let step = self.compiled.steps[st.sid as usize];
+            match step.axis {
+                Axis::Child => {
+                    if step.test.matches_element(name) {
+                        let passes = match step.pos {
+                            None => true,
+                            Some(k) => {
+                                let seen = bump_pred(&mut self.frames[parent].pred_seen, st.sid);
+                                seen == k
+                            }
+                        };
+                        if passes {
+                            push_state(
+                                &mut self.scratch,
+                                St {
+                                    path: st.path,
+                                    sid: st.sid + 1,
+                                    count: st.count,
+                                },
+                            );
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    // Propagate for deeper descendants...
+                    push_state(&mut self.scratch, st);
+                    // ...and consume if this child matches.
+                    if step.test.matches_element(name) {
+                        push_state(
+                            &mut self.scratch,
+                            St {
+                                path: st.path,
+                                sid: st.sid + 1,
+                                count: st.count,
+                            },
+                        );
+                    }
+                }
+                Axis::DescendantOrSelf => {
+                    // The self part was handled by the parent's closure;
+                    // here only the "descendant" part remains: propagate.
+                    push_state(&mut self.scratch, st);
+                }
+                Axis::SelfAxis => {
+                    // Fully handled by closure on the parent; nothing
+                    // transitions to children.
+                }
+                Axis::Attribute => unreachable!("attribute steps stripped by analysis"),
+            }
+        }
+        if self.scratch.is_empty() {
+            return ElementOutcome {
+                keep: false,
+                roles: Vec::new(),
+            };
+        }
+        let mut frame = Frame::default();
+        std::mem::swap(&mut frame.states, &mut self.scratch);
+        self.frames.push(frame);
+        let idx = self.frames.len() - 1;
+        let mut roles = Vec::new();
+        self.closure_with_name(idx, Some(name), &mut roles);
+        dedupe_roles(&mut roles);
+        ElementOutcome { keep: true, roles }
+    }
+
+    /// Process the end tag of a kept element.
+    pub fn leave_element(&mut self) {
+        debug_assert!(self.frames.len() > 1, "leave_element on document root");
+        self.frames.pop();
+    }
+
+    /// Roles for a text child of the current element. Text nodes have no
+    /// children, so no frame is pushed; an empty result means the text is
+    /// irrelevant and is not buffered.
+    pub fn text(&mut self) -> RoleAssignment {
+        let parent = self.frames.len() - 1;
+        let mut roles: Vec<(RoleId, u32)> = Vec::new();
+        for si in 0..self.frames[parent].states.len() {
+            let st = self.frames[parent].states[si];
+            let (first, len, role) = self.compiled.paths[st.path as usize];
+            let step = self.compiled.steps[st.sid as usize];
+            // A text node can only complete a path whose FINAL step it
+            // matches: any continuation would need children.
+            let is_final = st.sid + 1 == first + len;
+            let completes = match step.axis {
+                Axis::Child => {
+                    step.test.matches_text() && is_final && {
+                        match step.pos {
+                            None => true,
+                            Some(k) => {
+                                let seen = bump_pred(&mut self.frames[parent].pred_seen, st.sid);
+                                seen == k
+                            }
+                        }
+                    }
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => step.test.matches_text() && is_final,
+                Axis::SelfAxis => false,
+                Axis::Attribute => unreachable!(),
+            };
+            if completes {
+                roles.push((role, st.count));
+            }
+        }
+        dedupe_roles(&mut roles);
+        roles
+    }
+}
+
+/// Add a state, merging counts with an existing equal (path, sid) state.
+fn push_state(states: &mut Vec<St>, st: St) {
+    for existing in states.iter_mut() {
+        if existing.path == st.path && existing.sid == st.sid {
+            existing.count += st.count;
+            return;
+        }
+    }
+    states.push(st);
+}
+
+/// Increment and return the match count for a predicated step in a frame.
+fn bump_pred(pred_seen: &mut Vec<(StateId, u32)>, sid: StateId) -> u32 {
+    for (s, n) in pred_seen.iter_mut() {
+        if *s == sid {
+            *n += 1;
+            return *n;
+        }
+    }
+    pred_seen.push((sid, 1));
+    1
+}
+
+/// Sum counts of duplicate roles.
+fn dedupe_roles(roles: &mut Vec<(RoleId, u32)>) {
+    if roles.len() < 2 {
+        return;
+    }
+    roles.sort_unstable_by_key(|&(r, _)| r);
+    let mut w = 0;
+    for i in 0..roles.len() {
+        if w > 0 && roles[w - 1].0 == roles[i].0 {
+            roles[w - 1].1 += roles[i].1;
+        } else {
+            roles[w] = roles[i];
+            w += 1;
+        }
+    }
+    roles.truncate(w);
+}
+
+/// Merge role lists, summing counts.
+fn merge_roles(into: &mut Vec<(RoleId, u32)>, from: Vec<(RoleId, u32)>) {
+    into.extend(from);
+    dedupe_roles(into);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use gcx_query::compile;
+
+    /// Build a matcher for the projection paths of `query`.
+    fn matcher_for(query: &str) -> (StreamMatcher, RoleAssignment, SymbolTable, RoleTable) {
+        let q = compile(query).unwrap();
+        let a = analyze(&q);
+        let mut symbols = SymbolTable::new();
+        let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
+        let (m, root_roles) = StreamMatcher::new(compiled);
+        (m, root_roles, symbols, a.roles)
+    }
+
+    const PAPER_QUERY: &str = r#"
+        <r> {
+          for $bib in /bib return
+            (for $x in $bib/* return
+               if (not(exists($x/price))) then $x else (),
+             for $b in $bib/book return $b/title)
+        } </r>
+    "#;
+
+    /// Roles as a sorted display list like `["r2*1", ...]`.
+    fn fmt_roles(roles: &RoleAssignment) -> Vec<String> {
+        let mut v: Vec<String> = roles.iter().map(|(r, c)| format!("{r}*{c}")).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn paper_figure1_role_assignment() {
+        // Input prefix: <bib><book><title/><author/></book>
+        let (mut m, root_roles, mut sy, _) = matcher_for(PAPER_QUERY);
+        assert_eq!(fmt_roles(&root_roles), ["r1*1"]);
+
+        let bib = m.enter_element(sy.intern("bib"));
+        assert!(bib.keep);
+        assert_eq!(fmt_roles(&bib.roles), ["r2*1"]);
+
+        let book = m.enter_element(sy.intern("book"));
+        assert!(book.keep);
+        // The paper's Figure 1(a): book{r3, r5, r6}.
+        assert_eq!(fmt_roles(&book.roles), ["r3*1", "r5*1", "r6*1"]);
+
+        let title = m.enter_element(sy.intern("title"));
+        // title{r5, r7}.
+        assert_eq!(fmt_roles(&title.roles), ["r5*1", "r7*1"]);
+        m.leave_element();
+
+        let author = m.enter_element(sy.intern("author"));
+        // author{r5}.
+        assert_eq!(fmt_roles(&author.roles), ["r5*1"]);
+        m.leave_element();
+
+        m.leave_element(); // book
+        m.leave_element(); // bib
+        assert_eq!(m.depth(), 0);
+    }
+
+    #[test]
+    fn price_first_witness_only() {
+        let (mut m, _, mut sy, _) = matcher_for(PAPER_QUERY);
+        m.enter_element(sy.intern("bib"));
+        m.enter_element(sy.intern("article"));
+        let p1 = m.enter_element(sy.intern("price"));
+        // First price: r4 (witness) + r5 (subtree).
+        assert_eq!(fmt_roles(&p1.roles), ["r4*1", "r5*1"]);
+        m.leave_element();
+        let p2 = m.enter_element(sy.intern("price"));
+        // Second price: only r5.
+        assert_eq!(fmt_roles(&p2.roles), ["r5*1"]);
+        m.leave_element();
+    }
+
+    #[test]
+    fn irrelevant_subtrees_are_skippable() {
+        let (mut m, _, mut sy, _) = matcher_for("for $a in /x/y return $a");
+        m.enter_element(sy.intern("x"));
+        let z = m.enter_element(sy.intern("z"));
+        assert!(!z.keep, "no projection path can match under /x/z");
+        // Caller would skip; no leave_element for z.
+        let y = m.enter_element(sy.intern("y"));
+        assert!(y.keep);
+    }
+
+    #[test]
+    fn text_nodes_matched_by_subtree_roles() {
+        let (mut m, _, mut sy, _) = matcher_for("for $a in /x return $a");
+        m.enter_element(sy.intern("x"));
+        let roles = m.text();
+        assert_eq!(roles.len(), 1, "descendant-or-self::node() matches text");
+    }
+
+    #[test]
+    fn text_nodes_not_matched_without_text_roles() {
+        let (mut m, _, mut sy, _) = matcher_for("for $a in /x/y return $a");
+        m.enter_element(sy.intern("x"));
+        let roles = m.text();
+        assert!(
+            roles.is_empty(),
+            "text under /x is not on any projection path"
+        );
+    }
+
+    #[test]
+    fn explicit_text_step() {
+        let (mut m, _, mut sy, _) = matcher_for("for $a in /x return $a/text()");
+        m.enter_element(sy.intern("x"));
+        let roles = m.text();
+        // binding role of $a does not land on text; the text() role does.
+        assert_eq!(roles.len(), 1);
+    }
+
+    #[test]
+    fn descendant_axis_multiplicity() {
+        // /descendant::a/descendant::b: b under two nested a's gets the
+        // binding role twice (two derivations).
+        let (mut m, _, mut sy, _) = matcher_for("for $v in //a//b return if ($v/m = 1) then 'x'");
+        let a1 = m.enter_element(sy.intern("a"));
+        assert!(a1.keep);
+        let a2 = m.enter_element(sy.intern("a"));
+        assert!(a2.keep);
+        let b = m.enter_element(sy.intern("b"));
+        let binding = b
+            .roles
+            .iter()
+            .find(|(r, _)| *r == gcx_query::ast::RoleId(1))
+            .unwrap();
+        assert_eq!(binding.1, 2, "two derivations through the two a-ancestors");
+    }
+
+    #[test]
+    fn descendant_or_self_assigns_to_whole_subtree() {
+        let (mut m, _, mut sy, _) = matcher_for("for $a in /x return $a");
+        // Role r3 = /x/descendant-or-self::node() must hit x, child, grandchild.
+        let x = m.enter_element(sy.intern("x"));
+        assert!(
+            fmt_roles(&x.roles).iter().any(|s| s.starts_with("r3")),
+            "{:?}",
+            x.roles
+        );
+        let c = m.enter_element(sy.intern("c"));
+        assert_eq!(fmt_roles(&c.roles), ["r3*1"]);
+        let g = m.enter_element(sy.intern("g"));
+        assert_eq!(fmt_roles(&g.roles), ["r3*1"]);
+    }
+
+    #[test]
+    fn star_matches_any_element() {
+        let (mut m, _, mut sy, _) = matcher_for("for $a in /x/* return 'y'");
+        m.enter_element(sy.intern("x"));
+        assert!(m.enter_element(sy.intern("anything")).keep);
+        m.leave_element();
+        assert!(m.enter_element(sy.intern("other")).keep);
+    }
+
+    #[test]
+    fn root_only_query_keeps_nothing() {
+        // A query using no input at all: only r1 on the root; every element
+        // is skippable.
+        let (mut m, root_roles, mut sy, _) = matcher_for("'constant'");
+        assert_eq!(root_roles.len(), 1);
+        let e = m.enter_element(sy.intern("anything"));
+        assert!(!e.keep);
+    }
+
+    #[test]
+    fn deep_nesting_stays_linear() {
+        let (mut m, _, mut sy, _) = matcher_for("for $a in //deep return $a");
+        let d = sy.intern("d");
+        for _ in 0..10_000 {
+            let o = m.enter_element(d);
+            assert!(o.keep, "descendant search keeps probing");
+        }
+        for _ in 0..10_000 {
+            m.leave_element();
+        }
+        assert_eq!(m.depth(), 0);
+    }
+}

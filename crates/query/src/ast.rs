@@ -1,0 +1,500 @@
+//! Abstract syntax for the GCX XQuery fragment.
+//!
+//! The same AST is shared by all three evaluators (streaming GCX, the
+//! projection-only configuration and the DOM baseline) and by the static
+//! analyzer. After [`crate::normalize`] it is guaranteed that
+//!
+//! * every variable use is bound, and every binder has a unique dense
+//!   [`VarId`] (shadowing is resolved by alpha-renaming);
+//! * `where` clauses have been desugared into `if` expressions;
+//! * paths carry the variable (or document root) they are rooted at.
+//!
+//! `signOff` statements ([`Expr::SignOff`]) never come from the parser — the
+//! static analyzer (`gcx-projection`) inserts them when rewriting the query,
+//! exactly as the paper's compile-time rewriting does.
+
+use std::fmt;
+
+/// Position (1-based line/column) in query text, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Dense index of a for-variable, assigned by normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Placeholder used by the parser before normalization assigns real ids.
+    pub const UNASSIGNED: VarId = VarId(u32::MAX);
+
+    /// Index into a bindings vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A variable: its (possibly alpha-renamed) name plus its dense id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Var {
+    /// Name without the `$` sigil.
+    pub name: String,
+    /// Dense binder index ([`VarId::UNASSIGNED`] before normalization).
+    pub id: VarId,
+}
+
+/// Role identifier assigned by static analysis (the paper's r1, r2, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoleId(pub u32);
+
+impl RoleId {
+    /// Index into the role table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RoleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0 + 1)
+    }
+}
+
+/// XPath axes supported by the fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child::` (the default axis).
+    Child,
+    /// `descendant::` (`//` abbreviation).
+    Descendant,
+    /// `descendant-or-self::`.
+    DescendantOrSelf,
+    /// `self::`.
+    SelfAxis,
+    /// `attribute::` (`@` abbreviation). Attribute steps are terminal.
+    Attribute,
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A name test (element name, or attribute name on the attribute axis).
+    Name(String),
+    /// `*` — any element (any attribute on the attribute axis).
+    Star,
+    /// `text()` — text nodes.
+    Text,
+    /// `node()` — any node (element or text).
+    AnyNode,
+}
+
+/// Step predicate. The fragment supports positional selection, which the
+/// paper uses for first-witness roles (`price[1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// `[k]`, 1-based position among the nodes selected by the step within
+    /// one context node.
+    Position(u32),
+}
+
+/// One path step: axis, node test, optional predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The axis to navigate.
+    pub axis: Axis,
+    /// The node test to apply.
+    pub test: NodeTest,
+    /// Optional positional predicate.
+    pub pred: Option<Pred>,
+}
+
+impl Step {
+    /// Convenience constructor for a child::name step.
+    pub fn child(name: &str) -> Step {
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Name(name.into()),
+            pred: None,
+        }
+    }
+
+    /// The `descendant-or-self::node()` step used pervasively in roles.
+    pub fn descendant_or_self_node() -> Step {
+        Step {
+            axis: Axis::DescendantOrSelf,
+            test: NodeTest::AnyNode,
+            pred: None,
+        }
+    }
+}
+
+/// What a path is rooted at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathRoot {
+    /// The document root (`/...`).
+    Root,
+    /// A variable (`$x/...`).
+    Var(Var),
+}
+
+/// A (possibly empty) sequence of steps from a root.
+#[derive(Debug, Clone, Eq)]
+pub struct PathExpr {
+    /// `$x` or `/`.
+    pub root: PathRoot,
+    /// Steps; empty means the root itself (`$x` alone).
+    pub steps: Vec<Step>,
+    /// Source position of the path, for diagnostics.
+    pub span: Span,
+}
+
+/// Equality ignores the span: two paths are the same path wherever they were
+/// written. Static analysis depends on this when deduplicating role paths.
+impl PartialEq for PathExpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.root == other.root && self.steps == other.steps
+    }
+}
+
+impl PathExpr {
+    /// A bare variable reference `$x`.
+    pub fn var(name: &str) -> PathExpr {
+        PathExpr {
+            root: PathRoot::Var(Var {
+                name: name.into(),
+                id: VarId::UNASSIGNED,
+            }),
+            steps: Vec::new(),
+            span: Span::default(),
+        }
+    }
+
+    /// True when the last step navigates the attribute axis.
+    pub fn ends_in_attribute(&self) -> bool {
+        matches!(
+            self.steps.last(),
+            Some(Step {
+                axis: Axis::Attribute,
+                ..
+            })
+        )
+    }
+}
+
+/// Comparison operators (XPath general comparisons, existential semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A comparison operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Node sequence selected by a path; atomized to string values.
+    Path(PathExpr),
+    /// String literal.
+    StringLit(String),
+    /// Numeric literal.
+    NumberLit(f64),
+}
+
+/// String predicate functions (extension beyond the paper's fragment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrFunc {
+    /// `contains(haystack, needle)`.
+    Contains,
+    /// `starts-with(haystack, prefix)`.
+    StartsWith,
+    /// `ends-with(haystack, suffix)`.
+    EndsWith,
+}
+
+impl StrFunc {
+    /// Function name as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrFunc::Contains => "contains",
+            StrFunc::StartsWith => "starts-with",
+            StrFunc::EndsWith => "ends-with",
+        }
+    }
+
+    /// Apply to two strings.
+    pub fn apply(self, haystack: &str, needle: &str) -> bool {
+        match self {
+            StrFunc::Contains => haystack.contains(needle),
+            StrFunc::StartsWith => haystack.starts_with(needle),
+            StrFunc::EndsWith => haystack.ends_with(needle),
+        }
+    }
+}
+
+/// Conditions (the `if`/`where` language).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `true()`
+    True,
+    /// `false()`
+    False,
+    /// `exists($x/p)` — at least one node matches.
+    Exists(PathExpr),
+    /// `not(c)`
+    Not(Box<Cond>),
+    /// `c1 and c2`
+    And(Box<Cond>, Box<Cond>),
+    /// `c1 or c2`
+    Or(Box<Cond>, Box<Cond>),
+    /// General comparison with existential sequence semantics.
+    Compare {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// String predicate with existential sequence semantics (extension).
+    StringFn {
+        /// Which predicate.
+        func: StrFunc,
+        /// The string searched in.
+        haystack: Operand,
+        /// The string searched for.
+        needle: Operand,
+    },
+}
+
+/// Aggregation functions — an extension beyond the paper's fragment
+/// ("GCX ... does not yet cover aggregation"). Disabled unless the caller
+/// opts in; see `normalize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count($x/p)` — number of matching nodes.
+    Count,
+    /// `sum($x/p)` — sum of numeric values.
+    Sum,
+    /// `min($x/p)`.
+    Min,
+    /// `max($x/p)`.
+    Max,
+    /// `avg($x/p)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// Function name as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// Expressions of the fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `()`
+    Empty,
+    /// `e1, e2, ...` (flattened during parsing).
+    Sequence(Vec<Expr>),
+    /// `<name a="v">{ content }</name>`. Constructor attributes are literal
+    /// strings (the fragment does not allow computed attributes).
+    Element {
+        /// Element name.
+        name: String,
+        /// Literal attributes.
+        attrs: Vec<(String, String)>,
+        /// Content expression.
+        content: Box<Expr>,
+    },
+    /// `for $v in path (where c)? return body`; `where` is desugared by
+    /// normalization, so a normalized AST never has `Some` here.
+    For {
+        /// The bound variable.
+        var: Var,
+        /// The binding path.
+        source: PathExpr,
+        /// Optional `where` clause (pre-normalization only).
+        where_clause: Option<Cond>,
+        /// Loop body.
+        body: Box<Expr>,
+    },
+    /// `if (c) then e1 else e2` (missing `else` is `()`).
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Then branch.
+        then_branch: Box<Expr>,
+        /// Else branch.
+        else_branch: Box<Expr>,
+    },
+    /// Path in output position: emits the matching nodes (deep copies).
+    Path(PathExpr),
+    /// String literal in output position: emits a text node.
+    StringLit(String),
+    /// Number literal in output position: emits its canonical text form.
+    NumberLit(f64),
+    /// Extension: aggregate over a path, emitting a single text value.
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Path argument.
+        arg: PathExpr,
+    },
+    /// `signOff(path, r)` — inserted by static analysis; removes one
+    /// instance of role `r` from every buffered node matching `path`.
+    /// Evaluates to the empty sequence.
+    SignOff {
+        /// Nodes losing the role.
+        target: PathExpr,
+        /// The role being signed off.
+        role: RoleId,
+    },
+}
+
+impl Expr {
+    /// Wrap a list of expressions as a sequence, collapsing trivial cases.
+    pub fn seq(mut exprs: Vec<Expr>) -> Expr {
+        exprs.retain(|e| !matches!(e, Expr::Empty));
+        match exprs.len() {
+            0 => Expr::Empty,
+            1 => exprs.pop().unwrap(),
+            _ => Expr::Sequence(exprs),
+        }
+    }
+}
+
+/// A fully parsed and normalized query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The root expression.
+    pub root: Expr,
+    /// Variable names by [`VarId`] (after alpha-renaming).
+    pub var_names: Vec<String>,
+    /// True when the query uses the aggregation extension.
+    pub uses_aggregates: bool,
+}
+
+/// Error category for query compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryErrorKind {
+    /// Lexical error (bad character, unterminated literal, ...).
+    Lex(String),
+    /// Parse error: unexpected token etc.
+    Parse(String),
+    /// A variable was used without being bound.
+    UnboundVariable(String),
+    /// Something outside the supported fragment.
+    OutsideFragment(String),
+}
+
+/// A query compilation error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    /// What went wrong.
+    pub kind: QueryErrorKind,
+    /// Where (line:column), when known.
+    pub span: Span,
+}
+
+impl QueryError {
+    /// Construct an error at `span`.
+    pub fn new(kind: QueryErrorKind, span: Span) -> Self {
+        QueryError { kind, span }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            QueryErrorKind::Lex(m) => write!(f, "{}: lexical error: {m}", self.span),
+            QueryErrorKind::Parse(m) => write!(f, "{}: parse error: {m}", self.span),
+            QueryErrorKind::UnboundVariable(v) => {
+                write!(f, "{}: unbound variable ${v}", self.span)
+            }
+            QueryErrorKind::OutsideFragment(m) => {
+                write!(
+                    f,
+                    "{}: outside the supported XQuery fragment: {m}",
+                    self.span
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_collapses() {
+        assert_eq!(Expr::seq(vec![]), Expr::Empty);
+        assert_eq!(Expr::seq(vec![Expr::Empty, Expr::Empty]), Expr::Empty);
+        assert_eq!(
+            Expr::seq(vec![Expr::StringLit("a".into())]),
+            Expr::StringLit("a".into())
+        );
+        assert!(matches!(
+            Expr::seq(vec![
+                Expr::StringLit("a".into()),
+                Expr::StringLit("b".into())
+            ]),
+            Expr::Sequence(_)
+        ));
+    }
+
+    #[test]
+    fn role_ids_display_one_based() {
+        assert_eq!(RoleId(0).to_string(), "r1");
+        assert_eq!(RoleId(6).to_string(), "r7");
+    }
+
+    #[test]
+    fn path_ends_in_attribute() {
+        let mut p = PathExpr::var("x");
+        assert!(!p.ends_in_attribute());
+        p.steps.push(Step {
+            axis: Axis::Attribute,
+            test: NodeTest::Name("id".into()),
+            pred: None,
+        });
+        assert!(p.ends_in_attribute());
+    }
+
+    #[test]
+    fn error_display_contains_position() {
+        let e = QueryError::new(
+            QueryErrorKind::UnboundVariable("x".into()),
+            Span { line: 3, column: 7 },
+        );
+        assert_eq!(e.to_string(), "3:7: unbound variable $x");
+    }
+}

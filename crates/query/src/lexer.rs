@@ -1,0 +1,556 @@
+//! Hand-written lexer for the GCX XQuery fragment.
+//!
+//! Element constructors make XQuery lexing context-sensitive. The fragment
+//! sidesteps the worst of it: constructor content must be brace-enclosed
+//! expressions (`<r> { ... } </r>`), never raw text, so a single lexical
+//! mode suffices. The lexer resolves `<` adjacency instead: `<name` becomes
+//! [`TokenKind::TagOpen`], `</name>` becomes [`TokenKind::TagClose`], and a
+//! free-standing `<` is the comparison operator.
+
+use crate::ast::{QueryError, QueryErrorKind, Span};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Token kinds. Keywords are delivered as [`TokenKind::Name`] and matched
+/// contextually by the parser (XQuery keywords are not reserved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare name (identifier, keyword, axis name, element name).
+    Name(String),
+    /// `$name`.
+    Var(String),
+    /// String literal (both quote styles), escapes resolved.
+    StringLit(String),
+    /// Numeric literal.
+    NumberLit(f64),
+    /// `<name` — element constructor start.
+    TagOpen(String),
+    /// `</name>` — element constructor end (the `>` is consumed).
+    TagClose(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `::`
+    ColonColon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (comparison)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>` (comparison or constructor close; parser decides)
+    Gt,
+    /// `>=`
+    Ge,
+    /// `/>` — self-closing constructor
+    SlashGt,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Name(n) => format!("`{n}`"),
+            TokenKind::Var(v) => format!("`${v}`"),
+            TokenKind::StringLit(_) => "string literal".into(),
+            TokenKind::NumberLit(n) => format!("number `{n}`"),
+            TokenKind::TagOpen(n) => format!("`<{n}`"),
+            TokenKind::TagClose(n) => format!("`</{n}>`"),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::DoubleSlash => "`//`".into(),
+            TokenKind::At => "`@`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::ColonColon => "`::`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::SlashGt => "`/>`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.') || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.col,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QueryError {
+        QueryError::new(QueryErrorKind::Lex(msg.into()), self.span())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Skip whitespace and (nested) `(: ... :)` comments.
+    fn skip_trivia(&mut self) -> Result<(), QueryError> {
+        loop {
+            while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+                self.bump();
+            }
+            if self.peek() == Some(b'(') && self.peek2() == Some(b':') {
+                let start = self.span();
+                self.bump();
+                self.bump();
+                let mut depth = 1;
+                while depth > 0 {
+                    match (self.peek(), self.peek2()) {
+                        (Some(b'('), Some(b':')) => {
+                            self.bump();
+                            self.bump();
+                            depth += 1;
+                        }
+                        (Some(b':'), Some(b')')) => {
+                            self.bump();
+                            self.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            self.bump();
+                        }
+                        (None, _) => {
+                            return Err(QueryError::new(
+                                QueryErrorKind::Lex("unterminated comment".into()),
+                                start,
+                            ))
+                        }
+                    }
+                }
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn lex_name(&mut self) -> String {
+        let start = self.i;
+        while matches!(self.peek(), Some(b) if is_name_char(b)) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.i]).into_owned()
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<String, QueryError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b) if b == quote => {
+                    // XQuery escapes quotes by doubling them.
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        out.push(quote as char);
+                    } else {
+                        return Ok(out);
+                    }
+                }
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<f64, QueryError> {
+        let start = self.i;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).unwrap();
+        text.parse::<f64>()
+            .map_err(|_| self.err(format!("bad number `{text}`")))
+    }
+
+    fn next_token(&mut self) -> Result<Token, QueryError> {
+        self.skip_trivia()?;
+        let span = self.span();
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
+        };
+        let kind = match b {
+            b'$' => {
+                self.bump();
+                if !matches!(self.peek(), Some(c) if is_name_start(c)) {
+                    return Err(self.err("expected variable name after `$`"));
+                }
+                TokenKind::Var(self.lex_name())
+            }
+            b'"' | b'\'' => {
+                self.bump();
+                TokenKind::StringLit(self.lex_string(b)?)
+            }
+            b'0'..=b'9' => TokenKind::NumberLit(self.lex_number()?),
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'@' => {
+                self.bump();
+                TokenKind::At
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b':') {
+                    self.bump();
+                    TokenKind::ColonColon
+                } else {
+                    return Err(self.err("stray `:` (expected `::`)"));
+                }
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ne
+                } else {
+                    return Err(self.err("stray `!` (expected `!=`)"));
+                }
+            }
+            b'/' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'/') => {
+                        self.bump();
+                        TokenKind::DoubleSlash
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::SlashGt
+                    }
+                    _ => TokenKind::Slash,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Le
+                    }
+                    Some(b'/') => {
+                        self.bump();
+                        if !matches!(self.peek(), Some(c) if is_name_start(c)) {
+                            return Err(self.err("expected element name after `</`"));
+                        }
+                        let name = self.lex_name();
+                        self.skip_trivia()?;
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err(format!("expected `>` to close `</{name}`")));
+                        }
+                        self.bump();
+                        TokenKind::TagClose(name)
+                    }
+                    Some(c) if is_name_start(c) => TokenKind::TagOpen(self.lex_name()),
+                    _ => TokenKind::Lt,
+                }
+            }
+            c if is_name_start(c) => TokenKind::Name(self.lex_name()),
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(Token { kind, span })
+    }
+}
+
+/// Tokenize a whole query. The final token is always [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let mut lx = Lexer {
+        src: input.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_for_loop() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("for $x in /bib return $x"),
+            vec![
+                Name("for".into()),
+                Var("x".into()),
+                Name("in".into()),
+                Slash,
+                Name("bib".into()),
+                Name("return".into()),
+                Var("x".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tag_tokens_vs_comparison() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("<r> { $x } </r>"),
+            vec![
+                TagOpen("r".into()),
+                Gt,
+                LBrace,
+                Var("x".into()),
+                RBrace,
+                TagClose("r".into()),
+                Eof
+            ]
+        );
+        assert_eq!(
+            kinds("$a < 5"),
+            vec![Var("a".into()), Lt, NumberLit(5.0), Eof]
+        );
+    }
+
+    #[test]
+    fn self_closing_constructor() {
+        use TokenKind::*;
+        assert_eq!(kinds("<a/>"), vec![TagOpen("a".into()), SlashGt, Eof]);
+    }
+
+    #[test]
+    fn double_slash_and_axes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("$x//title/descendant-or-self::node()"),
+            vec![
+                Var("x".into()),
+                DoubleSlash,
+                Name("title".into()),
+                Slash,
+                Name("descendant-or-self".into()),
+                ColonColon,
+                Name("node".into()),
+                LParen,
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_both_quotes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#""ab" 'cd'"#),
+            vec![StringLit("ab".into()), StringLit("cd".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn doubled_quote_escape() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""a""b""#), vec![StringLit("a\"b".into()), Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 3.25"),
+            vec![NumberLit(42.0), NumberLit(3.25), Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("= != <= >= > "), vec![Eq, Ne, Le, Ge, Gt, Eof]);
+    }
+
+    #[test]
+    fn nested_comments_skipped() {
+        use TokenKind::*;
+        assert_eq!(kinds("(: a (: b :) c :) $x"), vec![Var("x".into()), Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(: oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn predicate_brackets() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("$x/price[1]"),
+            vec![
+                Var("x".into()),
+                Slash,
+                Name("price".into()),
+                LBracket,
+                NumberLit(1.0),
+                RBracket,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn attribute_axis() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("$p/@id"),
+            vec![Var("p".into()), Slash, At, Name("id".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("for\n  $x").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, column: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, column: 3 });
+    }
+
+    #[test]
+    fn stray_chars_rejected() {
+        assert!(lex("#").is_err());
+        assert!(lex("$x ! y").is_err());
+        assert!(lex("a : b").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # gcx-query — frontend for the GCX XQuery fragment
+//!
+//! GCX evaluates the *composition-free* fragment of XQuery (Koch, TODS 2006)
+//! with single-step-decomposable for-loops, conditions and joins — the
+//! fragment of the VLDB'07 GCX demo paper. This crate turns query text into
+//! a validated AST:
+//!
+//! * [`lex`]: hand-written lexer with source positions and XQuery comments;
+//! * [`parse`]: recursive-descent parser producing [`ast::Expr`];
+//! * [`normalize`]: desugars `where` into `if`, checks variable scoping and
+//!   the fragment restrictions, and resolves each path to the variable it is
+//!   rooted at;
+//! * [`ast`]: the expression/condition/path types shared by the static
+//!   analyzer (`gcx-projection`), the streaming engine (`gcx-core`) and the
+//!   DOM baseline (`gcx-dom`);
+//! * a pretty-printer (`Display` impls) able to print rewritten queries with
+//!   `signOff` statements exactly in the style of the paper.
+//!
+//! ```
+//! let q = gcx_query::compile(r#"
+//!     <r> { for $bib in /bib return
+//!             for $b in $bib/book return $b/title } </r>
+//! "#).unwrap();
+//! assert!(matches!(q.root, gcx_query::ast::Expr::Element { .. }));
+//! ```
+
+pub mod ast;
+mod lexer;
+mod normalize;
+mod parser;
+mod pretty;
+
+pub use ast::{Query, QueryError, QueryErrorKind};
+pub use lexer::{lex, Token as QueryToken, TokenKind};
+pub use normalize::normalize;
+pub use parser::parse;
+
+/// Parse and normalize a query in one step: text in, validated [`Query`] out.
+pub fn compile(input: &str) -> Result<Query, QueryError> {
+    let expr = parse(input)?;
+    normalize(expr)
+}

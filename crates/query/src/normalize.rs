@@ -1,0 +1,394 @@
+//! Normalization: scoping, alpha-renaming, `where` desugaring, fragment checks.
+//!
+//! After normalization the AST satisfies the invariants listed in
+//! [`crate::ast`], which the static analyzer and all evaluators rely on.
+
+use crate::ast::*;
+
+/// Normalize a parsed expression into a validated [`Query`].
+pub fn normalize(root: Expr) -> Result<Query, QueryError> {
+    let mut cx = Ctx {
+        var_names: Vec::new(),
+        scope: Vec::new(),
+        uses_aggregates: false,
+    };
+    let root = cx.expr(root)?;
+    Ok(Query {
+        root,
+        var_names: cx.var_names,
+        uses_aggregates: cx.uses_aggregates,
+    })
+}
+
+struct Ctx {
+    /// Unique name per VarId.
+    var_names: Vec<String>,
+    /// Innermost-last scope stack: (surface name, id).
+    scope: Vec<(String, VarId)>,
+    uses_aggregates: bool,
+}
+
+impl Ctx {
+    fn bind(&mut self, surface: &str) -> Var {
+        // Alpha-rename shadowed binders so names are globally unique: the
+        // pretty-printed rewritten query stays unambiguous.
+        let mut unique = surface.to_string();
+        let mut n = 1;
+        while self.var_names.contains(&unique) {
+            n += 1;
+            unique = format!("{surface}_{n}");
+        }
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(unique.clone());
+        self.scope.push((surface.to_string(), id));
+        Var { name: unique, id }
+    }
+
+    fn unbind(&mut self) {
+        self.scope.pop();
+    }
+
+    fn lookup(&self, surface: &str, span: Span) -> Result<Var, QueryError> {
+        for (name, id) in self.scope.iter().rev() {
+            if name == surface {
+                return Ok(Var {
+                    name: self.var_names[id.index()].clone(),
+                    id: *id,
+                });
+            }
+        }
+        Err(QueryError::new(
+            QueryErrorKind::UnboundVariable(surface.to_string()),
+            span,
+        ))
+    }
+
+    fn path(&self, p: PathExpr) -> Result<PathExpr, QueryError> {
+        let root = match p.root {
+            PathRoot::Root => PathRoot::Root,
+            PathRoot::Var(v) => PathRoot::Var(self.lookup(&v.name, p.span)?),
+        };
+        // Attribute steps must be terminal: nothing navigates out of an
+        // attribute. Positional predicates are only meaningful (and
+        // supported) on the child axis.
+        for (i, step) in p.steps.iter().enumerate() {
+            if step.axis == Axis::Attribute && i + 1 != p.steps.len() {
+                return Err(QueryError::new(
+                    QueryErrorKind::OutsideFragment(
+                        "attribute steps must be the last step of a path".into(),
+                    ),
+                    p.span,
+                ));
+            }
+            if step.pred.is_some() && step.axis != Axis::Child {
+                return Err(QueryError::new(
+                    QueryErrorKind::OutsideFragment(
+                        "positional predicates are only supported on child steps".into(),
+                    ),
+                    p.span,
+                ));
+            }
+        }
+        Ok(PathExpr {
+            root,
+            steps: p.steps,
+            span: p.span,
+        })
+    }
+
+    fn cond(&mut self, c: Cond) -> Result<Cond, QueryError> {
+        Ok(match c {
+            Cond::True => Cond::True,
+            Cond::False => Cond::False,
+            Cond::Exists(p) => Cond::Exists(self.path(p)?),
+            Cond::Not(inner) => Cond::Not(Box::new(self.cond(*inner)?)),
+            Cond::And(a, b) => Cond::And(Box::new(self.cond(*a)?), Box::new(self.cond(*b)?)),
+            Cond::Or(a, b) => Cond::Or(Box::new(self.cond(*a)?), Box::new(self.cond(*b)?)),
+            Cond::Compare { op, lhs, rhs } => Cond::Compare {
+                op,
+                lhs: self.operand(lhs)?,
+                rhs: self.operand(rhs)?,
+            },
+            Cond::StringFn {
+                func,
+                haystack,
+                needle,
+            } => Cond::StringFn {
+                func,
+                haystack: self.operand(haystack)?,
+                needle: self.operand(needle)?,
+            },
+        })
+    }
+
+    fn operand(&mut self, o: Operand) -> Result<Operand, QueryError> {
+        Ok(match o {
+            Operand::Path(p) => Operand::Path(self.path(p)?),
+            other => other,
+        })
+    }
+
+    fn expr(&mut self, e: Expr) -> Result<Expr, QueryError> {
+        Ok(match e {
+            Expr::Empty => Expr::Empty,
+            Expr::Sequence(items) => {
+                let items = items
+                    .into_iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Expr::seq(items)
+            }
+            Expr::Element {
+                name,
+                attrs,
+                content,
+            } => {
+                validate_constructor_name(&name)?;
+                for (attr_name, _) in &attrs {
+                    validate_constructor_name(attr_name)?;
+                }
+                Expr::Element {
+                    name,
+                    attrs,
+                    content: Box::new(self.expr(*content)?),
+                }
+            }
+            Expr::For {
+                var,
+                source,
+                where_clause,
+                body,
+            } => {
+                // The source path is resolved in the *outer* scope.
+                let source = self.path(source)?;
+                if source.ends_in_attribute() {
+                    return Err(QueryError::new(
+                        QueryErrorKind::OutsideFragment(
+                            "for-loops cannot iterate over attributes".into(),
+                        ),
+                        source.span,
+                    ));
+                }
+                let bound = self.bind(&var.name);
+                let mut body = self.expr(*body)?;
+                // Desugar `where c` into `if (c) then body`.
+                if let Some(c) = where_clause {
+                    let c = self.cond(c)?;
+                    body = Expr::If {
+                        cond: c,
+                        then_branch: Box::new(body),
+                        else_branch: Box::new(Expr::Empty),
+                    };
+                }
+                self.unbind();
+                Expr::For {
+                    var: bound,
+                    source,
+                    where_clause: None,
+                    body: Box::new(body),
+                }
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Expr::If {
+                cond: self.cond(cond)?,
+                then_branch: Box::new(self.expr(*then_branch)?),
+                else_branch: Box::new(self.expr(*else_branch)?),
+            },
+            Expr::Path(p) => Expr::Path(self.path(p)?),
+            Expr::StringLit(s) => Expr::StringLit(s),
+            Expr::NumberLit(v) => Expr::NumberLit(v),
+            Expr::Aggregate { func, arg } => {
+                self.uses_aggregates = true;
+                Expr::Aggregate {
+                    func,
+                    arg: self.path(arg)?,
+                }
+            }
+            Expr::SignOff { target, .. } => {
+                return Err(QueryError::new(
+                    QueryErrorKind::OutsideFragment(
+                        "signOff is inserted by the compiler and cannot appear in user queries"
+                            .into(),
+                    ),
+                    target.span,
+                ))
+            }
+        })
+    }
+}
+
+fn validate_constructor_name(name: &str) -> Result<(), QueryError> {
+    let mut chars = name.chars();
+    let ok_first = |c: char| c.is_alphabetic() || c == '_';
+    let ok_rest = |c: char| c.is_alphanumeric() || matches!(c, '_' | '-' | '.');
+    let valid = match chars.next() {
+        None => false,
+        Some(c) => ok_first(c) && chars.all(ok_rest),
+    };
+    if valid {
+        Ok(())
+    } else {
+        Err(QueryError::new(
+            QueryErrorKind::OutsideFragment(format!("invalid constructor name `{name}`")),
+            Span::default(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn norm(input: &str) -> Query {
+        normalize(parse(input).unwrap()).unwrap_or_else(|e| panic!("normalize failed: {e}"))
+    }
+
+    fn norm_err(input: &str) -> QueryError {
+        normalize(parse(input).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn assigns_dense_var_ids() {
+        let q = norm("for $a in /x return for $b in $a/y return $b");
+        assert_eq!(q.var_names, vec!["a".to_string(), "b".to_string()]);
+        let Expr::For { var, body, .. } = &q.root else {
+            panic!()
+        };
+        assert_eq!(var.id, VarId(0));
+        let Expr::For { var: inner, .. } = body.as_ref() else {
+            panic!()
+        };
+        assert_eq!(inner.id, VarId(1));
+    }
+
+    #[test]
+    fn resolves_uses_to_binders() {
+        let q = norm("for $a in /x return $a/y");
+        let Expr::For { body, .. } = &q.root else {
+            panic!()
+        };
+        let Expr::Path(p) = body.as_ref() else {
+            panic!()
+        };
+        let PathRoot::Var(v) = &p.root else { panic!() };
+        assert_eq!(v.id, VarId(0));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let e = norm_err("for $a in /x return $b");
+        assert!(matches!(e.kind, QueryErrorKind::UnboundVariable(ref v) if v == "b"));
+    }
+
+    #[test]
+    fn source_resolved_in_outer_scope() {
+        // `$a` in the source of the second loop must refer to the first `$a`,
+        // not to the variable being bound.
+        let e = norm_err("for $a in $a/x return $a");
+        assert!(matches!(e.kind, QueryErrorKind::UnboundVariable(_)));
+    }
+
+    #[test]
+    fn shadowing_is_alpha_renamed() {
+        let q = norm("for $a in /x return for $a in $a/y return $a");
+        assert_eq!(q.var_names.len(), 2);
+        assert_ne!(q.var_names[0], q.var_names[1]);
+        // The inner use refers to the inner (renamed) binder.
+        let Expr::For { body, .. } = &q.root else {
+            panic!()
+        };
+        let Expr::For {
+            var: inner,
+            body: inner_body,
+            ..
+        } = body.as_ref()
+        else {
+            panic!()
+        };
+        let Expr::Path(p) = inner_body.as_ref() else {
+            panic!()
+        };
+        let PathRoot::Var(used) = &p.root else {
+            panic!()
+        };
+        assert_eq!(used.id, inner.id);
+    }
+
+    #[test]
+    fn where_desugars_to_if() {
+        let q = norm("for $x in /a where exists($x/b) return $x");
+        let Expr::For {
+            where_clause, body, ..
+        } = &q.root
+        else {
+            panic!()
+        };
+        assert!(where_clause.is_none());
+        assert!(matches!(body.as_ref(), Expr::If { .. }));
+    }
+
+    #[test]
+    fn for_over_attributes_rejected() {
+        let e = norm_err("for $a in /x/@id return $a");
+        assert!(matches!(e.kind, QueryErrorKind::OutsideFragment(_)));
+    }
+
+    #[test]
+    fn attribute_mid_path_rejected() {
+        let e = norm_err("for $a in /x return $a/@id/y");
+        assert!(matches!(e.kind, QueryErrorKind::OutsideFragment(_)));
+    }
+
+    #[test]
+    fn signoff_in_user_query_rejected() {
+        let e = norm_err("for $a in /x return signOff($a, r1)");
+        assert!(matches!(e.kind, QueryErrorKind::OutsideFragment(_)));
+    }
+
+    #[test]
+    fn aggregates_flagged() {
+        let q = norm("count(/site/people/person)");
+        assert!(q.uses_aggregates);
+        let q = norm("for $a in /x return $a");
+        assert!(!q.uses_aggregates);
+    }
+
+    #[test]
+    fn bad_constructor_name_rejected() {
+        // Not reachable through the parser (the lexer only produces valid
+        // names), but the AST is a public type.
+        let bad = Expr::Element {
+            name: "1bad".into(),
+            attrs: vec![],
+            content: Box::new(Expr::Empty),
+        };
+        let e = normalize(bad).unwrap_err();
+        assert!(matches!(e.kind, QueryErrorKind::OutsideFragment(_)));
+    }
+
+    #[test]
+    fn sequences_renormalize() {
+        let q = norm("(), (), 'a'");
+        assert_eq!(q.root, Expr::StringLit("a".into()));
+    }
+
+    #[test]
+    fn paper_example_normalizes() {
+        let q = norm(
+            r#"<r> {
+              for $bib in /bib return
+                (for $x in $bib/* return
+                   if (not(exists($x/price))) then $x else (),
+                 for $b in $bib/book return $b/title)
+            } </r>"#,
+        );
+        assert_eq!(
+            q.var_names,
+            vec!["bib".to_string(), "x".to_string(), "b".to_string()]
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Pretty-printing (`Display`) for the AST.
+//!
+//! The printer produces text in the style of the paper's rewritten running
+//! example: indented `for`/`return` chains, parenthesized sequences, and
+//! `signOff($x/path, rN)` statements. Output of the *parser-level* constructs
+//! round-trips through [`crate::parse`] (checked by tests); `signOff` prints
+//! in the exact surface form the parser accepts, so even rewritten queries
+//! reparse.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "child"),
+            Axis::Descendant => write!(f, "descendant"),
+            Axis::DescendantOrSelf => write!(f, "descendant-or-self"),
+            Axis::SelfAxis => write!(f, "self"),
+            Axis::Attribute => write!(f, "attribute"),
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Star => write!(f, "*"),
+            NodeTest::Text => write!(f, "text()"),
+            NodeTest::AnyNode => write!(f, "node()"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            Axis::Child => write!(f, "{}", self.test)?,
+            Axis::Attribute => write!(f, "@{}", self.test)?,
+            axis => write!(f, "{axis}::{}", self.test)?,
+        }
+        if let Some(Pred::Position(k)) = self.pred {
+            write!(f, "[{k}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.root {
+            PathRoot::Root => {
+                if self.steps.is_empty() {
+                    return write!(f, "/");
+                }
+            }
+            PathRoot::Var(v) => write!(f, "${}", v.name)?,
+        }
+        for step in &self.steps {
+            write!(f, "/{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Path(p) => write!(f, "{p}"),
+            Operand::StringLit(s) => write!(f, "\"{}\"", s.replace('"', "\"\"")),
+            Operand::NumberLit(v) => write!(f, "{}", fmt_number(*v)),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => write!(f, "true()"),
+            Cond::False => write!(f, "false()"),
+            Cond::Exists(p) => write!(f, "exists({p})"),
+            Cond::Not(c) => write!(f, "not({c})"),
+            Cond::And(a, b) => {
+                fmt_cond_operand(a, f)?;
+                write!(f, " and ")?;
+                fmt_cond_operand(b, f)
+            }
+            Cond::Or(a, b) => {
+                fmt_cond_operand(a, f)?;
+                write!(f, " or ")?;
+                fmt_cond_operand(b, f)
+            }
+            Cond::Compare { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Cond::StringFn {
+                func,
+                haystack,
+                needle,
+            } => {
+                write!(f, "{}({haystack}, {needle})", func.name())
+            }
+        }
+    }
+}
+
+/// Parenthesize nested and/or so precedence survives reparsing.
+fn fmt_cond_operand(c: &Cond, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if matches!(c, Cond::And(_, _) | Cond::Or(_, _)) {
+        write!(f, "({c})")
+    } else {
+        write!(f, "{c}")
+    }
+}
+
+/// Print a number the way XQuery canonicalizes integers (no trailing `.0`).
+pub fn fmt_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut p = Printer {
+            out: String::new(),
+            indent: 0,
+        };
+        p.expr(self);
+        write!(f, "{}", p.out)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)
+    }
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn nl(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Empty => self.out.push_str("()"),
+            Expr::Sequence(items) => {
+                self.out.push('(');
+                self.indent += 1;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push(',');
+                    }
+                    self.nl();
+                    self.expr(item);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.out.push(')');
+            }
+            Expr::Element {
+                name,
+                attrs,
+                content,
+            } => {
+                self.out.push('<');
+                self.out.push_str(name);
+                for (k, v) in attrs {
+                    self.out.push_str(&format!(" {k}=\"{v}\""));
+                }
+                if matches!(content.as_ref(), Expr::Empty) {
+                    self.out.push_str("/>");
+                } else {
+                    self.out.push_str("> {");
+                    self.indent += 1;
+                    self.nl();
+                    self.expr(content);
+                    self.indent -= 1;
+                    self.nl();
+                    self.out.push_str(&format!("}} </{name}>"));
+                }
+            }
+            Expr::For {
+                var,
+                source,
+                where_clause,
+                body,
+            } => {
+                self.out.push_str(&format!("for ${} in {source}", var.name));
+                if let Some(c) = where_clause {
+                    self.out.push_str(&format!(" where {c}"));
+                }
+                self.out.push_str(" return");
+                self.indent += 1;
+                self.nl();
+                self.expr(body);
+                self.indent -= 1;
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.out.push_str(&format!("if ({cond}) then "));
+                let has_else = !matches!(else_branch.as_ref(), Expr::Empty);
+                // Dangling else: a then-branch that is (or can end in) an
+                // else-less `if` would capture our `else` on reparse.
+                let needs_parens =
+                    has_else && matches!(then_branch.as_ref(), Expr::If { .. } | Expr::For { .. });
+                if needs_parens {
+                    self.out.push('(');
+                    self.expr(then_branch);
+                    self.out.push(')');
+                } else {
+                    self.expr(then_branch);
+                }
+                if has_else {
+                    self.out.push_str(" else ");
+                    self.expr(else_branch);
+                }
+            }
+            Expr::Path(p) => self.out.push_str(&p.to_string()),
+            Expr::StringLit(s) => {
+                self.out
+                    .push_str(&format!("\"{}\"", s.replace('"', "\"\"")));
+            }
+            Expr::NumberLit(v) => self.out.push_str(&fmt_number(*v)),
+            Expr::Aggregate { func, arg } => {
+                self.out.push_str(&format!("{}({arg})", func.name()));
+            }
+            Expr::SignOff { target, role } => {
+                self.out.push_str(&format!("signOff({target}, {role})"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Parse → print → parse must be a fixpoint (ASTs equal).
+    fn round_trip(src: &str) {
+        let a = parse(src).unwrap();
+        let printed = a.to_string();
+        let b = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(a, b, "print/reparse mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn round_trip_paper_example() {
+        round_trip(
+            r#"<r> {
+              for $bib in /bib return
+                (for $x in $bib/* return
+                   if (not(exists($x/price))) then $x else (),
+                 for $b in $bib/book return $b/title)
+            } </r>"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_rewritten_query_with_signoffs() {
+        round_trip(
+            r#"<r> {
+              for $bib in /bib return
+                (for $x in $bib/* return
+                   (if (not(exists($x/price))) then $x else (),
+                    signOff($x, r3),
+                    signOff($x/price[1], r4),
+                    signOff($x/descendant-or-self::node(), r5)),
+                 for $b in $bib/book return
+                   ($b/title,
+                    signOff($b, r6),
+                    signOff($b/title/descendant-or-self::node(), r7)),
+                 signOff($bib, r2))
+            } </r>"#,
+        );
+    }
+
+    #[test]
+    fn round_trip_conditions() {
+        round_trip("if (exists($x/a) and (not(exists($x/b)) or $x/c = 3)) then 'y' else 'n'");
+        round_trip("if ($a/v <= 2.5) then $a");
+        round_trip("if ($t/buyer/@person = $p/@id) then $t");
+    }
+
+    #[test]
+    fn round_trip_aggregates_and_literals() {
+        round_trip("count(/site/people/person), 'lit', 42");
+    }
+
+    #[test]
+    fn round_trip_constructors() {
+        round_trip(r#"<out k="v"> { <inner/>, $x/y } </out>"#);
+    }
+
+    #[test]
+    fn paths_print_compactly() {
+        let e = parse("$bib/book/title/descendant-or-self::node()").unwrap();
+        assert_eq!(e.to_string(), "$bib/book/title/descendant-or-self::node()");
+        let e = parse("/bib/*/price[1]").unwrap();
+        assert_eq!(e.to_string(), "/bib/*/price[1]");
+        let e = parse("/").unwrap();
+        assert_eq!(e.to_string(), "/");
+        let e = parse("$p/@id").unwrap();
+        assert_eq!(e.to_string(), "$p/@id");
+    }
+
+    #[test]
+    fn numbers_print_canonically() {
+        assert_eq!(fmt_number(1.0), "1");
+        assert_eq!(fmt_number(2.5), "2.5");
+        assert_eq!(fmt_number(-3.0), "-3");
+    }
+
+    #[test]
+    fn descendant_shortcut_prints_as_explicit_axis() {
+        let e = parse("//item").unwrap();
+        assert_eq!(e.to_string(), "/descendant::item");
+        round_trip("//item");
+    }
+}

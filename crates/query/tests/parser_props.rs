@@ -1,0 +1,202 @@
+//! Property tests for the query frontend: randomly generated ASTs must
+//! survive a print→parse round trip unchanged, and the parser must never
+//! panic on arbitrary input strings.
+
+use gcx_query::ast::*;
+use proptest::prelude::*;
+
+// ---- AST generation ----------------------------------------------------------
+
+fn name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("bib".to_string()),
+        Just("book".to_string()),
+        Just("price".to_string()),
+        Just("item-x".to_string()),
+        Just("_u".to_string()),
+    ]
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    let test = prop_oneof![
+        name().prop_map(NodeTest::Name),
+        Just(NodeTest::Star),
+        Just(NodeTest::Text),
+        Just(NodeTest::AnyNode),
+    ];
+    let axis = prop_oneof![
+        4 => Just(Axis::Child),
+        2 => Just(Axis::Descendant),
+        1 => Just(Axis::DescendantOrSelf),
+        1 => Just(Axis::SelfAxis),
+    ];
+    (axis, test, proptest::option::of(1u32..5)).prop_map(|(axis, test, pred)| {
+        // The grammar allows predicates only on child steps with name/star
+        // tests in sensible positions; generate conservatively.
+        let pred = match (axis, &test) {
+            (Axis::Child, NodeTest::Name(_) | NodeTest::Star) => pred.map(Pred::Position),
+            _ => None,
+        };
+        Step { axis, test, pred }
+    })
+}
+
+fn attr_step() -> impl Strategy<Value = Step> {
+    name().prop_map(|n| Step {
+        axis: Axis::Attribute,
+        test: NodeTest::Name(n),
+        pred: None,
+    })
+}
+
+fn path(var_names: Vec<String>) -> impl Strategy<Value = PathExpr> {
+    let root = if var_names.is_empty() {
+        Just(PathRoot::Root).boxed()
+    } else {
+        prop_oneof![
+            Just(PathRoot::Root),
+            proptest::sample::select(var_names).prop_map(|n| PathRoot::Var(Var {
+                name: n,
+                id: VarId::UNASSIGNED
+            })),
+        ]
+        .boxed()
+    };
+    (
+        root,
+        prop::collection::vec(step(), 0..4),
+        proptest::option::of(attr_step()),
+    )
+        .prop_map(|(root, mut steps, attr)| {
+            if let Some(a) = attr {
+                steps.push(a);
+            }
+            PathExpr {
+                root,
+                steps,
+                span: Span::default(),
+            }
+        })
+}
+
+fn operand(vars: Vec<String>) -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        path(vars).prop_map(Operand::Path),
+        Just(Operand::StringLit("lit".into())),
+        Just(Operand::NumberLit(3.5)),
+        Just(Operand::NumberLit(7.0)),
+    ]
+}
+
+fn cond(vars: Vec<String>, depth: u32) -> BoxedStrategy<Cond> {
+    let leaf = prop_oneof![
+        Just(Cond::True),
+        Just(Cond::False),
+        path(vars.clone()).prop_map(Cond::Exists),
+        (operand(vars.clone()), operand(vars.clone())).prop_map(|(lhs, rhs)| Cond::Compare {
+            op: CmpOp::Le,
+            lhs,
+            rhs
+        }),
+        (operand(vars.clone()), operand(vars.clone())).prop_map(|(lhs, rhs)| Cond::Compare {
+            op: CmpOp::Ne,
+            lhs,
+            rhs
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = cond(vars, depth - 1);
+    prop_oneof![
+        3 => leaf,
+        1 => inner.clone().prop_map(|c| Cond::Not(Box::new(c))),
+        1 => (inner.clone(), inner.clone())
+            .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+        1 => (inner.clone(), inner).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+    ]
+    .boxed()
+}
+
+fn expr(vars: Vec<String>, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Empty),
+        Just(Expr::StringLit("text".into())),
+        Just(Expr::NumberLit(42.0)),
+        path(vars.clone()).prop_map(Expr::Path),
+        path(vars.clone()).prop_map(|p| Expr::Aggregate {
+            func: AggFunc::Count,
+            arg: p
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let vars2 = vars.clone();
+    let vars3 = vars.clone();
+    prop_oneof![
+        3 => leaf,
+        2 => (path(vars.clone()), name()).prop_flat_map(move |(source, fresh)| {
+            let mut inner_vars = vars2.clone();
+            // Source paths never bind attributes in generated queries.
+            let source = PathExpr {
+                root: source.root,
+                steps: source.steps.into_iter().filter(|s| s.axis != Axis::Attribute).collect(),
+                span: Span::default(),
+            };
+            inner_vars.push(fresh.clone());
+            expr(inner_vars, depth - 1).prop_map(move |body| Expr::For {
+                var: Var { name: fresh.clone(), id: VarId::UNASSIGNED },
+                source: source.clone(),
+                where_clause: None,
+                body: Box::new(body),
+            })
+        }),
+        2 => (cond(vars3.clone(), 1), expr(vars3.clone(), depth - 1), expr(vars3, depth - 1))
+            .prop_map(|(c, t, e)| Expr::If {
+                cond: c,
+                then_branch: Box::new(t),
+                else_branch: Box::new(e),
+            }),
+        1 => (name(), expr(vars.clone(), depth - 1)).prop_map(|(n, content)| Expr::Element {
+            name: n.replace('-', "_"),
+            attrs: vec![("k".into(), "v".into())],
+            content: Box::new(content),
+        }),
+        // `Expr::seq` is the canonical constructor (it collapses empties
+        // and singletons the way the parser does), so round-trips compare
+        // canonical forms.
+        1 => prop::collection::vec(expr(vars, depth - 1), 2..4).prop_map(Expr::seq),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn printed_ast_reparses_identically(e in expr(vec![], 3)) {
+        let printed = e.to_string();
+        let reparsed = gcx_query::parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        prop_assert_eq!(e, reparsed, "\nprinted:\n{}", printed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(input in "[ -~]{0,60}") {
+        let _ = gcx_query::parse(&input); // error or success, never panic
+    }
+
+    #[test]
+    fn lexer_never_panics_on_unicode(input in "\\PC{0,40}") {
+        let _ = gcx_query::lex(&input);
+    }
+
+    #[test]
+    fn normalize_never_panics_after_parse(input in "[ -~]{0,60}") {
+        if let Ok(e) = gcx_query::parse(&input) {
+            let _ = gcx_query::normalize(e);
+        }
+    }
+}

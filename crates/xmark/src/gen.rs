@@ -1,0 +1,576 @@
+//! Deterministic XMark-like document generator.
+//!
+//! Entity ratios follow the original XMark scaling (at factor 1.0 XMark
+//! produces ~25500 persons, ~21750 items, ~12000 open and ~9750 closed
+//! auctions in a ~113MB document); we derive counts from the byte target
+//! with calibrated per-entity sizes, then emit the six sections in XMark's
+//! order. All cross-references (`buyer/@person`, `itemref/@item`,
+//! `incategory/@category`) point to existing ids so join queries have real
+//! join partners.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Write};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Approximate size of the generated document in bytes.
+    pub target_bytes: u64,
+    /// RNG seed: equal seeds produce byte-identical documents.
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// Config for a document of roughly `target_bytes` bytes.
+    pub fn sized(target_bytes: u64) -> XmarkConfig {
+        XmarkConfig {
+            target_bytes,
+            seed: 0x6C_78_67,
+        }
+    }
+
+    /// Entity counts derived from the byte target.
+    pub fn counts(&self) -> SectionCounts {
+        // Calibrated average on-the-wire entity sizes (bytes).
+        const ITEM: u64 = 500;
+        const PERSON: u64 = 430;
+        const OPEN: u64 = 480;
+        const CLOSED: u64 = 420;
+        let t = self.target_bytes.max(4096);
+        // Weights mirror XMark's entity ratios: 21750 items : 25500 persons
+        // : 12000 open : 9750 closed.
+        let unit = (t as f64)
+            / (21750.0 * ITEM as f64
+                + 25500.0 * PERSON as f64
+                + 12000.0 * OPEN as f64
+                + 9750.0 * CLOSED as f64);
+        let items = ((21750.0 * unit) as u64).max(6);
+        SectionCounts {
+            items,
+            categories: (items / 22).max(3),
+            persons: ((25500.0 * unit) as u64).max(4),
+            open_auctions: ((12000.0 * unit) as u64).max(2),
+            closed_auctions: ((9750.0 * unit) as u64).max(2),
+        }
+    }
+}
+
+/// How many of each entity a config generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionCounts {
+    /// Items, split round-robin over the six continents.
+    pub items: u64,
+    /// Categories (and catgraph edges).
+    pub categories: u64,
+    /// Persons.
+    pub persons: u64,
+    /// Open auctions.
+    pub open_auctions: u64,
+    /// Closed auctions.
+    pub closed_auctions: u64,
+}
+
+const WORDS: &[&str] = &[
+    "great",
+    "enemies",
+    "gold",
+    "destruction",
+    "fiery",
+    "gentle",
+    "shadow",
+    "duteous",
+    "abuse",
+    "mutual",
+    "hearted",
+    "house",
+    "within",
+    "merit",
+    "raise",
+    "preventions",
+    "whisper",
+    "heaven",
+    "springs",
+    "shore",
+    "forebode",
+    "embrace",
+    "painting",
+    "commit",
+    "torment",
+    "sorrow",
+    "unfolds",
+    "honour",
+    "itself",
+    "summer",
+    "juliet",
+    "romeo",
+    "wherefore",
+    "quarrel",
+    "valiant",
+    "stream",
+    "xquery",
+    "buffer",
+    "purge",
+    "garbage",
+    "project",
+    "token",
+    "node",
+    "role",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Adena", "Basil", "Chiyo", "Dario", "Edna", "Farid", "Goro", "Hana", "Imre", "Jaska", "Kenji",
+    "Lena", "Mehmet", "Nadia", "Omar", "Priya", "Quentin", "Rosa", "Sven", "Tomo", "Uta", "Vito",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Morrison",
+    "Okafor",
+    "Petrov",
+    "Quispe",
+    "Rahman",
+    "Suzuki",
+    "Tanaka",
+    "Ueda",
+    "Varga",
+    "Weber",
+    "Xenakis",
+    "Yamada",
+    "Zhou",
+    "Abadi",
+    "Boncz",
+    "Codd",
+    "Dittrich",
+    "Eisenberg",
+];
+
+const CONTINENTS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
+
+const CITIES: &[&str] = &[
+    "Tampa", "Kyoto", "Perth", "Bremen", "Quito", "Lagos", "Mumbai", "Oslo", "Lyon", "Adelaide",
+];
+
+const EDUCATIONS: &[&str] = &["High School", "College", "Graduate School", "Other"];
+
+/// A tracked writer so the generator knows how many bytes it emitted.
+struct CountingWriter<W> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Generate an XMark-like document, returning the byte count written.
+pub fn generate<W: Write>(cfg: &XmarkConfig, sink: W) -> io::Result<u64> {
+    let counts = cfg.counts();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut w = CountingWriter {
+        inner: sink,
+        written: 0,
+    };
+    let g = Gen { counts };
+
+    write!(w, "<?xml version=\"1.0\" standalone=\"yes\"?>")?;
+    write!(w, "<site>")?;
+    g.regions(&mut w, &mut rng)?;
+    g.categories(&mut w, &mut rng)?;
+    g.catgraph(&mut w, &mut rng)?;
+    g.people(&mut w, &mut rng)?;
+    g.open_auctions(&mut w, &mut rng)?;
+    g.closed_auctions(&mut w, &mut rng)?;
+    write!(w, "</site>")?;
+    w.flush()?;
+    Ok(w.written)
+}
+
+/// Generate into a string (small documents, tests and examples).
+pub fn generate_string(cfg: &XmarkConfig) -> String {
+    let mut buf = Vec::new();
+    generate(cfg, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("generator emits UTF-8")
+}
+
+struct Gen {
+    counts: SectionCounts,
+}
+
+fn words(rng: &mut StdRng, n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+fn person_name(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+    )
+}
+
+impl Gen {
+    fn regions<W: Write>(&self, w: &mut W, rng: &mut StdRng) -> io::Result<()> {
+        write!(w, "<regions>")?;
+        let per = self.counts.items / 6;
+        let extra = (self.counts.items % 6) as usize;
+        let mut next_item = 0u64;
+        for (ci, continent) in CONTINENTS.iter().enumerate() {
+            let n = per + u64::from(ci < extra);
+            write!(w, "<{continent}>")?;
+            for _ in 0..n {
+                self.item(w, rng, next_item)?;
+                next_item += 1;
+            }
+            write!(w, "</{continent}>")?;
+        }
+        write!(w, "</regions>")
+    }
+
+    fn item<W: Write>(&self, w: &mut W, rng: &mut StdRng, id: u64) -> io::Result<()> {
+        write!(w, "<item id=\"item{id}\">")?;
+        write!(
+            w,
+            "<location>{}</location>",
+            CITIES[rng.gen_range(0..CITIES.len())]
+        )?;
+        write!(w, "<quantity>{}</quantity>", rng.gen_range(1..5))?;
+        write!(w, "<name>{}</name>", words(rng, 2))?;
+        write!(w, "<payment>Creditcard</payment>")?;
+        let desc_len = rng.gen_range(8..25);
+        write!(
+            w,
+            "<description><text>{}</text></description>",
+            words(rng, desc_len)
+        )?;
+        write!(w, "<shipping>Will ship internationally</shipping>")?;
+        let cats = rng.gen_range(1..3);
+        for _ in 0..cats {
+            write!(
+                w,
+                "<incategory category=\"category{}\"/>",
+                rng.gen_range(0..self.counts.categories)
+            )?;
+        }
+        write!(w, "<mailbox></mailbox>")?;
+        write!(w, "</item>")
+    }
+
+    fn categories<W: Write>(&self, w: &mut W, rng: &mut StdRng) -> io::Result<()> {
+        write!(w, "<categories>")?;
+        for id in 0..self.counts.categories {
+            write!(w, "<category id=\"category{id}\">")?;
+            write!(w, "<name>{}</name>", words(rng, 2))?;
+            write!(
+                w,
+                "<description><text>{}</text></description>",
+                words(rng, 6)
+            )?;
+            write!(w, "</category>")?;
+        }
+        write!(w, "</categories>")
+    }
+
+    fn catgraph<W: Write>(&self, w: &mut W, rng: &mut StdRng) -> io::Result<()> {
+        write!(w, "<catgraph>")?;
+        for _ in 0..self.counts.categories {
+            write!(
+                w,
+                "<edge from=\"category{}\" to=\"category{}\"/>",
+                rng.gen_range(0..self.counts.categories),
+                rng.gen_range(0..self.counts.categories)
+            )?;
+        }
+        write!(w, "</catgraph>")
+    }
+
+    fn people<W: Write>(&self, w: &mut W, rng: &mut StdRng) -> io::Result<()> {
+        write!(w, "<people>")?;
+        for id in 0..self.counts.persons {
+            write!(w, "<person id=\"person{id}\">")?;
+            write!(w, "<name>{}</name>", person_name(rng))?;
+            write!(w, "<emailaddress>mailto:p{id}@example.net</emailaddress>")?;
+            if rng.gen_bool(0.6) {
+                write!(
+                    w,
+                    "<phone>+{} ({}) {}</phone>",
+                    rng.gen_range(1..99),
+                    rng.gen_range(10..999),
+                    rng.gen_range(10000..99999)
+                )?;
+            }
+            if rng.gen_bool(0.4) {
+                write!(
+                    w,
+                    "<address><street>{} {} St</street><city>{}</city>\
+                     <country>United States</country><zipcode>{}</zipcode></address>",
+                    rng.gen_range(1..99),
+                    WORDS[rng.gen_range(0..WORDS.len())],
+                    CITIES[rng.gen_range(0..CITIES.len())],
+                    rng.gen_range(10000..99999)
+                )?;
+            }
+            if rng.gen_bool(0.5) {
+                write!(
+                    w,
+                    "<creditcard>{} {} {} {}</creditcard>",
+                    rng.gen_range(1000..9999),
+                    rng.gen_range(1000..9999),
+                    rng.gen_range(1000..9999),
+                    rng.gen_range(1000..9999)
+                )?;
+            }
+            // ~75% of persons have a profile with an income attribute —
+            // Q20 partitions on it, including the "no income" bucket.
+            if rng.gen_bool(0.75) {
+                write!(
+                    w,
+                    "<profile income=\"{:.2}\">",
+                    rng.gen_range(9876.0..250000.0)
+                )?;
+                let interests = rng.gen_range(0..4);
+                for _ in 0..interests {
+                    write!(
+                        w,
+                        "<interest category=\"category{}\"/>",
+                        rng.gen_range(0..self.counts.categories)
+                    )?;
+                }
+                write!(
+                    w,
+                    "<education>{}</education>",
+                    EDUCATIONS[rng.gen_range(0..4)]
+                )?;
+                write!(
+                    w,
+                    "<gender>{}</gender>",
+                    if rng.gen_bool(0.5) { "male" } else { "female" }
+                )?;
+                write!(
+                    w,
+                    "<business>{}</business>",
+                    if rng.gen_bool(0.3) { "Yes" } else { "No" }
+                )?;
+                write!(w, "<age>{}</age>", rng.gen_range(18..90))?;
+                write!(w, "</profile>")?;
+            }
+            if rng.gen_bool(0.3) {
+                write!(
+                    w,
+                    "<watches><watch open_auction=\"open_auction{}\"/></watches>",
+                    rng.gen_range(0..self.counts.open_auctions)
+                )?;
+            }
+            write!(w, "</person>")?;
+        }
+        write!(w, "</people>")
+    }
+
+    fn open_auctions<W: Write>(&self, w: &mut W, rng: &mut StdRng) -> io::Result<()> {
+        write!(w, "<open_auctions>")?;
+        for id in 0..self.counts.open_auctions {
+            write!(w, "<open_auction id=\"open_auction{id}\">")?;
+            let initial = rng.gen_range(1.0..300.0);
+            write!(w, "<initial>{initial:.2}</initial>")?;
+            if rng.gen_bool(0.4) {
+                write!(w, "<reserve>{:.2}</reserve>", initial * 1.5)?;
+            }
+            let bidders = rng.gen_range(0..5);
+            let mut current = initial;
+            for _ in 0..bidders {
+                current += rng.gen_range(1.0..50.0);
+                write!(
+                    w,
+                    "<bidder><date>{}</date><time>{}:{:02}:00</time>\
+                     <personref person=\"person{}\"/><increase>{:.2}</increase></bidder>",
+                    date(rng),
+                    rng.gen_range(0..24),
+                    rng.gen_range(0..60),
+                    rng.gen_range(0..self.counts.persons),
+                    current
+                )?;
+            }
+            write!(w, "<current>{current:.2}</current>")?;
+            write!(
+                w,
+                "<itemref item=\"item{}\"/>",
+                rng.gen_range(0..self.counts.items)
+            )?;
+            write!(
+                w,
+                "<seller person=\"person{}\"/>",
+                rng.gen_range(0..self.counts.persons)
+            )?;
+            let ann_len = rng.gen_range(5..15);
+            write!(
+                w,
+                "<annotation><description><text>{}</text></description></annotation>",
+                words(rng, ann_len)
+            )?;
+            write!(w, "<quantity>{}</quantity>", rng.gen_range(1..3))?;
+            write!(w, "<type>Regular</type>")?;
+            let (start, end) = (date(rng), date(rng));
+            write!(
+                w,
+                "<interval><start>{start}</start><end>{end}</end></interval>"
+            )?;
+            write!(w, "</open_auction>")?;
+        }
+        write!(w, "</open_auctions>")
+    }
+
+    fn closed_auctions<W: Write>(&self, w: &mut W, rng: &mut StdRng) -> io::Result<()> {
+        write!(w, "<closed_auctions>")?;
+        for _ in 0..self.counts.closed_auctions {
+            write!(w, "<closed_auction>")?;
+            write!(
+                w,
+                "<seller person=\"person{}\"/>",
+                rng.gen_range(0..self.counts.persons)
+            )?;
+            write!(
+                w,
+                "<buyer person=\"person{}\"/>",
+                rng.gen_range(0..self.counts.persons)
+            )?;
+            write!(
+                w,
+                "<itemref item=\"item{}\"/>",
+                rng.gen_range(0..self.counts.items)
+            )?;
+            write!(w, "<price>{:.2}</price>", rng.gen_range(5.0..500.0))?;
+            write!(w, "<date>{}</date>", date(rng))?;
+            write!(w, "<quantity>{}</quantity>", rng.gen_range(1..3))?;
+            write!(w, "<type>Regular</type>")?;
+            let ann_len = rng.gen_range(5..15);
+            write!(
+                w,
+                "<annotation><description><text>{}</text></description></annotation>",
+                words(rng, ann_len)
+            )?;
+            write!(w, "</closed_auction>")?;
+        }
+        write!(w, "</closed_auctions>")
+    }
+}
+
+fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..13),
+        rng.gen_range(1..29),
+        rng.gen_range(1998..2002)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = XmarkConfig {
+            target_bytes: 50_000,
+            seed: 42,
+        };
+        assert_eq!(generate_string(&cfg), generate_string(&cfg));
+        let other = XmarkConfig {
+            target_bytes: 50_000,
+            seed: 43,
+        };
+        assert_ne!(generate_string(&cfg), generate_string(&other));
+    }
+
+    #[test]
+    fn size_lands_near_target() {
+        for target in [100_000u64, 1_000_000] {
+            let cfg = XmarkConfig::sized(target);
+            let doc = generate_string(&cfg);
+            let ratio = doc.len() as f64 / target as f64;
+            assert!(
+                (0.5..1.6).contains(&ratio),
+                "target {target}, got {} (ratio {ratio:.2})",
+                doc.len()
+            );
+        }
+    }
+
+    #[test]
+    fn document_is_well_formed() {
+        let doc = generate_string(&XmarkConfig::sized(200_000));
+        let mut t = gcx_xml::Tokenizer::from_str(&doc);
+        t.validate_to_end()
+            .expect("generated document must be well-formed");
+    }
+
+    #[test]
+    fn sections_in_xmark_order() {
+        let doc = generate_string(&XmarkConfig::sized(50_000));
+        let positions: Vec<usize> = [
+            "<regions>",
+            "<categories>",
+            "<catgraph>",
+            "<people>",
+            "<open_auctions>",
+            "<closed_auctions>",
+        ]
+        .iter()
+        .map(|s| doc.find(s).unwrap_or_else(|| panic!("missing section {s}")))
+        .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "sections out of order"
+        );
+    }
+
+    #[test]
+    fn contains_join_partners() {
+        let doc = generate_string(&XmarkConfig::sized(100_000));
+        assert!(doc.contains("person0"), "ids start at 0");
+        assert!(
+            doc.contains("buyer person=\"person"),
+            "closed auctions reference buyers"
+        );
+        assert!(
+            doc.contains("profile income=\""),
+            "profiles carry income attributes"
+        );
+        assert!(
+            doc.contains("<australia>"),
+            "Q13 needs the australia region"
+        );
+    }
+
+    #[test]
+    fn counts_scale_with_target() {
+        let small = XmarkConfig::sized(100_000).counts();
+        let large = XmarkConfig::sized(1_000_000).counts();
+        assert!(large.persons > small.persons * 5);
+        assert!(large.items > small.items * 5);
+        // XMark's ratio: more persons than items than auctions.
+        assert!(large.persons > large.items);
+        assert!(large.items > large.open_auctions);
+        assert!(large.open_auctions > large.closed_auctions);
+    }
+}

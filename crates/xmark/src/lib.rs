@@ -1,0 +1,28 @@
+//! # gcx-xmark — XMark-like workload generation for the GCX experiments
+//!
+//! The paper evaluates GCX on documents from the XMark benchmark and on two
+//! hand-crafted micro documents. The original XMark generator (`xmlgen`, C)
+//! is not available offline, so this crate provides:
+//!
+//! * [`XmarkConfig`] / [`generate`]: a deterministic, seedable generator
+//!   emitting the XMark six-section skeleton — `regions` (with items per
+//!   continent), `categories`, `catgraph`, `people`, `open_auctions`,
+//!   `closed_auctions` — with the element shapes, attributes (`person/@id`,
+//!   `buyer/@person`, `profile/@income`) and cross-references the adapted
+//!   queries touch. Section *order* matches XMark because the buffer-plot
+//!   shapes of the paper's Figure 4 depend on it (people stream in before
+//!   the closed auctions they join with).
+//! * [`microdoc`]: the paper's Figure 3 documents — a `bib` with ten
+//!   children of the form `<t><author/><title/><price/></t>` (82 tags).
+//! * [`queries`]: the five XMark queries of Figure 5 (Q1, Q6, Q8, Q13,
+//!   Q20), adapted to the GCX fragment the way the paper describes (no
+//!   aggregation: counting queries return witnesses; Q20's four separate
+//!   person loops become one loop with four conditionals so the query
+//!   stays single-pass).
+
+mod gen;
+mod microdoc;
+pub mod queries;
+
+pub use gen::{generate, generate_string, SectionCounts, XmarkConfig};
+pub use microdoc::{microdoc, microdoc_article_heavy, microdoc_book_heavy, MicroKind};

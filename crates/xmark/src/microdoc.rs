@@ -1,0 +1,91 @@
+//! The paper's Figure 3 micro documents.
+//!
+//! "Each input document contains a bib root node with ten children of the
+//! form `<t><author></author><title></title><price></price></t>` where t is
+//! either tag book or article, a total of 82 tags forming 41 document
+//! nodes."
+
+use std::fmt::Write;
+
+/// Kind of one `bib` child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroKind {
+    /// `<article>...`
+    Article,
+    /// `<book>...`
+    Book,
+}
+
+impl MicroKind {
+    fn tag(self) -> &'static str {
+        match self {
+            MicroKind::Article => "article",
+            MicroKind::Book => "book",
+        }
+    }
+}
+
+/// Build a micro document with the given child sequence.
+pub fn microdoc(kinds: &[MicroKind]) -> String {
+    let mut out = String::with_capacity(kinds.len() * 64 + 16);
+    out.push_str("<bib>");
+    for k in kinds {
+        let t = k.tag();
+        write!(
+            out,
+            "<{t}><author></author><title></title><price></price></{t}>"
+        )
+        .unwrap();
+    }
+    out.push_str("</bib>");
+    out
+}
+
+/// Figure 3(b): nine articles followed by one book.
+pub fn microdoc_article_heavy() -> String {
+    let mut kinds = vec![MicroKind::Article; 9];
+    kinds.push(MicroKind::Book);
+    microdoc(&kinds)
+}
+
+/// Figure 3(c): nine books followed by one article.
+pub fn microdoc_book_heavy() -> String {
+    let mut kinds = vec![MicroKind::Book; 9];
+    kinds.push(MicroKind::Article);
+    microdoc(&kinds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_tags(doc: &str) -> usize {
+        doc.matches('<').count()
+    }
+
+    #[test]
+    fn has_82_tags_and_41_nodes() {
+        for doc in [microdoc_article_heavy(), microdoc_book_heavy()] {
+            assert_eq!(count_tags(&doc), 82, "paper: a total of 82 tags");
+            // 1 bib + 10 children + 30 grandchildren = 41 nodes.
+            let opens = doc.matches("</").count();
+            assert_eq!(count_tags(&doc) - opens, 41, "41 document nodes");
+        }
+    }
+
+    #[test]
+    fn article_heavy_ends_with_book() {
+        let doc = microdoc_article_heavy();
+        let last_child = doc.rfind("<book>").unwrap();
+        assert!(doc[..last_child].matches("<article>").count() == 9);
+    }
+
+    #[test]
+    fn children_have_paper_shape() {
+        let doc = microdoc(&[MicroKind::Book]);
+        assert_eq!(
+            doc,
+            "<bib><book><author></author><title></title><price></price></book></bib>"
+        );
+    }
+}

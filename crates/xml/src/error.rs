@@ -1,0 +1,162 @@
+//! Error types for XML tokenization and serialization.
+
+use crate::pos::TextPos;
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// What went wrong while reading or writing XML.
+#[derive(Debug)]
+pub enum XmlErrorKind {
+    /// Underlying I/O failure from the source or sink.
+    Io(std::io::Error),
+    /// The input ended in the middle of a construct (tag, comment, ...).
+    UnexpectedEof {
+        /// Human description of the construct being parsed.
+        context: &'static str,
+    },
+    /// A syntactic violation, e.g. `<1abc>` or a bare `&`.
+    Syntax(String),
+    /// `</b>` closed `<a>`: mismatched element nesting.
+    MismatchedTag {
+        /// Name of the element currently open.
+        expected: String,
+        /// Name found in the end tag.
+        found: String,
+    },
+    /// An end tag with no matching open element.
+    UnexpectedEndTag(String),
+    /// End of input with elements still open.
+    UnclosedElements(Vec<String>),
+    /// More than one top-level element (or content after the root closed).
+    TrailingContent,
+    /// Non-whitespace character data outside the document element.
+    TextOutsideRoot,
+    /// Unknown or malformed entity reference such as `&foo;`.
+    BadEntity(String),
+    /// Input is not valid UTF-8.
+    InvalidUtf8,
+    /// The serializer was asked to do something inconsistent, e.g. closing
+    /// an element that was never opened.
+    WriterMisuse(String),
+}
+
+/// An XML error together with the position at which it was detected.
+#[derive(Debug)]
+pub struct XmlError {
+    /// The failure category and payload.
+    pub kind: XmlErrorKind,
+    /// Where in the input the problem was found (position of the offending
+    /// construct's first byte where possible).
+    pub pos: TextPos,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, pos: TextPos) -> Self {
+        XmlError { kind, pos }
+    }
+
+    pub(crate) fn syntax(msg: impl Into<String>, pos: TextPos) -> Self {
+        XmlError::new(XmlErrorKind::Syntax(msg.into()), pos)
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::Io(e) => write!(f, "{}: I/O error: {e}", self.pos),
+            XmlErrorKind::UnexpectedEof { context } => {
+                write!(
+                    f,
+                    "{}: unexpected end of input while reading {context}",
+                    self.pos
+                )
+            }
+            XmlErrorKind::Syntax(msg) => write!(f, "{}: {msg}", self.pos),
+            XmlErrorKind::MismatchedTag { expected, found } => write!(
+                f,
+                "{}: mismatched end tag: expected </{expected}>, found </{found}>",
+                self.pos
+            ),
+            XmlErrorKind::UnexpectedEndTag(name) => {
+                write!(f, "{}: end tag </{name}> without open element", self.pos)
+            }
+            XmlErrorKind::UnclosedElements(names) => {
+                write!(
+                    f,
+                    "{}: input ended with unclosed elements: {}",
+                    self.pos,
+                    names.join(", ")
+                )
+            }
+            XmlErrorKind::TrailingContent => {
+                write!(f, "{}: content after the document element", self.pos)
+            }
+            XmlErrorKind::TextOutsideRoot => {
+                write!(
+                    f,
+                    "{}: character data outside the document element",
+                    self.pos
+                )
+            }
+            XmlErrorKind::BadEntity(e) => {
+                write!(
+                    f,
+                    "{}: unknown or malformed entity reference &{e};",
+                    self.pos
+                )
+            }
+            XmlErrorKind::InvalidUtf8 => write!(f, "{}: input is not valid UTF-8", self.pos),
+            XmlErrorKind::WriterMisuse(msg) => write!(f, "writer misuse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            XmlErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        XmlError::new(XmlErrorKind::Io(e), TextPos::START)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let mut pos = TextPos::START;
+        pos.advance(b"ab\ncd");
+        let e = XmlError::syntax("bad thing", pos);
+        assert_eq!(e.to_string(), "2:3: bad thing");
+    }
+
+    #[test]
+    fn mismatched_tag_message() {
+        let e = XmlError::new(
+            XmlErrorKind::MismatchedTag {
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            TextPos::START,
+        );
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("</b>"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e: XmlError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,176 @@
+//! Escaping and entity resolution.
+//!
+//! XML defines five predefined entities (`&lt;` `&gt;` `&amp;` `&apos;`
+//! `&quot;`) plus numeric character references (`&#10;`, `&#x1F600;`). The
+//! tokenizer uses [`unescape_into`] when lending text and attribute values;
+//! the writer uses [`escape_text`] / [`escape_attr`]. Both sides avoid
+//! allocation when no rewriting is needed.
+
+use std::borrow::Cow;
+
+/// Escape character data for element content.
+///
+/// `<`, `&` must be escaped in content; we also escape `>` (required only in
+/// the `]]>` sequence, but escaping it always is valid and simpler).
+/// Returns the input unchanged (borrowed) when nothing needs escaping.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_impl(s, false)
+}
+
+/// Escape an attribute value for inclusion in double quotes.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs =
+        |b: u8| matches!(b, b'<' | b'>' | b'&') || (attr && matches!(b, b'"' | b'\n' | b'\t'));
+    let Some(first) = s.bytes().position(needs) else {
+        return Cow::Borrowed(s);
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for ch in s[first..].chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            // Escape whitespace in attributes so it survives attribute-value
+            // normalization on re-parse.
+            '\n' if attr => out.push_str("&#10;"),
+            '\t' if attr => out.push_str("&#9;"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve one entity body (the part between `&` and `;`).
+///
+/// Returns `None` for unknown names or malformed/invalid numeric references.
+pub fn resolve_entity(body: &str) -> Option<char> {
+    match body {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let rest = body.strip_prefix('#')?;
+            let cp = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(cp)
+        }
+    }
+}
+
+/// Unescape `raw`, appending the result to `out`.
+///
+/// Returns `Err(entity_body)` on the first unknown/malformed entity.
+/// A trailing bare `&` (no `;` before the end) is also an error, reported as
+/// the partial body seen.
+pub fn unescape_into<'a>(raw: &'a str, out: &mut String) -> Result<(), &'a str> {
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let Some(semi) = after.find(';') else {
+            return Err(after);
+        };
+        let body = &after[..semi];
+        match resolve_entity(body) {
+            Some(c) => out.push(c),
+            None => return Err(body),
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(())
+}
+
+/// Unescape into a [`Cow`], borrowing when the input contains no entities.
+pub fn unescape(raw: &str) -> Result<Cow<'_, str>, String> {
+    if !raw.contains('&') {
+        return Ok(Cow::Borrowed(raw));
+    }
+    let mut out = String::with_capacity(raw.len());
+    unescape_into(raw, &mut out).map_err(|e| e.to_string())?;
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_rewrites_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escape_attr_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b\nc\td"), "a&quot;b&#10;c&#9;d");
+    }
+
+    #[test]
+    fn escape_text_leaves_quotes_alone() {
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+    }
+
+    #[test]
+    fn resolve_predefined() {
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+    }
+
+    #[test]
+    fn resolve_numeric() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('😀'));
+    }
+
+    #[test]
+    fn resolve_rejects_garbage() {
+        assert_eq!(resolve_entity("nbsp"), None);
+        assert_eq!(resolve_entity("#xZZ"), None);
+        assert_eq!(resolve_entity("#xD800"), None); // surrogate
+        assert_eq!(resolve_entity(""), None);
+    }
+
+    #[test]
+    fn unescape_roundtrips_escaped_text() {
+        let original = "a<b&c>\"quoted\"";
+        let escaped = escape_text(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn unescape_reports_bad_entity() {
+        assert_eq!(unescape("a&bogus;b").unwrap_err(), "bogus");
+        assert_eq!(unescape("a&nosemi").unwrap_err(), "nosemi");
+    }
+
+    #[test]
+    fn unescape_borrows_when_clean() {
+        assert!(matches!(unescape("clean text").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_handles_adjacent_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;").unwrap(), "<>&");
+    }
+}

@@ -1,0 +1,79 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+
+/// A position inside the XML input, tracked byte-exactly by the tokenizer.
+///
+/// `line` and `column` are 1-based (as editors display them); `offset` is the
+/// 0-based byte offset from the start of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextPos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes, not grapheme clusters).
+    pub column: u32,
+    /// 0-based byte offset from the beginning of the stream.
+    pub offset: u64,
+}
+
+impl TextPos {
+    /// The position of the very first byte.
+    pub const START: TextPos = TextPos {
+        line: 1,
+        column: 1,
+        offset: 0,
+    };
+
+    /// Advance the position over `bytes`, updating line/column bookkeeping.
+    pub fn advance(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.offset += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+    }
+}
+
+impl Default for TextPos {
+    fn default() -> Self {
+        TextPos::START
+    }
+}
+
+impl fmt::Display for TextPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_lines_and_columns() {
+        let mut p = TextPos::START;
+        p.advance(b"ab\ncd");
+        assert_eq!(p.line, 2);
+        assert_eq!(p.column, 3);
+        assert_eq!(p.offset, 5);
+    }
+
+    #[test]
+    fn display_is_line_colon_column() {
+        let mut p = TextPos::START;
+        p.advance(b"\n\nxy");
+        assert_eq!(p.to_string(), "3:3");
+    }
+
+    #[test]
+    fn empty_advance_is_noop() {
+        let mut p = TextPos::START;
+        p.advance(b"");
+        assert_eq!(p, TextPos::START);
+    }
+}

@@ -1,0 +1,121 @@
+//! Name interning.
+//!
+//! The GCX buffer stores millions of nodes for large inputs; comparing and
+//! storing tag names as strings would dominate memory and time. A
+//! [`SymbolTable`] maps each distinct XML name to a dense `u32` [`Symbol`];
+//! the buffer, the projection NFA and the evaluator all speak symbols.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned XML name. Cheap to copy, compare and hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Index into the owning [`SymbolTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Symbols are never reclaimed; queries and documents use a small, stable
+/// universe of names so the table stays tiny even for very large inputs.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    map: HashMap<Box<str>, Symbol>,
+    names: Vec<Box<str>>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The string for `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` came from a different table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a1 = t.intern("book");
+        let a2 = t.intern("book");
+        assert_eq!(a1, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("book");
+        let b = t.intern("article");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "book");
+        assert_eq!(t.resolve(b), "article");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.get("x"), None);
+        let s = t.intern("x");
+        assert_eq!(t.get("x"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_indices() {
+        let mut t = SymbolTable::new();
+        for i in 0..100 {
+            let s = t.intern(&format!("n{i}"));
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Borrowed token types produced by the [`crate::Tokenizer`].
+
+use std::borrow::Cow;
+
+/// One attribute of a start tag. The value has entities already resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr<'a> {
+    /// Attribute name as written (no namespace processing).
+    pub name: &'a str,
+    /// Attribute value with entities resolved; borrowed when no entity
+    /// occurred in the source.
+    pub value: Cow<'a, str>,
+}
+
+/// A start tag: name, attributes, and whether it was self-closing (`<a/>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartTag<'a> {
+    /// Element name.
+    pub name: &'a str,
+    /// Attributes in document order.
+    pub attrs: Vec<Attr<'a>>,
+    /// `true` for `<a/>`; the tokenizer does **not** synthesize a separate
+    /// end token, consumers handle the flag.
+    pub self_closing: bool,
+}
+
+/// One XML token. Borrowed views into the tokenizer's internal buffer;
+/// valid until the next call to `next_token`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// `<name attr="v">` or `<name/>`.
+    StartTag(StartTag<'a>),
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: &'a str,
+    },
+    /// Character data with entities resolved. CDATA sections also surface as
+    /// `Text` (verbatim). Consecutive runs are *not* merged across entity or
+    /// CDATA boundaries; consumers that need merged text concatenate.
+    Text(Cow<'a, str>),
+    /// `<!-- ... -->` (content between the delimiters).
+    Comment(&'a str),
+    /// `<?target data?>`. The XML declaration `<?xml ...?>` appears here too.
+    ProcessingInstruction {
+        /// PI target (first name).
+        target: &'a str,
+        /// Everything between the target and `?>`, trimmed of leading space.
+        data: &'a str,
+    },
+    /// `<!DOCTYPE ...>` content, kept verbatim and otherwise ignored.
+    Doctype(&'a str),
+}
+
+impl Token<'_> {
+    /// True for tokens that represent document structure the GCX engine
+    /// cares about (tags and text); comments/PIs/doctype are "noise".
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            Token::StartTag(_) | Token::EndTag { .. } | Token::Text(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_classification() {
+        assert!(Token::Text(Cow::Borrowed("x")).is_structural());
+        assert!(Token::EndTag { name: "a" }.is_structural());
+        assert!(!Token::Comment("c").is_structural());
+        assert!(!Token::Doctype("d").is_structural());
+    }
+}

@@ -1,0 +1,969 @@
+//! Incremental, pull-based XML tokenizer.
+//!
+//! The tokenizer reads from any [`Read`] source through an internal growable
+//! window buffer, so arbitrarily large documents stream through bounded
+//! memory (the window only ever holds the bytes of the token currently being
+//! assembled plus unread lookahead). This is the token source of the GCX
+//! architecture: the stream preprojector calls [`Tokenizer::next_token`] once
+//! per `nextNode()` request chain.
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::escape::unescape_into;
+use crate::pos::TextPos;
+use crate::token::{Attr, StartTag, Token};
+use std::borrow::Cow;
+use std::io::Read;
+
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Configuration for the tokenizer.
+#[derive(Debug, Clone)]
+pub struct TokenizerOptions {
+    /// Enforce balanced tags, a single document element, and no character
+    /// data outside it. On by default.
+    pub check_well_formed: bool,
+    /// Permit document fragments: multiple top-level elements and top-level
+    /// text. Implies relaxing the single-root rule. Off by default.
+    pub allow_fragments: bool,
+}
+
+impl Default for TokenizerOptions {
+    fn default() -> Self {
+        TokenizerOptions {
+            check_well_formed: true,
+            allow_fragments: false,
+        }
+    }
+}
+
+/// Streaming XML tokenizer. See the [crate docs](crate) for an example.
+pub struct Tokenizer<R> {
+    src: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (start of the unread window).
+    lo: usize,
+    /// End of valid bytes in `buf`.
+    hi: usize,
+    src_eof: bool,
+    pos: TextPos,
+    opts: TokenizerOptions,
+    /// Open element names (well-formedness only).
+    stack: Vec<String>,
+    seen_root: bool,
+    /// Scratch for entity-unescaped text so we can lend it borrowed.
+    text_scratch: String,
+    /// Set once EOF has been fully validated and reported.
+    done: bool,
+}
+
+/// What kind of markup construct starts at the current `<`.
+enum MarkupKind {
+    Comment,
+    CData,
+    Doctype,
+    Pi,
+    EndTag,
+    StartTag,
+}
+
+impl<'s> Tokenizer<std::io::Cursor<&'s [u8]>> {
+    /// Tokenize an in-memory string (tests, small documents).
+    /// (Not the `FromStr` trait: this borrows from the input.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &'s str) -> Self {
+        Tokenizer::new(std::io::Cursor::new(s.as_bytes()))
+    }
+
+    /// Tokenize an in-memory byte slice.
+    pub fn from_bytes(b: &'s [u8]) -> Self {
+        Tokenizer::new(std::io::Cursor::new(b))
+    }
+}
+
+impl<R: Read> Tokenizer<R> {
+    /// Tokenizer with default options (well-formedness checking on).
+    pub fn new(src: R) -> Self {
+        Tokenizer::with_options(src, TokenizerOptions::default())
+    }
+
+    /// Tokenizer with explicit options.
+    pub fn with_options(src: R, opts: TokenizerOptions) -> Self {
+        Tokenizer {
+            src,
+            buf: Vec::new(),
+            lo: 0,
+            hi: 0,
+            src_eof: false,
+            pos: TextPos::START,
+            opts,
+            stack: Vec::new(),
+            seen_root: false,
+            text_scratch: String::new(),
+            done: false,
+        }
+    }
+
+    /// Current position: the first byte of the *next* token to be returned.
+    pub fn position(&self) -> TextPos {
+        self.pos
+    }
+
+    /// Depth of currently open elements (well-formedness checking only).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    // ---- buffer management -------------------------------------------------
+
+    /// Number of unread bytes currently buffered.
+    fn avail(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Pull more bytes from the source. Returns false at source EOF.
+    fn fill(&mut self) -> XmlResult<bool> {
+        if self.src_eof {
+            return Ok(false);
+        }
+        // Compact the consumed prefix before growing.
+        if self.lo > 0 && (self.buf.len() - self.hi) < READ_CHUNK {
+            self.buf.copy_within(self.lo..self.hi, 0);
+            self.hi -= self.lo;
+            self.lo = 0;
+        }
+        if self.buf.len() - self.hi < READ_CHUNK {
+            self.buf.resize(self.hi + READ_CHUNK, 0);
+        }
+        let n = self
+            .src
+            .read(&mut self.buf[self.hi..])
+            .map_err(|e| XmlError {
+                kind: XmlErrorKind::Io(e),
+                pos: self.pos,
+            })?;
+        if n == 0 {
+            self.src_eof = true;
+            return Ok(false);
+        }
+        self.hi += n;
+        Ok(true)
+    }
+
+    /// Ensure at least `n` unread bytes are buffered; false if EOF prevents it.
+    fn ensure(&mut self, n: usize) -> XmlResult<bool> {
+        while self.avail() < n {
+            if !self.fill()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Find `needle` in the unread window starting at relative offset
+    /// `from`, filling as needed. Returns the relative offset of the match.
+    fn find(&mut self, from: usize, needle: &[u8]) -> XmlResult<Option<usize>> {
+        let mut search_from = from;
+        loop {
+            let window = &self.buf[self.lo..self.hi];
+            if window.len() >= needle.len() {
+                let hay = &window[search_from.min(window.len())..];
+                if let Some(i) = find_sub(hay, needle) {
+                    return Ok(Some(search_from + i));
+                }
+                // Keep the last needle.len()-1 bytes re-searchable across fills.
+                search_from = window.len().saturating_sub(needle.len() - 1).max(from);
+            }
+            if !self.fill()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Consume `n` bytes, updating the position.
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.avail());
+        self.pos.advance(&self.buf[self.lo..self.lo + n]);
+        self.lo += n;
+    }
+
+    fn err_eof(&self, context: &'static str) -> XmlError {
+        XmlError::new(XmlErrorKind::UnexpectedEof { context }, self.pos)
+    }
+
+    // ---- tokenization ------------------------------------------------------
+
+    /// Produce the next token, or `None` at a clean end of input.
+    ///
+    /// The returned token borrows the tokenizer's internal buffers and is
+    /// valid until the next call.
+    pub fn next_token(&mut self) -> XmlResult<Option<Token<'_>>> {
+        if self.done {
+            return Ok(None);
+        }
+        if !self.ensure(1)? {
+            // Clean EOF: validate well-formedness closure.
+            self.done = true;
+            if self.opts.check_well_formed {
+                if !self.stack.is_empty() {
+                    return Err(XmlError::new(
+                        XmlErrorKind::UnclosedElements(self.stack.clone()),
+                        self.pos,
+                    ));
+                }
+                if !self.seen_root && !self.opts.allow_fragments {
+                    return Err(self.err_eof("document element"));
+                }
+            }
+            return Ok(None);
+        }
+        if self.buf[self.lo] == b'<' {
+            self.next_markup()
+        } else {
+            self.next_text()
+        }
+    }
+
+    /// Drive the tokenizer to the end of input, validating everything.
+    /// Returns the number of tokens seen. Useful for well-formedness checks.
+    pub fn validate_to_end(&mut self) -> XmlResult<u64> {
+        let mut n = 0;
+        while self.next_token()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn next_text(&mut self) -> XmlResult<Option<Token<'_>>> {
+        // Locate the end of the text run: the next '<' or EOF.
+        let end = match self.find(0, b"<")? {
+            Some(i) => i,
+            None => self.avail(),
+        };
+        let start_pos = self.pos;
+        let raw = &self.buf[self.lo..self.lo + end];
+        let raw = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, start_pos))?;
+        // Outside the document element only whitespace is allowed.
+        if self.opts.check_well_formed
+            && !self.opts.allow_fragments
+            && self.stack.is_empty()
+            && !raw.bytes().all(|b| b.is_ascii_whitespace())
+        {
+            return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
+        }
+        // Unescape into scratch if needed; lend borrowed otherwise.
+        let needs_unescape = raw.contains('&');
+        if needs_unescape {
+            self.text_scratch.clear();
+            let raw_owned_range = self.lo..self.lo + end; // defer slice re-borrow
+                                                          // Safety dance for the borrow checker: re-slice after the range.
+            let raw2 = std::str::from_utf8(&self.buf[raw_owned_range]).unwrap();
+            if let Err(entity) = unescape_into(raw2, &mut self.text_scratch) {
+                let entity = entity.to_string();
+                return Err(XmlError::new(XmlErrorKind::BadEntity(entity), start_pos));
+            }
+        }
+        self.consume(end);
+        if needs_unescape {
+            Ok(Some(Token::Text(Cow::Borrowed(&self.text_scratch))))
+        } else {
+            let s = std::str::from_utf8(&self.buf[self.lo - end..self.lo]).unwrap();
+            Ok(Some(Token::Text(Cow::Borrowed(s))))
+        }
+    }
+
+    fn classify_markup(&mut self) -> XmlResult<MarkupKind> {
+        // We have '<' at lo. Peek a handful of bytes to classify.
+        self.ensure(2)?;
+        if self.avail() < 2 {
+            return Err(self.err_eof("markup"));
+        }
+        Ok(match self.buf[self.lo + 1] {
+            b'/' => MarkupKind::EndTag,
+            b'?' => MarkupKind::Pi,
+            b'!' => {
+                // <!-- | <![CDATA[ | <!DOCTYPE
+                if self.ensure(4)? && &self.buf[self.lo + 2..self.lo + 4] == b"--" {
+                    MarkupKind::Comment
+                } else if self.ensure(9)? && &self.buf[self.lo + 2..self.lo + 9] == b"[CDATA[" {
+                    MarkupKind::CData
+                } else {
+                    MarkupKind::Doctype
+                }
+            }
+            _ => MarkupKind::StartTag,
+        })
+    }
+
+    fn next_markup(&mut self) -> XmlResult<Option<Token<'_>>> {
+        let start_pos = self.pos;
+        match self.classify_markup()? {
+            MarkupKind::Comment => {
+                let end = self
+                    .find(4, b"-->")?
+                    .ok_or_else(|| self.err_eof("comment"))?;
+                let total = end + 3;
+                let content = check_utf8(&self.buf[self.lo + 4..self.lo + end], start_pos)?;
+                let _ = content;
+                self.consume(total);
+                let s = std::str::from_utf8(&self.buf[self.lo - total + 4..self.lo - 3]).unwrap();
+                Ok(Some(Token::Comment(s)))
+            }
+            MarkupKind::CData => {
+                let end = self
+                    .find(9, b"]]>")?
+                    .ok_or_else(|| self.err_eof("CDATA section"))?;
+                let total = end + 3;
+                check_utf8(&self.buf[self.lo + 9..self.lo + end], start_pos)?;
+                if self.opts.check_well_formed
+                    && !self.opts.allow_fragments
+                    && self.stack.is_empty()
+                {
+                    return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
+                }
+                self.consume(total);
+                let s = std::str::from_utf8(&self.buf[self.lo - total + 9..self.lo - 3]).unwrap();
+                Ok(Some(Token::Text(Cow::Borrowed(s))))
+            }
+            MarkupKind::Doctype => {
+                // Scan for '>' at zero square-bracket depth (internal subset).
+                let end = self.find_doctype_end()?;
+                let total = end + 1;
+                check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
+                self.consume(total);
+                let s = std::str::from_utf8(&self.buf[self.lo - total + 2..self.lo - 1]).unwrap();
+                Ok(Some(Token::Doctype(s)))
+            }
+            MarkupKind::Pi => {
+                let end = self
+                    .find(2, b"?>")?
+                    .ok_or_else(|| self.err_eof("processing instruction"))?;
+                let total = end + 2;
+                let body = check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
+                let target_len = body
+                    .char_indices()
+                    .find(|(_, c)| c.is_whitespace())
+                    .map(|(i, _)| i)
+                    .unwrap_or(body.len());
+                if target_len == 0 {
+                    return Err(XmlError::syntax(
+                        "processing instruction without target",
+                        start_pos,
+                    ));
+                }
+                let data_off = body[target_len..]
+                    .char_indices()
+                    .find(|(_, c)| !c.is_whitespace())
+                    .map(|(i, _)| target_len + i)
+                    .unwrap_or(body.len());
+                self.consume(total);
+                let body =
+                    std::str::from_utf8(&self.buf[self.lo - total + 2..self.lo - 2]).unwrap();
+                Ok(Some(Token::ProcessingInstruction {
+                    target: &body[..target_len],
+                    data: &body[data_off..],
+                }))
+            }
+            MarkupKind::EndTag => {
+                let end = self.find(2, b">")?.ok_or_else(|| self.err_eof("end tag"))?;
+                let total = end + 1;
+                let name = check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?.trim();
+                validate_name(name, start_pos)?;
+                if self.opts.check_well_formed {
+                    match self.stack.pop() {
+                        None => {
+                            return Err(XmlError::new(
+                                XmlErrorKind::UnexpectedEndTag(name.to_string()),
+                                start_pos,
+                            ))
+                        }
+                        Some(open) if open != name => {
+                            return Err(XmlError::new(
+                                XmlErrorKind::MismatchedTag {
+                                    expected: open,
+                                    found: name.to_string(),
+                                },
+                                start_pos,
+                            ))
+                        }
+                        Some(_) => {}
+                    }
+                }
+                let name_rel = {
+                    // Name position inside the markup for re-borrowing below.
+                    let body = std::str::from_utf8(&self.buf[self.lo + 2..self.lo + end]).unwrap();
+                    let lead = body.len() - body.trim_start().len();
+                    (2 + lead, 2 + lead + name.len())
+                };
+                self.consume(total);
+                let s = std::str::from_utf8(
+                    &self.buf[self.lo - total + name_rel.0..self.lo - total + name_rel.1],
+                )
+                .unwrap();
+                Ok(Some(Token::EndTag { name: s }))
+            }
+            MarkupKind::StartTag => self.next_start_tag(start_pos),
+        }
+    }
+
+    /// Find the '>' that ends a DOCTYPE, respecting `[ ... ]` internal subsets.
+    fn find_doctype_end(&mut self) -> XmlResult<usize> {
+        let mut i = 1;
+        let mut depth = 0usize;
+        loop {
+            while i >= self.avail() {
+                if !self.fill()? {
+                    return Err(self.err_eof("DOCTYPE declaration"));
+                }
+            }
+            match self.buf[self.lo + i] {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(i),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Find the '>' ending a start tag, skipping quoted attribute values.
+    fn find_tag_end(&mut self) -> XmlResult<usize> {
+        let mut i = 1;
+        let mut quote: Option<u8> = None;
+        loop {
+            while i >= self.avail() {
+                if !self.fill()? {
+                    return Err(self.err_eof("start tag"));
+                }
+            }
+            let b = self.buf[self.lo + i];
+            match quote {
+                Some(q) => {
+                    if b == q {
+                        quote = None;
+                    }
+                }
+                None => match b {
+                    b'"' | b'\'' => quote = Some(b),
+                    b'>' => return Ok(i),
+                    b'<' => {
+                        return Err(XmlError::syntax("'<' inside tag", self.pos));
+                    }
+                    _ => {}
+                },
+            }
+            i += 1;
+        }
+    }
+
+    fn next_start_tag(&mut self, start_pos: TextPos) -> XmlResult<Option<Token<'_>>> {
+        let end = self.find_tag_end()?;
+        let total = end + 1;
+        let body = check_utf8(&self.buf[self.lo + 1..self.lo + end], start_pos)?;
+        let self_closing = body.ends_with('/');
+        let inner = if self_closing {
+            &body[..body.len() - 1]
+        } else {
+            body
+        };
+
+        // Parse name.
+        let inner_trim_start = inner.trim_start();
+        if inner_trim_start.len() != inner.len() {
+            return Err(XmlError::syntax(
+                "whitespace before element name",
+                start_pos,
+            ));
+        }
+        let name_len = inner
+            .char_indices()
+            .find(|(_, c)| c.is_whitespace() || *c == '=')
+            .map(|(i, _)| i)
+            .unwrap_or(inner.len());
+        let name = &inner[..name_len];
+        validate_name(name, start_pos)?;
+
+        // Parse attributes: (name_range, value_range, value_needs_unescape).
+        // Ranges are relative to `inner`.
+        struct RawAttr {
+            name: (usize, usize),
+            value: (usize, usize),
+            owned: Option<String>,
+        }
+        let mut raw_attrs: Vec<RawAttr> = Vec::new();
+        let bytes = inner.as_bytes();
+        let mut i = name_len;
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                break;
+            }
+            // attribute name
+            let an_start = i;
+            while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'=' {
+                i += 1;
+            }
+            let an_end = i;
+            validate_name(&inner[an_start..an_end], start_pos)?;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b'=' {
+                return Err(XmlError::syntax(
+                    format!("attribute `{}` without value", &inner[an_start..an_end]),
+                    start_pos,
+                ));
+            }
+            i += 1; // '='
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
+                return Err(XmlError::syntax(
+                    "attribute value must be quoted",
+                    start_pos,
+                ));
+            }
+            let q = bytes[i];
+            i += 1;
+            let av_start = i;
+            while i < bytes.len() && bytes[i] != q {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(XmlError::syntax("unterminated attribute value", start_pos));
+            }
+            let av_end = i;
+            i += 1; // closing quote
+            let raw_val = &inner[av_start..av_end];
+            let owned = if raw_val.contains('&') {
+                let mut s = String::with_capacity(raw_val.len());
+                if let Err(entity) = unescape_into(raw_val, &mut s) {
+                    return Err(XmlError::new(
+                        XmlErrorKind::BadEntity(entity.to_string()),
+                        start_pos,
+                    ));
+                }
+                Some(s)
+            } else {
+                None
+            };
+            raw_attrs.push(RawAttr {
+                name: (an_start, an_end),
+                value: (av_start, av_end),
+                owned,
+            });
+        }
+
+        // Duplicate attribute check (well-formedness constraint).
+        if self.opts.check_well_formed {
+            for a in 1..raw_attrs.len() {
+                for b in 0..a {
+                    if inner[raw_attrs[a].name.0..raw_attrs[a].name.1]
+                        == inner[raw_attrs[b].name.0..raw_attrs[b].name.1]
+                    {
+                        return Err(XmlError::syntax(
+                            format!(
+                                "duplicate attribute `{}`",
+                                &inner[raw_attrs[a].name.0..raw_attrs[a].name.1]
+                            ),
+                            start_pos,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Well-formedness: root bookkeeping and open-element stack.
+        if self.opts.check_well_formed {
+            if self.stack.is_empty() {
+                if self.seen_root && !self.opts.allow_fragments {
+                    return Err(XmlError::new(XmlErrorKind::TrailingContent, start_pos));
+                }
+                self.seen_root = true;
+            }
+            if !self_closing {
+                self.stack.push(name.to_string());
+            }
+        }
+
+        self.consume(total);
+
+        // Re-borrow `inner` from the (now-consumed) window to build the token.
+        let base = self.lo - total + 1;
+        let inner_len = end - 1 - usize::from(self_closing);
+        let inner2 = std::str::from_utf8(&self.buf[base..base + inner_len]).unwrap();
+        let name2 = &inner2[..name_len];
+        let attrs = raw_attrs
+            .into_iter()
+            .map(|ra| Attr {
+                name: &inner2[ra.name.0..ra.name.1],
+                value: match ra.owned {
+                    Some(s) => Cow::Owned(s),
+                    None => Cow::Borrowed(&inner2[ra.value.0..ra.value.1]),
+                },
+            })
+            .collect();
+        Ok(Some(Token::StartTag(StartTag {
+            name: name2,
+            attrs,
+            self_closing,
+        })))
+    }
+}
+
+/// Naive substring search; needles here are ≤ 3 bytes so this is optimal.
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.len() == 1 {
+        return hay.iter().position(|&b| b == needle[0]);
+    }
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+fn check_utf8(bytes: &[u8], pos: TextPos) -> XmlResult<&str> {
+    std::str::from_utf8(bytes).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))
+}
+
+/// Validate an XML name (element or attribute). Namespace colons allowed.
+fn validate_name(name: &str, pos: TextPos) -> XmlResult<()> {
+    let mut chars = name.chars();
+    let ok_first = |c: char| c.is_alphabetic() || c == '_' || c == ':' || !c.is_ascii();
+    let ok_rest =
+        |c: char| c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.') || !c.is_ascii();
+    match chars.next() {
+        None => return Err(XmlError::syntax("empty name", pos)),
+        Some(c) if !ok_first(c) => {
+            return Err(XmlError::syntax(format!("invalid name `{name}`"), pos))
+        }
+        Some(_) => {}
+    }
+    if chars.all(ok_rest) {
+        Ok(())
+    } else {
+        Err(XmlError::syntax(format!("invalid name `{name}`"), pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XmlErrorKind as K;
+
+    /// Collect all tokens as owned debug strings for simple assertions.
+    fn toks(input: &str) -> Vec<String> {
+        let mut t = Tokenizer::from_str(input);
+        let mut out = Vec::new();
+        loop {
+            match t.next_token() {
+                Ok(Some(tok)) => out.push(format!("{tok:?}")),
+                Ok(None) => break,
+                Err(e) => {
+                    out.push(format!("ERR {e}"));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn kinds(input: &str) -> Vec<&'static str> {
+        let mut t = Tokenizer::from_str(input);
+        let mut out = Vec::new();
+        while let Some(tok) = t.next_token().unwrap() {
+            out.push(match tok {
+                Token::StartTag(_) => "start",
+                Token::EndTag { .. } => "end",
+                Token::Text(_) => "text",
+                Token::Comment(_) => "comment",
+                Token::ProcessingInstruction { .. } => "pi",
+                Token::Doctype(_) => "doctype",
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn simple_document() {
+        assert_eq!(
+            kinds("<a><b>hi</b></a>"),
+            ["start", "start", "text", "end", "end"]
+        );
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let mut t = Tokenizer::from_str("<a><b/></a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::StartTag(s) => {
+                assert_eq!(s.name, "b");
+                assert!(s.self_closing);
+            }
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attributes_parse_with_both_quotes() {
+        let mut t = Tokenizer::from_str(r#"<a x="1" y='two' z = "3"/>"#);
+        match t.next_token().unwrap().unwrap() {
+            Token::StartTag(s) => {
+                assert_eq!(s.attrs.len(), 3);
+                assert_eq!(s.attrs[0].name, "x");
+                assert_eq!(s.attrs[0].value, "1");
+                assert_eq!(s.attrs[1].value, "two");
+                assert_eq!(s.attrs[2].value, "3");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_entities_resolved() {
+        let mut t = Tokenizer::from_str(r#"<a x="a&amp;b&lt;c"/>"#);
+        match t.next_token().unwrap().unwrap() {
+            Token::StartTag(s) => assert_eq!(s.attrs[0].value, "a&b<c"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gt_inside_attribute_value() {
+        let mut t = Tokenizer::from_str(r#"<a x="1>2">t</a>"#);
+        match t.next_token().unwrap().unwrap() {
+            Token::StartTag(s) => assert_eq!(s.attrs[0].value, "1>2"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_entities_resolved() {
+        let mut t = Tokenizer::from_str("<a>x &amp; y &#65;</a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Text(s) => assert_eq!(s, "x & y A"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_token() {
+        let mut t = Tokenizer::from_str("<a><!-- hi -- there --></a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Comment(c) => assert_eq!(c, " hi -- there "),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cdata_is_verbatim_text() {
+        let mut t = Tokenizer::from_str("<a><![CDATA[x < y & z]]></a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Text(s) => assert_eq!(s, "x < y & z"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn xml_declaration_is_pi() {
+        let mut t = Tokenizer::from_str("<?xml version=\"1.0\"?><a/>");
+        match t.next_token().unwrap().unwrap() {
+            Token::ProcessingInstruction { target, data } => {
+                assert_eq!(target, "xml");
+                assert_eq!(data, "version=\"1.0\"");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let mut t =
+            Tokenizer::from_str("<!DOCTYPE site [ <!ELEMENT a (b)> <!ENTITY x \"y\"> ]><site/>");
+        match t.next_token().unwrap().unwrap() {
+            Token::Doctype(d) => assert!(d.contains("ELEMENT")),
+            other => panic!("{other:?}"),
+        }
+        match t.next_token().unwrap().unwrap() {
+            Token::StartTag(s) => assert_eq!(s.name, "site"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_tags_detected() {
+        let mut t = Tokenizer::from_str("<a><b></a></b>");
+        t.next_token().unwrap();
+        t.next_token().unwrap();
+        let err = loop {
+            match t.next_token() {
+                Err(e) => break e,
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected error"),
+            }
+        };
+        assert!(matches!(err.kind, K::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_elements_detected_at_eof() {
+        let mut t = Tokenizer::from_str("<a><b>");
+        t.next_token().unwrap();
+        t.next_token().unwrap();
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind, K::UnclosedElements(_)));
+    }
+
+    #[test]
+    fn stray_end_tag_detected() {
+        let mut t = Tokenizer::from_str("</a>");
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind, K::UnexpectedEndTag(_)));
+    }
+
+    #[test]
+    fn second_root_rejected() {
+        let mut t = Tokenizer::from_str("<a/><b/>");
+        t.next_token().unwrap();
+        let err = loop {
+            match t.next_token() {
+                Err(e) => break e,
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected error"),
+            }
+        };
+        assert!(matches!(err.kind, K::TrailingContent));
+    }
+
+    #[test]
+    fn fragments_allowed_when_opted_in() {
+        let opts = TokenizerOptions {
+            allow_fragments: true,
+            ..Default::default()
+        };
+        let mut t = Tokenizer::with_options(std::io::Cursor::new(b"<a/>text<b/>".as_slice()), opts);
+        let mut n = 0;
+        while t.next_token().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let mut t = Tokenizer::from_str("hello<a/>");
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind, K::TextOutsideRoot));
+    }
+
+    #[test]
+    fn whitespace_outside_root_ok() {
+        assert_eq!(kinds("  <a/>\n"), ["text", "start", "text"]);
+    }
+
+    #[test]
+    fn bad_entity_in_text() {
+        let mut t = Tokenizer::from_str("<a>&nope;</a>");
+        t.next_token().unwrap();
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind, K::BadEntity(_)));
+    }
+
+    #[test]
+    fn invalid_name_rejected() {
+        let out = toks("<1abc/>");
+        assert!(out[0].starts_with("ERR"), "{out:?}");
+    }
+
+    #[test]
+    fn empty_document_is_error() {
+        let mut t = Tokenizer::from_str("");
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind, K::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn truncated_tag_is_error() {
+        let mut t = Tokenizer::from_str("<a><b attr=\"x");
+        t.next_token().unwrap();
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind, K::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut t = Tokenizer::from_str(r#"<a x="1" x="2"/>"#);
+        let err = t.next_token().unwrap_err();
+        assert!(matches!(err.kind, K::Syntax(_)));
+    }
+
+    #[test]
+    fn unquoted_attribute_rejected() {
+        let mut t = Tokenizer::from_str("<a x=1/>");
+        assert!(t.next_token().is_err());
+    }
+
+    #[test]
+    fn position_tracking_across_lines() {
+        let mut t = Tokenizer::from_str("<a>\n  <b/>\n</a>");
+        t.next_token().unwrap(); // <a>
+        t.next_token().unwrap(); // text
+        assert_eq!(t.position().line, 2);
+        assert_eq!(t.position().column, 3);
+    }
+
+    #[test]
+    fn streaming_across_tiny_reads() {
+        /// A reader that returns one byte at a time, exercising every refill
+        /// path in the tokenizer.
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let doc = "<bib><book id=\"b&amp;1\"><title>T</title><!--c--></book></bib>";
+        let mut t = Tokenizer::new(OneByte(doc.as_bytes()));
+        let mut n = 0;
+        while t.next_token().unwrap().is_some() {
+            n += 1;
+        }
+        // bib, book, title, "T", /title, comment, /book, /bib
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn validate_to_end_counts_tokens() {
+        let mut t = Tokenizer::from_str("<a><b/><c/></a>");
+        assert_eq!(t.validate_to_end().unwrap(), 4);
+    }
+
+    #[test]
+    fn depth_reflects_open_elements() {
+        let mut t = Tokenizer::from_str("<a><b><c/></b></a>");
+        t.next_token().unwrap();
+        t.next_token().unwrap();
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn large_text_spanning_chunks() {
+        let big = "x".repeat(300_000);
+        let doc = format!("<a>{big}</a>");
+        let mut t = Tokenizer::from_str(&doc);
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Text(s) => assert_eq!(s.len(), 300_000),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Streaming XML serializer.
+//!
+//! [`XmlWriter`] is the output side of the GCX engine: query results are
+//! emitted as soon as the evaluator produces them, so output is streamed just
+//! like input. The writer tracks open elements, escapes automatically, and
+//! can optionally pretty-print (used by the examples; benchmarks write
+//! compact output).
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::escape::{escape_attr, escape_text};
+use std::io::Write;
+
+/// Serializer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct WriterOptions {
+    /// Pretty-print with the given indent string (e.g. `"  "`). `None`
+    /// writes compact output with no inserted whitespace.
+    pub indent: Option<String>,
+}
+
+/// Content seen inside one open element, for layout decisions.
+#[derive(Debug, Clone, Copy, Default)]
+struct Content {
+    wrote_element: bool,
+    wrote_text: bool,
+}
+
+/// A streaming XML writer over any [`Write`] sink.
+pub struct XmlWriter<W> {
+    sink: W,
+    opts: WriterOptions,
+    /// Open element names and their content state, for auto-closing,
+    /// misuse detection, and pretty-print layout.
+    stack: Vec<(String, Content)>,
+    /// True when the current element's start tag is still open (`<a` written,
+    /// `>` pending) so attributes can still be added.
+    tag_open: bool,
+    /// Bytes written so far (cheap output-size metric for benchmarks).
+    bytes_written: u64,
+}
+
+impl<W: Write> XmlWriter<W> {
+    /// Compact writer.
+    pub fn new(sink: W) -> Self {
+        XmlWriter::with_options(sink, WriterOptions::default())
+    }
+
+    /// Writer with explicit options.
+    pub fn with_options(sink: W, opts: WriterOptions) -> Self {
+        XmlWriter {
+            sink,
+            opts,
+            stack: Vec::new(),
+            tag_open: false,
+            bytes_written: 0,
+        }
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Consume the writer, returning the sink. Fails if elements are open.
+    pub fn finish(mut self) -> XmlResult<W> {
+        if !self.stack.is_empty() {
+            return Err(XmlError::new(
+                XmlErrorKind::WriterMisuse(format!(
+                    "finish() with {} open element(s): {}",
+                    self.stack.len(),
+                    self.stack
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+                crate::TextPos::START,
+            ));
+        }
+        self.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&mut self) -> XmlResult<()> {
+        self.sink.flush()?;
+        Ok(())
+    }
+
+    fn raw(&mut self, s: &str) -> XmlResult<()> {
+        self.sink.write_all(s.as_bytes())?;
+        self.bytes_written += s.len() as u64;
+        Ok(())
+    }
+
+    /// Close a pending start tag (write `>`), if any.
+    fn seal_tag(&mut self) -> XmlResult<()> {
+        if self.tag_open {
+            self.raw(">")?;
+            self.tag_open = false;
+        }
+        Ok(())
+    }
+
+    fn newline_indent(&mut self, depth: usize) -> XmlResult<()> {
+        if let Some(ind) = self.opts.indent.clone() {
+            self.raw("\n")?;
+            for _ in 0..depth {
+                self.raw(&ind)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `<name`, leaving the tag open for attributes.
+    pub fn start_element(&mut self, name: &str) -> XmlResult<()> {
+        self.seal_tag()?;
+        if let Some((_, c)) = self.stack.last_mut() {
+            c.wrote_element = true;
+        }
+        if self.opts.indent.is_some() && !self.stack.is_empty() {
+            self.newline_indent(self.stack.len())?;
+        }
+        self.raw("<")?;
+        self.raw(name)?;
+        self.stack.push((name.to_string(), Content::default()));
+        self.tag_open = true;
+        Ok(())
+    }
+
+    /// Add an attribute to the currently open start tag.
+    pub fn attribute(&mut self, name: &str, value: &str) -> XmlResult<()> {
+        if !self.tag_open {
+            return Err(XmlError::new(
+                XmlErrorKind::WriterMisuse(format!("attribute `{name}` outside a start tag")),
+                crate::TextPos::START,
+            ));
+        }
+        self.raw(" ")?;
+        self.raw(name)?;
+        self.raw("=\"")?;
+        let v = escape_attr(value);
+        self.raw(&v)?;
+        self.raw("\"")
+    }
+
+    /// Close the most recently opened element. Collapses `<a></a>` to `<a/>`
+    /// when nothing was written inside it.
+    pub fn end_element(&mut self) -> XmlResult<()> {
+        let (name, content) = self.stack.pop().ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::WriterMisuse("end_element() with no open element".into()),
+                crate::TextPos::START,
+            )
+        })?;
+        if self.tag_open {
+            self.raw("/>")?;
+            self.tag_open = false;
+        } else {
+            // Indent the close tag only for element-only content; mixed or
+            // text content must not gain whitespace.
+            if content.wrote_element && !content.wrote_text && self.opts.indent.is_some() {
+                self.newline_indent(self.stack.len())?;
+            }
+            self.raw("</")?;
+            self.raw(&name)?;
+            self.raw(">")?;
+        }
+        Ok(())
+    }
+
+    /// Write escaped character data.
+    pub fn text(&mut self, content: &str) -> XmlResult<()> {
+        if content.is_empty() {
+            return Ok(());
+        }
+        self.seal_tag()?;
+        if let Some((_, c)) = self.stack.last_mut() {
+            c.wrote_text = true;
+        }
+        let escaped = escape_text(content);
+        self.raw(&escaped)
+    }
+
+    /// Write a comment.
+    pub fn comment(&mut self, content: &str) -> XmlResult<()> {
+        self.seal_tag()?;
+        if let Some((_, c)) = self.stack.last_mut() {
+            c.wrote_text = true;
+        }
+        self.raw("<!--")?;
+        self.raw(content)?;
+        self.raw("-->")
+    }
+
+    /// Write pre-escaped markup verbatim. Used by the engine when copying
+    /// buffered subtrees whose serialization is already known to be valid.
+    pub fn raw_markup(&mut self, markup: &str) -> XmlResult<()> {
+        self.seal_tag()?;
+        if let Some((_, c)) = self.stack.last_mut() {
+            c.wrote_text = true;
+        }
+        self.raw(markup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(f: impl FnOnce(&mut XmlWriter<Vec<u8>>)) -> String {
+        let mut w = XmlWriter::new(Vec::new());
+        f(&mut w);
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let out = build(|w| {
+            w.start_element("bib").unwrap();
+            w.start_element("book").unwrap();
+            w.text("T & A").unwrap();
+            w.end_element().unwrap();
+            w.end_element().unwrap();
+        });
+        assert_eq!(out, "<bib><book>T &amp; A</book></bib>");
+    }
+
+    #[test]
+    fn empty_element_collapses() {
+        let out = build(|w| {
+            w.start_element("a").unwrap();
+            w.end_element().unwrap();
+        });
+        assert_eq!(out, "<a/>");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let out = build(|w| {
+            w.start_element("a").unwrap();
+            w.attribute("x", "1\"2<3").unwrap();
+            w.end_element().unwrap();
+        });
+        assert_eq!(out, "<a x=\"1&quot;2&lt;3\"/>");
+    }
+
+    #[test]
+    fn attribute_outside_tag_is_misuse() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.start_element("a").unwrap();
+        w.text("x").unwrap();
+        let err = w.attribute("k", "v").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::WriterMisuse(_)));
+    }
+
+    #[test]
+    fn end_without_start_is_misuse() {
+        let mut w = XmlWriter::new(Vec::new());
+        assert!(w.end_element().is_err());
+    }
+
+    #[test]
+    fn finish_with_open_elements_is_misuse() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.start_element("a").unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let mut w = XmlWriter::with_options(
+            Vec::new(),
+            WriterOptions {
+                indent: Some("  ".into()),
+            },
+        );
+        w.start_element("a").unwrap();
+        w.start_element("b").unwrap();
+        w.text("x").unwrap();
+        w.end_element().unwrap();
+        w.start_element("c").unwrap();
+        w.end_element().unwrap();
+        w.end_element().unwrap();
+        let out = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(out, "<a>\n  <b>x</b>\n  <c/>\n</a>");
+    }
+
+    #[test]
+    fn bytes_written_counts() {
+        let mut w = XmlWriter::new(Vec::new());
+        w.start_element("ab").unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.bytes_written(), 5); // `<ab/>`
+    }
+
+    #[test]
+    fn output_reparses() {
+        let out = build(|w| {
+            w.start_element("r").unwrap();
+            w.attribute("k", "a&b").unwrap();
+            w.text("1 < 2").unwrap();
+            w.comment("note").unwrap();
+            w.end_element().unwrap();
+        });
+        let mut t = crate::Tokenizer::from_str(&out);
+        let mut texts = Vec::new();
+        while let Some(tok) = t.next_token().unwrap() {
+            if let crate::Token::Text(s) = tok {
+                texts.push(s.to_string());
+            }
+        }
+        assert_eq!(texts, ["1 < 2"]);
+    }
+}

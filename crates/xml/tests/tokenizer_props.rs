@@ -1,0 +1,106 @@
+//! Property/fuzz tests for the tokenizer: arbitrary byte soup must never
+//! panic, well-formed generated documents must always tokenize, and the
+//! writer→tokenizer loop must preserve documents.
+
+use gcx_xml::{escape, Token, Tokenizer, TokenizerOptions, XmlWriter};
+use proptest::prelude::*;
+
+/// Random well-formed document rendered as a string.
+fn doc(depth: u32) -> BoxedStrategy<String> {
+    let tag = prop_oneof![Just("a"), Just("b-c"), Just("_x"), Just("ns:y")];
+    let text = prop_oneof![
+        Just("plain".to_string()),
+        Just("1 < 2 & 3 > 0".to_string()),
+        Just("ünïcodé ☃".to_string()),
+        Just("]]>".to_string()),
+        Just("\"quotes' everywhere\"".to_string()),
+    ];
+    let leaf = (tag, proptest::option::of(text)).prop_map(|(t, txt)| match txt {
+        Some(x) => format!("<{t}>{}</{t}>", escape::escape_text(&x)),
+        None => format!("<{t}/>"),
+    });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = prop::collection::vec(doc(depth - 1), 0..3);
+    prop_oneof![
+        2 => leaf,
+        1 => inner.prop_map(|children| format!("<r>{}</r>", children.concat())),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tokenizer_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut t = Tokenizer::from_bytes(&bytes);
+        // Drive to completion or first error; must not panic or loop.
+        for _ in 0..1000 {
+            match t.next_token() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn tokenizer_never_panics_on_xmlish_soup(s in "[<>a-z=\"'/& !\\[\\]-]{0,120}") {
+        let mut t = Tokenizer::from_str(&s);
+        for _ in 0..1000 {
+            match t.next_token() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn well_formed_documents_always_tokenize(d in doc(3)) {
+        let mut t = Tokenizer::from_str(&d);
+        t.validate_to_end().unwrap_or_else(|e| panic!("{e}\n{d}"));
+    }
+
+    #[test]
+    fn text_content_is_preserved(d in doc(3)) {
+        // Concatenated text through the tokenizer == concatenated text
+        // through a re-serialization cycle.
+        fn all_text(s: &str) -> String {
+            let mut t = Tokenizer::from_str(s);
+            let mut out = String::new();
+            while let Some(tok) = t.next_token().unwrap() {
+                if let Token::Text(x) = tok {
+                    out.push_str(&x);
+                }
+            }
+            out
+        }
+        let mut w = XmlWriter::new(Vec::new());
+        let mut t = Tokenizer::from_str(&d);
+        while let Some(tok) = t.next_token().unwrap() {
+            match tok {
+                Token::StartTag(st) => {
+                    let name = st.name.to_string();
+                    let self_closing = st.self_closing;
+                    w.start_element(&name).unwrap();
+                    if self_closing {
+                        w.end_element().unwrap();
+                    }
+                }
+                Token::EndTag { .. } => w.end_element().unwrap(),
+                Token::Text(x) => w.text(&x).unwrap(),
+                _ => {}
+            }
+        }
+        let round = String::from_utf8(w.finish().unwrap()).unwrap();
+        prop_assert_eq!(all_text(&d), all_text(&round));
+    }
+
+    #[test]
+    fn fragment_mode_accepts_what_strict_mode_accepts(d in doc(2)) {
+        let opts = TokenizerOptions { allow_fragments: true, ..Default::default() };
+        let mut t = Tokenizer::with_options(std::io::Cursor::new(d.as_bytes()), opts);
+        t.validate_to_end().unwrap();
+    }
+}

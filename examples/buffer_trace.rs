@@ -1,0 +1,68 @@
+//! Dynamic buffer visualization — the paper's Figures 3(b) and 3(c) as
+//! ASCII plots: buffered node count after every token, on the two micro
+//! documents (9×article+1×book and 9×book+1×article).
+//!
+//! Articles are purged one at a time (bounded memory); book titles must be
+//! retained for the second loop, so the book-heavy document accumulates
+//! buffered nodes until the bib element closes.
+//!
+//! ```sh
+//! cargo run --example buffer_trace
+//! ```
+
+use gcx::xmark::{microdoc_article_heavy, microdoc_book_heavy, queries};
+use gcx::{CompiledQuery, EngineOptions, Timeline};
+
+fn plot(title: &str, tl: &Timeline) {
+    println!("\n{title}");
+    let peak = tl.peak().max(1);
+    println!("  (y: buffered nodes 0..{peak}, x: tokens processed)");
+    // Rows from peak down to 1.
+    let height = peak.min(24);
+    for row in (1..=height).rev() {
+        let threshold = row * peak / height;
+        let mut line = String::with_capacity(tl.points.len());
+        for &(_, live) in &tl.points {
+            line.push(if live >= threshold { '█' } else { ' ' });
+        }
+        println!("{threshold:4} |{line}");
+    }
+    let n = tl.points.len();
+    println!("     +{}", "-".repeat(n));
+    println!("      0{}{}", " ".repeat(n.saturating_sub(7)), n);
+}
+
+fn trace(doc: &str) -> Timeline {
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    let mut sink = Vec::new();
+    let report = gcx::run(
+        &q,
+        &EngineOptions::gcx().with_timeline(1),
+        doc.as_bytes(),
+        &mut sink,
+    )
+    .unwrap();
+    report.timeline.unwrap()
+}
+
+fn main() {
+    let a = trace(&microdoc_article_heavy());
+    plot("Figure 3(b): 9 x article + 1 x book — bounded buffer", &a);
+    println!("peak buffered nodes: {}", a.peak());
+
+    let b = trace(&microdoc_book_heavy());
+    plot(
+        "Figure 3(c): 9 x book + 1 x article — titles accumulate",
+        &b,
+    );
+    println!("peak buffered nodes: {}", b.peak());
+    println!(
+        "\nbuffered nodes when </bib> is read (paper: 23): {}",
+        b.points
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t == 81)
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    );
+}

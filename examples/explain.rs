@@ -1,0 +1,50 @@
+//! Static-analysis explorer — the textual version of the demo's
+//! Figure 3(a): the mapping between the query, its projection paths/roles,
+//! and the signOff preemption points inserted by compile-time rewriting.
+//!
+//! ```sh
+//! cargo run --example explain                 # the paper's running example
+//! cargo run --example explain -- Q8           # an XMark query by name
+//! cargo run --example explain -- 'for $x in /a/b return $x'
+//! ```
+
+use gcx::xmark::queries;
+use gcx::CompiledQuery;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1);
+    let text: String = match arg.as_deref() {
+        None => queries::RUNNING_EXAMPLE.to_string(),
+        Some("Q1") => queries::Q1.to_string(),
+        Some("Q6") => queries::Q6.to_string(),
+        Some("Q8") => queries::Q8.to_string(),
+        Some("Q13") => queries::Q13.to_string(),
+        Some("Q20") => queries::Q20.to_string(),
+        Some(other) => other.to_string(),
+    };
+
+    println!("== Input query ==\n{}\n", text.trim());
+    let compiled = CompiledQuery::compile(&text)?;
+    println!("{}", compiled.explain());
+
+    println!("== signOff anchors ==");
+    for role in compiled.analysis.roles.iter() {
+        let anchor = match role.anchor {
+            gcx::projection::Anchor::Var(v) => {
+                format!(
+                    "end of ${}'s loop body",
+                    compiled.query.var_names[v.index()]
+                )
+            }
+            gcx::projection::Anchor::QueryEnd => "query end".to_string(),
+        };
+        println!(
+            "{}: {:<55} [{}] — signed off at {}",
+            role.id,
+            role.path_display(),
+            role.origin,
+            anchor
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! # gcx — Dynamic Buffer Minimization in Streaming XQuery Evaluation
+//!
+//! A Rust reproduction of the **GCX** system (Koch, Scherzinger, Schmidt,
+//! VLDB 2007): a main-memory streaming XQuery engine whose buffer manager
+//! performs *active garbage collection*. Static analysis derives projection
+//! paths (**roles**) from the query and inserts **signOff** statements at
+//! preemption points; at runtime, buffered nodes lose role instances as
+//! evaluation progresses and are purged the moment they become irrelevant.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gcx::{CompiledQuery, EngineOptions};
+//!
+//! let query = CompiledQuery::compile(
+//!     "<books>{ for $b in /bib/book return $b/title }</books>",
+//! ).unwrap();
+//!
+//! let input = "<bib><book><title>Streams</title><price>10</price></book></bib>";
+//! let mut out = Vec::new();
+//! let report = gcx::run(&query, &EngineOptions::gcx(), input.as_bytes(), &mut out).unwrap();
+//!
+//! assert_eq!(out, b"<books><title>Streams</title></books>");
+//! assert_eq!(report.buffer.live, 0); // the buffer drained completely
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`xml`] | streaming tokenizer, writer, escaping, interning |
+//! | [`query`] | lexer, parser, AST, normalizer for the XQuery fragment |
+//! | [`projection`] | roles, projection paths, signOff insertion, stream NFA |
+//! | [`core`](mod@core) | buffer + active GC, preprojector, evaluator, engine |
+//! | [`dom`] | full-buffering DOM baseline (differential oracle) |
+//! | [`xmark`] | XMark-like generator + the paper's benchmark queries |
+//! | [`memtrack`] | heap high-watermark allocator for the experiments |
+//!
+//! The engine comes in three configurations spanning the paper's comparison
+//! axis: [`EngineOptions::gcx`] (projection + active GC),
+//! [`EngineOptions::projection_only`] (static projection, no purging) and
+//! [`EngineOptions::full_buffering`].
+
+pub use gcx_core::{
+    run, run_query, BufferStats, CompiledQuery, EngineError, EngineOptions, RunReport, Timeline,
+};
+
+/// The streaming XML substrate (tokenizer, writer, interning).
+pub mod xml {
+    pub use gcx_xml::*;
+}
+
+/// The query frontend (parser, AST, normalizer).
+pub mod query {
+    pub use gcx_query::*;
+}
+
+/// Static analysis (roles, projection paths, signOff insertion).
+pub mod projection {
+    pub use gcx_projection::*;
+}
+
+/// The runtime (buffer, preprojector, evaluator, engine API).
+pub mod core {
+    pub use gcx_core::*;
+}
+
+/// The DOM baseline.
+pub mod dom {
+    pub use gcx_dom::*;
+}
+
+/// Workload generation (XMark-like documents, paper queries).
+pub mod xmark {
+    pub use gcx_xmark::*;
+}
+
+/// Heap high-watermark tracking.
+pub mod memtrack {
+    pub use gcx_memtrack::*;
+}

@@ -1,0 +1,254 @@
+//! Differential property testing: the central correctness claim of the
+//! paper is that active garbage collection **never corrupts the result** —
+//! signOffs "must not be issued too early". We check it by construction:
+//! on randomized documents and queries, four independent evaluation
+//! strategies must produce byte-identical output:
+//!
+//! 1. GCX (projection + active GC),
+//! 2. projection only,
+//! 3. full buffering (streaming evaluator, no projection, no GC),
+//! 4. the independent DOM evaluator (`gcx-dom`).
+//!
+//! Additionally: the GCX buffer must drain to zero (role/signOff balance)
+//! and the peak-memory hierarchy gcx ≤ projection-only ≤ full-buffering
+//! must hold.
+
+use gcx::{CompiledQuery, EngineOptions};
+use proptest::prelude::*;
+
+// ---- random documents -------------------------------------------------------
+
+/// A small element tree over a fixed tag alphabet, with attributes and text.
+#[derive(Debug, Clone)]
+struct TestDoc {
+    xml: String,
+}
+
+fn tag() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("a"),
+        Just("b"),
+        Just("c"),
+        Just("item"),
+        Just("name"),
+        Just("price"),
+    ]
+}
+
+fn text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("42".to_string()),
+        Just("7".to_string()),
+        Just("hello world".to_string()),
+        Just("a<b&c".to_string()),
+    ]
+}
+
+/// Recursive element strategy rendered directly to XML text.
+fn element(depth: u32) -> BoxedStrategy<String> {
+    let leaf = (
+        tag(),
+        proptest::option::of(text()),
+        proptest::option::of(0u32..100),
+    )
+        .prop_map(|(t, txt, attr)| {
+            let attr = attr.map(|v| format!(" id=\"v{v}\"")).unwrap_or_default();
+            match txt {
+                Some(x) => format!("<{t}{attr}>{}</{t}>", gcx::xml::escape::escape_text(&x)),
+                None => format!("<{t}{attr}/>"),
+            }
+        });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = prop::collection::vec(element(depth - 1), 0..4);
+    prop_oneof![
+        3 => leaf,
+        2 => (tag(), proptest::option::of(0u32..100), inner).prop_map(|(t, attr, children)| {
+            let attr = attr.map(|v| format!(" id=\"v{v}\"")).unwrap_or_default();
+            format!("<{t}{attr}>{}</{t}>", children.concat())
+        }),
+    ]
+    .boxed()
+}
+
+fn document() -> impl Strategy<Value = TestDoc> {
+    element(3).prop_map(|root| TestDoc { xml: root })
+}
+
+// ---- random queries ----------------------------------------------------------
+
+/// Queries generated over the same alphabet: nested loops, conditions with
+/// exists/comparisons, node and text output, attribute access.
+fn query() -> impl Strategy<Value = String> {
+    let step = prop_oneof![
+        Just("a"),
+        Just("b"),
+        Just("c"),
+        Just("item"),
+        Just("name"),
+        Just("price"),
+        Just("*"),
+    ];
+    let axis = prop_oneof![2 => Just("/"), 1 => Just("//")];
+    let path2 = (
+        axis.clone(),
+        step.clone(),
+        proptest::option::of((axis.clone(), step.clone())),
+    )
+        .prop_map(|(a1, s1, rest)| {
+            let mut p = format!("{a1}{s1}");
+            if let Some((a2, s2)) = rest {
+                p.push_str(&format!("{a2}{s2}"));
+            }
+            p
+        });
+    // Output expression for the inner body.
+    let body = prop_oneof![
+        Just("$x".to_string()),
+        Just("$x/text()".to_string()),
+        Just("$x/@id".to_string()),
+        Just("<hit/>".to_string()),
+        Just("'lit'".to_string()),
+    ];
+    let cond = prop_oneof![
+        Just("exists($x/price)".to_string()),
+        Just("not(exists($x/name))".to_string()),
+        Just("$x/@id = 'v7'".to_string()),
+        Just("$x/price = 42".to_string()),
+        Just("$x/name = $x/price".to_string()),
+        Just("$x/price < 50 or exists($x/@id)".to_string()),
+        Just("true()".to_string()),
+    ];
+    (path2, proptest::option::of(cond), body).prop_map(|(p, c, b)| match c {
+        Some(c) => format!("<out>{{ for $x in {p} return if ({c}) then {b} else () }}</out>"),
+        None => format!("<out>{{ for $x in {p} return {b} }}</out>"),
+    })
+}
+
+// ---- the differential harness --------------------------------------------------
+
+fn run_cfg(q: &CompiledQuery, opts: &EngineOptions, doc: &str) -> (String, gcx::RunReport) {
+    let mut out = Vec::new();
+    let report = gcx::run(q, opts, doc.as_bytes(), &mut out)
+        .unwrap_or_else(|e| panic!("engine failed: {e}"));
+    (String::from_utf8(out).unwrap(), report)
+}
+
+fn check_all_engines_agree(query_text: &str, doc: &str) {
+    let q = CompiledQuery::compile(query_text).expect("query compiles");
+    let (gcx_out, gcx_rep) = run_cfg(&q, &EngineOptions::gcx(), doc);
+    let (proj_out, proj_rep) = run_cfg(&q, &EngineOptions::projection_only(), doc);
+    let (full_out, full_rep) = run_cfg(&q, &EngineOptions::full_buffering(), doc);
+    let dom_q = gcx::query::compile(query_text).unwrap();
+    let mut dom_out = Vec::new();
+    gcx::dom::run(&dom_q, doc.as_bytes(), &mut dom_out).expect("dom run");
+    let dom_out = String::from_utf8(dom_out).unwrap();
+
+    assert_eq!(
+        gcx_out, proj_out,
+        "gcx vs projection-only\nquery: {query_text}\ndoc: {doc}"
+    );
+    assert_eq!(
+        gcx_out, full_out,
+        "gcx vs full-buffering\nquery: {query_text}\ndoc: {doc}"
+    );
+    assert_eq!(
+        gcx_out, dom_out,
+        "gcx vs dom oracle\nquery: {query_text}\ndoc: {doc}"
+    );
+
+    assert_eq!(
+        gcx_rep.buffer.live, 0,
+        "GCX buffer must drain (role balance)\nquery: {query_text}\ndoc: {doc}"
+    );
+    assert!(gcx_rep.buffer.peak_live <= proj_rep.buffer.peak_live);
+    assert!(proj_rep.buffer.peak_live <= full_rep.buffer.peak_live);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 192,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engines_agree_on_random_docs_fixed_queries(doc in document()) {
+        // A fixed battery of queries exercising every construct.
+        const QUERIES: &[&str] = &[
+            "<r>{ for $x in /a return $x }</r>",
+            "<r>{ for $x in /a/* return if (exists($x/price)) then $x/name else $x/@id }</r>",
+            "for $x in //item return <i>{ $x/name, $x/price }</i>",
+            "for $x in //a//b return $x/text()",
+            "for $x in /a return for $y in $x/b return if ($y/@id = $x/@id) then 'eq' else 'ne'",
+            "<r>{ for $x in /a/b[1] return $x, for $y in /a/b return $y/@id }</r>",
+            "if (exists(//price)) then <has/> else <not/>",
+            "for $x in //name return if ($x/text() = 'hello world') then $x else ()",
+            "<n>{ count(//item) }</n>, <s>{ sum(//price) }</s>",
+            "for $x in /a return if ($x//price >= 42 and not(exists($x/c))) then $x else ()",
+        ];
+        for q in QUERIES {
+            check_all_engines_agree(q, &doc.xml);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_queries_random_docs(q in query(), doc in document()) {
+        check_all_engines_agree(&q, &doc.xml);
+    }
+
+    #[test]
+    fn tokenizer_roundtrip_via_writer(doc in document()) {
+        // Parse the document, re-serialize it, parse again: the two streams
+        // must describe the same document. Token streams are canonicalized
+        // (self-closing tags expand to start+end) because the writer is
+        // allowed to collapse `<a></a>` into `<a/>`.
+        use gcx::xml::{Token, Tokenizer, XmlWriter};
+        fn tokens(s: &str) -> Vec<String> {
+            let mut t = Tokenizer::from_str(s);
+            let mut out = Vec::new();
+            while let Some(tok) = t.next_token().unwrap() {
+                match tok {
+                    Token::StartTag(st) => {
+                        let attrs: Vec<(String, String)> = st
+                            .attrs
+                            .iter()
+                            .map(|a| (a.name.to_string(), a.value.to_string()))
+                            .collect();
+                        out.push(format!("start {} {attrs:?}", st.name));
+                        if st.self_closing {
+                            out.push(format!("end {}", st.name));
+                        }
+                    }
+                    Token::EndTag { name } => out.push(format!("end {name}")),
+                    Token::Text(x) => out.push(format!("text {x}")),
+                    _ => {}
+                }
+            }
+            out
+        }
+        // Re-serialize via the writer.
+        let mut w = XmlWriter::new(Vec::new());
+        let mut t = Tokenizer::from_str(&doc.xml);
+        while let Some(tok) = t.next_token().unwrap() {
+            match tok {
+                Token::StartTag(s) => {
+                    let name = s.name.to_string();
+                    w.start_element(&name).unwrap();
+                    for a in &s.attrs {
+                        w.attribute(a.name, &a.value).unwrap();
+                    }
+                    if s.self_closing {
+                        w.end_element().unwrap();
+                    }
+                }
+                Token::EndTag { .. } => w.end_element().unwrap(),
+                Token::Text(x) => w.text(&x).unwrap(),
+                _ => {}
+            }
+        }
+        let rewritten = String::from_utf8(w.finish().unwrap()).unwrap();
+        prop_assert_eq!(tokens(&doc.xml), tokens(&rewritten), "rewritten: {}", rewritten);
+    }
+}

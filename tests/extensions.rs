@@ -1,0 +1,212 @@
+//! Tests for features beyond the paper's fragment: aggregation and string
+//! predicates, plus additional adapted XMark queries exercising them. Each
+//! extension is validated against the DOM oracle and the buffer-balance
+//! invariant, exactly like core features.
+
+use gcx::{CompiledQuery, EngineOptions};
+
+fn gcx_and_oracle(query: &str, doc: &str) -> String {
+    let q = CompiledQuery::compile(query).unwrap();
+    let mut out = Vec::new();
+    let report = gcx::run(&q, &EngineOptions::gcx(), doc.as_bytes(), &mut out).unwrap();
+    assert_eq!(report.buffer.live, 0, "buffer must drain\n{query}");
+    let got = String::from_utf8(out).unwrap();
+    let oracle = gcx::dom::run_query(query, doc).unwrap();
+    assert_eq!(got, oracle, "gcx vs dom oracle\n{query}");
+    got
+}
+
+// ---- string predicates --------------------------------------------------------
+
+#[test]
+fn contains_on_element_values() {
+    let out = gcx_and_oracle(
+        "for $i in /l/i return if (contains($i/name, 'gold')) then $i/name/text() else ()",
+        "<l><i><name>pure gold ring</name></i><i><name>silver</name></i></l>",
+    );
+    assert_eq!(out, "pure gold ring");
+}
+
+#[test]
+fn starts_with_and_ends_with() {
+    let doc = "<l><w>streaming</w><w>dreaming</w><w>stream</w></l>";
+    let out = gcx_and_oracle(
+        "for $w in /l/w return if (starts-with($w, 'stream')) then <s/> else ()",
+        doc,
+    );
+    assert_eq!(out, "<s/><s/>");
+    let out = gcx_and_oracle(
+        "for $w in /l/w return if (ends-with($w, 'eaming')) then <e/> else ()",
+        doc,
+    );
+    assert_eq!(out, "<e/><e/>");
+}
+
+#[test]
+fn contains_on_attributes() {
+    let out = gcx_and_oracle(
+        "for $p in /s/p return if (contains($p/@id, 'son0')) then $p/@id else ()",
+        r#"<s><p id="person0"/><p id="item0"/><p id="person01"/></s>"#,
+    );
+    assert_eq!(out, "person0person01");
+}
+
+#[test]
+fn string_fn_existential_over_sequences() {
+    // Any (haystack, needle) pair suffices.
+    let out = gcx_and_oracle(
+        "if (contains(/l/a, /l/n)) then 'y' else 'n'",
+        "<l><a>abc</a><a>def</a><n>zz</n><n>de</n></l>",
+    );
+    assert_eq!(out, "y");
+}
+
+#[test]
+fn string_fn_in_where_clause() {
+    let out = gcx_and_oracle(
+        "for $i in /l/i where contains($i, 'x') return $i/text()",
+        "<l><i>ax</i><i>b</i><i>cx</i></l>",
+    );
+    assert_eq!(out, "axcx");
+}
+
+#[test]
+fn string_fns_roundtrip_through_printer() {
+    let src = "for $i in /l/i return if (starts-with($i/name, 'a')) then $i else ()";
+    let e = gcx::query::parse(src).unwrap();
+    let printed = e.to_string();
+    assert_eq!(e, gcx::query::parse(&printed).unwrap(), "{printed}");
+}
+
+// ---- aggregation over realistic queries -----------------------------------------
+
+/// Additional XMark adaptations exercising the aggregation extension —
+/// closer to the original Q6/Q20 than the paper's fragment allowed.
+#[test]
+fn q6_with_native_count() {
+    let doc = gcx::xmark::generate_string(&gcx::xmark::XmarkConfig::sized(48 * 1024));
+    let out = gcx_and_oracle(gcx::xmark::queries::Q6_COUNT, &doc);
+    let n: u64 = out
+        .trim_start_matches("<count>")
+        .trim_end_matches("</count>")
+        .parse()
+        .expect("count output");
+    assert_eq!(n, gcx::xmark::XmarkConfig::sized(48 * 1024).counts().items);
+}
+
+#[test]
+fn xmark_q5_style_count_with_comparison() {
+    // "How many sold items cost more than 40?" — original XMark Q5.
+    let doc = "<site><closed_auctions>\
+        <closed_auction><price>39.99</price></closed_auction>\
+        <closed_auction><price>40.01</price></closed_auction>\
+        <closed_auction><price>120.50</price></closed_auction>\
+      </closed_auctions></site>";
+    let out = gcx_and_oracle(
+        "<over40>{ for $i in /site/closed_auctions/closed_auction return \
+           if ($i/price >= 40) then <hit/> else () }</over40>",
+        doc,
+    );
+    assert_eq!(out, "<over40><hit/><hit/></over40>");
+}
+
+#[test]
+fn xmark_q15_style_deep_path() {
+    // Q15 navigates a long fixed path; exercises speculative buffering of
+    // deep prefixes.
+    let doc = "<site><open_auctions><open_auction>\
+        <annotation><description><parlist><listitem><parlist><listitem>\
+        <text><emph><keyword>deep treasure</keyword></emph></text>\
+        </listitem></parlist></listitem></parlist></description></annotation>\
+      </open_auction><open_auction><annotation/></open_auction></open_auctions></site>";
+    let out = gcx_and_oracle(
+        "for $k in /site/open_auctions/open_auction/annotation/description/parlist/\
+         listitem/parlist/listitem/text/emph/keyword return <text>{ $k/text() }</text>",
+        doc,
+    );
+    assert_eq!(out, "<text>deep treasure</text>");
+}
+
+#[test]
+fn xmark_q14_style_text_search() {
+    // Q14: items whose description contains a keyword — string predicate
+    // over a large subtree value.
+    let doc = "<site><regions><asia>\
+        <item><name>one</name><description><text>rare gold coin</text></description></item>\
+        <item><name>two</name><description><text>plain stone</text></description></item>\
+      </asia></regions></site>";
+    let out = gcx_and_oracle(
+        "for $i in //item return \
+           if (contains($i/description, 'gold')) then $i/name else ()",
+        doc,
+    );
+    assert_eq!(out, "<name>one</name>");
+}
+
+#[test]
+fn aggregates_inside_constructors_per_binding() {
+    let out = gcx_and_oracle(
+        "for $s in /db/set return <set>{ count($s/v), '/', sum($s/v) }</set>",
+        "<db><set><v>1</v><v>2</v></set><set><v>10</v></set></db>",
+    );
+    assert_eq!(out, "<set>2/3</set><set>1/10</set>");
+}
+
+#[test]
+fn min_max_avg_against_oracle() {
+    let out = gcx_and_oracle(
+        "<r>{ min(//v), ' ', max(//v), ' ', avg(//v) }</r>",
+        "<l><v>4</v><x><v>10</v></x><v>1</v></l>",
+    );
+    assert_eq!(out, "<r>1 10 5</r>");
+}
+
+#[test]
+fn extension_features_refused_nowhere_but_documented() {
+    // The aggregation flag is visible on the compiled query, letting
+    // downstream users enforce the paper's exact fragment if they choose.
+    let q = CompiledQuery::compile("count(/a/b)").unwrap();
+    assert!(q.query.uses_aggregates);
+    let q = CompiledQuery::compile("for $x in /a return $x").unwrap();
+    assert!(!q.query.uses_aggregates);
+}
+
+// ---- the extra XMark adaptations, differentially tested -------------------------
+
+#[test]
+fn extra_xmark_queries_agree_with_oracle() {
+    let doc = gcx::xmark::generate_string(&gcx::xmark::XmarkConfig::sized(64 * 1024));
+    for (name, qtext) in gcx::xmark::queries::extra::ALL {
+        let q = CompiledQuery::compile(qtext)
+            .unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
+        let mut out = Vec::new();
+        let report = gcx::run(&q, &EngineOptions::gcx(), doc.as_bytes(), &mut out)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(report.buffer.live, 0, "{name}: buffer must drain");
+        let got = String::from_utf8(out).unwrap();
+        let oracle = gcx::dom::run_query(qtext, &doc).unwrap();
+        assert_eq!(got, oracle, "{name}: gcx vs oracle");
+    }
+}
+
+#[test]
+fn extra_queries_stream_in_constant_space() {
+    // All five extras are streaming (no joins): peak must not scale.
+    let small = gcx::xmark::generate_string(&gcx::xmark::XmarkConfig::sized(32 * 1024));
+    let large = gcx::xmark::generate_string(&gcx::xmark::XmarkConfig::sized(128 * 1024));
+    for (name, qtext) in gcx::xmark::queries::extra::ALL {
+        let q = CompiledQuery::compile(qtext).unwrap();
+        let p_small = gcx::run(&q, &EngineOptions::gcx(), small.as_bytes(), std::io::sink())
+            .unwrap()
+            .buffer
+            .peak_live;
+        let p_large = gcx::run(&q, &EngineOptions::gcx(), large.as_bytes(), std::io::sink())
+            .unwrap()
+            .buffer
+            .peak_live;
+        assert!(
+            p_large <= p_small.max(16) * 2,
+            "{name}: peak grew {p_small} -> {p_large} on 4x input"
+        );
+    }
+}

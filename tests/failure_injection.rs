@@ -1,0 +1,220 @@
+//! Failure injection: truncated streams, corrupted documents, I/O errors
+//! and hostile queries must surface as typed errors — never panics, hangs
+//! or silent wrong answers.
+
+use gcx::xmark::{generate_string, queries, XmarkConfig};
+use gcx::{CompiledQuery, EngineOptions};
+use std::io::Read;
+
+#[test]
+fn truncated_documents_error_for_every_engine() {
+    let doc = generate_string(&XmarkConfig::sized(16 * 1024));
+    let q = CompiledQuery::compile(queries::Q1).unwrap();
+    // Cut at a spread of positions, including mid-tag and mid-text.
+    for frac in [1, 3, 7, 10, 13, 17, 19] {
+        let cut = doc.len() * frac / 20;
+        // Align to a char boundary.
+        let mut cut = cut;
+        while !doc.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &doc[..cut];
+        for opts in [
+            EngineOptions::gcx(),
+            EngineOptions::projection_only(),
+            EngineOptions::full_buffering(),
+        ] {
+            let r = gcx::run(&q, &opts, truncated.as_bytes(), std::io::sink());
+            assert!(r.is_err(), "cut at {cut} must error");
+        }
+        let dq = gcx::query::compile(queries::Q1).unwrap();
+        assert!(gcx::dom::run(&dq, truncated.as_bytes(), std::io::sink()).is_err());
+    }
+}
+
+#[test]
+fn corrupted_tags_error_not_panic() {
+    let cases = [
+        "<site><people><person id='p'><name>x</name></people></site>", // mismatched
+        "<site>&undefined;</site>",
+        "<site><p attr=novalue/></site>",
+        "<site><1bad/></site>",
+        "<site><p><![CDATA[unterminated</p></site>",
+        "<site><!-- unterminated</site>",
+        "<site><p></p></site><extra/>",
+    ];
+    let q = CompiledQuery::compile("for $x in /site/p return $x").unwrap();
+    for doc in cases {
+        let r = gcx::run(&q, &EngineOptions::gcx(), doc.as_bytes(), std::io::sink());
+        assert!(r.is_err(), "must reject: {doc}");
+    }
+}
+
+/// A reader that fails after `n` bytes.
+struct FailingReader {
+    data: Vec<u8>,
+    pos: usize,
+    fail_at: usize,
+}
+
+impl Read for FailingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.fail_at {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected",
+            ));
+        }
+        let n = buf
+            .len()
+            .min(self.fail_at - self.pos)
+            .min(self.data.len() - self.pos);
+        if n == 0 {
+            return Ok(0);
+        }
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn io_errors_propagate() {
+    let doc = generate_string(&XmarkConfig::sized(8 * 1024));
+    let q = CompiledQuery::compile(queries::Q6).unwrap();
+    for fail_at in [0, 10, 1000, doc.len() / 2] {
+        let reader = FailingReader {
+            data: doc.clone().into_bytes(),
+            pos: 0,
+            fail_at,
+        };
+        let r = gcx::run(&q, &EngineOptions::gcx(), reader, std::io::sink());
+        match r {
+            Err(gcx::EngineError::Xml(e)) => {
+                assert!(e.to_string().contains("injected") || e.to_string().contains("I/O"));
+            }
+            Err(other) => panic!("wrong error type: {other}"),
+            Ok(_) => panic!("must fail at {fail_at}"),
+        }
+    }
+}
+
+/// A writer that fails after `n` bytes: output-side errors must propagate.
+struct FailingWriter {
+    written: usize,
+    fail_at: usize,
+}
+
+impl std::io::Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.written + buf.len() > self.fail_at {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "disk full",
+            ));
+        }
+        self.written += buf.len();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn output_errors_propagate() {
+    let doc = generate_string(&XmarkConfig::sized(32 * 1024));
+    let q = CompiledQuery::compile(queries::Q6).unwrap();
+    let w = FailingWriter {
+        written: 0,
+        fail_at: 100,
+    };
+    let r = gcx::run(&q, &EngineOptions::gcx(), doc.as_bytes(), w);
+    assert!(r.is_err(), "output failure must propagate");
+}
+
+#[test]
+fn hostile_queries_rejected_at_compile_time() {
+    let cases = [
+        ("$undefined", "unbound"),
+        ("for $x in /a return $y", "unbound"),
+        ("for $x in /a/@id return $x", "fragment"),
+        ("for $x in /a return signOff($x, r1)", "fragment"),
+        ("for $x in /a return", "expected"),
+        ("<a>{ 'x' }</b>", "closed by"),
+        ("if (count(/a) = 1) then 'x'", ""), // aggregates are not operands
+        ("for $x in /a[0] return $x", "positive"),
+    ];
+    for (q, needle) in cases {
+        match CompiledQuery::compile(q) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.to_lowercase().contains(needle),
+                    "error for `{q}` should mention `{needle}`: {msg}"
+                );
+            }
+            Ok(_) => panic!("must reject: {q}"),
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_input_does_not_overflow() {
+    // 50k-deep nesting exercises the iterative paths of the tokenizer,
+    // matcher and buffer (the purge walk is iterative by design).
+    let depth = 50_000;
+    let mut doc = String::with_capacity(depth * 7);
+    for _ in 0..depth {
+        doc.push_str("<d>");
+    }
+    for _ in 0..depth {
+        doc.push_str("</d>");
+    }
+    let q = CompiledQuery::compile("for $x in /d/d return 'found'").unwrap();
+    let out = {
+        let mut out = Vec::new();
+        gcx::run(&q, &EngineOptions::gcx(), doc.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    };
+    assert_eq!(out, "found");
+}
+
+#[test]
+fn pathological_many_roles_query() {
+    // A query with dozens of projection paths stays correct.
+    let mut q = String::from("<r>{ ");
+    for i in 0..30 {
+        if i > 0 {
+            q.push_str(", ");
+        }
+        q.push_str(&format!("for $x{i} in /a/b{i} return $x{i}/c{i}"));
+    }
+    q.push_str(" }</r>");
+    let compiled = CompiledQuery::compile(&q).unwrap();
+    assert!(compiled.analysis.roles.len() > 60);
+    let doc = "<a><b3><c3>hit</c3></b3><b7/></a>";
+    let mut out = Vec::new();
+    let report = gcx::run(&compiled, &EngineOptions::gcx(), doc.as_bytes(), &mut out).unwrap();
+    assert_eq!(String::from_utf8(out).unwrap(), "<r><c3>hit</c3></r>");
+    assert_eq!(report.buffer.live, 0);
+}
+
+#[test]
+fn empty_and_trivial_documents() {
+    let q = CompiledQuery::compile("for $x in /a return $x").unwrap();
+    // Empty input: error (no document element).
+    assert!(gcx::run(&q, &EngineOptions::gcx(), "".as_bytes(), std::io::sink()).is_err());
+    // Whitespace-only: error.
+    assert!(gcx::run(
+        &q,
+        &EngineOptions::gcx(),
+        "   \n ".as_bytes(),
+        std::io::sink()
+    )
+    .is_err());
+    // Minimal document, no match.
+    let mut out = Vec::new();
+    gcx::run(&q, &EngineOptions::gcx(), "<b/>".as_bytes(), &mut out).unwrap();
+    assert!(out.is_empty());
+}

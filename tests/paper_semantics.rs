@@ -1,0 +1,165 @@
+//! Golden tests pinning the reproduction to the paper's own artifacts:
+//! the role table of §2, the rewritten running example, Figure 1's buffer
+//! states, and the Figure 3 micro-document behaviour (including the
+//! 23-node watermark).
+
+use gcx::xmark::{microdoc_article_heavy, microdoc_book_heavy, queries};
+use gcx::{CompiledQuery, EngineOptions};
+
+#[test]
+fn role_table_matches_paper_section_2() {
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    assert_eq!(
+        q.analysis.roles_listing(),
+        "\
+r1: /
+r2: /bib
+r3: /bib/*
+r4: /bib/*/price[1]
+r5: /bib/*/descendant-or-self::node()
+r6: /bib/book
+r7: /bib/book/title/descendant-or-self::node()
+"
+    );
+}
+
+#[test]
+fn rewritten_query_matches_paper_section_2() {
+    // The paper's rewritten query, modulo formatting: every signOff at its
+    // preemption point. (We additionally emit signOff(/, r1) at query end,
+    // which the paper leaves implicit.)
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    let printed = q.analysis.rewritten.to_string();
+    let must_contain = [
+        "signOff($x, r3)",
+        "signOff($x/price[1], r4)",
+        "signOff($x/descendant-or-self::node(), r5)",
+        "signOff($b, r6)",
+        "signOff($b/title/descendant-or-self::node(), r7)",
+        "signOff($bib, r2)",
+        "signOff(/, r1)",
+    ];
+    // Order matters: the paper places them exactly in this sequence.
+    let mut last = 0;
+    for needle in must_contain {
+        let pos = printed[last..]
+            .find(needle)
+            .unwrap_or_else(|| panic!("missing or out of order: {needle}\n{printed}"));
+        last += pos;
+    }
+}
+
+#[test]
+fn figure1_buffer_states() {
+    // Run the engine over the Figure 1 prefix with a timeline and check
+    // the documented buffer evolution: 4 nodes buffered (bib, book, title,
+    // author), then after the first loop's signOffs author+... only
+    // book{r6} and title{r7} (+bib) remain.
+    let doc = "<bib><book><title/><author/></book></bib>";
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    let report = gcx::run(
+        &q,
+        &EngineOptions::gcx().with_timeline(1),
+        doc.as_bytes(),
+        std::io::sink(),
+    )
+    .unwrap();
+    let tl = report.timeline.unwrap();
+    // All four nodes buffered while the book subtree streams (Figure 1(a)).
+    assert_eq!(tl.peak(), 4);
+    assert_eq!(report.buffer.allocated, 4, "every node carries a role");
+    assert_eq!(report.buffer.live, 0, "everything reclaimed by the end");
+}
+
+#[test]
+fn figure3b_bounded_buffer_for_article_stream() {
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    let report = gcx::run(
+        &q,
+        &EngineOptions::gcx().with_timeline(1),
+        microdoc_article_heavy().as_bytes(),
+        std::io::sink(),
+    )
+    .unwrap();
+    assert_eq!(report.tokens, 82, "the paper's 82-token document");
+    let tl = report.timeline.unwrap();
+    // "articles are processed one at a time and memory consumption is
+    // bounded": the paper's plot stays in single digits.
+    assert!(
+        tl.peak() <= 8,
+        "bounded buffer expected, peak {}",
+        tl.peak()
+    );
+    assert_eq!(report.buffer.live, 0);
+}
+
+#[test]
+fn figure3c_accumulates_23_nodes() {
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    let report = gcx::run(
+        &q,
+        &EngineOptions::gcx().with_timeline(1),
+        microdoc_book_heavy().as_bytes(),
+        std::io::sink(),
+    )
+    .unwrap();
+    let tl = report.timeline.unwrap();
+    // "When the closing tag of the bib-node is read, 23 nodes are buffered
+    // in total."
+    assert_eq!(tl.peak(), 23, "the paper's 23-node watermark");
+    // And the staircase is monotone over the nine books: sample the buffer
+    // at each book boundary (8 tokens per book child).
+    let at = |token: u64| {
+        tl.points
+            .iter()
+            .find(|&&(t, _)| t == token)
+            .map(|&(_, l)| l)
+            .unwrap()
+    };
+    for book in 1..9 {
+        let here = at(1 + 8 * book); // after book k closed
+        let next = at(1 + 8 * (book + 1));
+        assert!(next >= here, "titles accumulate: {here} then {next}");
+    }
+    assert_eq!(report.buffer.live, 0);
+}
+
+#[test]
+fn figure3_output_is_correct_too() {
+    // Buffer plots aside, the query result itself: all children have
+    // prices, so only book titles are emitted.
+    let mut out = Vec::new();
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    gcx::run(
+        &q,
+        &EngineOptions::gcx(),
+        microdoc_book_heavy().as_bytes(),
+        &mut out,
+    )
+    .unwrap();
+    let out = String::from_utf8(out).unwrap();
+    assert_eq!(out, format!("<r>{}</r>", "<title/>".repeat(9)));
+}
+
+#[test]
+fn explain_mentions_preemption_points() {
+    let q = CompiledQuery::compile(queries::RUNNING_EXAMPLE).unwrap();
+    let text = q.explain();
+    assert!(text.contains("Projection paths and roles"));
+    assert!(text.contains("Rewritten query with signOff statements"));
+}
+
+#[test]
+fn paper_example_against_dom_oracle() {
+    for doc in [
+        "<bib><book><title/><author/></book></bib>",
+        &microdoc_article_heavy(),
+        &microdoc_book_heavy(),
+        "<bib/>",
+        "<bib><article/><book><title>t</title></book></bib>",
+    ] {
+        let a = gcx::run_query(queries::RUNNING_EXAMPLE, doc).unwrap();
+        let b = gcx::dom::run_query(queries::RUNNING_EXAMPLE, doc).unwrap();
+        assert_eq!(a, b, "doc: {doc}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Scaling behaviour on the XMark-like workload — the load-bearing claims
+//! of the paper's Figures 4 and 5, checked as assertions:
+//!
+//! * Q1/Q6/Q13/Q20 run in **constant** buffer space as the document grows;
+//! * the join Q8 grows **linearly**;
+//! * GCX's peak is far below projection-only and full buffering;
+//! * all engines agree on the results.
+
+use gcx::xmark::{generate_string, queries, XmarkConfig};
+use gcx::{CompiledQuery, EngineOptions};
+
+fn doc(kb: u64) -> String {
+    generate_string(&XmarkConfig::sized(kb * 1024))
+}
+
+fn peak(query: &str, doc: &str, opts: &EngineOptions) -> u64 {
+    let q = CompiledQuery::compile(query).unwrap();
+    let report = gcx::run(&q, opts, doc.as_bytes(), std::io::sink()).unwrap();
+    report.buffer.peak_live
+}
+
+#[test]
+fn streaming_queries_run_in_constant_space() {
+    let small = doc(64);
+    let large = doc(256);
+    for (name, q) in [
+        ("Q1", queries::Q1),
+        ("Q13", queries::Q13),
+        ("Q20", queries::Q20),
+    ] {
+        let p_small = peak(q, &small, &EngineOptions::gcx());
+        let p_large = peak(q, &large, &EngineOptions::gcx());
+        // 4x the input, (near-)unchanged buffer. Allow slack for entity
+        // size variation.
+        assert!(
+            p_large <= p_small.max(8) * 2,
+            "{name}: peak grew {p_small} -> {p_large} on 4x input"
+        );
+    }
+}
+
+#[test]
+fn q6_constant_space_with_descendant_axes() {
+    let small = doc(64);
+    let large = doc(256);
+    let p_small = peak(queries::Q6, &small, &EngineOptions::gcx());
+    let p_large = peak(queries::Q6, &large, &EngineOptions::gcx());
+    assert!(
+        p_large <= p_small.max(8) * 2,
+        "Q6 peak grew {p_small} -> {p_large}"
+    );
+    assert!(p_large < 100, "paper: fewer than 100 buffered nodes for Q6");
+}
+
+#[test]
+fn join_query_q8_grows_linearly() {
+    let small = doc(64);
+    let large = doc(256);
+    let p_small = peak(queries::Q8, &small, &EngineOptions::gcx());
+    let p_large = peak(queries::Q8, &large, &EngineOptions::gcx());
+    // Linear in input: 4x the document, roughly 4x the peak (allow 2.5x..6x).
+    let ratio = p_large as f64 / p_small as f64;
+    assert!(
+        (2.5..6.0).contains(&ratio),
+        "Q8 should scale linearly; peaks {p_small} -> {p_large} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn gcx_beats_projection_beats_full_buffering() {
+    let d = doc(128);
+    for (name, q) in [
+        ("Q1", queries::Q1),
+        ("Q6", queries::Q6),
+        ("Q13", queries::Q13),
+    ] {
+        let gcx_peak = peak(q, &d, &EngineOptions::gcx());
+        let proj_peak = peak(q, &d, &EngineOptions::projection_only());
+        let full_peak = peak(q, &d, &EngineOptions::full_buffering());
+        assert!(
+            gcx_peak * 5 < proj_peak,
+            "{name}: active GC should dominate projection ({gcx_peak} vs {proj_peak})"
+        );
+        assert!(
+            proj_peak < full_peak,
+            "{name}: projection should beat full buffering ({proj_peak} vs {full_peak})"
+        );
+    }
+}
+
+#[test]
+fn all_engines_agree_on_xmark_queries() {
+    let d = doc(96);
+    for (name, qtext) in queries::FIGURE5_QUERIES {
+        let q = CompiledQuery::compile(qtext).unwrap();
+        let mut gcx_out = Vec::new();
+        gcx::run(&q, &EngineOptions::gcx(), d.as_bytes(), &mut gcx_out).unwrap();
+        let mut full_out = Vec::new();
+        gcx::run(
+            &q,
+            &EngineOptions::full_buffering(),
+            d.as_bytes(),
+            &mut full_out,
+        )
+        .unwrap();
+        assert_eq!(gcx_out, full_out, "{name}: gcx vs full-buffering");
+        let dom_q = gcx::query::compile(qtext).unwrap();
+        let mut dom_out = Vec::new();
+        gcx::dom::run(&dom_q, d.as_bytes(), &mut dom_out).unwrap();
+        assert_eq!(gcx_out, dom_out, "{name}: gcx vs dom");
+    }
+}
+
+#[test]
+fn q1_finds_person0() {
+    let d = doc(64);
+    let out = gcx::run_query(queries::Q1, &d).unwrap();
+    assert!(out.starts_with("<name>"), "person0 must exist: {out}");
+}
+
+#[test]
+fn q8_output_contains_people_with_purchases() {
+    let d = doc(64);
+    let out = gcx::run_query(queries::Q8, &d).unwrap();
+    assert!(
+        out.contains("<itemref"),
+        "some purchases must join: {out:.200}"
+    );
+    // Every person appears exactly once.
+    let persons = out.matches("<items>").count();
+    let expected = XmarkConfig::sized(64 * 1024).counts().persons as usize;
+    assert_eq!(persons, expected);
+}
+
+#[test]
+fn q20_partitions_every_profiled_person() {
+    let d = doc(64);
+    let out = gcx::run_query(queries::Q20, &d).unwrap();
+    let total = out.matches("<preferred/>").count()
+        + out.matches("<standard/>").count()
+        + out.matches("<challenge/>").count()
+        + out.matches("<na/>").count();
+    let persons = XmarkConfig::sized(64 * 1024).counts().persons as usize;
+    assert_eq!(total, persons, "every person falls in exactly one bracket");
+}
+
+#[test]
+fn buffer_always_drains_on_xmark() {
+    let d = doc(96);
+    for (_, qtext) in queries::FIGURE5_QUERIES {
+        let q = CompiledQuery::compile(qtext).unwrap();
+        let report = gcx::run(&q, &EngineOptions::gcx(), d.as_bytes(), std::io::sink()).unwrap();
+        assert_eq!(report.buffer.live, 0);
+    }
+}
