@@ -1,0 +1,90 @@
+//! Shared-stream batch evaluation: per-query cost vs batch size.
+//!
+//! The point of `gcx-multi` is that one scan (tokenize + merged-NFA match)
+//! serves the whole batch, so the *per-query* wall-clock cost falls as the
+//! batch grows — the scan amortizes while only the per-query fan-out and
+//! evaluation remain. Two sweeps over a ~1MB XMark document:
+//!
+//! * `multi_scaling` — N copies of Q1 for N in 1..=64. Reported times are
+//!   whole-batch; divide by N (printed as `per-query` lines) to see the
+//!   amortization. Duplicates keep the workload per query constant, so
+//!   the curve isolates the shared-scan effect.
+//! * `multi_mixed` — the ten distinct XMark-adapted queries (paper's five
+//!   + extension set) as one batch vs the sum of standalone runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcx_core::{CompiledQuery, EngineOptions};
+use gcx_xmark::queries;
+use std::time::Instant;
+
+fn mixed_texts() -> Vec<&'static str> {
+    queries::FIGURE5_QUERIES
+        .iter()
+        .filter(|(n, _)| *n != "Q8") // quadratic join would drown the sweep
+        .map(|(_, t)| *t)
+        .chain(queries::extra::ALL.iter().map(|(_, t)| *t))
+        .collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let doc = gcx_bench::xmark_string(1);
+    let q1 = CompiledQuery::compile(queries::Q1).unwrap();
+
+    let mut g = c.benchmark_group("multi_scaling");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    println!(
+        "\nper-query cost, batch of N x Q1 over {} bytes:",
+        doc.len()
+    );
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let batch: Vec<CompiledQuery> = (0..n).map(|_| q1.clone()).collect();
+        // Headline per-query number (outside criterion's whole-batch time).
+        let start = Instant::now();
+        let report = gcx_multi::run_batch(&batch, doc.as_bytes()).unwrap();
+        let per_query = start.elapsed() / n as u32;
+        println!(
+            "  N={n:>2}  per-query {:>8.2?}  share-factor {:>5.2}x",
+            per_query,
+            report.share_factor()
+        );
+        g.bench_function(BenchmarkId::new("batch", n), |b| {
+            b.iter(|| gcx_multi::run_batch(&batch, doc.as_bytes()).unwrap().tokens)
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let doc = gcx_bench::xmark_string(1);
+    let batch: Vec<CompiledQuery> = mixed_texts()
+        .iter()
+        .map(|t| CompiledQuery::compile(t).unwrap())
+        .collect();
+
+    let mut g = c.benchmark_group("multi_mixed");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function(BenchmarkId::new("shared", batch.len()), |b| {
+        b.iter(|| gcx_multi::run_batch(&batch, doc.as_bytes()).unwrap().tokens)
+    });
+    g.bench_function(BenchmarkId::new("standalone", batch.len()), |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in &batch {
+                total += gcx_core::run(q, &EngineOptions::gcx(), doc.as_bytes(), std::io::sink())
+                    .unwrap()
+                    .tokens;
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling, bench_mixed
+}
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gcx run <query.xq|-e QUERY> <input.xml>   evaluate a query over a document
+//! gcx multi <batch.xq|--xmark> <input.xml>  evaluate a query batch in ONE pass
 //! gcx explain <query.xq|-e QUERY>           show roles + rewritten query
 //! gcx trace <query.xq|-e QUERY> <input.xml> buffer-occupancy trace (CSV)
 //! gcx generate <MB> [out.xml]               emit an XMark-like document
@@ -16,6 +17,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("multi") => cmd_multi(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
@@ -41,14 +43,23 @@ fn print_usage() {
 
 USAGE:
   gcx run     <query.xq | -e QUERY> <input.xml> [--engine gcx|projection|full|dom]
-              [--stats] [--indent]
+              [--stats] [--stats-json] [--indent]
+  gcx multi   <batch.xq | --xmark> <input.xml> [--out-dir DIR]
+              [--stats] [--stats-json] [--indent]
   gcx explain <query.xq | -e QUERY>
   gcx trace   <query.xq | -e QUERY> <input.xml> [--every N]
   gcx generate <MB> [out.xml] [--seed N]
   gcx validate <input.xml>
 
 Query files use the composition-free XQuery fragment of the GCX paper
-(VLDB 2007); `-e` passes the query inline. Results stream to stdout."
+(VLDB 2007); `-e` passes the query inline. Results stream to stdout.
+
+`multi` evaluates a whole batch of queries in a single pass over the
+input (shared tokenization + merged projection NFA, per-query buffers).
+A batch file separates queries with lines starting with `%%`; `--xmark`
+runs the built-in XMark batch instead. Outputs go to stdout in batch
+order (or to <DIR>/query-NN.out with --out-dir). `--stats-json` emits a
+machine-readable report on stderr (also available for `run`)."
     );
 }
 
@@ -88,6 +99,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .and_then(|i| flags.get(i + 1).copied())
         .unwrap_or("gcx");
     let stats = flags.contains(&"--stats");
+    let stats_json = flags.contains(&"--stats-json");
     let indent = flags.contains(&"--indent");
 
     if engine == "dom" {
@@ -119,7 +131,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let out = BufWriter::new(std::io::stdout().lock());
     let report = gcx_core::run(&q, &opts, input, out).map_err(|e| e.to_string())?;
     println!();
-    if stats {
+    if stats_json {
+        eprintln!("{}", report.to_json());
+    } else if stats {
         eprintln!(
             "tokens: {}   peak buffered nodes: {}   allocated: {}   purged: {}   out bytes: {}",
             report.tokens,
@@ -130,6 +144,127 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Split a batch file into queries: entries are separated by lines whose
+/// first non-space characters are `%%` (the rest of such a line is a
+/// comment). Empty entries are dropped.
+fn split_batch(text: &str) -> Vec<String> {
+    let mut queries = Vec::new();
+    let mut current = String::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("%%") {
+            if !current.trim().is_empty() {
+                queries.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        } else {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    if !current.trim().is_empty() {
+        queries.push(current);
+    }
+    queries
+}
+
+fn cmd_multi(args: &[String]) -> Result<(), String> {
+    let first = args.first().ok_or("missing batch (file path or --xmark)")?;
+    let (texts, rest): (Vec<(String, String)>, &[String]) = if first == "--xmark" {
+        let mut v: Vec<(String, String)> = gcx_xmark::queries::FIGURE5_QUERIES
+            .iter()
+            .chain(gcx_xmark::queries::extra::ALL.iter())
+            .map(|(n, t)| (n.to_string(), t.to_string()))
+            .collect();
+        v.push(("Q6_COUNT".into(), gcx_xmark::queries::Q6_COUNT.into()));
+        (v, &args[1..])
+    } else {
+        let text = std::fs::read_to_string(first)
+            .map_err(|e| format!("cannot read batch file `{first}`: {e}"))?;
+        let queries = split_batch(&text);
+        if queries.is_empty() {
+            return Err(format!("batch file `{first}` contains no queries"));
+        }
+        (
+            queries
+                .into_iter()
+                .enumerate()
+                .map(|(i, q)| (format!("query-{i:02}"), q))
+                .collect(),
+            &args[1..],
+        )
+    };
+    let input_path = rest.first().ok_or("missing input document")?;
+    let flags: Vec<&str> = rest[1..].iter().map(String::as_str).collect();
+    let stats = flags.contains(&"--stats");
+    let stats_json = flags.contains(&"--stats-json");
+    let out_dir = flags
+        .iter()
+        .position(|f| *f == "--out-dir")
+        .and_then(|i| flags.get(i + 1).copied());
+
+    let mut queries = Vec::with_capacity(texts.len());
+    for (name, text) in &texts {
+        queries.push(CompiledQuery::compile(text).map_err(|e| format!("{name} failed: {e}"))?);
+    }
+    let mut opts = gcx_multi::BatchOptions::default();
+    if flags.contains(&"--indent") {
+        opts.indent = Some("  ".to_string());
+    }
+    let input = open_input(input_path)?;
+    let report = gcx_multi::SharedRun::new(opts)
+        .run(&queries, input)
+        .map_err(|e| e.to_string())?;
+
+    // Per-query evaluator failures are reported but don't hide the rest.
+    let mut failures = Vec::new();
+    for ((name, _), run) in texts.iter().zip(&report.queries) {
+        if let Err(e) = &run.report {
+            failures.push(format!("{name}: {e}"));
+        }
+    }
+    match out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+            for (i, run) in report.queries.iter().enumerate() {
+                let path = format!("{dir}/query-{i:02}.out");
+                std::fs::write(&path, &run.output)
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            }
+        }
+        None => {
+            let mut out = BufWriter::new(std::io::stdout().lock());
+            for run in &report.queries {
+                out.write_all(&run.output).map_err(|e| e.to_string())?;
+                writeln!(out).map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())?;
+        }
+    }
+    if stats_json {
+        eprintln!("{}", report.to_json());
+    } else if stats {
+        eprintln!(
+            "queries: {}   tokens (single pass): {}   fan-out events: {}   \
+             share factor: {:.2}x   elapsed: {:.1}ms",
+            report.queries.len(),
+            report.tokens,
+            report.fanout_events,
+            report.share_factor(),
+            report.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} quer(ies) failed: {}",
+            failures.len(),
+            failures.join("; ")
+        ))
+    }
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {

@@ -22,8 +22,15 @@ fn run_inline_query() {
         .arg(&doc)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<title>T</title>");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<title>T</title>"
+    );
 }
 
 #[test]
@@ -37,8 +44,15 @@ fn run_with_stats_and_engines() {
             .output()
             .unwrap();
         assert!(out.status.success(), "engine {engine}");
-        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "12", "engine {engine}");
-        assert!(!out.stderr.is_empty(), "--stats must print to stderr ({engine})");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "12",
+            "engine {engine}"
+        );
+        assert!(
+            !out.stderr.is_empty(),
+            "--stats must print to stderr ({engine})"
+        );
     }
 }
 
@@ -59,7 +73,12 @@ fn run_reads_stdin_with_dash() {
         .stdout(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"<l><i>7</i></l>").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"<l><i>7</i></l>")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "7");
@@ -100,7 +119,11 @@ fn generate_then_validate_then_query() {
         .args(["--seed", "7"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(doc.metadata().unwrap().len() > 100_000);
 
     let out = gcx_bin().arg("validate").arg(&doc).output().unwrap();
@@ -108,7 +131,11 @@ fn generate_then_validate_then_query() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("well-formed"));
 
     let out = gcx_bin()
-        .args(["run", "-e", "for $p in /site/people/person return if ($p/@id = 'person0') then $p/name else ()"])
+        .args([
+            "run",
+            "-e",
+            "for $p in /site/people/person return if ($p/@id = 'person0') then $p/name else ()",
+        ])
         .arg(&doc)
         .output()
         .unwrap();
@@ -128,7 +155,11 @@ fn validate_rejects_malformed() {
 #[test]
 fn bad_query_fails_with_message() {
     let doc = write_temp("bq.xml", "<a/>");
-    let out = gcx_bin().args(["run", "-e", "for $x in"]).arg(&doc).output().unwrap();
+    let out = gcx_bin()
+        .args(["run", "-e", "for $x in"])
+        .arg(&doc)
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("gcx:"));
 }
@@ -145,4 +176,140 @@ fn help_prints_usage() {
     let out = gcx_bin().arg("help").output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn multi_batch_matches_individual_runs() {
+    let doc = write_temp(
+        "multi.xml",
+        "<bib><book><title>T1</title><price>9</price></book><article><title>T2</title></article></bib>",
+    );
+    let batch = write_temp(
+        "multi.xq",
+        "%% titles of books\n\
+         for $b in /bib/book return $b/title\n\
+         %% whole articles\n\
+         for $a in /bib/article return $a\n\
+         %% prices as text\n\
+         for $p in /bib/book/price return $p/text()\n",
+    );
+    let multi = gcx_bin()
+        .arg("multi")
+        .arg(&batch)
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert!(
+        multi.status.success(),
+        "{}",
+        String::from_utf8_lossy(&multi.stderr)
+    );
+    let mut expected = String::new();
+    for q in [
+        "for $b in /bib/book return $b/title",
+        "for $a in /bib/article return $a",
+        "for $p in /bib/book/price return $p/text()",
+    ] {
+        let single = gcx_bin().args(["run", "-e", q]).arg(&doc).output().unwrap();
+        assert!(single.status.success());
+        expected.push_str(&String::from_utf8_lossy(&single.stdout));
+    }
+    assert_eq!(String::from_utf8_lossy(&multi.stdout), expected);
+}
+
+#[test]
+fn multi_out_dir_and_stats() {
+    let doc = write_temp("multi-od.xml", "<l><i>1</i><i>2</i></l>");
+    let batch = write_temp(
+        "multi-od.xq",
+        "for $i in /l/i return $i/text()\n%%\n<n>{ count(/l/i) }</n>\n",
+    );
+    let dir = std::env::temp_dir().join(format!("gcx-multi-out-{}", std::process::id()));
+    let out = gcx_bin()
+        .arg("multi")
+        .arg(&batch)
+        .arg(&doc)
+        .args(["--out-dir", dir.to_str().unwrap(), "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty(), "--out-dir leaves stdout empty");
+    assert_eq!(
+        std::fs::read_to_string(dir.join("query-00.out")).unwrap(),
+        "12"
+    );
+    assert_eq!(
+        std::fs::read_to_string(dir.join("query-01.out")).unwrap(),
+        "<n>2</n>"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("share factor"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_stats_json_is_machine_readable() {
+    let doc = write_temp("multi-json.xml", "<l><i>1</i></l>");
+    let batch = write_temp("multi-json.xq", "for $i in /l/i return $i/text()\n");
+    let out = gcx_bin()
+        .arg("multi")
+        .arg(&batch)
+        .arg(&doc)
+        .arg("--stats-json")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let json = stderr.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for key in [
+        "\"tokens\"",
+        "\"share_factor\"",
+        "\"per_query\"",
+        "\"buffer\"",
+    ] {
+        assert!(json.contains(key), "missing {key}: {json}");
+    }
+}
+
+#[test]
+fn run_stats_json_is_machine_readable() {
+    let doc = write_temp("rsj.xml", "<l><i>1</i></l>");
+    let out = gcx_bin()
+        .args(["run", "-e", "for $i in /l/i return $i/text()"])
+        .arg(&doc)
+        .arg("--stats-json")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let json = stderr.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for key in [
+        "\"tokens\"",
+        "\"output_bytes\"",
+        "\"buffer\"",
+        "\"peak_live\"",
+    ] {
+        assert!(json.contains(key), "missing {key}: {json}");
+    }
+}
+
+#[test]
+fn multi_empty_batch_file_fails() {
+    let doc = write_temp("meb.xml", "<a/>");
+    let batch = write_temp("meb.xq", "%% only comments\n");
+    let out = gcx_bin()
+        .arg("multi")
+        .arg(&batch)
+        .arg(&doc)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no queries"));
 }

@@ -119,6 +119,17 @@ pub struct BufferStats {
     pub purged: u64,
 }
 
+impl BufferStats {
+    /// Machine-readable form (hand-rolled JSON; the workspace has no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"live\":{},\"peak_live\":{},\"allocated\":{},\"purged\":{}}}",
+            self.live, self.peak_live, self.allocated, self.purged
+        )
+    }
+}
+
 /// The buffer tree. See the module docs for the GC model.
 #[derive(Debug)]
 pub struct BufferTree {

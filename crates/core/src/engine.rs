@@ -4,7 +4,7 @@
 use crate::buffer::{BufferStats, BufferTree};
 use crate::error::EngineError;
 use crate::eval::Run;
-use crate::stream::{Preprojector, Timeline};
+use crate::stream::{BufferFeed, Preprojector, Timeline};
 use gcx_projection::{analyze, Analysis, CompiledPaths, StreamMatcher};
 use gcx_query::Query;
 use gcx_xml::{SymbolTable, Tokenizer, WriterOptions, XmlWriter};
@@ -131,6 +131,36 @@ pub struct RunReport {
     pub output_bytes: u64,
 }
 
+impl RunReport {
+    /// Machine-readable form (hand-rolled JSON; the workspace has no
+    /// serde). Timeline points are emitted as `[token, live]` pairs when
+    /// sampling was enabled.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"tokens\":{},\"output_bytes\":{},\"buffer\":{}",
+            self.tokens,
+            self.output_bytes,
+            self.buffer.to_json()
+        );
+        if let Some(tl) = &self.timeline {
+            s.push_str(&format!(
+                ",\"timeline\":{{\"every\":{},\"peak\":{},\"points\":[",
+                tl.every,
+                tl.peak()
+            ));
+            for (i, (t, live)) in tl.points.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("[{t},{live}]"));
+            }
+            s.push_str("]}");
+        }
+        s.push('}');
+        s
+    }
+}
+
 /// Run a compiled query over an XML input stream, writing the result to
 /// `output`. The configuration selects the buffer-management strategy.
 pub fn run<R: Read, W: Write>(
@@ -144,9 +174,27 @@ pub fn run<R: Read, W: Write>(
     let (matcher, _root_roles) = StreamMatcher::new(compiled);
     // Root roles (the paper's r1) are not materialized: the virtual root is
     // never purged, so its bookkeeping would be inert.
-    let buf = BufferTree::new(opts.purge);
     let tokenizer = Tokenizer::new(input);
     let pre = Preprojector::new(tokenizer, matcher, opts.project, opts.timeline_every);
+    run_with_feed(q, opts, symbols, pre, output)
+}
+
+/// Run a compiled query over an arbitrary [`BufferFeed`].
+///
+/// This is [`run`] with the input side factored out: `feed` supplies
+/// buffered nodes on demand instead of the built-in tokenizer+projection
+/// pipeline. `symbols` must be the table any feed-side names were interned
+/// against (a fresh table is fine for feeds that intern on arrival). The
+/// multi-query shared-stream driver uses this entry point to evaluate each
+/// query of a batch over a channel-fed projection of a single input pass.
+pub fn run_with_feed<F: BufferFeed, W: Write>(
+    q: &CompiledQuery,
+    opts: &EngineOptions,
+    symbols: SymbolTable,
+    feed: F,
+    output: W,
+) -> Result<RunReport, EngineError> {
+    let buf = BufferTree::new(opts.purge);
     let out = XmlWriter::with_options(
         output,
         WriterOptions {
@@ -155,7 +203,7 @@ pub fn run<R: Read, W: Write>(
     );
     let mut run = Run::new(
         buf,
-        pre,
+        feed,
         symbols,
         out,
         &q.analysis,

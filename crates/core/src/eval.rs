@@ -22,14 +22,14 @@
 use crate::buffer::{BufferTree, NodeId};
 use crate::cursor::{CursorState, EAxis, ETest, EvalStep, PathCursor};
 use crate::error::EngineError;
-use crate::stream::Preprojector;
+use crate::stream::BufferFeed;
 use gcx_projection::Analysis;
 use gcx_query::ast::{
     AggFunc, Axis, CmpOp, Cond, Expr, NodeTest, Operand, PathExpr, PathRoot, RoleId, Step, VarId,
 };
 use gcx_xml::{Symbol, SymbolTable, XmlWriter};
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::Write;
 
 /// A for-variable binding: the node plus its binding-role multiplicity
 /// (derivation count), captured at iteration start.
@@ -46,10 +46,10 @@ enum AttrSel {
     Any,
 }
 
-/// The running evaluator: buffer + preprojector + output + environment.
-pub(crate) struct Run<'q, R, W: Write> {
+/// The running evaluator: buffer + input feed + output + environment.
+pub(crate) struct Run<'q, F, W: Write> {
     pub buf: BufferTree,
-    pub pre: Preprojector<R>,
+    pub pre: F,
     pub symbols: SymbolTable,
     pub out: XmlWriter<W>,
     pub analysis: &'q Analysis,
@@ -59,10 +59,10 @@ pub(crate) struct Run<'q, R, W: Write> {
     value_scratch: String,
 }
 
-impl<'q, R: Read, W: Write> Run<'q, R, W> {
+impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     pub(crate) fn new(
         buf: BufferTree,
-        pre: Preprojector<R>,
+        pre: F,
         symbols: SymbolTable,
         out: XmlWriter<W>,
         analysis: &'q Analysis,
@@ -81,9 +81,9 @@ impl<'q, R: Read, W: Write> Run<'q, R, W> {
         }
     }
 
-    /// Pull one token from the preprojector (a `nextNode()` request).
+    /// Pull one token from the input feed (a `nextNode()` request).
     fn pull(&mut self) -> Result<bool, EngineError> {
-        Ok(self.pre.advance(&mut self.buf, &mut self.symbols)?)
+        self.pre.advance(&mut self.buf, &mut self.symbols)
     }
 
     /// Pull one token (used by the engine's final input drain).

@@ -39,6 +39,6 @@ mod eval;
 pub mod stream;
 
 pub use buffer::{BufferStats, BufferTree, NodeId};
-pub use engine::{run, run_query, CompiledQuery, EngineOptions, RunReport};
+pub use engine::{run, run_query, run_with_feed, CompiledQuery, EngineOptions, RunReport};
 pub use error::EngineError;
-pub use stream::Timeline;
+pub use stream::{BufferFeed, ChildCounters, Timeline};

@@ -12,10 +12,56 @@
 //! assigned so the evaluator and the signOff machinery behave identically.
 
 use crate::buffer::{BufferTree, NodeId, Ordinals};
+use crate::error::EngineError;
 use gcx_projection::StreamMatcher;
 use gcx_xml::{Symbol, SymbolTable, Token, Tokenizer, XmlResult};
 use std::collections::HashMap;
 use std::io::Read;
+
+/// Anything that can drive a [`BufferTree`] one step at a time.
+///
+/// The evaluator ([`crate::run_with_feed`]) is agnostic about where
+/// buffered nodes come from: the classic single-query pipeline feeds it
+/// from a [`Preprojector`] (tokenizer + projection NFA), while the
+/// multi-query shared-stream driver (`gcx-multi`) feeds it pre-matched
+/// node events from a channel. One call to [`BufferFeed::advance`]
+/// corresponds to one `nextNode()` request of the paper's architecture.
+pub trait BufferFeed {
+    /// Advance the feed by one event, appending/closing buffer nodes as
+    /// needed. Returns `false` once the input is exhausted (the virtual
+    /// root must be closed before returning `false` the first time).
+    fn advance(
+        &mut self,
+        buf: &mut BufferTree,
+        symbols: &mut SymbolTable,
+    ) -> Result<bool, EngineError>;
+
+    /// Structural events processed so far (for reporting).
+    fn tokens(&self) -> u64;
+
+    /// Extract the buffer-occupancy timeline, if this feed records one.
+    fn take_timeline(&mut self) -> Option<Timeline> {
+        None
+    }
+}
+
+impl<R: Read> BufferFeed for Preprojector<R> {
+    fn advance(
+        &mut self,
+        buf: &mut BufferTree,
+        symbols: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        Ok(Preprojector::advance(self, buf, symbols)?)
+    }
+
+    fn tokens(&self) -> u64 {
+        Preprojector::tokens(self)
+    }
+
+    fn take_timeline(&mut self) -> Option<Timeline> {
+        Preprojector::take_timeline(self)
+    }
+}
 
 /// Buffer-occupancy timeline: `(token index, live buffered nodes)` samples.
 #[derive(Debug, Clone, Default)]
@@ -39,36 +85,27 @@ impl Timeline {
     }
 }
 
-/// One open element as the preprojector sees it.
-#[derive(Debug)]
-struct OpenEntry {
-    node: NodeId,
-    /// Whether the matcher holds a frame for this element. False only in
-    /// full-buffering mode for elements the matcher would have skipped.
-    matched: bool,
-    /// Document child counters for ordinal stamping: every child — kept,
-    /// skipped or text — bumps these, so positional predicates evaluate
-    /// against true document positions.
+/// Document child counters for ordinal stamping: every child — kept,
+/// skipped or text — bumps these, so positional predicates evaluate
+/// against true document positions. One instance per open element; also
+/// used by the shared-stream driver (`gcx-multi`), which stamps ordinals
+/// per query on the driver side.
+#[derive(Debug, Default)]
+pub struct ChildCounters {
     elem_children: u32,
     text_children: u32,
     any_children: u32,
     by_name: HashMap<Symbol, u32>,
 }
 
-impl OpenEntry {
-    fn new(node: NodeId, matched: bool) -> OpenEntry {
-        OpenEntry {
-            node,
-            matched,
-            elem_children: 0,
-            text_children: 0,
-            any_children: 0,
-            by_name: HashMap::new(),
-        }
+impl ChildCounters {
+    /// Fresh counters for a just-opened element.
+    pub fn new() -> ChildCounters {
+        ChildCounters::default()
     }
 
     /// Register an element child named `name`; returns its ordinals.
-    fn next_elem(&mut self, name: Symbol) -> Ordinals {
+    pub fn next_elem(&mut self, name: Symbol) -> Ordinals {
         self.elem_children += 1;
         self.any_children += 1;
         let same = self.by_name.entry(name).or_insert(0);
@@ -81,7 +118,7 @@ impl OpenEntry {
     }
 
     /// Register a text child; returns its ordinals.
-    fn next_text(&mut self) -> Ordinals {
+    pub fn next_text(&mut self) -> Ordinals {
         self.text_children += 1;
         self.any_children += 1;
         Ordinals {
@@ -89,6 +126,36 @@ impl OpenEntry {
             elem: self.elem_children,
             any: self.any_children,
         }
+    }
+}
+
+/// One open element as the preprojector sees it.
+#[derive(Debug)]
+struct OpenEntry {
+    node: NodeId,
+    /// Whether the matcher holds a frame for this element. False only in
+    /// full-buffering mode for elements the matcher would have skipped.
+    matched: bool,
+    counters: ChildCounters,
+}
+
+impl OpenEntry {
+    fn new(node: NodeId, matched: bool) -> OpenEntry {
+        OpenEntry {
+            node,
+            matched,
+            counters: ChildCounters::new(),
+        }
+    }
+
+    /// Register an element child named `name`; returns its ordinals.
+    fn next_elem(&mut self, name: Symbol) -> Ordinals {
+        self.counters.next_elem(name)
+    }
+
+    /// Register a text child; returns its ordinals.
+    fn next_text(&mut self) -> Ordinals {
+        self.counters.next_text()
     }
 }
 

@@ -4,6 +4,9 @@
 //! contract (nodes with live roles/pins in their subtree are never freed;
 //! fully dead closed subtrees are always freed).
 
+#![cfg(feature = "proptest")]
+// Gated: requires the external `proptest` crate, unavailable in offline
+// builds (see crates/shims/README.md).
 use gcx_core::buffer::{BufferTree, NodeId, Ordinals};
 use gcx_query::ast::RoleId;
 use gcx_xml::Symbol;

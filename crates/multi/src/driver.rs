@@ -1,0 +1,566 @@
+//! The shared-stream driver: one tokenizer pass, N independent query
+//! evaluations.
+//!
+//! ## Data flow
+//!
+//! The driver thread owns the tokenizer and the [`MergedMatcher`]. For
+//! every structural token it makes the merged keep/skip decision once,
+//! stamps per-query document ordinals (exactly as each query's standalone
+//! preprojector would), and sends per-query [`FeedEvent`]s over bounded
+//! channels to one worker thread per query. Each worker runs the ordinary
+//! single-query evaluator over a [`ChannelFeed`]; its buffer, role
+//! multiset and signOff execution are untouched by the sharing, so
+//! per-query buffer minimality is preserved.
+//!
+//! ## Skip bookkeeping
+//!
+//! Three nested notions of "not interested" exist:
+//!
+//! * merged skip (`merged_skip > 0`): *no* query can match inside — the
+//!   subtree is scanned with a depth counter and zero per-query work
+//!   (its end tags never reach per-query state);
+//! * per-query skip (`QState::skip_depth > 0`): some other query keeps the
+//!   element, this one doesn't. The subtree stays invisible to this query,
+//!   but start/end tags inside it (processed for the queries that *do*
+//!   keep it) must balance the counter;
+//! * dead (`QState::tx == None`): the worker disconnected (evaluator
+//!   error); the driver stops feeding it, other queries are unaffected.
+//!
+//! ## Backpressure and termination
+//!
+//! Channels are bounded ([`BatchOptions::channel_capacity`]): a slow query
+//! stalls the shared pass rather than buffering the stream, keeping memory
+//! proportional to Σ per-query live buffers. Workers always drain to `Eof`
+//! (the engine's `drain_input` pulls after evaluation completes), so the
+//! driver never blocks forever; a worker that dies instead disconnects its
+//! channel, which the driver observes on the next send.
+
+use crate::feed::{ChannelFeed, FeedEvent};
+use crate::matcher::MergedMatcher;
+use gcx_core::buffer::Ordinals;
+use gcx_core::{ChildCounters, CompiledQuery, EngineError, EngineOptions, RunReport};
+use gcx_query::ast::RoleId;
+use gcx_xml::{Symbol, SymbolTable, Token, Tokenizer};
+use std::io::Read;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared copies of an element's name and attributes; cloning one into a
+/// keeping query's event is a refcount bump.
+type SharedStart = (Arc<str>, Arc<[(Box<str>, Box<str>)]>);
+
+/// Configuration of a shared-stream batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Execute signOff statements (dynamic buffer minimization) in every
+    /// worker. Disabling degrades each query to projection-only buffering.
+    pub execute_signoffs: bool,
+    /// Pretty-print each query's output with this indent.
+    pub indent: Option<String>,
+    /// Bound of each per-query event channel (events, not bytes).
+    pub channel_capacity: usize,
+    /// Events per channel send. Each send to a parked worker pays a thread
+    /// wake-up; chunking amortizes it. Effective chunk size is capped at
+    /// `channel_capacity` so backpressure granularity survives tiny
+    /// channels.
+    pub chunk_size: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            execute_signoffs: true,
+            indent: None,
+            channel_capacity: 4096,
+            chunk_size: 256,
+        }
+    }
+}
+
+/// Outcome of one query of the batch.
+#[derive(Debug)]
+pub struct QueryRun {
+    /// The query's serialized result (byte-identical to a standalone run).
+    pub output: Vec<u8>,
+    /// The worker's run report, or the error that stopped it. `tokens` in
+    /// the report counts the events this query *received* — its private
+    /// share of the stream.
+    pub report: Result<RunReport, EngineError>,
+}
+
+/// Aggregate measurements of a shared pass.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query outcomes, in batch order.
+    pub queries: Vec<QueryRun>,
+    /// Structural tokens in the single shared scan.
+    pub tokens: u64,
+    /// Total per-query events fanned out (Σ over queries).
+    pub fanout_events: u64,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Shared-work factor: structural-token work a per-query evaluation
+    /// would have done (N scans) over the work actually done (one scan
+    /// plus the fan-out events). Approaches N when the queries' projected
+    /// streams are sparse; can drop below 1.0 for a single query whose
+    /// fan-out duplicates most of the stream (the sharing overhead with
+    /// nobody to share it).
+    pub fn share_factor(&self) -> f64 {
+        let n = self.queries.len() as f64;
+        let would_have = n * self.tokens as f64;
+        let actual = self.tokens as f64 + self.fanout_events as f64;
+        if actual == 0.0 {
+            1.0
+        } else {
+            would_have / actual
+        }
+    }
+
+    /// Machine-readable form (hand-rolled JSON; no external deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 192 * self.queries.len());
+        s.push_str(&format!(
+            "{{\"tokens\":{},\"queries\":{},\"fanout_events\":{},\"share_factor\":{:.3},\
+             \"elapsed_ms\":{:.3},\"per_query\":[",
+            self.tokens,
+            self.queries.len(),
+            self.fanout_events,
+            self.share_factor(),
+            self.elapsed.as_secs_f64() * 1e3,
+        ));
+        for (i, q) in self.queries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match &q.report {
+                Ok(r) => {
+                    s.push_str(&format!(
+                        "{{\"index\":{i},\"output_bytes\":{},\"report\":{}}}",
+                        q.output.len(),
+                        r.to_json()
+                    ));
+                }
+                Err(e) => {
+                    s.push_str(&format!(
+                        "{{\"index\":{i},\"output_bytes\":{},\"error\":\"{}\"}}",
+                        q.output.len(),
+                        json_escape(&e.to_string())
+                    ));
+                }
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-query driver-side state.
+struct QState {
+    /// Event channel to the worker; `None` once the worker disconnected.
+    tx: Option<SyncSender<Vec<FeedEvent>>>,
+    /// Events accumulated for the next send.
+    chunk: Vec<FeedEvent>,
+    /// Flush threshold for `chunk`.
+    chunk_size: usize,
+    /// Depth inside a subtree this query skipped while some other query
+    /// keeps it (0 = in this query's kept region).
+    skip_depth: u32,
+    /// Ordinal counters for this query's open elements (root frame at the
+    /// bottom). Only elements this query keeps get a frame — identical to
+    /// the standalone preprojector's open stack.
+    counters: Vec<ChildCounters>,
+}
+
+impl QState {
+    fn alive(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Queue an event, flushing a full chunk; on disconnect mark the query
+    /// dead.
+    fn send(&mut self, event: FeedEvent) {
+        if self.tx.is_some() {
+            self.chunk.push(event);
+            if self.chunk.len() >= self.chunk_size {
+                self.flush();
+            }
+        }
+    }
+
+    /// Push the pending chunk to the worker.
+    fn flush(&mut self) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let chunk = std::mem::replace(&mut self.chunk, Vec::with_capacity(self.chunk_size));
+            if tx.send(chunk).is_err() {
+                self.tx = None;
+                self.chunk = Vec::new();
+            }
+        } else {
+            self.chunk.clear();
+        }
+    }
+}
+
+/// The shared-stream evaluator: one parse, N queries.
+#[derive(Debug, Default)]
+pub struct SharedRun {
+    opts: BatchOptions,
+}
+
+impl SharedRun {
+    /// A driver with the given options.
+    pub fn new(opts: BatchOptions) -> SharedRun {
+        SharedRun { opts }
+    }
+
+    /// Evaluate `queries` over `input` in a single pass. Per-query
+    /// evaluator failures are reported in the [`BatchReport`]; only input
+    /// parse errors (which invalidate every query) fail the whole batch.
+    pub fn run<R: Read>(
+        &self,
+        queries: &[CompiledQuery],
+        input: R,
+    ) -> Result<BatchReport, EngineError> {
+        let started = Instant::now();
+        let mut symbols = SymbolTable::new();
+        let (mut matcher, _root_roles) = MergedMatcher::build(queries, &mut symbols);
+        let engine_opts = EngineOptions {
+            project: true,
+            execute_signoffs: self.opts.execute_signoffs,
+            purge: true,
+            drain_input: true,
+            timeline_every: None,
+            indent: self.opts.indent.clone(),
+        };
+
+        let mut tokenizer = Tokenizer::new(input);
+        let mut scan_result: Result<(u64, u64), EngineError> = Ok((0, 0));
+        let mut outcomes: Vec<QueryRun> = Vec::with_capacity(queries.len());
+
+        std::thread::scope(|scope| {
+            let mut states: Vec<QState> = Vec::with_capacity(queries.len());
+            let mut handles = Vec::with_capacity(queries.len());
+            let chunk_size = self
+                .opts
+                .chunk_size
+                .clamp(1, self.opts.channel_capacity.max(1));
+            let chunks_cap = (self.opts.channel_capacity.max(1) / chunk_size).max(1);
+            for q in queries {
+                let (tx, rx) = sync_channel(chunks_cap);
+                let worker_opts = engine_opts.clone();
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let feed = ChannelFeed::new(rx);
+                    let report = gcx_core::run_with_feed(
+                        q,
+                        &worker_opts,
+                        SymbolTable::new(),
+                        feed,
+                        &mut out,
+                    );
+                    (out, report)
+                }));
+                states.push(QState {
+                    tx: Some(tx),
+                    chunk: Vec::with_capacity(chunk_size),
+                    chunk_size,
+                    skip_depth: 0,
+                    counters: vec![ChildCounters::new()],
+                });
+            }
+
+            scan_result = drive(&mut tokenizer, &mut matcher, &mut symbols, &mut states);
+            // Successful or not: disconnect every channel so workers
+            // finish (Eof was already sent on success).
+            drop(states);
+            for handle in handles {
+                let (output, report) = handle.join().expect("worker panicked");
+                outcomes.push(QueryRun { output, report });
+            }
+        });
+
+        let (tokens, fanout_events) = scan_result?;
+        Ok(BatchReport {
+            queries: outcomes,
+            tokens,
+            fanout_events,
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+/// The single shared scan. Returns (structural tokens, fan-out events).
+fn drive<R: Read>(
+    tokenizer: &mut Tokenizer<R>,
+    matcher: &mut MergedMatcher,
+    symbols: &mut SymbolTable,
+    states: &mut [QState],
+) -> Result<(u64, u64), EngineError> {
+    let mut tokens = 0u64;
+    let mut fanout = 0u64;
+    let mut merged_skip = 0u32;
+    // Scratch reused across elements: per-query roles of the current node.
+    let mut role_scratch: Vec<(RoleId, u32)> = Vec::new();
+
+    while let Some(token) = tokenizer.next_token()? {
+        match token {
+            Token::StartTag(start) => {
+                let self_closing = start.self_closing;
+                if merged_skip > 0 {
+                    if !self_closing {
+                        merged_skip += 1;
+                    }
+                } else {
+                    let name = symbols.intern(start.name);
+                    // Shared owned copies, built lazily on first keeper.
+                    let mut shared: Option<SharedStart> = None;
+                    let outcome = matcher.enter_element(name);
+                    let any_keep = outcome.any_keep;
+                    for (qi, qs) in states.iter_mut().enumerate() {
+                        if !qs.alive() {
+                            continue;
+                        }
+                        if qs.skip_depth > 0 {
+                            // Inside a subtree this query skipped but some
+                            // other query keeps: balance the counter. When
+                            // nobody keeps (merged skip), the subtree's end
+                            // tags never reach per-query state, so the
+                            // counter must not move either.
+                            if !self_closing && any_keep {
+                                qs.skip_depth += 1;
+                            }
+                            continue;
+                        }
+                        // In this query's kept region: every child bumps
+                        // ordinals, kept or not (positional predicates see
+                        // true document positions).
+                        let ordinals = ordinals_elem(qs, name);
+                        if any_keep && outcome.kept[qi] {
+                            role_scratch.clear();
+                            role_scratch.extend(outcome.roles_of(qi as u32));
+                            let (name, attrs) = shared.get_or_insert_with(|| {
+                                let name: Arc<str> = start.name.into();
+                                let attrs: Arc<[_]> = start
+                                    .attrs
+                                    .iter()
+                                    .map(|a| {
+                                        (Box::<str>::from(a.name), Box::<str>::from(&*a.value))
+                                    })
+                                    .collect();
+                                (name, attrs)
+                            });
+                            qs.send(FeedEvent::Start {
+                                name: name.clone(),
+                                attrs: attrs.clone(),
+                                roles: role_scratch.as_slice().into(),
+                                ordinals,
+                                self_closing,
+                            });
+                            fanout += 1;
+                            if !self_closing {
+                                qs.counters.push(ChildCounters::new());
+                            }
+                        } else if any_keep && !self_closing {
+                            // Some other query keeps this subtree; this one
+                            // starts skipping it. (If nobody keeps it, the
+                            // merged skip below hides it from everyone.)
+                            qs.skip_depth = 1;
+                        }
+                    }
+                    if any_keep {
+                        if self_closing {
+                            matcher.leave_element();
+                        }
+                    } else if !self_closing {
+                        merged_skip = 1;
+                    }
+                }
+                tokens += 1;
+                if self_closing {
+                    // A self-closing tag stands for open+close: count both.
+                    tokens += 1;
+                }
+            }
+            Token::EndTag { .. } => {
+                if merged_skip > 0 {
+                    merged_skip -= 1;
+                } else {
+                    for qs in states.iter_mut() {
+                        if !qs.alive() {
+                            continue;
+                        }
+                        if qs.skip_depth > 0 {
+                            qs.skip_depth -= 1;
+                        } else {
+                            debug_assert!(
+                                qs.counters.len() > 1,
+                                "End for an element this query never kept"
+                            );
+                            qs.counters.pop();
+                            qs.send(FeedEvent::End);
+                            fanout += 1;
+                        }
+                    }
+                    matcher.leave_element();
+                }
+                tokens += 1;
+            }
+            Token::Text(content) => {
+                if merged_skip == 0 {
+                    let roles = matcher.text();
+                    let mut shared: Option<Arc<str>> = None;
+                    for (qi, qs) in states.iter_mut().enumerate() {
+                        if !qs.alive() || qs.skip_depth > 0 {
+                            continue;
+                        }
+                        let ordinals = ordinals_text(qs);
+                        let qi = qi as u32;
+                        // Restrict to this query's tag; role-free text is
+                        // irrelevant to it and not sent.
+                        let lo = roles.partition_point(|&(t, _, _)| t < qi);
+                        let hi = roles.partition_point(|&(t, _, _)| t <= qi);
+                        if lo == hi {
+                            continue;
+                        }
+                        let content = shared
+                            .get_or_insert_with(|| Arc::<str>::from(&*content))
+                            .clone();
+                        qs.send(FeedEvent::Text {
+                            content,
+                            roles: roles[lo..hi].iter().map(|&(_, r, c)| (r, c)).collect(),
+                            ordinals,
+                        });
+                        fanout += 1;
+                    }
+                }
+                tokens += 1;
+            }
+            // Comments, PIs and the doctype are not part of the data model.
+            Token::Comment(_) | Token::ProcessingInstruction { .. } | Token::Doctype(_) => {}
+        }
+    }
+    // Input exhausted: close every query's virtual root and flush.
+    for qs in states.iter_mut() {
+        qs.send(FeedEvent::Eof);
+        fanout += 1;
+        qs.flush();
+    }
+    Ok((tokens, fanout))
+}
+
+/// Ordinals for an element child in this query's current open element.
+fn ordinals_elem(qs: &mut QState, name: Symbol) -> Ordinals {
+    qs.counters
+        .last_mut()
+        .expect("counter stack never empty")
+        .next_elem(name)
+}
+
+/// Ordinals for a text child in this query's current open element.
+fn ordinals_text(qs: &mut QState) -> Ordinals {
+    qs.counters
+        .last_mut()
+        .expect("counter stack never empty")
+        .next_text()
+}
+
+/// Evaluate a batch with default options.
+pub fn run_batch<R: Read>(queries: &[CompiledQuery], input: R) -> Result<BatchReport, EngineError> {
+    SharedRun::new(BatchOptions::default()).run(queries, input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(texts: &[&str]) -> Vec<CompiledQuery> {
+        texts
+            .iter()
+            .map(|t| CompiledQuery::compile(t).unwrap())
+            .collect()
+    }
+
+    fn standalone(q: &CompiledQuery, doc: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        gcx_core::run(q, &EngineOptions::gcx(), doc.as_bytes(), &mut out).unwrap();
+        out
+    }
+
+    const DOC: &str = "<bib><book><title>Streams</title><price>10</price></book>\
+                       <article><title>Pipes</title></article></bib>";
+
+    #[test]
+    fn batch_matches_standalone_outputs() {
+        let queries = compile(&[
+            "<r>{ for $b in /bib/book return $b/title }</r>",
+            "for $a in /bib/article return $a",
+            "for $t in /bib/book/price return $t/text()",
+            "'constant'",
+        ]);
+        let report = run_batch(&queries, DOC.as_bytes()).unwrap();
+        assert_eq!(report.queries.len(), 4);
+        for (q, run) in queries.iter().zip(&report.queries) {
+            let expected = standalone(q, DOC);
+            assert_eq!(run.output, expected);
+            let r = run.report.as_ref().unwrap();
+            assert_eq!(r.buffer.live, 0, "worker buffer must drain");
+        }
+        assert!(report.tokens > 0);
+        assert!(report.share_factor() > 1.0, "4 queries must share the scan");
+    }
+
+    #[test]
+    fn single_query_batch_works() {
+        let queries = compile(&["for $b in /bib/book return $b/title"]);
+        let report = run_batch(&queries, DOC.as_bytes()).unwrap();
+        assert_eq!(report.queries[0].output, standalone(&queries[0], DOC));
+    }
+
+    #[test]
+    fn empty_batch_scans_input() {
+        let report = run_batch(&[], DOC.as_bytes()).unwrap();
+        assert!(report.queries.is_empty());
+        assert_eq!(report.tokens, 15);
+    }
+
+    #[test]
+    fn malformed_input_fails_the_batch() {
+        let queries = compile(&["for $b in /bib/book return $b"]);
+        let err = run_batch(&queries, "<bib><book></bib>".as_bytes());
+        assert!(err.is_err(), "mismatched tags must fail the whole batch");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let queries = compile(&["for $b in /bib/book return $b/title"]);
+        let report = run_batch(&queries, DOC.as_bytes()).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"share_factor\""));
+        assert!(json.contains("\"per_query\""));
+    }
+}

@@ -1,0 +1,213 @@
+//! The channel side of the fan-out: per-query node events and the
+//! [`BufferFeed`] implementation that replays them into a query's own
+//! [`BufferTree`].
+//!
+//! The driver already ran the merged projection NFA, so events carry the
+//! final per-query decision: only nodes this query buffers are sent, with
+//! their role instances and document ordinals precomputed. The worker side
+//! is thus a pure appender — it interns names into the worker's private
+//! symbol table and mirrors the preprojector's buffer writes exactly
+//! (self-closing elements are appended and immediately closed; `Eof`
+//! closes the virtual root so blocked cursors terminate).
+
+use gcx_core::buffer::{BufferTree, NodeId, Ordinals};
+use gcx_core::{BufferFeed, EngineError};
+use gcx_query::ast::RoleId;
+use gcx_xml::SymbolTable;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// One pre-projected node event for one query.
+#[derive(Debug, Clone)]
+pub enum FeedEvent {
+    /// An element this query buffers.
+    Start {
+        /// Tag name, shared across all keeping queries (cloning an event
+        /// for another query is a refcount bump, not a string copy).
+        name: Arc<str>,
+        /// Attributes in document order, shared across keeping queries.
+        attrs: Arc<[(Box<str>, Box<str>)]>,
+        /// Role instances from the merged matcher, restricted to this
+        /// query's tag.
+        roles: Box<[(RoleId, u32)]>,
+        /// Document-position ordinals, stamped per query by the driver.
+        ordinals: Ordinals,
+        /// `<a/>`: append and close in one event (no matching `End`).
+        self_closing: bool,
+    },
+    /// End tag of the innermost open `Start`.
+    End,
+    /// A text node this query buffers.
+    Text {
+        /// Character data (entities already resolved), shared across
+        /// keeping queries.
+        content: Arc<str>,
+        /// Role instances restricted to this query's tag (never empty —
+        /// role-free text is not sent).
+        roles: Box<[(RoleId, u32)]>,
+        /// Document-position ordinals.
+        ordinals: Ordinals,
+    },
+    /// Input exhausted; closes the virtual root.
+    Eof,
+}
+
+/// A [`BufferFeed`] over a channel of [`FeedEvent`] chunks, produced by
+/// the shared-stream driver. Events travel in chunks (not one per send)
+/// because a parked receiver makes every send pay a thread wake-up —
+/// chunking amortizes that across [`crate::BatchOptions::chunk_size`]
+/// events. Dropping the feed (e.g. when the evaluator errors) disconnects
+/// the channel, which the driver observes as a failed send and stops
+/// feeding this query.
+pub struct ChannelFeed {
+    rx: Receiver<Vec<FeedEvent>>,
+    /// Remainder of the chunk currently being drained.
+    pending: std::vec::IntoIter<FeedEvent>,
+    /// Open element chain; the top is the parent of incoming nodes.
+    open: Vec<NodeId>,
+    events: u64,
+    finished: bool,
+}
+
+impl ChannelFeed {
+    /// Wrap a receiver whose sender is a [`crate::SharedRun`] driver.
+    pub fn new(rx: Receiver<Vec<FeedEvent>>) -> ChannelFeed {
+        ChannelFeed {
+            rx,
+            pending: Vec::new().into_iter(),
+            open: vec![NodeId::ROOT],
+            events: 0,
+            finished: false,
+        }
+    }
+
+    /// Next event, refilling from the channel as chunks drain.
+    fn next_event(&mut self) -> Result<FeedEvent, EngineError> {
+        loop {
+            if let Some(event) = self.pending.next() {
+                return Ok(event);
+            }
+            let chunk = self.rx.recv().map_err(|_| {
+                EngineError::Internal("shared-stream driver disconnected mid-document".into())
+            })?;
+            self.pending = chunk.into_iter();
+        }
+    }
+}
+
+impl BufferFeed for ChannelFeed {
+    fn advance(
+        &mut self,
+        buf: &mut BufferTree,
+        symbols: &mut SymbolTable,
+    ) -> Result<bool, EngineError> {
+        if self.finished {
+            return Ok(false);
+        }
+        let event = self.next_event()?;
+        self.events += 1;
+        match event {
+            FeedEvent::Start {
+                name,
+                attrs,
+                roles,
+                ordinals,
+                self_closing,
+            } => {
+                let name = symbols.intern(&name);
+                let attrs: Box<[_]> = attrs
+                    .iter()
+                    .map(|(k, v)| (symbols.intern(k), v.clone()))
+                    .collect();
+                let parent = *self.open.last().expect("open chain never empty");
+                let id = buf.append_element(parent, name, attrs, &roles, ordinals);
+                if self_closing {
+                    buf.close(id);
+                } else {
+                    self.open.push(id);
+                }
+            }
+            FeedEvent::End => {
+                let id = self.open.pop().expect("unbalanced End event");
+                debug_assert!(id != NodeId::ROOT, "End event for the virtual root");
+                buf.close(id);
+            }
+            FeedEvent::Text {
+                content,
+                roles,
+                ordinals,
+            } => {
+                let parent = *self.open.last().expect("open chain never empty");
+                buf.append_text(parent, &content, &roles, ordinals);
+            }
+            FeedEvent::Eof => {
+                self.finished = true;
+                buf.close(NodeId::ROOT);
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn tokens(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn start(name: &str, roles: &[(RoleId, u32)], self_closing: bool) -> FeedEvent {
+        FeedEvent::Start {
+            name: name.into(),
+            attrs: Arc::from(vec![]),
+            roles: roles.to_vec().into_boxed_slice(),
+            ordinals: Ordinals::FIRST,
+            self_closing,
+        }
+    }
+
+    #[test]
+    fn replays_events_into_buffer() {
+        let (tx, rx) = sync_channel(8);
+        let r1 = RoleId(1);
+        // Mixed chunking: two events, then three, exercising the refill.
+        tx.send(vec![
+            start("a", &[(r1, 1)], false),
+            start("b", &[(r1, 2)], true),
+        ])
+        .unwrap();
+        tx.send(vec![
+            FeedEvent::Text {
+                content: "hi".into(),
+                roles: Box::new([(r1, 1)]),
+                ordinals: Ordinals::FIRST,
+            },
+            FeedEvent::End,
+            FeedEvent::Eof,
+        ])
+        .unwrap();
+
+        let mut feed = ChannelFeed::new(rx);
+        let mut buf = BufferTree::new(true);
+        let mut symbols = SymbolTable::new();
+        while feed.advance(&mut buf, &mut symbols).unwrap() {}
+        assert_eq!(feed.tokens(), 5);
+        assert_eq!(buf.stats().allocated, 3);
+        assert!(buf.is_closed(NodeId::ROOT));
+        buf.check_integrity();
+    }
+
+    #[test]
+    fn disconnect_is_an_error_not_a_hang() {
+        let (tx, rx) = sync_channel::<Vec<FeedEvent>>(1);
+        drop(tx);
+        let mut feed = ChannelFeed::new(rx);
+        let mut buf = BufferTree::new(true);
+        let mut symbols = SymbolTable::new();
+        let err = feed.advance(&mut buf, &mut symbols).unwrap_err();
+        assert!(err.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # gcx-multi — multi-query shared-stream evaluation
+//!
+//! GCX minimizes buffers for *one* query over *one* stream. A production
+//! deployment serves many outstanding queries against the same feed — and
+//! tokenizing plus projection-matching the stream once **per query** is
+//! then the dominant redundant cost. This crate evaluates a whole batch of
+//! compiled queries in a **single pass** over the input:
+//!
+//! ```text
+//!                      ┌───────────────┐  per-query events   ┌──────────────┐
+//!   XML ──► Tokenizer ─► MergedMatcher ├──────────┬─────────►│ BufferTree q0│──► out 0
+//!            (once)    │ (union NFA,   │          │          │ + evaluator  │
+//!                      │ tagged roles) │          └─────────►│ BufferTree q1│──► out 1
+//!                      └───────────────┘   bounded channels  │ + evaluator  │
+//!                                                            └──────────────┘
+//! ```
+//!
+//! * [`MergedMatcher`] unions the per-query projection NFAs
+//!   ([`gcx_projection::TaggedPaths`]) so each token is tokenized and
+//!   matched **exactly once** no matter how many queries want it; element
+//!   outcomes carry per-query tags.
+//! * [`SharedRun`] drives the pass: it stamps per-query ordinals, fans
+//!   matched tokens out to per-query worker threads over bounded channels
+//!   (backpressure keeps memory proportional to the per-query buffers, not
+//!   the stream), and collects outputs. Each worker runs the unmodified
+//!   single-query evaluator ([`gcx_core::run_with_feed`]) over a
+//!   [`ChannelFeed`], so each query's role multiset, signOff execution and
+//!   therefore *buffer minimality* are preserved verbatim.
+//! * [`BatchReport`] aggregates throughput, per-query buffer statistics
+//!   and the share factor (work that would have been repeated N× but ran
+//!   once).
+//!
+//! Every query's output is byte-identical to a standalone
+//! [`gcx_core::run`] over the same document — asserted by the equivalence
+//! and property suites in `tests/`.
+
+mod driver;
+mod feed;
+mod matcher;
+
+pub use driver::{run_batch, BatchOptions, BatchReport, QueryRun, SharedRun};
+pub use feed::{ChannelFeed, FeedEvent};
+pub use matcher::MergedMatcher;

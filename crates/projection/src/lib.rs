@@ -28,5 +28,8 @@ mod matcher;
 mod roles;
 
 pub use analysis::{analyze, Analysis};
-pub use matcher::{CompiledPaths, ElementOutcome, StreamMatcher};
+pub use matcher::{
+    CompiledPaths, ElementOutcome, QueryTag, StreamMatcher, TaggedMatcher, TaggedOutcome,
+    TaggedPaths, TaggedRole,
+};
 pub use roles::{Anchor, RoleInfo, RoleOrigin, RoleTable};

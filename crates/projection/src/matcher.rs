@@ -127,6 +127,124 @@ impl CompiledPaths {
     }
 }
 
+/// Identifies which query of a merged batch a path/role belongs to.
+pub type QueryTag = u32;
+
+/// One role completion with its owning query and derivation count.
+pub type TaggedRole = (QueryTag, RoleId, u32);
+
+/// One path of a merged batch: step range, role, owning query.
+#[derive(Debug, Clone, Copy)]
+struct PathInfo {
+    first: u32,
+    len: u32,
+    role: RoleId,
+    tag: QueryTag,
+}
+
+/// The union of several queries' [`CompiledPaths`], sharing one step
+/// arena. Every path remembers the query it came from, so one NFA pass
+/// over the stream produces per-query outcomes.
+///
+/// All parts must have been compiled against the **same** symbol table —
+/// name tests compare interned [`Symbol`]s.
+#[derive(Debug, Clone)]
+pub struct TaggedPaths {
+    steps: Vec<CStep>,
+    paths: Vec<PathInfo>,
+    n_tags: u32,
+}
+
+impl TaggedPaths {
+    /// Union the per-query path sets; part `i` gets tag `i`.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a CompiledPaths>) -> TaggedPaths {
+        let mut steps = Vec::new();
+        let mut paths = Vec::new();
+        let mut n_tags = 0;
+        for (tag, part) in parts.into_iter().enumerate() {
+            let base = steps.len() as u32;
+            steps.extend_from_slice(&part.steps);
+            for &(first, len, role) in &part.paths {
+                paths.push(PathInfo {
+                    first: base + first,
+                    len,
+                    role,
+                    tag: tag as QueryTag,
+                });
+            }
+            n_tags += 1;
+        }
+        TaggedPaths {
+            steps,
+            paths,
+            n_tags,
+        }
+    }
+
+    /// Number of queries merged in.
+    pub fn n_tags(&self) -> u32 {
+        self.n_tags
+    }
+
+    /// Total number of paths across all queries.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when no query contributed any path.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Per-element outcome of the merged matcher. Reused across calls: the
+/// caller allocates one with [`TaggedOutcome::for_tags`] and passes it to
+/// every [`TaggedMatcher::enter_element`].
+#[derive(Debug, Clone)]
+pub struct TaggedOutcome {
+    /// True when at least one query wants this element (a frame was
+    /// pushed). False: *no* query can match inside — skip the subtree and
+    /// do not call `leave_element`.
+    pub any_keep: bool,
+    /// `kept[q]`: query `q` buffers this element (had at least one NFA
+    /// state survive the transition — exactly the standalone matcher's
+    /// `keep`). Only meaningful when `any_keep`.
+    pub kept: Vec<bool>,
+    /// Completed roles, deduplicated, sorted by `(tag, role)`.
+    pub roles: Vec<TaggedRole>,
+}
+
+impl TaggedOutcome {
+    /// An outcome buffer for a batch of `n` queries.
+    pub fn for_tags(n: u32) -> TaggedOutcome {
+        TaggedOutcome {
+            any_keep: false,
+            kept: vec![false; n as usize],
+            roles: Vec::new(),
+        }
+    }
+
+    /// Roles of one query, in `(role, count)` form.
+    pub fn roles_of(&self, tag: QueryTag) -> impl Iterator<Item = (RoleId, u32)> + '_ {
+        self.roles_slice_of(tag).iter().map(|&(_, r, c)| (r, c))
+    }
+
+    /// Roles of one query as a subslice (the roles are sorted by tag, so
+    /// this is a binary search, not a scan — the driver calls it once per
+    /// query per element).
+    pub fn roles_slice_of(&self, tag: QueryTag) -> &[TaggedRole] {
+        let lo = self.roles.partition_point(|&(t, _, _)| t < tag);
+        let hi = self.roles.partition_point(|&(t, _, _)| t <= tag);
+        &self.roles[lo..hi]
+    }
+
+    fn reset(&mut self) {
+        self.any_keep = false;
+        self.kept.iter_mut().for_each(|k| *k = false);
+        self.roles.clear();
+    }
+}
+
 /// Role instances granted to one node.
 pub type RoleAssignment = Vec<(RoleId, u32)>;
 
@@ -158,42 +276,50 @@ struct Frame {
     pred_seen: Vec<(StateId, u32)>,
 }
 
-/// The streaming matcher. One instance per engine run.
+/// The merged streaming matcher: one NFA pass over the tag stream,
+/// per-query outcomes. [`StreamMatcher`] is its single-query face; the
+/// shared-stream driver (`gcx-multi`) runs it over a whole batch.
+///
+/// Because every path carries its owning query's tag, and states never
+/// interact across paths (counts merge only on identical `(path, state)`
+/// pairs), the states with tag `q` evolve exactly as they would in a
+/// standalone matcher built from query `q`'s paths alone. Per-query
+/// projection and role multiplicities are therefore preserved verbatim —
+/// the property suite in `crates/multi` asserts this.
 #[derive(Debug)]
-pub struct StreamMatcher {
-    compiled: CompiledPaths,
+pub struct TaggedMatcher {
+    compiled: TaggedPaths,
     frames: Vec<Frame>,
     /// Scratch for building child state sets.
     scratch: Vec<St>,
 }
 
-impl StreamMatcher {
-    /// Create the matcher and compute the document root's roles (paths with
-    /// zero steps, e.g. the paper's `r1: /`).
-    pub fn new(compiled: CompiledPaths) -> (StreamMatcher, RoleAssignment) {
+impl TaggedMatcher {
+    /// Create the matcher and compute the document root's roles (paths
+    /// with zero steps, e.g. the paper's `r1: /`, per query).
+    pub fn new(compiled: TaggedPaths) -> (TaggedMatcher, Vec<TaggedRole>) {
         let mut root = Frame::default();
         let mut root_roles = Vec::new();
-        for (p, &(first, len, role)) in compiled.paths.iter().enumerate() {
-            if len == 0 {
-                root_roles.push((role, 1));
+        for (p, info) in compiled.paths.iter().enumerate() {
+            if info.len == 0 {
+                root_roles.push((info.tag, info.role, 1));
             } else {
                 root.states.push(St {
                     path: p as u32,
-                    sid: first,
+                    sid: info.first,
                     count: 1,
                 });
             }
         }
         // The document root is a node: run closure for leading
         // self/descendant-or-self steps (e.g. role `/descendant-or-self...`).
-        let mut m = StreamMatcher {
+        let mut m = TaggedMatcher {
             compiled,
             frames: vec![root],
             scratch: Vec::new(),
         };
-        let mut completions = Vec::new();
-        m.close_element_states(0, &mut completions);
-        merge_roles(&mut root_roles, completions);
+        m.closure_with_name(0, None, &mut root_roles);
+        dedupe_tagged(&mut root_roles);
         (m, root_roles)
     }
 
@@ -202,35 +328,19 @@ impl StreamMatcher {
         self.frames.len() - 1
     }
 
-    /// Epsilon-closure of the frame at `frames[idx]` treating it as an
-    /// element node: `self::`/`descendant-or-self::` steps that match an
-    /// element consume in place. Completed paths are appended to `out`.
-    fn close_element_states(&mut self, idx: usize, out: &mut Vec<(RoleId, u32)>) {
-        // The frame's element name is not needed: the only tests that can
-        // consume in place on an element are Star/AnyNode (name-tested
-        // self steps would need the name; the closure below receives it
-        // from the caller via `enter_element` for the initial transition —
-        // for in-place closure we must know the name, so it is threaded
-        // through `closure_with_name` instead). This method handles the
-        // virtual document root, which only `node()` tests can match.
-        self.closure_with_name(idx, None, out);
-    }
-
-    /// Run the epsilon closure on `frames[idx]`. `name` is the element's
-    /// tag (None for the virtual document root, Some for real elements).
-    fn closure_with_name(
-        &mut self,
-        idx: usize,
-        name: Option<Symbol>,
-        out: &mut Vec<(RoleId, u32)>,
-    ) {
+    /// Run the epsilon closure on `frames[idx]`: `self::`/
+    /// `descendant-or-self::` steps that match the element consume in
+    /// place. Completed paths are appended to `out` as tagged roles.
+    /// `name` is the element's tag (None for the virtual document root,
+    /// which only `node()` tests can match).
+    fn closure_with_name(&mut self, idx: usize, name: Option<Symbol>, out: &mut Vec<TaggedRole>) {
         let mut i = 0;
         while i < self.frames[idx].states.len() {
             let st = self.frames[idx].states[i];
-            let (first, len, role) = self.compiled.paths[st.path as usize];
-            if st.sid == first + len {
+            let info = self.compiled.paths[st.path as usize];
+            if st.sid == info.first + info.len {
                 // Completed match: assign the role, drop the state.
-                out.push((role, st.count));
+                out.push((info.tag, info.role, st.count));
                 self.frames[idx].states.swap_remove(i);
                 continue;
             }
@@ -265,10 +375,12 @@ impl StreamMatcher {
         }
     }
 
-    /// Process an element start tag. When the result's `keep` is false the
-    /// caller skips the subtree and must not call [`StreamMatcher::leave_element`]
-    /// for it.
-    pub fn enter_element(&mut self, name: Symbol) -> ElementOutcome {
+    /// Process an element start tag, filling `out` (which must have been
+    /// created with [`TaggedOutcome::for_tags`] for this batch size). When
+    /// `out.any_keep` is false the caller skips the subtree and must not
+    /// call [`TaggedMatcher::leave_element`] for it.
+    pub fn enter_element(&mut self, name: Symbol, out: &mut TaggedOutcome) {
+        out.reset();
         self.scratch.clear();
         let parent = self.frames.len() - 1;
         // Transitions from the parent's states to this child.
@@ -288,36 +400,30 @@ impl StreamMatcher {
                             }
                         };
                         if passes {
-                            push_state(
-                                &mut self.scratch,
-                                St {
-                                    path: st.path,
-                                    sid: st.sid + 1,
-                                    count: st.count,
-                                },
-                            );
+                            self.scratch.push(St {
+                                path: st.path,
+                                sid: st.sid + 1,
+                                count: st.count,
+                            });
                         }
                     }
                 }
                 Axis::Descendant => {
                     // Propagate for deeper descendants...
-                    push_state(&mut self.scratch, st);
+                    self.scratch.push(st);
                     // ...and consume if this child matches.
                     if step.test.matches_element(name) {
-                        push_state(
-                            &mut self.scratch,
-                            St {
-                                path: st.path,
-                                sid: st.sid + 1,
-                                count: st.count,
-                            },
-                        );
+                        self.scratch.push(St {
+                            path: st.path,
+                            sid: st.sid + 1,
+                            count: st.count,
+                        });
                     }
                 }
                 Axis::DescendantOrSelf => {
                     // The self part was handled by the parent's closure;
                     // here only the "descendant" part remains: propagate.
-                    push_state(&mut self.scratch, st);
+                    self.scratch.push(st);
                 }
                 Axis::SelfAxis => {
                     // Fully handled by closure on the parent; nothing
@@ -327,19 +433,26 @@ impl StreamMatcher {
             }
         }
         if self.scratch.is_empty() {
-            return ElementOutcome {
-                keep: false,
-                roles: Vec::new(),
-            };
+            return;
+        }
+        // Transitions were pushed without duplicate merging (a per-push
+        // linear scan would make per-element work quadratic in the merged
+        // batch's state count); restore the merged-frame invariant —
+        // predicate counting depends on one state per (path, sid) — with
+        // one sort+merge pass.
+        merge_duplicate_states(&mut self.scratch);
+        out.any_keep = true;
+        // Per-query keep: which queries still hold a state (pre-closure) —
+        // exactly the standalone matcher's `keep` decision per query.
+        for st in &self.scratch {
+            out.kept[self.compiled.paths[st.path as usize].tag as usize] = true;
         }
         let mut frame = Frame::default();
         std::mem::swap(&mut frame.states, &mut self.scratch);
         self.frames.push(frame);
         let idx = self.frames.len() - 1;
-        let mut roles = Vec::new();
-        self.closure_with_name(idx, Some(name), &mut roles);
-        dedupe_roles(&mut roles);
-        ElementOutcome { keep: true, roles }
+        self.closure_with_name(idx, Some(name), &mut out.roles);
+        dedupe_tagged(&mut out.roles);
     }
 
     /// Process the end tag of a kept element.
@@ -348,19 +461,19 @@ impl StreamMatcher {
         self.frames.pop();
     }
 
-    /// Roles for a text child of the current element. Text nodes have no
-    /// children, so no frame is pushed; an empty result means the text is
-    /// irrelevant and is not buffered.
-    pub fn text(&mut self) -> RoleAssignment {
+    /// Roles for a text child of the current element, appended to `out`
+    /// (cleared first). Text nodes have no children, so no frame is
+    /// pushed; per query, an empty result means the text is irrelevant.
+    pub fn text_into(&mut self, out: &mut Vec<TaggedRole>) {
+        out.clear();
         let parent = self.frames.len() - 1;
-        let mut roles: Vec<(RoleId, u32)> = Vec::new();
         for si in 0..self.frames[parent].states.len() {
             let st = self.frames[parent].states[si];
-            let (first, len, role) = self.compiled.paths[st.path as usize];
+            let info = self.compiled.paths[st.path as usize];
             let step = self.compiled.steps[st.sid as usize];
             // A text node can only complete a path whose FINAL step it
             // matches: any continuation would need children.
-            let is_final = st.sid + 1 == first + len;
+            let is_final = st.sid + 1 == info.first + info.len;
             let completes = match step.axis {
                 Axis::Child => {
                     step.test.matches_text() && is_final && {
@@ -378,15 +491,97 @@ impl StreamMatcher {
                 Axis::Attribute => unreachable!(),
             };
             if completes {
-                roles.push((role, st.count));
+                out.push((info.tag, info.role, st.count));
             }
         }
-        dedupe_roles(&mut roles);
+        dedupe_tagged(out);
+    }
+}
+
+/// The single-query streaming matcher: the [`TaggedMatcher`] specialized
+/// to one query (tag 0), with the original untagged API. One instance per
+/// engine run.
+#[derive(Debug)]
+pub struct StreamMatcher {
+    inner: TaggedMatcher,
+    /// Reused outcome buffer for `enter_element`.
+    scratch: TaggedOutcome,
+    /// Reused buffer for `text`.
+    text_scratch: Vec<TaggedRole>,
+}
+
+impl StreamMatcher {
+    /// Create the matcher and compute the document root's roles (paths with
+    /// zero steps, e.g. the paper's `r1: /`).
+    pub fn new(compiled: CompiledPaths) -> (StreamMatcher, RoleAssignment) {
+        let (inner, tagged_roots) = TaggedMatcher::new(TaggedPaths::merge([&compiled]));
+        let root_roles = tagged_roots.into_iter().map(|(_, r, c)| (r, c)).collect();
+        (
+            StreamMatcher {
+                inner,
+                scratch: TaggedOutcome::for_tags(1),
+                text_scratch: Vec::new(),
+            },
+            root_roles,
+        )
+    }
+
+    /// Current nesting depth (document root frame excluded).
+    pub fn depth(&self) -> usize {
+        self.inner.depth()
+    }
+
+    /// Process an element start tag. When the result's `keep` is false the
+    /// caller skips the subtree and must not call [`StreamMatcher::leave_element`]
+    /// for it.
+    pub fn enter_element(&mut self, name: Symbol) -> ElementOutcome {
+        self.inner.enter_element(name, &mut self.scratch);
+        ElementOutcome {
+            keep: self.scratch.any_keep,
+            roles: self.scratch.roles.iter().map(|&(_, r, c)| (r, c)).collect(),
+        }
+    }
+
+    /// Process the end tag of a kept element.
+    pub fn leave_element(&mut self) {
+        self.inner.leave_element();
+    }
+
+    /// Roles for a text child of the current element. Text nodes have no
+    /// children, so no frame is pushed; an empty result means the text is
+    /// irrelevant and is not buffered.
+    pub fn text(&mut self) -> RoleAssignment {
+        let mut tagged = std::mem::take(&mut self.text_scratch);
+        self.inner.text_into(&mut tagged);
+        let roles = tagged.iter().map(|&(_, r, c)| (r, c)).collect();
+        self.text_scratch = tagged;
         roles
     }
 }
 
+/// Sum counts of duplicate (path, sid) states — the frame invariant that
+/// predicate counting relies on (each predicated step bumps once per
+/// document child, however many derivations reach it).
+fn merge_duplicate_states(states: &mut Vec<St>) {
+    if states.len() < 2 {
+        return;
+    }
+    states.sort_unstable_by_key(|s| (s.path, s.sid));
+    let mut w = 0;
+    for i in 0..states.len() {
+        if w > 0 && states[w - 1].path == states[i].path && states[w - 1].sid == states[i].sid {
+            states[w - 1].count += states[i].count;
+        } else {
+            states[w] = states[i];
+            w += 1;
+        }
+    }
+    states.truncate(w);
+}
+
 /// Add a state, merging counts with an existing equal (path, sid) state.
+/// Used on the closure path, where insertions are few; bulk transition
+/// collection uses [`merge_duplicate_states`] instead.
 fn push_state(states: &mut Vec<St>, st: St) {
     for existing in states.iter_mut() {
         if existing.path == st.path && existing.sid == st.sid {
@@ -409,28 +604,22 @@ fn bump_pred(pred_seen: &mut Vec<(StateId, u32)>, sid: StateId) -> u32 {
     1
 }
 
-/// Sum counts of duplicate roles.
-fn dedupe_roles(roles: &mut Vec<(RoleId, u32)>) {
+/// Sum counts of duplicate (tag, role) pairs; sort by (tag, role).
+fn dedupe_tagged(roles: &mut Vec<TaggedRole>) {
     if roles.len() < 2 {
         return;
     }
-    roles.sort_unstable_by_key(|&(r, _)| r);
+    roles.sort_unstable_by_key(|&(t, r, _)| (t, r));
     let mut w = 0;
     for i in 0..roles.len() {
-        if w > 0 && roles[w - 1].0 == roles[i].0 {
-            roles[w - 1].1 += roles[i].1;
+        if w > 0 && roles[w - 1].0 == roles[i].0 && roles[w - 1].1 == roles[i].1 {
+            roles[w - 1].2 += roles[i].2;
         } else {
             roles[w] = roles[i];
             w += 1;
         }
     }
     roles.truncate(w);
-}
-
-/// Merge role lists, summing counts.
-fn merge_roles(into: &mut Vec<(RoleId, u32)>, from: Vec<(RoleId, u32)>) {
-    into.extend(from);
-    dedupe_roles(into);
 }
 
 #[cfg(test)]

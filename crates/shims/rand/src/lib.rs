@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the API surface this workspace uses — seeded
+//! [`rngs::StdRng`], [`Rng::gen_range`] over literal `Range` bounds and
+//! [`Rng::gen_bool`] — on top of a splitmix64 generator. Deterministic per
+//! seed; not the real `rand` value stream and not cryptographic.
+
+use std::ops::Range;
+
+/// Core source of randomness: 64 fresh bits per call.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Copy {
+    /// Sample from `lo..hi` (half-open) using `bits`.
+    fn sample_range(lo: Self, hi: Self, bits: u64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(lo: Self, hi: Self, bits: u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                assert!(span > 0, "gen_range called with an empty range");
+                let off = (bits as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(lo: Self, hi: Self, bits: u64) -> Self {
+                assert!(hi > lo, "gen_range called with an empty range");
+                // 53 explicit mantissa bits worth of uniformity is plenty.
+                let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+                (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(range.start, range.end, self.next_u64())
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64). API-compatible with
+    /// `rand::rngs::StdRng` for the methods this workspace uses; the value
+    /// stream differs from the real crate.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u64), b.gen_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(5..15);
+            assert!((5..15).contains(&v));
+            let f = r.gen_range(1.0..300.0);
+            assert!((1.0..300.0).contains(&f));
+            let u = r.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}

