@@ -24,15 +24,9 @@ fn bench_buffer(c: &mut Criterion) {
         // The streaming steady state: node arrives, closes, gets purged.
         b.iter(|| {
             let mut buf = BufferTree::new(true);
-            let parent = buf.append_element(
-                NodeId::ROOT,
-                Symbol(0),
-                Box::new([]),
-                &[(RoleId(0), 1)],
-                ords(1),
-            );
+            let parent = buf.append_element(NodeId::ROOT, Symbol(0), &[(RoleId(0), 1)], ords(1));
             for i in 0..N {
-                let n = buf.append_element(parent, Symbol(1), Box::new([]), &[], ords(i + 1));
+                let n = buf.append_element(parent, Symbol(1), &[], ords(i + 1));
                 buf.close(n);
             }
             buf.stats().purged
@@ -42,22 +36,10 @@ fn bench_buffer(c: &mut Criterion) {
     g.bench_function("role_decrement_with_purge", |b| {
         b.iter(|| {
             let mut buf = BufferTree::new(true);
-            let parent = buf.append_element(
-                NodeId::ROOT,
-                Symbol(0),
-                Box::new([]),
-                &[(RoleId(0), 1)],
-                ords(1),
-            );
+            let parent = buf.append_element(NodeId::ROOT, Symbol(0), &[(RoleId(0), 1)], ords(1));
             let mut nodes = Vec::with_capacity(N as usize);
             for i in 0..N {
-                let n = buf.append_element(
-                    parent,
-                    Symbol(1),
-                    Box::new([]),
-                    &[(RoleId(1), 1)],
-                    ords(i + 1),
-                );
+                let n = buf.append_element(parent, Symbol(1), &[(RoleId(1), 1)], ords(i + 1));
                 buf.close(n);
                 nodes.push(n);
             }
@@ -75,10 +57,10 @@ fn bench_buffer(c: &mut Criterion) {
             let mut cur = NodeId::ROOT;
             let mut chain = Vec::new();
             for _ in 0..200 {
-                cur = buf.append_element(cur, Symbol(0), Box::new([]), &[], ords(1));
+                cur = buf.append_element(cur, Symbol(0), &[], ords(1));
                 chain.push(cur);
             }
-            let leaf = buf.append_element(cur, Symbol(1), Box::new([]), &[(RoleId(0), 1)], ords(1));
+            let leaf = buf.append_element(cur, Symbol(1), &[(RoleId(0), 1)], ords(1));
             buf.close(leaf);
             for &n in chain.iter().rev() {
                 buf.close(n);
@@ -92,7 +74,7 @@ fn bench_buffer(c: &mut Criterion) {
         let mut buf = BufferTree::new(true);
         let mut cur = NodeId::ROOT;
         for _ in 0..20 {
-            cur = buf.append_element(cur, Symbol(0), Box::new([]), &[(RoleId(0), 1)], ords(1));
+            cur = buf.append_element(cur, Symbol(0), &[(RoleId(0), 1)], ords(1));
         }
         b.iter(|| {
             for _ in 0..1000 {

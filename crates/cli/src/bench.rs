@@ -1,0 +1,240 @@
+//! `gcx bench` — reproducible throughput baselines.
+//!
+//! `gcx bench throughput` sweeps the 11 paper queries (XMark Q1/Q6/Q8/Q13/
+//! Q20, the extra adaptations Q2/Q3/Q14/Q17/Q19, and the aggregation
+//! extension Q6_COUNT) over a generated XMark document, both standalone
+//! (one engine run per query) and batched (one shared-stream pass), and
+//! writes `BENCH_throughput.json`: MB/s, tokens/s, peak buffered nodes,
+//! peak heap bytes and allocation counts (via the `gcx-memtrack` global
+//! allocator installed by the binary). Single and batch outputs are
+//! cross-checked byte-for-byte, so the numbers can't drift from the
+//! semantics. This file is the start of the repository's performance
+//! trajectory: CI regenerates it (in `--smoke` form) on every push.
+
+use gcx_core::{CompiledQuery, EngineOptions};
+use std::io::Write;
+use std::time::Instant;
+
+/// One measured standalone run.
+struct SingleRun {
+    name: &'static str,
+    elapsed_ms: f64,
+    tokens: u64,
+    peak_buffered_nodes: u64,
+    output_bytes: u64,
+    peak_heap_bytes: u64,
+    allocs: u64,
+}
+
+/// The 11 benchmark queries with their paper names.
+fn paper_queries() -> Vec<(&'static str, &'static str)> {
+    let mut v: Vec<(&'static str, &'static str)> = gcx_xmark::queries::FIGURE5_QUERIES.to_vec();
+    v.extend(gcx_xmark::queries::extra::ALL);
+    v.push(("Q6_COUNT", gcx_xmark::queries::Q6_COUNT));
+    v
+}
+
+/// Entry point for `gcx bench <mode> [flags]`.
+pub fn cmd_bench(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("throughput") => cmd_throughput(&args[1..]),
+        Some(other) => Err(format!("unknown bench mode `{other}` (try `throughput`)")),
+        None => Err("missing bench mode (try `gcx bench throughput`)".into()),
+    }
+}
+
+fn flag_value<'a>(flags: &'a [&str], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .position(|f| *f == name)
+        .and_then(|i| flags.get(i + 1).copied())
+}
+
+fn cmd_throughput(args: &[String]) -> Result<(), String> {
+    let flags: Vec<&str> = args.iter().map(String::as_str).collect();
+    let smoke = flags.contains(&"--smoke");
+    let mb: u64 = match flag_value(&flags, "--mb") {
+        Some(v) => v.parse().map_err(|_| "--mb must be a number")?,
+        None => {
+            if smoke {
+                1
+            } else {
+                16
+            }
+        }
+    };
+    let iters: u32 = match flag_value(&flags, "--iters") {
+        Some(v) => v.parse().map_err(|_| "--iters must be a number")?,
+        None => {
+            if smoke {
+                1
+            } else {
+                3
+            }
+        }
+    };
+    let seed: u64 = match flag_value(&flags, "--seed") {
+        Some(v) => v.parse().map_err(|_| "--seed must be a number")?,
+        None => 42,
+    };
+    let out_path = flag_value(&flags, "--out").unwrap_or("BENCH_throughput.json");
+
+    // Generate the document in memory: benchmark numbers must not include
+    // disk I/O variance.
+    eprintln!("generating ~{mb}MB XMark document (seed {seed}) ...");
+    let mut cfg = gcx_xmark::XmarkConfig::sized(mb * 1024 * 1024);
+    cfg.seed = seed;
+    let mut doc = Vec::new();
+    gcx_xmark::generate(&cfg, &mut doc).map_err(|e| e.to_string())?;
+    let doc_bytes = doc.len() as u64;
+    let doc_mb = doc_bytes as f64 / (1024.0 * 1024.0);
+
+    let named = paper_queries();
+    let mut queries = Vec::with_capacity(named.len());
+    for (name, text) in &named {
+        queries.push(CompiledQuery::compile(text).map_err(|e| format!("{name}: {e}"))?);
+    }
+    let opts = EngineOptions::gcx();
+
+    // ---- single-query sweep -------------------------------------------------
+    let mut singles: Vec<SingleRun> = Vec::with_capacity(named.len());
+    let mut single_outputs: Vec<Vec<u8>> = Vec::with_capacity(named.len());
+    let mut single_total_ms = 0.0f64;
+    for ((name, _), q) in named.iter().zip(&queries) {
+        let mut best: Option<SingleRun> = None;
+        let mut kept_output = Vec::new();
+        for _ in 0..iters {
+            let mut out = Vec::new();
+            gcx_memtrack::reset_peak();
+            let heap0 = gcx_memtrack::live_bytes();
+            let allocs0 = gcx_memtrack::total_allocs();
+            let start = Instant::now();
+            let report = gcx_core::run(q, &opts, std::io::Cursor::new(&doc[..]), &mut out)
+                .map_err(|e| format!("{name}: {e}"))?;
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            let run = SingleRun {
+                name,
+                elapsed_ms,
+                tokens: report.tokens,
+                peak_buffered_nodes: report.buffer.peak_live,
+                output_bytes: report.output_bytes,
+                peak_heap_bytes: gcx_memtrack::peak_bytes().saturating_sub(heap0),
+                allocs: gcx_memtrack::total_allocs() - allocs0,
+            };
+            if best
+                .as_ref()
+                .map(|b| run.elapsed_ms < b.elapsed_ms)
+                .unwrap_or(true)
+            {
+                best = Some(run);
+            }
+            kept_output = out;
+        }
+        let best = best.expect("iters >= 1");
+        eprintln!(
+            "  {:<9} {:>8.1}ms  {:>7.1} MB/s  {:>6} peak nodes  {:>9} allocs",
+            best.name,
+            best.elapsed_ms,
+            doc_mb / (best.elapsed_ms / 1e3),
+            best.peak_buffered_nodes,
+            best.allocs,
+        );
+        single_total_ms += best.elapsed_ms;
+        singles.push(best);
+        single_outputs.push(kept_output);
+    }
+
+    // ---- batched shared-stream pass ----------------------------------------
+    let batch_opts = gcx_multi::BatchOptions::default();
+    let mut batch_best_ms = f64::MAX;
+    let mut batch_report = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let report = gcx_multi::SharedRun::new(batch_opts.clone())
+            .run(&queries, std::io::Cursor::new(&doc[..]))
+            .map_err(|e| e.to_string())?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < batch_best_ms {
+            batch_best_ms = ms;
+            batch_report = Some(report);
+        }
+    }
+    let batch_report = batch_report.expect("iters >= 1");
+
+    // Byte-identical cross-check: the batch outputs are the oracle for the
+    // single runs (and vice versa).
+    let mut outputs_match = true;
+    for (i, run) in batch_report.queries.iter().enumerate() {
+        if run.output != single_outputs[i] {
+            outputs_match = false;
+            eprintln!(
+                "WARNING: batch output of {} differs from standalone!",
+                singles[i].name
+            );
+        }
+    }
+
+    let tokens = singles.first().map(|s| s.tokens).unwrap_or(0);
+    // Per-query average throughput: doc_mb per mean per-query time.
+    let single_mb_s = doc_mb * named.len() as f64 / (single_total_ms / 1e3);
+    eprintln!(
+        "single sweep: {:.1}ms total ({:.1} MB/s avg per query)  batch: {:.1}ms ({:.1} MB/s, share {:.2}x)  outputs {}",
+        single_total_ms,
+        single_mb_s,
+        batch_best_ms,
+        doc_mb / (batch_best_ms / 1e3),
+        batch_report.share_factor(),
+        if outputs_match { "byte-identical" } else { "MISMATCH" },
+    );
+
+    // ---- JSON report --------------------------------------------------------
+    let mut json = String::with_capacity(4096);
+    json.push_str(&format!(
+        "{{\"doc\":{{\"mb\":{mb},\"bytes\":{doc_bytes},\"seed\":{seed},\"tokens\":{tokens}}},\
+         \"iters\":{iters},\"smoke\":{smoke},\"single\":["
+    ));
+    for (i, s) in singles.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3},\"tokens_per_s\":{:.0},\
+             \"peak_buffered_nodes\":{},\"output_bytes\":{},\"peak_heap_bytes\":{},\
+             \"allocs\":{},\"allocs_per_token\":{:.6}}}",
+            s.name,
+            s.elapsed_ms,
+            doc_mb / (s.elapsed_ms / 1e3),
+            s.tokens as f64 / (s.elapsed_ms / 1e3),
+            s.peak_buffered_nodes,
+            s.output_bytes,
+            s.peak_heap_bytes,
+            s.allocs,
+            s.allocs as f64 / s.tokens.max(1) as f64,
+        ));
+    }
+    json.push_str(&format!(
+        "],\"single_total\":{{\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3}}},\
+         \"batch\":{{\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3},\"tokens\":{},\"fanout_events\":{},\
+         \"share_factor\":{:.3},\"outputs_match\":{}}}}}",
+        single_total_ms,
+        doc_mb / (single_total_ms / 1e3),
+        batch_best_ms,
+        doc_mb / (batch_best_ms / 1e3),
+        batch_report.tokens,
+        batch_report.fanout_events,
+        batch_report.share_factor(),
+        outputs_match,
+    ));
+
+    let mut f =
+        std::fs::File::create(out_path).map_err(|e| format!("cannot create `{out_path}`: {e}"))?;
+    f.write_all(json.as_bytes())
+        .and_then(|()| f.write_all(b"\n"))
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    eprintln!("wrote {out_path}");
+    if outputs_match {
+        Ok(())
+    } else {
+        Err("batch and standalone outputs differ".into())
+    }
+}

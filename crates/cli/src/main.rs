@@ -3,6 +3,7 @@
 //! ```text
 //! gcx run <query.xq|-e QUERY> <input.xml>   evaluate a query over a document
 //! gcx multi <batch.xq|--xmark> <input.xml>  evaluate a query batch in ONE pass
+//! gcx bench throughput [--smoke]            throughput baseline (BENCH_throughput.json)
 //! gcx explain <query.xq|-e QUERY>           show roles + rewritten query
 //! gcx trace <query.xq|-e QUERY> <input.xml> buffer-occupancy trace (CSV)
 //! gcx generate <MB> [out.xml]               emit an XMark-like document
@@ -13,11 +14,20 @@ use gcx_core::{CompiledQuery, EngineOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
+mod bench;
+
+/// Heap tracking for `gcx bench throughput` (peak bytes + allocation
+/// counts). A handful of relaxed atomics per allocation — and the engine's
+/// steady state allocates nothing — so the other commands are unaffected.
+#[global_allocator]
+static ALLOC: gcx_memtrack::TrackingAllocator = gcx_memtrack::TrackingAllocator::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("multi") => cmd_multi(&args[1..]),
+        Some("bench") => bench::cmd_bench(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
@@ -46,6 +56,8 @@ USAGE:
               [--stats] [--stats-json] [--indent]
   gcx multi   <batch.xq | --xmark> <input.xml> [--out-dir DIR]
               [--stats] [--stats-json] [--indent]
+  gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke]
+              [--out FILE]
   gcx explain <query.xq | -e QUERY>
   gcx trace   <query.xq | -e QUERY> <input.xml> [--every N]
   gcx generate <MB> [out.xml] [--seed N]
@@ -59,7 +71,12 @@ input (shared tokenization + merged projection NFA, per-query buffers).
 A batch file separates queries with lines starting with `%%`; `--xmark`
 runs the built-in XMark batch instead. Outputs go to stdout in batch
 order (or to <DIR>/query-NN.out with --out-dir). `--stats-json` emits a
-machine-readable report on stderr (also available for `run`)."
+machine-readable report on stderr (also available for `run`).
+
+`bench throughput` sweeps the 11 paper queries over a generated XMark
+document — standalone and batched — and writes BENCH_throughput.json
+(MB/s, tokens/s, peak buffer, allocation counts). `--smoke` runs a small
+1MB document once (CI)."
     );
 }
 

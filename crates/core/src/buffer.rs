@@ -60,6 +60,78 @@ impl Ordinals {
     };
 }
 
+/// Attribute storage for one element: interned names plus one value arena.
+///
+/// All of an element's attribute values share a single string, so a node
+/// costs at most three heap blocks for attributes however many it has — and
+/// those blocks are **recycled** through the buffer's pools when the node is
+/// purged, making the steady-state append/purge cycle allocation-free.
+#[derive(Debug, Default)]
+pub struct AttrBuf {
+    /// Interned attribute names, in document order.
+    syms: Vec<Symbol>,
+    /// End offset of the i-th value in `text` (start = previous end).
+    ends: Vec<u32>,
+    /// All values, concatenated.
+    text: String,
+}
+
+/// The shared empty attribute list returned for text nodes.
+static EMPTY_ATTRS: AttrBuf = AttrBuf {
+    syms: Vec::new(),
+    ends: Vec::new(),
+    text: String::new(),
+};
+
+impl AttrBuf {
+    /// Fresh, empty storage.
+    pub fn new() -> AttrBuf {
+        AttrBuf::default()
+    }
+
+    /// Remove all attributes, keeping capacity.
+    pub fn clear(&mut self) {
+        self.syms.clear();
+        self.ends.clear();
+        self.text.clear();
+    }
+
+    /// Append an attribute (document order).
+    pub fn push(&mut self, name: Symbol, value: &str) {
+        self.syms.push(name);
+        self.text.push_str(value);
+        self.ends.push(self.text.len() as u32);
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True when there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// The `i`-th attribute as `(name, value)`.
+    pub fn get(&self, i: usize) -> Option<(Symbol, &str)> {
+        let sym = *self.syms.get(i)?;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        Some((sym, &self.text[start..self.ends[i] as usize]))
+    }
+
+    /// Iterate `(name, value)` pairs in document order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> + '_ {
+        (0..self.len()).map(|i| self.get(i).expect("index in range"))
+    }
+
+    /// Value of the attribute named `name`, if present.
+    pub fn value_of(&self, name: Symbol) -> Option<&str> {
+        let i = self.syms.iter().position(|&s| s == name)?;
+        Some(self.get(i).expect("index in range").1)
+    }
+}
+
 /// Element payload or text payload.
 #[derive(Debug)]
 pub enum NodeKind {
@@ -67,13 +139,13 @@ pub enum NodeKind {
     Element {
         /// Interned tag name.
         name: Symbol,
-        /// Attributes in document order (interned names, owned values).
-        attrs: Box<[(Symbol, Box<str>)]>,
+        /// Attributes in document order (pooled storage).
+        attrs: AttrBuf,
     },
     /// A text node.
     Text {
-        /// Character data (entities already resolved).
-        content: Box<str>,
+        /// Character data (entities already resolved; pooled storage).
+        content: String,
     },
 }
 
@@ -138,6 +210,15 @@ pub struct BufferTree {
     stats: BufferStats,
     /// When false, purging is disabled entirely (full-buffering baseline).
     purge_enabled: bool,
+    /// Recycled per-node containers. Node *slots* are reused through
+    /// `free`; these pools do the same for the heap blocks hanging off a
+    /// node (role multiset, attribute storage, text content), so the
+    /// steady-state append/purge cycle performs no allocation.
+    role_pool: Vec<Vec<(RoleId, u32)>>,
+    attr_pool: Vec<AttrBuf>,
+    text_pool: Vec<String>,
+    /// Reused DFS stack for [`BufferTree::free_subtree`].
+    free_scratch: Vec<u32>,
 }
 
 impl BufferTree {
@@ -151,7 +232,7 @@ impl BufferTree {
             next_sibling: NIL,
             kind: NodeKind::Element {
                 name: Symbol(u32::MAX),
-                attrs: Box::new([]),
+                attrs: AttrBuf::new(),
             },
             ordinals: Ordinals::FIRST,
             closed: false,
@@ -167,6 +248,10 @@ impl BufferTree {
             free: Vec::new(),
             stats: BufferStats::default(),
             purge_enabled,
+            role_pool: Vec::new(),
+            attr_pool: Vec::new(),
+            text_pool: Vec::new(),
+            free_scratch: Vec::new(),
         }
     }
 
@@ -246,18 +331,16 @@ impl BufferTree {
     /// Attribute value by interned name.
     pub fn attr(&self, id: NodeId, name: Symbol) -> Option<&str> {
         match &self.node(id).kind {
-            NodeKind::Element { attrs, .. } => {
-                attrs.iter().find(|(n, _)| *n == name).map(|(_, v)| &**v)
-            }
+            NodeKind::Element { attrs, .. } => attrs.value_of(name),
             NodeKind::Text { .. } => None,
         }
     }
 
-    /// All attributes of an element.
-    pub fn attrs(&self, id: NodeId) -> &[(Symbol, Box<str>)] {
+    /// All attributes of an element (empty for text nodes).
+    pub fn attrs(&self, id: NodeId) -> &AttrBuf {
         match &self.node(id).kind {
             NodeKind::Element { attrs, .. } => attrs,
-            NodeKind::Text { .. } => &[],
+            NodeKind::Text { .. } => &EMPTY_ATTRS,
         }
     }
 
@@ -288,15 +371,17 @@ impl BufferTree {
 
     // ---- construction -------------------------------------------------------
 
-    /// Append an element under `parent` with its role instances.
+    /// Append an attribute-less element under `parent` with its role
+    /// instances. `roles` must be sorted by role id (the matcher emits
+    /// them sorted; see [`BufferTree::append`]).
     pub fn append_element(
         &mut self,
         parent: NodeId,
         name: Symbol,
-        attrs: Box<[(Symbol, Box<str>)]>,
         roles: &[(RoleId, u32)],
         ordinals: Ordinals,
     ) -> NodeId {
+        let attrs = self.pooled_attrs();
         self.append(
             parent,
             NodeKind::Element { name, attrs },
@@ -306,7 +391,31 @@ impl BufferTree {
         )
     }
 
+    /// Append an element under `parent`, **taking** the contents of the
+    /// caller's attribute scratch (which is left empty, holding a recycled
+    /// pooled buffer — the zero-allocation handshake of the preprojector's
+    /// hot loop). `roles` must be sorted by role id.
+    pub fn append_element_with_attrs(
+        &mut self,
+        parent: NodeId,
+        name: Symbol,
+        attrs: &mut AttrBuf,
+        roles: &[(RoleId, u32)],
+        ordinals: Ordinals,
+    ) -> NodeId {
+        let mut taken = self.pooled_attrs();
+        std::mem::swap(&mut taken, attrs);
+        self.append(
+            parent,
+            NodeKind::Element { name, attrs: taken },
+            roles,
+            false,
+            ordinals,
+        )
+    }
+
     /// Append a text node under `parent`. Text nodes are born closed.
+    /// `roles` must be sorted by role id.
     pub fn append_text(
         &mut self,
         parent: NodeId,
@@ -314,15 +423,20 @@ impl BufferTree {
         roles: &[(RoleId, u32)],
         ordinals: Ordinals,
     ) -> NodeId {
+        let mut text = self.text_pool.pop().unwrap_or_default();
+        text.push_str(content);
         self.append(
             parent,
-            NodeKind::Text {
-                content: content.into(),
-            },
+            NodeKind::Text { content: text },
             roles,
             true,
             ordinals,
         )
+    }
+
+    /// A recycled (or fresh) empty attribute buffer.
+    fn pooled_attrs(&mut self) -> AttrBuf {
+        self.attr_pool.pop().unwrap_or_default()
     }
 
     fn append(
@@ -334,8 +448,14 @@ impl BufferTree {
         ordinals: Ordinals,
     ) -> NodeId {
         debug_assert!(!self.node(parent).closed, "appending under a closed node");
-        let mut role_vec: Vec<(RoleId, u32)> = roles.to_vec();
-        role_vec.sort_unstable_by_key(|&(r, _)| r);
+        // The role multiset arrives sorted (the matcher dedupes and sorts
+        // by role id); sorting per append would be wasted hot-loop work.
+        debug_assert!(
+            roles.windows(2).all(|w| w[0].0 <= w[1].0),
+            "append requires roles sorted by role id: {roles:?}"
+        );
+        let mut role_vec = self.role_pool.pop().unwrap_or_default();
+        role_vec.extend_from_slice(roles);
         let own: u64 = role_vec.iter().map(|&(_, c)| c as u64).sum();
         let prev = self.node(parent).last_child;
         let node = Node {
@@ -497,74 +617,171 @@ impl BufferTree {
                 p.last_child = prev;
             }
         }
-        // Free the subtree iteratively (DFS).
-        let mut stack = vec![top];
+        // Free the subtree iteratively with the reused DFS scratch (slot
+        // order is irrelevant — every freed node just returns to the free
+        // list).
+        let mut stack = std::mem::take(&mut self.free_scratch);
+        stack.push(top);
         while let Some(i) = stack.pop() {
             let mut child = self.nodes[i as usize].first_child;
             while child != NIL {
                 stack.push(child);
                 child = self.nodes[child as usize].next_sibling;
             }
-            let n = &mut self.nodes[i as usize];
-            debug_assert_eq!(n.pins, 0, "freeing a pinned node");
-            n.in_use = false;
-            n.gen = n.gen.wrapping_add(1);
-            n.first_child = NIL;
-            n.kind = NodeKind::Text { content: "".into() };
-            n.roles = Vec::new();
+            let (kind, roles) = {
+                let n = &mut self.nodes[i as usize];
+                debug_assert_eq!(n.pins, 0, "freeing a pinned node");
+                n.in_use = false;
+                n.gen = n.gen.wrapping_add(1);
+                n.first_child = NIL;
+                (
+                    std::mem::replace(
+                        &mut n.kind,
+                        NodeKind::Text {
+                            content: String::new(),
+                        },
+                    ),
+                    std::mem::take(&mut n.roles),
+                )
+            };
+            // Recycle the node's heap blocks through the pools.
+            match kind {
+                NodeKind::Element { mut attrs, .. } => {
+                    attrs.clear();
+                    self.attr_pool.push(attrs);
+                }
+                NodeKind::Text { mut content } => {
+                    content.clear();
+                    self.text_pool.push(content);
+                }
+            }
+            let mut roles = roles;
+            roles.clear();
+            self.role_pool.push(roles);
             self.free.push(i);
             self.stats.live -= 1;
             self.stats.purged += 1;
         }
+        self.free_scratch = stack;
     }
 
     // ---- values & serialization ----------------------------------------------
 
     /// XPath string value: concatenated text content of the subtree.
+    ///
+    /// Iterative (link-following) walk: document depth must not translate
+    /// into native stack depth — deeply nested documents would overflow it.
     pub fn string_value(&self, id: NodeId, out: &mut String) {
         match &self.node(id).kind {
-            NodeKind::Text { content } => out.push_str(content),
-            NodeKind::Element { .. } => {
-                let mut child = self.first_child(id);
-                while let Some(c) = child {
-                    self.string_value(c, out);
-                    child = self.next_sibling(c);
+            NodeKind::Text { content } => {
+                out.push_str(content);
+                return;
+            }
+            NodeKind::Element { .. } => {}
+        }
+        let mut cur = self.first_child(id);
+        while let Some(n) = cur {
+            let descend = match &self.node(n).kind {
+                NodeKind::Text { content } => {
+                    out.push_str(content);
+                    None
                 }
+                NodeKind::Element { .. } => self.first_child(n),
+            };
+            cur = match descend {
+                Some(c) => Some(c),
+                None => self.next_or_ascend(n, id),
+            };
+        }
+    }
+
+    /// Next node of a pre-order walk confined to `stop`'s subtree, after
+    /// `n`'s own subtree is done: the next sibling, or the next sibling of
+    /// the closest ancestor below `stop`.
+    fn next_or_ascend(&self, n: NodeId, stop: NodeId) -> Option<NodeId> {
+        let mut m = n;
+        loop {
+            if let Some(s) = self.next_sibling(m) {
+                return Some(s);
+            }
+            let p = self.parent(m).expect("walk escaped the subtree");
+            if p == stop {
+                return None;
+            }
+            m = p;
+        }
+    }
+
+    /// Emit a node's opening markup (or its text). Returns true when the
+    /// walk must descend into element children.
+    fn serialize_open<W: std::io::Write>(
+        &self,
+        n: NodeId,
+        symbols: &SymbolTable,
+        w: &mut XmlWriter<W>,
+    ) -> XmlResult<bool> {
+        match &self.node(n).kind {
+            NodeKind::Text { content } => {
+                w.text(content)?;
+                Ok(false)
+            }
+            NodeKind::Element { name, attrs } => {
+                w.start_element(symbols.resolve(*name))?;
+                for (an, av) in attrs.iter() {
+                    w.attribute(symbols.resolve(an), av)?;
+                }
+                Ok(true)
             }
         }
     }
 
     /// Serialize the subtree rooted at `id` (which must be closed) to a
     /// writer. The virtual root serializes its children only.
+    ///
+    /// Iterative, like [`BufferTree::string_value`]: the walk follows
+    /// sibling/parent links, so arbitrarily deep documents serialize in
+    /// constant native stack space.
     pub fn serialize<W: std::io::Write>(
         &self,
         id: NodeId,
         symbols: &SymbolTable,
         w: &mut XmlWriter<W>,
     ) -> XmlResult<()> {
-        if id == NodeId::ROOT {
-            let mut child = self.first_child(id);
-            while let Some(c) = child {
-                self.serialize(c, symbols, w)?;
-                child = self.next_sibling(c);
-            }
-            return Ok(());
+        if id != NodeId::ROOT && !self.serialize_open(id, symbols, w)? {
+            return Ok(()); // a lone text node
         }
-        match &self.node(id).kind {
-            NodeKind::Text { content } => w.text(content),
-            NodeKind::Element { name, attrs } => {
-                w.start_element(symbols.resolve(*name))?;
-                for (an, av) in attrs.iter() {
-                    w.attribute(symbols.resolve(*an), av)?;
+        let mut cur = self.first_child(id);
+        while let Some(n) = cur {
+            let mut descend = None;
+            if self.serialize_open(n, symbols, w)? {
+                descend = self.first_child(n);
+                if descend.is_none() {
+                    w.end_element()?; // childless element
                 }
-                let mut child = self.first_child(id);
-                while let Some(c) = child {
-                    self.serialize(c, symbols, w)?;
-                    child = self.next_sibling(c);
-                }
-                w.end_element()
             }
+            cur = match descend {
+                Some(c) => Some(c),
+                None => {
+                    // Ascend, closing every element left behind.
+                    let mut m = n;
+                    loop {
+                        if let Some(s) = self.next_sibling(m) {
+                            break Some(s);
+                        }
+                        let p = self.parent(m).expect("walk escaped the subtree");
+                        if p == id {
+                            break None;
+                        }
+                        w.end_element()?;
+                        m = p;
+                    }
+                }
+            };
         }
+        if id != NodeId::ROOT {
+            w.end_element()?;
+        }
+        Ok(())
     }
 
     // ---- integrity (used by tests and debug assertions) -----------------------
@@ -610,7 +827,7 @@ mod tests {
     }
 
     fn el(buf: &mut BufferTree, parent: NodeId, name: u32, roles: &[(RoleId, u32)]) -> NodeId {
-        buf.append_element(parent, sym(name), Box::new([]), roles, Ordinals::FIRST)
+        buf.append_element(parent, sym(name), roles, Ordinals::FIRST)
     }
 
     #[test]
@@ -831,17 +1048,40 @@ mod tests {
     #[test]
     fn attributes_are_accessible() {
         let mut b = BufferTree::new(true);
-        let attrs: Box<[(Symbol, Box<str>)]> = Box::new([(sym(7), "person0".into())]);
-        let a = b.append_element(
+        let mut attrs = AttrBuf::new();
+        attrs.push(sym(7), "person0");
+        attrs.push(sym(9), "x");
+        let a = b.append_element_with_attrs(
             NodeId::ROOT,
             sym(1),
-            attrs,
+            &mut attrs,
             &[(RoleId(0), 1)],
             Ordinals::FIRST,
         );
+        assert!(attrs.is_empty(), "append takes the scratch's contents");
         assert_eq!(b.attr(a, sym(7)), Some("person0"));
+        assert_eq!(b.attr(a, sym(9)), Some("x"));
         assert_eq!(b.attr(a, sym(8)), None);
-        assert_eq!(b.attrs(a).len(), 1);
+        assert_eq!(b.attrs(a).len(), 2);
+        let pairs: Vec<_> = b.attrs(a).iter().collect();
+        assert_eq!(pairs, [(sym(7), "person0"), (sym(9), "x")]);
+    }
+
+    #[test]
+    fn attr_pools_recycle_through_purge() {
+        let mut b = BufferTree::new(true);
+        let mut attrs = AttrBuf::new();
+        for round in 0..3 {
+            attrs.clear();
+            attrs.push(sym(7), "v");
+            let a =
+                b.append_element_with_attrs(NodeId::ROOT, sym(1), &mut attrs, &[], Ordinals::FIRST);
+            b.append_text(a, "t", &[], Ordinals::FIRST);
+            b.close(a); // purged: containers return to the pools
+            assert_eq!(b.stats().live, 0, "round {round}");
+        }
+        assert_eq!(b.stats().purged, 6);
+        b.check_integrity();
     }
 
     #[test]
@@ -852,14 +1092,10 @@ mod tests {
         let id_attr = symbols.intern("id");
         let mut b = BufferTree::new(true);
         let r = &[(RoleId(0), 1)][..];
-        let bk = b.append_element(
-            NodeId::ROOT,
-            book,
-            Box::new([(id_attr, "b&1".into())]),
-            r,
-            Ordinals::FIRST,
-        );
-        let t = b.append_element(bk, title, Box::new([]), r, Ordinals::FIRST);
+        let mut attrs = AttrBuf::new();
+        attrs.push(id_attr, "b&1");
+        let bk = b.append_element_with_attrs(NodeId::ROOT, book, &mut attrs, r, Ordinals::FIRST);
+        let t = b.append_element(bk, title, r, Ordinals::FIRST);
         b.append_text(t, "On <Streams>", r, Ordinals::FIRST);
         b.close(t);
         b.close(bk);
@@ -870,6 +1106,31 @@ mod tests {
             out,
             "<book id=\"b&amp;1\"><title>On &lt;Streams&gt;</title></book>"
         );
+    }
+
+    #[test]
+    fn deep_chain_serializes_and_values_iteratively() {
+        // 200k nested elements: recursive walks would overflow the stack.
+        const DEPTH: u32 = 200_000;
+        let mut symbols = SymbolTable::new();
+        let d = symbols.intern("d");
+        let mut b = BufferTree::new(false);
+        let mut parent = NodeId::ROOT;
+        for _ in 0..DEPTH {
+            parent = b.append_element(parent, d, &[], Ordinals::FIRST);
+        }
+        b.append_text(parent, "bottom", &[], Ordinals::FIRST);
+        let mut s = String::new();
+        b.string_value(b.first_child(NodeId::ROOT).unwrap(), &mut s);
+        assert_eq!(s, "bottom");
+        let mut w = XmlWriter::new(Vec::new());
+        b.serialize(NodeId::ROOT, &symbols, &mut w).unwrap();
+        let out = w.finish().unwrap();
+        assert_eq!(out.len() as u32, DEPTH * 3 + DEPTH * 4 + 6);
+        assert!(out.starts_with(b"<d><d>"));
+        assert!(out.ends_with(b"</d></d>"));
+        let text_at = (DEPTH * 3) as usize;
+        assert_eq!(&out[text_at..text_at + 6], b"bottom");
     }
 
     #[test]

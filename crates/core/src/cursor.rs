@@ -17,8 +17,9 @@
 //! which is what keeps a for-loop's current binding alive through the body.
 
 use crate::buffer::{BufferTree, NodeId};
-use gcx_xml::Symbol;
+use gcx_xml::{FxBuildHasher, Symbol};
 use std::collections::HashSet;
+use std::rc::Rc;
 
 /// A node test compiled against the symbol table (evaluator side).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,39 +119,72 @@ struct Frame {
     kind: FrameKind,
 }
 
-/// A lazy, pinned, blocking path iterator. Create with [`PathCursor::new`],
-/// drive with [`PathCursor::advance`], and always dispose with
-/// [`PathCursor::finish`] (or run it to `Done`) so pins are released.
+/// Recycled cursor innards: the evaluator creates one cursor per path
+/// evaluation (per loop binding for conditions), so the frame stack would
+/// otherwise be allocated and dropped at binding rate. Owned by the
+/// evaluator, threaded through [`PathCursor::new_pooled`] /
+/// [`PathCursor::dispose`].
+#[derive(Debug, Default)]
+pub struct CursorPool {
+    stacks: Vec<Vec<Frame>>,
+}
+
+/// A lazy, pinned, blocking path iterator. Create with [`PathCursor::new`]
+/// (or [`PathCursor::new_pooled`]), drive with [`PathCursor::advance`], and
+/// always dispose with [`PathCursor::finish`] / [`PathCursor::dispose`]
+/// (or run it to `Done`) so pins are released.
 #[derive(Debug)]
 pub struct PathCursor {
-    steps: Vec<EvalStep>,
+    /// Shared, pre-compiled steps (the evaluator caches them per path).
+    steps: Rc<[EvalStep]>,
     stack: Vec<Frame>,
     done: bool,
     /// XQuery paths select *distinct* nodes, but two or more descendant
     /// axes in one path can reach a node through several derivations.
     /// Only then is the (purge-safe: ids are generation-tagged) dedup set
     /// engaged.
-    emitted: Option<HashSet<NodeId>>,
+    emitted: Option<HashSet<NodeId, FxBuildHasher>>,
 }
 
 impl PathCursor {
     /// Start iterating matches of `steps` below `ctx`.
-    pub fn new(buf: &mut BufferTree, ctx: NodeId, steps: Vec<EvalStep>) -> PathCursor {
+    pub fn new(buf: &mut BufferTree, ctx: NodeId, steps: impl Into<Rc<[EvalStep]>>) -> PathCursor {
+        let mut pool = CursorPool::default();
+        PathCursor::new_pooled(buf, ctx, steps.into(), &mut pool)
+    }
+
+    /// [`PathCursor::new`] with a recycled frame stack from `pool`.
+    pub fn new_pooled(
+        buf: &mut BufferTree,
+        ctx: NodeId,
+        steps: Rc<[EvalStep]>,
+        pool: &mut CursorPool,
+    ) -> PathCursor {
         buf.pin(ctx);
         let descendant_steps = steps
             .iter()
             .filter(|s| matches!(s.axis, EAxis::Descendant | EAxis::DescendantOrSelf))
             .count();
+        let mut stack = pool.stacks.pop().unwrap_or_default();
+        stack.push(Frame {
+            node: ctx,
+            step: 0,
+            kind: FrameKind::Eval,
+        });
         PathCursor {
             steps,
-            stack: vec![Frame {
-                node: ctx,
-                step: 0,
-                kind: FrameKind::Eval,
-            }],
+            stack,
             done: false,
-            emitted: (descendant_steps >= 2).then(HashSet::new),
+            emitted: (descendant_steps >= 2).then(HashSet::default),
         }
+    }
+
+    /// Release pins and return the frame stack to `pool`.
+    pub fn dispose(mut self, buf: &mut BufferTree, pool: &mut CursorPool) {
+        self.finish(buf);
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        pool.stacks.push(stack);
     }
 
     /// Release every pin. Idempotent; must be called when abandoning the
@@ -343,13 +377,12 @@ mod tests {
         let (a, b, c) = (sy.intern("a"), sy.intern("b"), sy.intern("c"));
         let mut buf = BufferTree::new(true);
         let r = &[(RoleId(0), 1)][..];
-        let na = buf.append_element(NodeId::ROOT, a, Box::new([]), r, ord(1));
-        let nb1 = buf.append_element(na, b, Box::new([]), r, ord(1));
+        let na = buf.append_element(NodeId::ROOT, a, r, ord(1));
+        let nb1 = buf.append_element(na, b, r, ord(1));
         buf.close(nb1);
         let nc = buf.append_element(
             na,
             c,
-            Box::new([]),
             r,
             Ordinals {
                 same_kind: 1,
@@ -357,14 +390,13 @@ mod tests {
                 any: 2,
             },
         );
-        let nb2 = buf.append_element(nc, b, Box::new([]), r, ord(1));
+        let nb2 = buf.append_element(nc, b, r, ord(1));
         buf.append_text(nb2, "text", r, ord(1));
         buf.close(nb2);
         buf.close(nc);
         let nb3 = buf.append_element(
             na,
             b,
-            Box::new([]),
             r,
             Ordinals {
                 same_kind: 2,
@@ -502,7 +534,7 @@ mod tests {
         let b = sy.intern("b");
         let mut buf = BufferTree::new(true);
         let r = &[(RoleId(0), 1)][..];
-        let na = buf.append_element(NodeId::ROOT, a, Box::new([]), r, ord(1));
+        let na = buf.append_element(NodeId::ROOT, a, r, ord(1));
         let steps = vec![EvalStep {
             axis: EAxis::Child,
             test: ETest::Name(b),
@@ -515,7 +547,7 @@ mod tests {
             "a is still open"
         );
         // Stream delivers a matching child.
-        let nb = buf.append_element(na, b, Box::new([]), r, ord(1));
+        let nb = buf.append_element(na, b, r, ord(1));
         buf.close(nb);
         assert_eq!(cur.advance(&mut buf), CursorState::Match(nb));
         assert_eq!(
@@ -535,10 +567,10 @@ mod tests {
         let b = sy.intern("b");
         let mut buf = BufferTree::new(true);
         let role = RoleId(0);
-        let na = buf.append_element(NodeId::ROOT, a, Box::new([]), &[(role, 1)], ord(1));
-        let nb1 = buf.append_element(na, b, Box::new([]), &[(role, 1)], ord(1));
+        let na = buf.append_element(NodeId::ROOT, a, &[(role, 1)], ord(1));
+        let nb1 = buf.append_element(na, b, &[(role, 1)], ord(1));
         buf.close(nb1);
-        let nb2 = buf.append_element(na, b, Box::new([]), &[(role, 1)], ord(2));
+        let nb2 = buf.append_element(na, b, &[(role, 1)], ord(2));
         buf.close(nb2);
         buf.close(na);
         buf.close(NodeId::ROOT);
@@ -600,9 +632,9 @@ mod tests {
         let b = sy.intern("b");
         let mut buf = BufferTree::new(true);
         let r = &[(RoleId(0), 1)][..];
-        let na1 = buf.append_element(NodeId::ROOT, a, Box::new([]), r, ord(1));
-        let na2 = buf.append_element(na1, a, Box::new([]), r, ord(1));
-        let nb = buf.append_element(na2, b, Box::new([]), r, ord(1));
+        let na1 = buf.append_element(NodeId::ROOT, a, r, ord(1));
+        let na2 = buf.append_element(na1, a, r, ord(1));
+        let nb = buf.append_element(na2, b, r, ord(1));
         buf.close(nb);
         buf.close(na2);
         buf.close(na1);

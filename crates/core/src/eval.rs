@@ -20,16 +20,17 @@
 //! the end of every run (asserted by tests).
 
 use crate::buffer::{BufferTree, NodeId};
-use crate::cursor::{CursorState, EAxis, ETest, EvalStep, PathCursor};
+use crate::cursor::{CursorPool, CursorState, EAxis, ETest, EvalStep, PathCursor};
 use crate::error::EngineError;
 use crate::stream::BufferFeed;
 use gcx_projection::Analysis;
 use gcx_query::ast::{
     AggFunc, Axis, CmpOp, Cond, Expr, NodeTest, Operand, PathExpr, PathRoot, RoleId, Step, VarId,
 };
-use gcx_xml::{Symbol, SymbolTable, XmlWriter};
+use gcx_xml::{FxBuildHasher, Symbol, SymbolTable, XmlWriter};
 use std::collections::HashMap;
 use std::io::Write;
+use std::rc::Rc;
 
 /// A for-variable binding: the node plus its binding-role multiplicity
 /// (derivation count), captured at iteration start.
@@ -57,6 +58,17 @@ pub(crate) struct Run<'q, F, W: Write> {
     env: Vec<Option<Binding>>,
     /// Scratch reused by string-value extraction.
     value_scratch: String,
+    /// Compiled-steps cache, keyed by the AST slice's address (the
+    /// analysis outlives the run, so addresses are stable). Conditions
+    /// inside loop bodies are re-evaluated per binding; without the cache
+    /// every evaluation would re-intern and re-allocate its steps.
+    step_cache: HashMap<(usize, usize), Rc<[EvalStep]>, FxBuildHasher>,
+    /// Recycled cursor frame stacks (one cursor per path evaluation).
+    cursor_pool: CursorPool,
+    /// Reused signOff derivation map.
+    signoff_scratch: HashMap<NodeId, u32, FxBuildHasher>,
+    /// Recycled value vectors for comparisons/aggregates.
+    value_pool: Vec<Vec<Value>>,
 }
 
 impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
@@ -78,6 +90,10 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
             execute_signoffs,
             env: vec![None; n_vars],
             value_scratch: String::new(),
+            step_cache: HashMap::default(),
+            cursor_pool: CursorPool::default(),
+            signoff_scratch: HashMap::default(),
+            value_pool: Vec::new(),
         }
     }
 
@@ -127,10 +143,17 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         }
     }
 
-    /// Compile AST steps to evaluator steps, interning names. Attribute
-    /// steps must have been split off by the caller.
-    fn compile_steps(&mut self, steps: &[Step]) -> Vec<EvalStep> {
-        steps
+    /// Compile AST steps to evaluator steps, interning names; cached per
+    /// AST slice (keyed by address *and* length — the query outlives the
+    /// run, and `split_attr` hands out prefix subslices that share a base
+    /// pointer with their full path). Attribute steps must have been split
+    /// off by the caller.
+    fn compile_steps(&mut self, steps: &'q [Step]) -> Rc<[EvalStep]> {
+        let key = (steps.as_ptr() as usize, steps.len());
+        if let Some(cached) = self.step_cache.get(&key) {
+            return Rc::clone(cached);
+        }
+        let compiled: Rc<[EvalStep]> = steps
             .iter()
             .map(|s| EvalStep {
                 axis: match s.axis {
@@ -148,11 +171,24 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
                 },
                 pos: s.pred.map(|gcx_query::ast::Pred::Position(k)| k),
             })
-            .collect()
+            .collect();
+        self.step_cache.insert(key, Rc::clone(&compiled));
+        compiled
+    }
+
+    /// A recycled (or fresh) empty value vector.
+    fn pooled_values(&mut self) -> Vec<Value> {
+        self.value_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a value vector to the pool.
+    fn recycle_values(&mut self, mut v: Vec<Value>) {
+        v.clear();
+        self.value_pool.push(v);
     }
 
     /// Split an attribute-terminated path into (element steps, selector).
-    fn split_attr<'a>(&mut self, p: &'a PathExpr) -> (&'a [Step], Option<AttrSel>) {
+    fn split_attr(&mut self, p: &'q PathExpr) -> (&'q [Step], Option<AttrSel>) {
         if p.ends_in_attribute() {
             let (last, rest) = p.steps.split_last().unwrap();
             let sel = match &last.test {
@@ -168,7 +204,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     // ---- expression evaluation ----------------------------------------------
 
     /// Evaluate an expression, streaming its result to the output writer.
-    pub(crate) fn eval(&mut self, e: &Expr) -> Result<(), EngineError> {
+    pub(crate) fn eval(&mut self, e: &'q Expr) -> Result<(), EngineError> {
         match e {
             Expr::Empty => Ok(()),
             Expr::Sequence(items) => {
@@ -223,12 +259,17 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         }
     }
 
-    fn eval_for(&mut self, var: VarId, source: &PathExpr, body: &Expr) -> Result<(), EngineError> {
+    fn eval_for(
+        &mut self,
+        var: VarId,
+        source: &'q PathExpr,
+        body: &'q Expr,
+    ) -> Result<(), EngineError> {
         let (ctx, _) = self.resolve_root(&source.root)?;
         let steps = self.compile_steps(&source.steps);
         let binding_role = self.analysis.binding_roles[var.index()]
             .ok_or_else(|| EngineError::Internal("for-variable without binding role".into()))?;
-        let mut cursor = PathCursor::new(&mut self.buf, ctx, steps);
+        let mut cursor = PathCursor::new_pooled(&mut self.buf, ctx, steps, &mut self.cursor_pool);
         let result = loop {
             match cursor.advance(&mut self.buf) {
                 CursorState::Match(n) => {
@@ -248,17 +289,18 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
                 CursorState::Done => break Ok(()),
             }
         };
-        cursor.finish(&mut self.buf);
+        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
         result
     }
 
     /// Emit the nodes selected by a path: deep copies of element subtrees,
     /// the content of text nodes, the values of selected attributes.
-    fn eval_output_path(&mut self, p: &PathExpr) -> Result<(), EngineError> {
+    fn eval_output_path(&mut self, p: &'q PathExpr) -> Result<(), EngineError> {
         let (ctx, _) = self.resolve_root(&p.root)?;
         let (elem_steps, attr_sel) = self.split_attr(p);
         let elem_steps = self.compile_steps(elem_steps);
-        let mut cursor = PathCursor::new(&mut self.buf, ctx, elem_steps);
+        let mut cursor =
+            PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
         let result = loop {
             match cursor.advance(&mut self.buf) {
                 CursorState::Match(n) => {
@@ -278,27 +320,22 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
                 CursorState::Done => break Ok(()),
             }
         };
-        cursor.finish(&mut self.buf);
+        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
         result
     }
 
     fn emit_attr(&mut self, n: NodeId, sel: AttrSel) -> Result<(), EngineError> {
+        // `buf` and `out` are distinct fields, so attribute values stream
+        // straight from the buffer to the writer without copies.
         match sel {
             AttrSel::Name(name) => {
                 if let Some(v) = self.buf.attr(n, name) {
-                    let v = v.to_string();
-                    self.out.text(&v)?;
+                    self.out.text(v)?;
                 }
             }
             AttrSel::Any => {
-                let values: Vec<String> = self
-                    .buf
-                    .attrs(n)
-                    .iter()
-                    .map(|(_, v)| v.to_string())
-                    .collect();
-                for v in values {
-                    self.out.text(&v)?;
+                for (_, v) in self.buf.attrs(n).iter() {
+                    self.out.text(v)?;
                 }
             }
         }
@@ -307,8 +344,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     fn emit_node(&mut self, n: NodeId) -> Result<(), EngineError> {
         if let Some(content) = self.buf.text_content(n) {
-            let content = content.to_string();
-            self.out.text(&content)?;
+            self.out.text(content)?;
             return Ok(());
         }
         // Elements are emitted whole: wait for the subtree to finish
@@ -320,7 +356,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     // ---- conditions -----------------------------------------------------------
 
-    fn eval_cond(&mut self, c: &Cond) -> Result<bool, EngineError> {
+    fn eval_cond(&mut self, c: &'q Cond) -> Result<bool, EngineError> {
         match c {
             Cond::True => Ok(true),
             Cond::False => Ok(false),
@@ -331,7 +367,10 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
             Cond::Compare { op, lhs, rhs } => {
                 let l = self.collect_values(lhs)?;
                 let r = self.collect_values(rhs)?;
-                Ok(compare_existential(*op, &l, &r))
+                let result = compare_existential(*op, &l, &r);
+                self.recycle_values(l);
+                self.recycle_values(r);
+                Ok(result)
             }
             Cond::StringFn {
                 func,
@@ -340,8 +379,12 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
             } => {
                 let h = self.collect_values(haystack)?;
                 let n = self.collect_values(needle)?;
-                Ok(h.iter()
-                    .any(|hv| n.iter().any(|nv| func.apply(&hv.text, &nv.text))))
+                let result = h
+                    .iter()
+                    .any(|hv| n.iter().any(|nv| func.apply(&hv.text, &nv.text)));
+                self.recycle_values(h);
+                self.recycle_values(n);
+                Ok(result)
             }
         }
     }
@@ -349,11 +392,12 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     /// `exists($x/p)`: block until the first witness appears or the search
     /// region is exhausted — the paper's "until the data is available in
     /// the buffer or it has become evident that the data does not exist".
-    fn eval_exists(&mut self, p: &PathExpr) -> Result<bool, EngineError> {
+    fn eval_exists(&mut self, p: &'q PathExpr) -> Result<bool, EngineError> {
         let (ctx, _) = self.resolve_root(&p.root)?;
         let (elem_steps, attr_sel) = self.split_attr(p);
         let elem_steps = self.compile_steps(elem_steps);
-        let mut cursor = PathCursor::new(&mut self.buf, ctx, elem_steps);
+        let mut cursor =
+            PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
         let result = loop {
             match cursor.advance(&mut self.buf) {
                 CursorState::Match(n) => match attr_sel {
@@ -377,46 +421,62 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
                 CursorState::Done => break Ok(false),
             }
         };
-        cursor.finish(&mut self.buf);
+        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
         result
     }
 
     /// Collect the atomized values of an operand (blocking until the
     /// selected subtrees are complete).
-    fn collect_values(&mut self, op: &Operand) -> Result<Vec<Value>, EngineError> {
+    fn collect_values(&mut self, op: &'q Operand) -> Result<Vec<Value>, EngineError> {
+        let mut values = self.pooled_values();
         match op {
-            Operand::StringLit(s) => Ok(vec![Value::from_string(s.clone())]),
-            Operand::NumberLit(v) => Ok(vec![Value {
-                text: fmt_number(*v),
-                num: Some(*v),
-            }]),
+            Operand::StringLit(s) => {
+                values.push(Value::from_string(s.clone()));
+                Ok(values)
+            }
+            Operand::NumberLit(v) => {
+                values.push(Value {
+                    text: fmt_number(*v),
+                    num: Some(*v),
+                });
+                Ok(values)
+            }
             Operand::Path(p) => {
-                let (ctx, _) = self.resolve_root(&p.root)?;
-                let (elem_steps, attr_sel) = self.split_attr(p);
-                let elem_steps = self.compile_steps(elem_steps);
-                let mut values = Vec::new();
-                let mut cursor = PathCursor::new(&mut self.buf, ctx, elem_steps);
-                let result = loop {
-                    match cursor.advance(&mut self.buf) {
-                        CursorState::Match(n) => {
-                            let r = self.value_of(n, attr_sel, &mut values);
-                            if let Err(e) = r {
-                                break Err(e);
-                            }
-                        }
-                        CursorState::NeedInput => {
-                            if let Err(e) = self.pull() {
-                                break Err(e);
-                            }
-                        }
-                        CursorState::Done => break Ok(()),
-                    }
-                };
-                cursor.finish(&mut self.buf);
-                result?;
+                self.collect_path_values(p, &mut values)?;
                 Ok(values)
             }
         }
+    }
+
+    /// Collect the atomized values selected by a path into `values`.
+    fn collect_path_values(
+        &mut self,
+        p: &'q PathExpr,
+        values: &mut Vec<Value>,
+    ) -> Result<(), EngineError> {
+        let (ctx, _) = self.resolve_root(&p.root)?;
+        let (elem_steps, attr_sel) = self.split_attr(p);
+        let elem_steps = self.compile_steps(elem_steps);
+        let mut cursor =
+            PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
+        let result = loop {
+            match cursor.advance(&mut self.buf) {
+                CursorState::Match(n) => {
+                    let r = self.value_of(n, attr_sel, values);
+                    if let Err(e) = r {
+                        break Err(e);
+                    }
+                }
+                CursorState::NeedInput => {
+                    if let Err(e) = self.pull() {
+                        break Err(e);
+                    }
+                }
+                CursorState::Done => break Ok(()),
+            }
+        };
+        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
+        result
     }
 
     fn value_of(
@@ -432,7 +492,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
                 }
             }
             Some(AttrSel::Any) => {
-                for (_, v) in self.buf.attrs(n) {
+                for (_, v) in self.buf.attrs(n).iter() {
                     values.push(Value::from_string(v.to_string()));
                 }
             }
@@ -450,8 +510,9 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     // ---- aggregates (extension) ------------------------------------------------
 
-    fn eval_aggregate(&mut self, func: AggFunc, arg: &PathExpr) -> Result<(), EngineError> {
-        let values = self.collect_values(&Operand::Path(arg.clone()))?;
+    fn eval_aggregate(&mut self, func: AggFunc, arg: &'q PathExpr) -> Result<(), EngineError> {
+        let mut values = self.pooled_values();
+        self.collect_path_values(arg, &mut values)?;
         let text = match func {
             AggFunc::Count => Some(fmt_number(values.len() as f64)),
             AggFunc::Sum => {
@@ -481,6 +542,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
                 }
             }
         };
+        self.recycle_values(values);
         if let Some(t) = text {
             self.out.text(&t)?;
         }
@@ -492,7 +554,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     /// Execute `signOff(target, role)`: decrement role instances on every
     /// buffered node matching the target path, with derivation
     /// multiplicities, triggering garbage collection.
-    fn exec_signoff(&mut self, target: &PathExpr, role: RoleId) -> Result<(), EngineError> {
+    fn exec_signoff(&mut self, target: &'q PathExpr, role: RoleId) -> Result<(), EngineError> {
         // "These commands must not be issued too early" (paper §3): a
         // signOff over a non-empty path decrements role instances on a
         // whole region, so that region must have finished streaming —
@@ -515,12 +577,16 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         // them when deriving role paths).
         let steps = self.compile_steps(&target.steps);
         // Collect first (merging duplicate derivations), then decrement:
-        // decrements purge eagerly and would invalidate a live walk.
-        let mut matches: HashMap<NodeId, u32> = HashMap::new();
+        // decrements purge eagerly and would invalidate a live walk. The
+        // map is reused across signOffs (one per preemption point per
+        // binding — allocation at binding rate otherwise).
+        let mut matches = std::mem::take(&mut self.signoff_scratch);
+        matches.clear();
         collect_derivations(&self.buf, ctx, &steps, 0, mult, &mut matches);
-        for (node, times) in matches {
+        for (&node, &times) in matches.iter() {
             self.buf.decrement_role(node, role, times);
         }
+        self.signoff_scratch = matches;
         Ok(())
     }
 }
@@ -533,7 +599,7 @@ fn collect_derivations(
     steps: &[EvalStep],
     i: usize,
     mult: u32,
-    out: &mut HashMap<NodeId, u32>,
+    out: &mut HashMap<NodeId, u32, FxBuildHasher>,
 ) {
     if i == steps.len() {
         *out.entry(node).or_insert(0) += mult;
@@ -569,24 +635,42 @@ fn collect_derivations(
     }
 }
 
-/// Descendant-or-self helper: self match, then recurse into children at the
-/// same step.
+/// Descendant-or-self helper: self match, then every descendant at the
+/// same step. Iterative over the subtree — signOff targets routinely carry
+/// a trailing `descendant-or-self::node()`, so this walk sees the full
+/// document depth and must not recurse per level.
 fn collect_dos(
     buf: &BufferTree,
     node: NodeId,
     steps: &[EvalStep],
     i: usize,
     mult: u32,
-    out: &mut HashMap<NodeId, u32>,
+    out: &mut HashMap<NodeId, u32, FxBuildHasher>,
 ) {
     let step = steps[i];
-    if step.test.matches(buf, node) {
-        collect_derivations(buf, node, steps, i + 1, mult, out);
-    }
-    let mut child = buf.first_child(node);
-    while let Some(c) = child {
-        collect_dos(buf, c, steps, i, mult, out);
-        child = buf.next_sibling(c);
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        if step.test.matches(buf, n) {
+            // Remaining steps are bounded by the (small) path length, so
+            // this recursion is safe; only the subtree walk is iterative.
+            collect_derivations(buf, n, steps, i + 1, mult, out);
+        }
+        cur = match buf.first_child(n) {
+            Some(c) => Some(c),
+            None => {
+                // Ascend to the next sibling, stopping at the walk root.
+                let mut m = n;
+                loop {
+                    if m == node {
+                        break None;
+                    }
+                    if let Some(s) = buf.next_sibling(m) {
+                        break Some(s);
+                    }
+                    m = buf.parent(m).expect("walk escaped the subtree");
+                }
+            }
+        };
     }
 }
 

@@ -38,7 +38,7 @@ mod error;
 mod eval;
 pub mod stream;
 
-pub use buffer::{BufferStats, BufferTree, NodeId};
+pub use buffer::{AttrBuf, BufferStats, BufferTree, NodeId};
 pub use engine::{run, run_query, run_with_feed, CompiledQuery, EngineOptions, RunReport};
 pub use error::EngineError;
 pub use stream::{BufferFeed, ChildCounters, Timeline};

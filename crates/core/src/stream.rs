@@ -11,11 +11,11 @@
 //! buffers *every* element and non-whitespace text node; roles are still
 //! assigned so the evaluator and the signOff machinery behave identically.
 
-use crate::buffer::{BufferTree, NodeId, Ordinals};
+use crate::buffer::{AttrBuf, BufferTree, NodeId, Ordinals};
 use crate::error::EngineError;
 use gcx_projection::StreamMatcher;
+use gcx_query::ast::RoleId;
 use gcx_xml::{Symbol, SymbolTable, Token, Tokenizer, XmlResult};
-use std::collections::HashMap;
 use std::io::Read;
 
 /// Anything that can drive a [`BufferTree`] one step at a time.
@@ -90,12 +90,17 @@ impl Timeline {
 /// against true document positions. One instance per open element; also
 /// used by the shared-stream driver (`gcx-multi`), which stamps ordinals
 /// per query on the driver side.
+///
+/// Same-name counts live in a small vector (elements have few distinct
+/// child names; a hash map would pay hashing and allocation per child),
+/// and instances are pooled by their owners so opening an element
+/// allocates nothing in steady state.
 #[derive(Debug, Default)]
 pub struct ChildCounters {
     elem_children: u32,
     text_children: u32,
     any_children: u32,
-    by_name: HashMap<Symbol, u32>,
+    by_name: Vec<(Symbol, u32)>,
 }
 
 impl ChildCounters {
@@ -104,14 +109,30 @@ impl ChildCounters {
         ChildCounters::default()
     }
 
+    /// Reset for reuse (pooling), keeping capacity.
+    pub fn clear(&mut self) {
+        self.elem_children = 0;
+        self.text_children = 0;
+        self.any_children = 0;
+        self.by_name.clear();
+    }
+
     /// Register an element child named `name`; returns its ordinals.
     pub fn next_elem(&mut self, name: Symbol) -> Ordinals {
         self.elem_children += 1;
         self.any_children += 1;
-        let same = self.by_name.entry(name).or_insert(0);
-        *same += 1;
+        let same = match self.by_name.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => {
+                *c += 1;
+                *c
+            }
+            None => {
+                self.by_name.push((name, 1));
+                1
+            }
+        };
         Ordinals {
-            same_kind: *same,
+            same_kind: same,
             elem: self.elem_children,
             any: self.any_children,
         }
@@ -140,11 +161,11 @@ struct OpenEntry {
 }
 
 impl OpenEntry {
-    fn new(node: NodeId, matched: bool) -> OpenEntry {
+    fn new(node: NodeId, matched: bool, counters: ChildCounters) -> OpenEntry {
         OpenEntry {
             node,
             matched,
-            counters: ChildCounters::new(),
+            counters,
         }
     }
 
@@ -174,6 +195,14 @@ pub struct Preprojector<R> {
     /// Projection on (GCX / projection-only) or off (full buffering).
     project: bool,
     timeline: Option<Timeline>,
+    /// Scratch reused across tokens (the zero-allocation handshake with
+    /// [`BufferTree::append_element_with_attrs`]): attribute storage for
+    /// the element being appended and the matcher's role output.
+    attr_scratch: AttrBuf,
+    role_scratch: Vec<(RoleId, u32)>,
+    text_role_scratch: Vec<(RoleId, u32)>,
+    /// Recycled child counters for closed elements.
+    counter_pool: Vec<ChildCounters>,
 }
 
 impl<R: Read> Preprojector<R> {
@@ -187,7 +216,7 @@ impl<R: Read> Preprojector<R> {
         Preprojector {
             tokenizer,
             matcher,
-            open: vec![OpenEntry::new(NodeId::ROOT, true)],
+            open: vec![OpenEntry::new(NodeId::ROOT, true, ChildCounters::new())],
             skip_depth: 0,
             tokens: 0,
             finished: false,
@@ -196,6 +225,10 @@ impl<R: Read> Preprojector<R> {
                 points: Vec::new(),
                 every,
             }),
+            attr_scratch: AttrBuf::new(),
+            role_scratch: Vec::new(),
+            text_role_scratch: Vec::new(),
+            counter_pool: Vec::new(),
         }
     }
 
@@ -242,31 +275,46 @@ impl<R: Read> Preprojector<R> {
                     let ordinals = top.next_elem(name);
                     let (top_node, top_matched) = (top.node, top.matched);
                     // Inside an unmatched region the matcher has no frame;
-                    // children are unmatched too.
-                    let outcome = if top_matched {
-                        Some(self.matcher.enter_element(name))
+                    // children are unmatched too. Roles land in the reused
+                    // scratch — no per-element vector.
+                    let (keep, matched, has_roles) = if top_matched {
+                        if self
+                            .matcher
+                            .enter_element_into(name, &mut self.role_scratch)
+                        {
+                            (true, true, true)
+                        } else {
+                            (!self.project, false, false)
+                        }
                     } else {
-                        None
-                    };
-                    let (keep, matched, roles) = match &outcome {
-                        Some(o) if o.keep => (true, true, o.roles.as_slice()),
-                        Some(_) => (!self.project, false, &[][..]),
-                        None => (true, false, &[][..]),
+                        (true, false, false)
                     };
                     if keep {
-                        let attrs: Box<[(Symbol, Box<str>)]> = start
-                            .attrs
-                            .iter()
-                            .map(|a| (symbols.intern(a.name), Box::<str>::from(&*a.value)))
-                            .collect();
-                        let id = buf.append_element(top_node, name, attrs, roles, ordinals);
+                        self.attr_scratch.clear();
+                        for a in start.attrs.iter() {
+                            let attr_name = symbols.intern(a.name);
+                            self.attr_scratch.push(attr_name, a.value);
+                        }
+                        let roles = if has_roles {
+                            self.role_scratch.as_slice()
+                        } else {
+                            &[]
+                        };
+                        let id = buf.append_element_with_attrs(
+                            top_node,
+                            name,
+                            &mut self.attr_scratch,
+                            roles,
+                            ordinals,
+                        );
                         if self_closing {
                             if matched {
                                 self.matcher.leave_element();
                             }
                             buf.close(id);
                         } else {
-                            self.open.push(OpenEntry::new(id, matched));
+                            let counters = self.counter_pool.pop().unwrap_or_default();
+                            self.open.push(OpenEntry::new(id, matched, counters));
                         }
                     } else if !self_closing {
                         self.skip_depth = 1;
@@ -282,28 +330,31 @@ impl<R: Read> Preprojector<R> {
                 if self.skip_depth > 0 {
                     self.skip_depth -= 1;
                 } else {
-                    let entry = self.open.pop().expect("unbalanced end tag past tokenizer");
+                    let mut entry = self.open.pop().expect("unbalanced end tag past tokenizer");
                     debug_assert!(entry.node != NodeId::ROOT, "root popped before EOF");
                     if entry.matched {
                         self.matcher.leave_element();
                     }
                     buf.close(entry.node);
+                    entry.counters.clear();
+                    self.counter_pool.push(entry.counters);
                 }
                 self.bump(buf);
             }
             Token::Text(content) => {
                 if self.skip_depth == 0 {
                     let top_matched = self.open.last().unwrap().matched;
-                    let roles = if top_matched {
-                        self.matcher.text()
+                    if top_matched {
+                        self.matcher.text_into(&mut self.text_role_scratch);
                     } else {
-                        Vec::new()
-                    };
-                    let keep = !roles.is_empty() || (!self.project && !content.trim().is_empty());
+                        self.text_role_scratch.clear();
+                    }
+                    let keep = !self.text_role_scratch.is_empty()
+                        || (!self.project && !content.trim().is_empty());
                     let top = self.open.last_mut().unwrap();
                     let ordinals = top.next_text();
                     if keep {
-                        buf.append_text(top.node, &content, &roles, ordinals);
+                        buf.append_text(top.node, content, &self.text_role_scratch, ordinals);
                     }
                 }
                 self.bump(buf);

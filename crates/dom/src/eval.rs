@@ -178,12 +178,17 @@ impl<'d> Evaluator<'d> {
         }
     }
 
+    /// Descendant-or-self dispatch. Iterative over the subtree (an explicit
+    /// stack, popped in document order): descendant axes see the whole
+    /// document depth, which must not become native stack depth. The
+    /// `step_rec` recursion it feeds is bounded by the path length.
     fn dos_rec(&self, n: DomId, step: &Step, rest: &[Step], acc: &mut Vec<DomId>) {
-        if self.test_matches(&step.test, n) {
-            self.step_rec(Ctx::Node(n), rest, acc);
-        }
-        for &c in self.dom.children(n) {
-            self.dos_rec(c, step, rest, acc);
+        let mut stack = vec![n];
+        while let Some(m) = stack.pop() {
+            if self.test_matches(&step.test, m) {
+                self.step_rec(Ctx::Node(m), rest, acc);
+            }
+            stack.extend(self.dom.children(m).iter().rev());
         }
     }
 

@@ -141,37 +141,48 @@ impl Dom {
         }
     }
 
-    /// XPath string value: concatenated subtree text.
+    /// XPath string value: concatenated subtree text. Iterative — document
+    /// depth must not become native stack depth.
     pub fn string_value(&self, id: DomId, out: &mut String) {
-        match self.node(id) {
-            DomNode::Text(t) => out.push_str(t),
-            DomNode::Element { children, .. } => {
-                for &c in children {
-                    self.string_value(c, out);
-                }
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            match self.node(n) {
+                DomNode::Text(t) => out.push_str(t),
+                // Reverse push so the pop order is document order.
+                DomNode::Element { children, .. } => stack.extend(children.iter().rev()),
             }
         }
     }
 
-    /// Serialize a subtree.
+    /// Serialize a subtree. Iterative, like [`Dom::string_value`]: deeply
+    /// nested documents serialize in constant native stack space.
     pub fn serialize<W: std::io::Write>(&self, id: DomId, w: &mut XmlWriter<W>) -> XmlResult<()> {
-        match self.node(id) {
-            DomNode::Text(t) => w.text(t),
-            DomNode::Element {
-                name,
-                attrs,
-                children,
-            } => {
-                w.start_element(name)?;
-                for (k, v) in attrs {
-                    w.attribute(k, v)?;
-                }
-                for &c in children {
-                    self.serialize(c, w)?;
-                }
-                w.end_element()
+        enum Act {
+            Open(DomId),
+            Close,
+        }
+        let mut stack = vec![Act::Open(id)];
+        while let Some(act) = stack.pop() {
+            match act {
+                Act::Close => w.end_element()?,
+                Act::Open(n) => match self.node(n) {
+                    DomNode::Text(t) => w.text(t)?,
+                    DomNode::Element {
+                        name,
+                        attrs,
+                        children,
+                    } => {
+                        w.start_element(name)?;
+                        for (k, v) in attrs {
+                            w.attribute(k, v)?;
+                        }
+                        stack.push(Act::Close);
+                        stack.extend(children.iter().rev().map(|&c| Act::Open(c)));
+                    }
+                },
             }
         }
+        Ok(())
     }
 }
 

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static CURRENT: AtomicU64 = AtomicU64::new(0);
 static PEAK: AtomicU64 = AtomicU64::new(0);
 static TOTAL: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 /// A [`System`]-backed allocator that tracks live bytes and their peak.
 pub struct TrackingAllocator;
@@ -50,6 +51,7 @@ impl Default for TrackingAllocator {
 fn on_alloc(size: usize) {
     let live = CURRENT.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
     TOTAL.fetch_add(size as u64, Ordering::Relaxed);
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
     // Lock-free peak update.
     let mut peak = PEAK.load(Ordering::Relaxed);
     while live > peak {
@@ -112,6 +114,14 @@ pub fn total_bytes() -> u64 {
     TOTAL.load(Ordering::Relaxed)
 }
 
+/// Total number of allocation events (allocs + grow-side reallocs) ever
+/// performed. The difference of two readings bounds the allocations a code
+/// region performed — the steady-state "allocations per token ≈ 0"
+/// assertions are built on this.
+pub fn total_allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
 /// Reset the high watermark to the current live volume. Call between runs.
 pub fn reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -161,6 +171,12 @@ mod tests {
         assert!(total_bytes() >= t0 + 4096);
         drop(v2);
         assert!(total_bytes() >= t0 + 4096);
+
+        // Allocation events are counted.
+        let a0 = total_allocs();
+        let v3 = vec![0u8; 64];
+        assert!(total_allocs() > a0);
+        drop(v3);
 
         // Realloc paths (Vec growth) keep live consistent.
         let mut grow = Vec::new();

@@ -190,6 +190,8 @@ struct QState {
     /// bottom). Only elements this query keeps get a frame — identical to
     /// the standalone preprojector's open stack.
     counters: Vec<ChildCounters>,
+    /// Recycled counters for closed elements (no allocation per element).
+    counter_pool: Vec<ChildCounters>,
 }
 
 impl QState {
@@ -290,6 +292,7 @@ impl SharedRun {
                     chunk_size,
                     skip_depth: 0,
                     counters: vec![ChildCounters::new()],
+                    counter_pool: Vec::new(),
                 });
             }
 
@@ -367,9 +370,7 @@ fn drive<R: Read>(
                                 let attrs: Arc<[_]> = start
                                     .attrs
                                     .iter()
-                                    .map(|a| {
-                                        (Box::<str>::from(a.name), Box::<str>::from(&*a.value))
-                                    })
+                                    .map(|a| (Box::<str>::from(a.name), Box::<str>::from(a.value)))
                                     .collect();
                                 (name, attrs)
                             });
@@ -382,7 +383,8 @@ fn drive<R: Read>(
                             });
                             fanout += 1;
                             if !self_closing {
-                                qs.counters.push(ChildCounters::new());
+                                let counters = qs.counter_pool.pop().unwrap_or_default();
+                                qs.counters.push(counters);
                             }
                         } else if any_keep && !self_closing {
                             // Some other query keeps this subtree; this one
@@ -420,7 +422,10 @@ fn drive<R: Read>(
                                 qs.counters.len() > 1,
                                 "End for an element this query never kept"
                             );
-                            qs.counters.pop();
+                            let mut counters =
+                                qs.counters.pop().expect("counter stack never empty");
+                            counters.clear();
+                            qs.counter_pool.push(counters);
                             qs.send(FeedEvent::End);
                             fanout += 1;
                         }

@@ -10,7 +10,7 @@
 //! (self-closing elements are appended and immediately closed; `Eof`
 //! closes the virtual root so blocked cursors terminate).
 
-use gcx_core::buffer::{BufferTree, NodeId, Ordinals};
+use gcx_core::buffer::{AttrBuf, BufferTree, NodeId, Ordinals};
 use gcx_core::{BufferFeed, EngineError};
 use gcx_query::ast::RoleId;
 use gcx_xml::SymbolTable;
@@ -65,6 +65,8 @@ pub struct ChannelFeed {
     pending: std::vec::IntoIter<FeedEvent>,
     /// Open element chain; the top is the parent of incoming nodes.
     open: Vec<NodeId>,
+    /// Reused attribute scratch (see `BufferTree::append_element_with_attrs`).
+    attr_scratch: AttrBuf,
     events: u64,
     finished: bool,
 }
@@ -76,6 +78,7 @@ impl ChannelFeed {
             rx,
             pending: Vec::new().into_iter(),
             open: vec![NodeId::ROOT],
+            attr_scratch: AttrBuf::new(),
             events: 0,
             finished: false,
         }
@@ -115,12 +118,19 @@ impl BufferFeed for ChannelFeed {
                 self_closing,
             } => {
                 let name = symbols.intern(&name);
-                let attrs: Box<[_]> = attrs
-                    .iter()
-                    .map(|(k, v)| (symbols.intern(k), v.clone()))
-                    .collect();
+                self.attr_scratch.clear();
+                for (k, v) in attrs.iter() {
+                    let attr_name = symbols.intern(k);
+                    self.attr_scratch.push(attr_name, v);
+                }
                 let parent = *self.open.last().expect("open chain never empty");
-                let id = buf.append_element(parent, name, attrs, &roles, ordinals);
+                let id = buf.append_element_with_attrs(
+                    parent,
+                    name,
+                    &mut self.attr_scratch,
+                    &roles,
+                    ordinals,
+                );
                 if self_closing {
                     buf.close(id);
                 } else {

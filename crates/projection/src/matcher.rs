@@ -292,6 +292,9 @@ pub struct TaggedMatcher {
     frames: Vec<Frame>,
     /// Scratch for building child state sets.
     scratch: Vec<St>,
+    /// Recycled frames: popping a frame would otherwise drop (and entering
+    /// one allocate) two `Vec`s per kept element.
+    frame_pool: Vec<Frame>,
 }
 
 impl TaggedMatcher {
@@ -317,6 +320,7 @@ impl TaggedMatcher {
             compiled,
             frames: vec![root],
             scratch: Vec::new(),
+            frame_pool: Vec::new(),
         };
         m.closure_with_name(0, None, &mut root_roles);
         dedupe_tagged(&mut root_roles);
@@ -447,7 +451,10 @@ impl TaggedMatcher {
         for st in &self.scratch {
             out.kept[self.compiled.paths[st.path as usize].tag as usize] = true;
         }
-        let mut frame = Frame::default();
+        // Recycle a pooled frame; the swap hands its (empty, but sized)
+        // states vector back to `scratch`, so capacities circulate instead
+        // of being allocated and dropped once per kept element.
+        let mut frame = self.frame_pool.pop().unwrap_or_default();
         std::mem::swap(&mut frame.states, &mut self.scratch);
         self.frames.push(frame);
         let idx = self.frames.len() - 1;
@@ -458,7 +465,10 @@ impl TaggedMatcher {
     /// Process the end tag of a kept element.
     pub fn leave_element(&mut self) {
         debug_assert!(self.frames.len() > 1, "leave_element on document root");
-        self.frames.pop();
+        let mut frame = self.frames.pop().expect("checked above");
+        frame.states.clear();
+        frame.pred_seen.clear();
+        self.frame_pool.push(frame);
     }
 
     /// Roles for a text child of the current element, appended to `out`
@@ -535,11 +545,20 @@ impl StreamMatcher {
     /// caller skips the subtree and must not call [`StreamMatcher::leave_element`]
     /// for it.
     pub fn enter_element(&mut self, name: Symbol) -> ElementOutcome {
+        let mut roles = Vec::new();
+        let keep = self.enter_element_into(name, &mut roles);
+        ElementOutcome { keep, roles }
+    }
+
+    /// Allocation-free variant of [`StreamMatcher::enter_element`]: the
+    /// element's roles are appended to `roles_out` (cleared first) and the
+    /// keep decision is returned. The preprojector's hot loop uses this
+    /// with a reused scratch vector.
+    pub fn enter_element_into(&mut self, name: Symbol, roles_out: &mut Vec<(RoleId, u32)>) -> bool {
         self.inner.enter_element(name, &mut self.scratch);
-        ElementOutcome {
-            keep: self.scratch.any_keep,
-            roles: self.scratch.roles.iter().map(|&(_, r, c)| (r, c)).collect(),
-        }
+        roles_out.clear();
+        roles_out.extend(self.scratch.roles.iter().map(|&(_, r, c)| (r, c)));
+        self.scratch.any_keep
     }
 
     /// Process the end tag of a kept element.
@@ -551,11 +570,19 @@ impl StreamMatcher {
     /// children, so no frame is pushed; an empty result means the text is
     /// irrelevant and is not buffered.
     pub fn text(&mut self) -> RoleAssignment {
+        let mut roles = Vec::new();
+        self.text_into(&mut roles);
+        roles
+    }
+
+    /// Allocation-free variant of [`StreamMatcher::text`]: roles are
+    /// appended to `out` (cleared first).
+    pub fn text_into(&mut self, out: &mut Vec<(RoleId, u32)>) {
         let mut tagged = std::mem::take(&mut self.text_scratch);
         self.inner.text_into(&mut tagged);
-        let roles = tagged.iter().map(|&(_, r, c)| (r, c)).collect();
+        out.clear();
+        out.extend(tagged.iter().map(|&(_, r, c)| (r, c)));
         self.text_scratch = tagged;
-        roles
     }
 }
 

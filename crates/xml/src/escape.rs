@@ -22,27 +22,50 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
     escape_impl(s, true)
 }
 
+/// First byte of `s` (from `from`) that [`escape_impl`] would rewrite, or
+/// `None`. Shared by the Cow API and the writer's zero-allocation path.
+pub(crate) fn first_escape_byte(s: &str, from: usize, attr: bool) -> Option<usize> {
+    s.as_bytes()[from..]
+        .iter()
+        .position(|&b| {
+            matches!(b, b'<' | b'>' | b'&' | b'\r') || (attr && matches!(b, b'"' | b'\n' | b'\t'))
+        })
+        .map(|i| from + i)
+}
+
+/// The entity a single escaped byte rewrites to (context from
+/// [`first_escape_byte`]: `\r` always escapes — a raw CR would be lost to
+/// line-ending normalization on re-parse; `"`/`\n`/`\t` only in attributes).
+pub(crate) fn escape_entity(b: u8) -> &'static str {
+    match b {
+        b'<' => "&lt;",
+        b'>' => "&gt;",
+        b'&' => "&amp;",
+        b'"' => "&quot;",
+        b'\n' => "&#10;",
+        b'\t' => "&#9;",
+        b'\r' => "&#13;",
+        _ => unreachable!("not an escapable byte"),
+    }
+}
+
 fn escape_impl(s: &str, attr: bool) -> Cow<'_, str> {
-    let needs =
-        |b: u8| matches!(b, b'<' | b'>' | b'&') || (attr && matches!(b, b'"' | b'\n' | b'\t'));
-    let Some(first) = s.bytes().position(needs) else {
+    // One authoritative table: the same first_escape_byte/escape_entity
+    // pair drives the writer's zero-allocation path. Every escapable byte
+    // is ASCII, so byte-granular splitting is char-safe.
+    let Some(first) = first_escape_byte(s, 0, attr) else {
         return Cow::Borrowed(s);
     };
     let mut out = String::with_capacity(s.len() + 8);
-    out.push_str(&s[..first]);
-    for ch in s[first..].chars() {
-        match ch {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            '"' if attr => out.push_str("&quot;"),
-            // Escape whitespace in attributes so it survives attribute-value
-            // normalization on re-parse.
-            '\n' if attr => out.push_str("&#10;"),
-            '\t' if attr => out.push_str("&#9;"),
-            c => out.push(c),
-        }
+    let mut from = 0;
+    let mut next = Some(first);
+    while let Some(i) = next {
+        out.push_str(&s[from..i]);
+        out.push_str(escape_entity(s.as_bytes()[i]));
+        from = i + 1;
+        next = first_escape_byte(s, from, attr);
     }
+    out.push_str(&s[from..]);
     Cow::Owned(out)
 }
 
@@ -92,6 +115,95 @@ pub fn unescape_into<'a>(raw: &'a str, out: &mut String) -> Result<(), &'a str> 
     Ok(())
 }
 
+/// XML 1.0 §2.11: translate `\r\n` and bare `\r` to `\n`, appending to
+/// `out`. Used for CDATA sections (no entity processing there).
+pub fn normalize_newlines_into(raw: &str, out: &mut String) {
+    let mut rest = raw;
+    while let Some(cr) = rest.find('\r') {
+        out.push_str(&rest[..cr]);
+        out.push('\n');
+        rest = &rest[cr + 1..];
+        if rest.as_bytes().first() == Some(&b'\n') {
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+}
+
+/// Line-ending normalization (§2.11) **and** entity resolution in one pass,
+/// appending to `out`. Characters produced by character references are not
+/// normalized (`&#13;` stays a literal CR, per spec).
+///
+/// Returns `Err(entity_body)` on the first unknown/malformed entity.
+pub fn normalize_unescape_into<'a>(raw: &'a str, out: &mut String) -> Result<(), &'a str> {
+    let mut rest = raw;
+    loop {
+        let Some(stop) = rest.bytes().position(|b| b == b'&' || b == b'\r') else {
+            out.push_str(rest);
+            return Ok(());
+        };
+        out.push_str(&rest[..stop]);
+        if rest.as_bytes()[stop] == b'\r' {
+            out.push('\n');
+            rest = &rest[stop + 1..];
+            if rest.as_bytes().first() == Some(&b'\n') {
+                rest = &rest[1..];
+            }
+            continue;
+        }
+        let after = &rest[stop + 1..];
+        let Some(semi) = after.find(';') else {
+            return Err(after);
+        };
+        let body = &after[..semi];
+        match resolve_entity(body) {
+            Some(c) => out.push(c),
+            None => return Err(body),
+        }
+        rest = &after[semi + 1..];
+    }
+}
+
+/// Attribute-value processing: line-ending normalization (§2.11),
+/// attribute-value normalization (§3.3.3: literal whitespace becomes a
+/// space — we assume CDATA-type attributes, having no DTD) and entity
+/// resolution, in one pass appending to `out`. Characters produced by
+/// character references are exempt from both normalizations, per spec.
+///
+/// Returns `Err(entity_body)` on the first unknown/malformed entity.
+pub fn normalize_attr_into<'a>(raw: &'a str, out: &mut String) -> Result<(), &'a str> {
+    let mut rest = raw;
+    loop {
+        let Some(stop) = rest
+            .bytes()
+            .position(|b| matches!(b, b'&' | b'\r' | b'\n' | b'\t'))
+        else {
+            out.push_str(rest);
+            return Ok(());
+        };
+        out.push_str(&rest[..stop]);
+        let b = rest.as_bytes()[stop];
+        if b != b'&' {
+            out.push(' ');
+            rest = &rest[stop + 1..];
+            if b == b'\r' && rest.as_bytes().first() == Some(&b'\n') {
+                rest = &rest[1..];
+            }
+            continue;
+        }
+        let after = &rest[stop + 1..];
+        let Some(semi) = after.find(';') else {
+            return Err(after);
+        };
+        let body = &after[..semi];
+        match resolve_entity(body) {
+            Some(c) => out.push(c),
+            None => return Err(body),
+        }
+        rest = &after[semi + 1..];
+    }
+}
+
 /// Unescape into a [`Cow`], borrowing when the input contains no entities.
 pub fn unescape(raw: &str) -> Result<Cow<'_, str>, String> {
     if !raw.contains('&') {
@@ -120,6 +232,52 @@ mod tests {
     #[test]
     fn escape_attr_quotes_and_whitespace() {
         assert_eq!(escape_attr("a\"b\nc\td"), "a&quot;b&#10;c&#9;d");
+    }
+
+    #[test]
+    fn carriage_return_escaped_everywhere() {
+        // A raw CR would be lost to line-ending normalization on re-parse.
+        assert_eq!(escape_attr("a\rb"), "a&#13;b");
+        assert_eq!(escape_text("a\rb"), "a&#13;b");
+    }
+
+    #[test]
+    fn newline_normalization() {
+        let mut out = String::new();
+        normalize_newlines_into("a\r\nb\rc\nd\r", &mut out);
+        assert_eq!(out, "a\nb\nc\nd\n");
+    }
+
+    #[test]
+    fn attr_normalization_whitespace_to_space() {
+        // §2.11 + §3.3.3: literal CRLF/CR/LF/TAB all become one space;
+        // character references keep their exact characters.
+        let mut out = String::new();
+        normalize_attr_into("a\r\nb\rc\nd\te", &mut out).unwrap();
+        assert_eq!(out, "a b c d e");
+        out.clear();
+        normalize_attr_into("x&#10;y&#9;z&#13;w&amp;v", &mut out).unwrap();
+        assert_eq!(out, "x\ny\tz\rw&v");
+        assert_eq!(
+            normalize_attr_into("a&bogus;b", &mut String::new()),
+            Err("bogus")
+        );
+    }
+
+    #[test]
+    fn normalize_unescape_combined() {
+        let mut out = String::new();
+        normalize_unescape_into("x\r\ny&amp;z\r", &mut out).unwrap();
+        assert_eq!(out, "x\ny&z\n");
+        // Character references are NOT normalized: &#13; stays a CR.
+        out.clear();
+        normalize_unescape_into("a&#13;b", &mut out).unwrap();
+        assert_eq!(out, "a\rb");
+        // CRLF split across an entity boundary is two separate characters,
+        // so the CR (literal) normalizes but the referenced LF stays.
+        out.clear();
+        normalize_unescape_into("a\r&#10;b", &mut out).unwrap();
+        assert_eq!(out, "a\n\nb");
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod writer;
 
 pub use error::{XmlError, XmlErrorKind, XmlResult};
 pub use pos::TextPos;
-pub use sym::{Symbol, SymbolTable};
-pub use token::{Attr, StartTag, Token};
+pub use sym::{FxBuildHasher, FxHasher, Symbol, SymbolTable};
+pub use token::{Attr, Attrs, StartTag, Token};
 pub use tokenizer::{Tokenizer, TokenizerOptions};
 pub use writer::{WriterOptions, XmlWriter};

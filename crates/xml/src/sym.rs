@@ -7,6 +7,48 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiply-xor hasher (the FxHash construction) for the interner's
+/// map. Interning runs once per start tag and attribute of the stream, so
+/// the default DoS-resistant SipHash is measurable overhead; XML names are
+/// a tiny closed alphabet, so collision resistance is irrelevant here.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_ne_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            self.add(u64::from_ne_bytes(tail) ^ bytes.len() as u64);
+        }
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// An interned XML name. Cheap to copy, compare and hash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,7 +74,7 @@ impl fmt::Display for Symbol {
 /// universe of names so the table stays tiny even for very large inputs.
 #[derive(Debug, Default)]
 pub struct SymbolTable {
-    map: HashMap<Box<str>, Symbol>,
+    map: HashMap<Box<str>, Symbol, FxBuildHasher>,
     names: Vec<Box<str>>,
 }
 

@@ -1,24 +1,106 @@
 //! Borrowed token types produced by the [`crate::Tokenizer`].
 
-use std::borrow::Cow;
-
-/// One attribute of a start tag. The value has entities already resolved.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One attribute of a start tag. The value has entities resolved and line
+/// endings normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Attr<'a> {
     /// Attribute name as written (no namespace processing).
     pub name: &'a str,
-    /// Attribute value with entities resolved; borrowed when no entity
-    /// occurred in the source.
-    pub value: Cow<'a, str>,
+    /// Attribute value with entities resolved; borrowed from the raw tag
+    /// when no rewriting occurred, from the tokenizer's value arena
+    /// otherwise.
+    pub value: &'a str,
 }
 
+/// Byte spans of one parsed attribute inside a start tag, relative to the
+/// tag body (tokenizer scratch; reused across tokens).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AttrSpan {
+    /// Name range in the tag body.
+    pub name: (u32, u32),
+    /// Raw value range in the tag body.
+    pub value: (u32, u32),
+    /// Range in the tokenizer's value arena when the raw value needed
+    /// entity resolution or line-ending normalization.
+    pub owned: Option<(u32, u32)>,
+}
+
+/// The attributes of a start tag: a zero-copy view into the tokenizer's
+/// reusable scratch buffers (no allocation per token).
+#[derive(Clone, Copy)]
+pub struct Attrs<'a> {
+    pub(crate) spans: &'a [AttrSpan],
+    /// The start tag's body (between `<` and `>`/`/>`).
+    pub(crate) body: &'a str,
+    /// Arena holding rewritten (unescaped/normalized) values.
+    pub(crate) arena: &'a str,
+}
+
+impl<'a> Attrs<'a> {
+    /// An empty attribute list (used for synthesized tags in tests).
+    pub const EMPTY: Attrs<'static> = Attrs {
+        spans: &[],
+        body: "",
+        arena: "",
+    };
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the tag has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th attribute, in document order.
+    pub fn get(&self, i: usize) -> Option<Attr<'a>> {
+        self.spans.get(i).map(|s| self.materialize(s))
+    }
+
+    /// Iterate the attributes in document order.
+    pub fn iter(&self) -> impl Iterator<Item = Attr<'a>> + '_ {
+        self.spans.iter().map(|s| self.materialize(s))
+    }
+
+    /// Value of the attribute named `name`, if present.
+    pub fn value_of(&self, name: &str) -> Option<&'a str> {
+        self.iter().find(|a| a.name == name).map(|a| a.value)
+    }
+
+    fn materialize(&self, s: &AttrSpan) -> Attr<'a> {
+        Attr {
+            name: &self.body[s.name.0 as usize..s.name.1 as usize],
+            value: match s.owned {
+                Some((lo, hi)) => &self.arena[lo as usize..hi as usize],
+                None => &self.body[s.value.0 as usize..s.value.1 as usize],
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Attrs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Attrs<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Attrs<'_> {}
+
 /// A start tag: name, attributes, and whether it was self-closing (`<a/>`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StartTag<'a> {
     /// Element name.
     pub name: &'a str,
     /// Attributes in document order.
-    pub attrs: Vec<Attr<'a>>,
+    pub attrs: Attrs<'a>,
     /// `true` for `<a/>`; the tokenizer does **not** synthesize a separate
     /// end token, consumers handle the flag.
     pub self_closing: bool,
@@ -26,7 +108,7 @@ pub struct StartTag<'a> {
 
 /// One XML token. Borrowed views into the tokenizer's internal buffer;
 /// valid until the next call to `next_token`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Token<'a> {
     /// `<name attr="v">` or `<name/>`.
     StartTag(StartTag<'a>),
@@ -35,10 +117,12 @@ pub enum Token<'a> {
         /// Element name.
         name: &'a str,
     },
-    /// Character data with entities resolved. CDATA sections also surface as
-    /// `Text` (verbatim). Consecutive runs are *not* merged across entity or
-    /// CDATA boundaries; consumers that need merged text concatenate.
-    Text(Cow<'a, str>),
+    /// Character data with entities resolved and line endings normalized
+    /// (XML 1.0 §2.11). CDATA sections also surface as `Text` (verbatim
+    /// except for line-ending normalization). Consecutive runs are *not*
+    /// merged across entity or CDATA boundaries; consumers that need merged
+    /// text concatenate.
+    Text(&'a str),
     /// `<!-- ... -->` (content between the delimiters).
     Comment(&'a str),
     /// `<?target data?>`. The XML declaration `<?xml ...?>` appears here too.
@@ -69,9 +153,17 @@ mod tests {
 
     #[test]
     fn structural_classification() {
-        assert!(Token::Text(Cow::Borrowed("x")).is_structural());
+        assert!(Token::Text("x").is_structural());
         assert!(Token::EndTag { name: "a" }.is_structural());
         assert!(!Token::Comment("c").is_structural());
         assert!(!Token::Doctype("d").is_structural());
+    }
+
+    #[test]
+    fn empty_attrs_view() {
+        assert_eq!(Attrs::EMPTY.len(), 0);
+        assert!(Attrs::EMPTY.is_empty());
+        assert!(Attrs::EMPTY.get(0).is_none());
+        assert_eq!(Attrs::EMPTY.value_of("x"), None);
     }
 }

@@ -6,12 +6,27 @@
 //! assembled plus unread lookahead). This is the token source of the GCX
 //! architecture: the stream preprojector calls [`Tokenizer::next_token`] once
 //! per `nextNode()` request chain.
+//!
+//! ## Allocation discipline
+//!
+//! The steady-state token loop performs **no heap allocation**: the
+//! well-formedness stack stores open names back-to-back in one reusable
+//! string arena, attribute spans live in a reusable scratch vector, and
+//! rewritten text/attribute values go into reusable arenas. All returned
+//! tokens borrow these buffers and are valid until the next call.
+//!
+//! ## Line endings and attribute whitespace
+//!
+//! Per XML 1.0 §2.11 the tokenizer normalizes `\r\n` and bare `\r` to `\n`
+//! in character data (including CDATA). Attribute values additionally get
+//! §3.3.3 attribute-value normalization: literal whitespace becomes a
+//! space (CDATA-type attributes — there is no DTD). Characters produced by
+//! character references (`&#13;`, `&#10;`, `&#9;`) are exempt, per spec.
 
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
-use crate::escape::unescape_into;
+use crate::escape::{normalize_attr_into, normalize_newlines_into, normalize_unescape_into};
 use crate::pos::TextPos;
-use crate::token::{Attr, StartTag, Token};
-use std::borrow::Cow;
+use crate::token::{AttrSpan, Attrs, StartTag, Token};
 use std::io::Read;
 
 const READ_CHUNK: usize = 64 * 1024;
@@ -47,11 +62,18 @@ pub struct Tokenizer<R> {
     src_eof: bool,
     pos: TextPos,
     opts: TokenizerOptions,
-    /// Open element names (well-formedness only).
-    stack: Vec<String>,
+    /// Open element names (well-formedness only): start offsets into
+    /// `stack_arena`, where names are stored back-to-back.
+    stack: Vec<u32>,
+    stack_arena: String,
     seen_root: bool,
-    /// Scratch for entity-unescaped text so we can lend it borrowed.
+    /// Scratch for rewritten (unescaped/normalized) text so we can lend it
+    /// borrowed.
     text_scratch: String,
+    /// Scratch for the current start tag's attribute spans.
+    attr_spans: Vec<AttrSpan>,
+    /// Arena for attribute values that needed rewriting.
+    attr_arena: String,
     /// Set once EOF has been fully validated and reported.
     done: bool,
 }
@@ -97,8 +119,11 @@ impl<R: Read> Tokenizer<R> {
             pos: TextPos::START,
             opts,
             stack: Vec::new(),
+            stack_arena: String::new(),
             seen_root: false,
             text_scratch: String::new(),
+            attr_spans: Vec::new(),
+            attr_arena: String::new(),
             done: false,
         }
     }
@@ -111,6 +136,22 @@ impl<R: Read> Tokenizer<R> {
     /// Depth of currently open elements (well-formedness checking only).
     pub fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    /// The open element names, outermost first (error reporting).
+    fn open_names(&self) -> Vec<String> {
+        self.stack
+            .iter()
+            .enumerate()
+            .map(|(i, &start)| {
+                let end = self
+                    .stack
+                    .get(i + 1)
+                    .map(|&e| e as usize)
+                    .unwrap_or(self.stack_arena.len());
+                self.stack_arena[start as usize..end].to_string()
+            })
+            .collect()
     }
 
     // ---- buffer management -------------------------------------------------
@@ -206,7 +247,7 @@ impl<R: Read> Tokenizer<R> {
             if self.opts.check_well_formed {
                 if !self.stack.is_empty() {
                     return Err(XmlError::new(
-                        XmlErrorKind::UnclosedElements(self.stack.clone()),
+                        XmlErrorKind::UnclosedElements(self.open_names()),
                         self.pos,
                     ));
                 }
@@ -251,24 +292,24 @@ impl<R: Read> Tokenizer<R> {
         {
             return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
         }
-        // Unescape into scratch if needed; lend borrowed otherwise.
-        let needs_unescape = raw.contains('&');
-        if needs_unescape {
+        // Entity resolution and line-ending normalization share one rewrite
+        // pass into the reusable scratch; clean runs are lent borrowed.
+        let needs_rewrite = raw.bytes().any(|b| b == b'&' || b == b'\r');
+        if needs_rewrite {
             self.text_scratch.clear();
-            let raw_owned_range = self.lo..self.lo + end; // defer slice re-borrow
-                                                          // Safety dance for the borrow checker: re-slice after the range.
-            let raw2 = std::str::from_utf8(&self.buf[raw_owned_range]).unwrap();
-            if let Err(entity) = unescape_into(raw2, &mut self.text_scratch) {
+            let raw_range = self.lo..self.lo + end; // defer slice re-borrow
+            let raw2 = revalidated(&self.buf[raw_range]);
+            if let Err(entity) = normalize_unescape_into(raw2, &mut self.text_scratch) {
                 let entity = entity.to_string();
                 return Err(XmlError::new(XmlErrorKind::BadEntity(entity), start_pos));
             }
         }
         self.consume(end);
-        if needs_unescape {
-            Ok(Some(Token::Text(Cow::Borrowed(&self.text_scratch))))
+        if needs_rewrite {
+            Ok(Some(Token::Text(&self.text_scratch)))
         } else {
-            let s = std::str::from_utf8(&self.buf[self.lo - end..self.lo]).unwrap();
-            Ok(Some(Token::Text(Cow::Borrowed(s))))
+            let s = revalidated(&self.buf[self.lo - end..self.lo]);
+            Ok(Some(Token::Text(s)))
         }
     }
 
@@ -306,7 +347,7 @@ impl<R: Read> Tokenizer<R> {
                 let content = check_utf8(&self.buf[self.lo + 4..self.lo + end], start_pos)?;
                 let _ = content;
                 self.consume(total);
-                let s = std::str::from_utf8(&self.buf[self.lo - total + 4..self.lo - 3]).unwrap();
+                let s = revalidated(&self.buf[self.lo - total + 4..self.lo - 3]);
                 Ok(Some(Token::Comment(s)))
             }
             MarkupKind::CData => {
@@ -314,16 +355,28 @@ impl<R: Read> Tokenizer<R> {
                     .find(9, b"]]>")?
                     .ok_or_else(|| self.err_eof("CDATA section"))?;
                 let total = end + 3;
-                check_utf8(&self.buf[self.lo + 9..self.lo + end], start_pos)?;
+                let raw = check_utf8(&self.buf[self.lo + 9..self.lo + end], start_pos)?;
+                let needs_rewrite = raw.bytes().any(|b| b == b'\r');
                 if self.opts.check_well_formed
                     && !self.opts.allow_fragments
                     && self.stack.is_empty()
                 {
                     return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
                 }
+                if needs_rewrite {
+                    // §2.11 applies inside CDATA too (no entity processing).
+                    self.text_scratch.clear();
+                    let raw_range = self.lo + 9..self.lo + end;
+                    let raw2 = revalidated(&self.buf[raw_range]);
+                    normalize_newlines_into(raw2, &mut self.text_scratch);
+                }
                 self.consume(total);
-                let s = std::str::from_utf8(&self.buf[self.lo - total + 9..self.lo - 3]).unwrap();
-                Ok(Some(Token::Text(Cow::Borrowed(s))))
+                if needs_rewrite {
+                    Ok(Some(Token::Text(&self.text_scratch)))
+                } else {
+                    let s = revalidated(&self.buf[self.lo - total + 9..self.lo - 3]);
+                    Ok(Some(Token::Text(s)))
+                }
             }
             MarkupKind::Doctype => {
                 // Scan for '>' at zero square-bracket depth (internal subset).
@@ -331,7 +384,7 @@ impl<R: Read> Tokenizer<R> {
                 let total = end + 1;
                 check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
                 self.consume(total);
-                let s = std::str::from_utf8(&self.buf[self.lo - total + 2..self.lo - 1]).unwrap();
+                let s = revalidated(&self.buf[self.lo - total + 2..self.lo - 1]);
                 Ok(Some(Token::Doctype(s)))
             }
             MarkupKind::Pi => {
@@ -357,8 +410,7 @@ impl<R: Read> Tokenizer<R> {
                     .map(|(i, _)| target_len + i)
                     .unwrap_or(body.len());
                 self.consume(total);
-                let body =
-                    std::str::from_utf8(&self.buf[self.lo - total + 2..self.lo - 2]).unwrap();
+                let body = revalidated(&self.buf[self.lo - total + 2..self.lo - 2]);
                 Ok(Some(Token::ProcessingInstruction {
                     target: &body[..target_len],
                     data: &body[data_off..],
@@ -377,21 +429,24 @@ impl<R: Read> Tokenizer<R> {
                                 start_pos,
                             ))
                         }
-                        Some(open) if open != name => {
-                            return Err(XmlError::new(
-                                XmlErrorKind::MismatchedTag {
-                                    expected: open,
-                                    found: name.to_string(),
-                                },
-                                start_pos,
-                            ))
+                        Some(open_start) => {
+                            let open = &self.stack_arena[open_start as usize..];
+                            if open != name {
+                                return Err(XmlError::new(
+                                    XmlErrorKind::MismatchedTag {
+                                        expected: open.to_string(),
+                                        found: name.to_string(),
+                                    },
+                                    start_pos,
+                                ));
+                            }
+                            self.stack_arena.truncate(open_start as usize);
                         }
-                        Some(_) => {}
                     }
                 }
                 let name_rel = {
                     // Name position inside the markup for re-borrowing below.
-                    let body = std::str::from_utf8(&self.buf[self.lo + 2..self.lo + end]).unwrap();
+                    let body = revalidated(&self.buf[self.lo + 2..self.lo + end]);
                     let lead = body.len() - body.trim_start().len();
                     (2 + lead, 2 + lead + name.len())
                 };
@@ -427,6 +482,8 @@ impl<R: Read> Tokenizer<R> {
     }
 
     /// Find the '>' ending a start tag, skipping quoted attribute values.
+    /// Both the unquoted scan (for `" ' > <`) and the in-quote scan (for
+    /// the close quote) run word-at-a-time.
     fn find_tag_end(&mut self) -> XmlResult<usize> {
         let mut i = 1;
         let mut quote: Option<u8> = None;
@@ -436,23 +493,44 @@ impl<R: Read> Tokenizer<R> {
                     return Err(self.err_eof("start tag"));
                 }
             }
-            let b = self.buf[self.lo + i];
             match quote {
                 Some(q) => {
-                    if b == q {
-                        quote = None;
+                    // Inside a quoted value: skip straight to the close quote.
+                    let hay = &self.buf[self.lo + i..self.hi];
+                    match memchr1(q, hay) {
+                        Some(p) => {
+                            i += p + 1;
+                            quote = None;
+                            continue;
+                        }
+                        None => {
+                            i = self.avail();
+                            continue;
+                        }
                     }
                 }
-                None => match b {
-                    b'"' | b'\'' => quote = Some(b),
-                    b'>' => return Ok(i),
-                    b'<' => {
-                        return Err(XmlError::syntax("'<' inside tag", self.pos));
+                None => match memchr_tag_delim(&self.buf[self.lo + i..self.hi]) {
+                    Some(p) => {
+                        i += p;
+                        match self.buf[self.lo + i] {
+                            b'"' | b'\'' => {
+                                quote = Some(self.buf[self.lo + i]);
+                                i += 1;
+                            }
+                            b'>' => return Ok(i),
+                            _ => {
+                                debug_assert_eq!(self.buf[self.lo + i], b'<');
+                                return Err(XmlError::syntax("'<' inside tag", self.pos));
+                            }
+                        }
+                        continue;
                     }
-                    _ => {}
+                    None => {
+                        i = self.avail();
+                        continue;
+                    }
                 },
             }
-            i += 1;
         }
     }
 
@@ -483,14 +561,10 @@ impl<R: Read> Tokenizer<R> {
         let name = &inner[..name_len];
         validate_name(name, start_pos)?;
 
-        // Parse attributes: (name_range, value_range, value_needs_unescape).
-        // Ranges are relative to `inner`.
-        struct RawAttr {
-            name: (usize, usize),
-            value: (usize, usize),
-            owned: Option<String>,
-        }
-        let mut raw_attrs: Vec<RawAttr> = Vec::new();
+        // Parse attributes into the reusable span scratch. Spans are
+        // relative to `inner`; rewritten values go into the reusable arena.
+        self.attr_spans.clear();
+        self.attr_arena.clear();
         let bytes = inner.as_bytes();
         let mut i = name_len;
         loop {
@@ -529,45 +603,49 @@ impl<R: Read> Tokenizer<R> {
             let q = bytes[i];
             i += 1;
             let av_start = i;
-            while i < bytes.len() && bytes[i] != q {
-                i += 1;
-            }
-            if i >= bytes.len() {
-                return Err(XmlError::syntax("unterminated attribute value", start_pos));
+            match memchr1(q, &bytes[i..]) {
+                Some(p) => i += p,
+                None => {
+                    return Err(XmlError::syntax("unterminated attribute value", start_pos));
+                }
             }
             let av_end = i;
             i += 1; // closing quote
             let raw_val = &inner[av_start..av_end];
-            let owned = if raw_val.contains('&') {
-                let mut s = String::with_capacity(raw_val.len());
-                if let Err(entity) = unescape_into(raw_val, &mut s) {
+            // Attribute values additionally get §3.3.3 normalization
+            // (literal whitespace → space); see `normalize_attr_into`.
+            let needs_rewrite = raw_val
+                .bytes()
+                .any(|b| matches!(b, b'&' | b'\r' | b'\n' | b'\t'));
+            let owned = if needs_rewrite {
+                let arena_start = self.attr_arena.len() as u32;
+                if let Err(entity) = normalize_attr_into(raw_val, &mut self.attr_arena) {
                     return Err(XmlError::new(
                         XmlErrorKind::BadEntity(entity.to_string()),
                         start_pos,
                     ));
                 }
-                Some(s)
+                Some((arena_start, self.attr_arena.len() as u32))
             } else {
                 None
             };
-            raw_attrs.push(RawAttr {
-                name: (an_start, an_end),
-                value: (av_start, av_end),
+            self.attr_spans.push(AttrSpan {
+                name: (an_start as u32, an_end as u32),
+                value: (av_start as u32, av_end as u32),
                 owned,
             });
         }
 
         // Duplicate attribute check (well-formedness constraint).
         if self.opts.check_well_formed {
-            for a in 1..raw_attrs.len() {
+            for a in 1..self.attr_spans.len() {
                 for b in 0..a {
-                    if inner[raw_attrs[a].name.0..raw_attrs[a].name.1]
-                        == inner[raw_attrs[b].name.0..raw_attrs[b].name.1]
-                    {
+                    let (an, bn) = (self.attr_spans[a].name, self.attr_spans[b].name);
+                    if inner[an.0 as usize..an.1 as usize] == inner[bn.0 as usize..bn.1 as usize] {
                         return Err(XmlError::syntax(
                             format!(
                                 "duplicate attribute `{}`",
-                                &inner[raw_attrs[a].name.0..raw_attrs[a].name.1]
+                                &inner[an.0 as usize..an.1 as usize]
                             ),
                             start_pos,
                         ));
@@ -585,7 +663,8 @@ impl<R: Read> Tokenizer<R> {
                 self.seen_root = true;
             }
             if !self_closing {
-                self.stack.push(name.to_string());
+                self.stack.push(self.stack_arena.len() as u32);
+                self.stack_arena.push_str(name);
             }
         }
 
@@ -594,40 +673,160 @@ impl<R: Read> Tokenizer<R> {
         // Re-borrow `inner` from the (now-consumed) window to build the token.
         let base = self.lo - total + 1;
         let inner_len = end - 1 - usize::from(self_closing);
-        let inner2 = std::str::from_utf8(&self.buf[base..base + inner_len]).unwrap();
+        let inner2 = revalidated(&self.buf[base..base + inner_len]);
         let name2 = &inner2[..name_len];
-        let attrs = raw_attrs
-            .into_iter()
-            .map(|ra| Attr {
-                name: &inner2[ra.name.0..ra.name.1],
-                value: match ra.owned {
-                    Some(s) => Cow::Owned(s),
-                    None => Cow::Borrowed(&inner2[ra.value.0..ra.value.1]),
-                },
-            })
-            .collect();
         Ok(Some(Token::StartTag(StartTag {
             name: name2,
-            attrs,
+            attrs: Attrs {
+                spans: &self.attr_spans,
+                body: inner2,
+                arena: &self.attr_arena,
+            },
             self_closing,
         })))
     }
 }
 
-/// Naive substring search; needles here are ≤ 3 bytes so this is optimal.
-fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
-    if needle.len() == 1 {
-        return hay.iter().position(|&b| b == needle[0]);
+const LANES: usize = std::mem::size_of::<usize>();
+const LSB: usize = usize::from_ne_bytes([0x01; LANES]);
+const MSB: usize = usize::from_ne_bytes([0x80; LANES]);
+
+/// Load a word so its least significant byte is the FIRST byte in memory
+/// (a byte swap on big-endian targets, free on little-endian). The
+/// zero-byte detector `(x - LSB) & !x & MSB` can set false-positive bits
+/// in lanes *above* the first true match (borrow propagation), so the
+/// first-match lane must always be extracted from the low end with
+/// `trailing_zeros` — which requires this memory ordering.
+#[inline]
+fn load_le(bytes: &[u8]) -> usize {
+    usize::from_ne_bytes(bytes[..LANES].try_into().unwrap()).to_le()
+}
+
+/// SWAR single-byte search: scans one machine word at a time using the
+/// classic zero-byte detector, with a scalar tail. This is the accelerated
+/// scanner behind [`find_sub`]; the text/markup boundary scans of large
+/// documents spend most of their time here.
+#[inline]
+pub(crate) fn memchr1(needle: u8, hay: &[u8]) -> Option<usize> {
+    let broadcast = usize::from_ne_bytes([needle; LANES]);
+    let mut i = 0;
+    while i + LANES <= hay.len() {
+        let x = load_le(&hay[i..]) ^ broadcast;
+        let found = x.wrapping_sub(LSB) & !x & MSB;
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += LANES;
     }
-    hay.windows(needle.len()).position(|w| w == needle)
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// SWAR scan for the first start-tag delimiter: `"`, `'`, `>` or `<`.
+/// Four zero-byte detectors per word still beat a byte loop by a wide
+/// margin; start tags are delimiter-sparse.
+#[inline]
+fn memchr_tag_delim(hay: &[u8]) -> Option<usize> {
+    #[inline]
+    fn zero_detect(word: usize, broadcast: usize) -> usize {
+        let x = word ^ broadcast;
+        x.wrapping_sub(LSB) & !x & MSB
+    }
+    const DQ: usize = usize::from_ne_bytes([b'"'; LANES]);
+    const SQ: usize = usize::from_ne_bytes([b'\''; LANES]);
+    const GT: usize = usize::from_ne_bytes([b'>'; LANES]);
+    const LT: usize = usize::from_ne_bytes([b'<'; LANES]);
+    let mut i = 0;
+    while i + LANES <= hay.len() {
+        let word = load_le(&hay[i..]);
+        let found = zero_detect(word, DQ)
+            | zero_detect(word, SQ)
+            | zero_detect(word, GT)
+            | zero_detect(word, LT);
+        if found != 0 {
+            // Each detector is exact below its own first true match, so the
+            // lowest set lane of the OR is the earliest true delimiter.
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += LANES;
+    }
+    hay[i..]
+        .iter()
+        .position(|&b| matches!(b, b'"' | b'\'' | b'>' | b'<'))
+        .map(|p| i + p)
+}
+
+/// Substring search: SWAR scan for the first needle byte, then verify the
+/// remainder. Needles here are ≤ 3 bytes, so verification is trivial.
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    debug_assert!(!needle.is_empty());
+    if needle.len() == 1 {
+        return memchr1(needle[0], hay);
+    }
+    let mut from = 0;
+    while from + needle.len() <= hay.len() {
+        let i = from + memchr1(needle[0], &hay[from..=hay.len() - needle.len()])?;
+        if &hay[i..i + needle.len()] == needle {
+            return Some(i);
+        }
+        from = i + 1;
+    }
+    None
 }
 
 fn check_utf8(bytes: &[u8], pos: TextPos) -> XmlResult<&str> {
     std::str::from_utf8(bytes).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))
 }
 
+/// Re-borrow bytes that were already UTF-8 validated this call (tokens are
+/// built after `consume`, which ends the first borrow). Skipping the second
+/// validation saves a full pass over every token's bytes.
+#[inline]
+fn revalidated(bytes: &[u8]) -> &str {
+    debug_assert!(std::str::from_utf8(bytes).is_ok());
+    // SAFETY: every call site validated exactly these bytes via
+    // `check_utf8`/`from_utf8` earlier in the same function.
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+/// Byte classes for the ASCII fast path of [`validate_name`]: bit 0 = valid
+/// name start, bit 1 = valid name continuation. Non-ASCII bytes take the
+/// slow (char-based) path.
+static NAME_CLASS: [u8; 128] = {
+    let mut t = [0u8; 128];
+    let mut b = 0usize;
+    while b < 128 {
+        let c = b as u8;
+        let alpha = c.is_ascii_alphabetic();
+        if alpha || c == b'_' || c == b':' {
+            t[b] |= 0b01;
+        }
+        if alpha || c.is_ascii_digit() || matches!(c, b'_' | b':' | b'-' | b'.') {
+            t[b] |= 0b10;
+        }
+        b += 1;
+    }
+    t
+};
+
 /// Validate an XML name (element or attribute). Namespace colons allowed.
+/// Runs per tag: ASCII names (the overwhelmingly common case) validate via
+/// one table lookup per byte, no char decoding.
 fn validate_name(name: &str, pos: TextPos) -> XmlResult<()> {
+    let bytes = name.as_bytes();
+    if bytes.is_empty() {
+        return Err(XmlError::syntax("empty name", pos));
+    }
+    if name.is_ascii() {
+        let first_ok = NAME_CLASS[bytes[0] as usize] & 0b01 != 0;
+        if first_ok
+            && bytes[1..]
+                .iter()
+                .all(|&b| NAME_CLASS[b as usize] & 0b10 != 0)
+        {
+            return Ok(());
+        }
+        return Err(XmlError::syntax(format!("invalid name `{name}`"), pos));
+    }
     let mut chars = name.chars();
     let ok_first = |c: char| c.is_alphabetic() || c == '_' || c == ':' || !c.is_ascii();
     let ok_rest =
@@ -711,10 +910,11 @@ mod tests {
         match t.next_token().unwrap().unwrap() {
             Token::StartTag(s) => {
                 assert_eq!(s.attrs.len(), 3);
-                assert_eq!(s.attrs[0].name, "x");
-                assert_eq!(s.attrs[0].value, "1");
-                assert_eq!(s.attrs[1].value, "two");
-                assert_eq!(s.attrs[2].value, "3");
+                assert_eq!(s.attrs.get(0).unwrap().name, "x");
+                assert_eq!(s.attrs.get(0).unwrap().value, "1");
+                assert_eq!(s.attrs.get(1).unwrap().value, "two");
+                assert_eq!(s.attrs.get(2).unwrap().value, "3");
+                assert_eq!(s.attrs.value_of("y"), Some("two"));
             }
             other => panic!("{other:?}"),
         }
@@ -724,7 +924,7 @@ mod tests {
     fn attribute_entities_resolved() {
         let mut t = Tokenizer::from_str(r#"<a x="a&amp;b&lt;c"/>"#);
         match t.next_token().unwrap().unwrap() {
-            Token::StartTag(s) => assert_eq!(s.attrs[0].value, "a&b<c"),
+            Token::StartTag(s) => assert_eq!(s.attrs.get(0).unwrap().value, "a&b<c"),
             other => panic!("{other:?}"),
         }
     }
@@ -733,7 +933,7 @@ mod tests {
     fn gt_inside_attribute_value() {
         let mut t = Tokenizer::from_str(r#"<a x="1>2">t</a>"#);
         match t.next_token().unwrap().unwrap() {
-            Token::StartTag(s) => assert_eq!(s.attrs[0].value, "1>2"),
+            Token::StartTag(s) => assert_eq!(s.attrs.get(0).unwrap().value, "1>2"),
             other => panic!("{other:?}"),
         }
     }
@@ -815,7 +1015,10 @@ mod tests {
         t.next_token().unwrap();
         t.next_token().unwrap();
         let err = t.next_token().unwrap_err();
-        assert!(matches!(err.kind, K::UnclosedElements(_)));
+        match err.kind {
+            K::UnclosedElements(names) => assert_eq!(names, ["a", "b"]),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -963,6 +1166,102 @@ mod tests {
         t.next_token().unwrap();
         match t.next_token().unwrap().unwrap() {
             Token::Text(s) => assert_eq!(s.len(), 300_000),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memchr1_matches_naive_search() {
+        let hay: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        for needle in [0u8, 1, 7, 250, 251, 255] {
+            assert_eq!(
+                memchr1(needle, &hay),
+                hay.iter().position(|&b| b == needle),
+                "needle {needle}"
+            );
+        }
+        // Every offset/alignment of a small window.
+        let hay = b"abcdefghijklmnopqrstuvwxyz<1234567890";
+        for start in 0..hay.len() {
+            assert_eq!(
+                memchr1(b'<', &hay[start..]),
+                hay[start..].iter().position(|&b| b == b'<')
+            );
+        }
+        assert_eq!(memchr1(b'x', b""), None);
+        // Borrow false-positive construction: '=' (0x3D == '<' ^ 0x01)
+        // directly before the true match inside one word can flip its own
+        // lane in the zero detector; the match extraction must still report
+        // the '<'. (This is the case that breaks if the first-match lane is
+        // read from the wrong end; see `load_le`.)
+        let hay = b"aaaaaa=<bbbbbbbb";
+        for start in 0..8 {
+            assert_eq!(
+                memchr1(b'<', &hay[start..]),
+                hay[start..].iter().position(|&b| b == b'<'),
+                "start {start}"
+            );
+        }
+        assert_eq!(memchr_tag_delim(b"aaaaaa=<bbbbbbbb"), Some(7));
+        assert_eq!(memchr_tag_delim(b"aaaaaa!\"bbbbbbbb"), Some(7));
+    }
+
+    #[test]
+    fn crlf_normalized_in_text() {
+        let mut t = Tokenizer::from_str("<a>line1\r\nline2\rline3\nline4</a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Text(s) => assert_eq!(s, "line1\nline2\nline3\nline4"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_normalized_in_attributes() {
+        // §2.11 (CRLF/CR → LF) composed with §3.3.3 (literal whitespace →
+        // space, for CDATA-type attributes): conformant parsers report
+        // spaces here.
+        let mut t = Tokenizer::from_str("<a x=\"v1\r\nv2\rv3\" y=\"a\nb\tc\"/>");
+        match t.next_token().unwrap().unwrap() {
+            Token::StartTag(s) => {
+                assert_eq!(s.attrs.get(0).unwrap().value, "v1 v2 v3");
+                assert_eq!(s.attrs.get(1).unwrap().value, "a b c");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_normalized_in_cdata() {
+        let mut t = Tokenizer::from_str("<a><![CDATA[x\r\ny\rz]]></a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Text(s) => assert_eq!(s, "x\ny\nz"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn character_reference_cr_survives_normalization() {
+        // &#13; is a character reference, exempt from §2.11 normalization.
+        let mut t = Tokenizer::from_str("<a>x&#13;y</a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Text(s) => assert_eq!(s, "x\ry"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_between_markup_normalized() {
+        assert_eq!(
+            kinds("<a>\r\n<b/>\r\n</a>"),
+            ["start", "text", "start", "text", "end"]
+        );
+        let mut t = Tokenizer::from_str("<a>\r\n<b/></a>");
+        t.next_token().unwrap();
+        match t.next_token().unwrap().unwrap() {
+            Token::Text(s) => assert_eq!(s, "\n"),
             other => panic!("{other:?}"),
         }
     }

@@ -5,9 +5,14 @@
 //! like input. The writer tracks open elements, escapes automatically, and
 //! can optionally pretty-print (used by the examples; benchmarks write
 //! compact output).
+//!
+//! Like the tokenizer, the writer's steady-state path is allocation-free:
+//! open element names live back-to-back in one reusable string arena, and
+//! escaping writes directly to the sink (runs of clean bytes interleaved
+//! with entity strings) instead of materializing escaped copies.
 
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
-use crate::escape::{escape_attr, escape_text};
+use crate::escape::{escape_entity, first_escape_byte};
 use std::io::Write;
 
 /// Serializer configuration.
@@ -29,14 +34,37 @@ struct Content {
 pub struct XmlWriter<W> {
     sink: W,
     opts: WriterOptions,
-    /// Open element names and their content state, for auto-closing,
-    /// misuse detection, and pretty-print layout.
-    stack: Vec<(String, Content)>,
+    /// Open elements: start offset of the name in `name_arena` plus the
+    /// content state, for auto-closing, misuse detection and layout.
+    stack: Vec<(u32, Content)>,
+    /// Open element names, stored back-to-back (no per-element allocation).
+    name_arena: String,
     /// True when the current element's start tag is still open (`<a` written,
     /// `>` pending) so attributes can still be added.
     tag_open: bool,
     /// Bytes written so far (cheap output-size metric for benchmarks).
     bytes_written: u64,
+}
+
+/// Write `s` to the sink, maintaining the byte counter. A free function so
+/// callers can hold borrows of other `XmlWriter` fields (e.g. the name
+/// arena) across the call.
+fn put<W: Write>(sink: &mut W, counter: &mut u64, s: &str) -> XmlResult<()> {
+    sink.write_all(s.as_bytes())?;
+    *counter += s.len() as u64;
+    Ok(())
+}
+
+/// Write `s` with escaping, directly to the sink: clean runs verbatim,
+/// escapable bytes as entities. No intermediate allocation.
+fn put_escaped<W: Write>(sink: &mut W, counter: &mut u64, s: &str, attr: bool) -> XmlResult<()> {
+    let mut from = 0;
+    while let Some(i) = first_escape_byte(s, from, attr) {
+        put(sink, counter, &s[from..i])?;
+        put(sink, counter, escape_entity(s.as_bytes()[i]))?;
+        from = i + 1;
+    }
+    put(sink, counter, &s[from..])
 }
 
 impl<W: Write> XmlWriter<W> {
@@ -51,6 +79,7 @@ impl<W: Write> XmlWriter<W> {
             sink,
             opts,
             stack: Vec::new(),
+            name_arena: String::new(),
             tag_open: false,
             bytes_written: 0,
         }
@@ -66,6 +95,22 @@ impl<W: Write> XmlWriter<W> {
         self.stack.len()
     }
 
+    /// The open element names, outermost first (error reporting).
+    fn open_names(&self) -> Vec<&str> {
+        self.stack
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, _))| {
+                let end = self
+                    .stack
+                    .get(i + 1)
+                    .map(|&(e, _)| e as usize)
+                    .unwrap_or(self.name_arena.len());
+                &self.name_arena[start as usize..end]
+            })
+            .collect()
+    }
+
     /// Consume the writer, returning the sink. Fails if elements are open.
     pub fn finish(mut self) -> XmlResult<W> {
         if !self.stack.is_empty() {
@@ -73,11 +118,7 @@ impl<W: Write> XmlWriter<W> {
                 XmlErrorKind::WriterMisuse(format!(
                     "finish() with {} open element(s): {}",
                     self.stack.len(),
-                    self.stack
-                        .iter()
-                        .map(|(n, _)| n.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    self.open_names().join(", ")
                 )),
                 crate::TextPos::START,
             ));
@@ -93,9 +134,7 @@ impl<W: Write> XmlWriter<W> {
     }
 
     fn raw(&mut self, s: &str) -> XmlResult<()> {
-        self.sink.write_all(s.as_bytes())?;
-        self.bytes_written += s.len() as u64;
-        Ok(())
+        put(&mut self.sink, &mut self.bytes_written, s)
     }
 
     /// Close a pending start tag (write `>`), if any.
@@ -108,10 +147,10 @@ impl<W: Write> XmlWriter<W> {
     }
 
     fn newline_indent(&mut self, depth: usize) -> XmlResult<()> {
-        if let Some(ind) = self.opts.indent.clone() {
-            self.raw("\n")?;
+        if let Some(ind) = self.opts.indent.as_deref() {
+            put(&mut self.sink, &mut self.bytes_written, "\n")?;
             for _ in 0..depth {
-                self.raw(&ind)?;
+                put(&mut self.sink, &mut self.bytes_written, ind)?;
             }
         }
         Ok(())
@@ -128,7 +167,9 @@ impl<W: Write> XmlWriter<W> {
         }
         self.raw("<")?;
         self.raw(name)?;
-        self.stack.push((name.to_string(), Content::default()));
+        self.stack
+            .push((self.name_arena.len() as u32, Content::default()));
+        self.name_arena.push_str(name);
         self.tag_open = true;
         Ok(())
     }
@@ -144,15 +185,14 @@ impl<W: Write> XmlWriter<W> {
         self.raw(" ")?;
         self.raw(name)?;
         self.raw("=\"")?;
-        let v = escape_attr(value);
-        self.raw(&v)?;
+        put_escaped(&mut self.sink, &mut self.bytes_written, value, true)?;
         self.raw("\"")
     }
 
     /// Close the most recently opened element. Collapses `<a></a>` to `<a/>`
     /// when nothing was written inside it.
     pub fn end_element(&mut self) -> XmlResult<()> {
-        let (name, content) = self.stack.pop().ok_or_else(|| {
+        let (name_start, content) = self.stack.pop().ok_or_else(|| {
             XmlError::new(
                 XmlErrorKind::WriterMisuse("end_element() with no open element".into()),
                 crate::TextPos::START,
@@ -167,10 +207,12 @@ impl<W: Write> XmlWriter<W> {
             if content.wrote_element && !content.wrote_text && self.opts.indent.is_some() {
                 self.newline_indent(self.stack.len())?;
             }
-            self.raw("</")?;
-            self.raw(&name)?;
-            self.raw(">")?;
+            put(&mut self.sink, &mut self.bytes_written, "</")?;
+            let name = &self.name_arena[name_start as usize..];
+            put(&mut self.sink, &mut self.bytes_written, name)?;
+            put(&mut self.sink, &mut self.bytes_written, ">")?;
         }
+        self.name_arena.truncate(name_start as usize);
         Ok(())
     }
 
@@ -183,8 +225,7 @@ impl<W: Write> XmlWriter<W> {
         if let Some((_, c)) = self.stack.last_mut() {
             c.wrote_text = true;
         }
-        let escaped = escape_text(content);
-        self.raw(&escaped)
+        put_escaped(&mut self.sink, &mut self.bytes_written, content, false)
     }
 
     /// Write a comment.
@@ -251,6 +292,17 @@ mod tests {
     }
 
     #[test]
+    fn carriage_returns_escaped() {
+        let out = build(|w| {
+            w.start_element("a").unwrap();
+            w.attribute("x", "v\r1").unwrap();
+            w.text("t\r2").unwrap();
+            w.end_element().unwrap();
+        });
+        assert_eq!(out, "<a x=\"v&#13;1\">t&#13;2</a>");
+    }
+
+    #[test]
     fn attribute_outside_tag_is_misuse() {
         let mut w = XmlWriter::new(Vec::new());
         w.start_element("a").unwrap();
@@ -268,8 +320,11 @@ mod tests {
     #[test]
     fn finish_with_open_elements_is_misuse() {
         let mut w = XmlWriter::new(Vec::new());
-        w.start_element("a").unwrap();
-        assert!(w.finish().is_err());
+        w.start_element("outer").unwrap();
+        w.start_element("inner").unwrap();
+        let err = w.finish().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("outer, inner"), "{msg}");
     }
 
     #[test]
@@ -297,6 +352,19 @@ mod tests {
         w.start_element("ab").unwrap();
         w.end_element().unwrap();
         assert_eq!(w.bytes_written(), 5); // `<ab/>`
+    }
+
+    #[test]
+    fn deep_nesting_reuses_arena() {
+        let mut w = XmlWriter::new(Vec::new());
+        for _ in 0..200_000 {
+            w.start_element("d").unwrap();
+        }
+        for _ in 0..200_000 {
+            w.end_element().unwrap();
+        }
+        let out = w.finish().unwrap();
+        assert!(out.starts_with(b"<d><d>"));
     }
 
     #[test]

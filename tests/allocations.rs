@@ -1,0 +1,132 @@
+//! Allocation-discipline assertions for the hot path, built on the
+//! `gcx-memtrack` global allocator's event counter.
+//!
+//! The claim under test: after warm-up, the token→buffer path — tokenizer,
+//! projection NFA, buffer append/purge — performs **O(1) allocations
+//! total**, i.e. ≈ 0 per token. The test measures the same pipeline over a
+//! document and over one twice its size; the fixed setup cost cancels and
+//! the difference bounds the steady-state allocation rate.
+//!
+//! Everything runs inside a single `#[test]` because the allocator's
+//! counters are process-global — parallel test threads would pollute the
+//! deltas.
+
+use gcx::core::buffer::{AttrBuf, BufferTree, NodeId, Ordinals};
+use gcx::core::stream::Preprojector;
+use gcx::projection::{analyze, CompiledPaths, StreamMatcher};
+use gcx::query::ast::RoleId;
+use gcx::xml::{SymbolTable, Tokenizer};
+
+#[global_allocator]
+static ALLOC: gcx::memtrack::TrackingAllocator = gcx::memtrack::TrackingAllocator::new();
+
+/// An XMark-ish flat document: `items` repeated item elements.
+fn item_doc(items: usize) -> String {
+    let mut s = String::with_capacity(items * 64 + 16);
+    s.push_str("<site>");
+    for i in 0..items {
+        s.push_str(&format!(
+            "<item id=\"i{}\"><name>n{}</name><price>{}</price></item>",
+            i,
+            i,
+            i % 97
+        ));
+    }
+    s.push_str("</site>");
+    s
+}
+
+/// Allocation events consumed by a full tokenizer validation pass.
+fn tokenize_allocs(doc: &str) -> u64 {
+    let before = gcx::memtrack::total_allocs();
+    let mut t = Tokenizer::from_str(doc);
+    t.validate_to_end().unwrap();
+    gcx::memtrack::total_allocs() - before
+}
+
+/// Allocation events consumed by a full preprojector pass (tokenizer +
+/// projection NFA + buffer appends and purges). The query's projection
+/// path keeps every `item` speculatively and purges it at its end tag —
+/// the steady-state append/purge cycle.
+fn preproject_allocs(doc: &str) -> u64 {
+    let before = gcx::memtrack::total_allocs();
+    let q = gcx::query::compile("for $a in /site/item/zzz return 'x'").unwrap();
+    let a = analyze(&q);
+    let mut symbols = SymbolTable::new();
+    let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
+    let (matcher, _) = StreamMatcher::new(compiled);
+    let mut buf = BufferTree::new(true);
+    let mut pre = Preprojector::new(Tokenizer::from_str(doc), matcher, true, None);
+    while pre.advance(&mut buf, &mut symbols).unwrap() {}
+    assert_eq!(buf.stats().live, 0, "speculative items must all purge");
+    assert!(buf.stats().purged as usize >= doc.matches("<item").count());
+    gcx::memtrack::total_allocs() - before
+}
+
+#[test]
+fn steady_state_token_loop_allocates_o1() {
+    // Build both documents up front so their construction cost is not
+    // measured.
+    let small = item_doc(2_000);
+    let large = item_doc(4_000);
+
+    // Warm up (first-touch effects like lazy statics).
+    tokenize_allocs(&small);
+    preproject_allocs(&small);
+
+    // Tokenizer alone: doubling the input must not increase allocations
+    // beyond a constant (window management is size-independent).
+    let t_small = tokenize_allocs(&small);
+    let t_large = tokenize_allocs(&large);
+    assert!(
+        t_large <= t_small + 64,
+        "tokenizer steady state must be allocation-free: \
+         {t_small} allocs for {} tokens vs {t_large} for twice as many",
+        2_000 * 8 + 2
+    );
+
+    // Tokenizer + NFA + buffer append/purge: same bound. 2k extra items ×
+    // (1 element appended and purged + 2 subtrees skipped) ≈ 0 allocations.
+    let p_small = preproject_allocs(&small);
+    let p_large = preproject_allocs(&large);
+    assert!(
+        p_large <= p_small + 64,
+        "preprojector steady state must be allocation-free: \
+         {p_small} allocs vs {p_large} for twice the document"
+    );
+
+    // Direct buffer churn: append (with attributes, roles and text),
+    // close, sign off, purge — after warm-up the pools absorb everything.
+    let mut symbols = SymbolTable::new();
+    let item = symbols.intern("item");
+    let id_attr = symbols.intern("id");
+    let role = RoleId(3);
+    let mut buf = BufferTree::new(true);
+    let mut attrs = AttrBuf::new();
+    let cycle = |buf: &mut BufferTree, attrs: &mut AttrBuf| {
+        attrs.clear();
+        attrs.push(id_attr, "person0");
+        let n =
+            buf.append_element_with_attrs(NodeId::ROOT, item, attrs, &[(role, 1)], Ordinals::FIRST);
+        buf.append_text(n, "some text content", &[(role, 1)], Ordinals::FIRST);
+        buf.close(n);
+        buf.decrement_role(n, role, 1);
+        // The text node still holds a role instance; dropping it purges
+        // the whole item subtree.
+        let t = buf.first_child(n).expect("text child");
+        buf.decrement_role(t, role, 1);
+    };
+    for _ in 0..64 {
+        cycle(&mut buf, &mut attrs); // warm-up: populate the pools
+    }
+    let before = gcx::memtrack::total_allocs();
+    for _ in 0..10_000 {
+        cycle(&mut buf, &mut attrs);
+    }
+    let churn = gcx::memtrack::total_allocs() - before;
+    assert_eq!(buf.stats().live, 0);
+    assert!(
+        churn <= 64,
+        "10k append/purge cycles after warm-up must allocate ~nothing, saw {churn}"
+    );
+}

@@ -1,0 +1,113 @@
+//! XML 1.0 §2.11 line-ending conformance, end to end.
+//!
+//! On input, `\r\n` and bare `\r` must reach character data (including
+//! CDATA) and attribute values as `\n`; characters produced by character
+//! references (`&#13;`) are exempt. On output, a CR that legitimately lives
+//! in buffered data (it can only get there via `&#13;`) must be re-escaped
+//! — a raw CR in serialized output would be destroyed by normalization on
+//! re-parse. Together the two rules make CR/CRLF inputs round-trip-stable
+//! through tokenizer → buffer → writer, which this suite checks at every
+//! layer.
+
+use gcx::xml::{Token, Tokenizer};
+use gcx::{CompiledQuery, EngineOptions};
+
+fn run_gcx(query: &str, doc: &str) -> String {
+    let q = CompiledQuery::compile(query).unwrap();
+    let mut out = Vec::new();
+    gcx::run(&q, &EngineOptions::gcx(), doc.as_bytes(), &mut out).expect("engine run");
+    String::from_utf8(out).unwrap()
+}
+
+fn run_dom(query: &str, doc: &str) -> String {
+    let q = gcx::query::compile(query).unwrap();
+    let mut out = Vec::new();
+    gcx::dom::run(&q, doc.as_bytes(), &mut out).expect("dom run");
+    String::from_utf8(out).unwrap()
+}
+
+/// Collect (kind, value) pairs of the structural tokens.
+fn structural_tokens(doc: &str) -> Vec<(String, String)> {
+    let mut t = Tokenizer::from_str(doc);
+    let mut out = Vec::new();
+    while let Some(tok) = t.next_token().unwrap() {
+        match tok {
+            Token::StartTag(s) => {
+                let attrs: Vec<String> = s
+                    .attrs
+                    .iter()
+                    .map(|a| format!("{}={:?}", a.name, a.value))
+                    .collect();
+                out.push(("start".into(), format!("{} [{}]", s.name, attrs.join(" "))));
+            }
+            Token::EndTag { name } => out.push(("end".into(), name.to_string())),
+            Token::Text(s) => out.push(("text".into(), s.to_string())),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn crlf_and_cr_normalized_through_the_engine() {
+    let doc = "<a x=\"p\r\nq\rr\">line1\r\nline2\rline3</a>";
+    let out = run_gcx("for $v in /a return $v", doc);
+    // Attribute line breaks become spaces (§2.11 then §3.3.3, as every
+    // conformant parser reports them); text CRs normalize to \n and are
+    // written verbatim.
+    assert_eq!(out, "<a x=\"p q r\">line1\nline2\nline3</a>");
+    assert_eq!(
+        out,
+        run_dom("for $v in /a return $v", doc),
+        "dom oracle agrees"
+    );
+}
+
+#[test]
+fn character_reference_cr_round_trips() {
+    // &#13; produces a literal CR in the data model (exempt from
+    // normalization); serialization must re-escape it, reproducing the
+    // input exactly.
+    let doc = "<a y=\"c&#13;d\">t&#13;u</a>";
+    let out = run_gcx("for $v in /a return $v", doc);
+    assert_eq!(out, doc);
+}
+
+#[test]
+fn cdata_line_endings_normalized() {
+    let doc = "<a><![CDATA[x\r\ny\rz]]></a>";
+    let out = run_gcx("for $v in /a return $v", doc);
+    assert_eq!(out, "<a>x\ny\nz</a>");
+}
+
+#[test]
+fn string_values_agree_across_line_ending_styles() {
+    // The same logical document in LF / CRLF / CR flavors must produce
+    // identical query results — CR pollution of string-value comparisons
+    // was the bug this guards against.
+    let queries = ["for $v in //name return if ($v/text() = 'line1\nline2') then <hit/> else ()"];
+    let lf = "<r><name>line1\nline2</name></r>";
+    let crlf = "<r><name>line1\r\nline2</name></r>";
+    let cr = "<r><name>line1\rline2</name></r>";
+    for q in queries {
+        let expected = run_gcx(q, lf);
+        assert_eq!(expected, "<hit/>", "sanity: LF document matches");
+        assert_eq!(run_gcx(q, crlf), expected, "CRLF flavor");
+        assert_eq!(run_gcx(q, cr), expected, "CR flavor");
+    }
+}
+
+#[test]
+fn serialized_output_reparses_to_identical_tokens() {
+    // Full round-trip stability: parse → serialize → parse must reach a
+    // fixpoint for documents containing every line-ending construct.
+    let doc = "<a x=\"v\r\n1\" y=\"c&#13;d\">t1\r\nt2\rt3&#13;t4<![CDATA[c\r\nc2]]><b z='\r'/></a>";
+    let once = run_gcx("for $v in /a return $v", doc);
+    let twice = run_gcx("for $v in /a return $v", &once);
+    assert_eq!(once, twice, "serialization must be a fixpoint");
+    assert_eq!(
+        structural_tokens(&once),
+        structural_tokens(&twice),
+        "token streams identical"
+    );
+}
