@@ -1,0 +1,72 @@
+//! Service-layer overhead: loopback HTTP eval vs a direct engine run.
+//!
+//! The service's promise is that the HTTP layer adds framing, not
+//! buffering — the engine streams straight off the socket. This bench
+//! quantifies the per-request overhead (connection setup, head parsing,
+//! chunked framing) by running the same query over the same ~1MB XMark
+//! document both ways:
+//!
+//! * `engine_direct` — `gcx_core::run` over an in-memory cursor;
+//! * `http_sized` / `http_chunked` — a full loopback request against an
+//!   in-process `gcx-server` (sized vs chunked upload framing).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gcx_core::{CompiledQuery, EngineOptions};
+use gcx_server::client::{self, BodyMode};
+use gcx_server::{serve, ServerConfig};
+use gcx_xmark::queries;
+
+fn bench_service_overhead(c: &mut Criterion) {
+    let doc = gcx_bench::xmark_string(1).into_bytes();
+    let q1 = CompiledQuery::compile(queries::Q1).unwrap();
+    let opts = EngineOptions::gcx();
+
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = handle.addr();
+    let r = client::put_query(addr, "q1", queries::Q1).expect("register");
+    assert_eq!(r.status, 201);
+
+    let mut g = c.benchmark_group("server_eval");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(doc.len() as u64));
+    g.bench_function("engine_direct", |b| {
+        b.iter(|| {
+            gcx_core::run(&q1, &opts, std::io::Cursor::new(&doc[..]), std::io::sink())
+                .unwrap()
+                .tokens
+        })
+    });
+    g.bench_function("http_sized", |b| {
+        b.iter(|| {
+            let r = client::eval(addr, "q1", &doc, &[], BodyMode::Sized).unwrap();
+            assert_eq!(r.status, 200);
+            r.body.len()
+        })
+    });
+    g.bench_function("http_chunked", |b| {
+        b.iter(|| {
+            let r = client::eval(
+                addr,
+                "q1",
+                &doc,
+                &[],
+                BodyMode::Chunked {
+                    chunk_size: 256 * 1024,
+                },
+            )
+            .unwrap();
+            assert_eq!(r.status, 200);
+            r.body.len()
+        })
+    });
+    g.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_service_overhead);
+criterion_main!(benches);

@@ -38,12 +38,15 @@ fn paper_queries() -> Vec<(&'static str, &'static str)> {
 pub fn cmd_bench(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("throughput") => cmd_throughput(&args[1..]),
-        Some(other) => Err(format!("unknown bench mode `{other}` (try `throughput`)")),
+        Some("serve") => cmd_serve_bench(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown bench mode `{other}` (try `throughput` or `serve`)"
+        )),
         None => Err("missing bench mode (try `gcx bench throughput`)".into()),
     }
 }
 
-fn flag_value<'a>(flags: &'a [&str], name: &str) -> Option<&'a str> {
+pub(crate) fn flag_value<'a>(flags: &'a [&str], name: &str) -> Option<&'a str> {
     flags
         .iter()
         .position(|f| *f == name)
@@ -236,5 +239,298 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("batch and standalone outputs differ".into())
+    }
+}
+
+// ---- `gcx bench serve`: the service load generator --------------------------
+
+/// One client-side observation: (query index, output mismatch flag,
+/// server peak nodes, server peak bytes, response bytes, elapsed ms).
+type ClientRow = (usize, u64, u64, u64, u64, f64);
+
+/// Aggregated measurements for one query under load.
+struct QueryLoad {
+    name: &'static str,
+    requests: u64,
+    mismatches: u64,
+    server_peak_nodes: u64,
+    offline_peak_nodes: u64,
+    server_peak_bytes: u64,
+    offline_peak_bytes: u64,
+    output_bytes: u64,
+    total_ms: f64,
+}
+
+/// `gcx bench serve`: start an in-process service, register the 11 paper
+/// queries, drive them with N concurrent clients, and hold the service to
+/// the offline engine's contract — byte-identical bodies and *exactly*
+/// matching buffer peaks (same engine, same document, so stats noise is
+/// zero by construction). Also demonstrates the admission-control paths:
+/// one deliberately under-budgeted request must bounce with 413 without
+/// disturbing its peers. Writes `BENCH_server.json`.
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    use gcx_server::client::{self, BodyMode};
+
+    let flags: Vec<&str> = args.iter().map(String::as_str).collect();
+    let smoke = flags.contains(&"--smoke");
+    let mb: u64 = match flag_value(&flags, "--mb") {
+        Some(v) => v.parse().map_err(|_| "--mb must be a number")?,
+        None => {
+            if smoke {
+                1
+            } else {
+                16
+            }
+        }
+    };
+    let clients: usize = match flag_value(&flags, "--clients") {
+        Some(v) => v.parse().map_err(|_| "--clients must be a number")?,
+        None => 4,
+    };
+    let seed: u64 = match flag_value(&flags, "--seed") {
+        Some(v) => v.parse().map_err(|_| "--seed must be a number")?,
+        None => 42,
+    };
+    let out_path = flag_value(&flags, "--out").unwrap_or("BENCH_server.json");
+
+    eprintln!("generating ~{mb}MB XMark document (seed {seed}) ...");
+    let mut cfg = gcx_xmark::XmarkConfig::sized(mb * 1024 * 1024);
+    cfg.seed = seed;
+    let mut doc = Vec::new();
+    gcx_xmark::generate(&cfg, &mut doc).map_err(|e| e.to_string())?;
+    let doc_bytes = doc.len() as u64;
+    let doc_mb = doc_bytes as f64 / (1024.0 * 1024.0);
+
+    // Offline oracle: output bytes and buffer peaks per query.
+    let named = paper_queries();
+    eprintln!("computing offline oracle for {} queries ...", named.len());
+    let opts = EngineOptions::gcx();
+    let mut oracle: Vec<(Vec<u8>, u64, u64)> = Vec::with_capacity(named.len());
+    for (name, text) in &named {
+        let q = CompiledQuery::compile(text).map_err(|e| format!("{name}: {e}"))?;
+        let mut out = Vec::new();
+        let report = gcx_core::run(&q, &opts, std::io::Cursor::new(&doc[..]), &mut out)
+            .map_err(|e| format!("{name}: {e}"))?;
+        oracle.push((out, report.buffer.peak_live, report.buffer.peak_live_bytes));
+    }
+
+    // The service under test, on a loopback ephemeral port.
+    let handle = gcx_server::serve(gcx_server::ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients.max(1),
+        queue_depth: 2 * clients.max(1),
+        ..gcx_server::ServerConfig::default()
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = handle.addr();
+    for (name, text) in &named {
+        let r = client::put_query(addr, name, text).map_err(|e| e.to_string())?;
+        if r.status != 201 {
+            return Err(format!(
+                "registering {name} failed: {} {}",
+                r.status,
+                String::from_utf8_lossy(&r.body)
+            ));
+        }
+    }
+
+    // Load phase: each client walks all queries once, chunked uploads on
+    // odd clients (both wire framings stay exercised).
+    eprintln!(
+        "load: {} clients x {} queries over {:.1}MB ...",
+        clients,
+        named.len(),
+        doc_mb
+    );
+    let started = Instant::now();
+    let per_client: Vec<Vec<ClientRow>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let doc = &doc;
+            let named = &named;
+            let oracle = &oracle;
+            handles.push(scope.spawn(move || {
+                let mode = if c % 2 == 1 {
+                    BodyMode::Chunked {
+                        chunk_size: 256 * 1024,
+                    }
+                } else {
+                    BodyMode::Sized
+                };
+                let mut rows = Vec::with_capacity(named.len());
+                for qi in 0..named.len() {
+                    // Stagger start positions so queries overlap.
+                    let qi = (qi + c) % named.len();
+                    let (name, _) = named[qi];
+                    let t0 = Instant::now();
+                    let r = client::eval(addr, name, doc, &[], mode)
+                        .unwrap_or_else(|e| panic!("client {c} eval {name}: {e}"));
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(r.status, 200, "client {c} {name}: {r:?}");
+                    let ok = r.body == oracle[qi].0;
+                    rows.push((
+                        qi,
+                        u64::from(!ok),
+                        r.trailer_u64("x-gcx-peak-buffered-nodes").unwrap_or(0),
+                        r.trailer_u64("x-gcx-peak-buffer-bytes").unwrap_or(0),
+                        r.body.len() as u64,
+                        ms,
+                    ));
+                }
+                rows
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut loads: Vec<QueryLoad> = named
+        .iter()
+        .zip(&oracle)
+        .map(|((name, _), (out, peak_nodes, peak_bytes))| QueryLoad {
+            name,
+            requests: 0,
+            mismatches: 0,
+            server_peak_nodes: 0,
+            offline_peak_nodes: *peak_nodes,
+            server_peak_bytes: 0,
+            offline_peak_bytes: *peak_bytes,
+            output_bytes: out.len() as u64,
+            total_ms: 0.0,
+        })
+        .collect();
+    for rows in &per_client {
+        for &(qi, mismatch, peak_nodes, peak_bytes, _out, ms) in rows {
+            let l = &mut loads[qi];
+            l.requests += 1;
+            l.mismatches += mismatch;
+            l.server_peak_nodes = l.server_peak_nodes.max(peak_nodes);
+            l.server_peak_bytes = l.server_peak_bytes.max(peak_bytes);
+            l.total_ms += ms;
+        }
+    }
+
+    // The memory contract and the byte-identity cross-check.
+    let mut failures = Vec::new();
+    for l in &loads {
+        let peak_match = l.server_peak_nodes == l.offline_peak_nodes
+            && l.server_peak_bytes == l.offline_peak_bytes;
+        eprintln!(
+            "  {:<9} {:>2} reqs  {:>8.1}ms mean  {:>8} peak nodes (offline {:>8})  {}",
+            l.name,
+            l.requests,
+            l.total_ms / l.requests.max(1) as f64,
+            l.server_peak_nodes,
+            l.offline_peak_nodes,
+            if l.mismatches == 0 && peak_match {
+                "ok"
+            } else {
+                "FAIL"
+            },
+        );
+        if l.mismatches > 0 {
+            failures.push(format!("{}: {} output mismatches", l.name, l.mismatches));
+        }
+        if !peak_match {
+            failures.push(format!(
+                "{}: server buffer peak {}/{}B != offline {}/{}B",
+                l.name,
+                l.server_peak_nodes,
+                l.server_peak_bytes,
+                l.offline_peak_nodes,
+                l.offline_peak_bytes
+            ));
+        }
+    }
+
+    // Admission-control demo: an absurdly small budget must be bounced
+    // with 413, and the service must keep answering afterwards.
+    let capped = client::eval(
+        addr,
+        named[0].0,
+        &doc,
+        &[("X-Gcx-Max-Buffer-Bytes", "256")],
+        BodyMode::Sized,
+    )
+    .map_err(|e| format!("cap demo: {e}"))?;
+    if capped.status != 413 {
+        failures.push(format!("cap demo: expected 413, got {}", capped.status));
+    }
+    let after = client::get(addr, "/healthz").map_err(|e| e.to_string())?;
+    if after.status != 200 {
+        failures.push(format!("post-413 health check failed: {}", after.status));
+    }
+    let stats = client::get(addr, "/stats").map_err(|e| e.to_string())?;
+    handle.shutdown();
+
+    let total_requests: u64 = loads.iter().map(|l| l.requests).sum();
+    let aggregate_mb_s = doc_mb * total_requests as f64 / (elapsed_ms / 1e3);
+    eprintln!(
+        "served {} requests in {:.1}ms ({:.1} MB/s aggregate ingest)  cap demo: {}  {}",
+        total_requests,
+        elapsed_ms,
+        aggregate_mb_s,
+        capped.status,
+        if failures.is_empty() {
+            "all ok"
+        } else {
+            "FAILURES"
+        },
+    );
+
+    let mut json = String::with_capacity(4096);
+    json.push_str(&format!(
+        "{{\"doc\":{{\"mb\":{mb},\"bytes\":{doc_bytes},\"seed\":{seed}}},\
+         \"smoke\":{smoke},\"clients\":{clients},\"requests\":{total_requests},\
+         \"elapsed_ms\":{elapsed_ms:.3},\"aggregate_ingest_mb_per_s\":{aggregate_mb_s:.3},\
+         \"queries\":["
+    ));
+    for (i, l) in loads.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"requests\":{},\"mean_ms\":{:.3},\"output_bytes\":{},\
+             \"server_peak_buffered_nodes\":{},\"offline_peak_buffered_nodes\":{},\
+             \"server_peak_buffer_bytes\":{},\"offline_peak_buffer_bytes\":{},\
+             \"outputs_match\":{},\"peaks_match\":{}}}",
+            l.name,
+            l.requests,
+            l.total_ms / l.requests.max(1) as f64,
+            l.output_bytes,
+            l.server_peak_nodes,
+            l.offline_peak_nodes,
+            l.server_peak_bytes,
+            l.offline_peak_bytes,
+            l.mismatches == 0,
+            l.server_peak_nodes == l.offline_peak_nodes
+                && l.server_peak_bytes == l.offline_peak_bytes,
+        ));
+    }
+    json.push_str(&format!(
+        "],\"cap_demo\":{{\"budget_bytes\":256,\"status\":{},\"rejected\":{}}},\
+         \"all_ok\":{},\"server_stats\":{}}}",
+        capped.status,
+        capped.status == 413,
+        failures.is_empty(),
+        String::from_utf8_lossy(&stats.body),
+    ));
+
+    let mut f =
+        std::fs::File::create(out_path).map_err(|e| format!("cannot create `{out_path}`: {e}"))?;
+    f.write_all(json.as_bytes())
+        .and_then(|()| f.write_all(b"\n"))
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    eprintln!("wrote {out_path}");
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "service contract violated: {}",
+            failures.join("; ")
+        ))
     }
 }

@@ -3,7 +3,9 @@
 //! ```text
 //! gcx run <query.xq|-e QUERY> <input.xml>   evaluate a query over a document
 //! gcx multi <batch.xq|--xmark> <input.xml>  evaluate a query batch in ONE pass
+//! gcx serve [--addr HOST:PORT]              streaming XQuery HTTP service
 //! gcx bench throughput [--smoke]            throughput baseline (BENCH_throughput.json)
+//! gcx bench serve [--smoke]                 service load test (BENCH_server.json)
 //! gcx explain <query.xq|-e QUERY>           show roles + rewritten query
 //! gcx trace <query.xq|-e QUERY> <input.xml> buffer-occupancy trace (CSV)
 //! gcx generate <MB> [out.xml]               emit an XMark-like document
@@ -27,6 +29,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("multi") => cmd_multi(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => bench::cmd_bench(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -53,11 +56,15 @@ fn print_usage() {
 
 USAGE:
   gcx run     <query.xq | -e QUERY> <input.xml> [--engine gcx|projection|full|dom]
-              [--stats] [--stats-json] [--indent]
+              [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
   gcx multi   <batch.xq | --xmark> <input.xml> [--out-dir DIR]
-              [--stats] [--stats-json] [--indent]
+              [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
+  gcx serve   [--addr HOST:PORT] [--workers N] [--queue N]
+              [--max-buffer-bytes N] [--read-timeout-secs S]
+              [--max-request-secs S]
   gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke]
               [--out FILE]
+  gcx bench   serve [--mb N] [--clients N] [--seed S] [--smoke] [--out FILE]
   gcx explain <query.xq | -e QUERY>
   gcx trace   <query.xq | -e QUERY> <input.xml> [--every N]
   gcx generate <MB> [out.xml] [--seed N]
@@ -73,10 +80,28 @@ runs the built-in XMark batch instead. Outputs go to stdout in batch
 order (or to <DIR>/query-NN.out with --out-dir). `--stats-json` emits a
 machine-readable report on stderr (also available for `run`).
 
+`serve` starts the streaming XQuery service (default 127.0.0.1:7007):
+PUT /queries/NAME registers a query (compiled once, shared across
+requests), POST /eval/NAME streams a document through it and the result
+back while the document is still arriving, GET /stats reports aggregate
+counters. A bounded worker pool + admission queue answers overload with
+503; per-request buffer budgets answer runaway queries with 413 instead
+of OOM. Stop it gracefully with POST /shutdown (drains in-flight work).
+
+`--max-buffer-bytes N` (run, multi, serve; also the X-Gcx-Max-Buffer-Bytes
+request header) is a hard per-run buffer budget: crossing it fails that
+run with a typed error, never an abort. Suffixes k/m/g are accepted.
+
 `bench throughput` sweeps the 11 paper queries over a generated XMark
 document — standalone and batched — and writes BENCH_throughput.json
 (MB/s, tokens/s, peak buffer, allocation counts). `--smoke` runs a small
-1MB document once (CI)."
+1MB document once (CI).
+
+`bench serve` starts an in-process service, registers the 11 paper
+queries and hammers it with N concurrent clients; every response is
+cross-checked byte-for-byte against the offline engine and the buffer
+peaks must match exactly (the service inherits the paper's memory
+contract). Writes BENCH_server.json."
     );
 }
 
@@ -94,6 +119,20 @@ fn take_query(args: &[String]) -> Result<(String, &[String]), String> {
         }
         None => Err("missing query (file path or `-e QUERY`)".into()),
     }
+}
+
+/// Extract `--max-buffer-bytes N` from a flag list. Sizes accept k/m/g
+/// suffixes, parsed by the same routine the server uses for the
+/// `X-Gcx-Max-Buffer-Bytes` header (`gcx_server::parse_byte_size`).
+fn take_max_buffer_bytes(flags: &[&str]) -> Result<Option<u64>, String> {
+    if !flags.contains(&"--max-buffer-bytes") {
+        return Ok(None);
+    }
+    let v = bench::flag_value(flags, "--max-buffer-bytes")
+        .ok_or("`--max-buffer-bytes` needs a value")?;
+    gcx_server::parse_byte_size(v)
+        .map(Some)
+        .ok_or_else(|| format!("invalid byte size `{v}` (number with optional k/m/g)"))
 }
 
 fn open_input(path: &str) -> Result<Box<dyn Read>, String> {
@@ -120,6 +159,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let indent = flags.contains(&"--indent");
 
     if engine == "dom" {
+        if flags.contains(&"--max-buffer-bytes") {
+            return Err(
+                "--max-buffer-bytes is not supported with --engine dom: the DOM oracle \
+                 materializes the whole document (use gcx|projection|full)"
+                    .into(),
+            );
+        }
         let q = gcx_query::compile(&query_text).map_err(|e| e.to_string())?;
         let input = open_input(input_path)?;
         let out = BufWriter::new(std::io::stdout().lock());
@@ -143,6 +189,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if indent {
         opts.indent = Some("  ".to_string());
     }
+    opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
     let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
     let input = open_input(input_path)?;
     let out = BufWriter::new(std::io::stdout().lock());
@@ -230,6 +277,7 @@ fn cmd_multi(args: &[String]) -> Result<(), String> {
     if flags.contains(&"--indent") {
         opts.indent = Some("  ".to_string());
     }
+    opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
     let input = open_input(input_path)?;
     let report = gcx_multi::SharedRun::new(opts)
         .run(&queries, input)
@@ -282,6 +330,65 @@ fn cmd_multi(args: &[String]) -> Result<(), String> {
             failures.join("; ")
         ))
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags: Vec<&str> = args.iter().map(String::as_str).collect();
+    let flag_value = |name: &str| bench::flag_value(&flags, name);
+    let mut config = gcx_server::ServerConfig::default();
+    if let Some(addr) = flag_value("--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(v) = flag_value("--workers") {
+        config.workers = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w > 0)
+            .ok_or("--workers must be a positive number")?;
+    }
+    if let Some(v) = flag_value("--queue") {
+        config.queue_depth = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&q| q > 0)
+            .ok_or("--queue must be a positive number")?;
+    }
+    config.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
+    if let Some(v) = flag_value("--read-timeout-secs") {
+        let secs: u64 = v
+            .parse()
+            .map_err(|_| "--read-timeout-secs must be a number")?;
+        config.read_timeout = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    }
+    if let Some(v) = flag_value("--max-request-secs") {
+        let secs: u64 = v
+            .parse()
+            .map_err(|_| "--max-request-secs must be a number (0 = unlimited)")?;
+        config.max_request_duration = (secs > 0).then(|| std::time::Duration::from_secs(secs));
+    }
+    let workers = config.workers;
+    let queue = config.queue_depth;
+    let budget = config.max_buffer_bytes;
+    let handle = gcx_server::serve(config).map_err(|e| format!("cannot start server: {e}"))?;
+    eprintln!(
+        "gcx-server listening on http://{} ({} workers, queue {}, buffer budget {})",
+        handle.addr(),
+        workers,
+        queue,
+        budget.map_or_else(|| "unlimited".to_string(), |b| format!("{b} bytes")),
+    );
+    eprintln!(
+        "register: curl -X PUT --data-binary @query.xq http://{}/queries/NAME",
+        handle.addr()
+    );
+    eprintln!(
+        "evaluate: curl -X POST --data-binary @doc.xml http://{}/eval/NAME",
+        handle.addr()
+    );
+    eprintln!("shutdown: curl -X POST http://{}/shutdown", handle.addr());
+    handle.join();
+    eprintln!("gcx-server drained and stopped");
+    Ok(())
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {

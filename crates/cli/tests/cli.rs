@@ -313,3 +313,168 @@ fn multi_empty_batch_file_fails() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no queries"));
 }
+
+#[test]
+fn run_respects_max_buffer_bytes() {
+    let doc = write_temp("cap.xml", "<bib><book><title>T</title></book></bib>");
+    // A budget smaller than one node: typed failure, exit code 1.
+    let out = gcx_bin()
+        .args(["run", "-e", "for $b in /bib/book return $b/title"])
+        .arg(&doc)
+        .args(["--max-buffer-bytes", "8"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("buffer limit exceeded"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A generous budget (with a suffix) changes nothing and shows up in
+    // the stats JSON.
+    let out = gcx_bin()
+        .args(["run", "-e", "for $b in /bib/book return $b/title"])
+        .arg(&doc)
+        .args(["--max-buffer-bytes", "1m", "--stats-json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<title>T</title>"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"max_buffer_bytes\":1048576"), "{stderr}");
+    assert!(stderr.contains("\"live_bytes\""), "{stderr}");
+}
+
+#[test]
+fn multi_respects_max_buffer_bytes_per_query() {
+    let doc = write_temp("mcap.xml", "<l><i>1</i><i>2</i></l>");
+    let batch = write_temp("mcap.xq", "for $i in /l/i return $i/text()\n");
+    let out = gcx_bin()
+        .arg("multi")
+        .arg(&batch)
+        .arg(&doc)
+        .args(["--max-buffer-bytes", "8"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("buffer limit exceeded"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_subcommand_end_to_end() {
+    use std::io::{BufRead, BufReader, Read};
+
+    // Port 0: the binary prints the actual address on stderr.
+    let mut child = gcx_bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "server died early"
+        );
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .trim_end_matches('/')
+                .parse::<std::net::SocketAddr>()
+                .unwrap();
+        }
+    };
+    // Drain the rest of stderr in the background so the child never
+    // blocks on a full pipe.
+    let drain = std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = stderr.read_to_string(&mut rest);
+        rest
+    });
+
+    let exchange = |req: &str| -> String {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.write_all(req.as_bytes()).unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let q = "for $b in /bib/book return $b/title";
+    let r = exchange(&format!(
+        "PUT /queries/t HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{q}",
+        q.len()
+    ));
+    assert!(r.starts_with("HTTP/1.1 201"), "{r}");
+
+    let doc = "<bib><book><title>T</title></book></bib>";
+    let r = exchange(&format!(
+        "POST /eval/t HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{doc}",
+        doc.len()
+    ));
+    assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+    assert!(r.contains("<title>T</title>"), "{r}");
+    assert!(r.contains("X-Gcx-Tokens:"), "{r}");
+
+    let r = exchange("POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+    assert!(r.starts_with("HTTP/1.1 200"), "{r}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve must exit cleanly after /shutdown");
+    assert!(drain.join().unwrap().contains("drained and stopped"));
+}
+
+#[test]
+fn bench_serve_smoke_writes_report() {
+    let out_path =
+        std::env::temp_dir().join(format!("gcx-bench-serve-{}.json", std::process::id()));
+    let out = gcx_bin()
+        .args(["bench", "serve", "--smoke", "--clients", "2", "--out"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    for key in [
+        "\"all_ok\":true",
+        "\"cap_demo\":{\"budget_bytes\":256,\"status\":413,\"rejected\":true}",
+        "\"outputs_match\":true",
+        "\"peaks_match\":true",
+        "\"server_stats\"",
+    ] {
+        assert!(json.contains(key), "missing {key}: {json}");
+    }
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn dom_engine_rejects_buffer_budget() {
+    let doc = write_temp("domcap.xml", "<a/>");
+    let out = gcx_bin()
+        .args(["run", "-e", "for $x in /a return $x"])
+        .arg(&doc)
+        .args(["--engine", "dom", "--max-buffer-bytes", "64k"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not supported with --engine dom"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

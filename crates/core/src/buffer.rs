@@ -19,6 +19,7 @@
 //! Reclaimed slots go on a free list and are reused; `NodeId`s carry a
 //! generation so stale ids are caught in debug builds.
 
+use crate::error::EngineError;
 use gcx_query::ast::RoleId;
 use gcx_xml::{Symbol, SymbolTable, XmlResult, XmlWriter};
 
@@ -189,6 +190,10 @@ pub struct BufferStats {
     pub allocated: u64,
     /// Total nodes reclaimed by active garbage collection.
     pub purged: u64,
+    /// Estimated bytes currently buffered (see [`node_bytes`]).
+    pub live_bytes: u64,
+    /// High watermark of `live_bytes`.
+    pub peak_live_bytes: u64,
 }
 
 impl BufferStats {
@@ -196,10 +201,36 @@ impl BufferStats {
     /// serde).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"live\":{},\"peak_live\":{},\"allocated\":{},\"purged\":{}}}",
-            self.live, self.peak_live, self.allocated, self.purged
+            "{{\"live\":{},\"peak_live\":{},\"allocated\":{},\"purged\":{},\
+             \"live_bytes\":{},\"peak_live_bytes\":{}}}",
+            self.live,
+            self.peak_live,
+            self.allocated,
+            self.purged,
+            self.live_bytes,
+            self.peak_live_bytes
         )
     }
+}
+
+/// Estimated resident cost of one buffered node: the node record itself
+/// plus its variable-size payload (text content, or attribute names and
+/// values). The estimate is *deterministic* — it counts lengths, not
+/// allocator capacities — so the amount charged at append time is exactly
+/// the amount credited back at purge time, and byte budgets behave
+/// identically across runs. Role multisets are deliberately excluded:
+/// `decrement_role` shrinks them mid-life, which would make append-time
+/// and purge-time costs disagree.
+fn node_bytes(kind: &NodeKind) -> u64 {
+    /// Per-attribute bookkeeping cost (interned name + value end offset).
+    const ATTR_OVERHEAD: u64 = 8;
+    let payload = match kind {
+        NodeKind::Element { attrs, .. } => {
+            attrs.syms.len() as u64 * ATTR_OVERHEAD + attrs.text.len() as u64
+        }
+        NodeKind::Text { content } => content.len() as u64,
+    };
+    std::mem::size_of::<Node>() as u64 + payload
 }
 
 /// The buffer tree. See the module docs for the GC model.
@@ -210,6 +241,11 @@ pub struct BufferTree {
     stats: BufferStats,
     /// When false, purging is disabled entirely (full-buffering baseline).
     purge_enabled: bool,
+    /// Hard cap on `stats.live_bytes` (None = unlimited). The buffer only
+    /// *tracks* bytes; enforcement is a [`BufferTree::check_limit`] call
+    /// made by whoever drives the feed, so appends themselves stay
+    /// infallible.
+    max_bytes: Option<u64>,
     /// Recycled per-node containers. Node *slots* are reused through
     /// `free`; these pools do the same for the heap blocks hanging off a
     /// node (role multiset, attribute storage, text content), so the
@@ -248,6 +284,7 @@ impl BufferTree {
             free: Vec::new(),
             stats: BufferStats::default(),
             purge_enabled,
+            max_bytes: None,
             role_pool: Vec::new(),
             attr_pool: Vec::new(),
             text_pool: Vec::new(),
@@ -258,6 +295,30 @@ impl BufferTree {
     /// Current statistics.
     pub fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    /// Set the hard byte budget ([`BufferTree::check_limit`] enforces it).
+    pub fn set_max_bytes(&mut self, limit: Option<u64>) {
+        self.max_bytes = limit;
+    }
+
+    /// The configured byte budget, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// Enforce the byte budget: a typed, recoverable error — never an
+    /// abort — once the estimated live buffer exceeds `max_bytes`. The
+    /// engine calls this after every feed advance, so a runaway query is
+    /// stopped within one token of crossing its budget.
+    pub fn check_limit(&self) -> Result<(), EngineError> {
+        match self.max_bytes {
+            Some(limit) if self.stats.live_bytes > limit => Err(EngineError::BufferLimitExceeded {
+                limit,
+                used: self.stats.live_bytes,
+            }),
+            _ => Ok(()),
+        }
     }
 
     #[inline]
@@ -457,6 +518,7 @@ impl BufferTree {
         let mut role_vec = self.role_pool.pop().unwrap_or_default();
         role_vec.extend_from_slice(roles);
         let own: u64 = role_vec.iter().map(|&(_, c)| c as u64).sum();
+        let bytes = node_bytes(&kind);
         let prev = self.node(parent).last_child;
         let node = Node {
             parent: parent.idx,
@@ -508,6 +570,8 @@ impl BufferTree {
         self.stats.live += 1;
         self.stats.allocated += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
+        self.stats.live_bytes += bytes;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
         NodeId {
             idx,
             gen: self.nodes[idx as usize].gen,
@@ -644,7 +708,9 @@ impl BufferTree {
                     std::mem::take(&mut n.roles),
                 )
             };
-            // Recycle the node's heap blocks through the pools.
+            // Credit back exactly what the append charged, then recycle
+            // the node's heap blocks through the pools.
+            self.stats.live_bytes -= node_bytes(&kind);
             match kind {
                 NodeKind::Element { mut attrs, .. } => {
                     attrs.clear();

@@ -65,6 +65,11 @@ pub struct EngineOptions {
     pub timeline_every: Option<u64>,
     /// Pretty-print output with this indent.
     pub indent: Option<String>,
+    /// Hard per-run buffer byte budget (None = unlimited). Crossing it
+    /// fails the run with [`EngineError::BufferLimitExceeded`] instead of
+    /// letting the buffer grow without bound — the primitive the service
+    /// layer's admission control (HTTP 413) is built on.
+    pub max_buffer_bytes: Option<u64>,
 }
 
 impl EngineOptions {
@@ -77,6 +82,7 @@ impl EngineOptions {
             drain_input: true,
             timeline_every: None,
             indent: None,
+            max_buffer_bytes: None,
         }
     }
 
@@ -110,6 +116,12 @@ impl EngineOptions {
         self.drain_input = false;
         self
     }
+
+    /// Set a hard buffer byte budget (builder style).
+    pub fn with_max_buffer_bytes(mut self, bytes: u64) -> EngineOptions {
+        self.max_buffer_bytes = Some(bytes);
+        self
+    }
 }
 
 impl Default for EngineOptions {
@@ -129,6 +141,8 @@ pub struct RunReport {
     pub timeline: Option<Timeline>,
     /// Bytes of serialized output.
     pub output_bytes: u64,
+    /// The buffer byte budget the run was held to (None = unlimited).
+    pub max_buffer_bytes: Option<u64>,
 }
 
 impl RunReport {
@@ -137,9 +151,11 @@ impl RunReport {
     /// sampling was enabled.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"tokens\":{},\"output_bytes\":{},\"buffer\":{}",
+            "{{\"tokens\":{},\"output_bytes\":{},\"max_buffer_bytes\":{},\"buffer\":{}",
             self.tokens,
             self.output_bytes,
+            self.max_buffer_bytes
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
             self.buffer.to_json()
         );
         if let Some(tl) = &self.timeline {
@@ -194,7 +210,8 @@ pub fn run_with_feed<F: BufferFeed, W: Write>(
     feed: F,
     output: W,
 ) -> Result<RunReport, EngineError> {
-    let buf = BufferTree::new(opts.purge);
+    let mut buf = BufferTree::new(opts.purge);
+    buf.set_max_bytes(opts.max_buffer_bytes);
     let out = XmlWriter::with_options(
         output,
         WriterOptions {

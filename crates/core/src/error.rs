@@ -11,9 +11,27 @@ pub enum EngineError {
     Xml(XmlError),
     /// Query compilation failure.
     Query(QueryError),
+    /// The run crossed its buffer byte budget
+    /// ([`crate::EngineOptions::max_buffer_bytes`]). A typed, recoverable
+    /// rejection — the primitive behind the server's 413 path — never a
+    /// panic or abort.
+    BufferLimitExceeded {
+        /// The configured budget in bytes.
+        limit: u64,
+        /// Estimated live buffer bytes at the moment the budget tripped.
+        used: u64,
+    },
     /// An internal invariant was violated — a bug in the engine, reported
     /// instead of panicking so callers can recover.
     Internal(String),
+}
+
+impl EngineError {
+    /// True for [`EngineError::BufferLimitExceeded`] — the rejection
+    /// servers map to "request too expensive" instead of "request broken".
+    pub fn is_buffer_limit(&self) -> bool {
+        matches!(self, EngineError::BufferLimitExceeded { .. })
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -21,6 +39,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Xml(e) => write!(f, "XML error: {e}"),
             EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::BufferLimitExceeded { limit, used } => write!(
+                f,
+                "buffer limit exceeded: {used} bytes live, budget {limit}"
+            ),
             EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
     }
@@ -31,6 +53,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Xml(e) => Some(e),
             EngineError::Query(e) => Some(e),
+            EngineError::BufferLimitExceeded { .. } => None,
             EngineError::Internal(_) => None,
         }
     }
@@ -59,5 +82,14 @@ mod tests {
         assert!(e.to_string().contains("unbound"));
         let e = EngineError::Internal("oops".into());
         assert_eq!(e.to_string(), "internal engine error: oops");
+        let e = EngineError::BufferLimitExceeded {
+            limit: 10,
+            used: 42,
+        };
+        assert!(e.is_buffer_limit());
+        assert_eq!(
+            e.to_string(),
+            "buffer limit exceeded: 42 bytes live, budget 10"
+        );
     }
 }

@@ -97,9 +97,14 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         }
     }
 
-    /// Pull one token from the input feed (a `nextNode()` request).
+    /// Pull one token from the input feed (a `nextNode()` request), then
+    /// enforce the buffer byte budget. Every append funnels through here —
+    /// the classic preprojector and the multi-query channel feed alike —
+    /// so the budget check lives in exactly one place.
     fn pull(&mut self) -> Result<bool, EngineError> {
-        self.pre.advance(&mut self.buf, &mut self.symbols)
+        let more = self.pre.advance(&mut self.buf, &mut self.symbols)?;
+        self.buf.check_limit()?;
+        Ok(more)
     }
 
     /// Pull one token (used by the engine's final input drain).
@@ -115,6 +120,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
             buffer: self.buf.stats(),
             timeline: self.pre.take_timeline(),
             output_bytes: self.out.bytes_written(),
+            max_buffer_bytes: self.buf.max_bytes(),
         })
     }
 

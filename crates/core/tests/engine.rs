@@ -400,3 +400,65 @@ fn large_flat_document_streams_in_constant_memory() {
     );
     assert_eq!(report.buffer.live, 0);
 }
+
+// ---- buffer byte budgets (EngineOptions::max_buffer_bytes) ------------------
+
+#[test]
+fn tiny_buffer_budget_is_a_typed_rejection() {
+    let q = CompiledQuery::compile(PAPER_QUERY).unwrap();
+    let opts = EngineOptions::gcx().with_max_buffer_bytes(8);
+    let mut out = Vec::new();
+    let err = run(
+        &q,
+        &opts,
+        "<bib><book><title/><author/></book></bib>".as_bytes(),
+        &mut out,
+    )
+    .unwrap_err();
+    assert!(err.is_buffer_limit(), "got: {err}");
+    assert!(err.to_string().contains("buffer limit exceeded"), "{err}");
+}
+
+#[test]
+fn generous_buffer_budget_changes_nothing() {
+    let doc = "<bib><book><title>T</title></book></bib>";
+    let (unlimited, base) = gcx("for $b in /bib/book return $b/title", doc);
+    let (capped, report) = run_with(
+        "for $b in /bib/book return $b/title",
+        doc,
+        &EngineOptions::gcx().with_max_buffer_bytes(1 << 20),
+    );
+    assert_eq!(capped, unlimited);
+    assert_eq!(report.buffer.peak_live, base.buffer.peak_live);
+    assert_eq!(report.max_buffer_bytes, Some(1 << 20));
+    assert!(report.to_json().contains("\"max_buffer_bytes\":1048576"));
+}
+
+#[test]
+fn byte_accounting_drains_to_zero_and_tracks_peak() {
+    let (_, report) = gcx(
+        "for $b in /bib/book return $b/title",
+        "<bib><book><title>On Streams</title></book><book><title>Two</title></book></bib>",
+    );
+    assert_eq!(report.buffer.live_bytes, 0, "buffer must drain");
+    assert!(report.buffer.peak_live_bytes > 0);
+    assert!(report.to_json().contains("\"peak_live_bytes\""));
+}
+
+#[test]
+fn budget_protects_full_buffering_too() {
+    // Full buffering would hold the whole document; the budget turns the
+    // would-be OOM into a typed error.
+    let mut doc = String::from("<l>");
+    for i in 0..10_000 {
+        doc.push_str(&format!("<i>{i}</i>"));
+    }
+    doc.push_str("</l>");
+    let q = CompiledQuery::compile("for $i in /l/i return $i/text()").unwrap();
+    let opts = EngineOptions {
+        max_buffer_bytes: Some(64 * 1024),
+        ..EngineOptions::full_buffering()
+    };
+    let err = run(&q, &opts, doc.as_bytes(), std::io::sink()).unwrap_err();
+    assert!(err.is_buffer_limit(), "got: {err}");
+}

@@ -65,6 +65,10 @@ pub struct BatchOptions {
     /// `channel_capacity` so backpressure granularity survives tiny
     /// channels.
     pub chunk_size: usize,
+    /// Per-query buffer byte budget (None = unlimited). A query that
+    /// crosses it fails with `BufferLimitExceeded`; the rest of the batch
+    /// is unaffected (worker failures never stop peers).
+    pub max_buffer_bytes: Option<u64>,
 }
 
 impl Default for BatchOptions {
@@ -74,6 +78,7 @@ impl Default for BatchOptions {
             indent: None,
             channel_capacity: 4096,
             chunk_size: 256,
+            max_buffer_bytes: None,
         }
     }
 }
@@ -257,6 +262,7 @@ impl SharedRun {
             drain_input: true,
             timeline_every: None,
             indent: self.opts.indent.clone(),
+            max_buffer_bytes: self.opts.max_buffer_bytes,
         };
 
         let mut tokenizer = Tokenizer::new(input);

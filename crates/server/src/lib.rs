@@ -1,0 +1,900 @@
+//! # gcx-server — streaming XQuery as a bounded-memory network service
+//!
+//! GCX's buffer minimization makes XQuery evaluation possible on streams
+//! too large (or too live) to materialize — exactly the regime of a
+//! network service. This crate turns the engine into one, on `std` alone:
+//! a threaded HTTP/1.1 service where
+//!
+//! * `PUT /queries/{name}` compiles a query **once** into a shared
+//!   registry ([`gcx_core::CompiledQuery`] is reused across requests);
+//! * `POST /eval/{name}` streams the request body through the GCX
+//!   pipeline and streams the result back *while the document is still
+//!   arriving* — a request's resident memory is the GCX buffer, not the
+//!   document;
+//! * the paper's buffer-minimality guarantee becomes an enforceable
+//!   resource budget: [`ServerConfig::max_buffer_bytes`] (or the
+//!   `X-Gcx-Max-Buffer-Bytes` request header) rejects runaway requests
+//!   with `413` instead of letting one query OOM the process;
+//! * a bounded worker pool with a bounded admission queue provides
+//!   backpressure: connections beyond the queue get an immediate `503`;
+//! * `GET /stats` and per-response trailers surface the engine's
+//!   measurements (tokens, buffer peaks, purge counts).
+//!
+//! ## Protocol sketch
+//!
+//! ```text
+//! PUT  /queries/{name}      body = query text          → 201 / 400
+//! GET  /queries             newline-separated names    → 200
+//! GET  /queries/{name}      static-analysis report     → 200 / 404
+//! DELETE /queries/{name}                               → 204 / 404
+//! POST /eval/{name}         body = XML document        → 200 (chunked) / 4xx / 5xx
+//!      headers: X-Gcx-Engine: gcx|projection|full
+//!               X-Gcx-Max-Buffer-Bytes: N   (tightens the server budget)
+//!      response trailers: X-Gcx-Tokens, X-Gcx-Peak-Buffered-Nodes,
+//!               X-Gcx-Peak-Buffer-Bytes, X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes
+//! GET  /stats               aggregate JSON             → 200
+//! GET  /healthz                                        → 200
+//! POST /shutdown            graceful drain + exit      → 200
+//! ```
+//!
+//! Failure semantics on `/eval`: errors detected before any output has
+//! been streamed get real status codes (`400` malformed XML / `408`
+//! body deadline / `413` buffer budget / `500` internal; `505` for
+//! HTTP/1.0 peers, which must not be sent chunked framing); errors after
+//! streaming began terminate the chunked body with an `X-Gcx-Error`
+//! trailer and close the connection. Either way the worker survives and
+//! in-flight peers are untouched.
+
+pub mod client;
+pub mod http;
+mod stats;
+
+pub use stats::ServerStats;
+
+use gcx_core::{CompiledQuery, EngineError, EngineOptions};
+use http::{BodyReader, DeferredBody, RequestHead};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on `PUT /queries` bodies (query text, not documents).
+const MAX_QUERY_BYTES: usize = 1024 * 1024;
+
+/// Output buffered before the `200` head of an eval response is committed
+/// (see [`http::DeferredBody`]); also the chunk coalescing size after.
+const COMMIT_THRESHOLD: usize = 8 * 1024;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7007` (port 0 picks an ephemeral
+    /// port; see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads — the request-level concurrency bound.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker; beyond this, `503`.
+    pub queue_depth: usize,
+    /// Default per-request buffer byte budget (None = unlimited). The
+    /// `X-Gcx-Max-Buffer-Bytes` request header can tighten, never loosen.
+    pub max_buffer_bytes: Option<u64>,
+    /// Socket read timeout: bounds how long any *single* read may stall
+    /// (idle keep-alive connections, a silent peer).
+    pub read_timeout: Option<Duration>,
+    /// Total wall-clock budget for one eval request's body. The read
+    /// timeout alone would let a client trickle one byte per interval and
+    /// pin a worker forever; crossing this deadline answers `408`.
+    pub max_request_duration: Option<Duration>,
+    /// Registered-query cap. Each entry holds a compiled query for the
+    /// process lifetime, so an uncapped registry would be a slow OOM any
+    /// client could drive; registering a new name past the cap answers
+    /// `429` (replacing an existing name always works).
+    pub max_queries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7007".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_buffer_bytes: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            max_request_duration: Some(Duration::from_secs(300)),
+            max_queries: 1024,
+        }
+    }
+}
+
+/// Admission queue: accepted connections waiting for a worker.
+struct Queue {
+    conns: VecDeque<TcpStream>,
+    shutdown: bool,
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    config: ServerConfig,
+    registry: RwLock<HashMap<String, Arc<CompiledQuery>>>,
+    stats: ServerStats,
+    started: Instant,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.queue.lock().expect("queue poisoned").shutdown
+    }
+
+    /// Flip the shutdown flag, wake every parked worker, and poke the
+    /// acceptor loose from its blocking `accept`.
+    fn begin_shutdown(&self) {
+        {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            if q.shutdown {
+                return;
+            }
+            q.shutdown = true;
+        }
+        self.ready.notify_all();
+        // A throwaway connection unblocks accept(); the acceptor sees the
+        // flag and exits. Errors are fine — the listener may be gone.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+    }
+}
+
+/// A running service: the bound address plus join control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the service exits (a `POST /shutdown` or
+    /// [`ServerHandle::shutdown`] from another thread).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain admitted connections,
+    /// finish in-flight requests, then join every thread.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Bind and start the service: one acceptor thread plus
+/// [`ServerConfig::workers`] worker threads. Returns immediately.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        config: config.clone(),
+        registry: RwLock::new(HashMap::new()),
+        stats: ServerStats::default(),
+        started: Instant::now(),
+        queue: Mutex::new(Queue {
+            conns: VecDeque::new(),
+            shutdown: false,
+        }),
+        ready: Condvar::new(),
+        local_addr,
+    });
+
+    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+    for i in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("gcx-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("gcx-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr: local_addr,
+        shared,
+        threads,
+    })
+}
+
+/// Accept connections, admitting each to the bounded queue or rejecting
+/// it with an immediate `503` — backpressure the client can see.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // EMFILE under a connection flood returns instantly; a
+                // bare `continue` would busy-spin the acceptor. Back off
+                // briefly so workers can release descriptors.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let mut q = shared.queue.lock().expect("queue poisoned");
+        if q.shutdown {
+            // The shutdown poke (or an unlucky late client) — drop it.
+            drop(stream);
+            break;
+        }
+        shared.stats.accepted.bump();
+        if q.conns.len() >= shared.config.queue_depth {
+            drop(q);
+            shared.stats.rejected_busy.bump();
+            let mut stream = stream;
+            let _ = http::write_response(
+                &mut stream,
+                503,
+                "Service Unavailable",
+                &[("Retry-After", "1")],
+                b"server saturated: admission queue full\n",
+                true,
+            );
+        } else {
+            q.conns.push_back(stream);
+            drop(q);
+            shared.ready.notify_one();
+        }
+    }
+}
+
+/// Worker: pull admitted connections off the queue until shutdown *and*
+/// the queue is drained — admitted work always completes.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(c) = q.conns.pop_front() {
+                    break Some(c);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.ready.wait(q).expect("queue poisoned");
+            }
+        };
+        let Some(conn) = conn else { break };
+        shared.stats.in_flight.bump();
+        let _ = handle_connection(shared, conn);
+        shared.stats.in_flight.drop_one();
+    }
+}
+
+/// What a request handler tells the connection loop to do next.
+enum Outcome {
+    KeepAlive,
+    Close,
+}
+
+/// Poll interval while a worker waits for the next request on an idle
+/// connection — the bound on how long idle peers can delay shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(500);
+
+/// Wait until request bytes are available. Returns `false` when the
+/// connection should be dropped instead: the peer closed, the idle time
+/// exceeded the read timeout, or shutdown began. Peeking (not reading)
+/// keeps partial data intact, so a slow client loses nothing.
+fn wait_for_request(shared: &Shared, reader: &mut BufReader<TcpStream>) -> io::Result<bool> {
+    if !reader.buffer().is_empty() {
+        return Ok(true); // a pipelined request is already buffered
+    }
+    let mut idle = Duration::ZERO;
+    let mut byte = [0u8; 1];
+    loop {
+        let stream = reader.get_ref();
+        stream.set_read_timeout(Some(IDLE_POLL))?;
+        match stream.peek(&mut byte) {
+            Ok(0) => return Ok(false), // peer closed
+            Ok(_) => {
+                stream.set_read_timeout(shared.config.read_timeout)?;
+                return Ok(true);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down() {
+                    return Ok(false); // no request in flight: safe to drop
+                }
+                idle += IDLE_POLL;
+                if shared.config.read_timeout.is_some_and(|t| idle >= t) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serve one connection: a keep-alive loop of request/response exchanges.
+fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(shared.config.read_timeout).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::with_capacity(64 * 1024, stream);
+    loop {
+        // Interruptible idle wait: a worker parked on a keep-alive
+        // connection must still notice shutdown.
+        if !wait_for_request(shared, &mut reader)? {
+            return Ok(());
+        }
+        let head = match http::read_request_head(&mut reader) {
+            Ok(Some(head)) => head,
+            Ok(None) => return Ok(()), // clean keep-alive end
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.stats.client_errors.bump();
+                let msg = format!("bad request: {e}\n");
+                http::write_response(&mut writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
+                shared.stats.served.bump();
+                return Ok(());
+            }
+            Err(e) => return Err(e), // timeout / reset: nothing to say
+        };
+        let keep = head.keep_alive();
+        let outcome = match handle_request(shared, &head, &mut reader, &mut writer) {
+            Ok(outcome) => outcome,
+            // Malformed body framing (bad Content-Length, broken chunk
+            // syntax) deserves the same clean 400 as a malformed head,
+            // not a silent connection drop. Response-write failures carry
+            // other kinds (BrokenPipe etc.) and still just close.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.stats.client_errors.bump();
+                let msg = format!("bad request: {e}\n");
+                http::write_response(&mut writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
+                shared.stats.served.bump();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        shared.stats.served.bump();
+        match outcome {
+            Outcome::KeepAlive if keep && !shared.shutting_down() => continue,
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Route one request. Handlers must leave the connection either fully
+/// consumed (body read to its end) or report [`Outcome::Close`].
+fn handle_request<R: BufRead, W: Write>(
+    shared: &Shared,
+    head: &RequestHead,
+    reader: &mut R,
+    writer: &mut W,
+) -> io::Result<Outcome> {
+    let path = head.target.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (head.method.as_str(), segments.as_slice()) {
+        // Routes that consume their own body.
+        ("PUT", ["queries", name]) => put_query(shared, head, name, reader, writer),
+        ("POST", ["eval", name]) => eval(shared, head, name, reader, writer),
+        // Bodyless routes: a client may still attach a (small) body, and
+        // leaving it unread would desync the keep-alive stream — the next
+        // head parse would start mid-body. Consume it first; anything
+        // oversized forces a close instead.
+        _ => {
+            let consumed = http::read_body_limited(head, reader, MAX_QUERY_BYTES)?.is_some();
+            let outcome = route_bodyless(shared, head, &segments, writer)?;
+            Ok(if consumed { outcome } else { Outcome::Close })
+        }
+    }
+}
+
+/// Dispatch the routes whose request body carries no meaning (already
+/// consumed by the caller).
+fn route_bodyless<W: Write>(
+    shared: &Shared,
+    head: &RequestHead,
+    segments: &[&str],
+    writer: &mut W,
+) -> io::Result<Outcome> {
+    match (head.method.as_str(), segments) {
+        ("GET", ["queries"]) => list_queries(shared, writer),
+        ("GET", ["queries", name]) => explain_query(shared, name, writer),
+        ("DELETE", ["queries", name]) => delete_query(shared, name, writer),
+        ("GET", ["stats"]) => {
+            let registered = shared.registry.read().expect("registry poisoned").len();
+            let body = shared.stats.to_json(
+                registered,
+                shared.started.elapsed(),
+                shared.config.workers,
+                shared.config.queue_depth,
+                shared.config.max_buffer_bytes,
+            );
+            http::write_response(
+                writer,
+                200,
+                "OK",
+                &[("Content-Type", "application/json")],
+                body.as_bytes(),
+                false,
+            )?;
+            Ok(Outcome::KeepAlive)
+        }
+        ("GET", ["healthz"]) => {
+            http::write_response(writer, 200, "OK", &[], b"ok\n", false)?;
+            Ok(Outcome::KeepAlive)
+        }
+        ("POST", ["shutdown"]) => {
+            http::write_response(writer, 200, "OK", &[], b"draining\n", true)?;
+            shared.begin_shutdown();
+            Ok(Outcome::Close)
+        }
+        _ => {
+            shared.stats.client_errors.bump();
+            let msg = format!("no route for {} {}\n", head.method, head.target);
+            http::write_response(writer, 404, "Not Found", &[], msg.as_bytes(), true)?;
+            Ok(Outcome::Close)
+        }
+    }
+}
+
+/// Valid registry names: short, path- and header-safe.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
+}
+
+fn put_query<R: BufRead, W: Write>(
+    shared: &Shared,
+    head: &RequestHead,
+    name: &str,
+    reader: &mut R,
+    writer: &mut W,
+) -> io::Result<Outcome> {
+    if !valid_name(name) {
+        shared.stats.client_errors.bump();
+        http::write_response(
+            writer,
+            400,
+            "Bad Request",
+            &[],
+            b"invalid query name\n",
+            true,
+        )?;
+        return Ok(Outcome::Close);
+    }
+    if head.expects_continue() {
+        writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        writer.flush()?;
+    }
+    let Some(body) = http::read_body_limited(head, reader, MAX_QUERY_BYTES)? else {
+        shared.stats.client_errors.bump();
+        http::write_response(
+            writer,
+            413,
+            "Payload Too Large",
+            &[],
+            b"query text too large\n",
+            true,
+        )?;
+        return Ok(Outcome::Close);
+    };
+    let text = match String::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => {
+            shared.stats.client_errors.bump();
+            http::write_response(
+                writer,
+                400,
+                "Bad Request",
+                &[],
+                b"query text must be UTF-8\n",
+                false,
+            )?;
+            return Ok(Outcome::KeepAlive);
+        }
+    };
+    match CompiledQuery::compile(&text) {
+        Ok(q) => {
+            let mut registry = shared.registry.write().expect("registry poisoned");
+            if !registry.contains_key(name) && registry.len() >= shared.config.max_queries {
+                drop(registry);
+                shared.stats.client_errors.bump();
+                let msg = format!(
+                    "query registry full ({} entries); DELETE unused queries first\n",
+                    shared.config.max_queries
+                );
+                http::write_response(writer, 429, "Too Many Requests", &[], msg.as_bytes(), false)?;
+                return Ok(Outcome::KeepAlive);
+            }
+            let replaced = registry.insert(name.to_string(), Arc::new(q)).is_some();
+            drop(registry);
+            let (status, reason) = if replaced {
+                (200, "OK")
+            } else {
+                (201, "Created")
+            };
+            let msg = format!("compiled query {name:?}\n");
+            http::write_response(writer, status, reason, &[], msg.as_bytes(), false)?;
+            Ok(Outcome::KeepAlive)
+        }
+        Err(e) => {
+            shared.stats.client_errors.bump();
+            let msg = format!("query does not compile: {e}\n");
+            http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), false)?;
+            Ok(Outcome::KeepAlive)
+        }
+    }
+}
+
+fn list_queries<W: Write>(shared: &Shared, writer: &mut W) -> io::Result<Outcome> {
+    let mut names: Vec<String> = shared
+        .registry
+        .read()
+        .expect("registry poisoned")
+        .keys()
+        .cloned()
+        .collect();
+    names.sort();
+    let mut body = names.join("\n");
+    if !body.is_empty() {
+        body.push('\n');
+    }
+    http::write_response(writer, 200, "OK", &[], body.as_bytes(), false)?;
+    Ok(Outcome::KeepAlive)
+}
+
+fn explain_query<W: Write>(shared: &Shared, name: &str, writer: &mut W) -> io::Result<Outcome> {
+    let q = shared
+        .registry
+        .read()
+        .expect("registry poisoned")
+        .get(name)
+        .cloned();
+    match q {
+        Some(q) => {
+            http::write_response(writer, 200, "OK", &[], q.explain().as_bytes(), false)?;
+            Ok(Outcome::KeepAlive)
+        }
+        None => {
+            shared.stats.client_errors.bump();
+            let msg = format!("no query named {name:?}\n");
+            http::write_response(writer, 404, "Not Found", &[], msg.as_bytes(), false)?;
+            Ok(Outcome::KeepAlive)
+        }
+    }
+}
+
+fn delete_query<W: Write>(shared: &Shared, name: &str, writer: &mut W) -> io::Result<Outcome> {
+    let removed = shared
+        .registry
+        .write()
+        .expect("registry poisoned")
+        .remove(name)
+        .is_some();
+    if removed {
+        http::write_response(writer, 204, "No Content", &[], b"", false)?;
+    } else {
+        shared.stats.client_errors.bump();
+        let msg = format!("no query named {name:?}\n");
+        http::write_response(writer, 404, "Not Found", &[], msg.as_bytes(), false)?;
+    }
+    Ok(Outcome::KeepAlive)
+}
+
+/// Parse a byte size: a plain number with an optional k/m/g suffix
+/// (binary units), e.g. `65536`, `64k`, `16m`, `2g`. Used for the
+/// `X-Gcx-Max-Buffer-Bytes` header and re-exported for the CLI's
+/// `--max-buffer-bytes` flag so the two stay in sync.
+pub fn parse_byte_size(text: &str) -> Option<u64> {
+    let text = text.trim();
+    let (digits, shift) = match text.as_bytes().last()? {
+        b'k' | b'K' => (&text[..text.len() - 1], 10u32),
+        b'm' | b'M' => (&text[..text.len() - 1], 20),
+        b'g' | b'G' => (&text[..text.len() - 1], 30),
+        _ => (text, 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift).filter(|v| v >> shift == n)
+}
+
+/// The effective buffer budget: the server default, tightened (never
+/// loosened) by the request's `X-Gcx-Max-Buffer-Bytes` header.
+fn effective_budget(server: Option<u64>, header: Option<&str>) -> Result<Option<u64>, String> {
+    let requested = match header {
+        Some(v) => Some(
+            parse_byte_size(v).ok_or_else(|| format!("bad X-Gcx-Max-Buffer-Bytes value {v:?}"))?,
+        ),
+        None => None,
+    };
+    Ok(match (server, requested) {
+        (Some(s), Some(r)) => Some(s.min(r)),
+        (s, r) => r.or(s),
+    })
+}
+
+/// Bounded best-effort drain of an unread (remainder of a) request body.
+/// Closing with unread bytes in flight makes the kernel send a TCP reset,
+/// which can destroy a just-written error response before the client
+/// reads it; draining a few MB first makes early rejections readable.
+fn drain_reader<R: io::Read>(body: &mut R) {
+    let mut scratch = [0u8; 8192];
+    let mut budget: usize = 4 << 20;
+    while budget > 0 {
+        match body.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// [`drain_reader`] for a request whose body was never opened.
+fn drain_request_body<R: BufRead>(head: &RequestHead, reader: &mut R) {
+    if let Ok(mut body) = BodyReader::for_request(head, reader) {
+        drain_reader(&mut body);
+    }
+}
+
+/// Caps the total wall-clock time a request body may take to arrive.
+/// `ServerConfig::read_timeout` bounds each individual socket read; a
+/// client trickling one byte per interval would pass every such check and
+/// pin a worker forever, so the deadline bounds the sum. It layers
+/// *under* the body reader (as the `BufRead` the framing parser reads
+/// from), so chunk-size lines and trailers are covered too, not just
+/// chunk data. The trip is reported through a shared cell because the
+/// reader is buried inside the body reader when the caller needs it.
+struct DeadlineReader<'f, R> {
+    inner: R,
+    deadline: Option<Instant>,
+    expired: &'f std::cell::Cell<bool>,
+}
+
+impl<R> DeadlineReader<'_, R> {
+    fn check(&self) -> io::Result<()> {
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.expired.set(true);
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request body deadline exceeded",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<R: io::Read> io::Read for DeadlineReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.check()?;
+        self.inner.read(buf)
+    }
+}
+
+impl<R: BufRead> BufRead for DeadlineReader<'_, R> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        self.check()?;
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
+}
+
+/// `POST /eval/{name}`: stream the request body through the engine and
+/// the result back out, reporting the run's measurements as trailers.
+fn eval<R: BufRead, W: Write>(
+    shared: &Shared,
+    head: &RequestHead,
+    name: &str,
+    reader: &mut R,
+    writer: &mut W,
+) -> io::Result<Outcome> {
+    if head.version != "HTTP/1.1" {
+        // Streaming results require chunked transfer-encoding, which an
+        // HTTP/1.0 peer must never be sent (RFC 7230 §3.3.1).
+        shared.stats.client_errors.bump();
+        let msg = "eval streams its result with chunked transfer-encoding; use HTTP/1.1\n";
+        http::write_response(
+            writer,
+            505,
+            "HTTP Version Not Supported",
+            &[],
+            msg.as_bytes(),
+            true,
+        )?;
+        drain_request_body(head, reader);
+        return Ok(Outcome::Close);
+    }
+    let Some(q) = shared
+        .registry
+        .read()
+        .expect("registry poisoned")
+        .get(name)
+        .cloned()
+    else {
+        shared.stats.client_errors.bump();
+        let msg = format!("no query named {name:?} (register with PUT /queries/{name})\n");
+        http::write_response(writer, 404, "Not Found", &[], msg.as_bytes(), true)?;
+        drain_request_body(head, reader);
+        return Ok(Outcome::Close);
+    };
+
+    let mut opts = match head.header("x-gcx-engine").unwrap_or("gcx") {
+        "gcx" => EngineOptions::gcx(),
+        "projection" => EngineOptions::projection_only(),
+        "full" => EngineOptions::full_buffering(),
+        other => {
+            shared.stats.client_errors.bump();
+            let msg = format!("unknown engine {other:?} (gcx|projection|full)\n");
+            http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
+            drain_request_body(head, reader);
+            return Ok(Outcome::Close);
+        }
+    };
+    opts.max_buffer_bytes = match effective_budget(
+        shared.config.max_buffer_bytes,
+        head.header("x-gcx-max-buffer-bytes"),
+    ) {
+        Ok(b) => b,
+        Err(msg) => {
+            shared.stats.client_errors.bump();
+            let msg = format!("{msg}\n");
+            http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
+            drain_request_body(head, reader);
+            return Ok(Outcome::Close);
+        }
+    };
+
+    if head.expects_continue() {
+        writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        writer.flush()?;
+    }
+
+    let success_head = b"HTTP/1.1 200 OK\r\n\
+        Content-Type: application/xml\r\n\
+        Transfer-Encoding: chunked\r\n\
+        Trailer: X-Gcx-Tokens, X-Gcx-Peak-Buffered-Nodes, X-Gcx-Peak-Buffer-Bytes, \
+        X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes\r\n\r\n"
+        .to_vec();
+
+    let expired = std::cell::Cell::new(false);
+    let mut timed = DeadlineReader {
+        inner: reader,
+        deadline: shared
+            .config
+            .max_request_duration
+            .map(|d| Instant::now() + d),
+        expired: &expired,
+    };
+    let mut body = BodyReader::for_request(head, &mut timed)?;
+    let mut out = DeferredBody::new(&mut *writer, success_head, COMMIT_THRESHOLD);
+    let result = gcx_core::run(&q, &opts, &mut body, &mut out);
+    match result {
+        Ok(report) => {
+            let trailers: Vec<(&str, String)> = vec![
+                ("X-Gcx-Tokens", report.tokens.to_string()),
+                (
+                    "X-Gcx-Peak-Buffered-Nodes",
+                    report.buffer.peak_live.to_string(),
+                ),
+                (
+                    "X-Gcx-Peak-Buffer-Bytes",
+                    report.buffer.peak_live_bytes.to_string(),
+                ),
+                ("X-Gcx-Purged-Nodes", report.buffer.purged.to_string()),
+                ("X-Gcx-Output-Bytes", report.output_bytes.to_string()),
+            ];
+            out.finish(&trailers)?;
+            shared.stats.record_eval(&report);
+            // `drain_input` read the body to its end, so the connection is
+            // positioned at the next request.
+            if body.fully_consumed() {
+                Ok(Outcome::KeepAlive)
+            } else {
+                Ok(Outcome::Close)
+            }
+        }
+        Err(e) => {
+            let (status, reason) = if expired.get() {
+                (408, "Request Timeout")
+            } else {
+                match &e {
+                    EngineError::BufferLimitExceeded { .. } => (413, "Payload Too Large"),
+                    EngineError::Xml(_) | EngineError::Query(_) => (400, "Bad Request"),
+                    EngineError::Internal(_) => (500, "Internal Server Error"),
+                }
+            };
+            match status {
+                413 => shared.stats.rejected_buffer.bump(),
+                400 | 408 => shared.stats.client_errors.bump(),
+                _ => shared.stats.server_errors.bump(),
+            }
+            let msg = if expired.get() {
+                "request body deadline exceeded\n".to_string()
+            } else {
+                format!("{e}\n")
+            };
+            match out.fail(msg.trim_end())? {
+                Some(w) => {
+                    // Nothing was streamed yet: a clean, typed rejection.
+                    http::write_response(w, status, reason, &[], msg.as_bytes(), true)?;
+                }
+                None => {
+                    // Mid-stream failure: the chunked body was terminated
+                    // with an X-Gcx-Error trailer; closing is the signal.
+                }
+            }
+            // Drain only a body that is still readable: an expired or
+            // poisoned one (framing error, dead peer) would just stall
+            // on the socket until the read timeout.
+            if !expired.get() && !body.poisoned() {
+                drain_reader(&mut body);
+            }
+            Ok(Outcome::Close)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_header_tightens_but_never_loosens() {
+        assert_eq!(effective_budget(None, None).unwrap(), None);
+        assert_eq!(effective_budget(Some(100), None).unwrap(), Some(100));
+        assert_eq!(effective_budget(None, Some("50")).unwrap(), Some(50));
+        assert_eq!(effective_budget(Some(100), Some("50")).unwrap(), Some(50));
+        assert_eq!(
+            effective_budget(Some(100), Some("5000")).unwrap(),
+            Some(100),
+            "header must not loosen the server budget"
+        );
+        assert!(effective_budget(Some(100), Some("lots")).is_err());
+        assert_eq!(
+            effective_budget(None, Some("64k")).unwrap(),
+            Some(64 * 1024),
+            "suffixes work in the header, as the CLI help promises"
+        );
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("65536"), Some(65536));
+        assert_eq!(parse_byte_size(" 64k "), Some(64 << 10));
+        assert_eq!(parse_byte_size("16M"), Some(16 << 20));
+        assert_eq!(parse_byte_size("2g"), Some(2 << 30));
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("k"), None);
+        assert_eq!(parse_byte_size("1.5m"), None);
+        assert_eq!(parse_byte_size(&format!("{}g", u64::MAX)), None, "overflow");
+    }
+
+    #[test]
+    fn names_are_validated() {
+        assert!(valid_name("q1"));
+        assert!(valid_name("paper.Q6-count_2"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(129)));
+    }
+}

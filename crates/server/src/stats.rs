@@ -1,0 +1,142 @@
+//! Aggregate service counters: a handful of relaxed atomics bumped per
+//! request, surfaced by `GET /stats`.
+
+use gcx_core::RunReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One monotonically increasing (or in-flight gauge) counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one (gauges only).
+    pub fn drop_one(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise to at least `n` (high-watermark gauges).
+    pub fn raise_to(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Service-wide counters. Engine measurements accumulate from each
+/// successful eval's [`RunReport`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted (admitted or 503-rejected).
+    pub accepted: Counter,
+    /// Responses written, any status.
+    pub served: Counter,
+    /// Connections rejected with `503` (admission queue full).
+    pub rejected_busy: Counter,
+    /// Eval requests rejected with `413` (buffer budget exceeded).
+    pub rejected_buffer: Counter,
+    /// Other 4xx responses.
+    pub client_errors: Counter,
+    /// 5xx responses.
+    pub server_errors: Counter,
+    /// Connections currently being served by a worker.
+    pub in_flight: Counter,
+    /// Successful eval runs.
+    pub eval_runs: Counter,
+    /// Σ structural tokens over successful evals.
+    pub eval_tokens: Counter,
+    /// Σ purged buffer nodes over successful evals.
+    pub eval_purged: Counter,
+    /// Σ result bytes over successful evals.
+    pub eval_output_bytes: Counter,
+    /// High watermark of any single eval's peak buffer bytes.
+    pub eval_peak_buffer_bytes: Counter,
+}
+
+impl ServerStats {
+    /// Fold one successful run into the aggregates.
+    pub fn record_eval(&self, report: &RunReport) {
+        self.eval_runs.bump();
+        self.eval_tokens.add(report.tokens);
+        self.eval_purged.add(report.buffer.purged);
+        self.eval_output_bytes.add(report.output_bytes);
+        self.eval_peak_buffer_bytes
+            .raise_to(report.buffer.peak_live_bytes);
+    }
+
+    /// The `GET /stats` document (hand-rolled JSON; no external deps).
+    pub fn to_json(
+        &self,
+        registered_queries: usize,
+        uptime: Duration,
+        workers: usize,
+        queue_depth: usize,
+        max_buffer_bytes: Option<u64>,
+    ) -> String {
+        format!(
+            "{{\"uptime_s\":{:.1},\"workers\":{workers},\"queue_depth\":{queue_depth},\
+             \"max_buffer_bytes\":{},\"queries\":{registered_queries},\
+             \"accepted\":{},\"served\":{},\"in_flight\":{},\
+             \"rejected_busy\":{},\"rejected_buffer\":{},\
+             \"client_errors\":{},\"server_errors\":{},\
+             \"eval\":{{\"runs\":{},\"tokens\":{},\"purged_nodes\":{},\
+             \"output_bytes\":{},\"peak_buffer_bytes\":{}}}}}",
+            uptime.as_secs_f64(),
+            max_buffer_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
+            self.accepted.get(),
+            self.served.get(),
+            self.in_flight.get(),
+            self.rejected_busy.get(),
+            self.rejected_buffer.get(),
+            self.client_errors.get(),
+            self.server_errors.get(),
+            self.eval_runs.get(),
+            self.eval_tokens.get(),
+            self.eval_purged.get(),
+            self.eval_output_bytes.get(),
+            self.eval_peak_buffer_bytes.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_counter_semantics() {
+        let s = ServerStats::default();
+        s.accepted.bump();
+        s.in_flight.bump();
+        s.in_flight.drop_one();
+        s.eval_peak_buffer_bytes.raise_to(100);
+        s.eval_peak_buffer_bytes.raise_to(40);
+        assert_eq!(s.eval_peak_buffer_bytes.get(), 100, "watermark never drops");
+        let json = s.to_json(3, Duration::from_secs(2), 4, 64, Some(1024));
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in [
+            "\"accepted\":1",
+            "\"in_flight\":0",
+            "\"queries\":3",
+            "\"max_buffer_bytes\":1024",
+            "\"peak_buffer_bytes\":100",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        let unlimited = s.to_json(0, Duration::ZERO, 1, 1, None);
+        assert!(unlimited.contains("\"max_buffer_bytes\":null"));
+    }
+}
