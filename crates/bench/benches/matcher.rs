@@ -14,7 +14,7 @@ fn project_document(query: &str, doc: &str, project: bool) -> u64 {
     let a = analyze(&q);
     let mut symbols = SymbolTable::new();
     let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
-    let (matcher, _) = StreamMatcher::new(compiled);
+    let (matcher, _) = StreamMatcher::new(&compiled);
     let mut buf = BufferTree::new(project);
     let mut pre = Preprojector::new(Tokenizer::from_str(doc), matcher, project, None);
     while pre.advance(&mut buf, &mut symbols).unwrap() {}

@@ -26,13 +26,7 @@ struct SingleRun {
     allocs: u64,
 }
 
-/// The 11 benchmark queries with their paper names.
-fn paper_queries() -> Vec<(&'static str, &'static str)> {
-    let mut v: Vec<(&'static str, &'static str)> = gcx_xmark::queries::FIGURE5_QUERIES.to_vec();
-    v.extend(gcx_xmark::queries::extra::ALL);
-    v.push(("Q6_COUNT", gcx_xmark::queries::Q6_COUNT));
-    v
-}
+use gcx_xmark::queries::paper_queries;
 
 /// Entry point for `gcx bench <mode> [flags]`.
 pub fn cmd_bench(args: &[String]) -> Result<(), String> {
@@ -244,6 +238,68 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
 
 // ---- `gcx bench serve`: the service load generator --------------------------
 
+/// Per-query lowering/setup measurements for the `bench serve` report.
+struct LoweringRow {
+    name: &'static str,
+    compile_micros: u64,
+    instructions: usize,
+    steps: usize,
+    matcher_paths: usize,
+    symbols: usize,
+    shared_setup_micros: f64,
+    recompile_setup_micros: f64,
+}
+
+/// Median wall-clock of `iters` runs of `f`, in microseconds.
+fn median_micros(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Measure per-request setup with the shared program vs. recompiling per
+/// request, over a minimal document (so data streaming is negligible and
+/// the fixed per-request cost dominates).
+fn measure_lowering(
+    named: &[(&'static str, &'static str)],
+    compiled: &[CompiledQuery],
+) -> Vec<LoweringRow> {
+    const TINY_DOC: &[u8] = b"<site></site>";
+    named
+        .iter()
+        .zip(compiled)
+        .map(|(&(name, text), q)| {
+            let opts = EngineOptions::gcx();
+            let shared_setup_micros = median_micros(64, || {
+                let mut out = Vec::new();
+                gcx_core::run(q, &opts, TINY_DOC, &mut out).expect("tiny run");
+            });
+            let recompile_setup_micros = median_micros(16, || {
+                let fresh = CompiledQuery::compile(text).expect("recompile");
+                let mut out = Vec::new();
+                gcx_core::run(&fresh, &opts, TINY_DOC, &mut out).expect("tiny run");
+            });
+            let st = q.program.stats();
+            LoweringRow {
+                name,
+                compile_micros: q.compile_micros,
+                instructions: st.instructions,
+                steps: st.steps,
+                matcher_paths: st.matcher_paths,
+                symbols: st.symbols,
+                shared_setup_micros,
+                recompile_setup_micros,
+            }
+        })
+        .collect()
+}
+
 /// One client-side observation: (query index, output mismatch flag,
 /// server peak nodes, server peak bytes, response bytes, elapsed ms).
 type ClientRow = (usize, u64, u64, u64, u64, f64);
@@ -305,6 +361,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let named = paper_queries();
     eprintln!("computing offline oracle for {} queries ...", named.len());
     let opts = EngineOptions::gcx();
+    let mut compiled: Vec<CompiledQuery> = Vec::with_capacity(named.len());
     let mut oracle: Vec<(Vec<u8>, u64, u64)> = Vec::with_capacity(named.len());
     for (name, text) in &named {
         let q = CompiledQuery::compile(text).map_err(|e| format!("{name}: {e}"))?;
@@ -312,7 +369,17 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         let report = gcx_core::run(&q, &opts, std::io::Cursor::new(&doc[..]), &mut out)
             .map_err(|e| format!("{name}: {e}"))?;
         oracle.push((out, report.buffer.peak_live, report.buffer.peak_live_bytes));
+        compiled.push(q);
     }
+
+    // Per-request lowering overhead: what a request pays before any data
+    // streams. `shared_setup` runs the pre-lowered program over a minimal
+    // document (matcher-frame instantiation + pre-interned symbol clone —
+    // the post-gcx-ir hot path); `recompile_setup` additionally re-runs
+    // the whole compilation pipeline per request (the cost the service
+    // paid back when only parsing was amortized, now visible for the
+    // before/after comparison in the committed baseline).
+    let lowering = measure_lowering(&named, &compiled);
 
     // The service under test, on a loopback ephemeral port.
     let handle = gcx_server::serve(gcx_server::ServerConfig {
@@ -468,6 +535,17 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
 
     let total_requests: u64 = loads.iter().map(|l| l.requests).sum();
     let aggregate_mb_s = doc_mb * total_requests as f64 / (elapsed_ms / 1e3);
+    let shared_mean =
+        lowering.iter().map(|l| l.shared_setup_micros).sum::<f64>() / lowering.len().max(1) as f64;
+    let recompile_mean = lowering
+        .iter()
+        .map(|l| l.recompile_setup_micros)
+        .sum::<f64>()
+        / lowering.len().max(1) as f64;
+    eprintln!(
+        "per-request setup (tiny doc, mean of per-query medians): {shared_mean:.0}us \
+         shared program vs {recompile_mean:.0}us recompiling per request",
+    );
     eprintln!(
         "served {} requests in {:.1}ms ({:.1} MB/s aggregate ingest)  cap demo: {}  {}",
         total_requests,
@@ -510,8 +588,27 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
                 && l.server_peak_bytes == l.offline_peak_bytes,
         ));
     }
+    json.push_str("],\"lowering\":{\"tiny_doc\":\"<site></site>\",\"per_query\":[");
+    for (i, l) in lowering.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"compile_micros\":{},\"instructions\":{},\"steps\":{},\
+             \"matcher_paths\":{},\"symbols\":{},\"shared_setup_micros\":{:.1},\
+             \"recompile_setup_micros\":{:.1}}}",
+            l.name,
+            l.compile_micros,
+            l.instructions,
+            l.steps,
+            l.matcher_paths,
+            l.symbols,
+            l.shared_setup_micros,
+            l.recompile_setup_micros,
+        ));
+    }
     json.push_str(&format!(
-        "],\"cap_demo\":{{\"budget_bytes\":256,\"status\":{},\"rejected\":{}}},\
+        "]}},\"cap_demo\":{{\"budget_bytes\":256,\"status\":{},\"rejected\":{}}},\
          \"all_ok\":{},\"server_stats\":{}}}",
         capped.status,
         capped.status == 413,

@@ -6,7 +6,7 @@
 //! gcx serve [--addr HOST:PORT]              streaming XQuery HTTP service
 //! gcx bench throughput [--smoke]            throughput baseline (BENCH_throughput.json)
 //! gcx bench serve [--smoke]                 service load test (BENCH_server.json)
-//! gcx explain <query.xq|-e QUERY>           show roles + rewritten query
+//! gcx explain <query.xq|-e QUERY>           roles, rewritten query, program listing
 //! gcx trace <query.xq|-e QUERY> <input.xml> buffer-occupancy trace (CSV)
 //! gcx generate <MB> [out.xml]               emit an XMark-like document
 //! gcx validate <input.xml>                  well-formedness check
@@ -101,8 +101,33 @@ document — standalone and batched — and writes BENCH_throughput.json
 queries and hammers it with N concurrent clients; every response is
 cross-checked byte-for-byte against the offline engine and the buffer
 peaks must match exactly (the service inherits the paper's memory
-contract). Writes BENCH_server.json."
+contract). Also reports per-request lowering overhead: shared compiled
+program vs recompiling per request. Writes BENCH_server.json.
+
+`explain` prints the full compilation report: projection paths and
+roles, the rewritten query with signOff statements, and the lowered
+gcx-ir program listing (instructions, conditions, path plans, step
+table)."
     );
+}
+
+/// Compile-time stats of one query as JSON object members (no braces):
+/// the pipeline's wall-clock cost and the lowered program's sizes.
+fn compile_members(q: &CompiledQuery) -> String {
+    let st = q.program.stats();
+    format!(
+        "\"compile_micros\":{},{}",
+        q.compile_micros,
+        // Inline the program stats object's members.
+        st.to_json().trim_start_matches('{').trim_end_matches('}'),
+    )
+}
+
+/// Append a JSON member to a hand-rolled JSON object string.
+fn splice_json(object: &str, member: &str) -> String {
+    let body = object.trim_end();
+    let body = body.strip_suffix('}').expect("JSON object");
+    format!("{body},{member}}}")
 }
 
 /// Read the query from `-e TEXT` or a file path; returns (query, rest).
@@ -158,6 +183,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let stats_json = flags.contains(&"--stats-json");
     let indent = flags.contains(&"--indent");
 
+    // One compiled artifact for every engine: the DOM oracle interprets
+    // the normalized AST out of the same `CompiledQuery` the streaming
+    // configurations execute the lowered program from.
+    let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
+
     if engine == "dom" {
         if flags.contains(&"--max-buffer-bytes") {
             return Err(
@@ -166,10 +196,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .into(),
             );
         }
-        let q = gcx_query::compile(&query_text).map_err(|e| e.to_string())?;
         let input = open_input(input_path)?;
         let out = BufWriter::new(std::io::stdout().lock());
-        let report = gcx_dom::run(&q, input, out).map_err(|e| e.to_string())?;
+        let report = gcx_dom::run(&q.query, input, out).map_err(|e| e.to_string())?;
         println!();
         if stats {
             eprintln!(
@@ -190,13 +219,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         opts.indent = Some("  ".to_string());
     }
     opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
-    let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
     let input = open_input(input_path)?;
     let out = BufWriter::new(std::io::stdout().lock());
     let report = gcx_core::run(&q, &opts, input, out).map_err(|e| e.to_string())?;
     println!();
     if stats_json {
-        eprintln!("{}", report.to_json());
+        let compile = format!("\"compile\":{{{}}}", compile_members(&q));
+        eprintln!("{}", splice_json(&report.to_json(), &compile));
     } else if stats {
         eprintln!(
             "tokens: {}   peak buffered nodes: {}   allocated: {}   purged: {}   out bytes: {}",
@@ -237,12 +266,10 @@ fn split_batch(text: &str) -> Vec<String> {
 fn cmd_multi(args: &[String]) -> Result<(), String> {
     let first = args.first().ok_or("missing batch (file path or --xmark)")?;
     let (texts, rest): (Vec<(String, String)>, &[String]) = if first == "--xmark" {
-        let mut v: Vec<(String, String)> = gcx_xmark::queries::FIGURE5_QUERIES
-            .iter()
-            .chain(gcx_xmark::queries::extra::ALL.iter())
+        let v: Vec<(String, String)> = gcx_xmark::queries::paper_queries()
+            .into_iter()
             .map(|(n, t)| (n.to_string(), t.to_string()))
             .collect();
-        v.push(("Q6_COUNT".into(), gcx_xmark::queries::Q6_COUNT.into()));
         (v, &args[1..])
     } else {
         let text = std::fs::read_to_string(first)
@@ -309,7 +336,15 @@ fn cmd_multi(args: &[String]) -> Result<(), String> {
         }
     }
     if stats_json {
-        eprintln!("{}", report.to_json());
+        let mut compile = String::from("\"compile\":[");
+        for (i, ((name, _), q)) in texts.iter().zip(&queries).enumerate() {
+            if i > 0 {
+                compile.push(',');
+            }
+            compile.push_str(&format!("{{\"name\":\"{name}\",{}}}", compile_members(q)));
+        }
+        compile.push(']');
+        eprintln!("{}", splice_json(&report.to_json(), &compile));
     } else if stats {
         eprintln!(
             "queries: {}   tokens (single pass): {}   fan-out events: {}   \

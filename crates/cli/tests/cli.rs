@@ -94,6 +94,32 @@ fn explain_prints_roles() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("r2: /bib/book"), "{text}");
     assert!(text.contains("signOff($b, r2)"), "{text}");
+    // The lowered program listing is part of the report.
+    assert!(text.contains("== Compiled program (gcx-ir) =="), "{text}");
+    assert!(text.contains("for $b in p"), "{text}");
+}
+
+#[test]
+fn explain_matches_golden_listing() {
+    // Golden file for the paper's running example: roles, rewritten query
+    // AND the full gcx-ir program listing (instructions, conditions, path
+    // plans, step table). Regenerate with
+    //   gcx explain crates/cli/tests/golden/paper.xq \
+    //     > crates/cli/tests/golden/explain_paper.txt
+    // after an intentional lowering change.
+    let query = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/paper.xq");
+    let golden = include_str!("golden/explain_paper.txt");
+    let out = gcx_bin().args(["explain", query]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "explain output drifted from the golden listing"
+    );
 }
 
 #[test]

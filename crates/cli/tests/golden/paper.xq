@@ -1,0 +1,6 @@
+<r> {
+  for $bib in /bib return
+    (for $x in $bib/* return
+       if (not(exists($x/price))) then $x else (),
+     for $b in $bib/book return $b/title)
+} </r>

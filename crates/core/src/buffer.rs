@@ -190,7 +190,7 @@ pub struct BufferStats {
     pub allocated: u64,
     /// Total nodes reclaimed by active garbage collection.
     pub purged: u64,
-    /// Estimated bytes currently buffered (see [`node_bytes`]).
+    /// Estimated bytes currently buffered (see the internal `node_bytes` accounting).
     pub live_bytes: u64,
     /// High watermark of `live_bytes`.
     pub peak_live_bytes: u64,
@@ -434,7 +434,7 @@ impl BufferTree {
 
     /// Append an attribute-less element under `parent` with its role
     /// instances. `roles` must be sorted by role id (the matcher emits
-    /// them sorted; see [`BufferTree::append`]).
+    /// them sorted; the internal `append` debug-asserts it).
     pub fn append_element(
         &mut self,
         parent: NodeId,

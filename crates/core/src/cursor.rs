@@ -17,26 +17,28 @@
 //! which is what keeps a for-loop's current binding alive through the body.
 
 use crate::buffer::{BufferTree, NodeId};
-use gcx_xml::{FxBuildHasher, Symbol};
+use gcx_xml::FxBuildHasher;
 use std::collections::HashSet;
 use std::rc::Rc;
 
-/// A node test compiled against the symbol table (evaluator side).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ETest {
-    /// Element with this tag.
-    Name(Symbol),
-    /// Any element.
-    Star,
-    /// Any text node.
-    Text,
-    /// Any node (element or text).
-    AnyNode,
+pub use gcx_ir::{EAxis, ETest, EvalStep};
+
+/// Buffer-side behaviour of a compiled node test. The data type lives in
+/// `gcx-ir` (steps are compiled once, at query-compile time); this trait
+/// supplies the half that needs the run's [`BufferTree`].
+pub trait StepTest {
+    /// Does `node` satisfy the test?
+    fn matches(self, buf: &BufferTree, node: NodeId) -> bool;
+
+    /// The document ordinal of `node` relevant to a `[k]` predicate on a
+    /// child step with this test: same-name position for name tests,
+    /// element position for `*`, text position for `text()`, any-sibling
+    /// position for `node()`.
+    fn pred_ordinal(self, buf: &BufferTree, node: NodeId) -> u32;
 }
 
-impl ETest {
-    /// Does `node` satisfy the test?
-    pub fn matches(self, buf: &BufferTree, node: NodeId) -> bool {
+impl StepTest for ETest {
+    fn matches(self, buf: &BufferTree, node: NodeId) -> bool {
         match self {
             ETest::Name(s) => buf.name(node) == Some(s),
             ETest::Star => !buf.is_text(node),
@@ -45,11 +47,7 @@ impl ETest {
         }
     }
 
-    /// The document ordinal of `node` relevant to a `[k]` predicate on a
-    /// child step with this test: same-name position for name tests,
-    /// element position for `*`, text position for `text()`, any-sibling
-    /// position for `node()`.
-    pub fn pred_ordinal(self, buf: &BufferTree, node: NodeId) -> u32 {
+    fn pred_ordinal(self, buf: &BufferTree, node: NodeId) -> u32 {
         let o = buf.ordinals(node);
         match self {
             ETest::Name(_) | ETest::Text => o.same_kind,
@@ -57,30 +55,6 @@ impl ETest {
             ETest::AnyNode => o.any,
         }
     }
-}
-
-/// Axes the cursor evaluates (attribute steps are handled by the caller).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EAxis {
-    /// `child::`
-    Child,
-    /// `descendant::`
-    Descendant,
-    /// `descendant-or-self::`
-    DescendantOrSelf,
-    /// `self::`
-    SelfAxis,
-}
-
-/// One compiled evaluation step.
-#[derive(Debug, Clone, Copy)]
-pub struct EvalStep {
-    /// Axis.
-    pub axis: EAxis,
-    /// Node test.
-    pub test: ETest,
-    /// `[k]` positional predicate (child axis only).
-    pub pos: Option<u32>,
 }
 
 /// Result of one [`PathCursor::advance`] call.
@@ -135,7 +109,8 @@ pub struct CursorPool {
 /// (or run it to `Done`) so pins are released.
 #[derive(Debug)]
 pub struct PathCursor {
-    /// Shared, pre-compiled steps (the evaluator caches them per path).
+    /// Shared, pre-compiled steps (sliced once at run startup from the
+    /// compiled program's step arena).
     steps: Rc<[EvalStep]>,
     stack: Vec<Frame>,
     done: bool,

@@ -5,31 +5,63 @@ use crate::buffer::{BufferStats, BufferTree};
 use crate::error::EngineError;
 use crate::eval::Run;
 use crate::stream::{BufferFeed, Preprojector, Timeline};
-use gcx_projection::{analyze, Analysis, CompiledPaths, StreamMatcher};
+use gcx_ir::Program;
+use gcx_projection::{analyze, Analysis, StreamMatcher};
 use gcx_query::Query;
-use gcx_xml::{SymbolTable, Tokenizer, WriterOptions, XmlWriter};
+use gcx_xml::{Tokenizer, WriterOptions, XmlWriter};
 use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// A compiled query: normalized AST + static analysis (roles, rewriting).
+/// A compiled query: normalized AST, static analysis (roles, rewriting)
+/// and the lowered, executable program (`gcx-ir`).
+///
+/// Everything here is immutable after [`CompiledQuery::compile`] and the
+/// whole artifact is `Send + Sync`: the HTTP service's registry shares one
+/// instance across request threads, and the multi-query driver hands it to
+/// every batch worker. A run performs no lowering and no query-symbol
+/// interning — the program carries pre-compiled step tables and a
+/// pre-interned symbol table that seeds each run's table.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
     /// The normalized user query.
     pub query: Query,
     /// Roles, projection paths and the rewritten query with signOffs.
     pub analysis: Analysis,
+    /// The lowered program the evaluator executes (shared, immutable).
+    pub program: Arc<Program>,
+    /// Wall-clock cost of the whole compilation pipeline
+    /// (parse → normalize → analyze/rewrite → lower), in microseconds.
+    pub compile_micros: u64,
 }
 
+// The registry/driver sharing contract, enforced at compile time.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<CompiledQuery>();
+    _assert_send_sync::<Program>();
+};
+
 impl CompiledQuery {
-    /// Parse, normalize and statically analyze query text.
+    /// Run the full compilation pipeline on query text:
+    /// parse → normalize → analyze/rewrite → **lower**.
     pub fn compile(text: &str) -> Result<CompiledQuery, EngineError> {
+        let started = Instant::now();
         let query = gcx_query::compile(text)?;
         let analysis = analyze(&query);
-        Ok(CompiledQuery { query, analysis })
+        let program = Arc::new(Program::compile(&query, &analysis));
+        let compile_micros = started.elapsed().as_micros() as u64;
+        Ok(CompiledQuery {
+            query,
+            analysis,
+            program,
+            compile_micros,
+        })
     }
 
-    /// Human-readable static-analysis report: the mapping between query,
+    /// Human-readable compilation report: the mapping between query,
     /// paths, roles and preemption points that the demo visualizes in its
-    /// Figure 3(a).
+    /// Figure 3(a), followed by the compiled program listing.
     pub fn explain(&self) -> String {
         let mut out = String::new();
         out.push_str("== Projection paths and roles ==\n");
@@ -37,6 +69,8 @@ impl CompiledQuery {
         out.push_str("\n== Rewritten query with signOff statements ==\n");
         out.push_str(&self.analysis.rewritten.to_string());
         out.push('\n');
+        out.push_str("\n== Compiled program (gcx-ir) ==\n");
+        out.push_str(&self.program.listing());
         out
     }
 }
@@ -185,28 +219,30 @@ pub fn run<R: Read, W: Write>(
     input: R,
     output: W,
 ) -> Result<RunReport, EngineError> {
-    let mut symbols = SymbolTable::new();
-    let compiled = CompiledPaths::compile(&q.analysis.roles, &mut symbols);
-    let (matcher, _root_roles) = StreamMatcher::new(compiled);
+    // The projection NFA was compiled with the query; the per-run matcher
+    // only instantiates mutable frame state over the shared paths.
+    let (matcher, _root_roles) = StreamMatcher::new(q.program.matcher_paths());
     // Root roles (the paper's r1) are not materialized: the virtual root is
     // never purged, so its bookkeeping would be inert.
     let tokenizer = Tokenizer::new(input);
     let pre = Preprojector::new(tokenizer, matcher, opts.project, opts.timeline_every);
-    run_with_feed(q, opts, symbols, pre, output)
+    run_with_feed(q, opts, pre, output)
 }
 
 /// Run a compiled query over an arbitrary [`BufferFeed`].
 ///
 /// This is [`run`] with the input side factored out: `feed` supplies
 /// buffered nodes on demand instead of the built-in tokenizer+projection
-/// pipeline. `symbols` must be the table any feed-side names were interned
-/// against (a fresh table is fine for feeds that intern on arrival). The
-/// multi-query shared-stream driver uses this entry point to evaluate each
-/// query of a batch over a channel-fed projection of a single input pass.
+/// pipeline. The run's symbol table is seeded from the program's
+/// pre-interned table, so feed-side names must either be interned on
+/// arrival (the multi-query channel feed does) or have been interned
+/// against that same table (the preprojector's matcher is compiled with
+/// the program). The multi-query shared-stream driver uses this entry
+/// point to evaluate each query of a batch over a channel-fed projection
+/// of a single input pass.
 pub fn run_with_feed<F: BufferFeed, W: Write>(
     q: &CompiledQuery,
     opts: &EngineOptions,
-    symbols: SymbolTable,
     feed: F,
     output: W,
 ) -> Result<RunReport, EngineError> {
@@ -218,16 +254,13 @@ pub fn run_with_feed<F: BufferFeed, W: Write>(
             indent: opts.indent.clone(),
         },
     );
-    let mut run = Run::new(
-        buf,
-        feed,
-        symbols,
-        out,
-        &q.analysis,
-        opts.execute_signoffs,
-        q.query.var_names.len(),
-    );
-    run.eval(&q.analysis.rewritten.root)?;
+    // The once-at-startup symbol handshake: cloning the program's
+    // pre-interned table maps every query symbol into the run's (and
+    // thereby the stream tokenizer's) table. No query name is interned
+    // after this point.
+    let symbols = q.program.symbols().clone();
+    let mut run = Run::new(buf, feed, symbols, out, &q.program, opts.execute_signoffs);
+    run.exec(q.program.root())?;
     if opts.drain_input {
         while run.pull_public()? {}
     }

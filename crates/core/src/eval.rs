@@ -1,12 +1,19 @@
-//! The pull-based query evaluator (paper Figure 2, right component).
+//! The pull-based query executor (paper Figure 2, right component).
 //!
-//! The evaluator interprets the *rewritten* query (with signOff statements)
-//! sequentially. Whenever it needs data that is not yet buffered — the next
-//! node of a for-loop, the witness of an `exists`, the closing tag of a
-//! subtree about to be emitted — it blocks, and the buffer manager pulls
-//! tokens from the stream preprojector until the request can be answered.
-//! signOff statements decrement role instances (with derivation
-//! multiplicity) and thereby trigger active garbage collection.
+//! The executor runs the compiled program (`gcx-ir`) lowered from the
+//! *rewritten* query (with signOff statements) sequentially. Whenever it
+//! needs data that is not yet buffered — the next node of a for-loop, the
+//! witness of an `exists`, the closing tag of a subtree about to be
+//! emitted — it blocks, and the buffer manager pulls tokens from the
+//! stream preprojector until the request can be answered. signOff
+//! instructions decrement role instances (with derivation multiplicity)
+//! and thereby trigger active garbage collection.
+//!
+//! All lowering happened at query-compile time: the program carries
+//! pre-compiled [`EvalStep`] tables and a pre-interned symbol table that
+//! seeds the run's table, so a run interns no query names and compiles no
+//! steps — startup slices the program's step arena into shared per-path
+//! step slices, and that is the only per-run setup.
 //!
 //! ## Multiplicity accounting
 //!
@@ -20,14 +27,15 @@
 //! the end of every run (asserted by tests).
 
 use crate::buffer::{BufferTree, NodeId};
-use crate::cursor::{CursorPool, CursorState, EAxis, ETest, EvalStep, PathCursor};
+use crate::cursor::{CursorPool, CursorState, EvalStep, PathCursor, StepTest};
 use crate::error::EngineError;
 use crate::stream::BufferFeed;
-use gcx_projection::Analysis;
-use gcx_query::ast::{
-    AggFunc, Axis, CmpOp, Cond, Expr, NodeTest, Operand, PathExpr, PathRoot, RoleId, Step, VarId,
+use gcx_ir::{
+    fmt_number, AttrPlan, CondId, CondIr, EAxis, Instr, InstrId, OperandId, OperandIr, PathId,
+    PlanRoot, Program,
 };
-use gcx_xml::{FxBuildHasher, Symbol, SymbolTable, XmlWriter};
+use gcx_query::ast::{AggFunc, CmpOp, RoleId, VarId};
+use gcx_xml::{FxBuildHasher, SymbolTable, XmlWriter};
 use std::collections::HashMap;
 use std::io::Write;
 use std::rc::Rc;
@@ -40,29 +48,22 @@ struct Binding {
     mult: u32,
 }
 
-/// Attribute selector for attribute-terminated paths.
-#[derive(Debug, Clone, Copy)]
-enum AttrSel {
-    Name(Symbol),
-    Any,
-}
-
-/// The running evaluator: buffer + input feed + output + environment.
+/// The running executor: buffer + input feed + output + environment.
 pub(crate) struct Run<'q, F, W: Write> {
     pub buf: BufferTree,
     pub pre: F,
     pub symbols: SymbolTable,
     pub out: XmlWriter<W>,
-    pub analysis: &'q Analysis,
     pub execute_signoffs: bool,
+    /// The compiled program being executed.
+    program: &'q Program,
     env: Vec<Option<Binding>>,
+    /// Per-path shared step slices, sliced once at startup from the
+    /// program's step arena (symbols are valid verbatim because the run's
+    /// table was seeded from the program's pre-interned table).
+    path_steps: Vec<Rc<[EvalStep]>>,
     /// Scratch reused by string-value extraction.
     value_scratch: String,
-    /// Compiled-steps cache, keyed by the AST slice's address (the
-    /// analysis outlives the run, so addresses are stable). Conditions
-    /// inside loop bodies are re-evaluated per binding; without the cache
-    /// every evaluation would re-intern and re-allocate its steps.
-    step_cache: HashMap<(usize, usize), Rc<[EvalStep]>, FxBuildHasher>,
     /// Recycled cursor frame stacks (one cursor per path evaluation).
     cursor_pool: CursorPool,
     /// Reused signOff derivation map.
@@ -77,20 +78,27 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         pre: F,
         symbols: SymbolTable,
         out: XmlWriter<W>,
-        analysis: &'q Analysis,
+        program: &'q Program,
         execute_signoffs: bool,
-        n_vars: usize,
     ) -> Self {
+        // The only per-run "lowering": share out the program's immutable
+        // step arena as one Rc slice per distinct path.
+        let path_steps = (0..program.path_count())
+            .map(|i| {
+                let plan = program.path(PathId(i as u32));
+                Rc::from(program.path_steps(plan))
+            })
+            .collect();
         Run {
             buf,
             pre,
             symbols,
             out,
-            analysis,
             execute_signoffs,
-            env: vec![None; n_vars],
+            program,
+            env: vec![None; program.n_vars()],
+            path_steps,
             value_scratch: String::new(),
-            step_cache: HashMap::default(),
             cursor_pool: CursorPool::default(),
             signoff_scratch: HashMap::default(),
             value_pool: Vec::new(),
@@ -138,48 +146,24 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     /// Resolve a path's context node and the binding multiplicity of the
     /// variable it is rooted at (1 for the document root).
-    fn resolve_root(&self, root: &PathRoot) -> Result<(NodeId, u32), EngineError> {
+    fn resolve_root(&self, root: PlanRoot) -> Result<(NodeId, u32), EngineError> {
         match root {
-            PathRoot::Root => Ok((NodeId::ROOT, 1)),
-            PathRoot::Var(v) => self.env[v.id.index()]
+            PlanRoot::Root => Ok((NodeId::ROOT, 1)),
+            PlanRoot::Var(v) => self.env[v.index()]
                 .map(|b| (b.node, b.mult))
                 .ok_or_else(|| {
-                    EngineError::Internal(format!("variable ${} unbound at runtime", v.name))
+                    EngineError::Internal(format!(
+                        "variable ${} unbound at runtime",
+                        self.program.var_name(v)
+                    ))
                 }),
         }
     }
 
-    /// Compile AST steps to evaluator steps, interning names; cached per
-    /// AST slice (keyed by address *and* length — the query outlives the
-    /// run, and `split_attr` hands out prefix subslices that share a base
-    /// pointer with their full path). Attribute steps must have been split
-    /// off by the caller.
-    fn compile_steps(&mut self, steps: &'q [Step]) -> Rc<[EvalStep]> {
-        let key = (steps.as_ptr() as usize, steps.len());
-        if let Some(cached) = self.step_cache.get(&key) {
-            return Rc::clone(cached);
-        }
-        let compiled: Rc<[EvalStep]> = steps
-            .iter()
-            .map(|s| EvalStep {
-                axis: match s.axis {
-                    Axis::Child => EAxis::Child,
-                    Axis::Descendant => EAxis::Descendant,
-                    Axis::DescendantOrSelf => EAxis::DescendantOrSelf,
-                    Axis::SelfAxis => EAxis::SelfAxis,
-                    Axis::Attribute => unreachable!("attribute steps split off by caller"),
-                },
-                test: match &s.test {
-                    NodeTest::Name(n) => ETest::Name(self.symbols.intern(n)),
-                    NodeTest::Star => ETest::Star,
-                    NodeTest::Text => ETest::Text,
-                    NodeTest::AnyNode => ETest::AnyNode,
-                },
-                pos: s.pred.map(|gcx_query::ast::Pred::Position(k)| k),
-            })
-            .collect();
-        self.step_cache.insert(key, Rc::clone(&compiled));
-        compiled
+    /// The shared step slice of a compiled path.
+    #[inline]
+    fn steps_of(&self, path: PathId) -> Rc<[EvalStep]> {
+        Rc::clone(&self.path_steps[path.index()])
     }
 
     /// A recycled (or fresh) empty value vector.
@@ -193,95 +177,84 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         self.value_pool.push(v);
     }
 
-    /// Split an attribute-terminated path into (element steps, selector).
-    fn split_attr(&mut self, p: &'q PathExpr) -> (&'q [Step], Option<AttrSel>) {
-        if p.ends_in_attribute() {
-            let (last, rest) = p.steps.split_last().unwrap();
-            let sel = match &last.test {
-                NodeTest::Name(n) => AttrSel::Name(self.symbols.intern(n)),
-                _ => AttrSel::Any,
-            };
-            (rest, Some(sel))
-        } else {
-            (&p.steps, None)
-        }
-    }
+    // ---- instruction execution ----------------------------------------------
 
-    // ---- expression evaluation ----------------------------------------------
-
-    /// Evaluate an expression, streaming its result to the output writer.
-    pub(crate) fn eval(&mut self, e: &'q Expr) -> Result<(), EngineError> {
-        match e {
-            Expr::Empty => Ok(()),
-            Expr::Sequence(items) => {
-                for item in items {
-                    self.eval(item)?;
+    /// Execute one instruction, streaming its result to the output writer.
+    pub(crate) fn exec(&mut self, id: InstrId) -> Result<(), EngineError> {
+        match self.program.instr(id) {
+            Instr::Nop => Ok(()),
+            Instr::Seq { first, len } => {
+                for i in 0..len {
+                    let item = self.program.seq_items(first, len)[i as usize];
+                    self.exec(item)?;
                 }
                 Ok(())
             }
-            Expr::StringLit(s) => {
-                self.out.text(s)?;
+            Instr::Text(s) => {
+                self.out.text(self.program.str_(s))?;
                 Ok(())
             }
-            Expr::NumberLit(v) => {
-                self.out.text(&fmt_number(*v))?;
-                Ok(())
-            }
-            Expr::Element {
+            Instr::Element {
                 name,
-                attrs,
+                attrs_first,
+                attrs_len,
                 content,
             } => {
-                self.out.start_element(name)?;
-                for (k, v) in attrs {
-                    self.out.attribute(k, v)?;
+                self.out.start_element(self.program.str_(name))?;
+                for i in 0..attrs_len {
+                    let (k, v) = self.program.attr_pairs(attrs_first, attrs_len)[i as usize];
+                    self.out
+                        .attribute(self.program.str_(k), self.program.str_(v))?;
                 }
-                self.eval(content)?;
+                self.exec(content)?;
                 self.out.end_element()?;
                 Ok(())
             }
-            Expr::If {
+            Instr::If {
                 cond,
                 then_branch,
                 else_branch,
             } => {
-                if self.eval_cond(cond)? {
-                    self.eval(then_branch)
+                if self.exec_cond(cond)? {
+                    self.exec(then_branch)
                 } else {
-                    self.eval(else_branch)
+                    self.exec(else_branch)
                 }
             }
-            Expr::For {
-                var, source, body, ..
-            } => self.eval_for(var.id, source, body),
-            Expr::Path(p) => self.eval_output_path(p),
-            Expr::Aggregate { func, arg } => self.eval_aggregate(*func, arg),
-            Expr::SignOff { target, role } => {
+            Instr::For {
+                var,
+                path,
+                role,
+                body,
+            } => self.exec_for(var, path, role, body),
+            Instr::OutputPath(p) => self.exec_output_path(p),
+            Instr::Aggregate { func, path } => self.exec_aggregate(func, path),
+            Instr::SignOff { path, role } => {
                 if self.execute_signoffs {
-                    self.exec_signoff(target, *role)?;
+                    self.exec_signoff(path, role)?;
                 }
                 Ok(())
             }
         }
     }
 
-    fn eval_for(
+    fn exec_for(
         &mut self,
         var: VarId,
-        source: &'q PathExpr,
-        body: &'q Expr,
+        path: PathId,
+        binding_role: RoleId,
+        body: InstrId,
     ) -> Result<(), EngineError> {
-        let (ctx, _) = self.resolve_root(&source.root)?;
-        let steps = self.compile_steps(&source.steps);
-        let binding_role = self.analysis.binding_roles[var.index()]
-            .ok_or_else(|| EngineError::Internal("for-variable without binding role".into()))?;
+        let plan = self.program.path(path);
+        let (ctx, _) = self.resolve_root(plan.root)?;
+        let steps = self.steps_of(path);
         let mut cursor = PathCursor::new_pooled(&mut self.buf, ctx, steps, &mut self.cursor_pool);
         let result = loop {
             match cursor.advance(&mut self.buf) {
                 CursorState::Match(n) => {
                     let mult = self.buf.role_count(n, binding_role).max(1);
                     self.env[var.index()] = Some(Binding { node: n, mult });
-                    let r = self.eval(body);
+                    let r = self.exec(body);
                     self.env[var.index()] = None;
                     if let Err(e) = r {
                         break Err(e);
@@ -301,18 +274,18 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     /// Emit the nodes selected by a path: deep copies of element subtrees,
     /// the content of text nodes, the values of selected attributes.
-    fn eval_output_path(&mut self, p: &'q PathExpr) -> Result<(), EngineError> {
-        let (ctx, _) = self.resolve_root(&p.root)?;
-        let (elem_steps, attr_sel) = self.split_attr(p);
-        let elem_steps = self.compile_steps(elem_steps);
+    fn exec_output_path(&mut self, path: PathId) -> Result<(), EngineError> {
+        let plan = self.program.path(path);
+        let (ctx, _) = self.resolve_root(plan.root)?;
+        let elem_steps = self.steps_of(path);
         let mut cursor =
             PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
         let result = loop {
             match cursor.advance(&mut self.buf) {
                 CursorState::Match(n) => {
-                    let r = match attr_sel {
-                        Some(sel) => self.emit_attr(n, sel),
-                        None => self.emit_node(n),
+                    let r = match plan.attr {
+                        AttrPlan::None => self.emit_node(n),
+                        sel => self.emit_attr(n, sel),
                     };
                     if let Err(e) = r {
                         break Err(e);
@@ -330,20 +303,21 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         result
     }
 
-    fn emit_attr(&mut self, n: NodeId, sel: AttrSel) -> Result<(), EngineError> {
+    fn emit_attr(&mut self, n: NodeId, sel: AttrPlan) -> Result<(), EngineError> {
         // `buf` and `out` are distinct fields, so attribute values stream
         // straight from the buffer to the writer without copies.
         match sel {
-            AttrSel::Name(name) => {
+            AttrPlan::Name(name) => {
                 if let Some(v) = self.buf.attr(n, name) {
                     self.out.text(v)?;
                 }
             }
-            AttrSel::Any => {
+            AttrPlan::Any => {
                 for (_, v) in self.buf.attrs(n).iter() {
                     self.out.text(v)?;
                 }
             }
+            AttrPlan::None => unreachable!("emit_attr called without a selector"),
         }
         Ok(())
     }
@@ -362,23 +336,22 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     // ---- conditions -----------------------------------------------------------
 
-    fn eval_cond(&mut self, c: &'q Cond) -> Result<bool, EngineError> {
-        match c {
-            Cond::True => Ok(true),
-            Cond::False => Ok(false),
-            Cond::Not(inner) => Ok(!self.eval_cond(inner)?),
-            Cond::And(a, b) => Ok(self.eval_cond(a)? && self.eval_cond(b)?),
-            Cond::Or(a, b) => Ok(self.eval_cond(a)? || self.eval_cond(b)?),
-            Cond::Exists(p) => self.eval_exists(p),
-            Cond::Compare { op, lhs, rhs } => {
+    fn exec_cond(&mut self, id: CondId) -> Result<bool, EngineError> {
+        match self.program.cond(id) {
+            CondIr::Const(b) => Ok(b),
+            CondIr::Not(inner) => Ok(!self.exec_cond(inner)?),
+            CondIr::And(a, b) => Ok(self.exec_cond(a)? && self.exec_cond(b)?),
+            CondIr::Or(a, b) => Ok(self.exec_cond(a)? || self.exec_cond(b)?),
+            CondIr::Exists(p) => self.exec_exists(p),
+            CondIr::Compare { op, lhs, rhs } => {
                 let l = self.collect_values(lhs)?;
                 let r = self.collect_values(rhs)?;
-                let result = compare_existential(*op, &l, &r);
+                let result = compare_existential(op, &l, &r);
                 self.recycle_values(l);
                 self.recycle_values(r);
                 Ok(result)
             }
-            Cond::StringFn {
+            CondIr::StringFn {
                 func,
                 haystack,
                 needle,
@@ -398,22 +371,22 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     /// `exists($x/p)`: block until the first witness appears or the search
     /// region is exhausted — the paper's "until the data is available in
     /// the buffer or it has become evident that the data does not exist".
-    fn eval_exists(&mut self, p: &'q PathExpr) -> Result<bool, EngineError> {
-        let (ctx, _) = self.resolve_root(&p.root)?;
-        let (elem_steps, attr_sel) = self.split_attr(p);
-        let elem_steps = self.compile_steps(elem_steps);
+    fn exec_exists(&mut self, path: PathId) -> Result<bool, EngineError> {
+        let plan = self.program.path(path);
+        let (ctx, _) = self.resolve_root(plan.root)?;
+        let elem_steps = self.steps_of(path);
         let mut cursor =
             PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
         let result = loop {
             match cursor.advance(&mut self.buf) {
-                CursorState::Match(n) => match attr_sel {
-                    None => break Ok(true),
-                    Some(AttrSel::Any) => {
+                CursorState::Match(n) => match plan.attr {
+                    AttrPlan::None => break Ok(true),
+                    AttrPlan::Any => {
                         if !self.buf.attrs(n).is_empty() {
                             break Ok(true);
                         }
                     }
-                    Some(AttrSel::Name(a)) => {
+                    AttrPlan::Name(a) => {
                         if self.buf.attr(n, a).is_some() {
                             break Ok(true);
                         }
@@ -433,21 +406,17 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     /// Collect the atomized values of an operand (blocking until the
     /// selected subtrees are complete).
-    fn collect_values(&mut self, op: &'q Operand) -> Result<Vec<Value>, EngineError> {
+    fn collect_values(&mut self, op: OperandId) -> Result<Vec<Value>, EngineError> {
         let mut values = self.pooled_values();
-        match op {
-            Operand::StringLit(s) => {
-                values.push(Value::from_string(s.clone()));
-                Ok(values)
-            }
-            Operand::NumberLit(v) => {
+        match self.program.operand(op) {
+            OperandIr::Lit { text, num } => {
                 values.push(Value {
-                    text: fmt_number(*v),
-                    num: Some(*v),
+                    text: self.program.str_(text).to_string(),
+                    num,
                 });
                 Ok(values)
             }
-            Operand::Path(p) => {
+            OperandIr::Path(p) => {
                 self.collect_path_values(p, &mut values)?;
                 Ok(values)
             }
@@ -457,18 +426,18 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     /// Collect the atomized values selected by a path into `values`.
     fn collect_path_values(
         &mut self,
-        p: &'q PathExpr,
+        path: PathId,
         values: &mut Vec<Value>,
     ) -> Result<(), EngineError> {
-        let (ctx, _) = self.resolve_root(&p.root)?;
-        let (elem_steps, attr_sel) = self.split_attr(p);
-        let elem_steps = self.compile_steps(elem_steps);
+        let plan = self.program.path(path);
+        let (ctx, _) = self.resolve_root(plan.root)?;
+        let elem_steps = self.steps_of(path);
         let mut cursor =
             PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
         let result = loop {
             match cursor.advance(&mut self.buf) {
                 CursorState::Match(n) => {
-                    let r = self.value_of(n, attr_sel, values);
+                    let r = self.value_of(n, plan.attr, values);
                     if let Err(e) = r {
                         break Err(e);
                     }
@@ -488,21 +457,21 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     fn value_of(
         &mut self,
         n: NodeId,
-        attr_sel: Option<AttrSel>,
+        attr_sel: AttrPlan,
         values: &mut Vec<Value>,
     ) -> Result<(), EngineError> {
         match attr_sel {
-            Some(AttrSel::Name(a)) => {
+            AttrPlan::Name(a) => {
                 if let Some(v) = self.buf.attr(n, a) {
                     values.push(Value::from_string(v.to_string()));
                 }
             }
-            Some(AttrSel::Any) => {
+            AttrPlan::Any => {
                 for (_, v) in self.buf.attrs(n).iter() {
                     values.push(Value::from_string(v.to_string()));
                 }
             }
-            None => {
+            AttrPlan::None => {
                 if !self.buf.is_text(n) {
                     self.wait_closed(n)?;
                 }
@@ -516,9 +485,9 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
 
     // ---- aggregates (extension) ------------------------------------------------
 
-    fn eval_aggregate(&mut self, func: AggFunc, arg: &'q PathExpr) -> Result<(), EngineError> {
+    fn exec_aggregate(&mut self, func: AggFunc, path: PathId) -> Result<(), EngineError> {
         let mut values = self.pooled_values();
-        self.collect_path_values(arg, &mut values)?;
+        self.collect_path_values(path, &mut values)?;
         let text = match func {
             AggFunc::Count => Some(fmt_number(values.len() as f64)),
             AggFunc::Sum => {
@@ -560,7 +529,7 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
     /// Execute `signOff(target, role)`: decrement role instances on every
     /// buffered node matching the target path, with derivation
     /// multiplicities, triggering garbage collection.
-    fn exec_signoff(&mut self, target: &'q PathExpr, role: RoleId) -> Result<(), EngineError> {
+    fn exec_signoff(&mut self, path: PathId, role: RoleId) -> Result<(), EngineError> {
         // "These commands must not be issued too early" (paper §3): a
         // signOff over a non-empty path decrements role instances on a
         // whole region, so that region must have finished streaming —
@@ -572,16 +541,18 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         // the region is the whole document (evaluation may have
         // short-circuited). A signOff of the anchor node itself (empty
         // path) is always safe: roles are assigned at node creation.
-        let (ctx, mult) = self.resolve_root(&target.root)?;
-        if !target.steps.is_empty() {
-            match target.root {
-                PathRoot::Root => while self.pull()? {},
-                PathRoot::Var(_) => self.wait_closed(ctx)?,
+        let plan = self.program.path(path);
+        let (ctx, mult) = self.resolve_root(plan.root)?;
+        if plan.has_steps() {
+            match plan.root {
+                PlanRoot::Root => while self.pull()? {},
+                PlanRoot::Var(_) => self.wait_closed(ctx)?,
             }
         }
         // Attribute steps never appear in signOff targets (analysis strips
-        // them when deriving role paths).
-        let steps = self.compile_steps(&target.steps);
+        // them when deriving role paths), so the plan's element steps are
+        // the whole target.
+        let steps = self.steps_of(path);
         // Collect first (merging duplicate derivations), then decrement:
         // decrements purge eagerly and would invalidate a live walk. The
         // map is reused across signOffs (one per preemption point per
@@ -719,15 +690,6 @@ fn cmp_ord(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
     }
 }
 
-/// Print a number the way the output model expects (no trailing `.0`).
-pub(crate) fn fmt_number(v: f64) -> String {
-    if v.fract() == 0.0 && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -761,14 +723,6 @@ mod tests {
             !compare_existential(CmpOp::Eq, &[], &rhs),
             "empty sequence matches nothing"
         );
-    }
-
-    #[test]
-    fn number_formatting() {
-        assert_eq!(fmt_number(3.0), "3");
-        assert_eq!(fmt_number(3.5), "3.5");
-        assert_eq!(fmt_number(0.0), "0");
-        assert_eq!(fmt_number(-2.0), "-2");
     }
 
     #[test]

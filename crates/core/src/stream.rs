@@ -387,7 +387,7 @@ mod tests {
         let a = analyze(&q);
         let mut symbols = SymbolTable::new();
         let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
-        let (matcher, _root_roles) = StreamMatcher::new(compiled);
+        let (matcher, _root_roles) = StreamMatcher::new(&compiled);
         let mut buf = BufferTree::new(project);
         let tokenizer = Tokenizer::from_str(xml);
         let mut pre = Preprojector::new(tokenizer, matcher, project, Some(1));
@@ -511,7 +511,7 @@ mod tests {
         let a = analyze(&query);
         let mut symbols = SymbolTable::new();
         let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
-        let (matcher, _) = StreamMatcher::new(compiled);
+        let (matcher, _) = StreamMatcher::new(&compiled);
         let mut buf = BufferTree::new(true);
         let tokenizer = Tokenizer::from_str("<x><w/><w/><y/></x>");
         let mut pre = Preprojector::new(tokenizer, matcher, true, Some(1));

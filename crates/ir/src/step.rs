@@ -1,0 +1,47 @@
+//! Pre-compiled path steps: the evaluator-side form of a query path.
+//!
+//! These used to be lowered per run (and cached behind an address-keyed
+//! map) inside `gcx-core`'s evaluator; they are now compiled exactly once,
+//! at query-compile time, into the program's step arena. Names are
+//! interned against the program's pre-interned symbol table — a run that
+//! starts from a clone of that table can use these symbols directly.
+
+use gcx_xml::Symbol;
+
+/// A node test compiled against the program's symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ETest {
+    /// Element with this tag.
+    Name(Symbol),
+    /// Any element.
+    Star,
+    /// Any text node.
+    Text,
+    /// Any node (element or text).
+    AnyNode,
+}
+
+/// Axes the evaluator's path cursor walks (attribute steps are split off
+/// into the owning [`crate::PathPlan`]'s attribute selector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EAxis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `self::`
+    SelfAxis,
+}
+
+/// One compiled evaluation step.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalStep {
+    /// Axis.
+    pub axis: EAxis,
+    /// Node test.
+    pub test: ETest,
+    /// `[k]` positional predicate (child axis only).
+    pub pos: Option<u32>,
+}

@@ -283,13 +283,10 @@ impl SharedRun {
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     let feed = ChannelFeed::new(rx);
-                    let report = gcx_core::run_with_feed(
-                        q,
-                        &worker_opts,
-                        SymbolTable::new(),
-                        feed,
-                        &mut out,
-                    );
+                    // The worker reuses the query's compiled program; its
+                    // run table is seeded from the program's pre-interned
+                    // symbols and event names are interned on arrival.
+                    let report = gcx_core::run_with_feed(q, &worker_opts, feed, &mut out);
                     (out, report)
                 }));
                 states.push(QState {

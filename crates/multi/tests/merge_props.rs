@@ -190,7 +190,7 @@ fn merged_matcher_equals_standalone_matchers() {
             .iter()
             .map(|q| {
                 let paths = CompiledPaths::compile(&q.analysis.roles, &mut sy);
-                let (m, _) = StreamMatcher::new(paths);
+                let (m, _) = StreamMatcher::new(&paths);
                 Solo { m, skip: 0 }
             })
             .collect();

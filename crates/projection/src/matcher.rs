@@ -522,9 +522,12 @@ pub struct StreamMatcher {
 
 impl StreamMatcher {
     /// Create the matcher and compute the document root's roles (paths with
-    /// zero steps, e.g. the paper's `r1: /`).
-    pub fn new(compiled: CompiledPaths) -> (StreamMatcher, RoleAssignment) {
-        let (inner, tagged_roots) = TaggedMatcher::new(TaggedPaths::merge([&compiled]));
+    /// zero steps, e.g. the paper's `r1: /`). The compiled paths are
+    /// borrowed: they live in the shared compiled-query artifact
+    /// (`gcx-ir`'s program), and only the mutable per-run frame state is
+    /// instantiated here.
+    pub fn new(compiled: &CompiledPaths) -> (StreamMatcher, RoleAssignment) {
+        let (inner, tagged_roots) = TaggedMatcher::new(TaggedPaths::merge([compiled]));
         let root_roles = tagged_roots.into_iter().map(|(_, r, c)| (r, c)).collect();
         (
             StreamMatcher {
@@ -661,7 +664,7 @@ mod tests {
         let a = analyze(&q);
         let mut symbols = SymbolTable::new();
         let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
-        let (m, root_roles) = StreamMatcher::new(compiled);
+        let (m, root_roles) = StreamMatcher::new(&compiled);
         (m, root_roles, symbols, a.roles)
     }
 

@@ -514,6 +514,7 @@ fn put_query<R: BufRead, W: Write>(
     };
     match CompiledQuery::compile(&text) {
         Ok(q) => {
+            shared.stats.queries_compiled.bump();
             let mut registry = shared.registry.write().expect("registry poisoned");
             if !registry.contains_key(name) && registry.len() >= shared.config.max_queries {
                 drop(registry);

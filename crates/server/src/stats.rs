@@ -54,6 +54,11 @@ pub struct ServerStats {
     pub server_errors: Counter,
     /// Connections currently being served by a worker.
     pub in_flight: Counter,
+    /// Query compilations performed (`PUT /queries`). Eval requests never
+    /// compile or lower anything — the registry shares one compiled
+    /// program per name — so this stays flat under eval load (asserted by
+    /// the loopback suite).
+    pub queries_compiled: Counter,
     /// Successful eval runs.
     pub eval_runs: Counter,
     /// Σ structural tokens over successful evals.
@@ -89,6 +94,7 @@ impl ServerStats {
         format!(
             "{{\"uptime_s\":{:.1},\"workers\":{workers},\"queue_depth\":{queue_depth},\
              \"max_buffer_bytes\":{},\"queries\":{registered_queries},\
+             \"queries_compiled\":{},\
              \"accepted\":{},\"served\":{},\"in_flight\":{},\
              \"rejected_busy\":{},\"rejected_buffer\":{},\
              \"client_errors\":{},\"server_errors\":{},\
@@ -96,6 +102,7 @@ impl ServerStats {
              \"output_bytes\":{},\"peak_buffer_bytes\":{}}}}}",
             uptime.as_secs_f64(),
             max_buffer_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
+            self.queries_compiled.get(),
             self.accepted.get(),
             self.served.get(),
             self.in_flight.get(),

@@ -149,6 +149,56 @@ fn concurrent_clients_get_byte_identical_results() {
 }
 
 #[test]
+fn concurrent_requests_share_one_compiled_program_without_recompiling() {
+    // The registry stores the fully lowered program (`gcx-ir`); the eval
+    // hot path must not compile or lower anything. Two concurrent
+    // requests against one registry entry: identical bytes, and the
+    // compilation counter stays at the single PUT.
+    let h = start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let addr = h.addr();
+    let r = client::put_query(addr, "titles", TITLES).unwrap();
+    assert_eq!(r.status, 201);
+
+    let (expected, _) = offline(TITLES, DOC);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let expected = &expected;
+                scope.spawn(move || {
+                    let r = client::eval(addr, "titles", DOC, &[], BodyMode::Sized).unwrap();
+                    assert_eq!(r.status, 200, "request {i}");
+                    assert_eq!(&r.body, expected, "request {i}");
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("concurrent eval panicked");
+        }
+    });
+
+    // The response is on the wire before the worker folds its counters
+    // in; poll briefly for the second run to land.
+    let mut stats = String::new();
+    for _ in 0..50 {
+        let r = client::get(addr, "/stats").unwrap();
+        stats = String::from_utf8_lossy(&r.body).to_string();
+        if stats.contains("\"runs\":2") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(stats.contains("\"runs\":2"), "{stats}");
+    assert!(
+        stats.contains("\"queries_compiled\":1"),
+        "evals must not recompile: {stats}"
+    );
+    h.shutdown();
+}
+
+#[test]
 fn malformed_xml_is_a_clean_error_and_the_server_survives() {
     let h = start(ServerConfig {
         workers: 2,

@@ -110,6 +110,18 @@ pub const FIGURE5_QUERIES: [(&str, &str); 5] = [
     ("Q20", Q20),
 ];
 
+/// The canonical 11-query benchmark battery with paper names: the five
+/// Figure 5 queries, the extra XMark adaptations, and the aggregation
+/// extension. The bench harnesses, `gcx multi --xmark` and the
+/// differential property suite all sweep exactly this list — add new
+/// benchmark queries here so they cannot drift apart.
+pub fn paper_queries() -> Vec<(&'static str, &'static str)> {
+    let mut v: Vec<(&'static str, &'static str)> = FIGURE5_QUERIES.to_vec();
+    v.extend(extra::ALL);
+    v.push(("Q6_COUNT", Q6_COUNT));
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

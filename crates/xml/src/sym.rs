@@ -72,7 +72,11 @@ impl fmt::Display for Symbol {
 ///
 /// Symbols are never reclaimed; queries and documents use a small, stable
 /// universe of names so the table stays tiny even for very large inputs.
-#[derive(Debug, Default)]
+///
+/// The table is `Clone` so a compiled query's **pre-interned** table
+/// (`gcx-ir`) can seed each run's table: query symbols stay valid verbatim
+/// and the tokenizer interns document names on top.
+#[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
     map: HashMap<Box<str>, Symbol, FxBuildHasher>,
     names: Vec<Box<str>>,

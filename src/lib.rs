@@ -31,7 +31,8 @@
 //! | [`xml`] | streaming tokenizer, writer, escaping, interning |
 //! | [`query`] | lexer, parser, AST, normalizer for the XQuery fragment |
 //! | [`projection`] | roles, projection paths, signOff insertion, stream NFA |
-//! | [`core`](mod@core) | buffer + active GC, preprojector, evaluator, engine |
+//! | [`ir`] | the lower stage: flat, shareable compiled-query programs |
+//! | [`core`](mod@core) | buffer + active GC, preprojector, program executor, engine |
 //! | [`dom`] | full-buffering DOM baseline (differential oracle) |
 //! | [`xmark`] | XMark-like generator + the paper's benchmark queries |
 //! | [`memtrack`] | heap high-watermark allocator for the experiments |
@@ -58,6 +59,11 @@ pub mod query {
 /// Static analysis (roles, projection paths, signOff insertion).
 pub mod projection {
     pub use gcx_projection::*;
+}
+
+/// The lower stage: flat, shareable compiled-query programs.
+pub mod ir {
+    pub use gcx_ir::*;
 }
 
 /// The runtime (buffer, preprojector, evaluator, engine API).

@@ -54,7 +54,7 @@ fn preproject_allocs(doc: &str) -> u64 {
     let a = analyze(&q);
     let mut symbols = SymbolTable::new();
     let compiled = CompiledPaths::compile(&a.roles, &mut symbols);
-    let (matcher, _) = StreamMatcher::new(compiled);
+    let (matcher, _) = StreamMatcher::new(&compiled);
     let mut buf = BufferTree::new(true);
     let mut pre = Preprojector::new(Tokenizer::from_str(doc), matcher, true, None);
     while pre.advance(&mut buf, &mut symbols).unwrap() {}

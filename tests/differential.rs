@@ -140,13 +140,16 @@ fn run_cfg(q: &CompiledQuery, opts: &EngineOptions, doc: &str) -> (String, gcx::
 }
 
 fn check_all_engines_agree(query_text: &str, doc: &str) {
+    // One compiled artifact: the three streaming configurations execute
+    // the same lowered program (gcx-ir) under different execution
+    // options; the DOM oracle interprets the normalized AST out of the
+    // same `CompiledQuery` with independent code.
     let q = CompiledQuery::compile(query_text).expect("query compiles");
     let (gcx_out, gcx_rep) = run_cfg(&q, &EngineOptions::gcx(), doc);
     let (proj_out, proj_rep) = run_cfg(&q, &EngineOptions::projection_only(), doc);
     let (full_out, full_rep) = run_cfg(&q, &EngineOptions::full_buffering(), doc);
-    let dom_q = gcx::query::compile(query_text).unwrap();
     let mut dom_out = Vec::new();
-    gcx::dom::run(&dom_q, doc.as_bytes(), &mut dom_out).expect("dom run");
+    gcx::dom::run(&q.query, doc.as_bytes(), &mut dom_out).expect("dom run");
     let dom_out = String::from_utf8(dom_out).unwrap();
 
     assert_eq!(
@@ -200,6 +203,45 @@ proptest! {
     fn engines_agree_on_random_queries_random_docs(q in query(), doc in document()) {
         check_all_engines_agree(&q, &doc.xml);
     }
+}
+
+// The canonical 11-query battery (the same one the bench harnesses
+// sweep), shared via gcx-xmark so the lists cannot drift apart.
+use gcx::xmark::queries::paper_queries;
+
+proptest! {
+    // The XMark sweep is expensive (11 queries × 4 engines per case), so
+    // it runs fewer cases than the micro-doc suites.
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random XMark microdocs × all 11 paper queries: the IR-executing
+    /// engine must stay byte-identical to the DOM oracle under gcx,
+    /// projection-only and full-buffering options (and the buffer-peak
+    /// hierarchy must hold).
+    #[test]
+    fn xmark_microdocs_agree_across_engines_and_oracle(
+        seed in proptest::num::u64::ANY,
+        kb in 4u64..48,
+    ) {
+        let mut cfg = gcx::xmark::XmarkConfig::sized(kb * 1024);
+        cfg.seed = seed;
+        let doc = gcx::xmark::generate_string(&cfg);
+        // Failure messages inside carry the full query text, which
+        // identifies the paper query unambiguously.
+        for (_name, text) in paper_queries() {
+            check_all_engines_agree(text, &doc);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 192,
+        ..ProptestConfig::default()
+    })]
 
     #[test]
     fn tokenizer_roundtrip_via_writer(doc in document()) {
