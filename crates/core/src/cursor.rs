@@ -117,8 +117,11 @@ pub struct PathCursor {
     /// XQuery paths select *distinct* nodes, but two or more descendant
     /// axes in one path can reach a node through several derivations.
     /// Only then is the (purge-safe: ids are generation-tagged) dedup set
-    /// engaged.
-    emitted: Option<HashSet<NodeId, FxBuildHasher>>,
+    /// engaged. Boxed so the common cursor stays small: cursors live
+    /// inside the resumable evaluator's continuation frames, which are
+    /// moved on and off the task stack as loops suspend and resume.
+    #[allow(clippy::box_collection)] // deliberate: shrinks every cursor for a rare feature
+    emitted: Option<Box<HashSet<NodeId, FxBuildHasher>>>,
 }
 
 impl PathCursor {
@@ -150,7 +153,7 @@ impl PathCursor {
             steps,
             stack,
             done: false,
-            emitted: (descendant_steps >= 2).then(HashSet::default),
+            emitted: (descendant_steps >= 2).then(|| Box::new(HashSet::default())),
         }
     }
 

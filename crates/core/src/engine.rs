@@ -3,12 +3,13 @@
 
 use crate::buffer::{BufferStats, BufferTree};
 use crate::error::EngineError;
-use crate::eval::Run;
-use crate::stream::{BufferFeed, Preprojector, Timeline};
+use crate::eval::{Vm, VmStatus};
+use crate::session::EvalSession;
+use crate::stream::{BufferFeed, Timeline};
 use gcx_ir::Program;
-use gcx_projection::{analyze, Analysis, StreamMatcher};
+use gcx_projection::{analyze, Analysis};
 use gcx_query::Query;
-use gcx_xml::{Tokenizer, WriterOptions, XmlWriter};
+use gcx_xml::{WriterOptions, XmlWriter};
 use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Instant;
@@ -57,6 +58,26 @@ impl CompiledQuery {
             program,
             compile_micros,
         })
+    }
+
+    /// Open a sans-IO evaluation session: the push-driven form of the
+    /// engine. Feed document bytes as they arrive with
+    /// [`EvalSession::feed`]; the session never touches `Read`/`Write`
+    /// internally. See [`EvalSession`] for the full protocol.
+    ///
+    /// ```
+    /// use gcx_core::{CompiledQuery, EngineOptions};
+    ///
+    /// let q = CompiledQuery::compile("for $b in /bib/book return $b/title").unwrap();
+    /// let mut session = q.session(&EngineOptions::gcx());
+    /// session.feed(b"<bib><book><title>S").unwrap();
+    /// session.feed(b"treams</title></book></bib>").unwrap();
+    /// let report = session.finish().unwrap();
+    /// assert_eq!(session.output(), b"<title>Streams</title>");
+    /// assert_eq!(report.feed_calls, 2);
+    /// ```
+    pub fn session(&self, opts: &EngineOptions) -> EvalSession {
+        EvalSession::new(self, opts)
     }
 
     /// Human-readable compilation report: the mapping between query,
@@ -177,6 +198,13 @@ pub struct RunReport {
     pub output_bytes: u64,
     /// The buffer byte budget the run was held to (None = unlimited).
     pub max_buffer_bytes: Option<u64>,
+    /// Number of `feed` calls the run's input arrived in (0 when the run
+    /// was not byte-fed, e.g. the multi-query channel feed).
+    pub feed_calls: u64,
+    /// Largest partial-token spillover (bytes) the tokenizer held across
+    /// a `feed` boundary — the chunk-boundary overhead of the sans-IO
+    /// core, observable per run.
+    pub max_pending_bytes: u64,
 }
 
 impl RunReport {
@@ -185,11 +213,14 @@ impl RunReport {
     /// sampling was enabled.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"tokens\":{},\"output_bytes\":{},\"max_buffer_bytes\":{},\"buffer\":{}",
+            "{{\"tokens\":{},\"output_bytes\":{},\"max_buffer_bytes\":{},\
+             \"feed_calls\":{},\"max_pending_bytes\":{},\"buffer\":{}",
             self.tokens,
             self.output_bytes,
             self.max_buffer_bytes
                 .map_or_else(|| "null".to_string(), |b| b.to_string()),
+            self.feed_calls,
+            self.max_pending_bytes,
             self.buffer.to_json()
         );
         if let Some(tl) = &self.timeline {
@@ -213,27 +244,50 @@ impl RunReport {
 
 /// Run a compiled query over an XML input stream, writing the result to
 /// `output`. The configuration selects the buffer-management strategy.
+///
+/// This is a convenience wrapper over the sans-IO [`EvalSession`]: it
+/// reads `input` in chunks, feeds them to the session, and drains the
+/// session's output into `output` as it becomes available — the blocking
+/// shape of the push-driven engine.
 pub fn run<R: Read, W: Write>(
     q: &CompiledQuery,
     opts: &EngineOptions,
-    input: R,
-    output: W,
+    mut input: R,
+    mut output: W,
 ) -> Result<RunReport, EngineError> {
-    // The projection NFA was compiled with the query; the per-run matcher
-    // only instantiates mutable frame state over the shared paths.
-    let (matcher, _root_roles) = StreamMatcher::new(q.program.matcher_paths());
-    // Root roles (the paper's r1) are not materialized: the virtual root is
-    // never purged, so its bookkeeping would be inert.
-    let tokenizer = Tokenizer::new(input);
-    let pre = Preprojector::new(tokenizer, matcher, opts.project, opts.timeline_every);
-    run_with_feed(q, opts, pre, output)
+    let mut session = q.session(opts);
+    loop {
+        // Once the session stops wanting input (program complete, drain
+        // off) the remaining bytes stay unread in `input`, exactly like
+        // the pull engine stopped pulling.
+        if !session.wants_input() {
+            break;
+        }
+        // Read straight into the tokenizer window (no intermediate copy).
+        let n = {
+            let gap = session.space(64 * 1024);
+            input.read(gap)
+        };
+        let n = n.map_err(|e| session.input_io_error(e))?;
+        if n == 0 {
+            break;
+        }
+        session.commit(n)?;
+        session.take_output(&mut output)?;
+    }
+    let report = session.finish()?;
+    session.take_output(&mut output)?;
+    output.flush().map_err(|e| session.input_io_error(e))?;
+    Ok(report)
 }
 
 /// Run a compiled query over an arbitrary [`BufferFeed`].
 ///
-/// This is [`run`] with the input side factored out: `feed` supplies
-/// buffered nodes on demand instead of the built-in tokenizer+projection
-/// pipeline. The run's symbol table is seeded from the program's
+/// This is the blocking driver over the resumable evaluator with the
+/// input side factored out: `feed` supplies buffered nodes on demand
+/// instead of the built-in tokenizer+projection pipeline — whenever the
+/// machine suspends on missing input, one feed event is applied and the
+/// machine resumes. The run's symbol table is seeded from the program's
 /// pre-interned table, so feed-side names must either be interned on
 /// arrival (the multi-query channel feed does) or have been interned
 /// against that same table (the preprojector's matcher is compiled with
@@ -243,12 +297,12 @@ pub fn run<R: Read, W: Write>(
 pub fn run_with_feed<F: BufferFeed, W: Write>(
     q: &CompiledQuery,
     opts: &EngineOptions,
-    feed: F,
+    mut feed: F,
     output: W,
 ) -> Result<RunReport, EngineError> {
     let mut buf = BufferTree::new(opts.purge);
     buf.set_max_bytes(opts.max_buffer_bytes);
-    let out = XmlWriter::with_options(
+    let mut out = XmlWriter::with_options(
         output,
         WriterOptions {
             indent: opts.indent.clone(),
@@ -258,13 +312,45 @@ pub fn run_with_feed<F: BufferFeed, W: Write>(
     // pre-interned table maps every query symbol into the run's (and
     // thereby the stream tokenizer's) table. No query name is interned
     // after this point.
-    let symbols = q.program.symbols().clone();
-    let mut run = Run::new(buf, feed, symbols, out, &q.program, opts.execute_signoffs);
-    run.exec(q.program.root())?;
-    if opts.drain_input {
-        while run.pull_public()? {}
+    let mut symbols = q.program.symbols().clone();
+    let mut vm = Vm::new(Arc::clone(&q.program), opts.execute_signoffs);
+    loop {
+        match vm.resume(&mut buf, &symbols, &mut out)? {
+            VmStatus::Done => break,
+            VmStatus::NeedInput => {
+                // One `nextNode()` request: apply one event, then enforce
+                // the buffer byte budget. Every append funnels through
+                // here, so the budget check lives in exactly one place.
+                let more = feed.advance(&mut buf, &mut symbols)?;
+                buf.check_limit()?;
+                if !more {
+                    vm.set_input_exhausted();
+                }
+            }
+        }
     }
-    run.finish_report()
+    if opts.drain_input {
+        // Read the rest of the input after evaluation completes (the
+        // paper's engines scan the full document; also validates
+        // well-formedness).
+        loop {
+            let more = feed.advance(&mut buf, &mut symbols)?;
+            buf.check_limit()?;
+            if !more {
+                break;
+            }
+        }
+    }
+    out.flush()?;
+    Ok(RunReport {
+        tokens: feed.tokens(),
+        buffer: buf.stats(),
+        timeline: feed.take_timeline(),
+        output_bytes: out.bytes_written(),
+        max_buffer_bytes: buf.max_bytes(),
+        feed_calls: 0,
+        max_pending_bytes: 0,
+    })
 }
 
 /// Convenience: compile and run with the GCX configuration.

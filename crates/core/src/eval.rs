@@ -1,13 +1,21 @@
-//! The pull-based query executor (paper Figure 2, right component).
+//! The resumable query executor (paper Figure 2, right component).
 //!
 //! The executor runs the compiled program (`gcx-ir`) lowered from the
-//! *rewritten* query (with signOff statements) sequentially. Whenever it
-//! needs data that is not yet buffered — the next node of a for-loop, the
-//! witness of an `exists`, the closing tag of a subtree about to be
-//! emitted — it blocks, and the buffer manager pulls tokens from the
-//! stream preprojector until the request can be answered. signOff
-//! instructions decrement role instances (with derivation multiplicity)
-//! and thereby trigger active garbage collection.
+//! *rewritten* query (with signOff statements) sequentially — but as a
+//! **sans-IO state machine**, not a blocking recursion. The control state
+//! lives in an explicit continuation stack of [`Task`]s; whenever the
+//! machine needs data that is not yet buffered — the next node of a
+//! for-loop, the witness of an `exists`, the closing tag of a subtree
+//! about to be emitted — [`Vm::resume`] returns [`VmStatus::NeedInput`]
+//! with every suspended loop frozen in place. The driver (the blocking
+//! [`run_with_feed`](crate::run_with_feed) loop, or the push-based
+//! [`EvalSession`](crate::EvalSession) as chunks arrive) applies exactly
+//! one stream event to the buffer and resumes. This is the paper's
+//! blocking protocol — "query evaluation remains blocked until the buffer
+//! manager has responded" — with the block turned inside out so the engine
+//! can be suspended at any byte boundary. signOff instructions decrement
+//! role instances (with derivation multiplicity) and thereby trigger
+//! active garbage collection.
 //!
 //! All lowering happened at query-compile time: the program carries
 //! pre-compiled [`EvalStep`] tables and a pre-interned symbol table that
@@ -29,16 +37,16 @@
 use crate::buffer::{BufferTree, NodeId};
 use crate::cursor::{CursorPool, CursorState, EvalStep, PathCursor, StepTest};
 use crate::error::EngineError;
-use crate::stream::BufferFeed;
 use gcx_ir::{
     fmt_number, AttrPlan, CondId, CondIr, EAxis, Instr, InstrId, OperandId, OperandIr, PathId,
     PlanRoot, Program,
 };
-use gcx_query::ast::{AggFunc, CmpOp, RoleId, VarId};
+use gcx_query::ast::{AggFunc, CmpOp, RoleId, StrFunc, VarId};
 use gcx_xml::{FxBuildHasher, SymbolTable, XmlWriter};
 use std::collections::HashMap;
 use std::io::Write;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A for-variable binding: the node plus its binding-role multiplicity
 /// (derivation count), captured at iteration start.
@@ -48,15 +56,94 @@ struct Binding {
     mult: u32,
 }
 
-/// The running executor: buffer + input feed + output + environment.
-pub(crate) struct Run<'q, F, W: Write> {
-    pub buf: BufferTree,
-    pub pre: F,
-    pub symbols: SymbolTable,
-    pub out: XmlWriter<W>,
+/// What a [`Vm::resume`] call observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VmStatus {
+    /// The machine is blocked on stream data: apply one event to the
+    /// buffer (or declare the input exhausted) and resume.
+    NeedInput,
+    /// The program ran to completion (output fully emitted).
+    Done,
+}
+
+/// One suspended continuation frame. The stack is the executor's whole
+/// control state: pushing schedules work (last pushed runs first), and a
+/// frame that blocks pushes itself back before the machine suspends — so
+/// `resume` is restartable at every suspension point.
+enum Task {
+    /// Dispatch one instruction.
+    Exec(InstrId),
+    /// A sequence, `idx` children already scheduled.
+    Seq { first: u32, len: u32, idx: u32 },
+    /// Close the element opened by the matching `Instr::Element`.
+    EndElement,
+    /// Branch on the condition result on top of the bool stack.
+    IfBranch {
+        then_branch: InstrId,
+        else_branch: InstrId,
+    },
+    /// A for-loop mid-iteration; the cursor pins its scan position.
+    ForLoop {
+        cursor: PathCursor,
+        var: VarId,
+        role: RoleId,
+        body: InstrId,
+    },
+    /// An output path mid-iteration.
+    OutputLoop { cursor: PathCursor, attr: AttrPlan },
+    /// Wait for `node`'s end tag, then serialize its subtree.
+    EmitClosed(NodeId),
+    /// Evaluate a condition, pushing its result on the bool stack.
+    Cond(CondId),
+    /// Negate the bool on top of the stack.
+    NotFinish,
+    /// Short-circuit `and`: evaluate the rhs only if the lhs held.
+    AndRhs(CondId),
+    /// Short-circuit `or`: evaluate the rhs only if the lhs failed.
+    OrRhs(CondId),
+    /// An `exists` probe mid-iteration.
+    ExistsLoop { cursor: PathCursor, attr: AttrPlan },
+    /// Compare the two value vectors on top of the value stack.
+    CompareFinish(CmpOp),
+    /// Apply a string predicate to the two value vectors on top.
+    StringFnFinish(StrFunc),
+    /// Atomize an operand onto the value stack.
+    Operand(OperandId),
+    /// Collect a path's atomized values into the top value vector.
+    CollectLoop { cursor: PathCursor, attr: AttrPlan },
+    /// Wait for `node`'s end tag, then push its string value.
+    CollectClosed(NodeId),
+    /// Fold the top value vector through an aggregate and emit it.
+    AggFinish(AggFunc),
+    /// Wait for `node`'s end tag (signOff over a variable-rooted path:
+    /// the binding's subtree must have finished streaming).
+    WaitClosed(NodeId),
+    /// Consume the rest of the input (signOff over a root-anchored path:
+    /// the whole document is the region).
+    DrainInput,
+    /// Decrement role instances over the (now complete) target region.
+    SignoffExec {
+        path: PathId,
+        role: RoleId,
+        ctx: NodeId,
+        mult: u32,
+    },
+}
+
+/// The resumable executor: continuation stack + environment + pools. Owns
+/// no buffer, no symbols and no output sink — those are lent per `resume`
+/// call, which is what lets one driver own the I/O while another suspends
+/// mid-document and migrates nothing.
+pub(crate) struct Vm {
+    /// The compiled program being executed (shared, immutable).
+    program: Arc<Program>,
     pub execute_signoffs: bool,
-    /// The compiled program being executed.
-    program: &'q Program,
+    /// The continuation stack; empty = program complete.
+    tasks: Vec<Task>,
+    /// Condition results in evaluation order.
+    bools: Vec<bool>,
+    /// Operand value vectors in evaluation order.
+    vals: Vec<Vec<Value>>,
     env: Vec<Option<Binding>>,
     /// Per-path shared step slices, sliced once at startup from the
     /// program's step arena (symbols are valid verbatim because the run's
@@ -70,17 +157,13 @@ pub(crate) struct Run<'q, F, W: Write> {
     signoff_scratch: HashMap<NodeId, u32, FxBuildHasher>,
     /// Recycled value vectors for comparisons/aggregates.
     value_pool: Vec<Vec<Value>>,
+    /// Set by the driver once the feed reports end of input; blocked
+    /// waits then fail instead of suspending forever.
+    input_exhausted: bool,
 }
 
-impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
-    pub(crate) fn new(
-        buf: BufferTree,
-        pre: F,
-        symbols: SymbolTable,
-        out: XmlWriter<W>,
-        program: &'q Program,
-        execute_signoffs: bool,
-    ) -> Self {
+impl Vm {
+    pub(crate) fn new(program: Arc<Program>, execute_signoffs: bool) -> Vm {
         // The only per-run "lowering": share out the program's immutable
         // step arena as one Rc slice per distinct path.
         let path_steps = (0..program.path_count())
@@ -89,59 +172,42 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
                 Rc::from(program.path_steps(plan))
             })
             .collect();
-        Run {
-            buf,
-            pre,
-            symbols,
-            out,
-            execute_signoffs,
+        let env = vec![None; program.n_vars()];
+        let root = program.root();
+        Vm {
             program,
-            env: vec![None; program.n_vars()],
+            execute_signoffs,
+            tasks: vec![Task::Exec(root)],
+            bools: Vec::new(),
+            vals: Vec::new(),
+            env,
             path_steps,
             value_scratch: String::new(),
             cursor_pool: CursorPool::default(),
             signoff_scratch: HashMap::default(),
             value_pool: Vec::new(),
+            input_exhausted: false,
         }
     }
 
-    /// Pull one token from the input feed (a `nextNode()` request), then
-    /// enforce the buffer byte budget. Every append funnels through here —
-    /// the classic preprojector and the multi-query channel feed alike —
-    /// so the budget check lives in exactly one place.
-    fn pull(&mut self) -> Result<bool, EngineError> {
-        let more = self.pre.advance(&mut self.buf, &mut self.symbols)?;
-        self.buf.check_limit()?;
-        Ok(more)
+    /// Tell the machine no further stream events will arrive. Blocked
+    /// subtree waits turn into errors; end-of-input drains complete.
+    pub(crate) fn set_input_exhausted(&mut self) {
+        self.input_exhausted = true;
     }
 
-    /// Pull one token (used by the engine's final input drain).
-    pub(crate) fn pull_public(&mut self) -> Result<bool, EngineError> {
-        self.pull()
-    }
-
-    /// Flush output and assemble the run report.
-    pub(crate) fn finish_report(mut self) -> Result<crate::engine::RunReport, EngineError> {
-        self.out.flush()?;
-        Ok(crate::engine::RunReport {
-            tokens: self.pre.tokens(),
-            buffer: self.buf.stats(),
-            timeline: self.pre.take_timeline(),
-            output_bytes: self.out.bytes_written(),
-            max_buffer_bytes: self.buf.max_bytes(),
-        })
-    }
-
-    /// Block until `n` is closed (its end tag has been read).
-    fn wait_closed(&mut self, n: NodeId) -> Result<(), EngineError> {
-        while !self.buf.is_closed(n) {
-            if !self.pull()? {
-                return Err(EngineError::Internal(
-                    "input exhausted with an open buffered node".into(),
-                ));
-            }
+    /// Suspend on missing input — unless the input is already exhausted,
+    /// in which case the wait can never be satisfied (a feed that closed
+    /// the virtual root unblocks every cursor, so this is unreachable for
+    /// well-formed feeds; fail rather than spin).
+    fn need_input(&self) -> Result<VmStatus, EngineError> {
+        if self.input_exhausted {
+            Err(EngineError::Internal(
+                "input exhausted with an open buffered node".into(),
+            ))
+        } else {
+            Ok(VmStatus::NeedInput)
         }
-        Ok(())
     }
 
     /// Resolve a path's context node and the binding multiplicity of the
@@ -166,6 +232,23 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         Rc::clone(&self.path_steps[path.index()])
     }
 
+    /// A cursor over `path` from its resolved context node.
+    fn open_cursor(
+        &mut self,
+        path: PathId,
+        buf: &mut BufferTree,
+    ) -> Result<PathCursor, EngineError> {
+        let plan = self.program.path(path);
+        let (ctx, _) = self.resolve_root(plan.root)?;
+        let steps = self.steps_of(path);
+        Ok(PathCursor::new_pooled(
+            buf,
+            ctx,
+            steps,
+            &mut self.cursor_pool,
+        ))
+    }
+
     /// A recycled (or fresh) empty value vector.
     fn pooled_values(&mut self) -> Vec<Value> {
         self.value_pool.pop().unwrap_or_default()
@@ -177,394 +260,494 @@ impl<'q, F: BufferFeed, W: Write> Run<'q, F, W> {
         self.value_pool.push(v);
     }
 
-    // ---- instruction execution ----------------------------------------------
+    /// Push an atomized value onto the top value vector.
+    fn push_value(&mut self, value: Value) {
+        self.vals
+            .last_mut()
+            .expect("value vector scheduled by Operand/Aggregate")
+            .push(value);
+    }
 
-    /// Execute one instruction, streaming its result to the output writer.
-    pub(crate) fn exec(&mut self, id: InstrId) -> Result<(), EngineError> {
-        match self.program.instr(id) {
-            Instr::Nop => Ok(()),
-            Instr::Seq { first, len } => {
-                for i in 0..len {
-                    let item = self.program.seq_items(first, len)[i as usize];
-                    self.exec(item)?;
+    // ---- the machine loop ----------------------------------------------------
+
+    /// Run until the program completes or blocks on stream data. Output
+    /// streams to `out` as it is produced; `buf` may be garbage-collected
+    /// between any two calls (every node a suspended frame references is
+    /// pinned by its cursor).
+    pub(crate) fn resume<W: Write>(
+        &mut self,
+        buf: &mut BufferTree,
+        symbols: &SymbolTable,
+        out: &mut XmlWriter<W>,
+    ) -> Result<VmStatus, EngineError> {
+        loop {
+            let Some(task) = self.tasks.pop() else {
+                return Ok(VmStatus::Done);
+            };
+            match task {
+                Task::Exec(id) => self.exec_instr(id, buf, out)?,
+                Task::Seq { first, len, idx } => {
+                    if idx < len {
+                        self.tasks.push(Task::Seq {
+                            first,
+                            len,
+                            idx: idx + 1,
+                        });
+                        let item = self.program.seq_items(first, len)[idx as usize];
+                        self.tasks.push(Task::Exec(item));
+                    }
                 }
-                Ok(())
+                Task::EndElement => out.end_element()?,
+                Task::IfBranch {
+                    then_branch,
+                    else_branch,
+                } => {
+                    let cond = self.bools.pop().expect("condition result");
+                    self.tasks
+                        .push(Task::Exec(if cond { then_branch } else { else_branch }));
+                }
+                Task::ForLoop {
+                    mut cursor,
+                    var,
+                    role,
+                    body,
+                } => match cursor.advance(buf) {
+                    CursorState::Match(n) => {
+                        // The binding stays in `env` through the next
+                        // re-entry of this frame (nothing reads it between
+                        // the body's end and the next `Match`, which
+                        // overwrites it); `Done` unbinds.
+                        let mult = buf.role_count(n, role).max(1);
+                        self.env[var.index()] = Some(Binding { node: n, mult });
+                        self.tasks.push(Task::ForLoop {
+                            cursor,
+                            var,
+                            role,
+                            body,
+                        });
+                        self.tasks.push(Task::Exec(body));
+                    }
+                    CursorState::NeedInput => {
+                        self.tasks.push(Task::ForLoop {
+                            cursor,
+                            var,
+                            role,
+                            body,
+                        });
+                        return self.need_input();
+                    }
+                    CursorState::Done => {
+                        self.env[var.index()] = None;
+                        cursor.dispose(buf, &mut self.cursor_pool);
+                    }
+                },
+                // The match-heavy loops (output, exists, collect) iterate
+                // internally and only touch the task stack when they block
+                // or schedule sub-work: a match costs no frame moves.
+                Task::OutputLoop { mut cursor, attr } => loop {
+                    match cursor.advance(buf) {
+                        CursorState::Match(n) => match attr {
+                            AttrPlan::None => {
+                                if let Some(content) = buf.text_content(n) {
+                                    out.text(content)?;
+                                } else {
+                                    // Elements are emitted whole: wait for
+                                    // the subtree to finish streaming, then
+                                    // serialize it from the buffer.
+                                    self.tasks.push(Task::OutputLoop { cursor, attr });
+                                    self.tasks.push(Task::EmitClosed(n));
+                                    break;
+                                }
+                            }
+                            // `buf` and `out` are distinct, so attribute
+                            // values stream straight from the buffer to the
+                            // writer without copies.
+                            AttrPlan::Name(name) => {
+                                if let Some(v) = buf.attr(n, name) {
+                                    out.text(v)?;
+                                }
+                            }
+                            AttrPlan::Any => {
+                                for (_, v) in buf.attrs(n).iter() {
+                                    out.text(v)?;
+                                }
+                            }
+                        },
+                        CursorState::NeedInput => {
+                            self.tasks.push(Task::OutputLoop { cursor, attr });
+                            return self.need_input();
+                        }
+                        CursorState::Done => {
+                            cursor.dispose(buf, &mut self.cursor_pool);
+                            break;
+                        }
+                    }
+                },
+                Task::EmitClosed(n) => {
+                    if buf.is_closed(n) {
+                        buf.serialize(n, symbols, out)?;
+                    } else {
+                        self.tasks.push(Task::EmitClosed(n));
+                        return self.need_input();
+                    }
+                }
+                Task::Cond(id) => self.exec_cond(id, buf)?,
+                Task::NotFinish => {
+                    let b = self.bools.pop().expect("not() operand");
+                    self.bools.push(!b);
+                }
+                Task::AndRhs(rhs) => {
+                    let lhs = self.bools.pop().expect("and lhs");
+                    if lhs {
+                        self.tasks.push(Task::Cond(rhs));
+                    } else {
+                        self.bools.push(false);
+                    }
+                }
+                Task::OrRhs(rhs) => {
+                    let lhs = self.bools.pop().expect("or lhs");
+                    if lhs {
+                        self.bools.push(true);
+                    } else {
+                        self.tasks.push(Task::Cond(rhs));
+                    }
+                }
+                Task::ExistsLoop { mut cursor, attr } => loop {
+                    match cursor.advance(buf) {
+                        CursorState::Match(n) => {
+                            // `exists($x/p)`: block until the first witness
+                            // appears or the search region is exhausted —
+                            // the paper's "until the data is available in
+                            // the buffer or it has become evident that the
+                            // data does not exist".
+                            let witness = match attr {
+                                AttrPlan::None => true,
+                                AttrPlan::Any => !buf.attrs(n).is_empty(),
+                                AttrPlan::Name(a) => buf.attr(n, a).is_some(),
+                            };
+                            if witness {
+                                self.bools.push(true);
+                                cursor.dispose(buf, &mut self.cursor_pool);
+                                break;
+                            }
+                        }
+                        CursorState::NeedInput => {
+                            self.tasks.push(Task::ExistsLoop { cursor, attr });
+                            return self.need_input();
+                        }
+                        CursorState::Done => {
+                            self.bools.push(false);
+                            cursor.dispose(buf, &mut self.cursor_pool);
+                            break;
+                        }
+                    }
+                },
+                Task::CompareFinish(op) => {
+                    let rhs = self.vals.pop().expect("compare rhs");
+                    let lhs = self.vals.pop().expect("compare lhs");
+                    self.bools.push(compare_existential(op, &lhs, &rhs));
+                    self.recycle_values(lhs);
+                    self.recycle_values(rhs);
+                }
+                Task::StringFnFinish(func) => {
+                    let needle = self.vals.pop().expect("string-fn needle");
+                    let hay = self.vals.pop().expect("string-fn haystack");
+                    let result = hay
+                        .iter()
+                        .any(|hv| needle.iter().any(|nv| func.apply(&hv.text, &nv.text)));
+                    self.bools.push(result);
+                    self.recycle_values(hay);
+                    self.recycle_values(needle);
+                }
+                Task::Operand(op) => match self.program.operand(op) {
+                    OperandIr::Lit { text, num } => {
+                        let mut v = self.pooled_values();
+                        v.push(Value {
+                            text: self.program.str_(text).to_string(),
+                            num,
+                        });
+                        self.vals.push(v);
+                    }
+                    OperandIr::Path(p) => {
+                        let attr = self.program.path(p).attr;
+                        let cursor = self.open_cursor(p, buf)?;
+                        let v = self.pooled_values();
+                        self.vals.push(v);
+                        self.tasks.push(Task::CollectLoop { cursor, attr });
+                    }
+                },
+                Task::CollectLoop { mut cursor, attr } => loop {
+                    match cursor.advance(buf) {
+                        CursorState::Match(n) => match attr {
+                            AttrPlan::Name(a) => {
+                                if let Some(v) = buf.attr(n, a) {
+                                    let value = Value::from_string(v.to_string());
+                                    self.push_value(value);
+                                }
+                            }
+                            AttrPlan::Any => {
+                                for (_, v) in buf.attrs(n).iter() {
+                                    let value = Value::from_string(v.to_string());
+                                    self.push_value(value);
+                                }
+                            }
+                            AttrPlan::None => {
+                                if buf.is_text(n) {
+                                    self.collect_string_value(n, buf);
+                                } else {
+                                    // Blocking atomization: the subtree's
+                                    // string value needs its end tag.
+                                    self.tasks.push(Task::CollectLoop { cursor, attr });
+                                    self.tasks.push(Task::CollectClosed(n));
+                                    break;
+                                }
+                            }
+                        },
+                        CursorState::NeedInput => {
+                            self.tasks.push(Task::CollectLoop { cursor, attr });
+                            return self.need_input();
+                        }
+                        CursorState::Done => {
+                            cursor.dispose(buf, &mut self.cursor_pool);
+                            break;
+                        }
+                    }
+                },
+                Task::CollectClosed(n) => {
+                    if buf.is_closed(n) {
+                        self.collect_string_value(n, buf);
+                    } else {
+                        self.tasks.push(Task::CollectClosed(n));
+                        return self.need_input();
+                    }
+                }
+                Task::AggFinish(func) => {
+                    let values = self.vals.pop().expect("aggregate operand");
+                    let text = aggregate_text(func, &values);
+                    self.recycle_values(values);
+                    if let Some(t) = text {
+                        out.text(&t)?;
+                    }
+                }
+                Task::WaitClosed(n) => {
+                    if !buf.is_closed(n) {
+                        self.tasks.push(Task::WaitClosed(n));
+                        return self.need_input();
+                    }
+                }
+                Task::DrainInput => {
+                    if !self.input_exhausted {
+                        self.tasks.push(Task::DrainInput);
+                        return Ok(VmStatus::NeedInput);
+                    }
+                }
+                Task::SignoffExec {
+                    path,
+                    role,
+                    ctx,
+                    mult,
+                } => {
+                    // Attribute steps never appear in signOff targets
+                    // (analysis strips them when deriving role paths), so
+                    // the plan's element steps are the whole target.
+                    let steps = self.steps_of(path);
+                    // Collect first (merging duplicate derivations), then
+                    // decrement: decrements purge eagerly and would
+                    // invalidate a live walk. The map is reused across
+                    // signOffs (one per preemption point per binding —
+                    // allocation at binding rate otherwise).
+                    let mut matches = std::mem::take(&mut self.signoff_scratch);
+                    matches.clear();
+                    collect_derivations(buf, ctx, &steps, 0, mult, &mut matches);
+                    for (&node, &times) in matches.iter() {
+                        buf.decrement_role(node, role, times);
+                    }
+                    self.signoff_scratch = matches;
+                }
             }
-            Instr::Text(s) => {
-                self.out.text(self.program.str_(s))?;
-                Ok(())
-            }
+        }
+    }
+
+    /// Dispatch one instruction: emit immediately when possible, otherwise
+    /// schedule continuation frames.
+    fn exec_instr<W: Write>(
+        &mut self,
+        id: InstrId,
+        buf: &mut BufferTree,
+        out: &mut XmlWriter<W>,
+    ) -> Result<(), EngineError> {
+        match self.program.instr(id) {
+            Instr::Nop => {}
+            Instr::Seq { first, len } => self.tasks.push(Task::Seq { first, len, idx: 0 }),
+            Instr::Text(s) => out.text(self.program.str_(s))?,
             Instr::Element {
                 name,
                 attrs_first,
                 attrs_len,
                 content,
             } => {
-                self.out.start_element(self.program.str_(name))?;
+                out.start_element(self.program.str_(name))?;
                 for i in 0..attrs_len {
                     let (k, v) = self.program.attr_pairs(attrs_first, attrs_len)[i as usize];
-                    self.out
-                        .attribute(self.program.str_(k), self.program.str_(v))?;
+                    out.attribute(self.program.str_(k), self.program.str_(v))?;
                 }
-                self.exec(content)?;
-                self.out.end_element()?;
-                Ok(())
+                self.tasks.push(Task::EndElement);
+                self.tasks.push(Task::Exec(content));
             }
             Instr::If {
                 cond,
                 then_branch,
                 else_branch,
             } => {
-                if self.exec_cond(cond)? {
-                    self.exec(then_branch)
-                } else {
-                    self.exec(else_branch)
-                }
+                self.tasks.push(Task::IfBranch {
+                    then_branch,
+                    else_branch,
+                });
+                self.tasks.push(Task::Cond(cond));
             }
             Instr::For {
                 var,
                 path,
                 role,
                 body,
-            } => self.exec_for(var, path, role, body),
-            Instr::OutputPath(p) => self.exec_output_path(p),
-            Instr::Aggregate { func, path } => self.exec_aggregate(func, path),
+            } => {
+                let cursor = self.open_cursor(path, buf)?;
+                self.tasks.push(Task::ForLoop {
+                    cursor,
+                    var,
+                    role,
+                    body,
+                });
+            }
+            Instr::OutputPath(p) => {
+                let attr = self.program.path(p).attr;
+                let cursor = self.open_cursor(p, buf)?;
+                self.tasks.push(Task::OutputLoop { cursor, attr });
+            }
+            Instr::Aggregate { func, path } => {
+                let attr = self.program.path(path).attr;
+                let cursor = self.open_cursor(path, buf)?;
+                let v = self.pooled_values();
+                self.vals.push(v);
+                self.tasks.push(Task::AggFinish(func));
+                self.tasks.push(Task::CollectLoop { cursor, attr });
+            }
             Instr::SignOff { path, role } => {
                 if self.execute_signoffs {
-                    self.exec_signoff(path, role)?;
-                }
-                Ok(())
-            }
-        }
-    }
-
-    fn exec_for(
-        &mut self,
-        var: VarId,
-        path: PathId,
-        binding_role: RoleId,
-        body: InstrId,
-    ) -> Result<(), EngineError> {
-        let plan = self.program.path(path);
-        let (ctx, _) = self.resolve_root(plan.root)?;
-        let steps = self.steps_of(path);
-        let mut cursor = PathCursor::new_pooled(&mut self.buf, ctx, steps, &mut self.cursor_pool);
-        let result = loop {
-            match cursor.advance(&mut self.buf) {
-                CursorState::Match(n) => {
-                    let mult = self.buf.role_count(n, binding_role).max(1);
-                    self.env[var.index()] = Some(Binding { node: n, mult });
-                    let r = self.exec(body);
-                    self.env[var.index()] = None;
-                    if let Err(e) = r {
-                        break Err(e);
+                    // "These commands must not be issued too early" (paper
+                    // §3): a signOff over a non-empty path decrements role
+                    // instances on a whole region, so that region must have
+                    // finished streaming — otherwise nodes arriving later
+                    // keep instances nobody will ever remove. For a
+                    // variable anchor the region is the binding's subtree
+                    // (wait for its end tag); loop bodies that never block
+                    // (e.g. attribute-only conditions) finish while the
+                    // binding is still open, so this wait is load-bearing.
+                    // For a query-end anchor the region is the whole
+                    // document (evaluation may have short-circuited). A
+                    // signOff of the anchor node itself (empty path) is
+                    // always safe: roles are assigned at node creation.
+                    let plan = self.program.path(path);
+                    let (ctx, mult) = self.resolve_root(plan.root)?;
+                    self.tasks.push(Task::SignoffExec {
+                        path,
+                        role,
+                        ctx,
+                        mult,
+                    });
+                    if plan.has_steps() {
+                        match plan.root {
+                            PlanRoot::Root => self.tasks.push(Task::DrainInput),
+                            PlanRoot::Var(_) => self.tasks.push(Task::WaitClosed(ctx)),
+                        }
                     }
                 }
-                CursorState::NeedInput => {
-                    if let Err(e) = self.pull() {
-                        break Err(e);
-                    }
-                }
-                CursorState::Done => break Ok(()),
             }
-        };
-        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
-        result
-    }
-
-    /// Emit the nodes selected by a path: deep copies of element subtrees,
-    /// the content of text nodes, the values of selected attributes.
-    fn exec_output_path(&mut self, path: PathId) -> Result<(), EngineError> {
-        let plan = self.program.path(path);
-        let (ctx, _) = self.resolve_root(plan.root)?;
-        let elem_steps = self.steps_of(path);
-        let mut cursor =
-            PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
-        let result = loop {
-            match cursor.advance(&mut self.buf) {
-                CursorState::Match(n) => {
-                    let r = match plan.attr {
-                        AttrPlan::None => self.emit_node(n),
-                        sel => self.emit_attr(n, sel),
-                    };
-                    if let Err(e) = r {
-                        break Err(e);
-                    }
-                }
-                CursorState::NeedInput => {
-                    if let Err(e) = self.pull() {
-                        break Err(e);
-                    }
-                }
-                CursorState::Done => break Ok(()),
-            }
-        };
-        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
-        result
-    }
-
-    fn emit_attr(&mut self, n: NodeId, sel: AttrPlan) -> Result<(), EngineError> {
-        // `buf` and `out` are distinct fields, so attribute values stream
-        // straight from the buffer to the writer without copies.
-        match sel {
-            AttrPlan::Name(name) => {
-                if let Some(v) = self.buf.attr(n, name) {
-                    self.out.text(v)?;
-                }
-            }
-            AttrPlan::Any => {
-                for (_, v) in self.buf.attrs(n).iter() {
-                    self.out.text(v)?;
-                }
-            }
-            AttrPlan::None => unreachable!("emit_attr called without a selector"),
         }
         Ok(())
     }
 
-    fn emit_node(&mut self, n: NodeId) -> Result<(), EngineError> {
-        if let Some(content) = self.buf.text_content(n) {
-            self.out.text(content)?;
-            return Ok(());
-        }
-        // Elements are emitted whole: wait for the subtree to finish
-        // streaming, then serialize it from the buffer.
-        self.wait_closed(n)?;
-        self.buf.serialize(n, &self.symbols, &mut self.out)?;
-        Ok(())
-    }
-
-    // ---- conditions -----------------------------------------------------------
-
-    fn exec_cond(&mut self, id: CondId) -> Result<bool, EngineError> {
+    /// Dispatch one condition node onto the stacks.
+    fn exec_cond(&mut self, id: CondId, buf: &mut BufferTree) -> Result<(), EngineError> {
         match self.program.cond(id) {
-            CondIr::Const(b) => Ok(b),
-            CondIr::Not(inner) => Ok(!self.exec_cond(inner)?),
-            CondIr::And(a, b) => Ok(self.exec_cond(a)? && self.exec_cond(b)?),
-            CondIr::Or(a, b) => Ok(self.exec_cond(a)? || self.exec_cond(b)?),
-            CondIr::Exists(p) => self.exec_exists(p),
+            CondIr::Const(b) => self.bools.push(b),
+            CondIr::Not(inner) => {
+                self.tasks.push(Task::NotFinish);
+                self.tasks.push(Task::Cond(inner));
+            }
+            CondIr::And(a, b) => {
+                self.tasks.push(Task::AndRhs(b));
+                self.tasks.push(Task::Cond(a));
+            }
+            CondIr::Or(a, b) => {
+                self.tasks.push(Task::OrRhs(b));
+                self.tasks.push(Task::Cond(a));
+            }
+            CondIr::Exists(p) => {
+                let attr = self.program.path(p).attr;
+                let cursor = self.open_cursor(p, buf)?;
+                self.tasks.push(Task::ExistsLoop { cursor, attr });
+            }
             CondIr::Compare { op, lhs, rhs } => {
-                let l = self.collect_values(lhs)?;
-                let r = self.collect_values(rhs)?;
-                let result = compare_existential(op, &l, &r);
-                self.recycle_values(l);
-                self.recycle_values(r);
-                Ok(result)
+                // Operands are scheduled so `lhs` is fully collected before
+                // `rhs` starts — the same left-to-right blocking order as
+                // the paper's sequential evaluator.
+                self.tasks.push(Task::CompareFinish(op));
+                self.tasks.push(Task::Operand(rhs));
+                self.tasks.push(Task::Operand(lhs));
             }
             CondIr::StringFn {
                 func,
                 haystack,
                 needle,
             } => {
-                let h = self.collect_values(haystack)?;
-                let n = self.collect_values(needle)?;
-                let result = h
-                    .iter()
-                    .any(|hv| n.iter().any(|nv| func.apply(&hv.text, &nv.text)));
-                self.recycle_values(h);
-                self.recycle_values(n);
-                Ok(result)
-            }
-        }
-    }
-
-    /// `exists($x/p)`: block until the first witness appears or the search
-    /// region is exhausted — the paper's "until the data is available in
-    /// the buffer or it has become evident that the data does not exist".
-    fn exec_exists(&mut self, path: PathId) -> Result<bool, EngineError> {
-        let plan = self.program.path(path);
-        let (ctx, _) = self.resolve_root(plan.root)?;
-        let elem_steps = self.steps_of(path);
-        let mut cursor =
-            PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
-        let result = loop {
-            match cursor.advance(&mut self.buf) {
-                CursorState::Match(n) => match plan.attr {
-                    AttrPlan::None => break Ok(true),
-                    AttrPlan::Any => {
-                        if !self.buf.attrs(n).is_empty() {
-                            break Ok(true);
-                        }
-                    }
-                    AttrPlan::Name(a) => {
-                        if self.buf.attr(n, a).is_some() {
-                            break Ok(true);
-                        }
-                    }
-                },
-                CursorState::NeedInput => {
-                    if let Err(e) = self.pull() {
-                        break Err(e);
-                    }
-                }
-                CursorState::Done => break Ok(false),
-            }
-        };
-        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
-        result
-    }
-
-    /// Collect the atomized values of an operand (blocking until the
-    /// selected subtrees are complete).
-    fn collect_values(&mut self, op: OperandId) -> Result<Vec<Value>, EngineError> {
-        let mut values = self.pooled_values();
-        match self.program.operand(op) {
-            OperandIr::Lit { text, num } => {
-                values.push(Value {
-                    text: self.program.str_(text).to_string(),
-                    num,
-                });
-                Ok(values)
-            }
-            OperandIr::Path(p) => {
-                self.collect_path_values(p, &mut values)?;
-                Ok(values)
-            }
-        }
-    }
-
-    /// Collect the atomized values selected by a path into `values`.
-    fn collect_path_values(
-        &mut self,
-        path: PathId,
-        values: &mut Vec<Value>,
-    ) -> Result<(), EngineError> {
-        let plan = self.program.path(path);
-        let (ctx, _) = self.resolve_root(plan.root)?;
-        let elem_steps = self.steps_of(path);
-        let mut cursor =
-            PathCursor::new_pooled(&mut self.buf, ctx, elem_steps, &mut self.cursor_pool);
-        let result = loop {
-            match cursor.advance(&mut self.buf) {
-                CursorState::Match(n) => {
-                    let r = self.value_of(n, plan.attr, values);
-                    if let Err(e) = r {
-                        break Err(e);
-                    }
-                }
-                CursorState::NeedInput => {
-                    if let Err(e) = self.pull() {
-                        break Err(e);
-                    }
-                }
-                CursorState::Done => break Ok(()),
-            }
-        };
-        cursor.dispose(&mut self.buf, &mut self.cursor_pool);
-        result
-    }
-
-    fn value_of(
-        &mut self,
-        n: NodeId,
-        attr_sel: AttrPlan,
-        values: &mut Vec<Value>,
-    ) -> Result<(), EngineError> {
-        match attr_sel {
-            AttrPlan::Name(a) => {
-                if let Some(v) = self.buf.attr(n, a) {
-                    values.push(Value::from_string(v.to_string()));
-                }
-            }
-            AttrPlan::Any => {
-                for (_, v) in self.buf.attrs(n).iter() {
-                    values.push(Value::from_string(v.to_string()));
-                }
-            }
-            AttrPlan::None => {
-                if !self.buf.is_text(n) {
-                    self.wait_closed(n)?;
-                }
-                self.value_scratch.clear();
-                self.buf.string_value(n, &mut self.value_scratch);
-                values.push(Value::from_string(self.value_scratch.clone()));
+                self.tasks.push(Task::StringFnFinish(func));
+                self.tasks.push(Task::Operand(needle));
+                self.tasks.push(Task::Operand(haystack));
             }
         }
         Ok(())
     }
 
-    // ---- aggregates (extension) ------------------------------------------------
-
-    fn exec_aggregate(&mut self, func: AggFunc, path: PathId) -> Result<(), EngineError> {
-        let mut values = self.pooled_values();
-        self.collect_path_values(path, &mut values)?;
-        let text = match func {
-            AggFunc::Count => Some(fmt_number(values.len() as f64)),
-            AggFunc::Sum => {
-                let sum: f64 = values.iter().filter_map(|v| v.num).sum();
-                Some(fmt_number(sum))
-            }
-            AggFunc::Min => values
-                .iter()
-                .filter_map(|v| v.num)
-                .fold(None, |acc: Option<f64>, v| {
-                    Some(acc.map_or(v, |a| a.min(v)))
-                })
-                .map(fmt_number),
-            AggFunc::Max => values
-                .iter()
-                .filter_map(|v| v.num)
-                .fold(None, |acc: Option<f64>, v| {
-                    Some(acc.map_or(v, |a| a.max(v)))
-                })
-                .map(fmt_number),
-            AggFunc::Avg => {
-                let nums: Vec<f64> = values.iter().filter_map(|v| v.num).collect();
-                if nums.is_empty() {
-                    None
-                } else {
-                    Some(fmt_number(nums.iter().sum::<f64>() / nums.len() as f64))
-                }
-            }
-        };
-        self.recycle_values(values);
-        if let Some(t) = text {
-            self.out.text(&t)?;
-        }
-        Ok(())
+    /// Atomize `n`'s string value onto the top value vector.
+    fn collect_string_value(&mut self, n: NodeId, buf: &BufferTree) {
+        self.value_scratch.clear();
+        buf.string_value(n, &mut self.value_scratch);
+        let value = Value::from_string(self.value_scratch.clone());
+        self.push_value(value);
     }
+}
 
-    // ---- signOff execution -------------------------------------------------------
-
-    /// Execute `signOff(target, role)`: decrement role instances on every
-    /// buffered node matching the target path, with derivation
-    /// multiplicities, triggering garbage collection.
-    fn exec_signoff(&mut self, path: PathId, role: RoleId) -> Result<(), EngineError> {
-        // "These commands must not be issued too early" (paper §3): a
-        // signOff over a non-empty path decrements role instances on a
-        // whole region, so that region must have finished streaming —
-        // otherwise nodes arriving later keep instances nobody will ever
-        // remove. For a variable anchor the region is the binding's
-        // subtree (block until its end tag); loop bodies that never block
-        // (e.g. attribute-only conditions) finish while the binding is
-        // still open, so this wait is load-bearing. For a query-end anchor
-        // the region is the whole document (evaluation may have
-        // short-circuited). A signOff of the anchor node itself (empty
-        // path) is always safe: roles are assigned at node creation.
-        let plan = self.program.path(path);
-        let (ctx, mult) = self.resolve_root(plan.root)?;
-        if plan.has_steps() {
-            match plan.root {
-                PlanRoot::Root => while self.pull()? {},
-                PlanRoot::Var(_) => self.wait_closed(ctx)?,
+/// Fold atomized values through an aggregate function.
+fn aggregate_text(func: AggFunc, values: &[Value]) -> Option<String> {
+    match func {
+        AggFunc::Count => Some(fmt_number(values.len() as f64)),
+        AggFunc::Sum => {
+            let sum: f64 = values.iter().filter_map(|v| v.num).sum();
+            Some(fmt_number(sum))
+        }
+        AggFunc::Min => values
+            .iter()
+            .filter_map(|v| v.num)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .map(fmt_number),
+        AggFunc::Max => values
+            .iter()
+            .filter_map(|v| v.num)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .map(fmt_number),
+        AggFunc::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(|v| v.num).collect();
+            if nums.is_empty() {
+                None
+            } else {
+                Some(fmt_number(nums.iter().sum::<f64>() / nums.len() as f64))
             }
         }
-        // Attribute steps never appear in signOff targets (analysis strips
-        // them when deriving role paths), so the plan's element steps are
-        // the whole target.
-        let steps = self.steps_of(path);
-        // Collect first (merging duplicate derivations), then decrement:
-        // decrements purge eagerly and would invalidate a live walk. The
-        // map is reused across signOffs (one per preemption point per
-        // binding — allocation at binding rate otherwise).
-        let mut matches = std::mem::take(&mut self.signoff_scratch);
-        matches.clear();
-        collect_derivations(&self.buf, ctx, &steps, 0, mult, &mut matches);
-        for (&node, &times) in matches.iter() {
-            self.buf.decrement_role(node, role, times);
-        }
-        self.signoff_scratch = matches;
-        Ok(())
     }
 }
 

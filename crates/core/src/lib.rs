@@ -6,14 +6,21 @@
 //! and dynamic signOff execution prove they are irrelevant to the rest of
 //! the evaluation.
 //!
-//! The architecture mirrors the paper's Figure 2:
+//! The architecture mirrors the paper's Figure 2, built sans-IO: every
+//! stage is a resumable state machine over pushed stream events, and
+//! [`EvalSession`] is their composition — the push-driven public API
+//! (`feed` bytes in, drain output out, suspend at any byte boundary).
+//! [`run`] and [`run_with_feed`] are blocking wrappers over the same
+//! machines.
 //!
-//! * [`Preprojector`](stream::Preprojector) — reads the input stream, runs
-//!   the projection NFA, copies matched tokens into the buffer;
+//! * [`Projector`] — runs the projection NFA over pushed tokens, copies
+//!   matched ones into the buffer ([`Preprojector`](stream::Preprojector)
+//!   pairs it with a pull tokenizer);
 //! * [`buffer::BufferTree`] — the buffer + role bookkeeping +
 //!   garbage collector;
-//! * the evaluator (`eval`, internal) — interprets the rewritten query,
-//!   blocking on the buffer manager for data, issuing signOffs.
+//! * the evaluator (`eval`, internal) — executes the rewritten query as
+//!   an explicit continuation stack, suspending on the buffer manager
+//!   for data, issuing signOffs.
 //!
 //! ## Quickstart
 //!
@@ -36,9 +43,11 @@ pub mod cursor;
 mod engine;
 mod error;
 mod eval;
+pub mod session;
 pub mod stream;
 
 pub use buffer::{AttrBuf, BufferStats, BufferTree, NodeId};
 pub use engine::{run, run_query, run_with_feed, CompiledQuery, EngineOptions, RunReport};
 pub use error::EngineError;
-pub use stream::{BufferFeed, ChildCounters, Timeline};
+pub use session::{Emitted, EvalSession};
+pub use stream::{BufferFeed, ChildCounters, Projector, Timeline};

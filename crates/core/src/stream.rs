@@ -1,13 +1,17 @@
 //! The stream preprojector (paper Figure 2, left component).
 //!
-//! Pulls tokens from the XML tokenizer one at a time ("a lookahead of just
-//! one token"), runs the projection NFA, and copies matched tokens into the
-//! buffer with their role instances. Irrelevant subtrees are skipped with a
-//! depth counter and zero per-path work. Every structural token — kept or
-//! skipped — advances the token counter and (optionally) samples the
-//! buffer-occupancy timeline that the paper's Figures 3 and 4 plot.
+//! The core is the sans-IO [`Projector`]: a push-driven state machine that
+//! takes one token at a time ("a lookahead of just one token"), runs the
+//! projection NFA, and copies matched tokens into the buffer with their
+//! role instances. Irrelevant subtrees are skipped with a depth counter and
+//! zero per-path work. Every structural token — kept or skipped — advances
+//! the token counter and (optionally) samples the buffer-occupancy timeline
+//! that the paper's Figures 3 and 4 plot. Tokens can come from anywhere:
+//! the push-based `EvalSession` applies them as network chunks arrive,
+//! while [`Preprojector`] pairs the projector with a pull [`Tokenizer`]
+//! for in-process `Read` sources.
 //!
-//! For the full-buffering baseline (`project = false`) the preprojector
+//! For the full-buffering baseline (`project = false`) the projector
 //! buffers *every* element and non-whitespace text node; roles are still
 //! assigned so the evaluator and the signOff machinery behave identically.
 
@@ -180,9 +184,14 @@ impl OpenEntry {
     }
 }
 
-/// The preprojector: tokenizer + matcher + buffer writer.
-pub struct Preprojector<R> {
-    tokenizer: Tokenizer<R>,
+/// The sans-IO projector: matcher + buffer writer over *pushed* tokens.
+///
+/// This is the resumable core of the preprojection stage: it owns no
+/// input source and can be suspended between any two tokens. One call to
+/// [`Projector::apply`] processes exactly one token (the `nextNode()`
+/// granularity of the paper's architecture); [`Projector::finish`] closes
+/// the virtual root at end of input so blocked cursors terminate.
+pub struct Projector {
     matcher: StreamMatcher,
     /// Open *kept* elements; the top is the parent of incoming nodes.
     open: Vec<OpenEntry>,
@@ -205,16 +214,10 @@ pub struct Preprojector<R> {
     counter_pool: Vec<ChildCounters>,
 }
 
-impl<R: Read> Preprojector<R> {
-    /// Create a preprojector over a token stream.
-    pub fn new(
-        tokenizer: Tokenizer<R>,
-        matcher: StreamMatcher,
-        project: bool,
-        timeline_every: Option<u64>,
-    ) -> Preprojector<R> {
-        Preprojector {
-            tokenizer,
+impl Projector {
+    /// Create a projector; tokens are supplied by the caller.
+    pub fn new(matcher: StreamMatcher, project: bool, timeline_every: Option<u64>) -> Projector {
+        Projector {
             matcher,
             open: vec![OpenEntry::new(NodeId::ROOT, true, ChildCounters::new())],
             skip_depth: 0,
@@ -237,7 +240,7 @@ impl<R: Read> Preprojector<R> {
         self.tokens
     }
 
-    /// True once the input has been exhausted (root closed).
+    /// True once [`Projector::finish`] ran (virtual root closed).
     pub fn finished(&self) -> bool {
         self.finished
     }
@@ -247,21 +250,18 @@ impl<R: Read> Preprojector<R> {
         self.timeline.take()
     }
 
-    /// Process one token. Returns `false` when the input is exhausted
-    /// (after closing the virtual root). This is the `nextNode()` edge of
-    /// the paper's architecture: the buffer manager calls it until a
-    /// blocked evaluator request can be answered.
-    pub fn advance(&mut self, buf: &mut BufferTree, symbols: &mut SymbolTable) -> XmlResult<bool> {
-        if self.finished {
-            return Ok(false);
-        }
-        let Some(token) = self.tokenizer.next_token()? else {
+    /// Declare the end of input: closes the virtual root so cursors
+    /// waiting on "more children or closed" terminate. Idempotent.
+    pub fn finish(&mut self, buf: &mut BufferTree) {
+        if !self.finished {
             self.finished = true;
-            // Close the virtual root: cursors waiting on "more children or
-            // closed" terminate.
             buf.close(NodeId::ROOT);
-            return Ok(false);
-        };
+        }
+    }
+
+    /// Apply one token to the buffer: the merged keep/skip decision, role
+    /// assignment, ordinal stamping and token counting.
+    pub fn apply(&mut self, token: &Token<'_>, buf: &mut BufferTree, symbols: &mut SymbolTable) {
         match token {
             Token::StartTag(start) => {
                 let self_closing = start.self_closing;
@@ -362,7 +362,6 @@ impl<R: Read> Preprojector<R> {
             // Comments, PIs and the doctype are not part of the data model.
             Token::Comment(_) | Token::ProcessingInstruction { .. } | Token::Doctype(_) => {}
         }
-        Ok(true)
     }
 
     fn bump(&mut self, buf: &mut BufferTree) {
@@ -370,6 +369,60 @@ impl<R: Read> Preprojector<R> {
         if let Some(t) = self.timeline.as_mut() {
             t.record(self.tokens, buf.stats().live);
         }
+    }
+}
+
+/// The pull preprojector: a [`Tokenizer`] paired with the sans-IO
+/// [`Projector`]. Used by blocking callers that own a `Read` source; the
+/// push-based `EvalSession` drives the projector directly instead.
+pub struct Preprojector<R> {
+    tokenizer: Tokenizer<R>,
+    proj: Projector,
+}
+
+impl<R: Read> Preprojector<R> {
+    /// Create a preprojector over a token stream.
+    pub fn new(
+        tokenizer: Tokenizer<R>,
+        matcher: StreamMatcher,
+        project: bool,
+        timeline_every: Option<u64>,
+    ) -> Preprojector<R> {
+        Preprojector {
+            tokenizer,
+            proj: Projector::new(matcher, project, timeline_every),
+        }
+    }
+
+    /// Structural tokens processed so far.
+    pub fn tokens(&self) -> u64 {
+        self.proj.tokens()
+    }
+
+    /// True once the input has been exhausted (root closed).
+    pub fn finished(&self) -> bool {
+        self.proj.finished()
+    }
+
+    /// Extract the recorded timeline (if enabled).
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.proj.take_timeline()
+    }
+
+    /// Process one token. Returns `false` when the input is exhausted
+    /// (after closing the virtual root). This is the `nextNode()` edge of
+    /// the paper's architecture: the buffer manager calls it until a
+    /// blocked evaluator request can be answered.
+    pub fn advance(&mut self, buf: &mut BufferTree, symbols: &mut SymbolTable) -> XmlResult<bool> {
+        if self.proj.finished() {
+            return Ok(false);
+        }
+        let Some(token) = self.tokenizer.next_token()? else {
+            self.proj.finish(buf);
+            return Ok(false);
+        };
+        self.proj.apply(&token, buf, symbols);
+        Ok(true)
     }
 }
 

@@ -40,7 +40,7 @@ use crate::matcher::MergedMatcher;
 use gcx_core::buffer::Ordinals;
 use gcx_core::{ChildCounters, CompiledQuery, EngineError, EngineOptions, RunReport};
 use gcx_query::ast::RoleId;
-use gcx_xml::{Symbol, SymbolTable, Token, Tokenizer};
+use gcx_xml::{PushTokenizer, Symbol, SymbolTable, Token, TokenStep, XmlError, XmlErrorKind};
 use std::io::Read;
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
@@ -265,7 +265,7 @@ impl SharedRun {
             max_buffer_bytes: self.opts.max_buffer_bytes,
         };
 
-        let mut tokenizer = Tokenizer::new(input);
+        let mut input = input;
         let mut scan_result: Result<(u64, u64), EngineError> = Ok((0, 0));
         let mut outcomes: Vec<QueryRun> = Vec::with_capacity(queries.len());
 
@@ -299,7 +299,7 @@ impl SharedRun {
                 });
             }
 
-            scan_result = drive(&mut tokenizer, &mut matcher, &mut symbols, &mut states);
+            scan_result = drive(&mut input, &mut matcher, &mut symbols, &mut states);
             // Successful or not: disconnect every channel so workers
             // finish (Eof was already sent on success).
             drop(states);
@@ -319,9 +319,15 @@ impl SharedRun {
     }
 }
 
-/// The single shared scan. Returns (structural tokens, fan-out events).
+/// Chunk size the driver reads from its source between tokenizer steps.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// The single shared scan, driven through the sans-IO push tokenizer: the
+/// engine core below this loop never touches the `Read` source — chunks
+/// are read at the edge and fed into the tokenizer window whenever it
+/// reports `NeedMoreData`. Returns (structural tokens, fan-out events).
 fn drive<R: Read>(
-    tokenizer: &mut Tokenizer<R>,
+    input: &mut R,
     matcher: &mut MergedMatcher,
     symbols: &mut SymbolTable,
     states: &mut [QState],
@@ -332,7 +338,30 @@ fn drive<R: Read>(
     // Scratch reused across elements: per-query roles of the current node.
     let mut role_scratch: Vec<(RoleId, u32)> = Vec::new();
 
-    while let Some(token) = tokenizer.next_token()? {
+    let mut tok = PushTokenizer::new();
+    loop {
+        match tok.step()? {
+            TokenStep::End => break,
+            TokenStep::NeedMoreData => {
+                // Refill the window straight from the source (no copy).
+                let pos = tok.position();
+                let gap = tok.space(READ_CHUNK);
+                let n = input.read(gap).map_err(|e| {
+                    EngineError::Xml(XmlError {
+                        kind: XmlErrorKind::Io(e),
+                        pos,
+                    })
+                })?;
+                if n == 0 {
+                    tok.finish_input();
+                } else {
+                    tok.commit(n);
+                }
+                continue;
+            }
+            TokenStep::Token => {}
+        }
+        let token = tok.token();
         match token {
             Token::StartTag(start) => {
                 let self_closing = start.self_closing;

@@ -60,7 +60,8 @@ pub enum BodyMode {
     },
 }
 
-/// One request/response exchange on a fresh connection.
+/// One request/response exchange on a fresh connection, with the default
+/// control-plane read timeout (2 minutes).
 pub fn request(
     addr: SocketAddr,
     method: &str,
@@ -69,9 +70,34 @@ pub fn request(
     body: &[u8],
     mode: BodyMode,
 ) -> io::Result<Response> {
+    request_with_timeout(
+        addr,
+        method,
+        path,
+        headers,
+        body,
+        mode,
+        Duration::from_secs(120),
+    )
+}
+
+/// [`request`] with an explicit socket read timeout. The eval endpoint
+/// streams results of heavyweight queries (`gcx bench serve` holds N
+/// concurrent XMark Q8 evaluations on one loopback server), so its reads
+/// legitimately stall far longer than any control-plane exchange.
+#[allow(clippy::too_many_arguments)]
+pub fn request_with_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    mode: BodyMode,
+    read_timeout: Duration,
+) -> io::Result<Response> {
     let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(Duration::from_secs(120))).ok();
+    stream.set_read_timeout(Some(read_timeout)).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::with_capacity(64 * 1024, stream);
 
@@ -212,5 +238,15 @@ pub fn eval(
     headers: &[(&str, &str)],
     mode: BodyMode,
 ) -> io::Result<Response> {
-    request(addr, "POST", &format!("/eval/{name}"), headers, doc, mode)
+    // Eval responses stream while heavyweight queries evaluate: give them
+    // the long leash, not the control-plane default.
+    request_with_timeout(
+        addr,
+        "POST",
+        &format!("/eval/{name}"),
+        headers,
+        doc,
+        mode,
+        Duration::from_secs(600),
+    )
 }

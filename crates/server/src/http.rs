@@ -4,12 +4,15 @@
 //!
 //! This is deliberately not a general HTTP implementation — it covers
 //! exactly what the GCX service needs, with the property the service is
-//! built around: **bodies are never materialized**. The eval path reads
-//! the request body through [`BodyReader`] (an `io::Read` the tokenizer
-//! pulls from directly) and writes the result through [`DeferredBody`]
-//! (chunked output that starts flowing while the document is still
-//! arriving), so a request's resident memory is the GCX buffer, not the
-//! document.
+//! built around: **bodies are never materialized**. The eval path borrows
+//! request-body bytes straight out of the connection buffer through
+//! [`BodyReader::fill`]/[`BodyReader::consume`] (push mode — the handler
+//! feeds them to the sans-IO engine session; no `Read` adapter wraps the
+//! body) and writes the result through [`DeferredBody`] (chunked output
+//! that starts flowing while the document is still arriving), so a
+//! request's resident memory is the GCX buffer, not the document. The
+//! `io::Read` impl on [`BodyReader`] remains for small bodies (query
+//! registration) and best-effort drains.
 
 use std::io::{self, BufRead, Read, Write};
 
@@ -300,69 +303,132 @@ impl<R: BufRead> Read for BodyReader<'_, R> {
 }
 
 impl<R: BufRead> BodyReader<'_, R> {
+    /// Push-mode access: borrow the next run of body bytes straight out of
+    /// the connection's read buffer — no copy, no `Read` adapter. An empty
+    /// slice means the body is complete (for chunked bodies, the trailers
+    /// were consumed too). Follow with [`BodyReader::consume`] for however
+    /// many of the returned bytes were actually used.
+    ///
+    /// This is the wire side of the sans-IO eval path: the handler feeds
+    /// the returned slice to the engine session as it arrives, so the
+    /// document is never wrapped in a blocking reader.
+    pub fn fill(&mut self) -> io::Result<&[u8]> {
+        // Poison on failure like `read`: a failed body is desynchronized
+        // and must not be drained or reused. (Two-step shape: computing
+        // the usable length first lets the error arm mutate `self`, then
+        // the connection buffer — already filled, so this is a plain
+        // re-borrow, not a second read — is sliced for the caller.)
+        let n = match self.fill_len() {
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+            Ok(n) => n,
+        };
+        if n == 0 {
+            return Ok(&[]);
+        }
+        let chunk = self.inner.fill_buf()?;
+        Ok(&chunk[..n])
+    }
+
+    /// How many body bytes the connection buffer currently holds (filling
+    /// it if empty, decoding chunk framing as needed). 0 = body complete.
+    fn fill_len(&mut self) -> io::Result<usize> {
+        loop {
+            match &mut self.kind {
+                BodyKind::Empty => return Ok(0),
+                BodyKind::Sized { remaining } => {
+                    if *remaining == 0 {
+                        return Ok(0);
+                    }
+                    let want = *remaining;
+                    let chunk = self.inner.fill_buf()?;
+                    if chunk.is_empty() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-body",
+                        ));
+                    }
+                    return Ok((chunk.len() as u64).min(want) as usize);
+                }
+                BodyKind::Chunked {
+                    remaining,
+                    first,
+                    done,
+                } => {
+                    if *done {
+                        return Ok(0);
+                    }
+                    if *remaining == 0 {
+                        let first_chunk = *first;
+                        let len = self.next_chunk(first_chunk)?;
+                        if let BodyKind::Chunked {
+                            remaining,
+                            first,
+                            done,
+                        } = &mut self.kind
+                        {
+                            *first = false;
+                            if len == 0 {
+                                *done = true;
+                            } else {
+                                *remaining = len;
+                            }
+                        }
+                        if len == 0 {
+                            self.read_trailers()?;
+                            return Ok(0);
+                        }
+                        continue;
+                    }
+                    let want = *remaining;
+                    let chunk = self.inner.fill_buf()?;
+                    if chunk.is_empty() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-chunk",
+                        ));
+                    }
+                    return Ok((chunk.len() as u64).min(want) as usize);
+                }
+            }
+        }
+    }
+
+    /// Mark `n` bytes of the last [`BodyReader::fill`] slice as used.
+    pub fn consume(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.inner.consume(n);
+        match &mut self.kind {
+            BodyKind::Empty => unreachable!("consume on an empty body"),
+            BodyKind::Sized { remaining } | BodyKind::Chunked { remaining, .. } => {
+                debug_assert!(n as u64 <= *remaining, "consume past the fill slice");
+                *remaining -= n as u64;
+            }
+        }
+    }
+}
+
+impl<R: BufRead> BodyReader<'_, R> {
+    /// The pull (`io::Read`) path, built on the same push-mode framing
+    /// decoder ([`BodyReader::fill_len`]/[`BodyReader::consume`]) so the
+    /// sized/chunked state machine exists exactly once.
     fn read_body(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         if buf.is_empty() {
             return Ok(0);
         }
-        match &mut self.kind {
-            BodyKind::Empty => Ok(0),
-            BodyKind::Sized { remaining } => {
-                if *remaining == 0 {
-                    return Ok(0);
-                }
-                let want = buf.len().min(*remaining as usize);
-                let n = self.inner.read(&mut buf[..want])?;
-                if n == 0 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-body",
-                    ));
-                }
-                *remaining -= n as u64;
-                Ok(n)
-            }
-            BodyKind::Chunked {
-                remaining,
-                first,
-                done,
-            } => {
-                if *done {
-                    return Ok(0);
-                }
-                if *remaining == 0 {
-                    let first_chunk = *first;
-                    let len = self.next_chunk(first_chunk)?;
-                    if let BodyKind::Chunked {
-                        remaining,
-                        first,
-                        done,
-                    } = &mut self.kind
-                    {
-                        *first = false;
-                        if len == 0 {
-                            *done = true;
-                        } else {
-                            *remaining = len;
-                        }
-                    }
-                    if len == 0 {
-                        self.read_trailers()?;
-                        return Ok(0);
-                    }
-                    return self.read(buf);
-                }
-                let want = buf.len().min(*remaining as usize);
-                let n = self.inner.read(&mut buf[..want])?;
-                if n == 0 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-chunk",
-                    ));
-                }
-                *remaining -= n as u64;
-                Ok(n)
-            }
+        let avail = self.fill_len()?;
+        if avail == 0 {
+            return Ok(0);
         }
+        let want = avail.min(buf.len());
+        let chunk = self.inner.fill_buf()?;
+        buf[..want].copy_from_slice(&chunk[..want]);
+        self.consume(want);
+        Ok(want)
     }
 }
 
@@ -681,6 +747,70 @@ mod tests {
         let mut body = BodyReader::chunked(&mut wire);
         body.read_to_end(&mut Vec::new()).unwrap();
         assert_eq!(body.take_trailers(), vec![("x-ok".into(), "1".into())]);
+    }
+
+    #[test]
+    fn push_fill_stops_at_the_sized_boundary() {
+        let head = head_of("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\n");
+        let mut wire = Cursor::new(b"hellonext-request".to_vec());
+        let mut body = BodyReader::for_request(&head, &mut wire).unwrap();
+        let mut got = Vec::new();
+        loop {
+            let n = {
+                let chunk = body.fill().unwrap();
+                if chunk.is_empty() {
+                    break;
+                }
+                got.extend_from_slice(chunk);
+                chunk.len()
+            };
+            body.consume(n);
+        }
+        assert_eq!(got, b"hello");
+        assert!(body.fully_consumed());
+        let mut rest = Vec::new();
+        wire.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"next-request", "positioned at the next request");
+    }
+
+    #[test]
+    fn push_fill_decodes_chunked_framing_and_trailers() {
+        let head = head_of("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let raw = b"4\r\nwiki\r\n6\r\npedia \r\nb\r\nin chunks.\n\r\n0\r\nX-Stat: 7\r\n\r\nrest";
+        let mut wire = Cursor::new(raw.to_vec());
+        let mut body = BodyReader::for_request(&head, &mut wire).unwrap();
+        let mut got = Vec::new();
+        loop {
+            // Exercise partial consumption: take at most 3 bytes per fill.
+            let n = {
+                let chunk = body.fill().unwrap();
+                if chunk.is_empty() {
+                    break;
+                }
+                let n = chunk.len().min(3);
+                got.extend_from_slice(&chunk[..n]);
+                n
+            };
+            body.consume(n);
+        }
+        assert_eq!(got, b"wikipedia in chunks.\n");
+        assert!(body.fully_consumed());
+        assert_eq!(body.take_trailers(), vec![("x-stat".into(), "7".into())]);
+        let mut rest = Vec::new();
+        wire.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"rest");
+    }
+
+    #[test]
+    fn push_fill_reports_truncation() {
+        let head = head_of("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n");
+        let mut wire = Cursor::new(b"hi".to_vec());
+        let mut body = BodyReader::for_request(&head, &mut wire).unwrap();
+        let n = body.fill().unwrap().len();
+        body.consume(n);
+        let err = body.fill().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(body.poisoned());
     }
 
     #[test]

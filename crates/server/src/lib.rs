@@ -7,10 +7,14 @@
 //!
 //! * `PUT /queries/{name}` compiles a query **once** into a shared
 //!   registry ([`gcx_core::CompiledQuery`] is reused across requests);
-//! * `POST /eval/{name}` streams the request body through the GCX
-//!   pipeline and streams the result back *while the document is still
-//!   arriving* — a request's resident memory is the GCX buffer, not the
-//!   document;
+//! * `POST /eval/{name}` pushes the request body into a sans-IO
+//!   [`gcx_core::EvalSession`] chunk by chunk as bytes come off the
+//!   socket (no blocking `Read` adapter anywhere on the path) and streams
+//!   the result back *while the document is still arriving* — a request's
+//!   resident memory is the GCX buffer plus at most one partial token;
+//! * `Expect: 100-continue` is honored properly: `100 Continue` is sent
+//!   only once the query lookup and option checks pass, so a rejected
+//!   request never uploads its document at all;
 //! * the paper's buffer-minimality guarantee becomes an enforceable
 //!   resource budget: [`ServerConfig::max_buffer_bytes`] (or the
 //!   `X-Gcx-Max-Buffer-Bytes` request header) rejects runaway requests
@@ -654,6 +658,18 @@ fn drain_request_body<R: BufRead>(head: &RequestHead, reader: &mut R) {
     }
 }
 
+/// Best-effort drain for an eval request rejected before its body was
+/// read. A client that asked for `Expect: 100-continue` has not sent the
+/// body yet — we never sent `100 Continue`, which is the whole point of
+/// honoring the header: rejected requests don't upload the document.
+/// Draining would only stall on the silent socket until the read timeout;
+/// the rejection (with `Connection: close`) is the complete answer.
+fn drain_rejected<R: BufRead>(head: &RequestHead, reader: &mut R) {
+    if !head.expects_continue() {
+        drain_request_body(head, reader);
+    }
+}
+
 /// Caps the total wall-clock time a request body may take to arrive.
 /// `ServerConfig::read_timeout` bounds each individual socket read; a
 /// client trickling one byte per interval would pass every such check and
@@ -721,7 +737,7 @@ fn eval<R: BufRead, W: Write>(
             msg.as_bytes(),
             true,
         )?;
-        drain_request_body(head, reader);
+        drain_rejected(head, reader);
         return Ok(Outcome::Close);
     }
     let Some(q) = shared
@@ -734,7 +750,7 @@ fn eval<R: BufRead, W: Write>(
         shared.stats.client_errors.bump();
         let msg = format!("no query named {name:?} (register with PUT /queries/{name})\n");
         http::write_response(writer, 404, "Not Found", &[], msg.as_bytes(), true)?;
-        drain_request_body(head, reader);
+        drain_rejected(head, reader);
         return Ok(Outcome::Close);
     };
 
@@ -746,7 +762,7 @@ fn eval<R: BufRead, W: Write>(
             shared.stats.client_errors.bump();
             let msg = format!("unknown engine {other:?} (gcx|projection|full)\n");
             http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
-            drain_request_body(head, reader);
+            drain_rejected(head, reader);
             return Ok(Outcome::Close);
         }
     };
@@ -759,7 +775,7 @@ fn eval<R: BufRead, W: Write>(
             shared.stats.client_errors.bump();
             let msg = format!("{msg}\n");
             http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
-            drain_request_body(head, reader);
+            drain_rejected(head, reader);
             return Ok(Outcome::Close);
         }
     };
@@ -787,7 +803,7 @@ fn eval<R: BufRead, W: Write>(
     };
     let mut body = BodyReader::for_request(head, &mut timed)?;
     let mut out = DeferredBody::new(&mut *writer, success_head, COMMIT_THRESHOLD);
-    let result = gcx_core::run(&q, &opts, &mut body, &mut out);
+    let result = eval_push(&q, &opts, &mut body, &mut out);
     match result {
         Ok(report) => {
             let trailers: Vec<(&str, String)> = vec![
@@ -852,6 +868,37 @@ fn eval<R: BufRead, W: Write>(
             Ok(Outcome::Close)
         }
     }
+}
+
+/// Drive one eval request sans-IO: body chunks are pushed into the engine
+/// session exactly as they come off the socket — straight out of the
+/// connection's read buffer, with no `Read` adapter in between — and
+/// pending output is drained to the (deferred) response writer between
+/// chunks, so result bytes flow while the document is still uploading.
+/// The session's resident memory is the GCX buffer plus at most one
+/// partial token of spillover.
+fn eval_push<R: BufRead, W: Write>(
+    q: &CompiledQuery,
+    opts: &EngineOptions,
+    body: &mut BodyReader<'_, R>,
+    out: &mut W,
+) -> Result<gcx_core::RunReport, EngineError> {
+    let mut session = q.session(opts);
+    loop {
+        let fed = {
+            let chunk = body.fill().map_err(|e| session.input_io_error(e))?;
+            if chunk.is_empty() {
+                break;
+            }
+            session.feed(chunk)?;
+            chunk.len()
+        };
+        body.consume(fed);
+        session.take_output(out)?;
+    }
+    let report = session.finish()?;
+    session.take_output(out)?;
+    Ok(report)
 }
 
 #[cfg(test)]

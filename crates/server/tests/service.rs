@@ -71,6 +71,61 @@ fn register_eval_roundtrip_with_trailer_stats() {
 }
 
 #[test]
+fn expect_continue_is_gated_on_the_checks() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+    let r = client::put_query(addr, "titles", TITLES).unwrap();
+    assert_eq!(r.status, 201);
+
+    // Reject path: unknown query. The server must answer 404 straight
+    // away WITHOUT sending `100 Continue` — the client then never uploads
+    // the document (we deliberately send no body here; the server must
+    // not stall waiting for one).
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(
+        b"POST /eval/nope HTTP/1.1\r\nHost: x\r\nContent-Length: 1000000\r\n\
+          Expect: 100-continue\r\n\r\n",
+    )
+    .unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reply = Vec::new();
+    s.read_to_end(&mut reply).unwrap();
+    let reply = String::from_utf8_lossy(&reply);
+    assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+    assert!(!reply.contains("100 Continue"), "{reply}");
+
+    // Accept path: the interim `100 Continue` arrives only after the
+    // lookup and option checks passed; the body is uploaded after it.
+    let doc = b"<bib><book><title>T</title></book></bib>";
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(
+        format!(
+            "POST /eval/titles HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\
+             Expect: 100-continue\r\nConnection: close\r\n\r\n",
+            doc.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut interim = String::new();
+    reader.read_line(&mut interim).unwrap();
+    assert!(interim.starts_with("HTTP/1.1 100"), "{interim}");
+    let mut blank = String::new();
+    reader.read_line(&mut blank).unwrap(); // end of the interim response
+    s.write_all(doc).unwrap();
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    let rest = String::from_utf8_lossy(&rest);
+    assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
+    assert!(rest.contains("<title>T</title>"), "{rest}");
+    h.shutdown();
+}
+
+#[test]
 fn concurrent_clients_get_byte_identical_results() {
     // A real XMark document and three queries with different buffering
     // profiles, hammered by concurrent clients; every response must be

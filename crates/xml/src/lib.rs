@@ -3,11 +3,14 @@
 //! This crate provides everything the GCX streaming XQuery engine needs to
 //! consume and produce XML without any external dependencies:
 //!
-//! * [`Tokenizer`]: an incremental, pull-based XML tokenizer over any
-//!   [`std::io::Read`] source. It yields borrowed [`Token`]s (start tags with
-//!   attributes, end tags, text, comments, CDATA, processing instructions)
-//!   with byte-exact source positions, performs entity resolution, and can
-//!   enforce well-formedness (balanced tags, single document element).
+//! * [`PushTokenizer`]: the sans-IO tokenizer core — caller-owned chunks
+//!   in, borrowed [`Token`]s out (start tags with attributes, end tags,
+//!   text, comments, CDATA, processing instructions), with byte-exact
+//!   source positions, entity resolution and optional well-formedness
+//!   enforcement. Suspends at any byte boundary, carrying partial-token
+//!   spillover internally.
+//! * [`Tokenizer`]: the pull adapter over that core for any
+//!   [`std::io::Read`] source.
 //! * [`XmlWriter`]: a streaming serializer with automatic escaping and
 //!   optional pretty-printing, used by the engine to emit query results as
 //!   soon as they are available.
@@ -33,6 +36,7 @@
 mod error;
 pub mod escape;
 mod pos;
+pub mod push;
 mod sym;
 mod token;
 mod tokenizer;
@@ -40,6 +44,7 @@ mod writer;
 
 pub use error::{XmlError, XmlErrorKind, XmlResult};
 pub use pos::TextPos;
+pub use push::{PushTokenizer, TokenStep};
 pub use sym::{FxBuildHasher, FxHasher, Symbol, SymbolTable};
 pub use token::{Attr, Attrs, StartTag, Token};
 pub use tokenizer::{Tokenizer, TokenizerOptions};

@@ -1,0 +1,1244 @@
+//! The sans-IO tokenizer core: caller-owned chunks in, tokens out.
+//!
+//! [`PushTokenizer`] is the engine's byte-level state machine. It performs
+//! **no I/O**: the caller feeds it chunks of the document with
+//! [`PushTokenizer::feed`] (or writes directly into [`PushTokenizer::space`]
+//! and commits), drives it with [`PushTokenizer::step`], and reads each
+//! completed token with [`PushTokenizer::token`]. When the window ends in
+//! the middle of a token, `step` reports [`TokenStep::NeedMoreData`] and the
+//! partial token stays buffered internally (the *spillover*, observable via
+//! [`PushTokenizer::pending_bytes`]) until the next chunk arrives — the
+//! tokenizer can be suspended at any byte boundary, including mid-tag,
+//! mid-UTF-8 sequence or mid-CDATA.
+//!
+//! The pull-based [`crate::Tokenizer`] is a thin adapter that reads from an
+//! [`std::io::Read`] source whenever this core asks for more data; the
+//! streaming engine's [`EvalSession`](https://docs.rs/gcx-core) feeds it
+//! network chunks as they arrive. Both observe the exact same token
+//! sequence for the same bytes, however the bytes are split.
+//!
+//! ```
+//! use gcx_xml::{PushTokenizer, Token, TokenStep};
+//!
+//! let mut t = PushTokenizer::new();
+//! t.feed(b"<bib><book>x &a"); // ends mid-entity
+//! let mut names = Vec::new();
+//! loop {
+//!     match t.step().unwrap() {
+//!         TokenStep::Token => {
+//!             if let Token::StartTag(s) = t.token() { names.push(s.name.to_string()); }
+//!         }
+//!         TokenStep::NeedMoreData => break,
+//!         TokenStep::End => unreachable!(),
+//!     }
+//! }
+//! t.feed(b"mp; y</book></bib>");
+//! t.finish_input();
+//! let mut text = String::new();
+//! loop {
+//!     match t.step().unwrap() {
+//!         TokenStep::Token => {
+//!             if let Token::Text(s) = t.token() { text.push_str(s); }
+//!         }
+//!         TokenStep::NeedMoreData => unreachable!("input is complete"),
+//!         TokenStep::End => break,
+//!     }
+//! }
+//! assert_eq!(names, ["bib", "book"]);
+//! assert_eq!(text, "x & y");
+//! ```
+//!
+//! ## Allocation discipline
+//!
+//! Same as the pull tokenizer it replaced: the steady-state token loop
+//! performs no heap allocation. The window buffer is reused (consumed
+//! prefixes are compacted on the next feed), open names live back-to-back
+//! in one arena, attribute spans live in a reusable scratch vector, and
+//! rewritten text/attribute values go into reusable arenas. A returned
+//! token borrows these buffers and is valid until the next `feed`/`step`.
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::escape::{normalize_attr_into, normalize_newlines_into, normalize_unescape_into};
+use crate::pos::TextPos;
+use crate::token::{AttrSpan, Attrs, StartTag, Token};
+use crate::tokenizer::TokenizerOptions;
+
+/// Outcome of one [`PushTokenizer::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenStep {
+    /// A complete token was recognized; read it with
+    /// [`PushTokenizer::token`] before the next `feed` or `step`.
+    Token,
+    /// The window ends inside a token (or is empty): feed more bytes, or
+    /// declare the end of input with [`PushTokenizer::finish_input`].
+    NeedMoreData,
+    /// Clean end of input: every byte was tokenized and (with checking
+    /// enabled) the document is well-formed.
+    End,
+}
+
+/// Descriptor of the last recognized token: spans into the window buffer
+/// (still valid after `consume` — bytes move only on `feed` compaction)
+/// or flags selecting a rewrite scratch.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    None,
+    /// Character data. `scratch` selects the rewrite buffer (entities or
+    /// line endings were normalized) over the raw window span.
+    Text {
+        scratch: bool,
+        start: usize,
+        len: usize,
+    },
+    Comment {
+        start: usize,
+        len: usize,
+    },
+    Doctype {
+        start: usize,
+        len: usize,
+    },
+    Pi {
+        start: usize,
+        len: usize,
+        target_len: usize,
+        data_off: usize,
+    },
+    EndTag {
+        start: usize,
+        len: usize,
+    },
+    /// Start tag body (between `<` and `>`/`/>`); attribute spans live in
+    /// the reusable scratch, relative to this body span.
+    StartTag {
+        start: usize,
+        len: usize,
+        name_len: usize,
+        self_closing: bool,
+    },
+}
+
+/// What kind of markup construct starts at the current `<`.
+enum MarkupKind {
+    Comment,
+    CData,
+    Doctype,
+    Pi,
+    EndTag,
+    StartTag,
+}
+
+/// Resumable scan state for the current partial token: where the last
+/// failed terminator search left off (plus any mid-scan state), so that a
+/// re-step after more data arrives does not rescan bytes already searched.
+/// Without this, a token split across many small chunks would cost
+/// O(len²) — the pull tokenizer's refill loops carried the same positions
+/// implicitly. Offsets are relative to the window start, which survives
+/// compaction (the window is rebased as one block). Cleared whenever a
+/// token completes; a retry always resumes the *same* scan because
+/// nothing was consumed and markup classification is deterministic over
+/// the unchanged prefix.
+#[derive(Debug, Clone, Copy)]
+enum ScanHint {
+    /// Generic terminator search ([`PushTokenizer::find`]) may resume at
+    /// this relative offset.
+    Find { from: usize },
+    /// Start-tag scan: position + in-quote state.
+    Tag { i: usize, quote: Option<u8> },
+    /// DOCTYPE scan: position + internal-subset bracket depth.
+    Doctype { i: usize, depth: usize },
+}
+
+/// Sans-IO incremental XML tokenizer. See the [module docs](self) for the
+/// protocol and an example.
+pub struct PushTokenizer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (start of the unread window).
+    lo: usize,
+    /// End of valid bytes in `buf`.
+    hi: usize,
+    /// Set by [`PushTokenizer::finish_input`]: no more bytes will arrive.
+    eof: bool,
+    pos: TextPos,
+    opts: TokenizerOptions,
+    /// Open element names (well-formedness only): start offsets into
+    /// `stack_arena`, where names are stored back-to-back.
+    stack: Vec<u32>,
+    stack_arena: String,
+    seen_root: bool,
+    /// Scratch for rewritten (unescaped/normalized) text so we can lend it
+    /// borrowed.
+    text_scratch: String,
+    /// Scratch for the current start tag's attribute spans.
+    attr_spans: Vec<AttrSpan>,
+    /// Arena for attribute values that needed rewriting.
+    attr_arena: String,
+    /// Set once EOF has been fully validated and reported.
+    done: bool,
+    pending: Pending,
+    /// Resume point of the current partial token's terminator scan.
+    hint: Option<ScanHint>,
+}
+
+impl Default for PushTokenizer {
+    fn default() -> Self {
+        PushTokenizer::new()
+    }
+}
+
+impl PushTokenizer {
+    /// Push tokenizer with default options (well-formedness checking on).
+    pub fn new() -> PushTokenizer {
+        PushTokenizer::with_options(TokenizerOptions::default())
+    }
+
+    /// Push tokenizer with explicit options.
+    pub fn with_options(opts: TokenizerOptions) -> PushTokenizer {
+        PushTokenizer {
+            buf: Vec::new(),
+            lo: 0,
+            hi: 0,
+            eof: false,
+            pos: TextPos::START,
+            opts,
+            stack: Vec::new(),
+            stack_arena: String::new(),
+            seen_root: false,
+            text_scratch: String::new(),
+            attr_spans: Vec::new(),
+            attr_arena: String::new(),
+            done: false,
+            pending: Pending::None,
+            hint: None,
+        }
+    }
+
+    /// Current position: the first byte of the *next* token to be returned.
+    pub fn position(&self) -> TextPos {
+        self.pos
+    }
+
+    /// Depth of currently open elements (well-formedness checking only).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Unconsumed bytes currently buffered — after a
+    /// [`TokenStep::NeedMoreData`], the partial-token spillover carried
+    /// across the feed boundary.
+    pub fn pending_bytes(&self) -> usize {
+        self.avail()
+    }
+
+    /// True once [`PushTokenizer::finish_input`] has been called.
+    pub fn input_finished(&self) -> bool {
+        self.eof
+    }
+
+    // ---- feeding ----------------------------------------------------------
+
+    /// Append a caller-owned chunk to the window. Invalidates any token
+    /// not yet read with [`PushTokenizer::token`].
+    pub fn feed(&mut self, chunk: &[u8]) {
+        let gap = self.space(chunk.len().max(1));
+        gap[..chunk.len()].copy_from_slice(chunk);
+        self.commit(chunk.len());
+    }
+
+    /// Borrow at least `min` writable bytes after the window (for reading
+    /// from a source without an intermediate copy); follow with
+    /// [`PushTokenizer::commit`]. Invalidates any unread token.
+    pub fn space(&mut self, min: usize) -> &mut [u8] {
+        self.pending = Pending::None;
+        // Compact the consumed prefix before growing: the window only ever
+        // holds the current partial token plus unread lookahead.
+        if self.lo > 0 {
+            self.buf.copy_within(self.lo..self.hi, 0);
+            self.hi -= self.lo;
+            self.lo = 0;
+        }
+        if self.buf.len() - self.hi < min {
+            self.buf.resize(self.hi + min, 0);
+        }
+        &mut self.buf[self.hi..]
+    }
+
+    /// Declare `n` bytes of [`PushTokenizer::space`] filled.
+    pub fn commit(&mut self, n: usize) {
+        debug_assert!(self.hi + n <= self.buf.len());
+        self.hi += n;
+    }
+
+    /// Declare the end of input: no more bytes will be fed. The next
+    /// [`PushTokenizer::step`] calls tokenize the remaining window and
+    /// finish with [`TokenStep::End`] (or a well-formedness error).
+    pub fn finish_input(&mut self) {
+        self.eof = true;
+    }
+
+    // ---- window management -------------------------------------------------
+
+    /// Number of unread bytes currently buffered.
+    fn avail(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// At least `n` unread bytes? `Some(false)` means end-of-input makes
+    /// that impossible; `None` means more data could still arrive.
+    fn ensure(&self, n: usize) -> Option<bool> {
+        if self.avail() >= n {
+            Some(true)
+        } else if self.eof {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Find `needle` in the unread window at relative offset >= `from`,
+    /// resuming a previously failed scan of the same partial token.
+    /// `Some(None)` = provably absent (end of input); `None` = need data.
+    fn find(&mut self, from: usize, needle: &[u8]) -> Option<Option<usize>> {
+        let from = match self.hint {
+            Some(ScanHint::Find { from: resumed }) => from.max(resumed),
+            _ => from,
+        };
+        let window = &self.buf[self.lo..self.hi];
+        if window.len() >= needle.len() && from <= window.len() - needle.len() {
+            if let Some(i) = find_sub(&window[from..], needle) {
+                self.hint = None;
+                return Some(Some(from + i));
+            }
+        }
+        if self.eof {
+            self.hint = None;
+            Some(None)
+        } else {
+            // Keep the last needle.len()-1 bytes re-searchable: the match
+            // may straddle this feed boundary.
+            self.hint = Some(ScanHint::Find {
+                from: window.len().saturating_sub(needle.len() - 1).max(from),
+            });
+            None
+        }
+    }
+
+    /// Consume `n` bytes, updating the position. Ends the current token:
+    /// any scan-resume state belongs to it and is dropped.
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.avail());
+        self.pos.advance(&self.buf[self.lo..self.lo + n]);
+        self.lo += n;
+        self.hint = None;
+    }
+
+    fn err_eof(&self, context: &'static str) -> XmlError {
+        XmlError::new(XmlErrorKind::UnexpectedEof { context }, self.pos)
+    }
+
+    /// The open element names, outermost first (error reporting).
+    fn open_names(&self) -> Vec<String> {
+        self.stack
+            .iter()
+            .enumerate()
+            .map(|(i, &start)| {
+                let end = self
+                    .stack
+                    .get(i + 1)
+                    .map(|&e| e as usize)
+                    .unwrap_or(self.stack_arena.len());
+                self.stack_arena[start as usize..end].to_string()
+            })
+            .collect()
+    }
+
+    // ---- stepping ----------------------------------------------------------
+
+    /// Advance by one token. On [`TokenStep::Token`], read it with
+    /// [`PushTokenizer::token`]; on [`TokenStep::NeedMoreData`] nothing was
+    /// consumed — feed more bytes (or `finish_input`) and call again.
+    pub fn step(&mut self) -> XmlResult<TokenStep> {
+        self.pending = Pending::None;
+        if self.done {
+            return Ok(TokenStep::End);
+        }
+        if self.avail() == 0 {
+            if !self.eof {
+                return Ok(TokenStep::NeedMoreData);
+            }
+            // Clean EOF: validate well-formedness closure.
+            self.done = true;
+            if self.opts.check_well_formed {
+                if !self.stack.is_empty() {
+                    return Err(XmlError::new(
+                        XmlErrorKind::UnclosedElements(self.open_names()),
+                        self.pos,
+                    ));
+                }
+                if !self.seen_root && !self.opts.allow_fragments {
+                    return Err(self.err_eof("document element"));
+                }
+            }
+            return Ok(TokenStep::End);
+        }
+        if self.buf[self.lo] == b'<' {
+            self.step_markup()
+        } else {
+            self.step_text()
+        }
+    }
+
+    /// The token recognized by the last [`TokenStep::Token`]. Borrows the
+    /// internal buffers: read it before the next `feed`/`space`/`step`.
+    ///
+    /// # Panics
+    ///
+    /// If the last step did not produce a token.
+    pub fn token(&self) -> Token<'_> {
+        match self.pending {
+            Pending::None => panic!("PushTokenizer::token() without a pending token"),
+            Pending::Text { scratch: true, .. } => Token::Text(&self.text_scratch),
+            Pending::Text {
+                scratch: false,
+                start,
+                len,
+            } => Token::Text(revalidated(&self.buf[start..start + len])),
+            Pending::Comment { start, len } => {
+                Token::Comment(revalidated(&self.buf[start..start + len]))
+            }
+            Pending::Doctype { start, len } => {
+                Token::Doctype(revalidated(&self.buf[start..start + len]))
+            }
+            Pending::Pi {
+                start,
+                len,
+                target_len,
+                data_off,
+            } => {
+                let body = revalidated(&self.buf[start..start + len]);
+                Token::ProcessingInstruction {
+                    target: &body[..target_len],
+                    data: &body[data_off..],
+                }
+            }
+            Pending::EndTag { start, len } => Token::EndTag {
+                name: revalidated(&self.buf[start..start + len]),
+            },
+            Pending::StartTag {
+                start,
+                len,
+                name_len,
+                self_closing,
+            } => {
+                let inner = revalidated(&self.buf[start..start + len]);
+                Token::StartTag(StartTag {
+                    name: &inner[..name_len],
+                    attrs: Attrs {
+                        spans: &self.attr_spans,
+                        body: inner,
+                        arena: &self.attr_arena,
+                    },
+                    self_closing,
+                })
+            }
+        }
+    }
+
+    fn step_text(&mut self) -> XmlResult<TokenStep> {
+        // Locate the end of the text run: the next '<' or end of input.
+        // A run is one token however it was chunked, so the whole run must
+        // be buffered before it is emitted (this is the common spillover).
+        let end = match self.find(0, b"<") {
+            None => return Ok(TokenStep::NeedMoreData),
+            Some(None) => self.avail(),
+            Some(Some(i)) => i,
+        };
+        let start_pos = self.pos;
+        let raw = &self.buf[self.lo..self.lo + end];
+        let raw = std::str::from_utf8(raw)
+            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, start_pos))?;
+        // Outside the document element only whitespace is allowed.
+        if self.opts.check_well_formed
+            && !self.opts.allow_fragments
+            && self.stack.is_empty()
+            && !raw.bytes().all(|b| b.is_ascii_whitespace())
+        {
+            return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
+        }
+        // Entity resolution and line-ending normalization share one rewrite
+        // pass into the reusable scratch; clean runs are lent borrowed.
+        let needs_rewrite = raw.bytes().any(|b| b == b'&' || b == b'\r');
+        if needs_rewrite {
+            self.text_scratch.clear();
+            let raw_range = self.lo..self.lo + end; // defer slice re-borrow
+            let raw2 = revalidated(&self.buf[raw_range]);
+            if let Err(entity) = normalize_unescape_into(raw2, &mut self.text_scratch) {
+                let entity = entity.to_string();
+                return Err(XmlError::new(XmlErrorKind::BadEntity(entity), start_pos));
+            }
+        }
+        self.pending = Pending::Text {
+            scratch: needs_rewrite,
+            start: self.lo,
+            len: end,
+        };
+        self.consume(end);
+        Ok(TokenStep::Token)
+    }
+
+    fn classify_markup(&self) -> XmlResult<Option<MarkupKind>> {
+        // We have '<' at lo. Peek a handful of bytes to classify.
+        match self.ensure(2) {
+            None => return Ok(None),
+            Some(false) => return Err(self.err_eof("markup")),
+            Some(true) => {}
+        }
+        Ok(Some(match self.buf[self.lo + 1] {
+            b'/' => MarkupKind::EndTag,
+            b'?' => MarkupKind::Pi,
+            b'!' => {
+                // <!-- | <![CDATA[ | <!DOCTYPE — the discriminating prefix
+                // is up to 9 bytes, so wait for them (or end of input).
+                if self.ensure(4) == Some(true) && &self.buf[self.lo + 2..self.lo + 4] == b"--" {
+                    MarkupKind::Comment
+                } else if self.ensure(9) == Some(true)
+                    && &self.buf[self.lo + 2..self.lo + 9] == b"[CDATA["
+                {
+                    MarkupKind::CData
+                } else if self.eof || self.avail() >= 9 {
+                    MarkupKind::Doctype
+                } else {
+                    return Ok(None);
+                }
+            }
+            _ => MarkupKind::StartTag,
+        }))
+    }
+
+    fn step_markup(&mut self) -> XmlResult<TokenStep> {
+        let start_pos = self.pos;
+        let Some(kind) = self.classify_markup()? else {
+            return Ok(TokenStep::NeedMoreData);
+        };
+        match kind {
+            MarkupKind::Comment => {
+                let Some(found) = self.find(4, b"-->") else {
+                    return Ok(TokenStep::NeedMoreData);
+                };
+                let end = found.ok_or_else(|| self.err_eof("comment"))?;
+                let total = end + 3;
+                check_utf8(&self.buf[self.lo + 4..self.lo + end], start_pos)?;
+                self.pending = Pending::Comment {
+                    start: self.lo + 4,
+                    len: end - 4,
+                };
+                self.consume(total);
+                Ok(TokenStep::Token)
+            }
+            MarkupKind::CData => {
+                let Some(found) = self.find(9, b"]]>") else {
+                    return Ok(TokenStep::NeedMoreData);
+                };
+                let end = found.ok_or_else(|| self.err_eof("CDATA section"))?;
+                let total = end + 3;
+                let raw = check_utf8(&self.buf[self.lo + 9..self.lo + end], start_pos)?;
+                let needs_rewrite = raw.bytes().any(|b| b == b'\r');
+                if self.opts.check_well_formed
+                    && !self.opts.allow_fragments
+                    && self.stack.is_empty()
+                {
+                    return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
+                }
+                if needs_rewrite {
+                    // §2.11 applies inside CDATA too (no entity processing).
+                    self.text_scratch.clear();
+                    let raw_range = self.lo + 9..self.lo + end;
+                    let raw2 = revalidated(&self.buf[raw_range]);
+                    normalize_newlines_into(raw2, &mut self.text_scratch);
+                }
+                self.pending = Pending::Text {
+                    scratch: needs_rewrite,
+                    start: self.lo + 9,
+                    len: end - 9,
+                };
+                self.consume(total);
+                Ok(TokenStep::Token)
+            }
+            MarkupKind::Doctype => {
+                // Scan for '>' at zero square-bracket depth (internal subset).
+                let Some(end) = self.find_doctype_end()? else {
+                    return Ok(TokenStep::NeedMoreData);
+                };
+                let total = end + 1;
+                check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
+                self.pending = Pending::Doctype {
+                    start: self.lo + 2,
+                    len: end - 2,
+                };
+                self.consume(total);
+                Ok(TokenStep::Token)
+            }
+            MarkupKind::Pi => {
+                let Some(found) = self.find(2, b"?>") else {
+                    return Ok(TokenStep::NeedMoreData);
+                };
+                let end = found.ok_or_else(|| self.err_eof("processing instruction"))?;
+                let total = end + 2;
+                let body = check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
+                let target_len = body
+                    .char_indices()
+                    .find(|(_, c)| c.is_whitespace())
+                    .map(|(i, _)| i)
+                    .unwrap_or(body.len());
+                if target_len == 0 {
+                    return Err(XmlError::syntax(
+                        "processing instruction without target",
+                        start_pos,
+                    ));
+                }
+                let data_off = body[target_len..]
+                    .char_indices()
+                    .find(|(_, c)| !c.is_whitespace())
+                    .map(|(i, _)| target_len + i)
+                    .unwrap_or(body.len());
+                self.pending = Pending::Pi {
+                    start: self.lo + 2,
+                    len: end - 2,
+                    target_len,
+                    data_off,
+                };
+                self.consume(total);
+                Ok(TokenStep::Token)
+            }
+            MarkupKind::EndTag => {
+                let Some(found) = self.find(2, b">") else {
+                    return Ok(TokenStep::NeedMoreData);
+                };
+                let end = found.ok_or_else(|| self.err_eof("end tag"))?;
+                let total = end + 1;
+                let body = check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
+                let name = body.trim();
+                validate_name(name, start_pos)?;
+                if self.opts.check_well_formed {
+                    match self.stack.pop() {
+                        None => {
+                            return Err(XmlError::new(
+                                XmlErrorKind::UnexpectedEndTag(name.to_string()),
+                                start_pos,
+                            ))
+                        }
+                        Some(open_start) => {
+                            let open = &self.stack_arena[open_start as usize..];
+                            if open != name {
+                                return Err(XmlError::new(
+                                    XmlErrorKind::MismatchedTag {
+                                        expected: open.to_string(),
+                                        found: name.to_string(),
+                                    },
+                                    start_pos,
+                                ));
+                            }
+                            self.stack_arena.truncate(open_start as usize);
+                        }
+                    }
+                }
+                let lead = body.len() - body.trim_start().len();
+                self.pending = Pending::EndTag {
+                    start: self.lo + 2 + lead,
+                    len: name.len(),
+                };
+                self.consume(total);
+                Ok(TokenStep::Token)
+            }
+            MarkupKind::StartTag => self.step_start_tag(start_pos),
+        }
+    }
+
+    /// Find the '>' that ends a DOCTYPE, respecting `[ ... ]` internal
+    /// subsets. `Ok(None)` = need more data (scan resumes where it left
+    /// off on the next call).
+    fn find_doctype_end(&mut self) -> XmlResult<Option<usize>> {
+        let (start, mut depth) = match self.hint {
+            Some(ScanHint::Doctype { i, depth }) => (i, depth),
+            _ => (1, 0usize),
+        };
+        for i in start..self.avail() {
+            match self.buf[self.lo + i] {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    self.hint = None;
+                    return Ok(Some(i));
+                }
+                _ => {}
+            }
+        }
+        if self.eof {
+            self.hint = None;
+            Err(self.err_eof("DOCTYPE declaration"))
+        } else {
+            self.hint = Some(ScanHint::Doctype {
+                i: self.avail().max(1),
+                depth,
+            });
+            Ok(None)
+        }
+    }
+
+    /// Find the '>' ending a start tag, skipping quoted attribute values.
+    /// Both the unquoted scan (for `" ' > <`) and the in-quote scan (for
+    /// the close quote) run word-at-a-time. `Ok(None)` = need more data
+    /// (position and in-quote state resume on the next call).
+    fn find_tag_end(&mut self) -> XmlResult<Option<usize>> {
+        let (mut i, mut quote) = match self.hint {
+            Some(ScanHint::Tag { i, quote }) => (i, quote),
+            _ => (1, None::<u8>),
+        };
+        loop {
+            if i >= self.avail() {
+                return if self.eof {
+                    self.hint = None;
+                    Err(self.err_eof("start tag"))
+                } else {
+                    self.hint = Some(ScanHint::Tag { i, quote });
+                    Ok(None)
+                };
+            }
+            match quote {
+                Some(q) => {
+                    // Inside a quoted value: skip straight to the close quote.
+                    let hay = &self.buf[self.lo + i..self.hi];
+                    match memchr1(q, hay) {
+                        Some(p) => {
+                            i += p + 1;
+                            quote = None;
+                        }
+                        None => i = self.avail(),
+                    }
+                }
+                None => match memchr_tag_delim(&self.buf[self.lo + i..self.hi]) {
+                    Some(p) => {
+                        i += p;
+                        match self.buf[self.lo + i] {
+                            b'"' | b'\'' => {
+                                quote = Some(self.buf[self.lo + i]);
+                                i += 1;
+                            }
+                            b'>' => {
+                                self.hint = None;
+                                return Ok(Some(i));
+                            }
+                            _ => {
+                                debug_assert_eq!(self.buf[self.lo + i], b'<');
+                                self.hint = None;
+                                return Err(XmlError::syntax("'<' inside tag", self.pos));
+                            }
+                        }
+                    }
+                    None => i = self.avail(),
+                },
+            }
+        }
+    }
+
+    fn step_start_tag(&mut self, start_pos: TextPos) -> XmlResult<TokenStep> {
+        let Some(end) = self.find_tag_end()? else {
+            return Ok(TokenStep::NeedMoreData);
+        };
+        let total = end + 1;
+        let body = check_utf8(&self.buf[self.lo + 1..self.lo + end], start_pos)?;
+        let self_closing = body.ends_with('/');
+        let inner = if self_closing {
+            &body[..body.len() - 1]
+        } else {
+            body
+        };
+
+        // Parse name.
+        let inner_trim_start = inner.trim_start();
+        if inner_trim_start.len() != inner.len() {
+            return Err(XmlError::syntax(
+                "whitespace before element name",
+                start_pos,
+            ));
+        }
+        let name_len = inner
+            .char_indices()
+            .find(|(_, c)| c.is_whitespace() || *c == '=')
+            .map(|(i, _)| i)
+            .unwrap_or(inner.len());
+        let name = &inner[..name_len];
+        validate_name(name, start_pos)?;
+
+        // Parse attributes into the reusable span scratch. Spans are
+        // relative to `inner`; rewritten values go into the reusable arena.
+        self.attr_spans.clear();
+        self.attr_arena.clear();
+        let bytes = inner.as_bytes();
+        let mut i = name_len;
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                break;
+            }
+            // attribute name
+            let an_start = i;
+            while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'=' {
+                i += 1;
+            }
+            let an_end = i;
+            validate_name(&inner[an_start..an_end], start_pos)?;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b'=' {
+                return Err(XmlError::syntax(
+                    format!("attribute `{}` without value", &inner[an_start..an_end]),
+                    start_pos,
+                ));
+            }
+            i += 1; // '='
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
+                return Err(XmlError::syntax(
+                    "attribute value must be quoted",
+                    start_pos,
+                ));
+            }
+            let q = bytes[i];
+            i += 1;
+            let av_start = i;
+            match memchr1(q, &bytes[i..]) {
+                Some(p) => i += p,
+                None => {
+                    return Err(XmlError::syntax("unterminated attribute value", start_pos));
+                }
+            }
+            let av_end = i;
+            i += 1; // closing quote
+            let raw_val = &inner[av_start..av_end];
+            // Attribute values additionally get §3.3.3 normalization
+            // (literal whitespace → space); see `normalize_attr_into`.
+            let needs_rewrite = raw_val
+                .bytes()
+                .any(|b| matches!(b, b'&' | b'\r' | b'\n' | b'\t'));
+            let owned = if needs_rewrite {
+                let arena_start = self.attr_arena.len() as u32;
+                if let Err(entity) = normalize_attr_into(raw_val, &mut self.attr_arena) {
+                    return Err(XmlError::new(
+                        XmlErrorKind::BadEntity(entity.to_string()),
+                        start_pos,
+                    ));
+                }
+                Some((arena_start, self.attr_arena.len() as u32))
+            } else {
+                None
+            };
+            self.attr_spans.push(AttrSpan {
+                name: (an_start as u32, an_end as u32),
+                value: (av_start as u32, av_end as u32),
+                owned,
+            });
+        }
+
+        // Duplicate attribute check (well-formedness constraint).
+        if self.opts.check_well_formed {
+            for a in 1..self.attr_spans.len() {
+                for b in 0..a {
+                    let (an, bn) = (self.attr_spans[a].name, self.attr_spans[b].name);
+                    if inner[an.0 as usize..an.1 as usize] == inner[bn.0 as usize..bn.1 as usize] {
+                        return Err(XmlError::syntax(
+                            format!(
+                                "duplicate attribute `{}`",
+                                &inner[an.0 as usize..an.1 as usize]
+                            ),
+                            start_pos,
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Well-formedness: root bookkeeping and open-element stack.
+        if self.opts.check_well_formed {
+            if self.stack.is_empty() {
+                if self.seen_root && !self.opts.allow_fragments {
+                    return Err(XmlError::new(XmlErrorKind::TrailingContent, start_pos));
+                }
+                self.seen_root = true;
+            }
+            if !self_closing {
+                self.stack.push(self.stack_arena.len() as u32);
+                self.stack_arena.push_str(name);
+            }
+        }
+
+        self.pending = Pending::StartTag {
+            start: self.lo + 1,
+            len: end - 1 - usize::from(self_closing),
+            name_len,
+            self_closing,
+        };
+        self.consume(total);
+        Ok(TokenStep::Token)
+    }
+}
+
+// ---- accelerated scanners ----------------------------------------------------
+
+const LANES: usize = std::mem::size_of::<usize>();
+const LSB: usize = usize::from_ne_bytes([0x01; LANES]);
+const MSB: usize = usize::from_ne_bytes([0x80; LANES]);
+
+/// Load a word so its least significant byte is the FIRST byte in memory
+/// (a byte swap on big-endian targets, free on little-endian). The
+/// zero-byte detector `(x - LSB) & !x & MSB` can set false-positive bits
+/// in lanes *above* the first true match (borrow propagation), so the
+/// first-match lane must always be extracted from the low end with
+/// `trailing_zeros` — which requires this memory ordering.
+#[inline]
+fn load_le(bytes: &[u8]) -> usize {
+    usize::from_ne_bytes(bytes[..LANES].try_into().unwrap()).to_le()
+}
+
+/// SWAR single-byte search: scans one machine word at a time using the
+/// classic zero-byte detector, with a scalar tail. This is the accelerated
+/// scanner behind [`find_sub`]; the text/markup boundary scans of large
+/// documents spend most of their time here.
+#[inline]
+pub(crate) fn memchr1(needle: u8, hay: &[u8]) -> Option<usize> {
+    let broadcast = usize::from_ne_bytes([needle; LANES]);
+    let mut i = 0;
+    while i + LANES <= hay.len() {
+        let x = load_le(&hay[i..]) ^ broadcast;
+        let found = x.wrapping_sub(LSB) & !x & MSB;
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += LANES;
+    }
+    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
+}
+
+/// SWAR scan for the first start-tag delimiter: `"`, `'`, `>` or `<`.
+/// Four zero-byte detectors per word still beat a byte loop by a wide
+/// margin; start tags are delimiter-sparse.
+#[inline]
+pub(crate) fn memchr_tag_delim(hay: &[u8]) -> Option<usize> {
+    #[inline]
+    fn zero_detect(word: usize, broadcast: usize) -> usize {
+        let x = word ^ broadcast;
+        x.wrapping_sub(LSB) & !x & MSB
+    }
+    const DQ: usize = usize::from_ne_bytes([b'"'; LANES]);
+    const SQ: usize = usize::from_ne_bytes([b'\''; LANES]);
+    const GT: usize = usize::from_ne_bytes([b'>'; LANES]);
+    const LT: usize = usize::from_ne_bytes([b'<'; LANES]);
+    let mut i = 0;
+    while i + LANES <= hay.len() {
+        let word = load_le(&hay[i..]);
+        let found = zero_detect(word, DQ)
+            | zero_detect(word, SQ)
+            | zero_detect(word, GT)
+            | zero_detect(word, LT);
+        if found != 0 {
+            // Each detector is exact below its own first true match, so the
+            // lowest set lane of the OR is the earliest true delimiter.
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += LANES;
+    }
+    hay[i..]
+        .iter()
+        .position(|&b| matches!(b, b'"' | b'\'' | b'>' | b'<'))
+        .map(|p| i + p)
+}
+
+/// Substring search: SWAR scan for the first needle byte, then verify the
+/// remainder. Needles here are ≤ 3 bytes, so verification is trivial.
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    debug_assert!(!needle.is_empty());
+    if needle.len() == 1 {
+        return memchr1(needle[0], hay);
+    }
+    let mut from = 0;
+    while from + needle.len() <= hay.len() {
+        let i = from + memchr1(needle[0], &hay[from..=hay.len() - needle.len()])?;
+        if &hay[i..i + needle.len()] == needle {
+            return Some(i);
+        }
+        from = i + 1;
+    }
+    None
+}
+
+fn check_utf8(bytes: &[u8], pos: TextPos) -> XmlResult<&str> {
+    std::str::from_utf8(bytes).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))
+}
+
+/// Re-borrow bytes that were already UTF-8 validated when the pending
+/// token was recognized (tokens are read after `consume`, which ends the
+/// first borrow). Skipping the second validation saves a full pass over
+/// every token's bytes.
+#[inline]
+fn revalidated(bytes: &[u8]) -> &str {
+    debug_assert!(std::str::from_utf8(bytes).is_ok());
+    // SAFETY: every pending span was validated via `check_utf8`/`from_utf8`
+    // in the step that recognized it, and the window is not mutated between
+    // that step and the `token()` read (feeding resets the pending state).
+    unsafe { std::str::from_utf8_unchecked(bytes) }
+}
+
+/// Byte classes for the ASCII fast path of [`validate_name`]: bit 0 = valid
+/// name start, bit 1 = valid name continuation. Non-ASCII bytes take the
+/// slow (char-based) path.
+static NAME_CLASS: [u8; 128] = {
+    let mut t = [0u8; 128];
+    let mut b = 0usize;
+    while b < 128 {
+        let c = b as u8;
+        let alpha = c.is_ascii_alphabetic();
+        if alpha || c == b'_' || c == b':' {
+            t[b] |= 0b01;
+        }
+        if alpha || c.is_ascii_digit() || matches!(c, b'_' | b':' | b'-' | b'.') {
+            t[b] |= 0b10;
+        }
+        b += 1;
+    }
+    t
+};
+
+/// Validate an XML name (element or attribute). Namespace colons allowed.
+/// Runs per tag: ASCII names (the overwhelmingly common case) validate via
+/// one table lookup per byte, no char decoding.
+fn validate_name(name: &str, pos: TextPos) -> XmlResult<()> {
+    let bytes = name.as_bytes();
+    if bytes.is_empty() {
+        return Err(XmlError::syntax("empty name", pos));
+    }
+    if name.is_ascii() {
+        let first_ok = NAME_CLASS[bytes[0] as usize] & 0b01 != 0;
+        if first_ok
+            && bytes[1..]
+                .iter()
+                .all(|&b| NAME_CLASS[b as usize] & 0b10 != 0)
+        {
+            return Ok(());
+        }
+        return Err(XmlError::syntax(format!("invalid name `{name}`"), pos));
+    }
+    let mut chars = name.chars();
+    let ok_first = |c: char| c.is_alphabetic() || c == '_' || c == ':' || !c.is_ascii();
+    let ok_rest =
+        |c: char| c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.') || !c.is_ascii();
+    match chars.next() {
+        None => return Err(XmlError::syntax("empty name", pos)),
+        Some(c) if !ok_first(c) => {
+            return Err(XmlError::syntax(format!("invalid name `{name}`"), pos))
+        }
+        Some(_) => {}
+    }
+    if chars.all(ok_rest) {
+        Ok(())
+    } else {
+        Err(XmlError::syntax(format!("invalid name `{name}`"), pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tokenize `input` pushed in `chunk`-byte pieces; return debug strings.
+    fn toks_chunked(input: &str, chunk: usize) -> Vec<String> {
+        let mut t = PushTokenizer::new();
+        let mut out = Vec::new();
+        let mut fed = 0;
+        loop {
+            match t.step() {
+                Ok(TokenStep::Token) => out.push(format!("{:?}", t.token())),
+                Ok(TokenStep::End) => break,
+                Ok(TokenStep::NeedMoreData) => {
+                    if fed < input.len() {
+                        let next = (fed + chunk).min(input.len());
+                        t.feed(&input.as_bytes()[fed..next]);
+                        fed = next;
+                    } else {
+                        t.finish_input();
+                    }
+                }
+                Err(e) => {
+                    out.push(format!("ERR {e}"));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        let doc = "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (b)>]>\
+                   <a x=\"1&amp;2\" y='α'>\n t&lt;x \
+                   <!-- c -- c --><![CDATA[x < y]]><b/></a>";
+        let whole = toks_chunked(doc, doc.len());
+        for chunk in [1, 2, 3, 5, 7, 16, 64] {
+            assert_eq!(toks_chunked(doc, chunk), whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn split_inside_multibyte_utf8() {
+        // 'α' is two bytes; 1-byte chunks split it. Validation is deferred
+        // until the token completes, so this must still succeed.
+        let doc = "<a>αβγ</a>";
+        let toks = toks_chunked(doc, 1);
+        assert!(toks.iter().any(|t| t.contains("αβγ")), "{toks:?}");
+    }
+
+    #[test]
+    fn need_more_data_reports_spillover() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<abc def=\"x");
+        assert_eq!(t.step().unwrap(), TokenStep::NeedMoreData);
+        assert_eq!(t.pending_bytes(), 11, "the partial tag stays buffered");
+        t.feed(b"\"/>");
+        assert_eq!(t.step().unwrap(), TokenStep::Token);
+        match t.token() {
+            Token::StartTag(s) => {
+                assert_eq!(s.name, "abc");
+                assert_eq!(s.attrs.get(0).unwrap().value, "x");
+                assert!(s.self_closing);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(t.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn need_more_data_consumes_nothing() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a>text-without-close");
+        assert_eq!(t.step().unwrap(), TokenStep::Token); // <a>
+                                                         // The text run cannot complete without a '<' or EOF; repeated
+                                                         // steps must be idempotent.
+        assert_eq!(t.step().unwrap(), TokenStep::NeedMoreData);
+        assert_eq!(t.step().unwrap(), TokenStep::NeedMoreData);
+        t.finish_input();
+        // After EOF the run is complete (followed by the unclosed-element
+        // error at the end of input).
+        assert_eq!(t.step().unwrap(), TokenStep::Token);
+        match t.token() {
+            Token::Text(s) => assert_eq!(s, "text-without-close"),
+            other => panic!("{other:?}"),
+        }
+        assert!(t.step().is_err(), "a is still open at EOF");
+    }
+
+    #[test]
+    fn eof_mid_token_is_an_error() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a");
+        assert_eq!(t.step().unwrap(), TokenStep::NeedMoreData);
+        t.finish_input();
+        let err = t.step().unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn unclosed_elements_detected_at_input_end() {
+        let mut t = PushTokenizer::new();
+        t.feed(b"<a><b>");
+        t.finish_input();
+        assert_eq!(t.step().unwrap(), TokenStep::Token);
+        assert_eq!(t.step().unwrap(), TokenStep::Token);
+        let err = t.step().unwrap_err();
+        match err.kind {
+            XmlErrorKind::UnclosedElements(names) => assert_eq!(names, ["a", "b"]),
+            other => panic!("{other:?}"),
+        }
+        // Terminal: after the EOF error the tokenizer stays at End.
+        assert_eq!(t.step().unwrap(), TokenStep::End);
+    }
+
+    #[test]
+    fn space_commit_roundtrip_matches_feed() {
+        let doc = b"<a><b>x</b></a>";
+        let mut t = PushTokenizer::new();
+        let gap = t.space(doc.len());
+        gap[..doc.len()].copy_from_slice(doc);
+        t.commit(doc.len());
+        t.finish_input();
+        let mut n = 0;
+        while t.step().unwrap() == TokenStep::Token {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn multi_chunk_tokens_scan_incrementally() {
+        // A 100KB text node and a 50KB attribute value fed one byte at a
+        // time: without the scan-resume hint this is O(n²) (~10^10 byte
+        // comparisons — effectively a hang); with it, linear.
+        let big_text = "y".repeat(100_000);
+        let big_attr = "v".repeat(50_000);
+        let doc = format!("<a k=\"{big_attr}\">{big_text}</a>");
+        let toks = toks_chunked(&doc, 1);
+        assert_eq!(toks.len(), 3, "{}", toks.len());
+        assert!(toks[1].contains(&big_text[..32]));
+    }
+
+    #[test]
+    fn scan_hint_survives_compaction_and_clears_per_token() {
+        // Several suspensions inside one tag, then more tokens: the hint
+        // must resume correctly across feeds (which compact the window)
+        // and reset between tokens.
+        let doc = "<a long=\"xxxxxxxxxxxxxxxx\"><b>tttttttttt</b></a>";
+        let whole = toks_chunked(doc, doc.len());
+        for chunk in [1, 3, 4, 5] {
+            assert_eq!(toks_chunked(doc, chunk), whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn memchr1_matches_naive_search() {
+        let hay: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        for needle in [0u8, 1, 7, 250, 251, 255] {
+            assert_eq!(
+                memchr1(needle, &hay),
+                hay.iter().position(|&b| b == needle),
+                "needle {needle}"
+            );
+        }
+        // Every offset/alignment of a small window.
+        let hay = b"abcdefghijklmnopqrstuvwxyz<1234567890";
+        for start in 0..hay.len() {
+            assert_eq!(
+                memchr1(b'<', &hay[start..]),
+                hay[start..].iter().position(|&b| b == b'<')
+            );
+        }
+        assert_eq!(memchr1(b'x', b""), None);
+        // Borrow false-positive construction: '=' (0x3D == '<' ^ 0x01)
+        // directly before the true match inside one word can flip its own
+        // lane in the zero detector; the match extraction must still report
+        // the '<'. (This is the case that breaks if the first-match lane is
+        // read from the wrong end; see `load_le`.)
+        let hay = b"aaaaaa=<bbbbbbbb";
+        for start in 0..8 {
+            assert_eq!(
+                memchr1(b'<', &hay[start..]),
+                hay[start..].iter().position(|&b| b == b'<'),
+                "start {start}"
+            );
+        }
+        assert_eq!(memchr_tag_delim(b"aaaaaa=<bbbbbbbb"), Some(7));
+        assert_eq!(memchr_tag_delim(b"aaaaaa!\"bbbbbbbb"), Some(7));
+    }
+}

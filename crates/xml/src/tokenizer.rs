@@ -1,19 +1,18 @@
-//! Incremental, pull-based XML tokenizer.
+//! Pull-based XML tokenizer: an I/O adapter over the sans-IO core.
 //!
-//! The tokenizer reads from any [`Read`] source through an internal growable
-//! window buffer, so arbitrarily large documents stream through bounded
-//! memory (the window only ever holds the bytes of the token currently being
-//! assembled plus unread lookahead). This is the token source of the GCX
-//! architecture: the stream preprojector calls [`Tokenizer::next_token`] once
-//! per `nextNode()` request chain.
+//! All tokenization logic lives in [`PushTokenizer`] (see [`crate::push`]);
+//! [`Tokenizer`] merely pumps it: whenever the core reports
+//! [`TokenStep::NeedMoreData`], the adapter reads the next chunk from its
+//! [`Read`] source straight into the core's window (no intermediate copy)
+//! and retries. Arbitrarily large documents stream through bounded memory —
+//! the window only ever holds the bytes of the token currently being
+//! assembled plus unread lookahead.
 //!
 //! ## Allocation discipline
 //!
-//! The steady-state token loop performs **no heap allocation**: the
-//! well-formedness stack stores open names back-to-back in one reusable
-//! string arena, attribute spans live in a reusable scratch vector, and
-//! rewritten text/attribute values go into reusable arenas. All returned
-//! tokens borrow these buffers and are valid until the next call.
+//! Inherited from the push core: the steady-state token loop performs
+//! **no heap allocation**. All returned tokens borrow the core's buffers
+//! and are valid until the next call.
 //!
 //! ## Line endings and attribute whitespace
 //!
@@ -24,9 +23,9 @@
 //! character references (`&#13;`, `&#10;`, `&#9;`) are exempt, per spec.
 
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
-use crate::escape::{normalize_attr_into, normalize_newlines_into, normalize_unescape_into};
 use crate::pos::TextPos;
-use crate::token::{AttrSpan, Attrs, StartTag, Token};
+use crate::push::{PushTokenizer, TokenStep};
+use crate::token::Token;
 use std::io::Read;
 
 const READ_CHUNK: usize = 64 * 1024;
@@ -51,41 +50,12 @@ impl Default for TokenizerOptions {
     }
 }
 
-/// Streaming XML tokenizer. See the [crate docs](crate) for an example.
+/// Streaming pull tokenizer over any [`Read`] source. See the
+/// [crate docs](crate) for an example, and [`PushTokenizer`] for the
+/// underlying sans-IO state machine.
 pub struct Tokenizer<R> {
+    core: PushTokenizer,
     src: R,
-    buf: Vec<u8>,
-    /// Consumed prefix of `buf` (start of the unread window).
-    lo: usize,
-    /// End of valid bytes in `buf`.
-    hi: usize,
-    src_eof: bool,
-    pos: TextPos,
-    opts: TokenizerOptions,
-    /// Open element names (well-formedness only): start offsets into
-    /// `stack_arena`, where names are stored back-to-back.
-    stack: Vec<u32>,
-    stack_arena: String,
-    seen_root: bool,
-    /// Scratch for rewritten (unescaped/normalized) text so we can lend it
-    /// borrowed.
-    text_scratch: String,
-    /// Scratch for the current start tag's attribute spans.
-    attr_spans: Vec<AttrSpan>,
-    /// Arena for attribute values that needed rewriting.
-    attr_arena: String,
-    /// Set once EOF has been fully validated and reported.
-    done: bool,
-}
-
-/// What kind of markup construct starts at the current `<`.
-enum MarkupKind {
-    Comment,
-    CData,
-    Doctype,
-    Pi,
-    EndTag,
-    StartTag,
 }
 
 impl<'s> Tokenizer<std::io::Cursor<&'s [u8]>> {
@@ -111,157 +81,47 @@ impl<R: Read> Tokenizer<R> {
     /// Tokenizer with explicit options.
     pub fn with_options(src: R, opts: TokenizerOptions) -> Self {
         Tokenizer {
+            core: PushTokenizer::with_options(opts),
             src,
-            buf: Vec::new(),
-            lo: 0,
-            hi: 0,
-            src_eof: false,
-            pos: TextPos::START,
-            opts,
-            stack: Vec::new(),
-            stack_arena: String::new(),
-            seen_root: false,
-            text_scratch: String::new(),
-            attr_spans: Vec::new(),
-            attr_arena: String::new(),
-            done: false,
         }
     }
 
     /// Current position: the first byte of the *next* token to be returned.
     pub fn position(&self) -> TextPos {
-        self.pos
+        self.core.position()
     }
 
     /// Depth of currently open elements (well-formedness checking only).
     pub fn depth(&self) -> usize {
-        self.stack.len()
+        self.core.depth()
     }
-
-    /// The open element names, outermost first (error reporting).
-    fn open_names(&self) -> Vec<String> {
-        self.stack
-            .iter()
-            .enumerate()
-            .map(|(i, &start)| {
-                let end = self
-                    .stack
-                    .get(i + 1)
-                    .map(|&e| e as usize)
-                    .unwrap_or(self.stack_arena.len());
-                self.stack_arena[start as usize..end].to_string()
-            })
-            .collect()
-    }
-
-    // ---- buffer management -------------------------------------------------
-
-    /// Number of unread bytes currently buffered.
-    fn avail(&self) -> usize {
-        self.hi - self.lo
-    }
-
-    /// Pull more bytes from the source. Returns false at source EOF.
-    fn fill(&mut self) -> XmlResult<bool> {
-        if self.src_eof {
-            return Ok(false);
-        }
-        // Compact the consumed prefix before growing.
-        if self.lo > 0 && (self.buf.len() - self.hi) < READ_CHUNK {
-            self.buf.copy_within(self.lo..self.hi, 0);
-            self.hi -= self.lo;
-            self.lo = 0;
-        }
-        if self.buf.len() - self.hi < READ_CHUNK {
-            self.buf.resize(self.hi + READ_CHUNK, 0);
-        }
-        let n = self
-            .src
-            .read(&mut self.buf[self.hi..])
-            .map_err(|e| XmlError {
-                kind: XmlErrorKind::Io(e),
-                pos: self.pos,
-            })?;
-        if n == 0 {
-            self.src_eof = true;
-            return Ok(false);
-        }
-        self.hi += n;
-        Ok(true)
-    }
-
-    /// Ensure at least `n` unread bytes are buffered; false if EOF prevents it.
-    fn ensure(&mut self, n: usize) -> XmlResult<bool> {
-        while self.avail() < n {
-            if !self.fill()? {
-                return Ok(false);
-            }
-        }
-        Ok(true)
-    }
-
-    /// Find `needle` in the unread window starting at relative offset
-    /// `from`, filling as needed. Returns the relative offset of the match.
-    fn find(&mut self, from: usize, needle: &[u8]) -> XmlResult<Option<usize>> {
-        let mut search_from = from;
-        loop {
-            let window = &self.buf[self.lo..self.hi];
-            if window.len() >= needle.len() {
-                let hay = &window[search_from.min(window.len())..];
-                if let Some(i) = find_sub(hay, needle) {
-                    return Ok(Some(search_from + i));
-                }
-                // Keep the last needle.len()-1 bytes re-searchable across fills.
-                search_from = window.len().saturating_sub(needle.len() - 1).max(from);
-            }
-            if !self.fill()? {
-                return Ok(None);
-            }
-        }
-    }
-
-    /// Consume `n` bytes, updating the position.
-    fn consume(&mut self, n: usize) {
-        debug_assert!(n <= self.avail());
-        self.pos.advance(&self.buf[self.lo..self.lo + n]);
-        self.lo += n;
-    }
-
-    fn err_eof(&self, context: &'static str) -> XmlError {
-        XmlError::new(XmlErrorKind::UnexpectedEof { context }, self.pos)
-    }
-
-    // ---- tokenization ------------------------------------------------------
 
     /// Produce the next token, or `None` at a clean end of input.
     ///
     /// The returned token borrows the tokenizer's internal buffers and is
     /// valid until the next call.
     pub fn next_token(&mut self) -> XmlResult<Option<Token<'_>>> {
-        if self.done {
-            return Ok(None);
-        }
-        if !self.ensure(1)? {
-            // Clean EOF: validate well-formedness closure.
-            self.done = true;
-            if self.opts.check_well_formed {
-                if !self.stack.is_empty() {
-                    return Err(XmlError::new(
-                        XmlErrorKind::UnclosedElements(self.open_names()),
-                        self.pos,
-                    ));
-                }
-                if !self.seen_root && !self.opts.allow_fragments {
-                    return Err(self.err_eof("document element"));
+        loop {
+            match self.core.step()? {
+                TokenStep::Token => break,
+                TokenStep::End => return Ok(None),
+                TokenStep::NeedMoreData => {
+                    // Read straight into the core's window; a short read is
+                    // fine (the core asks again), zero bytes is EOF.
+                    let gap = self.core.space(READ_CHUNK);
+                    let n = self.src.read(gap).map_err(|e| XmlError {
+                        kind: XmlErrorKind::Io(e),
+                        pos: self.core.position(),
+                    })?;
+                    if n == 0 {
+                        self.core.finish_input();
+                    } else {
+                        self.core.commit(n);
+                    }
                 }
             }
-            return Ok(None);
         }
-        if self.buf[self.lo] == b'<' {
-            self.next_markup()
-        } else {
-            self.next_text()
-        }
+        Ok(Some(self.core.token()))
     }
 
     /// Drive the tokenizer to the end of input, validating everything.
@@ -272,576 +132,6 @@ impl<R: Read> Tokenizer<R> {
             n += 1;
         }
         Ok(n)
-    }
-
-    fn next_text(&mut self) -> XmlResult<Option<Token<'_>>> {
-        // Locate the end of the text run: the next '<' or EOF.
-        let end = match self.find(0, b"<")? {
-            Some(i) => i,
-            None => self.avail(),
-        };
-        let start_pos = self.pos;
-        let raw = &self.buf[self.lo..self.lo + end];
-        let raw = std::str::from_utf8(raw)
-            .map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, start_pos))?;
-        // Outside the document element only whitespace is allowed.
-        if self.opts.check_well_formed
-            && !self.opts.allow_fragments
-            && self.stack.is_empty()
-            && !raw.bytes().all(|b| b.is_ascii_whitespace())
-        {
-            return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
-        }
-        // Entity resolution and line-ending normalization share one rewrite
-        // pass into the reusable scratch; clean runs are lent borrowed.
-        let needs_rewrite = raw.bytes().any(|b| b == b'&' || b == b'\r');
-        if needs_rewrite {
-            self.text_scratch.clear();
-            let raw_range = self.lo..self.lo + end; // defer slice re-borrow
-            let raw2 = revalidated(&self.buf[raw_range]);
-            if let Err(entity) = normalize_unescape_into(raw2, &mut self.text_scratch) {
-                let entity = entity.to_string();
-                return Err(XmlError::new(XmlErrorKind::BadEntity(entity), start_pos));
-            }
-        }
-        self.consume(end);
-        if needs_rewrite {
-            Ok(Some(Token::Text(&self.text_scratch)))
-        } else {
-            let s = revalidated(&self.buf[self.lo - end..self.lo]);
-            Ok(Some(Token::Text(s)))
-        }
-    }
-
-    fn classify_markup(&mut self) -> XmlResult<MarkupKind> {
-        // We have '<' at lo. Peek a handful of bytes to classify.
-        self.ensure(2)?;
-        if self.avail() < 2 {
-            return Err(self.err_eof("markup"));
-        }
-        Ok(match self.buf[self.lo + 1] {
-            b'/' => MarkupKind::EndTag,
-            b'?' => MarkupKind::Pi,
-            b'!' => {
-                // <!-- | <![CDATA[ | <!DOCTYPE
-                if self.ensure(4)? && &self.buf[self.lo + 2..self.lo + 4] == b"--" {
-                    MarkupKind::Comment
-                } else if self.ensure(9)? && &self.buf[self.lo + 2..self.lo + 9] == b"[CDATA[" {
-                    MarkupKind::CData
-                } else {
-                    MarkupKind::Doctype
-                }
-            }
-            _ => MarkupKind::StartTag,
-        })
-    }
-
-    fn next_markup(&mut self) -> XmlResult<Option<Token<'_>>> {
-        let start_pos = self.pos;
-        match self.classify_markup()? {
-            MarkupKind::Comment => {
-                let end = self
-                    .find(4, b"-->")?
-                    .ok_or_else(|| self.err_eof("comment"))?;
-                let total = end + 3;
-                let content = check_utf8(&self.buf[self.lo + 4..self.lo + end], start_pos)?;
-                let _ = content;
-                self.consume(total);
-                let s = revalidated(&self.buf[self.lo - total + 4..self.lo - 3]);
-                Ok(Some(Token::Comment(s)))
-            }
-            MarkupKind::CData => {
-                let end = self
-                    .find(9, b"]]>")?
-                    .ok_or_else(|| self.err_eof("CDATA section"))?;
-                let total = end + 3;
-                let raw = check_utf8(&self.buf[self.lo + 9..self.lo + end], start_pos)?;
-                let needs_rewrite = raw.bytes().any(|b| b == b'\r');
-                if self.opts.check_well_formed
-                    && !self.opts.allow_fragments
-                    && self.stack.is_empty()
-                {
-                    return Err(XmlError::new(XmlErrorKind::TextOutsideRoot, start_pos));
-                }
-                if needs_rewrite {
-                    // §2.11 applies inside CDATA too (no entity processing).
-                    self.text_scratch.clear();
-                    let raw_range = self.lo + 9..self.lo + end;
-                    let raw2 = revalidated(&self.buf[raw_range]);
-                    normalize_newlines_into(raw2, &mut self.text_scratch);
-                }
-                self.consume(total);
-                if needs_rewrite {
-                    Ok(Some(Token::Text(&self.text_scratch)))
-                } else {
-                    let s = revalidated(&self.buf[self.lo - total + 9..self.lo - 3]);
-                    Ok(Some(Token::Text(s)))
-                }
-            }
-            MarkupKind::Doctype => {
-                // Scan for '>' at zero square-bracket depth (internal subset).
-                let end = self.find_doctype_end()?;
-                let total = end + 1;
-                check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
-                self.consume(total);
-                let s = revalidated(&self.buf[self.lo - total + 2..self.lo - 1]);
-                Ok(Some(Token::Doctype(s)))
-            }
-            MarkupKind::Pi => {
-                let end = self
-                    .find(2, b"?>")?
-                    .ok_or_else(|| self.err_eof("processing instruction"))?;
-                let total = end + 2;
-                let body = check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?;
-                let target_len = body
-                    .char_indices()
-                    .find(|(_, c)| c.is_whitespace())
-                    .map(|(i, _)| i)
-                    .unwrap_or(body.len());
-                if target_len == 0 {
-                    return Err(XmlError::syntax(
-                        "processing instruction without target",
-                        start_pos,
-                    ));
-                }
-                let data_off = body[target_len..]
-                    .char_indices()
-                    .find(|(_, c)| !c.is_whitespace())
-                    .map(|(i, _)| target_len + i)
-                    .unwrap_or(body.len());
-                self.consume(total);
-                let body = revalidated(&self.buf[self.lo - total + 2..self.lo - 2]);
-                Ok(Some(Token::ProcessingInstruction {
-                    target: &body[..target_len],
-                    data: &body[data_off..],
-                }))
-            }
-            MarkupKind::EndTag => {
-                let end = self.find(2, b">")?.ok_or_else(|| self.err_eof("end tag"))?;
-                let total = end + 1;
-                let name = check_utf8(&self.buf[self.lo + 2..self.lo + end], start_pos)?.trim();
-                validate_name(name, start_pos)?;
-                if self.opts.check_well_formed {
-                    match self.stack.pop() {
-                        None => {
-                            return Err(XmlError::new(
-                                XmlErrorKind::UnexpectedEndTag(name.to_string()),
-                                start_pos,
-                            ))
-                        }
-                        Some(open_start) => {
-                            let open = &self.stack_arena[open_start as usize..];
-                            if open != name {
-                                return Err(XmlError::new(
-                                    XmlErrorKind::MismatchedTag {
-                                        expected: open.to_string(),
-                                        found: name.to_string(),
-                                    },
-                                    start_pos,
-                                ));
-                            }
-                            self.stack_arena.truncate(open_start as usize);
-                        }
-                    }
-                }
-                let name_rel = {
-                    // Name position inside the markup for re-borrowing below.
-                    let body = revalidated(&self.buf[self.lo + 2..self.lo + end]);
-                    let lead = body.len() - body.trim_start().len();
-                    (2 + lead, 2 + lead + name.len())
-                };
-                self.consume(total);
-                let s = std::str::from_utf8(
-                    &self.buf[self.lo - total + name_rel.0..self.lo - total + name_rel.1],
-                )
-                .unwrap();
-                Ok(Some(Token::EndTag { name: s }))
-            }
-            MarkupKind::StartTag => self.next_start_tag(start_pos),
-        }
-    }
-
-    /// Find the '>' that ends a DOCTYPE, respecting `[ ... ]` internal subsets.
-    fn find_doctype_end(&mut self) -> XmlResult<usize> {
-        let mut i = 1;
-        let mut depth = 0usize;
-        loop {
-            while i >= self.avail() {
-                if !self.fill()? {
-                    return Err(self.err_eof("DOCTYPE declaration"));
-                }
-            }
-            match self.buf[self.lo + i] {
-                b'[' => depth += 1,
-                b']' => depth = depth.saturating_sub(1),
-                b'>' if depth == 0 => return Ok(i),
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-
-    /// Find the '>' ending a start tag, skipping quoted attribute values.
-    /// Both the unquoted scan (for `" ' > <`) and the in-quote scan (for
-    /// the close quote) run word-at-a-time.
-    fn find_tag_end(&mut self) -> XmlResult<usize> {
-        let mut i = 1;
-        let mut quote: Option<u8> = None;
-        loop {
-            while i >= self.avail() {
-                if !self.fill()? {
-                    return Err(self.err_eof("start tag"));
-                }
-            }
-            match quote {
-                Some(q) => {
-                    // Inside a quoted value: skip straight to the close quote.
-                    let hay = &self.buf[self.lo + i..self.hi];
-                    match memchr1(q, hay) {
-                        Some(p) => {
-                            i += p + 1;
-                            quote = None;
-                            continue;
-                        }
-                        None => {
-                            i = self.avail();
-                            continue;
-                        }
-                    }
-                }
-                None => match memchr_tag_delim(&self.buf[self.lo + i..self.hi]) {
-                    Some(p) => {
-                        i += p;
-                        match self.buf[self.lo + i] {
-                            b'"' | b'\'' => {
-                                quote = Some(self.buf[self.lo + i]);
-                                i += 1;
-                            }
-                            b'>' => return Ok(i),
-                            _ => {
-                                debug_assert_eq!(self.buf[self.lo + i], b'<');
-                                return Err(XmlError::syntax("'<' inside tag", self.pos));
-                            }
-                        }
-                        continue;
-                    }
-                    None => {
-                        i = self.avail();
-                        continue;
-                    }
-                },
-            }
-        }
-    }
-
-    fn next_start_tag(&mut self, start_pos: TextPos) -> XmlResult<Option<Token<'_>>> {
-        let end = self.find_tag_end()?;
-        let total = end + 1;
-        let body = check_utf8(&self.buf[self.lo + 1..self.lo + end], start_pos)?;
-        let self_closing = body.ends_with('/');
-        let inner = if self_closing {
-            &body[..body.len() - 1]
-        } else {
-            body
-        };
-
-        // Parse name.
-        let inner_trim_start = inner.trim_start();
-        if inner_trim_start.len() != inner.len() {
-            return Err(XmlError::syntax(
-                "whitespace before element name",
-                start_pos,
-            ));
-        }
-        let name_len = inner
-            .char_indices()
-            .find(|(_, c)| c.is_whitespace() || *c == '=')
-            .map(|(i, _)| i)
-            .unwrap_or(inner.len());
-        let name = &inner[..name_len];
-        validate_name(name, start_pos)?;
-
-        // Parse attributes into the reusable span scratch. Spans are
-        // relative to `inner`; rewritten values go into the reusable arena.
-        self.attr_spans.clear();
-        self.attr_arena.clear();
-        let bytes = inner.as_bytes();
-        let mut i = name_len;
-        loop {
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
-            if i >= bytes.len() {
-                break;
-            }
-            // attribute name
-            let an_start = i;
-            while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'=' {
-                i += 1;
-            }
-            let an_end = i;
-            validate_name(&inner[an_start..an_end], start_pos)?;
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
-            if i >= bytes.len() || bytes[i] != b'=' {
-                return Err(XmlError::syntax(
-                    format!("attribute `{}` without value", &inner[an_start..an_end]),
-                    start_pos,
-                ));
-            }
-            i += 1; // '='
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
-            if i >= bytes.len() || (bytes[i] != b'"' && bytes[i] != b'\'') {
-                return Err(XmlError::syntax(
-                    "attribute value must be quoted",
-                    start_pos,
-                ));
-            }
-            let q = bytes[i];
-            i += 1;
-            let av_start = i;
-            match memchr1(q, &bytes[i..]) {
-                Some(p) => i += p,
-                None => {
-                    return Err(XmlError::syntax("unterminated attribute value", start_pos));
-                }
-            }
-            let av_end = i;
-            i += 1; // closing quote
-            let raw_val = &inner[av_start..av_end];
-            // Attribute values additionally get §3.3.3 normalization
-            // (literal whitespace → space); see `normalize_attr_into`.
-            let needs_rewrite = raw_val
-                .bytes()
-                .any(|b| matches!(b, b'&' | b'\r' | b'\n' | b'\t'));
-            let owned = if needs_rewrite {
-                let arena_start = self.attr_arena.len() as u32;
-                if let Err(entity) = normalize_attr_into(raw_val, &mut self.attr_arena) {
-                    return Err(XmlError::new(
-                        XmlErrorKind::BadEntity(entity.to_string()),
-                        start_pos,
-                    ));
-                }
-                Some((arena_start, self.attr_arena.len() as u32))
-            } else {
-                None
-            };
-            self.attr_spans.push(AttrSpan {
-                name: (an_start as u32, an_end as u32),
-                value: (av_start as u32, av_end as u32),
-                owned,
-            });
-        }
-
-        // Duplicate attribute check (well-formedness constraint).
-        if self.opts.check_well_formed {
-            for a in 1..self.attr_spans.len() {
-                for b in 0..a {
-                    let (an, bn) = (self.attr_spans[a].name, self.attr_spans[b].name);
-                    if inner[an.0 as usize..an.1 as usize] == inner[bn.0 as usize..bn.1 as usize] {
-                        return Err(XmlError::syntax(
-                            format!(
-                                "duplicate attribute `{}`",
-                                &inner[an.0 as usize..an.1 as usize]
-                            ),
-                            start_pos,
-                        ));
-                    }
-                }
-            }
-        }
-
-        // Well-formedness: root bookkeeping and open-element stack.
-        if self.opts.check_well_formed {
-            if self.stack.is_empty() {
-                if self.seen_root && !self.opts.allow_fragments {
-                    return Err(XmlError::new(XmlErrorKind::TrailingContent, start_pos));
-                }
-                self.seen_root = true;
-            }
-            if !self_closing {
-                self.stack.push(self.stack_arena.len() as u32);
-                self.stack_arena.push_str(name);
-            }
-        }
-
-        self.consume(total);
-
-        // Re-borrow `inner` from the (now-consumed) window to build the token.
-        let base = self.lo - total + 1;
-        let inner_len = end - 1 - usize::from(self_closing);
-        let inner2 = revalidated(&self.buf[base..base + inner_len]);
-        let name2 = &inner2[..name_len];
-        Ok(Some(Token::StartTag(StartTag {
-            name: name2,
-            attrs: Attrs {
-                spans: &self.attr_spans,
-                body: inner2,
-                arena: &self.attr_arena,
-            },
-            self_closing,
-        })))
-    }
-}
-
-const LANES: usize = std::mem::size_of::<usize>();
-const LSB: usize = usize::from_ne_bytes([0x01; LANES]);
-const MSB: usize = usize::from_ne_bytes([0x80; LANES]);
-
-/// Load a word so its least significant byte is the FIRST byte in memory
-/// (a byte swap on big-endian targets, free on little-endian). The
-/// zero-byte detector `(x - LSB) & !x & MSB` can set false-positive bits
-/// in lanes *above* the first true match (borrow propagation), so the
-/// first-match lane must always be extracted from the low end with
-/// `trailing_zeros` — which requires this memory ordering.
-#[inline]
-fn load_le(bytes: &[u8]) -> usize {
-    usize::from_ne_bytes(bytes[..LANES].try_into().unwrap()).to_le()
-}
-
-/// SWAR single-byte search: scans one machine word at a time using the
-/// classic zero-byte detector, with a scalar tail. This is the accelerated
-/// scanner behind [`find_sub`]; the text/markup boundary scans of large
-/// documents spend most of their time here.
-#[inline]
-pub(crate) fn memchr1(needle: u8, hay: &[u8]) -> Option<usize> {
-    let broadcast = usize::from_ne_bytes([needle; LANES]);
-    let mut i = 0;
-    while i + LANES <= hay.len() {
-        let x = load_le(&hay[i..]) ^ broadcast;
-        let found = x.wrapping_sub(LSB) & !x & MSB;
-        if found != 0 {
-            return Some(i + (found.trailing_zeros() / 8) as usize);
-        }
-        i += LANES;
-    }
-    hay[i..].iter().position(|&b| b == needle).map(|p| i + p)
-}
-
-/// SWAR scan for the first start-tag delimiter: `"`, `'`, `>` or `<`.
-/// Four zero-byte detectors per word still beat a byte loop by a wide
-/// margin; start tags are delimiter-sparse.
-#[inline]
-fn memchr_tag_delim(hay: &[u8]) -> Option<usize> {
-    #[inline]
-    fn zero_detect(word: usize, broadcast: usize) -> usize {
-        let x = word ^ broadcast;
-        x.wrapping_sub(LSB) & !x & MSB
-    }
-    const DQ: usize = usize::from_ne_bytes([b'"'; LANES]);
-    const SQ: usize = usize::from_ne_bytes([b'\''; LANES]);
-    const GT: usize = usize::from_ne_bytes([b'>'; LANES]);
-    const LT: usize = usize::from_ne_bytes([b'<'; LANES]);
-    let mut i = 0;
-    while i + LANES <= hay.len() {
-        let word = load_le(&hay[i..]);
-        let found = zero_detect(word, DQ)
-            | zero_detect(word, SQ)
-            | zero_detect(word, GT)
-            | zero_detect(word, LT);
-        if found != 0 {
-            // Each detector is exact below its own first true match, so the
-            // lowest set lane of the OR is the earliest true delimiter.
-            return Some(i + (found.trailing_zeros() / 8) as usize);
-        }
-        i += LANES;
-    }
-    hay[i..]
-        .iter()
-        .position(|&b| matches!(b, b'"' | b'\'' | b'>' | b'<'))
-        .map(|p| i + p)
-}
-
-/// Substring search: SWAR scan for the first needle byte, then verify the
-/// remainder. Needles here are ≤ 3 bytes, so verification is trivial.
-fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
-    debug_assert!(!needle.is_empty());
-    if needle.len() == 1 {
-        return memchr1(needle[0], hay);
-    }
-    let mut from = 0;
-    while from + needle.len() <= hay.len() {
-        let i = from + memchr1(needle[0], &hay[from..=hay.len() - needle.len()])?;
-        if &hay[i..i + needle.len()] == needle {
-            return Some(i);
-        }
-        from = i + 1;
-    }
-    None
-}
-
-fn check_utf8(bytes: &[u8], pos: TextPos) -> XmlResult<&str> {
-    std::str::from_utf8(bytes).map_err(|_| XmlError::new(XmlErrorKind::InvalidUtf8, pos))
-}
-
-/// Re-borrow bytes that were already UTF-8 validated this call (tokens are
-/// built after `consume`, which ends the first borrow). Skipping the second
-/// validation saves a full pass over every token's bytes.
-#[inline]
-fn revalidated(bytes: &[u8]) -> &str {
-    debug_assert!(std::str::from_utf8(bytes).is_ok());
-    // SAFETY: every call site validated exactly these bytes via
-    // `check_utf8`/`from_utf8` earlier in the same function.
-    unsafe { std::str::from_utf8_unchecked(bytes) }
-}
-
-/// Byte classes for the ASCII fast path of [`validate_name`]: bit 0 = valid
-/// name start, bit 1 = valid name continuation. Non-ASCII bytes take the
-/// slow (char-based) path.
-static NAME_CLASS: [u8; 128] = {
-    let mut t = [0u8; 128];
-    let mut b = 0usize;
-    while b < 128 {
-        let c = b as u8;
-        let alpha = c.is_ascii_alphabetic();
-        if alpha || c == b'_' || c == b':' {
-            t[b] |= 0b01;
-        }
-        if alpha || c.is_ascii_digit() || matches!(c, b'_' | b':' | b'-' | b'.') {
-            t[b] |= 0b10;
-        }
-        b += 1;
-    }
-    t
-};
-
-/// Validate an XML name (element or attribute). Namespace colons allowed.
-/// Runs per tag: ASCII names (the overwhelmingly common case) validate via
-/// one table lookup per byte, no char decoding.
-fn validate_name(name: &str, pos: TextPos) -> XmlResult<()> {
-    let bytes = name.as_bytes();
-    if bytes.is_empty() {
-        return Err(XmlError::syntax("empty name", pos));
-    }
-    if name.is_ascii() {
-        let first_ok = NAME_CLASS[bytes[0] as usize] & 0b01 != 0;
-        if first_ok
-            && bytes[1..]
-                .iter()
-                .all(|&b| NAME_CLASS[b as usize] & 0b10 != 0)
-        {
-            return Ok(());
-        }
-        return Err(XmlError::syntax(format!("invalid name `{name}`"), pos));
-    }
-    let mut chars = name.chars();
-    let ok_first = |c: char| c.is_alphabetic() || c == '_' || c == ':' || !c.is_ascii();
-    let ok_rest =
-        |c: char| c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.') || !c.is_ascii();
-    match chars.next() {
-        None => return Err(XmlError::syntax("empty name", pos)),
-        Some(c) if !ok_first(c) => {
-            return Err(XmlError::syntax(format!("invalid name `{name}`"), pos))
-        }
-        Some(_) => {}
-    }
-    if chars.all(ok_rest) {
-        Ok(())
-    } else {
-        Err(XmlError::syntax(format!("invalid name `{name}`"), pos))
     }
 }
 
@@ -1168,42 +458,6 @@ mod tests {
             Token::Text(s) => assert_eq!(s.len(), 300_000),
             other => panic!("{other:?}"),
         }
-    }
-
-    #[test]
-    fn memchr1_matches_naive_search() {
-        let hay: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
-        for needle in [0u8, 1, 7, 250, 251, 255] {
-            assert_eq!(
-                memchr1(needle, &hay),
-                hay.iter().position(|&b| b == needle),
-                "needle {needle}"
-            );
-        }
-        // Every offset/alignment of a small window.
-        let hay = b"abcdefghijklmnopqrstuvwxyz<1234567890";
-        for start in 0..hay.len() {
-            assert_eq!(
-                memchr1(b'<', &hay[start..]),
-                hay[start..].iter().position(|&b| b == b'<')
-            );
-        }
-        assert_eq!(memchr1(b'x', b""), None);
-        // Borrow false-positive construction: '=' (0x3D == '<' ^ 0x01)
-        // directly before the true match inside one word can flip its own
-        // lane in the zero detector; the match extraction must still report
-        // the '<'. (This is the case that breaks if the first-match lane is
-        // read from the wrong end; see `load_le`.)
-        let hay = b"aaaaaa=<bbbbbbbb";
-        for start in 0..8 {
-            assert_eq!(
-                memchr1(b'<', &hay[start..]),
-                hay[start..].iter().position(|&b| b == b'<'),
-                "start {start}"
-            );
-        }
-        assert_eq!(memchr_tag_delim(b"aaaaaa=<bbbbbbbb"), Some(7));
-        assert_eq!(memchr_tag_delim(b"aaaaaa!\"bbbbbbbb"), Some(7));
     }
 
     #[test]

@@ -90,6 +90,19 @@ impl<W: Write> XmlWriter<W> {
         self.bytes_written
     }
 
+    /// The underlying sink.
+    pub fn get_ref(&self) -> &W {
+        &self.sink
+    }
+
+    /// Mutable access to the underlying sink. The sans-IO `EvalSession`
+    /// (gcx-core) writes into an in-memory sink and drains it through this
+    /// between `feed` calls; misusing it to inject bytes would desync the
+    /// writer's byte counter, nothing worse.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.sink
+    }
+
     /// Current element nesting depth.
     pub fn depth(&self) -> usize {
         self.stack.len()

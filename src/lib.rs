@@ -41,9 +41,17 @@
 //! axis: [`EngineOptions::gcx`] (projection + active GC),
 //! [`EngineOptions::projection_only`] (static projection, no purging) and
 //! [`EngineOptions::full_buffering`].
+//!
+//! ## Sans-IO sessions
+//!
+//! The engine core performs no I/O of its own: [`run`] is a thin blocking
+//! wrapper over the push-driven [`EvalSession`] ([`CompiledQuery::session`]),
+//! which accepts document bytes chunk by chunk as they arrive and lets the
+//! caller drain output between chunks — see `examples/push_session.rs`.
 
 pub use gcx_core::{
-    run, run_query, BufferStats, CompiledQuery, EngineError, EngineOptions, RunReport, Timeline,
+    run, run_query, BufferStats, CompiledQuery, Emitted, EngineError, EngineOptions, EvalSession,
+    RunReport, Timeline,
 };
 
 /// The streaming XML substrate (tokenizer, writer, interning).
