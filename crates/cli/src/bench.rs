@@ -33,8 +33,9 @@ pub fn cmd_bench(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("throughput") => cmd_throughput(&args[1..]),
         Some("serve") => cmd_serve_bench(&args[1..]),
+        Some("obs-overhead") => cmd_obs_overhead(&args[1..]),
         Some(other) => Err(format!(
-            "unknown bench mode `{other}` (try `throughput` or `serve`)"
+            "unknown bench mode `{other}` (try `throughput`, `serve` or `obs-overhead`)"
         )),
         None => Err("missing bench mode (try `gcx bench throughput`)".into()),
     }
@@ -171,6 +172,17 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // ---- telemetry on/off delta ---------------------------------------------
+    // One extra off/on sweep pair, recorded alongside the baseline so the
+    // observability cost is a tracked number, not a claim.
+    let obs = measure_obs_overhead(&named, &queries, &doc, iters)?;
+    eprintln!(
+        "obs overhead: telemetry off {:.1}ms vs on {:.1}ms ({:+.2}% when enabled)",
+        obs.off_ms,
+        obs.on_ms,
+        obs.delta_pct(),
+    );
+
     let tokens = singles.first().map(|s| s.tokens).unwrap_or(0);
     // Per-query average throughput: doc_mb per mean per-query time.
     let single_mb_s = doc_mb * named.len() as f64 / (single_total_ms / 1e3);
@@ -212,7 +224,7 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
     json.push_str(&format!(
         "],\"single_total\":{{\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3}}},\
          \"batch\":{{\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3},\"tokens\":{},\"fanout_events\":{},\
-         \"share_factor\":{:.3},\"outputs_match\":{}}}}}",
+         \"share_factor\":{:.3},\"outputs_match\":{}}},\"obs_overhead\":{}}}",
         single_total_ms,
         doc_mb / (single_total_ms / 1e3),
         batch_best_ms,
@@ -221,6 +233,7 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         batch_report.fanout_events,
         batch_report.share_factor(),
         outputs_match,
+        obs.to_json(),
     ));
 
     let mut f =
@@ -233,6 +246,171 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err("batch and standalone outputs differ".into())
+    }
+}
+
+// ---- `gcx bench obs-overhead`: the cost of telemetry ------------------------
+
+/// Result of sweeping the paper queries with telemetry off vs on.
+struct ObsOverhead {
+    off_ms: f64,
+    on_ms: f64,
+    outputs_match: bool,
+    peaks_match: bool,
+}
+
+impl ObsOverhead {
+    fn delta_pct(&self) -> f64 {
+        if self.off_ms <= 0.0 {
+            0.0
+        } else {
+            (self.on_ms - self.off_ms) / self.off_ms * 100.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"telemetry_off_ms\":{:.3},\"telemetry_on_ms\":{:.3},\
+             \"enabled_overhead_pct\":{:.2},\"outputs_match\":{},\"peaks_match\":{}}}",
+            self.off_ms,
+            self.on_ms,
+            self.delta_pct(),
+            self.outputs_match,
+            self.peaks_match,
+        )
+    }
+}
+
+/// Sweep every query twice with the same harness — `telemetry: false`
+/// then `telemetry: true` — best-of-`iters` per mode, and cross-check
+/// that telemetry changed nothing observable: outputs byte-identical,
+/// buffer peaks exactly equal. The off-mode sweep is directly
+/// comparable to `single_total.elapsed_ms` of earlier baselines, so
+/// the *disabled*-hook overhead shows up as drift of that number.
+fn measure_obs_overhead(
+    named: &[(&'static str, &'static str)],
+    queries: &[CompiledQuery],
+    doc: &[u8],
+    iters: u32,
+) -> Result<ObsOverhead, String> {
+    let mut totals = [0.0f64; 2];
+    let mut outputs_match = true;
+    let mut peaks_match = true;
+    for ((name, _), q) in named.iter().zip(queries) {
+        let mut kept: Vec<(Vec<u8>, u64)> = Vec::with_capacity(2);
+        for (mode, telemetry) in [false, true].into_iter().enumerate() {
+            let mut opts = EngineOptions::gcx();
+            opts.telemetry = telemetry;
+            let mut best = f64::MAX;
+            let mut last = (Vec::new(), 0u64);
+            for _ in 0..iters {
+                let mut out = Vec::new();
+                let start = Instant::now();
+                let report = gcx_core::run(q, &opts, std::io::Cursor::new(doc), &mut out)
+                    .map_err(|e| format!("{name}: {e}"))?;
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+                last = (out, report.buffer.peak_live_bytes);
+            }
+            totals[mode] += best;
+            kept.push(last);
+        }
+        if kept[0].0 != kept[1].0 {
+            outputs_match = false;
+            eprintln!("WARNING: {name}: telemetry changed the output!");
+        }
+        if kept[0].1 != kept[1].1 {
+            peaks_match = false;
+            eprintln!(
+                "WARNING: {name}: telemetry changed the buffer peak ({} vs {} bytes)!",
+                kept[0].1, kept[1].1
+            );
+        }
+    }
+    Ok(ObsOverhead {
+        off_ms: totals[0],
+        on_ms: totals[1],
+        outputs_match,
+        peaks_match,
+    })
+}
+
+/// `gcx bench obs-overhead`: how much engine telemetry costs when it is
+/// actually on, and proof that it is inert when off (outputs and peaks
+/// identical either way). Writes `BENCH_obs_overhead.json`.
+fn cmd_obs_overhead(args: &[String]) -> Result<(), String> {
+    let flags: Vec<&str> = args.iter().map(String::as_str).collect();
+    let smoke = flags.contains(&"--smoke");
+    let mb: u64 = match flag_value(&flags, "--mb") {
+        Some(v) => v.parse().map_err(|_| "--mb must be a number")?,
+        None => {
+            if smoke {
+                1
+            } else {
+                16
+            }
+        }
+    };
+    let iters: u32 = match flag_value(&flags, "--iters") {
+        Some(v) => v.parse().map_err(|_| "--iters must be a number")?,
+        None => {
+            if smoke {
+                1
+            } else {
+                3
+            }
+        }
+    };
+    let seed: u64 = match flag_value(&flags, "--seed") {
+        Some(v) => v.parse().map_err(|_| "--seed must be a number")?,
+        None => 42,
+    };
+    let out_path = flag_value(&flags, "--out").unwrap_or("BENCH_obs_overhead.json");
+
+    eprintln!("generating ~{mb}MB XMark document (seed {seed}) ...");
+    let mut cfg = gcx_xmark::XmarkConfig::sized(mb * 1024 * 1024);
+    cfg.seed = seed;
+    let mut doc = Vec::new();
+    gcx_xmark::generate(&cfg, &mut doc).map_err(|e| e.to_string())?;
+
+    let named = paper_queries();
+    let mut queries = Vec::with_capacity(named.len());
+    for (name, text) in &named {
+        queries.push(CompiledQuery::compile(text).map_err(|e| format!("{name}: {e}"))?);
+    }
+    let o = measure_obs_overhead(&named, &queries, &doc, iters)?;
+    eprintln!(
+        "telemetry off: {:.1}ms   on: {:.1}ms   enabled overhead: {:+.2}%   outputs {}  peaks {}",
+        o.off_ms,
+        o.on_ms,
+        o.delta_pct(),
+        if o.outputs_match {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+        if o.peaks_match {
+            "identical"
+        } else {
+            "MISMATCH"
+        },
+    );
+
+    let json = format!(
+        "{{\"doc\":{{\"mb\":{mb},\"bytes\":{},\"seed\":{seed}}},\"iters\":{iters},\
+         \"smoke\":{smoke},\"obs_overhead\":{}}}",
+        doc.len(),
+        o.to_json(),
+    );
+    let mut f =
+        std::fs::File::create(out_path).map_err(|e| format!("cannot create `{out_path}`: {e}"))?;
+    f.write_all(json.as_bytes())
+        .and_then(|()| f.write_all(b"\n"))
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    eprintln!("wrote {out_path}");
+    if o.outputs_match && o.peaks_match {
+        Ok(())
+    } else {
+        Err("telemetry must not change outputs or buffer peaks".into())
     }
 }
 

@@ -6,17 +6,19 @@
 //! gcx serve [--addr HOST:PORT]              streaming XQuery HTTP service
 //! gcx bench throughput [--smoke]            throughput baseline (BENCH_throughput.json)
 //! gcx bench serve [--smoke]                 service load test (BENCH_server.json)
+//! gcx bench obs-overhead [--smoke]          telemetry on/off cost (BENCH_obs_overhead.json)
 //! gcx explain <query.xq|-e QUERY>           roles, rewritten query, program listing
 //! gcx trace <query.xq|-e QUERY> <input.xml> buffer-occupancy trace (CSV)
 //! gcx generate <MB> [out.xml]               emit an XMark-like document
 //! gcx validate <input.xml>                  well-formedness check
 //! ```
 
-use gcx_core::{CompiledQuery, EngineOptions};
+use gcx_core::{CompiledQuery, EngineOptions, RunReport};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
 mod bench;
+mod trace;
 
 /// Heap tracking for `gcx bench throughput` (peak bytes + allocation
 /// counts). A handful of relaxed atomics per allocation — and the engine's
@@ -57,14 +59,18 @@ fn print_usage() {
 USAGE:
   gcx run     <query.xq | -e QUERY> <input.xml> [--engine gcx|projection|full|dom]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
+              [--obs] [--trace FILE]
   gcx multi   <batch.xq | --xmark> <input.xml> [--out-dir DIR]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
+              [--obs] [--trace FILE]
   gcx serve   [--addr HOST:PORT] [--workers N] [--queue N]
               [--max-buffer-bytes N] [--read-timeout-secs S]
               [--max-request-secs S]
   gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke]
               [--out FILE]
   gcx bench   serve [--mb N] [--clients N] [--seed S] [--smoke] [--out FILE]
+  gcx bench   obs-overhead [--mb N] [--iters K] [--seed S] [--smoke]
+              [--out FILE]
   gcx explain <query.xq | -e QUERY>
   gcx trace   <query.xq | -e QUERY> <input.xml> [--every N]
   gcx generate <MB> [out.xml] [--seed N]
@@ -88,6 +94,16 @@ counters. A bounded worker pool + admission queue answers overload with
 503; per-request buffer budgets answer runaway queries with 413 instead
 of OOM. Stop it gracefully with POST /shutdown (drains in-flight work).
 
+`--obs` (run, multi) turns on engine telemetry: `--stats-json` then
+carries an `obs` section with buffer-lifecycle histograms (append-to-
+purge residency, purged-node sizes, purge batch sizes), purge-trigger
+counts, per-role lifecycle counters, a live-bytes timeline, and VM
+task-frame timing. `--trace FILE` additionally writes the run as a
+Chrome trace-event JSON file (open in chrome://tracing or
+ui.perfetto.dev): feed-call spans, a buffer live-bytes counter track,
+and a VM time-attribution lane. Telemetry never changes results:
+outputs and buffer peaks stay bit-identical to an untraced run.
+
 `--max-buffer-bytes N` (run, multi, serve; also the X-Gcx-Max-Buffer-Bytes
 request header) is a hard per-run buffer budget: crossing it fails that
 run with a typed error, never an abort. Suffixes k/m/g are accepted.
@@ -103,6 +119,11 @@ cross-checked byte-for-byte against the offline engine and the buffer
 peaks must match exactly (the service inherits the paper's memory
 contract). Also reports per-request lowering overhead: shared compiled
 program vs recompiling per request. Writes BENCH_server.json.
+
+`bench obs-overhead` sweeps the paper queries twice — telemetry off
+and telemetry on — asserts outputs and buffer peaks are identical in
+both modes, and records the wall-clock delta. The same comparison is
+embedded in BENCH_throughput.json under `obs_overhead`.
 
 `explain` prints the full compilation report: projection paths and
 roles, the rewritten query with signOff statements, and the lowered
@@ -146,6 +167,31 @@ fn take_query(args: &[String]) -> Result<(String, &[String]), String> {
     }
 }
 
+/// Extract `--trace FILE` / `--trace=FILE` from a flag list.
+fn take_trace(flags: &[&str]) -> Result<Option<String>, String> {
+    for (i, f) in flags.iter().enumerate() {
+        if let Some(v) = f.strip_prefix("--trace=") {
+            if v.is_empty() {
+                return Err("`--trace=` needs a file path".into());
+            }
+            return Ok(Some(v.to_string()));
+        }
+        if *f == "--trace" {
+            let v = flags.get(i + 1).ok_or("`--trace` needs a file path")?;
+            return Ok(Some((*v).to_string()));
+        }
+    }
+    Ok(None)
+}
+
+/// Write the Chrome trace for `runs` to `path`.
+fn write_trace(path: &str, runs: &[(String, &RunReport)]) -> Result<(), String> {
+    let json = trace::build(runs)?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    eprintln!("wrote Chrome trace to {path} (load in chrome://tracing or ui.perfetto.dev)");
+    Ok(())
+}
+
 /// Extract `--max-buffer-bytes N` from a flag list. Sizes accept k/m/g
 /// suffixes, parsed by the same routine the server uses for the
 /// `X-Gcx-Max-Buffer-Bytes` header (`gcx_server::parse_byte_size`).
@@ -170,6 +216,31 @@ fn open_input(path: &str) -> Result<Box<dyn Read>, String> {
     }
 }
 
+/// Evaluate through the push-driven [`gcx_core::EvalSession`], feeding
+/// 64KB chunks and draining output as it appears.
+fn run_chunked<W: Write>(
+    q: &CompiledQuery,
+    opts: &EngineOptions,
+    mut input: Box<dyn Read>,
+    out: &mut W,
+) -> Result<RunReport, String> {
+    let mut session = q.session(opts);
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        let n = input
+            .read(&mut chunk)
+            .map_err(|e| format!("input read: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        session.feed(&chunk[..n]).map_err(|e| e.to_string())?;
+        session.take_output(out).map_err(|e| e.to_string())?;
+    }
+    let report = session.finish().map_err(|e| e.to_string())?;
+    session.take_output(out).map_err(|e| e.to_string())?;
+    Ok(report)
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (query_text, rest) = take_query(args)?;
     let input_path = rest.first().ok_or("missing input document")?;
@@ -182,6 +253,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let stats = flags.contains(&"--stats");
     let stats_json = flags.contains(&"--stats-json");
     let indent = flags.contains(&"--indent");
+    let obs = flags.contains(&"--obs");
+    let trace_path = take_trace(&flags)?;
 
     // One compiled artifact for every engine: the DOM oracle interprets
     // the normalized AST out of the same `CompiledQuery` the streaming
@@ -189,6 +262,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
 
     if engine == "dom" {
+        if obs || trace_path.is_some() {
+            return Err(
+                "--obs/--trace need a streaming engine (gcx|projection|full): the DOM \
+                 oracle has no buffer lifecycle to observe"
+                    .into(),
+            );
+        }
         if flags.contains(&"--max-buffer-bytes") {
             return Err(
                 "--max-buffer-bytes is not supported with --engine dom: the DOM oracle \
@@ -219,10 +299,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         opts.indent = Some("  ".to_string());
     }
     opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
+    opts.telemetry = obs || trace_path.is_some();
     let input = open_input(input_path)?;
-    let out = BufWriter::new(std::io::stdout().lock());
-    let report = gcx_core::run(&q, &opts, input, out).map_err(|e| e.to_string())?;
+    let report = if opts.telemetry {
+        // Drive the push session in chunks so the telemetry carries real
+        // per-chunk feed spans (output and buffer peaks are bit-identical
+        // to the pull-mode run — pinned by the chunk_splits suite).
+        let mut out = BufWriter::new(std::io::stdout().lock());
+        run_chunked(&q, &opts, input, &mut out)?
+    } else {
+        let out = BufWriter::new(std::io::stdout().lock());
+        gcx_core::run(&q, &opts, input, out).map_err(|e| e.to_string())?
+    };
     println!();
+    if let Some(path) = &trace_path {
+        write_trace(path, &[("query".to_string(), &report)])?;
+    }
     if stats_json {
         let compile = format!("\"compile\":{{{}}}", compile_members(&q));
         eprintln!("{}", splice_json(&report.to_json(), &compile));
@@ -291,6 +383,8 @@ fn cmd_multi(args: &[String]) -> Result<(), String> {
     let flags: Vec<&str> = rest[1..].iter().map(String::as_str).collect();
     let stats = flags.contains(&"--stats");
     let stats_json = flags.contains(&"--stats-json");
+    let obs = flags.contains(&"--obs");
+    let trace_path = take_trace(&flags)?;
     let out_dir = flags
         .iter()
         .position(|f| *f == "--out-dir")
@@ -305,10 +399,19 @@ fn cmd_multi(args: &[String]) -> Result<(), String> {
         opts.indent = Some("  ".to_string());
     }
     opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
+    opts.telemetry = obs || trace_path.is_some();
     let input = open_input(input_path)?;
     let report = gcx_multi::SharedRun::new(opts)
         .run(&queries, input)
         .map_err(|e| e.to_string())?;
+    if let Some(path) = &trace_path {
+        let runs: Vec<(String, &RunReport)> = texts
+            .iter()
+            .zip(&report.queries)
+            .filter_map(|((name, _), run)| run.report.as_ref().ok().map(|r| (name.clone(), r)))
+            .collect();
+        write_trace(path, &runs)?;
+    }
 
     // Per-query evaluator failures are reported but don't hide the rest.
     let mut failures = Vec::new();

@@ -489,6 +489,194 @@ fn bench_serve_smoke_writes_report() {
 }
 
 #[test]
+fn run_obs_extends_stats_json() {
+    let doc = write_temp("obs.xml", "<bib><book><title>T</title></book></bib>");
+    let out = gcx_bin()
+        .args(["run", "-e", "for $b in /bib/book return $b/title"])
+        .arg(&doc)
+        .args(["--obs", "--stats-json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for key in [
+        "\"obs\"",
+        "\"residency_tokens\"",
+        "\"purge_batch\"",
+        "\"roles\"",
+        "\"tasks\"",
+        "\"tokenizer_window_peak\"",
+    ] {
+        assert!(stderr.contains(key), "missing {key}: {stderr}");
+    }
+}
+
+#[test]
+fn obs_needs_a_streaming_engine() {
+    let doc = write_temp("obs-dom.xml", "<a/>");
+    let out = gcx_bin()
+        .args(["run", "-e", "for $x in /a return $x"])
+        .arg(&doc)
+        .args(["--engine", "dom", "--obs"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("streaming engine"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn run_trace_writes_chrome_trace() {
+    let doc = write_temp("tracef.xml", "<bib><book><title>T</title></book></bib>");
+    let trace = std::env::temp_dir().join(format!("gcx-cli-trace-{}.json", std::process::id()));
+    let out = gcx_bin()
+        .args(["run", "-e", "for $b in /bib/book return $b/title"])
+        .arg(&doc)
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<title>T</title>",
+        "--trace must not change the query result"
+    );
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+        "{json}"
+    );
+    assert!(json.ends_with("]}"), "{json}");
+    assert!(json.contains("\"name\":\"feed\""), "{json}");
+    assert!(json.contains("live_bytes"), "{json}");
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn multi_trace_covers_every_query() {
+    let doc = write_temp("mtrace.xml", "<l><i>1</i><i>2</i></l>");
+    let batch = write_temp(
+        "mtrace.xq",
+        "%% first\nfor $i in /l/i return $i/text()\n%% second\ncount(/l/i)\n",
+    );
+    let trace = std::env::temp_dir().join(format!("gcx-cli-mtrace-{}.json", std::process::id()));
+    let out = gcx_bin()
+        .arg("multi")
+        .arg(&batch)
+        .arg(&doc)
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.contains("query-00: vm tasks (aggregate)"), "{json}");
+    assert!(json.contains("query-01: vm tasks (aggregate)"), "{json}");
+    assert!(json.contains("query-01: summary"), "{json}");
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// Every key that appears in `--stats-json` output (any quoted string
+/// immediately followed by a colon). Good enough for our hand-rolled,
+/// non-pretty-printed JSON: escapes never produce a bare `"` before `:`.
+fn json_keys(json: &str) -> std::collections::BTreeSet<String> {
+    let bytes = json.as_bytes();
+    let mut keys = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j + 1 < bytes.len() && bytes[j + 1] == b':' {
+                keys.insert(json[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+#[test]
+fn stats_json_fields_are_documented_in_architecture_md() {
+    // Golden contract: every field the CLI can emit in --stats-json must
+    // appear (in backticks) in ARCHITECTURE.md's schema section. Adding a
+    // field without documenting it fails here.
+    let arch = include_str!("../../../ARCHITECTURE.md");
+    let doc = write_temp("schema.xml", "<bib><book><title>T</title></book></bib>");
+
+    let run = gcx_bin()
+        .args(["run", "-e", "for $b in /bib/book return $b/title"])
+        .arg(&doc)
+        .args(["--obs", "--stats-json", "--max-buffer-bytes", "1m"])
+        .output()
+        .unwrap();
+    assert!(run.status.success());
+
+    // One query stays under the buffer budget (succeeds, report + obs),
+    // the root copy blows past it (runtime failure, `error`), so both
+    // per_query shapes are exercised. The batch exits nonzero but the
+    // stats JSON is printed either way. Peaks are deterministic: the
+    // text() query tops out at 552 bytes, the root copy needs 936.
+    let mdoc = write_temp(
+        "schema-m.xml",
+        "<l><i>aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa</i>\
+         <i>bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb</i></l>",
+    );
+    let batch = write_temp(
+        "schema.xq",
+        "%% a\nfor $i in /l/i return $i/text()\n%% b\nfor $x in /l return $x\n",
+    );
+    let multi = gcx_bin()
+        .arg("multi")
+        .arg(&batch)
+        .arg(&mdoc)
+        .args(["--obs", "--stats-json", "--max-buffer-bytes", "700"])
+        .output()
+        .unwrap();
+    let mut keys = json_keys(&String::from_utf8_lossy(&run.stderr));
+    let multi_stderr = String::from_utf8_lossy(&multi.stderr);
+    keys.extend(json_keys(&multi_stderr));
+    assert!(keys.contains("obs"), "sample runs must exercise telemetry");
+    assert!(
+        keys.contains("per_query"),
+        "sample runs must exercise the batch shape: {multi_stderr}"
+    );
+    assert!(
+        keys.contains("error") && keys.contains("report"),
+        "the batch must exercise both per_query shapes: {multi_stderr}"
+    );
+    for key in keys {
+        assert!(
+            arch.contains(&format!("`{key}`")),
+            "--stats-json field `{key}` is not documented in ARCHITECTURE.md \
+             (see \"The --stats-json schema\")"
+        );
+    }
+}
+
+#[test]
 fn dom_engine_rejects_buffer_budget() {
     let doc = write_temp("domcap.xml", "<a/>");
     let out = gcx_bin()

@@ -20,6 +20,8 @@
 //! generation so stale ids are caught in debug builds.
 
 use crate::error::EngineError;
+use crate::obs::RoleObs;
+use gcx_obs::Hist;
 use gcx_query::ast::RoleId;
 use gcx_xml::{Symbol, SymbolTable, XmlResult, XmlWriter};
 
@@ -233,6 +235,92 @@ fn node_bytes(kind: &NodeKind) -> u64 {
     std::mem::size_of::<Node>() as u64 + payload
 }
 
+/// Per-role lifecycle counters (telemetry only).
+#[derive(Debug, Default, Clone)]
+struct RoleCell {
+    appends: u64,
+    signoffs: u64,
+    purge_triggers: u64,
+    live: u64,
+    max_live: u64,
+}
+
+/// Buffer-lifecycle telemetry, kept **beside** the node arena rather
+/// than inside [`Node`]: a birth-token stamp per slot plus fixed-bucket
+/// histograms. Keeping `Node`'s layout untouched matters — `node_bytes`
+/// includes `size_of::<Node>()`, so a stamp inside the node would shift
+/// every byte measurement the equivalence suites pin down.
+#[derive(Debug)]
+pub(crate) struct BufTelemetry {
+    /// Structural-token clock, advanced by [`BufferTree::tick`].
+    clock: u64,
+    /// Birth token per node slot (parallel to the node arena).
+    birth: Vec<u64>,
+    pub(crate) residency_tokens: Hist,
+    pub(crate) purged_node_bytes: Hist,
+    pub(crate) purge_batch: Hist,
+    pub(crate) purges_on_signoff: u64,
+    pub(crate) purges_on_close: u64,
+    pub(crate) purges_on_unpin: u64,
+    roles: Vec<RoleCell>,
+    pub(crate) timeline: Vec<(u64, u64)>,
+    pub(crate) every: u64,
+    next_sample: u64,
+}
+
+impl BufTelemetry {
+    fn role_cell(&mut self, role: RoleId) -> &mut RoleCell {
+        let i = role.index();
+        if self.roles.len() <= i {
+            self.roles.resize(i + 1, RoleCell::default());
+        }
+        &mut self.roles[i]
+    }
+
+    /// Convert into the public per-run report, joining the VM- and
+    /// session-side measurements in.
+    pub(crate) fn into_report(
+        self: Box<BufTelemetry>,
+        tasks: Vec<crate::obs::TaskObs>,
+        feed_spans: Vec<crate::obs::FeedSpan>,
+        tokenizer_window_peak: u64,
+    ) -> crate::obs::ObsReport {
+        let roles = self.role_obs();
+        let t = *self;
+        crate::obs::ObsReport {
+            residency_tokens: t.residency_tokens,
+            purged_node_bytes: t.purged_node_bytes,
+            purge_batch: t.purge_batch,
+            purges_on_signoff: t.purges_on_signoff,
+            purges_on_close: t.purges_on_close,
+            purges_on_unpin: t.purges_on_unpin,
+            roles,
+            live_bytes_timeline: t.timeline,
+            timeline_every: t.every,
+            tasks,
+            feed_spans,
+            tokenizer_window_peak,
+        }
+    }
+
+    /// Per-role counters in role-id order (roles never seen are
+    /// omitted).
+    pub(crate) fn role_obs(&self) -> Vec<RoleObs> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.appends > 0 || c.signoffs > 0)
+            .map(|(i, c)| RoleObs {
+                role: RoleId(i as u32).to_string(),
+                appends: c.appends,
+                signoffs: c.signoffs,
+                purge_triggers: c.purge_triggers,
+                max_live: c.max_live,
+            })
+            .collect()
+    }
+}
+
 /// The buffer tree. See the module docs for the GC model.
 #[derive(Debug)]
 pub struct BufferTree {
@@ -255,6 +343,10 @@ pub struct BufferTree {
     text_pool: Vec<String>,
     /// Reused DFS stack for [`BufferTree::free_subtree`].
     free_scratch: Vec<u32>,
+    /// Buffer-lifecycle telemetry, off by default. `Option<Box<_>>` is
+    /// null-pointer-optimized, so every disabled-path check is a single
+    /// null test — the hot loop's cost when observability is off.
+    telemetry: Option<Box<BufTelemetry>>,
 }
 
 impl BufferTree {
@@ -289,12 +381,52 @@ impl BufferTree {
             attr_pool: Vec::new(),
             text_pool: Vec::new(),
             free_scratch: Vec::new(),
+            telemetry: None,
         }
     }
 
     /// Current statistics.
     pub fn stats(&self) -> BufferStats {
         self.stats
+    }
+
+    /// Turn on buffer-lifecycle telemetry, sampling the live-bytes
+    /// timeline every `sample_every` structural tokens. All storage is
+    /// allocated here, before the hot loop starts.
+    pub fn enable_telemetry(&mut self, sample_every: u64) {
+        self.telemetry = Some(Box::new(BufTelemetry {
+            clock: 0,
+            birth: Vec::with_capacity(64),
+            residency_tokens: Hist::new(gcx_obs::TOKEN_BUCKETS),
+            purged_node_bytes: Hist::new(gcx_obs::BYTE_BUCKETS),
+            purge_batch: Hist::new(gcx_obs::COUNT_BUCKETS),
+            purges_on_signoff: 0,
+            purges_on_close: 0,
+            purges_on_unpin: 0,
+            roles: Vec::new(),
+            timeline: Vec::new(),
+            every: sample_every.max(1),
+            next_sample: 0,
+        }));
+    }
+
+    /// Advance the telemetry clock to `tokens` (structural tokens fed so
+    /// far) and sample the live-bytes timeline on cadence. Disabled cost:
+    /// one null check.
+    #[inline]
+    pub fn tick(&mut self, tokens: u64) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.clock = tokens;
+            if tokens >= t.next_sample {
+                t.timeline.push((tokens, self.stats.live_bytes));
+                t.next_sample = tokens.saturating_add(t.every);
+            }
+        }
+    }
+
+    /// Detach the accumulated telemetry (None when never enabled).
+    pub(crate) fn take_telemetry(&mut self) -> Option<Box<BufTelemetry>> {
+        self.telemetry.take()
     }
 
     /// Set the hard byte budget ([`BufferTree::check_limit`] enforces it).
@@ -572,6 +704,19 @@ impl BufferTree {
         self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
         self.stats.live_bytes += bytes;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            let slot = idx as usize;
+            if t.birth.len() <= slot {
+                t.birth.resize(slot + 1, 0);
+            }
+            t.birth[slot] = t.clock;
+            for &(role, count) in roles {
+                let cell = t.role_cell(role);
+                cell.appends += count as u64;
+                cell.live += count as u64;
+                cell.max_live = cell.max_live.max(cell.live);
+            }
+        }
         NodeId {
             idx,
             gen: self.nodes[idx as usize].gen,
@@ -582,7 +727,15 @@ impl BufferTree {
     /// reclaims speculatively buffered subtrees that never produced a role.
     pub fn close(&mut self, id: NodeId) {
         self.node_mut(id).closed = true;
-        self.try_purge(id);
+        if self.telemetry.is_some() {
+            let before = self.stats.purged;
+            self.try_purge(id);
+            if self.stats.purged > before {
+                self.telemetry.as_deref_mut().unwrap().purges_on_close += 1;
+            }
+        } else {
+            self.try_purge(id);
+        }
     }
 
     // ---- roles & garbage collection ------------------------------------------
@@ -607,7 +760,21 @@ impl BufferTree {
                 self.nodes[cur as usize].subtree_roles -= removed as u64;
                 cur = self.nodes[cur as usize].parent;
             }
-            self.try_purge(id);
+            if self.telemetry.is_some() {
+                let before = self.stats.purged;
+                self.try_purge(id);
+                let purged = self.stats.purged > before;
+                let t = self.telemetry.as_deref_mut().unwrap();
+                let cell = t.role_cell(role);
+                cell.signoffs += removed as u64;
+                cell.live = cell.live.saturating_sub(removed as u64);
+                if purged {
+                    cell.purge_triggers += 1;
+                    t.purges_on_signoff += 1;
+                }
+            } else {
+                self.try_purge(id);
+            }
         }
         removed
     }
@@ -634,7 +801,15 @@ impl BufferTree {
             self.nodes[cur as usize].subtree_pins -= 1;
             cur = self.nodes[cur as usize].parent;
         }
-        self.try_purge(id);
+        if self.telemetry.is_some() {
+            let before = self.stats.purged;
+            self.try_purge(id);
+            if self.stats.purged > before {
+                self.telemetry.as_deref_mut().unwrap().purges_on_unpin += 1;
+            }
+        } else {
+            self.try_purge(id);
+        }
     }
 
     /// Garbage collection: free the highest ancestor-or-self of `id` whose
@@ -685,6 +860,10 @@ impl BufferTree {
         // order is irrelevant — every freed node just returns to the free
         // list).
         let mut stack = std::mem::take(&mut self.free_scratch);
+        // The telemetry box is moved out for the duration of the walk so
+        // its histograms can be updated while `self` is mutably borrowed.
+        let mut tel = self.telemetry.take();
+        let mut batch: u64 = 0;
         stack.push(top);
         while let Some(i) = stack.pop() {
             let mut child = self.nodes[i as usize].first_child;
@@ -710,7 +889,14 @@ impl BufferTree {
             };
             // Credit back exactly what the append charged, then recycle
             // the node's heap blocks through the pools.
-            self.stats.live_bytes -= node_bytes(&kind);
+            let bytes = node_bytes(&kind);
+            self.stats.live_bytes -= bytes;
+            if let Some(t) = tel.as_deref_mut() {
+                let born = t.birth.get(i as usize).copied().unwrap_or(t.clock);
+                t.residency_tokens.observe(t.clock.saturating_sub(born));
+                t.purged_node_bytes.observe(bytes);
+                batch += 1;
+            }
             match kind {
                 NodeKind::Element { mut attrs, .. } => {
                     attrs.clear();
@@ -728,6 +914,10 @@ impl BufferTree {
             self.stats.live -= 1;
             self.stats.purged += 1;
         }
+        if let Some(t) = tel.as_deref_mut() {
+            t.purge_batch.observe(batch);
+        }
+        self.telemetry = tel;
         self.free_scratch = stack;
     }
 

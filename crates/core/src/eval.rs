@@ -37,6 +37,7 @@
 use crate::buffer::{BufferTree, NodeId};
 use crate::cursor::{CursorPool, CursorState, EvalStep, PathCursor, StepTest};
 use crate::error::EngineError;
+use crate::obs::TaskObs;
 use gcx_ir::{
     fmt_number, AttrPlan, CondId, CondIr, EAxis, Instr, InstrId, OperandId, OperandIr, PathId,
     PlanRoot, Program,
@@ -64,6 +65,15 @@ pub(crate) enum VmStatus {
     NeedInput,
     /// The program ran to completion (output fully emitted).
     Done,
+}
+
+/// What executing one continuation frame produced ([`Vm::step`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    /// The frame completed (possibly scheduling more frames).
+    Continue,
+    /// The frame blocked on stream data and pushed itself back.
+    NeedInput,
 }
 
 /// One suspended continuation frame. The stack is the executor's whole
@@ -130,6 +140,67 @@ enum Task {
     },
 }
 
+/// Display names of the task-frame kinds, parallel to [`task_kind`].
+/// Frame timing attributes evaluation cost by kind — e.g. the Q8
+/// allocation cliff shows up as `CollectLoop`/`CollectClosed` dominance.
+const TASK_KIND_NAMES: [&str; 21] = [
+    "Exec",
+    "Seq",
+    "EndElement",
+    "IfBranch",
+    "ForLoop",
+    "OutputLoop",
+    "EmitClosed",
+    "Cond",
+    "NotFinish",
+    "AndRhs",
+    "OrRhs",
+    "ExistsLoop",
+    "CompareFinish",
+    "StringFnFinish",
+    "Operand",
+    "CollectLoop",
+    "CollectClosed",
+    "AggFinish",
+    "WaitClosed",
+    "DrainInput",
+    "SignoffExec",
+];
+
+/// Index of a frame's kind in [`TASK_KIND_NAMES`].
+fn task_kind(t: &Task) -> usize {
+    match t {
+        Task::Exec(_) => 0,
+        Task::Seq { .. } => 1,
+        Task::EndElement => 2,
+        Task::IfBranch { .. } => 3,
+        Task::ForLoop { .. } => 4,
+        Task::OutputLoop { .. } => 5,
+        Task::EmitClosed(_) => 6,
+        Task::Cond(_) => 7,
+        Task::NotFinish => 8,
+        Task::AndRhs(_) => 9,
+        Task::OrRhs(_) => 10,
+        Task::ExistsLoop { .. } => 11,
+        Task::CompareFinish(_) => 12,
+        Task::StringFnFinish(_) => 13,
+        Task::Operand(_) => 14,
+        Task::CollectLoop { .. } => 15,
+        Task::CollectClosed(_) => 16,
+        Task::AggFinish(_) => 17,
+        Task::WaitClosed(_) => 18,
+        Task::DrainInput => 19,
+        Task::SignoffExec { .. } => 20,
+    }
+}
+
+/// Per-kind frame timing (telemetry only; boxed off the hot path).
+#[derive(Debug)]
+struct TaskTiming {
+    counts: [u64; TASK_KIND_NAMES.len()],
+    nanos: [u64; TASK_KIND_NAMES.len()],
+}
+
 /// The resumable executor: continuation stack + environment + pools. Owns
 /// no buffer, no symbols and no output sink — those are lent per `resume`
 /// call, which is what lets one driver own the I/O while another suspends
@@ -160,6 +231,8 @@ pub(crate) struct Vm {
     /// Set by the driver once the feed reports end of input; blocked
     /// waits then fail instead of suspending forever.
     input_exhausted: bool,
+    /// Frame timing, off by default (one null check per frame).
+    timing: Option<Box<TaskTiming>>,
 }
 
 impl Vm {
@@ -187,7 +260,35 @@ impl Vm {
             signoff_scratch: HashMap::default(),
             value_pool: Vec::new(),
             input_exhausted: false,
+            timing: None,
         }
+    }
+
+    /// Turn on per-frame timing (an `Instant` pair around every frame).
+    pub(crate) fn enable_timing(&mut self) {
+        self.timing = Some(Box::new(TaskTiming {
+            counts: [0; TASK_KIND_NAMES.len()],
+            nanos: [0; TASK_KIND_NAMES.len()],
+        }));
+    }
+
+    /// Drain the recorded frame timing, hottest kind first.
+    pub(crate) fn take_task_obs(&mut self) -> Vec<TaskObs> {
+        let Some(t) = self.timing.take() else {
+            return Vec::new();
+        };
+        let mut v: Vec<TaskObs> = TASK_KIND_NAMES
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| t.counts[i] > 0)
+            .map(|(i, &name)| TaskObs {
+                name,
+                count: t.counts[i],
+                nanos: t.nanos[i],
+            })
+            .collect();
+        v.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.name.cmp(b.name)));
+        v
     }
 
     /// Tell the machine no further stream events will arrive. Blocked
@@ -200,13 +301,13 @@ impl Vm {
     /// in which case the wait can never be satisfied (a feed that closed
     /// the virtual root unblocks every cursor, so this is unreachable for
     /// well-formed feeds; fail rather than spin).
-    fn need_input(&self) -> Result<VmStatus, EngineError> {
+    fn need_input(&self) -> Result<StepOutcome, EngineError> {
         if self.input_exhausted {
             Err(EngineError::Internal(
                 "input exhausted with an open buffered node".into(),
             ))
         } else {
-            Ok(VmStatus::NeedInput)
+            Ok(StepOutcome::NeedInput)
         }
     }
 
@@ -284,6 +385,33 @@ impl Vm {
             let Some(task) = self.tasks.pop() else {
                 return Ok(VmStatus::Done);
             };
+            // Frame timing is telemetry-only: one null check per frame
+            // when off, an `Instant` pair per frame when on.
+            let timed = self
+                .timing
+                .as_deref()
+                .map(|_| (task_kind(&task), std::time::Instant::now()));
+            let outcome = self.step(task, buf, symbols, out);
+            if let Some((kind, start)) = timed {
+                let t = self.timing.as_deref_mut().expect("timing stays enabled");
+                t.counts[kind] += 1;
+                t.nanos[kind] += start.elapsed().as_nanos() as u64;
+            }
+            if matches!(outcome?, StepOutcome::NeedInput) {
+                return Ok(VmStatus::NeedInput);
+            }
+        }
+    }
+
+    /// Execute one continuation frame.
+    fn step<W: Write>(
+        &mut self,
+        task: Task,
+        buf: &mut BufferTree,
+        symbols: &SymbolTable,
+        out: &mut XmlWriter<W>,
+    ) -> Result<StepOutcome, EngineError> {
+        {
             match task {
                 Task::Exec(id) => self.exec_instr(id, buf, out)?,
                 Task::Seq { first, len, idx } => {
@@ -538,7 +666,7 @@ impl Vm {
                 Task::DrainInput => {
                     if !self.input_exhausted {
                         self.tasks.push(Task::DrainInput);
-                        return Ok(VmStatus::NeedInput);
+                        return Ok(StepOutcome::NeedInput);
                     }
                 }
                 Task::SignoffExec {
@@ -566,6 +694,7 @@ impl Vm {
                 }
             }
         }
+        Ok(StepOutcome::Continue)
     }
 
     /// Dispatch one instruction: emit immediately when possible, otherwise

@@ -43,11 +43,13 @@ pub mod cursor;
 mod engine;
 mod error;
 mod eval;
+pub mod obs;
 pub mod session;
 pub mod stream;
 
 pub use buffer::{AttrBuf, BufferStats, BufferTree, NodeId};
 pub use engine::{run, run_query, run_with_feed, CompiledQuery, EngineOptions, RunReport};
 pub use error::EngineError;
+pub use obs::{FeedSpan, ObsReport, RoleObs, TaskObs};
 pub use session::{Emitted, EvalSession};
 pub use stream::{BufferFeed, ChildCounters, Projector, Timeline};

@@ -45,6 +45,7 @@ use crate::buffer::BufferTree;
 use crate::engine::{CompiledQuery, EngineOptions, RunReport};
 use crate::error::EngineError;
 use crate::eval::{Vm, VmStatus};
+use crate::obs::FeedSpan;
 use crate::stream::Projector;
 use gcx_projection::StreamMatcher;
 use gcx_xml::{
@@ -97,6 +98,9 @@ pub struct EvalSession {
     finished: bool,
     feed_calls: u64,
     max_pending_bytes: u64,
+    /// Telemetry enabled: record a [`FeedSpan`] per feed/commit call.
+    telemetry: bool,
+    feed_spans: Vec<FeedSpan>,
 }
 
 impl EvalSession {
@@ -119,8 +123,13 @@ impl EvalSession {
         // pre-interned table maps every query symbol into the session's
         // (and thereby the tokenizer's) table.
         let symbols = q.program.symbols().clone();
+        let mut vm = Vm::new(Arc::clone(&q.program), opts.execute_signoffs);
+        if opts.telemetry {
+            buf.enable_telemetry(crate::obs::DEFAULT_TIMELINE_EVERY);
+            vm.enable_timing();
+        }
         EvalSession {
-            vm: Vm::new(Arc::clone(&q.program), opts.execute_signoffs),
+            vm,
             buf,
             symbols,
             out,
@@ -131,6 +140,8 @@ impl EvalSession {
             finished: false,
             feed_calls: 0,
             max_pending_bytes: 0,
+            telemetry: opts.telemetry,
+            feed_spans: Vec::new(),
         }
     }
 
@@ -157,7 +168,7 @@ impl EvalSession {
         }
         self.feed_calls += 1;
         self.tok.feed(chunk);
-        self.pump()
+        self.pump_spanned(chunk.len())
     }
 
     /// Zero-copy variant of [`EvalSession::feed`]: borrow at least `min`
@@ -180,7 +191,7 @@ impl EvalSession {
         }
         self.feed_calls += 1;
         self.tok.commit(n);
-        self.pump()
+        self.pump_spanned(n)
     }
 
     /// False once further input can have no effect: the program completed
@@ -206,6 +217,13 @@ impl EvalSession {
         debug_assert!(emitted.done, "EOF pump must complete the program");
         self.finished = true;
         self.out.flush()?;
+        let obs = self.buf.take_telemetry().map(|tel| {
+            tel.into_report(
+                self.vm.take_task_obs(),
+                std::mem::take(&mut self.feed_spans),
+                self.tok.window_peak(),
+            )
+        });
         Ok(RunReport {
             tokens: self.proj.tokens(),
             buffer: self.buf.stats(),
@@ -214,6 +232,7 @@ impl EvalSession {
             max_buffer_bytes: self.buf.max_bytes(),
             feed_calls: self.feed_calls,
             max_pending_bytes: self.max_pending_bytes,
+            obs,
         })
     }
 
@@ -284,6 +303,23 @@ impl EvalSession {
             kind: XmlErrorKind::Io(e),
             pos: self.tok.position(),
         })
+    }
+
+    /// [`EvalSession::pump`] wrapped in a [`FeedSpan`] when telemetry is
+    /// on: when the chunk arrived, how long consuming it took, and its
+    /// size — the raw material of the Chrome-trace feed track.
+    fn pump_spanned(&mut self, bytes: usize) -> Result<Emitted, EngineError> {
+        if !self.telemetry {
+            return self.pump();
+        }
+        let start = gcx_obs::now_micros();
+        let result = self.pump();
+        self.feed_spans.push(FeedSpan {
+            start_us: start,
+            dur_us: gcx_obs::now_micros().saturating_sub(start),
+            bytes: bytes as u64,
+        });
+        result
     }
 
     /// Drive the machine as far as the buffered bytes allow. Keeps the
@@ -394,6 +430,47 @@ mod tests {
             );
             assert_eq!(report.buffer.live, 0, "chunk size {chunk}");
         }
+    }
+
+    #[test]
+    fn telemetry_reports_buffer_lifecycle_without_changing_results() {
+        let (want_out, want_report) = single_shot(QUERY, DOC);
+        let q = CompiledQuery::compile(QUERY).unwrap();
+        let mut session = q.session(&EngineOptions::gcx().with_telemetry());
+        for piece in DOC.as_bytes().chunks(7) {
+            session.feed(piece).unwrap();
+        }
+        let report = session.finish().unwrap();
+        let mut out = Vec::new();
+        session.take_output(&mut out).unwrap();
+        // Telemetry must be pure observation: outputs and buffer peaks
+        // stay bit-identical to the untraced run.
+        assert_eq!(out, want_out);
+        assert_eq!(
+            report.buffer.peak_live_bytes,
+            want_report.buffer.peak_live_bytes
+        );
+        assert_eq!(report.buffer.purged, want_report.buffer.purged);
+        let obs = report.obs.as_ref().expect("telemetry enabled");
+        assert_eq!(
+            obs.residency_tokens.count(),
+            report.buffer.purged,
+            "one residency observation per purged node"
+        );
+        assert_eq!(obs.purged_node_bytes.count(), report.buffer.purged);
+        assert!(obs.purged_node_bytes.sum() > 0);
+        assert!(obs.purges_on_signoff + obs.purges_on_close + obs.purges_on_unpin > 0);
+        assert!(!obs.roles.is_empty(), "role lifecycle recorded");
+        assert!(obs.roles.iter().any(|r| r.signoffs > 0));
+        assert!(!obs.tasks.is_empty(), "frame timing recorded");
+        assert_eq!(obs.feed_spans.len() as u64, report.feed_calls);
+        assert!(obs.tokenizer_window_peak > 0);
+        assert!(!obs.live_bytes_timeline.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"obs\":{\"residency_tokens\""), "{json}");
+        // Telemetry off: the report carries no obs section.
+        assert!(want_report.obs.is_none());
+        assert!(!want_report.to_json().contains("\"obs\""));
     }
 
     #[test]

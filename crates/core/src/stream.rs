@@ -366,6 +366,10 @@ impl Projector {
 
     fn bump(&mut self, buf: &mut BufferTree) {
         self.tokens += 1;
+        // Advance the buffer's telemetry clock (one null check when
+        // observability is off): residency histograms are measured in
+        // these structural tokens.
+        buf.tick(self.tokens);
         if let Some(t) = self.timeline.as_mut() {
             t.record(self.tokens, buf.stats().live);
         }

@@ -515,6 +515,46 @@ impl Program {
         out
     }
 
+    /// Human-readable form of one compiled path (`$b/child::title`,
+    /// `/descendant-or-self::node()/@id`) — the plan-level span names the
+    /// observability layer attaches to traces and per-query metrics.
+    pub fn path_display(&self, id: PathId) -> String {
+        let p = self.path(id);
+        let mut out = match p.root {
+            PlanRoot::Root => String::new(),
+            PlanRoot::Var(v) => format!("${}", self.var_name(v)),
+        };
+        if p.step_len == 0 && p.attr == AttrPlan::None && out.is_empty() {
+            out.push('/');
+        }
+        for s in self.path_steps(p) {
+            let axis = match s.axis {
+                EAxis::Child => "child",
+                EAxis::Descendant => "descendant",
+                EAxis::DescendantOrSelf => "descendant-or-self",
+                EAxis::SelfAxis => "self",
+            };
+            let test = match s.test {
+                ETest::Name(sym) => self.symbols.resolve(sym).to_string(),
+                ETest::Star => "*".to_string(),
+                ETest::Text => "text()".to_string(),
+                ETest::AnyNode => "node()".to_string(),
+            };
+            let _ = write!(out, "/{axis}::{test}");
+            if let Some(k) = s.pos {
+                let _ = write!(out, "[{k}]");
+            }
+        }
+        match p.attr {
+            AttrPlan::None => {}
+            AttrPlan::Any => out.push_str("/@*"),
+            AttrPlan::Name(s) => {
+                let _ = write!(out, "/@{}", self.symbols.resolve(s));
+            }
+        }
+        out
+    }
+
     fn operand_display(&self, id: OperandId) -> String {
         match self.operand(id) {
             OperandIr::Lit { text, .. } => format!("{:?}", self.str_(text)),

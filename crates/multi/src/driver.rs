@@ -69,6 +69,10 @@ pub struct BatchOptions {
     /// crosses it fails with `BufferLimitExceeded`; the rest of the batch
     /// is unaffected (worker failures never stop peers).
     pub max_buffer_bytes: Option<u64>,
+    /// Record buffer-lifecycle and VM-frame telemetry in every worker;
+    /// each per-query [`RunReport`] then carries an `obs` section
+    /// (residency histograms, purge causes, live-bytes timeline).
+    pub telemetry: bool,
 }
 
 impl Default for BatchOptions {
@@ -79,6 +83,7 @@ impl Default for BatchOptions {
             channel_capacity: 4096,
             chunk_size: 256,
             max_buffer_bytes: None,
+            telemetry: false,
         }
     }
 }
@@ -263,6 +268,7 @@ impl SharedRun {
             timeline_every: None,
             indent: self.opts.indent.clone(),
             max_buffer_bytes: self.opts.max_buffer_bytes,
+            telemetry: self.opts.telemetry,
         };
 
         let mut input = input;
@@ -589,6 +595,21 @@ mod tests {
         let queries = compile(&["for $b in /bib/book return $b"]);
         let err = run_batch(&queries, "<bib><book></bib>".as_bytes());
         assert!(err.is_err(), "mismatched tags must fail the whole batch");
+    }
+
+    #[test]
+    fn telemetry_flows_into_worker_reports() {
+        let queries = compile(&["for $b in /bib/book return $b/title"]);
+        let opts = BatchOptions {
+            telemetry: true,
+            ..BatchOptions::default()
+        };
+        let report = SharedRun::new(opts).run(&queries, DOC.as_bytes()).unwrap();
+        let run = &report.queries[0];
+        assert_eq!(run.output, standalone(&queries[0], DOC));
+        let r = run.report.as_ref().unwrap();
+        assert!(r.obs.is_some(), "telemetry must reach the worker engines");
+        assert!(report.to_json().contains("\"obs\""));
     }
 
     #[test]

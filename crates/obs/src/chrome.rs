@@ -1,0 +1,187 @@
+//! Chrome trace-event JSON writer (the `chrome://tracing` / Perfetto
+//! format): `"X"` complete-duration events, `"C"` counter tracks, `"i"`
+//! instants, and `"M"` metadata for naming threads. Output is the
+//! object form — `{"traceEvents":[...]}` — which both viewers load.
+
+use crate::push_json_escaped;
+
+/// Builds one trace file. Events append as pre-serialized JSON objects;
+/// [`TraceBuilder::finish`] wraps them in the envelope.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<String>,
+}
+
+/// One event argument value.
+#[derive(Debug, Clone, Copy)]
+pub enum ArgValue<'a> {
+    /// Unsigned integer argument.
+    U64(u64),
+    /// Float argument.
+    F64(f64),
+    /// String argument (escaped on write).
+    Str(&'a str),
+}
+
+impl TraceBuilder {
+    /// A fresh, empty trace.
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    fn push_common(ev: &mut String, name: &str, cat: &str, ph: char, ts_us: u64, tid: u64) {
+        ev.push_str("{\"name\":\"");
+        push_json_escaped(ev, name);
+        ev.push_str("\",\"cat\":\"");
+        push_json_escaped(ev, cat);
+        ev.push_str(&format!(
+            "\",\"ph\":\"{ph}\",\"ts\":{ts_us},\"pid\":1,\"tid\":{tid}"
+        ));
+    }
+
+    fn push_args(ev: &mut String, args: &[(&str, ArgValue<'_>)]) {
+        if args.is_empty() {
+            return;
+        }
+        ev.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                ev.push(',');
+            }
+            ev.push('"');
+            push_json_escaped(ev, k);
+            ev.push_str("\":");
+            match v {
+                ArgValue::U64(n) => ev.push_str(&n.to_string()),
+                ArgValue::F64(f) => ev.push_str(&format!("{f}")),
+                ArgValue::Str(s) => {
+                    ev.push('"');
+                    push_json_escaped(ev, s);
+                    ev.push('"');
+                }
+            }
+        }
+        ev.push('}');
+    }
+
+    /// A complete-duration (`"X"`) event on thread track `tid`.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        dur_us: u64,
+        tid: u64,
+        args: &[(&str, ArgValue<'_>)],
+    ) {
+        let mut ev = String::with_capacity(96);
+        Self::push_common(&mut ev, name, cat, 'X', ts_us, tid);
+        ev.push_str(&format!(",\"dur\":{dur_us}"));
+        Self::push_args(&mut ev, args);
+        ev.push('}');
+        self.events.push(ev);
+    }
+
+    /// A counter (`"C"`) sample: each `(series, value)` pair becomes one
+    /// series of the counter track `name`.
+    pub fn counter(&mut self, name: &str, ts_us: u64, series: &[(&str, u64)]) {
+        let mut ev = String::with_capacity(96);
+        Self::push_common(&mut ev, name, "counter", 'C', ts_us, 0);
+        ev.push_str(",\"args\":{");
+        for (i, (k, v)) in series.iter().enumerate() {
+            if i > 0 {
+                ev.push(',');
+            }
+            ev.push('"');
+            push_json_escaped(&mut ev, k);
+            ev.push_str(&format!("\":{v}"));
+        }
+        ev.push_str("}}");
+        self.events.push(ev);
+    }
+
+    /// An instant (`"i"`) event (thread scope).
+    pub fn instant(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        tid: u64,
+        args: &[(&str, ArgValue<'_>)],
+    ) {
+        let mut ev = String::with_capacity(96);
+        Self::push_common(&mut ev, name, cat, 'i', ts_us, tid);
+        ev.push_str(",\"s\":\"t\"");
+        Self::push_args(&mut ev, args);
+        ev.push('}');
+        self.events.push(ev);
+    }
+
+    /// Name a thread track (`"M"` metadata, `thread_name`).
+    pub fn thread_name(&mut self, tid: u64, name: &str) {
+        let mut ev = String::with_capacity(96);
+        ev.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,");
+        ev.push_str(&format!("\"tid\":{tid},\"args\":{{\"name\":\""));
+        push_json_escaped(&mut ev, name);
+        ev.push_str("\"}}");
+        self.events.push(ev);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize the trace file.
+    pub fn finish(self) -> String {
+        let mut out =
+            String::with_capacity(64 + self.events.iter().map(String::len).sum::<usize>());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(ev);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_into_the_envelope() {
+        let mut t = TraceBuilder::new();
+        t.thread_name(1, "engine");
+        t.complete(
+            "feed",
+            "engine",
+            10,
+            5,
+            1,
+            &[("bytes", ArgValue::U64(64)), ("q", ArgValue::Str("a\"b"))],
+        );
+        t.counter("buffer", 12, &[("live_bytes", 400)]);
+        t.instant("finish", "engine", 20, 1, &[]);
+        assert_eq!(t.len(), 4);
+        let json = t.finish();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(
+            json.contains("\"ph\":\"X\",\"ts\":10,\"pid\":1,\"tid\":1,\"dur\":5"),
+            "{json}"
+        );
+        assert!(json.contains("\"q\":\"a\\\"b\""), "escaped arg: {json}");
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"live_bytes\":400"), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+    }
+}

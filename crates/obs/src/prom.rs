@@ -1,0 +1,114 @@
+//! Hand-rolled Prometheus text-exposition helpers (format version
+//! 0.0.4): `# HELP`/`# TYPE` preambles, label-value escaping, and sample
+//! lines. [`crate::AtomicHist::render_prom`] builds on these for
+//! cumulative `le` buckets.
+
+use std::fmt::Write as _;
+
+/// Append the `# HELP` and `# TYPE` preamble for a metric family.
+/// `kind` is `counter`, `gauge`, or `histogram`.
+pub fn preamble(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Append one sample line: `name{labels} value`.
+pub fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    push_labels(out, labels, None);
+    let _ = writeln!(out, " {value}");
+}
+
+/// Append one sample line with a float value (gauges like utilization).
+pub fn sample_f64(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    push_labels(out, labels, None);
+    let _ = writeln!(out, " {value}");
+}
+
+/// Append one `_bucket` sample with an `le` label appended after
+/// `labels`.
+pub fn sample_with_le(out: &mut String, name: &str, labels: &[(&str, &str)], le: &str, value: u64) {
+    out.push_str(name);
+    out.push_str("_bucket");
+    push_labels(out, labels, Some(le));
+    let _ = writeln!(out, " {value}");
+}
+
+fn push_labels(out: &mut String, labels: &[(&str, &str)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        push_escaped_label_value(out, v);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn push_escaped_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_and_preambles_render() {
+        let mut out = String::new();
+        preamble(
+            &mut out,
+            "gcx_requests_total",
+            "Requests served.",
+            "counter",
+        );
+        sample(&mut out, "gcx_requests_total", &[("outcome", "2xx")], 7);
+        sample(&mut out, "gcx_up", &[], 1);
+        sample_f64(&mut out, "gcx_util", &[], 0.25);
+        assert_eq!(
+            out,
+            "# HELP gcx_requests_total Requests served.\n\
+             # TYPE gcx_requests_total counter\n\
+             gcx_requests_total{outcome=\"2xx\"} 7\n\
+             gcx_up 1\n\
+             gcx_util 0.25\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut out = String::new();
+        sample(&mut out, "m", &[("q", "we\"ird\\name\n")], 1);
+        assert_eq!(out, "m{q=\"we\\\"ird\\\\name\\n\"} 1\n");
+    }
+}

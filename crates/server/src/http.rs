@@ -14,7 +14,26 @@
 //! `io::Read` impl on [`BodyReader`] remains for small bodies (query
 //! registration) and best-effort drains.
 
+use std::cell::Cell;
 use std::io::{self, BufRead, Read, Write};
+
+thread_local! {
+    /// Status of the last response this thread started writing (0 =
+    /// none). Workers serve one request at a time, so recording the
+    /// status at the write site and reading it back in the connection
+    /// loop classifies the outcome without threading a status code
+    /// through every handler signature.
+    static LAST_STATUS: Cell<u16> = const { Cell::new(0) };
+}
+
+/// Take (and reset) the last status this thread wrote.
+pub(crate) fn take_last_status() -> u16 {
+    LAST_STATUS.with(|c| c.replace(0))
+}
+
+fn note_status(status: u16) {
+    LAST_STATUS.with(|c| c.set(status));
+}
 
 /// Upper bound on the request line + headers, total.
 pub const MAX_HEAD_BYTES: usize = 32 * 1024;
@@ -463,6 +482,7 @@ pub fn write_response<W: Write>(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
+    note_status(status);
     write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
     write!(w, "Content-Length: {}\r\n", body.len())?;
     if !extra_headers
@@ -521,6 +541,7 @@ impl<W: Write> DeferredBody<W> {
 
     fn commit(&mut self) -> io::Result<()> {
         if !self.committed {
+            note_status(200);
             self.out.write_all(&self.head)?;
             self.committed = true;
         }

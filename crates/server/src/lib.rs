@@ -21,8 +21,14 @@
 //!   with `413` instead of letting one query OOM the process;
 //! * a bounded worker pool with a bounded admission queue provides
 //!   backpressure: connections beyond the queue get an immediate `503`;
-//! * `GET /stats` and per-response trailers surface the engine's
-//!   measurements (tokens, buffer peaks, purge counts).
+//! * `GET /stats` (JSON), `GET /metrics` (Prometheus text exposition),
+//!   and per-response trailers surface the engine's measurements
+//!   (tokens, buffer peaks, purge counts) and the service's own
+//!   (request latency by outcome, admission-queue wait, worker
+//!   utilization, per-query eval counts);
+//! * every eval carries an `X-Gcx-Trace-Id`: the client's (validated)
+//!   or a generated one, echoed in the response head, the trailers, and
+//!   the server's log line, so one id follows a request end to end.
 //!
 //! ## Protocol sketch
 //!
@@ -34,9 +40,13 @@
 //! POST /eval/{name}         body = XML document        → 200 (chunked) / 4xx / 5xx
 //!      headers: X-Gcx-Engine: gcx|projection|full
 //!               X-Gcx-Max-Buffer-Bytes: N   (tightens the server budget)
+//!               X-Gcx-Trace-Id: id          (propagated if [A-Za-z0-9._-]{1,64})
+//!      response headers: X-Gcx-Trace-Id
 //!      response trailers: X-Gcx-Tokens, X-Gcx-Peak-Buffered-Nodes,
-//!               X-Gcx-Peak-Buffer-Bytes, X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes
+//!               X-Gcx-Peak-Buffer-Bytes, X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes,
+//!               X-Gcx-Trace-Id
 //! GET  /stats               aggregate JSON             → 200
+//! GET  /metrics             Prometheus text (0.0.4)    → 200
 //! GET  /healthz                                        → 200
 //! POST /shutdown            graceful drain + exit      → 200
 //! ```
@@ -51,9 +61,13 @@
 
 pub mod client;
 pub mod http;
+mod metrics;
 mod stats;
 
 pub use stats::ServerStats;
+
+use metrics::ServerMetrics;
+use stats::Counter;
 
 use gcx_core::{CompiledQuery, EngineError, EngineOptions};
 use http::{BodyReader, DeferredBody, RequestHead};
@@ -112,17 +126,26 @@ impl Default for ServerConfig {
     }
 }
 
-/// Admission queue: accepted connections waiting for a worker.
+/// Admission queue: accepted connections waiting for a worker, each
+/// stamped with its admission time so the wait becomes a histogram.
 struct Queue {
-    conns: VecDeque<TcpStream>,
+    conns: VecDeque<(TcpStream, Instant)>,
     shutdown: bool,
+}
+
+/// One registry slot: the shared compiled program plus its own eval
+/// counter (surfaced per name by `/stats` and `/metrics`).
+struct QueryEntry {
+    query: CompiledQuery,
+    evals: Counter,
 }
 
 /// State shared by the acceptor and every worker.
 struct Shared {
     config: ServerConfig,
-    registry: RwLock<HashMap<String, Arc<CompiledQuery>>>,
+    registry: RwLock<HashMap<String, Arc<QueryEntry>>>,
     stats: ServerStats,
+    metrics: ServerMetrics,
     started: Instant,
     queue: Mutex<Queue>,
     ready: Condvar,
@@ -189,6 +212,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         config: config.clone(),
         registry: RwLock::new(HashMap::new()),
         stats: ServerStats::default(),
+        metrics: ServerMetrics::default(),
         started: Instant::now(),
         queue: Mutex::new(Queue {
             conns: VecDeque::new(),
@@ -256,7 +280,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 true,
             );
         } else {
-            q.conns.push_back(stream);
+            q.conns.push_back((stream, Instant::now()));
             drop(q);
             shared.ready.notify_one();
         }
@@ -279,7 +303,11 @@ fn worker_loop(shared: &Shared) {
                 q = shared.ready.wait(q).expect("queue poisoned");
             }
         };
-        let Some(conn) = conn else { break };
+        let Some((conn, admitted)) = conn else { break };
+        shared
+            .metrics
+            .admission_wait_us
+            .observe(admitted.elapsed().as_micros() as u64);
         shared.stats.in_flight.bump();
         let _ = handle_connection(shared, conn);
         shared.stats.in_flight.drop_one();
@@ -340,12 +368,20 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(shared.config.read_timeout).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::with_capacity(64 * 1024, stream);
+    // Classify each exchange for the latency histograms: the status the
+    // write path noted, measured from the first request byte.
+    let observe = |start: Instant| {
+        shared
+            .metrics
+            .observe_request(http::take_last_status(), start.elapsed().as_micros() as u64);
+    };
     loop {
         // Interruptible idle wait: a worker parked on a keep-alive
         // connection must still notice shutdown.
         if !wait_for_request(shared, &mut reader)? {
             return Ok(());
         }
+        let started = Instant::now();
         let head = match http::read_request_head(&mut reader) {
             Ok(Some(head)) => head,
             Ok(None) => return Ok(()), // clean keep-alive end
@@ -354,6 +390,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
                 let msg = format!("bad request: {e}\n");
                 http::write_response(&mut writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
                 shared.stats.served.bump();
+                observe(started);
                 return Ok(());
             }
             Err(e) => return Err(e), // timeout / reset: nothing to say
@@ -370,11 +407,13 @@ fn handle_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
                 let msg = format!("bad request: {e}\n");
                 http::write_response(&mut writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
                 shared.stats.served.bump();
+                observe(started);
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
         shared.stats.served.bump();
+        observe(started);
         match outcome {
             Outcome::KeepAlive if keep && !shared.shutting_down() => continue,
             _ => return Ok(()),
@@ -421,19 +460,43 @@ fn route_bodyless<W: Write>(
         ("GET", ["queries", name]) => explain_query(shared, name, writer),
         ("DELETE", ["queries", name]) => delete_query(shared, name, writer),
         ("GET", ["stats"]) => {
-            let registered = shared.registry.read().expect("registry poisoned").len();
+            let (registered, per_query) = per_query_evals(shared);
             let body = shared.stats.to_json(
                 registered,
                 shared.started.elapsed(),
                 shared.config.workers,
                 shared.config.queue_depth,
                 shared.config.max_buffer_bytes,
+                &per_query,
             );
             http::write_response(
                 writer,
                 200,
                 "OK",
                 &[("Content-Type", "application/json")],
+                body.as_bytes(),
+                false,
+            )?;
+            Ok(Outcome::KeepAlive)
+        }
+        ("GET", ["metrics"]) => {
+            let (registered, per_query) = per_query_evals(shared);
+            let queue_len = shared.queue.lock().expect("queue poisoned").conns.len();
+            let body = metrics::render(
+                &shared.metrics,
+                &shared.stats,
+                shared.started.elapsed(),
+                shared.config.workers,
+                queue_len,
+                shared.config.queue_depth,
+                registered,
+                &per_query,
+            );
+            http::write_response(
+                writer,
+                200,
+                "OK",
+                &[("Content-Type", "text/plain; version=0.0.4; charset=utf-8")],
                 body.as_bytes(),
                 false,
             )?;
@@ -455,6 +518,18 @@ fn route_bodyless<W: Write>(
             Ok(Outcome::Close)
         }
     }
+}
+
+/// Snapshot the registry as (size, sorted per-query eval counts) for
+/// `/stats` and `/metrics`.
+fn per_query_evals(shared: &Shared) -> (usize, Vec<(String, u64)>) {
+    let registry = shared.registry.read().expect("registry poisoned");
+    let mut per: Vec<(String, u64)> = registry
+        .iter()
+        .map(|(name, entry)| (name.clone(), entry.evals.get()))
+        .collect();
+    per.sort();
+    (registry.len(), per)
 }
 
 /// Valid registry names: short, path- and header-safe.
@@ -530,7 +605,16 @@ fn put_query<R: BufRead, W: Write>(
                 http::write_response(writer, 429, "Too Many Requests", &[], msg.as_bytes(), false)?;
                 return Ok(Outcome::KeepAlive);
             }
-            let replaced = registry.insert(name.to_string(), Arc::new(q)).is_some();
+            let entry = QueryEntry {
+                query: q,
+                evals: Counter::default(),
+            };
+            // Replacing a name keeps its eval count: the counter tracks
+            // the name's traffic, not one compilation's.
+            if let Some(old) = registry.get(name) {
+                entry.evals.add(old.evals.get());
+            }
+            let replaced = registry.insert(name.to_string(), Arc::new(entry)).is_some();
             drop(registry);
             let (status, reason) = if replaced {
                 (200, "OK")
@@ -576,7 +660,7 @@ fn explain_query<W: Write>(shared: &Shared, name: &str, writer: &mut W) -> io::R
         .cloned();
     match q {
         Some(q) => {
-            http::write_response(writer, 200, "OK", &[], q.explain().as_bytes(), false)?;
+            http::write_response(writer, 200, "OK", &[], q.query.explain().as_bytes(), false)?;
             Ok(Outcome::KeepAlive)
         }
         None => {
@@ -724,6 +808,14 @@ fn eval<R: BufRead, W: Write>(
     reader: &mut R,
     writer: &mut W,
 ) -> io::Result<Outcome> {
+    // One id follows the request end to end: the client's (when it is
+    // header-, log-, and JSON-safe) or a generated one. It rides on the
+    // response head, the trailers, and the server's log line.
+    let trace_id = match head.header("x-gcx-trace-id") {
+        Some(v) if gcx_obs::valid_trace_id(v) => v.to_string(),
+        _ => gcx_obs::trace_id(),
+    };
+    let traced: [(&str, &str); 1] = [("X-Gcx-Trace-Id", &trace_id)];
     if head.version != "HTTP/1.1" {
         // Streaming results require chunked transfer-encoding, which an
         // HTTP/1.0 peer must never be sent (RFC 7230 §3.3.1).
@@ -733,14 +825,14 @@ fn eval<R: BufRead, W: Write>(
             writer,
             505,
             "HTTP Version Not Supported",
-            &[],
+            &traced,
             msg.as_bytes(),
             true,
         )?;
         drain_rejected(head, reader);
         return Ok(Outcome::Close);
     }
-    let Some(q) = shared
+    let Some(entry) = shared
         .registry
         .read()
         .expect("registry poisoned")
@@ -749,7 +841,7 @@ fn eval<R: BufRead, W: Write>(
     else {
         shared.stats.client_errors.bump();
         let msg = format!("no query named {name:?} (register with PUT /queries/{name})\n");
-        http::write_response(writer, 404, "Not Found", &[], msg.as_bytes(), true)?;
+        http::write_response(writer, 404, "Not Found", &traced, msg.as_bytes(), true)?;
         drain_rejected(head, reader);
         return Ok(Outcome::Close);
     };
@@ -761,7 +853,7 @@ fn eval<R: BufRead, W: Write>(
         other => {
             shared.stats.client_errors.bump();
             let msg = format!("unknown engine {other:?} (gcx|projection|full)\n");
-            http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
+            http::write_response(writer, 400, "Bad Request", &traced, msg.as_bytes(), true)?;
             drain_rejected(head, reader);
             return Ok(Outcome::Close);
         }
@@ -774,7 +866,7 @@ fn eval<R: BufRead, W: Write>(
         Err(msg) => {
             shared.stats.client_errors.bump();
             let msg = format!("{msg}\n");
-            http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), true)?;
+            http::write_response(writer, 400, "Bad Request", &traced, msg.as_bytes(), true)?;
             drain_rejected(head, reader);
             return Ok(Outcome::Close);
         }
@@ -785,12 +877,16 @@ fn eval<R: BufRead, W: Write>(
         writer.flush()?;
     }
 
-    let success_head = b"HTTP/1.1 200 OK\r\n\
+    let started = Instant::now();
+    let success_head = format!(
+        "HTTP/1.1 200 OK\r\n\
         Content-Type: application/xml\r\n\
         Transfer-Encoding: chunked\r\n\
+        X-Gcx-Trace-Id: {trace_id}\r\n\
         Trailer: X-Gcx-Tokens, X-Gcx-Peak-Buffered-Nodes, X-Gcx-Peak-Buffer-Bytes, \
-        X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes\r\n\r\n"
-        .to_vec();
+        X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes, X-Gcx-Trace-Id\r\n\r\n"
+    )
+    .into_bytes();
 
     let expired = std::cell::Cell::new(false);
     let mut timed = DeadlineReader {
@@ -803,7 +899,7 @@ fn eval<R: BufRead, W: Write>(
     };
     let mut body = BodyReader::for_request(head, &mut timed)?;
     let mut out = DeferredBody::new(&mut *writer, success_head, COMMIT_THRESHOLD);
-    let result = eval_push(&q, &opts, &mut body, &mut out);
+    let result = eval_push(&entry.query, &opts, &mut body, &mut out);
     match result {
         Ok(report) => {
             let trailers: Vec<(&str, String)> = vec![
@@ -818,9 +914,22 @@ fn eval<R: BufRead, W: Write>(
                 ),
                 ("X-Gcx-Purged-Nodes", report.buffer.purged.to_string()),
                 ("X-Gcx-Output-Bytes", report.output_bytes.to_string()),
+                ("X-Gcx-Trace-Id", trace_id.clone()),
             ];
             out.finish(&trailers)?;
             shared.stats.record_eval(&report);
+            entry.evals.bump();
+            shared
+                .metrics
+                .eval_peak_buffer_bytes
+                .observe(report.buffer.peak_live_bytes);
+            eprintln!(
+                "gcx-server: eval query={name} trace={trace_id} status=200 \
+                 tokens={} peak_buffer_bytes={} dur_us={}",
+                report.tokens,
+                report.buffer.peak_live_bytes,
+                started.elapsed().as_micros()
+            );
             // `drain_input` read the body to its end, so the connection is
             // positioned at the next request.
             if body.fully_consumed() {
@@ -849,10 +958,16 @@ fn eval<R: BufRead, W: Write>(
             } else {
                 format!("{e}\n")
             };
+            eprintln!(
+                "gcx-server: eval query={name} trace={trace_id} status={status} \
+                 error={:?} dur_us={}",
+                msg.trim_end(),
+                started.elapsed().as_micros()
+            );
             match out.fail(msg.trim_end())? {
                 Some(w) => {
                     // Nothing was streamed yet: a clean, typed rejection.
-                    http::write_response(w, status, reason, &[], msg.as_bytes(), true)?;
+                    http::write_response(w, status, reason, &traced, msg.as_bytes(), true)?;
                 }
                 None => {
                     // Mid-stream failure: the chunked body was terminated

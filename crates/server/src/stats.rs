@@ -15,9 +15,16 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Decrement by one (gauges only).
+    /// Decrement by one, saturating at zero (gauges only). A plain
+    /// `fetch_sub` would wrap to `u64::MAX` if a decrement ever raced
+    /// ahead of its increment — a nonsense reading that `/stats` and
+    /// `/metrics` would then serve as fact.
     pub fn drop_one(&self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 
     /// Add `n`.
@@ -83,6 +90,8 @@ impl ServerStats {
     }
 
     /// The `GET /stats` document (hand-rolled JSON; no external deps).
+    /// Key order is part of the contract — the golden test below pins it,
+    /// so scripted consumers can diff documents textually.
     pub fn to_json(
         &self,
         registered_queries: usize,
@@ -90,17 +99,20 @@ impl ServerStats {
         workers: usize,
         queue_depth: usize,
         max_buffer_bytes: Option<u64>,
+        per_query: &[(String, u64)],
     ) -> String {
-        format!(
-            "{{\"uptime_s\":{:.1},\"workers\":{workers},\"queue_depth\":{queue_depth},\
+        let mut out = format!(
+            "{{\"uptime_s\":{:.1},\"uptime_secs\":{},\
+             \"workers\":{workers},\"queue_depth\":{queue_depth},\
              \"max_buffer_bytes\":{},\"queries\":{registered_queries},\
              \"queries_compiled\":{},\
              \"accepted\":{},\"served\":{},\"in_flight\":{},\
              \"rejected_busy\":{},\"rejected_buffer\":{},\
              \"client_errors\":{},\"server_errors\":{},\
              \"eval\":{{\"runs\":{},\"tokens\":{},\"purged_nodes\":{},\
-             \"output_bytes\":{},\"peak_buffer_bytes\":{}}}}}",
+             \"output_bytes\":{},\"peak_buffer_bytes\":{}}}",
             uptime.as_secs_f64(),
+            uptime.as_secs(),
             max_buffer_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
             self.queries_compiled.get(),
             self.accepted.get(),
@@ -115,7 +127,19 @@ impl ServerStats {
             self.eval_purged.get(),
             self.eval_output_bytes.get(),
             self.eval_peak_buffer_bytes.get(),
-        )
+        );
+        out.push_str(",\"per_query\":{");
+        for (i, (name, evals)) in per_query.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            gcx_obs::push_json_escaped(&mut out, name);
+            out.push_str("\":");
+            out.push_str(&evals.to_string());
+        }
+        out.push_str("}}");
+        out
     }
 }
 
@@ -132,7 +156,7 @@ mod tests {
         s.eval_peak_buffer_bytes.raise_to(100);
         s.eval_peak_buffer_bytes.raise_to(40);
         assert_eq!(s.eval_peak_buffer_bytes.get(), 100, "watermark never drops");
-        let json = s.to_json(3, Duration::from_secs(2), 4, 64, Some(1024));
+        let json = s.to_json(3, Duration::from_secs(2), 4, 64, Some(1024), &[]);
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         for key in [
             "\"accepted\":1",
@@ -140,10 +164,58 @@ mod tests {
             "\"queries\":3",
             "\"max_buffer_bytes\":1024",
             "\"peak_buffer_bytes\":100",
+            "\"uptime_secs\":2",
         ] {
             assert!(json.contains(key), "missing {key}: {json}");
         }
-        let unlimited = s.to_json(0, Duration::ZERO, 1, 1, None);
+        let unlimited = s.to_json(0, Duration::ZERO, 1, 1, None, &[]);
         assert!(unlimited.contains("\"max_buffer_bytes\":null"));
+    }
+
+    #[test]
+    fn drop_one_saturates_at_zero() {
+        let c = Counter::default();
+        c.drop_one();
+        assert_eq!(c.get(), 0, "underflow must clamp, not wrap to u64::MAX");
+        c.bump();
+        c.drop_one();
+        c.drop_one();
+        assert_eq!(c.get(), 0);
+    }
+
+    /// Golden key order: adding, removing, or reordering a `/stats` field
+    /// must be a deliberate change here too.
+    #[test]
+    fn stats_json_key_order_is_stable() {
+        let s = ServerStats::default();
+        let per_query = vec![
+            ("alpha".to_string(), 2u64),
+            ("q-weird.\"name".to_string(), 1u64),
+        ];
+        let json = s.to_json(2, Duration::from_secs(5), 4, 64, None, &per_query);
+        assert_eq!(
+            json,
+            "{\"uptime_s\":5.0,\"uptime_secs\":5,\"workers\":4,\"queue_depth\":64,\
+             \"max_buffer_bytes\":null,\"queries\":2,\"queries_compiled\":0,\
+             \"accepted\":0,\"served\":0,\"in_flight\":0,\
+             \"rejected_busy\":0,\"rejected_buffer\":0,\
+             \"client_errors\":0,\"server_errors\":0,\
+             \"eval\":{\"runs\":0,\"tokens\":0,\"purged_nodes\":0,\
+             \"output_bytes\":0,\"peak_buffer_bytes\":0},\
+             \"per_query\":{\"alpha\":2,\"q-weird.\\\"name\":1}}"
+        );
+    }
+
+    /// The hand-rolled JSON escaping must keep `/stats` parseable even if
+    /// a hostile name sneaks into the per-query map.
+    #[test]
+    fn per_query_names_are_json_escaped() {
+        let s = ServerStats::default();
+        let per_query = vec![("a\"b\\c\nd\u{1}e".to_string(), 7u64)];
+        let json = s.to_json(1, Duration::ZERO, 1, 1, None, &per_query);
+        assert!(
+            json.contains("\"a\\\"b\\\\c\\nd\\u0001e\":7"),
+            "escaped name missing: {json}"
+        );
     }
 }

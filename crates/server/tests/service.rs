@@ -658,6 +658,137 @@ fn http10_eval_is_rejected_not_garbled() {
 }
 
 #[test]
+fn metrics_exposition_is_valid_prometheus() {
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+    client::put_query(addr, "titles", TITLES).unwrap();
+    let r = client::eval(addr, "titles", DOC, &[], BodyMode::Sized).unwrap();
+    assert_eq!(r.status, 200);
+
+    // The response reaches the wire a hair before the worker folds its
+    // counters in; poll for the eval to land.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let text = loop {
+        let r = client::get(addr, "/metrics").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(
+            r.header("content-type")
+                .is_some_and(|v| v.contains("version=0.0.4")),
+            "exposition content type: {:?}",
+            r.header("content-type")
+        );
+        let text = String::from_utf8(r.body).unwrap();
+        if text.contains("gcx_eval_runs_total 1") {
+            break text;
+        }
+        assert!(std::time::Instant::now() < deadline, "eval never landed");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // Format validation: every line is a HELP/TYPE comment or a
+    // `name{labels} value` sample with a numeric value.
+    for line in text.lines() {
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line:?}");
+    }
+    for needle in [
+        "# TYPE gcx_request_duration_microseconds histogram",
+        "gcx_request_duration_microseconds_bucket{outcome=\"2xx\",le=\"+Inf\"}",
+        "gcx_query_evals_total{query=\"titles\"} 1",
+        "gcx_workers 4",
+        "gcx_admission_wait_microseconds_count",
+        "gcx_eval_peak_buffer_bytes_bucket",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // The /stats JSON grew per-query eval counts and integer uptime.
+    let r = client::get(addr, "/stats").unwrap();
+    let stats = String::from_utf8(r.body).unwrap();
+    assert!(
+        stats.contains("\"per_query\":{\"titles\":1}"),
+        "per-query counts in /stats: {stats}"
+    );
+    assert!(stats.contains("\"uptime_secs\":"), "{stats}");
+    h.shutdown();
+}
+
+#[test]
+fn trace_ids_flow_end_to_end() {
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+    client::put_query(addr, "titles", TITLES).unwrap();
+
+    // A well-formed client id is propagated verbatim: response header,
+    // trailer, both.
+    let r = client::eval(
+        addr,
+        "titles",
+        DOC,
+        &[("X-Gcx-Trace-Id", "req-abc.123")],
+        BodyMode::Sized,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-gcx-trace-id"), Some("req-abc.123"));
+    assert_eq!(r.trailer("x-gcx-trace-id"), Some("req-abc.123"));
+
+    // No client id: the server mints one (16 hex digits).
+    let r = client::eval(addr, "titles", DOC, &[], BodyMode::Sized).unwrap();
+    let minted = r
+        .header("x-gcx-trace-id")
+        .expect("generated id")
+        .to_string();
+    assert_eq!(minted.len(), 16, "{minted}");
+    assert!(minted.bytes().all(|b| b.is_ascii_hexdigit()), "{minted}");
+    assert_eq!(r.trailer("x-gcx-trace-id"), Some(minted.as_str()));
+
+    // A malformed id (header-splitting material) is replaced, never echoed.
+    let r = client::eval(
+        addr,
+        "titles",
+        DOC,
+        &[("X-Gcx-Trace-Id", "bad id?")],
+        BodyMode::Sized,
+    )
+    .unwrap();
+    let replaced = r.header("x-gcx-trace-id").expect("replacement id");
+    assert_ne!(replaced, "bad id?");
+    assert!(
+        replaced
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"._-".contains(&b)),
+        "{replaced}"
+    );
+
+    // Error responses carry the id too.
+    let r = client::eval(
+        addr,
+        "ghost",
+        DOC,
+        &[("X-Gcx-Trace-Id", "lost-req-7")],
+        BodyMode::Sized,
+    )
+    .unwrap();
+    assert_eq!(r.status, 404);
+    assert_eq!(r.header("x-gcx-trace-id"), Some("lost-req-7"));
+    h.shutdown();
+}
+
+#[test]
 fn malformed_body_framing_gets_a_400_not_a_reset() {
     use std::io::Read;
 

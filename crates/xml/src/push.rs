@@ -178,6 +178,9 @@ pub struct PushTokenizer {
     pending: Pending,
     /// Resume point of the current partial token's terminator scan.
     hint: Option<ScanHint>,
+    /// High watermark of the unread window (spillover carried across
+    /// chunk boundaries plus in-flight chunk bytes).
+    window_peak: usize,
 }
 
 impl Default for PushTokenizer {
@@ -210,6 +213,7 @@ impl PushTokenizer {
             done: false,
             pending: Pending::None,
             hint: None,
+            window_peak: 0,
         }
     }
 
@@ -233,6 +237,13 @@ impl PushTokenizer {
     /// True once [`PushTokenizer::finish_input`] has been called.
     pub fn input_finished(&self) -> bool {
         self.eof
+    }
+
+    /// High watermark of the unread window over the tokenizer's lifetime —
+    /// the sans-IO core's true input-side memory bound (partial-token
+    /// spillover plus the largest not-yet-tokenized chunk tail).
+    pub fn window_peak(&self) -> u64 {
+        self.window_peak as u64
     }
 
     // ---- feeding ----------------------------------------------------------
@@ -267,6 +278,7 @@ impl PushTokenizer {
     pub fn commit(&mut self, n: usize) {
         debug_assert!(self.hi + n <= self.buf.len());
         self.hi += n;
+        self.window_peak = self.window_peak.max(self.hi - self.lo);
     }
 
     /// Declare the end of input: no more bytes will be fed. The next

@@ -25,6 +25,14 @@ use gcx_xmark::{microdoc, microdoc_article_heavy, microdoc_book_heavy, MicroKind
 fn oracle(q: &CompiledQuery, doc: &[u8]) -> (Vec<u8>, RunReport) {
     let mut out = Vec::new();
     let report = gcx::run(q, &EngineOptions::gcx(), doc, &mut out).expect("oracle run");
+    // The blocking wrapper drives the session in 64KB reads straight into
+    // the tokenizer window: feed_calls counts exactly those chunks, and a
+    // single-chunk run has no boundary to spill a partial token across.
+    let chunks = (doc.len() as u64).div_ceil(64 * 1024);
+    assert_eq!(report.feed_calls, chunks, "feed_calls != 64KB chunks read");
+    if chunks <= 1 {
+        assert_eq!(report.max_pending_bytes, 0, "single-chunk run cannot spill");
+    }
     (out, report)
 }
 
@@ -40,6 +48,13 @@ fn run_split(q: &CompiledQuery, doc: &[u8], splits: &[usize]) -> (Vec<u8>, RunRe
     }
     session.feed(&doc[from..]).expect("final feed");
     let report = session.finish().expect("finish");
+    // Every feed call counts, including empty chunks from duplicate cuts
+    // (the session accepted them; "nothing arrived" is itself an event).
+    assert_eq!(
+        report.feed_calls,
+        splits.len() as u64 + 1,
+        "feed_calls must count exactly the chunks fed"
+    );
     let mut out = Vec::new();
     session.take_output(&mut out).expect("drain");
     (out, report)
@@ -188,6 +203,30 @@ fn all_paper_queries_over_xmark_at_arbitrary_boundaries() {
             let splits = rng.splits(doc.len(), 9);
             let got = run_split(&q, &doc, &splits);
             assert_equiv(&format!("{name} random {round}"), &want, &got);
+        }
+    }
+}
+
+#[test]
+fn unsplit_runs_carry_no_spillover() {
+    // One feed of the whole document: exactly one feed call, and the
+    // tokenizer never holds a partial token across a boundary (there is
+    // no boundary), so the spillover watermark must stay zero.
+    let queries: Vec<CompiledQuery> = bib_queries()
+        .iter()
+        .map(|t| CompiledQuery::compile(t).expect("compile"))
+        .collect();
+    for (di, doc) in microdocs().iter().enumerate() {
+        let doc = doc.as_bytes();
+        for (qi, q) in queries.iter().enumerate() {
+            let want = oracle(q, doc);
+            let got = run_split(q, doc, &[]);
+            assert_equiv(&format!("doc {di} query {qi} unsplit"), &want, &got);
+            assert_eq!(got.1.feed_calls, 1, "doc {di} query {qi}: one chunk fed");
+            assert_eq!(
+                got.1.max_pending_bytes, 0,
+                "doc {di} query {qi}: unsplit run must not spill"
+            );
         }
     }
 }
