@@ -76,6 +76,21 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         None => 42,
     };
     let out_path = flag_value(&flags, "--out").unwrap_or("BENCH_throughput.json");
+    // Perf regression gate: `--smoke` asserts a Q8 throughput floor so CI
+    // fails if the hash-join rewrite (or the VM hot path under it) regresses
+    // back toward the O(people x auctions) rescan cliff. Unoptimized Q8 runs
+    // well under 10 MB/s even on a 1MB smoke doc; the joined plan clears
+    // 20 MB/s with a wide margin on any release build.
+    let min_q8_mbs: f64 = match flag_value(&flags, "--min-q8-mbs") {
+        Some(v) => v.parse().map_err(|_| "--min-q8-mbs must be a number")?,
+        None => {
+            if smoke {
+                20.0
+            } else {
+                0.0
+            }
+        }
+    };
 
     // Generate the document in memory: benchmark numbers must not include
     // disk I/O variance.
@@ -242,11 +257,24 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         .and_then(|()| f.write_all(b"\n"))
         .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     eprintln!("wrote {out_path}");
-    if outputs_match {
-        Ok(())
-    } else {
-        Err("batch and standalone outputs differ".into())
+    if !outputs_match {
+        return Err("batch and standalone outputs differ".into());
     }
+    if min_q8_mbs > 0.0 {
+        let q8 = singles
+            .iter()
+            .find(|s| s.name == "Q8")
+            .ok_or("Q8 missing from the sweep")?;
+        let q8_mbs = doc_mb / (q8.elapsed_ms / 1e3);
+        if q8_mbs < min_q8_mbs {
+            return Err(format!(
+                "perf gate: Q8 ran at {q8_mbs:.1} MB/s, below the {min_q8_mbs:.1} MB/s floor \
+                 (join rewrite regressed?)"
+            ));
+        }
+        eprintln!("perf gate: Q8 {q8_mbs:.1} MB/s >= {min_q8_mbs:.1} MB/s floor");
+    }
+    Ok(())
 }
 
 // ---- `gcx bench obs-overhead`: the cost of telemetry ------------------------

@@ -59,14 +59,14 @@ fn print_usage() {
 USAGE:
   gcx run     <query.xq | -e QUERY> <input.xml> [--engine gcx|projection|full|dom]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
-              [--obs] [--trace FILE]
+              [--obs] [--trace FILE] [--no-opt]
   gcx multi   <batch.xq | --xmark> <input.xml> [--out-dir DIR]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
-              [--obs] [--trace FILE]
+              [--obs] [--trace FILE] [--no-opt]
   gcx serve   [--addr HOST:PORT] [--workers N] [--queue N]
               [--max-buffer-bytes N] [--read-timeout-secs S]
-              [--max-request-secs S]
-  gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke]
+              [--max-request-secs S] [--no-opt]
+  gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke] [--min-q8-mbs N]
               [--out FILE]
   gcx bench   serve [--mb N] [--clients N] [--seed S] [--smoke] [--out FILE]
   gcx bench   obs-overhead [--mb N] [--iters K] [--seed S] [--smoke]
@@ -111,7 +111,9 @@ run with a typed error, never an abort. Suffixes k/m/g are accepted.
 `bench throughput` sweeps the 11 paper queries over a generated XMark
 document — standalone and batched — and writes BENCH_throughput.json
 (MB/s, tokens/s, peak buffer, allocation counts). `--smoke` runs a small
-1MB document once (CI).
+1MB document once (CI) and enforces a Q8 throughput floor (20 MB/s by
+default, `--min-q8-mbs N` to override) so a hash-join regression fails
+the build instead of shipping a quadratic plan.
 
 `bench serve` starts an in-process service, registers the 11 paper
 queries and hammers it with N concurrent clients; every response is
@@ -125,22 +127,38 @@ and telemetry on — asserts outputs and buffer peaks are identical in
 both modes, and records the wall-clock delta. The same comparison is
 embedded in BENCH_throughput.json under `obs_overhead`.
 
+`--no-opt` (run, multi, serve) skips the gcx-ir plan optimizer (step
+fusion, shared path prefixes, exists caching, hash joins) and executes
+the direct lowering instead. Outputs, token counts and buffer peaks are
+identical either way (pinned by the optimizer differential suite); the
+flag exists for benchmarking and as a diagnostic escape hatch.
+`--stats-json` reports what the optimizer did under `opt_passes` /
+`instructions_before` / `instructions_after`.
+
 `explain` prints the full compilation report: projection paths and
-roles, the rewritten query with signOff statements, and the lowered
+roles, the rewritten query with signOff statements, the unoptimized
 gcx-ir program listing (instructions, conditions, path plans, step
-table)."
+table), the optimizer's per-pass rewrite summary with before/after
+cost estimates, and the optimized program the engine executes."
     );
 }
 
 /// Compile-time stats of one query as JSON object members (no braces):
-/// the pipeline's wall-clock cost and the lowered program's sizes.
+/// the pipeline's wall-clock cost, the executed program's sizes, and
+/// what the plan optimizer did (`opt_passes` is `[]` under `--no-opt`).
 fn compile_members(q: &CompiledQuery) -> String {
     let st = q.program.stats();
     format!(
-        "\"compile_micros\":{},{}",
+        "\"compile_micros\":{},{},\"instructions_before\":{},\"instructions_after\":{},\
+         \"opt_passes\":{}",
         q.compile_micros,
         // Inline the program stats object's members.
         st.to_json().trim_start_matches('{').trim_end_matches('}'),
+        q.unoptimized.stats().instructions,
+        st.instructions,
+        q.opt
+            .as_ref()
+            .map_or_else(|| "[]".to_string(), |o| o.passes_json()),
     )
 }
 
@@ -254,12 +272,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let stats_json = flags.contains(&"--stats-json");
     let indent = flags.contains(&"--indent");
     let obs = flags.contains(&"--obs");
+    let no_opt = flags.contains(&"--no-opt");
     let trace_path = take_trace(&flags)?;
 
     // One compiled artifact for every engine: the DOM oracle interprets
     // the normalized AST out of the same `CompiledQuery` the streaming
     // configurations execute the lowered program from.
-    let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
+    let q = CompiledQuery::compile_opts(&query_text, !no_opt).map_err(|e| e.to_string())?;
 
     if engine == "dom" {
         if obs || trace_path.is_some() {
@@ -390,9 +409,13 @@ fn cmd_multi(args: &[String]) -> Result<(), String> {
         .position(|f| *f == "--out-dir")
         .and_then(|i| flags.get(i + 1).copied());
 
+    let no_opt = flags.contains(&"--no-opt");
     let mut queries = Vec::with_capacity(texts.len());
     for (name, text) in &texts {
-        queries.push(CompiledQuery::compile(text).map_err(|e| format!("{name} failed: {e}"))?);
+        queries.push(
+            CompiledQuery::compile_opts(text, !no_opt)
+                .map_err(|e| format!("{name} failed: {e}"))?,
+        );
     }
     let mut opts = gcx_multi::BatchOptions::default();
     if flags.contains(&"--indent") {
@@ -492,6 +515,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .ok_or("--queue must be a positive number")?;
     }
     config.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
+    config.optimize = !flags.contains(&"--no-opt");
     if let Some(v) = flag_value("--read-timeout-secs") {
         let secs: u64 = v
             .parse()

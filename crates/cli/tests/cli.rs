@@ -94,8 +94,16 @@ fn explain_prints_roles() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("r2: /bib/book"), "{text}");
     assert!(text.contains("signOff($b, r2)"), "{text}");
-    // The lowered program listing is part of the report.
-    assert!(text.contains("== Compiled program (gcx-ir) =="), "{text}");
+    // The report carries both the direct lowering and the optimized
+    // program, with the optimizer's per-pass diff between them.
+    assert!(
+        text.contains("== Compiled program (gcx-ir, unoptimized) =="),
+        "{text}"
+    );
+    assert!(text.contains("== Optimizer passes =="), "{text}");
+    assert!(text.contains("step-fusion"), "{text}");
+    assert!(text.contains("cost estimate:"), "{text}");
+    assert!(text.contains("== Optimized program =="), "{text}");
     assert!(text.contains("for $b in p"), "{text}");
 }
 

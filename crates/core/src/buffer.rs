@@ -453,6 +453,19 @@ impl BufferTree {
         }
     }
 
+    /// True if `id` still names a live node: its slot is in use and the
+    /// generation matches (slot reuse bumps the generation, so an id
+    /// held across a purge of its node comes back false rather than
+    /// aliasing the slot's new occupant). The join executor checks this
+    /// before dereferencing index entries recorded on an earlier
+    /// execution.
+    #[inline]
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.idx as usize)
+            .is_some_and(|n| n.in_use && n.gen == id.gen)
+    }
+
     #[inline]
     fn node(&self, id: NodeId) -> &Node {
         let n = &self.nodes[id.idx as usize];

@@ -312,6 +312,21 @@ impl PathCursor {
         }
     }
 
+    /// After [`CursorState::NeedInput`]: the scan the cursor is blocked
+    /// on, as `(parent, last-examined-child)`. The cursor can only make
+    /// progress once `parent` gains a child after `last` or closes — the
+    /// engine uses this to batch token application between suspension
+    /// checks instead of re-entering the evaluator per token. Both nodes
+    /// are pinned by the blocked frame, so the hint stays valid across
+    /// garbage collection.
+    pub fn wait_hint(&self) -> Option<(NodeId, Option<NodeId>)> {
+        let f = self.stack.last()?;
+        match f.kind {
+            FrameKind::ChildScan { last } | FrameKind::DescScan { last } => Some((f.node, last)),
+            _ => None,
+        }
+    }
+
     fn push(&mut self, buf: &mut BufferTree, node: NodeId, step: usize) {
         buf.pin(node);
         self.stack.push(Frame {

@@ -7,7 +7,7 @@ use crate::eval::{Vm, VmStatus};
 use crate::obs::ObsReport;
 use crate::session::EvalSession;
 use crate::stream::{BufferFeed, Timeline};
-use gcx_ir::Program;
+use gcx_ir::{OptReport, Program};
 use gcx_projection::{analyze, Analysis};
 use gcx_query::Query;
 use gcx_xml::{WriterOptions, XmlWriter};
@@ -30,10 +30,18 @@ pub struct CompiledQuery {
     pub query: Query,
     /// Roles, projection paths and the rewritten query with signOffs.
     pub analysis: Analysis,
-    /// The lowered program the evaluator executes (shared, immutable).
+    /// The program the evaluator executes (shared, immutable). This is
+    /// the optimized program unless compilation disabled the optimizer.
     pub program: Arc<Program>,
+    /// The direct lowering, before any optimizer pass (kept for
+    /// explain's before/after listing; identical to `program` when the
+    /// optimizer was disabled).
+    pub unoptimized: Arc<Program>,
+    /// What the optimizer did (None when it was disabled).
+    pub opt: Option<OptReport>,
     /// Wall-clock cost of the whole compilation pipeline
-    /// (parse → normalize → analyze/rewrite → lower), in microseconds.
+    /// (parse → normalize → analyze/rewrite → lower → optimize), in
+    /// microseconds.
     pub compile_micros: u64,
 }
 
@@ -46,17 +54,32 @@ const _: () = {
 
 impl CompiledQuery {
     /// Run the full compilation pipeline on query text:
-    /// parse → normalize → analyze/rewrite → **lower**.
+    /// parse → normalize → analyze/rewrite → lower → **optimize**.
     pub fn compile(text: &str) -> Result<CompiledQuery, EngineError> {
+        CompiledQuery::compile_opts(text, true)
+    }
+
+    /// [`CompiledQuery::compile`] with the plan optimizer switchable
+    /// (`gcx ... --no-opt`); with `optimize` off the executed program is
+    /// the direct lowering.
+    pub fn compile_opts(text: &str, optimize: bool) -> Result<CompiledQuery, EngineError> {
         let started = Instant::now();
         let query = gcx_query::compile(text)?;
         let analysis = analyze(&query);
-        let program = Arc::new(Program::compile(&query, &analysis));
+        let unoptimized = Arc::new(Program::compile(&query, &analysis));
+        let (program, opt) = if optimize {
+            let (optimized, report) = gcx_ir::optimize(&unoptimized);
+            (Arc::new(optimized), Some(report))
+        } else {
+            (Arc::clone(&unoptimized), None)
+        };
         let compile_micros = started.elapsed().as_micros() as u64;
         Ok(CompiledQuery {
             query,
             analysis,
             program,
+            unoptimized,
+            opt,
             compile_micros,
         })
     }
@@ -91,8 +114,23 @@ impl CompiledQuery {
         out.push_str("\n== Rewritten query with signOff statements ==\n");
         out.push_str(&self.analysis.rewritten.to_string());
         out.push('\n');
-        out.push_str("\n== Compiled program (gcx-ir) ==\n");
-        out.push_str(&self.program.listing());
+        out.push_str("\n== Compiled program (gcx-ir, unoptimized) ==\n");
+        out.push_str(&self.unoptimized.listing());
+        if let Some(opt) = &self.opt {
+            out.push_str("\n== Optimizer passes ==\n");
+            for p in &opt.passes {
+                out.push_str(&format!(
+                    "{:<18} {:>3} change(s)  {}\n",
+                    p.name, p.changes, p.detail
+                ));
+            }
+            out.push_str(&format!(
+                "instructions: {} -> {}, cost estimate: {} -> {}\n",
+                opt.before.instructions, opt.after.instructions, opt.cost_before, opt.cost_after
+            ));
+            out.push_str("\n== Optimized program ==\n");
+            out.push_str(&self.program.listing());
+        }
         out
     }
 }
@@ -341,13 +379,22 @@ pub fn run_with_feed<F: BufferFeed, W: Write>(
         match vm.resume(&mut buf, &symbols, &mut out)? {
             VmStatus::Done => break,
             VmStatus::NeedInput => {
-                // One `nextNode()` request: apply one event, then enforce
-                // the buffer byte budget. Every append funnels through
-                // here, so the budget check lives in exactly one place.
-                let more = feed.advance(&mut buf, &mut symbols)?;
-                buf.check_limit()?;
-                if !more {
-                    vm.set_input_exhausted();
+                // A `nextNode()` request: apply feed events until the
+                // machine's recorded wait is satisfiable (resuming any
+                // earlier is a provable no-op — see [`Vm::wait_satisfied`]).
+                // The buffer byte budget is enforced per event: every
+                // append funnels through here, so the budget check lives
+                // in exactly one place and batching cannot defer it.
+                loop {
+                    let more = feed.advance(&mut buf, &mut symbols)?;
+                    buf.check_limit()?;
+                    if !more {
+                        vm.set_input_exhausted();
+                        break;
+                    }
+                    if vm.wait_satisfied(&buf) {
+                        break;
+                    }
                 }
             }
         }

@@ -80,6 +80,15 @@ enum StepOutcome {
 /// control state: pushing schedules work (last pushed runs first), and a
 /// frame that blocks pushes itself back before the machine suspends — so
 /// `resume` is restartable at every suspension point.
+///
+/// Loop frames do **not** own their [`PathCursor`]: cursors live on the
+/// [`Vm::cursors`] side stack, LIFO-parallel to the loop frames that
+/// opened them (an inner loop always runs to completion before its outer
+/// loop pops, so the top of the cursor stack is always the running
+/// loop's cursor). That keeps every `Task` a couple of words, so the
+/// per-iteration re-push of a loop frame moves no cursor state — the
+/// hot-loop cost that made the sans-IO conversion ~10-15% slower than
+/// the old recursion on scan-bound queries.
 enum Task {
     /// Dispatch one instruction.
     Exec(InstrId),
@@ -92,15 +101,15 @@ enum Task {
         then_branch: InstrId,
         else_branch: InstrId,
     },
-    /// A for-loop mid-iteration; the cursor pins its scan position.
+    /// A for-loop mid-iteration; its cursor (top of the cursor stack)
+    /// pins its scan position.
     ForLoop {
-        cursor: PathCursor,
         var: VarId,
         role: RoleId,
         body: InstrId,
     },
     /// An output path mid-iteration.
-    OutputLoop { cursor: PathCursor, attr: AttrPlan },
+    OutputLoop { attr: AttrPlan },
     /// Wait for `node`'s end tag, then serialize its subtree.
     EmitClosed(NodeId),
     /// Evaluate a condition, pushing its result on the bool stack.
@@ -111,8 +120,13 @@ enum Task {
     AndRhs(CondId),
     /// Short-circuit `or`: evaluate the rhs only if the lhs failed.
     OrRhs(CondId),
-    /// An `exists` probe mid-iteration.
-    ExistsLoop { cursor: PathCursor, attr: AttrPlan },
+    /// An `exists` probe mid-iteration. `cache` carries the memo slot
+    /// and resolved context of a [`CondIr::CachedExists`] so the answer
+    /// is stored when the probe completes.
+    ExistsLoop {
+        attr: AttrPlan,
+        cache: Option<(u32, NodeId)>,
+    },
     /// Compare the two value vectors on top of the value stack.
     CompareFinish(CmpOp),
     /// Apply a string predicate to the two value vectors on top.
@@ -120,7 +134,7 @@ enum Task {
     /// Atomize an operand onto the value stack.
     Operand(OperandId),
     /// Collect a path's atomized values into the top value vector.
-    CollectLoop { cursor: PathCursor, attr: AttrPlan },
+    CollectLoop { attr: AttrPlan },
     /// Wait for `node`'s end tag, then push its string value.
     CollectClosed(NodeId),
     /// Fold the top value vector through an aggregate and emit it.
@@ -138,12 +152,26 @@ enum Task {
         ctx: NodeId,
         mult: u32,
     },
+    /// A hash join's first execution mid-iteration: runs the original
+    /// loop (same cursor, same operand order, same branching) while
+    /// teeing key values into the join index.
+    JoinBuildLoop { slot: u32 },
+    /// Finish one build iteration: record the entry's keys, then branch
+    /// exactly as the original `if (key = probe)` would.
+    JoinBuildFinish { slot: u32, entry: u32 },
+    /// Probe dispatch: the probe operand's values are on the value
+    /// stack; compute the candidate entries (or divert to the fallback
+    /// loop if any candidate went stale).
+    JoinProbe { slot: u32 },
+    /// Iterate the candidate entries in build (= document) order,
+    /// binding the join variable with its recorded multiplicity.
+    JoinProbeLoop { slot: u32, pos: u32 },
 }
 
 /// Display names of the task-frame kinds, parallel to [`task_kind`].
 /// Frame timing attributes evaluation cost by kind — e.g. the Q8
 /// allocation cliff shows up as `CollectLoop`/`CollectClosed` dominance.
-const TASK_KIND_NAMES: [&str; 21] = [
+const TASK_KIND_NAMES: [&str; 25] = [
     "Exec",
     "Seq",
     "EndElement",
@@ -165,6 +193,10 @@ const TASK_KIND_NAMES: [&str; 21] = [
     "WaitClosed",
     "DrainInput",
     "SignoffExec",
+    "JoinBuildLoop",
+    "JoinBuildFinish",
+    "JoinProbe",
+    "JoinProbeLoop",
 ];
 
 /// Index of a frame's kind in [`TASK_KIND_NAMES`].
@@ -191,14 +223,100 @@ fn task_kind(t: &Task) -> usize {
         Task::WaitClosed(_) => 18,
         Task::DrainInput => 19,
         Task::SignoffExec { .. } => 20,
+        Task::JoinBuildLoop { .. } => 21,
+        Task::JoinBuildFinish { .. } => 22,
+        Task::JoinProbe { .. } => 23,
+        Task::JoinProbeLoop { .. } => 24,
     }
 }
+
+/// Frame-timing sample rate: the clock is read around one frame in
+/// `TIMING_SAMPLE` per kind (always including each kind's first frame),
+/// and reported nanos are scaled back up by the exact frame counts.
+/// Counting stays exact; only the time attribution is sampled. At 139M
+/// frames (unoptimized Q8) the old read-the-clock-every-frame scheme
+/// cost ~2.4x with telemetry on; sampling bounds it to well under 10%.
+const TIMING_SAMPLE: u64 = 64;
 
 /// Per-kind frame timing (telemetry only; boxed off the hot path).
 #[derive(Debug)]
 struct TaskTiming {
     counts: [u64; TASK_KIND_NAMES.len()],
+    sampled: [u64; TASK_KIND_NAMES.len()],
     nanos: [u64; TASK_KIND_NAMES.len()],
+}
+
+/// What the suspended machine is waiting for. Recorded at every
+/// suspension site so the driver can apply buffered stream events in a
+/// tight loop and only re-enter [`Vm::resume`] once the wait is
+/// satisfiable — the conditions below are exactly the conditions under
+/// which the blocked frame would do anything at all, so skipped resumes
+/// are provable no-ops and outputs/peaks are bit-identical to resuming
+/// per token.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Wait {
+    /// No recorded wait: resume after every event (always correct).
+    Any,
+    /// A cursor scan is blocked at `parent`'s last buffered child:
+    /// progress needs a following sibling (a first child when `after`
+    /// is `None`) or `parent`'s end tag. Both nodes are pinned by the
+    /// blocked cursor frame.
+    Sibling {
+        parent: NodeId,
+        after: Option<NodeId>,
+    },
+    /// Blocked on `node`'s end tag (emit/collect/signOff waits). The
+    /// node is referenced by the blocked frame and kept alive by its
+    /// role instances or an enclosing cursor pin.
+    Closed(NodeId),
+    /// Draining to end of input (query-end signOff anchor).
+    Eof,
+}
+
+/// Which lifecycle stage a [`JoinState`] is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum JoinPhase {
+    /// Never executed: the first execution builds the index.
+    #[default]
+    Empty,
+    /// The build pass is on the task stack (possibly suspended).
+    Building,
+    /// Index complete: the build cursor ran to `Done`, so the scanned
+    /// region is closed and no further match can ever arrive — later
+    /// executions probe instead of re-scanning.
+    Built,
+}
+
+/// Runtime state of one [`gcx_ir::JoinPlan`]: the key index built by
+/// mirroring the loop's first execution, consulted by every later one.
+/// Entry indices are assigned in build = scan = document order, so a
+/// sorted candidate list reproduces the original iteration order.
+#[derive(Debug, Default)]
+struct JoinState {
+    phase: JoinPhase,
+    /// Matched binding nodes of the build pass, in scan order.
+    entries: Vec<NodeId>,
+    /// Numeric key values (canonicalized f64 bits; NaN excluded — it
+    /// compares equal to nothing) → entry indices.
+    num_bucket: HashMap<u64, Vec<u32>, FxBuildHasher>,
+    /// Full untrimmed key text → (entry, key-is-numeric). Consulted by
+    /// every probe: a numeric probe string-compares against non-numeric
+    /// keys, a non-numeric probe string-compares against all keys —
+    /// exactly [`compare_existential`]'s pair rule.
+    text_bucket: HashMap<String, Vec<(u32, bool)>, FxBuildHasher>,
+    /// Candidate entries of the current probe (sorted, deduped).
+    cands: Vec<u32>,
+}
+
+/// `f64` bits with `-0.0` folded onto `+0.0`, so numerically equal
+/// non-NaN keys hash identically.
+#[inline]
+fn canon_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
 }
 
 /// The resumable executor: continuation stack + environment + pools. Owns
@@ -211,11 +329,24 @@ pub(crate) struct Vm {
     pub execute_signoffs: bool,
     /// The continuation stack; empty = program complete.
     tasks: Vec<Task>,
+    /// Live path cursors, LIFO-parallel to the cursor-owning loop frames
+    /// in `tasks` (see the [`Task`] docs).
+    cursors: Vec<PathCursor>,
     /// Condition results in evaluation order.
     bools: Vec<bool>,
     /// Operand value vectors in evaluation order.
     vals: Vec<Vec<Value>>,
     env: Vec<Option<Binding>>,
+    /// Per-[`gcx_ir::JoinPlan`] runtime state, indexed by join slot.
+    joins: Vec<JoinState>,
+    /// Memoized `exists` answers per [`CondIr::CachedExists`] slot,
+    /// tagged with the resolved context node (generation-tagged, so a
+    /// recycled buffer slot can never alias a cached answer).
+    exists_cache: Vec<Option<(NodeId, bool)>>,
+    /// What the machine was waiting for when `resume` last returned
+    /// [`VmStatus::NeedInput`]; drivers batch event application against
+    /// it via [`Vm::wait_satisfied`].
+    wait: Wait,
     /// Per-path shared step slices, sliced once at startup from the
     /// program's step arena (symbols are valid verbatim because the run's
     /// table was seeded from the program's pre-interned table).
@@ -247,13 +378,21 @@ impl Vm {
             .collect();
         let env = vec![None; program.n_vars()];
         let root = program.root();
+        let joins = (0..program.join_count())
+            .map(|_| JoinState::default())
+            .collect();
+        let exists_cache = vec![None; program.exists_slots() as usize];
         Vm {
             program,
             execute_signoffs,
             tasks: vec![Task::Exec(root)],
+            cursors: Vec::new(),
             bools: Vec::new(),
             vals: Vec::new(),
             env,
+            joins,
+            exists_cache,
+            wait: Wait::Any,
             path_steps,
             value_scratch: String::new(),
             cursor_pool: CursorPool::default(),
@@ -264,15 +403,19 @@ impl Vm {
         }
     }
 
-    /// Turn on per-frame timing (an `Instant` pair around every frame).
+    /// Turn on per-frame timing (exact counts; clock reads sampled at
+    /// [`TIMING_SAMPLE`]).
     pub(crate) fn enable_timing(&mut self) {
         self.timing = Some(Box::new(TaskTiming {
             counts: [0; TASK_KIND_NAMES.len()],
+            sampled: [0; TASK_KIND_NAMES.len()],
             nanos: [0; TASK_KIND_NAMES.len()],
         }));
     }
 
-    /// Drain the recorded frame timing, hottest kind first.
+    /// Drain the recorded frame timing, hottest kind first. Sampled
+    /// nanos are scaled back up by the exact frame counts, so the
+    /// reported total estimates full attribution.
     pub(crate) fn take_task_obs(&mut self) -> Vec<TaskObs> {
         let Some(t) = self.timing.take() else {
             return Vec::new();
@@ -284,7 +427,11 @@ impl Vm {
             .map(|(i, &name)| TaskObs {
                 name,
                 count: t.counts[i],
-                nanos: t.nanos[i],
+                nanos: if t.sampled[i] > 0 {
+                    ((t.nanos[i] as u128) * (t.counts[i] as u128) / (t.sampled[i] as u128)) as u64
+                } else {
+                    0
+                },
             })
             .collect();
         v.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.name.cmp(b.name)));
@@ -297,17 +444,50 @@ impl Vm {
         self.input_exhausted = true;
     }
 
-    /// Suspend on missing input — unless the input is already exhausted,
-    /// in which case the wait can never be satisfied (a feed that closed
-    /// the virtual root unblocks every cursor, so this is unreachable for
-    /// well-formed feeds; fail rather than spin).
-    fn need_input(&self) -> Result<StepOutcome, EngineError> {
+    /// Suspend on missing input, recording what would unblock us — unless
+    /// the input is already exhausted, in which case the wait can never
+    /// be satisfied (a feed that closed the virtual root unblocks every
+    /// cursor, so this is unreachable for well-formed feeds; fail rather
+    /// than spin).
+    fn need_input(&mut self, wait: Wait) -> Result<StepOutcome, EngineError> {
         if self.input_exhausted {
             Err(EngineError::Internal(
                 "input exhausted with an open buffered node".into(),
             ))
         } else {
+            self.wait = wait;
             Ok(StepOutcome::NeedInput)
+        }
+    }
+
+    /// Suspend on the top cursor's blocked scan position (the common
+    /// loop-frame case); falls back to [`Wait::Any`] if the cursor has
+    /// no hint.
+    fn need_input_cursor(&mut self) -> Result<StepOutcome, EngineError> {
+        let wait = match self.cursors.last().and_then(|c| c.wait_hint()) {
+            Some((parent, after)) => Wait::Sibling { parent, after },
+            None => Wait::Any,
+        };
+        self.need_input(wait)
+    }
+
+    /// Would resuming now let the suspended frame make progress? Used by
+    /// drivers to apply buffered stream events in a tight loop between
+    /// `resume` calls: while the recorded wait is unsatisfied, the
+    /// blocked frame would re-check its condition and suspend again
+    /// without any other effect, so skipping those resumes is exact.
+    pub(crate) fn wait_satisfied(&self, buf: &BufferTree) -> bool {
+        match self.wait {
+            Wait::Any => true,
+            Wait::Eof => self.input_exhausted,
+            Wait::Closed(n) => buf.is_closed(n),
+            Wait::Sibling { parent, after } => {
+                buf.is_closed(parent)
+                    || match after {
+                        None => buf.first_child(parent).is_some(),
+                        Some(c) => buf.next_sibling(c).is_some(),
+                    }
+            }
         }
     }
 
@@ -333,21 +513,22 @@ impl Vm {
         Rc::clone(&self.path_steps[path.index()])
     }
 
-    /// A cursor over `path` from its resolved context node.
-    fn open_cursor(
-        &mut self,
-        path: PathId,
-        buf: &mut BufferTree,
-    ) -> Result<PathCursor, EngineError> {
+    /// Open a cursor over `path` from its resolved context node and push
+    /// it onto the cursor side stack; the caller pushes the matching
+    /// loop frame on the task stack.
+    fn open_cursor(&mut self, path: PathId, buf: &mut BufferTree) -> Result<(), EngineError> {
         let plan = self.program.path(path);
         let (ctx, _) = self.resolve_root(plan.root)?;
         let steps = self.steps_of(path);
-        Ok(PathCursor::new_pooled(
-            buf,
-            ctx,
-            steps,
-            &mut self.cursor_pool,
-        ))
+        let cursor = PathCursor::new_pooled(buf, ctx, steps, &mut self.cursor_pool);
+        self.cursors.push(cursor);
+        Ok(())
+    }
+
+    /// Pop and dispose the top cursor (its owning loop frame finished).
+    fn close_cursor(&mut self, buf: &mut BufferTree) {
+        let cursor = self.cursors.pop().expect("loop frame owns the top cursor");
+        cursor.dispose(buf, &mut self.cursor_pool);
     }
 
     /// A recycled (or fresh) empty value vector.
@@ -386,15 +567,24 @@ impl Vm {
                 return Ok(VmStatus::Done);
             };
             // Frame timing is telemetry-only: one null check per frame
-            // when off, an `Instant` pair per frame when on.
-            let timed = self
-                .timing
-                .as_deref()
-                .map(|_| (task_kind(&task), std::time::Instant::now()));
+            // when off; when on, counts are exact but the clock is only
+            // read around one frame in `TIMING_SAMPLE` per kind.
+            let timed = match self.timing.as_deref_mut() {
+                Some(t) => {
+                    let kind = task_kind(&task);
+                    t.counts[kind] += 1;
+                    if t.counts[kind] % TIMING_SAMPLE == 1 {
+                        t.sampled[kind] += 1;
+                        Some((kind, std::time::Instant::now()))
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            };
             let outcome = self.step(task, buf, symbols, out);
             if let Some((kind, start)) = timed {
                 let t = self.timing.as_deref_mut().expect("timing stays enabled");
-                t.counts[kind] += 1;
                 t.nanos[kind] += start.elapsed().as_nanos() as u64;
             }
             if matches!(outcome?, StepOutcome::NeedInput) {
@@ -434,45 +624,34 @@ impl Vm {
                     self.tasks
                         .push(Task::Exec(if cond { then_branch } else { else_branch }));
                 }
-                Task::ForLoop {
-                    mut cursor,
-                    var,
-                    role,
-                    body,
-                } => match cursor.advance(buf) {
-                    CursorState::Match(n) => {
-                        // The binding stays in `env` through the next
-                        // re-entry of this frame (nothing reads it between
-                        // the body's end and the next `Match`, which
-                        // overwrites it); `Done` unbinds.
-                        let mult = buf.role_count(n, role).max(1);
-                        self.env[var.index()] = Some(Binding { node: n, mult });
-                        self.tasks.push(Task::ForLoop {
-                            cursor,
-                            var,
-                            role,
-                            body,
-                        });
-                        self.tasks.push(Task::Exec(body));
+                Task::ForLoop { var, role, body } => {
+                    let cursor = self.cursors.last_mut().expect("for-loop cursor");
+                    match cursor.advance(buf) {
+                        CursorState::Match(n) => {
+                            // The binding stays in `env` through the next
+                            // re-entry of this frame (nothing reads it between
+                            // the body's end and the next `Match`, which
+                            // overwrites it); `Done` unbinds.
+                            let mult = buf.role_count(n, role).max(1);
+                            self.env[var.index()] = Some(Binding { node: n, mult });
+                            self.tasks.push(Task::ForLoop { var, role, body });
+                            self.tasks.push(Task::Exec(body));
+                        }
+                        CursorState::NeedInput => {
+                            self.tasks.push(Task::ForLoop { var, role, body });
+                            return self.need_input_cursor();
+                        }
+                        CursorState::Done => {
+                            self.env[var.index()] = None;
+                            self.close_cursor(buf);
+                        }
                     }
-                    CursorState::NeedInput => {
-                        self.tasks.push(Task::ForLoop {
-                            cursor,
-                            var,
-                            role,
-                            body,
-                        });
-                        return self.need_input();
-                    }
-                    CursorState::Done => {
-                        self.env[var.index()] = None;
-                        cursor.dispose(buf, &mut self.cursor_pool);
-                    }
-                },
+                }
                 // The match-heavy loops (output, exists, collect) iterate
                 // internally and only touch the task stack when they block
                 // or schedule sub-work: a match costs no frame moves.
-                Task::OutputLoop { mut cursor, attr } => loop {
+                Task::OutputLoop { attr } => loop {
+                    let cursor = self.cursors.last_mut().expect("output cursor");
                     match cursor.advance(buf) {
                         CursorState::Match(n) => match attr {
                             AttrPlan::None => {
@@ -482,7 +661,7 @@ impl Vm {
                                     // Elements are emitted whole: wait for
                                     // the subtree to finish streaming, then
                                     // serialize it from the buffer.
-                                    self.tasks.push(Task::OutputLoop { cursor, attr });
+                                    self.tasks.push(Task::OutputLoop { attr });
                                     self.tasks.push(Task::EmitClosed(n));
                                     break;
                                 }
@@ -502,11 +681,11 @@ impl Vm {
                             }
                         },
                         CursorState::NeedInput => {
-                            self.tasks.push(Task::OutputLoop { cursor, attr });
-                            return self.need_input();
+                            self.tasks.push(Task::OutputLoop { attr });
+                            return self.need_input_cursor();
                         }
                         CursorState::Done => {
-                            cursor.dispose(buf, &mut self.cursor_pool);
+                            self.close_cursor(buf);
                             break;
                         }
                     }
@@ -516,7 +695,7 @@ impl Vm {
                         buf.serialize(n, symbols, out)?;
                     } else {
                         self.tasks.push(Task::EmitClosed(n));
-                        return self.need_input();
+                        return self.need_input(Wait::Closed(n));
                     }
                 }
                 Task::Cond(id) => self.exec_cond(id, buf)?,
@@ -540,14 +719,17 @@ impl Vm {
                         self.tasks.push(Task::Cond(rhs));
                     }
                 }
-                Task::ExistsLoop { mut cursor, attr } => loop {
+                Task::ExistsLoop { attr, cache } => loop {
+                    let cursor = self.cursors.last_mut().expect("exists cursor");
                     match cursor.advance(buf) {
                         CursorState::Match(n) => {
                             // `exists($x/p)`: block until the first witness
                             // appears or the search region is exhausted —
                             // the paper's "until the data is available in
                             // the buffer or it has become evident that the
-                            // data does not exist".
+                            // data does not exist". Either way the answer
+                            // is definitive, so a cache slot (if the
+                            // optimizer assigned one) memoizes it.
                             let witness = match attr {
                                 AttrPlan::None => true,
                                 AttrPlan::Any => !buf.attrs(n).is_empty(),
@@ -555,17 +737,23 @@ impl Vm {
                             };
                             if witness {
                                 self.bools.push(true);
-                                cursor.dispose(buf, &mut self.cursor_pool);
+                                if let Some((slot, ctx)) = cache {
+                                    self.exists_cache[slot as usize] = Some((ctx, true));
+                                }
+                                self.close_cursor(buf);
                                 break;
                             }
                         }
                         CursorState::NeedInput => {
-                            self.tasks.push(Task::ExistsLoop { cursor, attr });
-                            return self.need_input();
+                            self.tasks.push(Task::ExistsLoop { attr, cache });
+                            return self.need_input_cursor();
                         }
                         CursorState::Done => {
                             self.bools.push(false);
-                            cursor.dispose(buf, &mut self.cursor_pool);
+                            if let Some((slot, ctx)) = cache {
+                                self.exists_cache[slot as usize] = Some((ctx, false));
+                            }
+                            self.close_cursor(buf);
                             break;
                         }
                     }
@@ -598,13 +786,14 @@ impl Vm {
                     }
                     OperandIr::Path(p) => {
                         let attr = self.program.path(p).attr;
-                        let cursor = self.open_cursor(p, buf)?;
+                        self.open_cursor(p, buf)?;
                         let v = self.pooled_values();
                         self.vals.push(v);
-                        self.tasks.push(Task::CollectLoop { cursor, attr });
+                        self.tasks.push(Task::CollectLoop { attr });
                     }
                 },
-                Task::CollectLoop { mut cursor, attr } => loop {
+                Task::CollectLoop { attr } => loop {
+                    let cursor = self.cursors.last_mut().expect("collect cursor");
                     match cursor.advance(buf) {
                         CursorState::Match(n) => match attr {
                             AttrPlan::Name(a) => {
@@ -625,18 +814,18 @@ impl Vm {
                                 } else {
                                     // Blocking atomization: the subtree's
                                     // string value needs its end tag.
-                                    self.tasks.push(Task::CollectLoop { cursor, attr });
+                                    self.tasks.push(Task::CollectLoop { attr });
                                     self.tasks.push(Task::CollectClosed(n));
                                     break;
                                 }
                             }
                         },
                         CursorState::NeedInput => {
-                            self.tasks.push(Task::CollectLoop { cursor, attr });
-                            return self.need_input();
+                            self.tasks.push(Task::CollectLoop { attr });
+                            return self.need_input_cursor();
                         }
                         CursorState::Done => {
-                            cursor.dispose(buf, &mut self.cursor_pool);
+                            self.close_cursor(buf);
                             break;
                         }
                     }
@@ -646,7 +835,7 @@ impl Vm {
                         self.collect_string_value(n, buf);
                     } else {
                         self.tasks.push(Task::CollectClosed(n));
-                        return self.need_input();
+                        return self.need_input(Wait::Closed(n));
                     }
                 }
                 Task::AggFinish(func) => {
@@ -660,12 +849,13 @@ impl Vm {
                 Task::WaitClosed(n) => {
                     if !buf.is_closed(n) {
                         self.tasks.push(Task::WaitClosed(n));
-                        return self.need_input();
+                        return self.need_input(Wait::Closed(n));
                     }
                 }
                 Task::DrainInput => {
                     if !self.input_exhausted {
                         self.tasks.push(Task::DrainInput);
+                        self.wait = Wait::Eof;
                         return Ok(StepOutcome::NeedInput);
                     }
                 }
@@ -691,6 +881,132 @@ impl Vm {
                         buf.decrement_role(node, role, times);
                     }
                     self.signoff_scratch = matches;
+                }
+                // ---- hash-join frames --------------------------------
+                // The build pass mirrors the original nested loop frame
+                // for frame (same cursor, same lhs-then-rhs operand
+                // order, same then/skip branching), so its blocking
+                // order, output and signoff-free GC behavior are
+                // bit-identical to the unoptimized program — it just
+                // additionally tees key values into the index.
+                Task::JoinBuildLoop { slot } => {
+                    let plan = self.program.join(slot);
+                    let cursor = self.cursors.last_mut().expect("join build cursor");
+                    match cursor.advance(buf) {
+                        CursorState::Match(n) => {
+                            let mult = buf.role_count(n, plan.role).max(1);
+                            self.env[plan.var.index()] = Some(Binding { node: n, mult });
+                            let js = &mut self.joins[slot as usize];
+                            let entry = js.entries.len() as u32;
+                            js.entries.push(n);
+                            self.tasks.push(Task::JoinBuildLoop { slot });
+                            self.tasks.push(Task::JoinBuildFinish { slot, entry });
+                            self.tasks.push(Task::Operand(plan.rhs));
+                            self.tasks.push(Task::Operand(plan.lhs));
+                        }
+                        CursorState::NeedInput => {
+                            self.tasks.push(Task::JoinBuildLoop { slot });
+                            return self.need_input_cursor();
+                        }
+                        CursorState::Done => {
+                            // The cursor is exhausted, so the scanned
+                            // region is closed: the index is complete and
+                            // final for the rest of the run.
+                            self.env[plan.var.index()] = None;
+                            self.close_cursor(buf);
+                            self.joins[slot as usize].phase = JoinPhase::Built;
+                        }
+                    }
+                }
+                Task::JoinBuildFinish { slot, entry } => {
+                    let plan = self.program.join(slot);
+                    let rhs = self.vals.pop().expect("join build rhs");
+                    let lhs = self.vals.pop().expect("join build lhs");
+                    {
+                        let js = &mut self.joins[slot as usize];
+                        let keys = if plan.key_is_lhs { &lhs } else { &rhs };
+                        for kv in keys.iter() {
+                            if let Some(k) = kv.num {
+                                if !k.is_nan() {
+                                    js.num_bucket.entry(canon_bits(k)).or_default().push(entry);
+                                }
+                            }
+                            js.text_bucket
+                                .entry(kv.text.clone())
+                                .or_default()
+                                .push((entry, kv.num.is_some()));
+                        }
+                    }
+                    // `= probe` with a `Nop` else-branch (an optimizer
+                    // gate), so skipping the bool/IfBranch round-trip on
+                    // a miss is behavior-identical.
+                    if compare_existential(CmpOp::Eq, &lhs, &rhs) {
+                        self.tasks.push(Task::Exec(plan.then_branch));
+                    }
+                    self.recycle_values(lhs);
+                    self.recycle_values(rhs);
+                }
+                Task::JoinProbe { slot } => {
+                    let probe = self.vals.pop().expect("join probe operand");
+                    let plan = self.program.join(slot);
+                    let (stale, any) = {
+                        let js = &mut self.joins[slot as usize];
+                        js.cands.clear();
+                        for pv in probe.iter() {
+                            if let Some(a) = pv.num {
+                                // Numeric probe: numeric-equal keys, plus
+                                // string-equal non-numeric keys (the
+                                // existential compare's mixed-pair rule).
+                                if let Some(es) = js.num_bucket.get(&canon_bits(a)) {
+                                    js.cands.extend_from_slice(es);
+                                }
+                                if let Some(es) = js.text_bucket.get(&pv.text) {
+                                    js.cands.extend(
+                                        es.iter().filter(|&&(_, num)| !num).map(|&(e, _)| e),
+                                    );
+                                }
+                            } else if let Some(es) = js.text_bucket.get(&pv.text) {
+                                js.cands.extend(es.iter().map(|&(e, _)| e));
+                            }
+                        }
+                        // Sorted entry indices = build order = document
+                        // order, so the probe iterates candidates exactly
+                        // as the original scan would have reached them.
+                        js.cands.sort_unstable();
+                        js.cands.dedup();
+                        let stale = js
+                            .cands
+                            .iter()
+                            .any(|&e| !buf.is_live(js.entries[e as usize]));
+                        (stale, !js.cands.is_empty())
+                    };
+                    self.recycle_values(probe);
+                    if stale {
+                        // A candidate was garbage-collected since the
+                        // build. Re-run the preserved original loop —
+                        // its scan of the (closed) region is exact.
+                        self.tasks.push(Task::Exec(plan.fallback));
+                    } else if any {
+                        self.tasks.push(Task::JoinProbeLoop { slot, pos: 0 });
+                    } else {
+                        self.env[plan.var.index()] = None;
+                    }
+                }
+                Task::JoinProbeLoop { slot, pos } => {
+                    let plan = self.program.join(slot);
+                    let js = &self.joins[slot as usize];
+                    if let Some(&e) = js.cands.get(pos as usize) {
+                        let n = js.entries[e as usize];
+                        // Re-read the role count at this program point —
+                        // exactly what the original loop's binding would
+                        // observe here.
+                        let mult = buf.role_count(n, plan.role).max(1);
+                        self.env[plan.var.index()] = Some(Binding { node: n, mult });
+                        self.tasks.push(Task::JoinProbeLoop { slot, pos: pos + 1 });
+                        self.tasks.push(Task::Exec(plan.then_branch));
+                    } else {
+                        self.env[plan.var.index()] = None;
+                    }
                 }
             }
         }
@@ -740,26 +1056,49 @@ impl Vm {
                 role,
                 body,
             } => {
-                let cursor = self.open_cursor(path, buf)?;
-                self.tasks.push(Task::ForLoop {
-                    cursor,
-                    var,
-                    role,
-                    body,
-                });
+                self.open_cursor(path, buf)?;
+                self.tasks.push(Task::ForLoop { var, role, body });
             }
             Instr::OutputPath(p) => {
                 let attr = self.program.path(p).attr;
-                let cursor = self.open_cursor(p, buf)?;
-                self.tasks.push(Task::OutputLoop { cursor, attr });
+                self.open_cursor(p, buf)?;
+                self.tasks.push(Task::OutputLoop { attr });
             }
             Instr::Aggregate { func, path } => {
                 let attr = self.program.path(path).attr;
-                let cursor = self.open_cursor(path, buf)?;
+                self.open_cursor(path, buf)?;
                 let v = self.pooled_values();
                 self.vals.push(v);
                 self.tasks.push(Task::AggFinish(func));
-                self.tasks.push(Task::CollectLoop { cursor, attr });
+                self.tasks.push(Task::CollectLoop { attr });
+            }
+            Instr::HashJoin(j) => {
+                let plan = self.program.join(j);
+                match self.joins[j as usize].phase {
+                    // First execution: run the original loop, teeing key
+                    // values into the index as it goes.
+                    JoinPhase::Empty => {
+                        self.joins[j as usize].phase = JoinPhase::Building;
+                        self.open_cursor(plan.path, buf)?;
+                        self.tasks.push(Task::JoinBuildLoop { slot: j });
+                    }
+                    JoinPhase::Built => {
+                        if self.joins[j as usize].entries.is_empty() {
+                            // The build scanned the (now closed) region and
+                            // matched nothing; the original would iterate
+                            // zero times and evaluate nothing at all.
+                            self.env[plan.var.index()] = None;
+                        } else {
+                            self.tasks.push(Task::JoinProbe { slot: j });
+                            self.tasks.push(Task::Operand(plan.probe()));
+                        }
+                    }
+                    // Re-entered while its own build is suspended on the
+                    // stack — impossible for sequentially nested loops,
+                    // but divert to the preserved original rather than
+                    // corrupt the index.
+                    JoinPhase::Building => self.tasks.push(Task::Exec(plan.fallback)),
+                }
             }
             Instr::SignOff { path, role } => {
                 if self.execute_signoffs {
@@ -814,8 +1153,27 @@ impl Vm {
             }
             CondIr::Exists(p) => {
                 let attr = self.program.path(p).attr;
-                let cursor = self.open_cursor(p, buf)?;
-                self.tasks.push(Task::ExistsLoop { cursor, attr });
+                self.open_cursor(p, buf)?;
+                self.tasks.push(Task::ExistsLoop { attr, cache: None });
+            }
+            CondIr::CachedExists { path, slot } => {
+                let plan = self.program.path(path);
+                let (ctx, _) = self.resolve_root(plan.root)?;
+                match self.exists_cache[slot as usize] {
+                    // Memo hit for the same (generation-tagged) context:
+                    // the recorded answer is definitive — a `true` found a
+                    // witness, a `false` exhausted a closed region — so
+                    // the original re-probe could not answer differently.
+                    Some((cached, ans)) if cached == ctx => self.bools.push(ans),
+                    _ => {
+                        let attr = plan.attr;
+                        self.open_cursor(path, buf)?;
+                        self.tasks.push(Task::ExistsLoop {
+                            attr,
+                            cache: Some((slot, ctx)),
+                        });
+                    }
+                }
             }
             CondIr::Compare { op, lhs, rhs } => {
                 // Operands are scheduled so `lhs` is fully collected before

@@ -323,9 +323,11 @@ impl EvalSession {
     }
 
     /// Drive the machine as far as the buffered bytes allow. Keeps the
-    /// blocking engine's exact interleaving — evaluator to suspension, one
-    /// token, evaluator again — so buffer peaks are bit-identical however
-    /// the input was chunked.
+    /// blocking engine's exact interleaving — evaluator to suspension,
+    /// tokens until the machine's recorded wait is satisfiable, evaluator
+    /// again — so buffer peaks are bit-identical however the input was
+    /// chunked (resuming while the wait is unsatisfied would be a provable
+    /// no-op; see [`Vm::wait_satisfied`]).
     fn pump(&mut self) -> Result<Emitted, EngineError> {
         loop {
             if !self.vm_done {
@@ -334,10 +336,19 @@ impl EvalSession {
                     .resume(&mut self.buf, &self.symbols, &mut self.out)?
                 {
                     VmStatus::Done => self.vm_done = true,
-                    VmStatus::NeedInput => match self.apply_next()? {
-                        Pumped::Applied => {}
-                        Pumped::Starved => return Ok(self.emitted()),
-                        Pumped::Eof => self.vm.set_input_exhausted(),
+                    VmStatus::NeedInput => loop {
+                        match self.apply_next()? {
+                            Pumped::Applied => {
+                                if self.vm.wait_satisfied(&self.buf) {
+                                    break;
+                                }
+                            }
+                            Pumped::Starved => return Ok(self.emitted()),
+                            Pumped::Eof => {
+                                self.vm.set_input_exhausted();
+                                break;
+                            }
+                        }
                     },
                 }
             } else {

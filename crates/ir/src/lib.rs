@@ -32,12 +32,14 @@
 //! different execution options.
 
 mod lower;
+mod optimize;
 mod program;
 mod step;
 
+pub use optimize::{cost_estimate, optimize, OptReport, PassStat};
 pub use program::{
-    fmt_number, AttrPlan, CondId, CondIr, Instr, InstrId, OperandId, OperandIr, PathId, PathPlan,
-    PlanRoot, Program, ProgramStats, StrId,
+    fmt_number, AttrPlan, CondId, CondIr, Instr, InstrId, JoinPlan, OperandId, OperandIr, PathId,
+    PathPlan, PlanRoot, Program, ProgramStats, StrId,
 };
 pub use step::{EAxis, ETest, EvalStep};
 

@@ -62,6 +62,8 @@ impl Program {
             matcher_paths,
             var_names: query.var_names.clone(),
             root,
+            joins: Vec::new(),
+            exists_slots: 0,
         }
     }
 }

@@ -150,6 +150,50 @@ pub enum Instr {
         /// The role being signed off.
         role: RoleId,
     },
+    /// Optimizer-emitted join: a nested `for` whose body is an
+    /// equality-filtered `if` runs through a keyed index over the inner
+    /// sequence instead of re-scanning the cursor per outer binding. The
+    /// payload indexes [`Program::join`].
+    HashJoin(u32),
+}
+
+/// The side table of one [`Instr::HashJoin`]: everything the executor
+/// needs to build the index on the first execution (mirroring the
+/// original loop exactly) and to probe it on every later one. The
+/// original `for` instruction is preserved as `fallback` so the executor
+/// can bail out to the unoptimized loop if index entries went stale.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinPlan {
+    /// The inner loop variable.
+    pub var: VarId,
+    /// The inner binding path (always rooted at [`PlanRoot::Root`]).
+    pub path: PathId,
+    /// The inner variable's binding role.
+    pub role: RoleId,
+    /// Left operand of the join's `=` comparison.
+    pub lhs: OperandId,
+    /// Right operand of the join's `=` comparison.
+    pub rhs: OperandId,
+    /// Which operand is the key side (the one rooted at `var`); the other
+    /// operand is the probe side.
+    pub key_is_lhs: bool,
+    /// The `then` branch executed per matching binding.
+    pub then_branch: InstrId,
+    /// The original `for` instruction, kept verbatim for the stale-index
+    /// fallback.
+    pub fallback: InstrId,
+}
+
+impl JoinPlan {
+    /// The probe-side operand (the one *not* rooted at the join variable).
+    #[inline]
+    pub fn probe(&self) -> OperandId {
+        if self.key_is_lhs {
+            self.rhs
+        } else {
+            self.lhs
+        }
+    }
 }
 
 /// One compiled condition.
@@ -165,6 +209,18 @@ pub enum CondIr {
     Or(CondId, CondId),
     /// `exists(path)`.
     Exists(PathId),
+    /// `exists(path)` whose answer is loop-invariant under the innermost
+    /// enclosing `for`: the executor memoizes the answer per resolved
+    /// context node in cache slot `slot` (see [`Program::exists_slots`]).
+    /// Exists answers are definitive once produced (the probe blocks until
+    /// a witness arrives or the region is exhausted), so re-probes with
+    /// the same context can reuse them.
+    CachedExists {
+        /// The probed path.
+        path: PathId,
+        /// Cache slot index, `0..Program::exists_slots()`.
+        slot: u32,
+    },
     /// General comparison with existential sequence semantics.
     Compare {
         /// Operator.
@@ -220,6 +276,8 @@ pub struct Program {
     pub(crate) matcher_paths: CompiledPaths,
     pub(crate) var_names: Vec<String>,
     pub(crate) root: InstrId,
+    pub(crate) joins: Vec<JoinPlan>,
+    pub(crate) exists_slots: u32,
 }
 
 /// Size counters of a compiled program, for `--stats-json` and benches.
@@ -292,6 +350,25 @@ impl Program {
     #[inline]
     pub fn path_count(&self) -> usize {
         self.paths.len()
+    }
+
+    /// Read one join plan (payload of [`Instr::HashJoin`]).
+    #[inline]
+    pub fn join(&self, idx: u32) -> JoinPlan {
+        self.joins[idx as usize]
+    }
+
+    /// Number of join plans (zero on unoptimized programs).
+    #[inline]
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Number of exists-cache slots referenced by
+    /// [`CondIr::CachedExists`] (zero on unoptimized programs).
+    #[inline]
+    pub fn exists_slots(&self) -> u32 {
+        self.exists_slots
     }
 
     /// The element steps of a path plan.
@@ -429,8 +506,27 @@ impl Program {
                 Instr::SignOff { path, role } => {
                     let _ = write!(out, "signOff(p{}, {role})", path.0);
                 }
+                Instr::HashJoin(j) => {
+                    let _ = write!(out, "hashjoin j{j}");
+                }
             }
             out.push('\n');
+        }
+        if !self.joins.is_empty() {
+            out.push_str("joins:\n");
+            for (i, j) in self.joins.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  j{i:<3} = for ${} in p{} role={} key={} probe={} then=%{} fallback=%{}",
+                    self.var_name(j.var),
+                    j.path.0,
+                    j.role,
+                    self.operand_display(if j.key_is_lhs { j.lhs } else { j.rhs }),
+                    self.operand_display(j.probe()),
+                    j.then_branch.0,
+                    j.fallback.0,
+                );
+            }
         }
         if !self.conds.is_empty() {
             out.push_str("conds:\n");
@@ -451,6 +547,9 @@ impl Program {
                     }
                     CondIr::Exists(p) => {
                         let _ = write!(out, "exists p{}", p.0);
+                    }
+                    CondIr::CachedExists { path, slot } => {
+                        let _ = write!(out, "exists p{} [cache slot {slot}]", path.0);
                     }
                     CondIr::Compare { op, lhs, rhs } => {
                         let _ = write!(

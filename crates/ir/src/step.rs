@@ -36,7 +36,7 @@ pub enum EAxis {
 }
 
 /// One compiled evaluation step.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalStep {
     /// Axis.
     pub axis: EAxis,

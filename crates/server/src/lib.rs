@@ -110,6 +110,9 @@ pub struct ServerConfig {
     /// client could drive; registering a new name past the cap answers
     /// `429` (replacing an existing name always works).
     pub max_queries: usize,
+    /// Run the plan optimizer on registered queries (`gcx serve
+    /// --no-opt` turns it off; outputs are identical either way).
+    pub optimize: bool,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +125,7 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             max_request_duration: Some(Duration::from_secs(300)),
             max_queries: 1024,
+            optimize: true,
         }
     }
 }
@@ -591,7 +595,7 @@ fn put_query<R: BufRead, W: Write>(
             return Ok(Outcome::KeepAlive);
         }
     };
-    match CompiledQuery::compile(&text) {
+    match CompiledQuery::compile_opts(&text, shared.config.optimize) {
         Ok(q) => {
             shared.stats.queries_compiled.bump();
             let mut registry = shared.registry.write().expect("registry poisoned");
