@@ -21,9 +21,20 @@ struct SingleRun {
     elapsed_ms: f64,
     tokens: u64,
     peak_buffered_nodes: u64,
+    peak_buffer_bytes: u64,
     output_bytes: u64,
     peak_heap_bytes: u64,
     allocs: u64,
+}
+
+/// One query's best schema-aware run, for the `schema` column of
+/// `BENCH_throughput.json`.
+struct SchemaRun {
+    elapsed_ms: f64,
+    peak_buffer_bytes: u64,
+    early_scan_ends: u64,
+    early_signoffs: u64,
+    pruned_paths: u32,
 }
 
 use gcx_xmark::queries::paper_queries;
@@ -46,6 +57,37 @@ pub(crate) fn flag_value<'a>(flags: &'a [&str], name: &str) -> Option<&'a str> {
         .iter()
         .position(|f| *f == name)
         .and_then(|i| flags.get(i + 1).copied())
+}
+
+/// The Q8 perf-gate floor shared by `bench throughput` and `bench
+/// obs-overhead`: an explicit `--min-q8-mbs N` wins; otherwise `--smoke`
+/// enables the default 20 MB/s floor and a full run disables the gate.
+/// Unoptimized Q8 runs well under 10 MB/s even on a 1MB smoke doc; the
+/// joined plan clears 20 MB/s with a wide margin on any release build.
+fn min_q8_mbs(flags: &[&str], smoke: bool) -> Result<f64, String> {
+    match flag_value(flags, "--min-q8-mbs") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--min-q8-mbs must be a number".into()),
+        None => Ok(if smoke { 20.0 } else { 0.0 }),
+    }
+}
+
+/// Apply the Q8 floor: a regression of the hash-join rewrite (or the VM
+/// hot path under it) fails the build instead of shipping a quadratic
+/// plan. A floor of 0 (full runs without the flag) disables the gate.
+fn enforce_q8_floor(q8_mbs: f64, floor: f64) -> Result<(), String> {
+    if floor <= 0.0 {
+        return Ok(());
+    }
+    if q8_mbs < floor {
+        return Err(format!(
+            "perf gate: Q8 ran at {q8_mbs:.1} MB/s, below the {floor:.1} MB/s floor \
+             (join rewrite regressed?)"
+        ));
+    }
+    eprintln!("perf gate: Q8 {q8_mbs:.1} MB/s >= {floor:.1} MB/s floor");
+    Ok(())
 }
 
 fn cmd_throughput(args: &[String]) -> Result<(), String> {
@@ -76,21 +118,7 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         None => 42,
     };
     let out_path = flag_value(&flags, "--out").unwrap_or("BENCH_throughput.json");
-    // Perf regression gate: `--smoke` asserts a Q8 throughput floor so CI
-    // fails if the hash-join rewrite (or the VM hot path under it) regresses
-    // back toward the O(people x auctions) rescan cliff. Unoptimized Q8 runs
-    // well under 10 MB/s even on a 1MB smoke doc; the joined plan clears
-    // 20 MB/s with a wide margin on any release build.
-    let min_q8_mbs: f64 = match flag_value(&flags, "--min-q8-mbs") {
-        Some(v) => v.parse().map_err(|_| "--min-q8-mbs must be a number")?,
-        None => {
-            if smoke {
-                20.0
-            } else {
-                0.0
-            }
-        }
-    };
+    let q8_floor = min_q8_mbs(&flags, smoke)?;
 
     // Generate the document in memory: benchmark numbers must not include
     // disk I/O variance.
@@ -130,6 +158,7 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
                 elapsed_ms,
                 tokens: report.tokens,
                 peak_buffered_nodes: report.buffer.peak_live,
+                peak_buffer_bytes: report.buffer.peak_live_bytes,
                 output_bytes: report.output_bytes,
                 peak_heap_bytes: gcx_memtrack::peak_bytes().saturating_sub(heap0),
                 allocs: gcx_memtrack::total_allocs() - allocs0,
@@ -198,6 +227,70 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         obs.delta_pct(),
     );
 
+    // ---- schema on/off comparison -------------------------------------------
+    // Same document, same queries, but the engine is told the input is
+    // XMark-DTD-valid. Outputs must stay byte-identical and buffer peaks
+    // may only shrink — recorded per query and enforced here.
+    let schema_opts = {
+        let mut o = EngineOptions::gcx();
+        o.schema = Some(gcx_schema::Dtd::xmark());
+        o
+    };
+    let mut schema_runs: Vec<SchemaRun> = Vec::with_capacity(named.len());
+    let mut schema_ok = true;
+    for (i, ((name, _), q)) in named.iter().zip(&queries).enumerate() {
+        let mut best: Option<SchemaRun> = None;
+        for _ in 0..iters {
+            let mut out = Vec::new();
+            let start = Instant::now();
+            let report = gcx_core::run(q, &schema_opts, std::io::Cursor::new(&doc[..]), &mut out)
+                .map_err(|e| format!("{name} (schema): {e}"))?;
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            if out != single_outputs[i] {
+                schema_ok = false;
+                eprintln!("WARNING: {name}: --schema changed the output!");
+            }
+            if report.buffer.peak_live_bytes > singles[i].peak_buffer_bytes {
+                schema_ok = false;
+                eprintln!(
+                    "WARNING: {name}: --schema raised the buffer peak ({} > {} bytes)!",
+                    report.buffer.peak_live_bytes, singles[i].peak_buffer_bytes
+                );
+            }
+            let s = report.schema.as_ref().expect("schema report present");
+            let run = SchemaRun {
+                elapsed_ms,
+                peak_buffer_bytes: report.buffer.peak_live_bytes,
+                early_scan_ends: s.early_scan_ends,
+                early_signoffs: s.early_signoffs,
+                pruned_paths: s.pruned_paths,
+            };
+            if best
+                .as_ref()
+                .map(|b| run.elapsed_ms < b.elapsed_ms)
+                .unwrap_or(true)
+            {
+                best = Some(run);
+            }
+        }
+        schema_runs.push(best.expect("iters >= 1"));
+    }
+    let strictly_lower = singles
+        .iter()
+        .zip(&schema_runs)
+        .filter(|(s, r)| r.peak_buffer_bytes < s.peak_buffer_bytes)
+        .count();
+    eprintln!(
+        "schema sweep: outputs {}  peak strictly lower on {}/{} queries",
+        if schema_ok {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        },
+        strictly_lower,
+        named.len(),
+    );
+
     let tokens = singles.first().map(|s| s.tokens).unwrap_or(0);
     // Per-query average throughput: doc_mb per mean per-query time.
     let single_mb_s = doc_mb * named.len() as f64 / (single_total_ms / 1e3);
@@ -223,13 +316,14 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         }
         json.push_str(&format!(
             "{{\"name\":\"{}\",\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3},\"tokens_per_s\":{:.0},\
-             \"peak_buffered_nodes\":{},\"output_bytes\":{},\"peak_heap_bytes\":{},\
-             \"allocs\":{},\"allocs_per_token\":{:.6}}}",
+             \"peak_buffered_nodes\":{},\"peak_buffer_bytes\":{},\"output_bytes\":{},\
+             \"peak_heap_bytes\":{},\"allocs\":{},\"allocs_per_token\":{:.6}}}",
             s.name,
             s.elapsed_ms,
             doc_mb / (s.elapsed_ms / 1e3),
             s.tokens as f64 / (s.elapsed_ms / 1e3),
             s.peak_buffered_nodes,
+            s.peak_buffer_bytes,
             s.output_bytes,
             s.peak_heap_bytes,
             s.allocs,
@@ -239,7 +333,7 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
     json.push_str(&format!(
         "],\"single_total\":{{\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3}}},\
          \"batch\":{{\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3},\"tokens\":{},\"fanout_events\":{},\
-         \"share_factor\":{:.3},\"outputs_match\":{}}},\"obs_overhead\":{}}}",
+         \"share_factor\":{:.3},\"outputs_match\":{}}},\"obs_overhead\":{}",
         single_total_ms,
         doc_mb / (single_total_ms / 1e3),
         batch_best_ms,
@@ -250,6 +344,29 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         outputs_match,
         obs.to_json(),
     ));
+    json.push_str(&format!(
+        ",\"schema\":{{\"invariants_hold\":{schema_ok},\
+         \"peaks_strictly_lower\":{strictly_lower},\"queries\":["
+    ));
+    for (i, (s, r)) in singles.iter().zip(&schema_runs).enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"elapsed_ms\":{:.3},\"mb_per_s\":{:.3},\
+             \"peak_buffer_bytes_off\":{},\"peak_buffer_bytes_on\":{},\
+             \"pruned_paths\":{},\"early_scan_ends\":{},\"early_signoffs\":{}}}",
+            s.name,
+            r.elapsed_ms,
+            doc_mb / (r.elapsed_ms / 1e3),
+            s.peak_buffer_bytes,
+            r.peak_buffer_bytes,
+            r.pruned_paths,
+            r.early_scan_ends,
+            r.early_signoffs,
+        ));
+    }
+    json.push_str("]}}");
 
     let mut f =
         std::fs::File::create(out_path).map_err(|e| format!("cannot create `{out_path}`: {e}"))?;
@@ -260,21 +377,14 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
     if !outputs_match {
         return Err("batch and standalone outputs differ".into());
     }
-    if min_q8_mbs > 0.0 {
-        let q8 = singles
-            .iter()
-            .find(|s| s.name == "Q8")
-            .ok_or("Q8 missing from the sweep")?;
-        let q8_mbs = doc_mb / (q8.elapsed_ms / 1e3);
-        if q8_mbs < min_q8_mbs {
-            return Err(format!(
-                "perf gate: Q8 ran at {q8_mbs:.1} MB/s, below the {min_q8_mbs:.1} MB/s floor \
-                 (join rewrite regressed?)"
-            ));
-        }
-        eprintln!("perf gate: Q8 {q8_mbs:.1} MB/s >= {min_q8_mbs:.1} MB/s floor");
+    if !schema_ok {
+        return Err("--schema changed an output or raised a buffer peak".into());
     }
-    Ok(())
+    let q8 = singles
+        .iter()
+        .find(|s| s.name == "Q8")
+        .ok_or("Q8 missing from the sweep")?;
+    enforce_q8_floor(doc_mb / (q8.elapsed_ms / 1e3), q8_floor)
 }
 
 // ---- `gcx bench obs-overhead`: the cost of telemetry ------------------------
@@ -283,6 +393,8 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
 struct ObsOverhead {
     off_ms: f64,
     on_ms: f64,
+    /// Q8's telemetry-off time, feeding the shared Q8 perf gate.
+    q8_off_ms: f64,
     outputs_match: bool,
     peaks_match: bool,
 }
@@ -322,6 +434,7 @@ fn measure_obs_overhead(
     iters: u32,
 ) -> Result<ObsOverhead, String> {
     let mut totals = [0.0f64; 2];
+    let mut q8_off_ms = 0.0f64;
     let mut outputs_match = true;
     let mut peaks_match = true;
     for ((name, _), q) in named.iter().zip(queries) {
@@ -340,6 +453,9 @@ fn measure_obs_overhead(
                 last = (out, report.buffer.peak_live_bytes);
             }
             totals[mode] += best;
+            if *name == "Q8" && mode == 0 {
+                q8_off_ms = best;
+            }
             kept.push(last);
         }
         if kept[0].0 != kept[1].0 {
@@ -357,6 +473,7 @@ fn measure_obs_overhead(
     Ok(ObsOverhead {
         off_ms: totals[0],
         on_ms: totals[1],
+        q8_off_ms,
         outputs_match,
         peaks_match,
     })
@@ -393,6 +510,7 @@ fn cmd_obs_overhead(args: &[String]) -> Result<(), String> {
         None => 42,
     };
     let out_path = flag_value(&flags, "--out").unwrap_or("BENCH_obs_overhead.json");
+    let q8_floor = min_q8_mbs(&flags, smoke)?;
 
     eprintln!("generating ~{mb}MB XMark document (seed {seed}) ...");
     let mut cfg = gcx_xmark::XmarkConfig::sized(mb * 1024 * 1024);
@@ -435,11 +553,11 @@ fn cmd_obs_overhead(args: &[String]) -> Result<(), String> {
         .and_then(|()| f.write_all(b"\n"))
         .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     eprintln!("wrote {out_path}");
-    if o.outputs_match && o.peaks_match {
-        Ok(())
-    } else {
-        Err("telemetry must not change outputs or buffer peaks".into())
+    if !(o.outputs_match && o.peaks_match) {
+        return Err("telemetry must not change outputs or buffer peaks".into());
     }
+    let doc_mb = doc.len() as f64 / (1024.0 * 1024.0);
+    enforce_q8_floor(doc_mb / (o.q8_off_ms / 1e3), q8_floor)
 }
 
 // ---- `gcx bench serve`: the service load generator --------------------------

@@ -59,21 +59,21 @@ fn print_usage() {
 USAGE:
   gcx run     <query.xq | -e QUERY> <input.xml> [--engine gcx|projection|full|dom]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
-              [--obs] [--trace FILE] [--no-opt]
+              [--obs] [--trace FILE] [--no-opt] [--schema xmark|FILE]
   gcx multi   <batch.xq | --xmark> <input.xml> [--out-dir DIR]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
-              [--obs] [--trace FILE] [--no-opt]
+              [--obs] [--trace FILE] [--no-opt] [--schema xmark|FILE]
   gcx serve   [--addr HOST:PORT] [--workers N] [--queue N]
               [--max-buffer-bytes N] [--read-timeout-secs S]
-              [--max-request-secs S] [--no-opt]
+              [--max-request-secs S] [--no-opt] [--schema xmark|FILE]
   gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke] [--min-q8-mbs N]
               [--out FILE]
   gcx bench   serve [--mb N] [--clients N] [--seed S] [--smoke] [--out FILE]
   gcx bench   obs-overhead [--mb N] [--iters K] [--seed S] [--smoke]
-              [--out FILE]
-  gcx explain <query.xq | -e QUERY>
+              [--min-q8-mbs N] [--out FILE]
+  gcx explain <query.xq | -e QUERY> [--schema xmark|FILE]
   gcx trace   <query.xq | -e QUERY> <input.xml> [--every N]
-  gcx generate <MB> [out.xml] [--seed N]
+  gcx generate <MB> [out.xml] [--seed N] [--doctype]
   gcx validate <input.xml>
 
 Query files use the composition-free XQuery fragment of the GCX paper
@@ -108,12 +108,30 @@ outputs and buffer peaks stay bit-identical to an untraced run.
 request header) is a hard per-run buffer budget: crossing it fails that
 run with a typed error, never an abort. Suffixes k/m/g are accepted.
 
+`--schema xmark|FILE` (run, multi, serve, explain) promises the input
+validates against a DTD: `xmark` is the bundled XMark DTD, FILE is read
+as one (an internal subset or a full DOCTYPE declaration). The engine
+then prunes DTD-unsatisfiable projection paths, skips subtrees no
+declared ancestry can reach, and — where the DTD fixes sibling order —
+signs variables off and purges buffers before the enclosing element
+closes. Outputs are byte-identical with or without; only buffer peaks
+and time-to-first-byte shrink. `--stats-json` reports the effect under
+`schema` (pruned_paths, reach_cuts, early_scan_ends, early_signoffs);
+`explain --schema` lists the pruned paths. Without the flag, a
+`<!DOCTYPE name [...]>` declaration in the input stream is adopted
+automatically for the sibling-order facts (`gcx generate --doctype`
+emits one). Per-query override on the service: the `X-Gcx-Schema:
+xmark|none` header on PUT /queries.
+
 `bench throughput` sweeps the 11 paper queries over a generated XMark
-document — standalone and batched — and writes BENCH_throughput.json
-(MB/s, tokens/s, peak buffer, allocation counts). `--smoke` runs a small
-1MB document once (CI) and enforces a Q8 throughput floor (20 MB/s by
-default, `--min-q8-mbs N` to override) so a hash-join regression fails
-the build instead of shipping a quadratic plan.
+document — standalone, batched, and with the XMark DTD attached — and
+writes BENCH_throughput.json (MB/s, tokens/s, peak buffer, allocation
+counts, plus a `schema` section comparing peak buffer bytes with the
+DTD on vs off). `--smoke` runs a small 1MB document once (CI) and
+enforces a Q8 throughput floor (20 MB/s by default, `--min-q8-mbs N`
+to override; `bench obs-overhead` applies the same gate to its
+telemetry-off sweep) so a hash-join regression fails the build instead
+of shipping a quadratic plan.
 
 `bench serve` starts an in-process service, registers the 11 paper
 queries and hammers it with N concurrent clients; every response is
@@ -224,6 +242,26 @@ fn take_max_buffer_bytes(flags: &[&str]) -> Result<Option<u64>, String> {
         .ok_or_else(|| format!("invalid byte size `{v}` (number with optional k/m/g)"))
 }
 
+/// Extract `--schema xmark|FILE` from a flag list: `xmark` selects the
+/// bundled XMark DTD, anything else is read as a DTD file (an internal
+/// subset, or a full `<!DOCTYPE name [...]>` declaration).
+pub(crate) fn take_schema(
+    flags: &[&str],
+) -> Result<Option<std::sync::Arc<gcx_schema::Dtd>>, String> {
+    if !flags.contains(&"--schema") {
+        return Ok(None);
+    }
+    let v = bench::flag_value(flags, "--schema").ok_or("`--schema` needs xmark or a DTD file")?;
+    if v == "xmark" {
+        return Ok(Some(gcx_schema::Dtd::xmark()));
+    }
+    let text =
+        std::fs::read_to_string(v).map_err(|e| format!("cannot read schema file `{v}`: {e}"))?;
+    gcx_schema::Dtd::parse(&text)
+        .map(|d| Some(std::sync::Arc::new(d)))
+        .map_err(|e| format!("schema file `{v}` does not parse: {e}"))
+}
+
 fn open_input(path: &str) -> Result<Box<dyn Read>, String> {
     if path == "-" {
         Ok(Box::new(std::io::stdin().lock()))
@@ -295,6 +333,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .into(),
             );
         }
+        if flags.contains(&"--schema") {
+            return Err(
+                "--schema is not supported with --engine dom: the DOM oracle has no \
+                 projection or buffers for a schema to shrink (use gcx|projection|full)"
+                    .into(),
+            );
+        }
         let input = open_input(input_path)?;
         let out = BufWriter::new(std::io::stdout().lock());
         let report = gcx_dom::run(&q.query, input, out).map_err(|e| e.to_string())?;
@@ -319,6 +364,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
     opts.telemetry = obs || trace_path.is_some();
+    opts.schema = take_schema(&flags)?;
     let input = open_input(input_path)?;
     let report = if opts.telemetry {
         // Drive the push session in chunks so the telemetry carries real
@@ -423,6 +469,7 @@ fn cmd_multi(args: &[String]) -> Result<(), String> {
     }
     opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
     opts.telemetry = obs || trace_path.is_some();
+    opts.schema = take_schema(&flags)?;
     let input = open_input(input_path)?;
     let report = gcx_multi::SharedRun::new(opts)
         .run(&queries, input)
@@ -516,6 +563,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     config.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
     config.optimize = !flags.contains(&"--no-opt");
+    config.schema = take_schema(&flags)?;
     if let Some(v) = flag_value("--read-timeout-secs") {
         let secs: u64 = v
             .parse()
@@ -554,9 +602,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let (query_text, _) = take_query(args)?;
+    let (query_text, rest) = take_query(args)?;
+    let flags: Vec<&str> = rest.iter().map(String::as_str).collect();
+    let schema = take_schema(&flags)?;
     let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
     print!("{}", q.explain());
+    if let Some(dtd) = schema {
+        let prune = dtd.prune(q.program.matcher_paths(), q.program.symbols());
+        println!("\n== schema ==");
+        println!("{}", dtd.summary());
+        println!(
+            "projection paths: {} total, {} kept, {} pruned as DTD-unsatisfiable",
+            prune.total,
+            prune.kept(),
+            prune.pruned.len()
+        );
+        for (role, path) in &prune.pruned {
+            println!("  pruned {role}: {path}");
+        }
+    }
     Ok(())
 }
 
@@ -603,6 +667,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     if let Some(s) = seed {
         cfg.seed = s;
     }
+    cfg.doctype = args.iter().any(|f| f == "--doctype");
     let written = match args.get(1).filter(|a| !a.starts_with("--")) {
         Some(path) => {
             let f = BufWriter::new(

@@ -675,6 +675,22 @@ fn stats_json_fields_are_documented_in_architecture_md() {
         keys.contains("error") && keys.contains("report"),
         "the batch must exercise both per_query shapes: {multi_stderr}"
     );
+
+    // A schema-aware run exercises the `schema` stats section.
+    let sdoc = write_temp("schema-s.xml", "<site><regions></regions></site>");
+    let schema_run = gcx_bin()
+        .args(["run", "-e", "for $r in /site/regions return $r"])
+        .arg(&sdoc)
+        .args(["--schema", "xmark", "--stats-json"])
+        .output()
+        .unwrap();
+    assert!(schema_run.status.success());
+    keys.extend(json_keys(&String::from_utf8_lossy(&schema_run.stderr)));
+    assert!(
+        keys.contains("schema"),
+        "the schema-aware run must exercise the schema stats section"
+    );
+
     for key in keys {
         assert!(
             arch.contains(&format!("`{key}`")),

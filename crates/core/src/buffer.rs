@@ -321,6 +321,27 @@ impl BufTelemetry {
     }
 }
 
+/// Runtime state of the schema's sibling-order analysis, kept **beside**
+/// the node arena like [`BufTelemetry`] so [`Node`]'s layout (and thereby
+/// every `node_bytes` measurement) is untouched. Per open element the
+/// buffer tracks a *cutoff*: one past the highest content-model ordinal
+/// seen among its children so far (0 = none). Where the DTD fixes the
+/// sibling order, a child name whose ordinal is below `cutoff - 1` can
+/// never arrive again — the engine uses that to end child scans and
+/// release signOff waits before the parent's end tag.
+#[derive(Debug)]
+struct SchemaRt {
+    ord: gcx_schema::OrdTable,
+    /// Cutoff per node slot (parallel to the arena; reset on slot reuse).
+    cutoffs: Vec<u32>,
+    /// Cursor scans ended early by a cutoff.
+    early_scan_ends: u64,
+    /// signOff waits released early by a cutoff.
+    early_signoffs: u64,
+    /// The table was adopted from an in-stream DOCTYPE.
+    doctype_adopted: bool,
+}
+
 /// The buffer tree. See the module docs for the GC model.
 #[derive(Debug)]
 pub struct BufferTree {
@@ -347,6 +368,9 @@ pub struct BufferTree {
     /// null-pointer-optimized, so every disabled-path check is a single
     /// null test — the hot loop's cost when observability is off.
     telemetry: Option<Box<BufTelemetry>>,
+    /// Sibling-order cutoffs, installed only when a schema is in effect;
+    /// same one-null-test discipline as `telemetry`.
+    schema: Option<Box<SchemaRt>>,
 }
 
 impl BufferTree {
@@ -382,6 +406,7 @@ impl BufferTree {
             text_pool: Vec::new(),
             free_scratch: Vec::new(),
             telemetry: None,
+            schema: None,
         }
     }
 
@@ -427,6 +452,101 @@ impl BufferTree {
     /// Detach the accumulated telemetry (None when never enabled).
     pub(crate) fn take_telemetry(&mut self) -> Option<Box<BufTelemetry>> {
         self.telemetry.take()
+    }
+
+    /// Install the schema's sibling-order table. `doctype_adopted` marks
+    /// a table picked up from an in-stream DOCTYPE (vs an explicit
+    /// engine-option schema); it only affects reporting. Empty tables are
+    /// not installed — the hot-path null checks stay null.
+    pub fn set_schema(&mut self, ord: gcx_schema::OrdTable, doctype_adopted: bool) {
+        if ord.is_empty() {
+            return;
+        }
+        self.schema = Some(Box::new(SchemaRt {
+            ord,
+            cutoffs: Vec::new(),
+            early_scan_ends: 0,
+            early_signoffs: 0,
+            doctype_adopted,
+        }));
+    }
+
+    /// Is a sibling-order table installed?
+    pub fn schema_active(&self) -> bool {
+        self.schema.is_some()
+    }
+
+    /// `(early_scan_ends, early_signoffs, doctype_adopted)` so far.
+    pub fn schema_counters(&self) -> (u64, u64, bool) {
+        match self.schema.as_deref() {
+            Some(s) => (s.early_scan_ends, s.early_signoffs, s.doctype_adopted),
+            None => (0, 0, false),
+        }
+    }
+
+    /// Note a child element name observed (buffered *or* projected away)
+    /// under open element `parent`, advancing the parent's cutoff when the
+    /// DTD fixes its child order. Called by the projector on every start
+    /// tag at projection depth; one null check when no schema is active.
+    #[inline]
+    pub fn schema_note_child(&mut self, parent: NodeId, child: Symbol) {
+        let Some(s) = self.schema.as_deref_mut() else {
+            return;
+        };
+        if parent == NodeId::ROOT {
+            return;
+        }
+        let pname = match &self.nodes[parent.idx as usize].kind {
+            NodeKind::Element { name, .. } => *name,
+            NodeKind::Text { .. } => return,
+        };
+        if let Some(ord) = s.ord.ord(pname, child) {
+            let slot = parent.idx as usize;
+            if s.cutoffs.len() <= slot {
+                s.cutoffs.resize(slot + 1, 0);
+            }
+            s.cutoffs[slot] = s.cutoffs[slot].max(ord + 1);
+        }
+    }
+
+    /// Has the stream passed the last possible `want` child of the open
+    /// element `parent`? True only when the DTD sequences both names under
+    /// `parent` and a later-ordinal sibling has already been observed —
+    /// then no further `want` child can arrive, even though `parent` is
+    /// still open. Conservative for repeatable particles: a cutoff equal
+    /// to `ord(want) + 1` (the particle itself was last seen) is *not*
+    /// exhaustion, since `want*`/`want+` can repeat.
+    #[inline]
+    pub fn schema_sibling_exhausted(&self, parent: NodeId, want: Symbol) -> bool {
+        let Some(s) = self.schema.as_deref() else {
+            return false;
+        };
+        let cutoff = match s.cutoffs.get(parent.idx as usize) {
+            Some(&c) if c > 0 => c,
+            _ => return false,
+        };
+        let pname = match &self.nodes[parent.idx as usize].kind {
+            NodeKind::Element { name, .. } => *name,
+            NodeKind::Text { .. } => return false,
+        };
+        match s.ord.ord(pname, want) {
+            Some(ord) => ord + 1 < cutoff,
+            None => false,
+        }
+    }
+
+    /// Count a cursor scan ended early by a cutoff.
+    pub fn schema_count_scan_end(&mut self) {
+        if let Some(s) = self.schema.as_deref_mut() {
+            s.early_scan_ends += 1;
+        }
+    }
+
+    /// Count a signOff wait released early by a cutoff.
+    pub fn schema_count_early_signoff(&mut self) {
+        if let Some(s) = self.schema.as_deref_mut() {
+            s.early_signoffs += 1;
+        }
     }
 
     /// Set the hard byte budget ([`BufferTree::check_limit`] enforces it).
@@ -717,6 +837,12 @@ impl BufferTree {
         self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
         self.stats.live_bytes += bytes;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        if let Some(s) = self.schema.as_deref_mut() {
+            // A recycled slot may carry the previous occupant's cutoff.
+            if let Some(c) = s.cutoffs.get_mut(idx as usize) {
+                *c = 0;
+            }
+        }
         if let Some(t) = self.telemetry.as_deref_mut() {
             let slot = idx as usize;
             if t.birth.len() <= slot {

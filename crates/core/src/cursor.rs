@@ -17,7 +17,7 @@
 //! which is what keeps a for-loop's current binding alive through the body.
 
 use crate::buffer::{BufferTree, NodeId};
-use gcx_xml::FxBuildHasher;
+use gcx_xml::{FxBuildHasher, Symbol};
 use std::collections::HashSet;
 use std::rc::Rc;
 
@@ -272,6 +272,16 @@ impl PathCursor {
                         None => {
                             if buf.is_closed(node) {
                                 self.pop(buf);
+                            } else if let ETest::Name(want) = self.steps[step].test {
+                                // Earliest scan end: `node` is still open,
+                                // but a DTD sibling-order cutoff can prove
+                                // no further `want` child will arrive.
+                                if buf.schema_sibling_exhausted(node, want) {
+                                    buf.schema_count_scan_end();
+                                    self.pop(buf);
+                                } else {
+                                    return CursorState::NeedInput;
+                                }
                             } else {
                                 return CursorState::NeedInput;
                             }
@@ -313,16 +323,26 @@ impl PathCursor {
     }
 
     /// After [`CursorState::NeedInput`]: the scan the cursor is blocked
-    /// on, as `(parent, last-examined-child)`. The cursor can only make
-    /// progress once `parent` gains a child after `last` or closes — the
-    /// engine uses this to batch token application between suspension
-    /// checks instead of re-entering the evaluator per token. Both nodes
-    /// are pinned by the blocked frame, so the hint stays valid across
+    /// on, as `(parent, last-examined-child, wanted-child-name)`. The
+    /// cursor can only make progress once `parent` gains a child after
+    /// `last` or closes — the engine uses this to batch token application
+    /// between suspension checks instead of re-entering the evaluator per
+    /// token. The wanted name is `Some` only for a child-axis name scan:
+    /// there, a schema sibling-order cutoff proving `want` exhausted also
+    /// unblocks the scan (it will end early on resume). Both nodes are
+    /// pinned by the blocked frame, so the hint stays valid across
     /// garbage collection.
-    pub fn wait_hint(&self) -> Option<(NodeId, Option<NodeId>)> {
+    pub fn wait_hint(&self) -> Option<(NodeId, Option<NodeId>, Option<Symbol>)> {
         let f = self.stack.last()?;
         match f.kind {
-            FrameKind::ChildScan { last } | FrameKind::DescScan { last } => Some((f.node, last)),
+            FrameKind::ChildScan { last } => {
+                let want = match self.steps[f.step].test {
+                    ETest::Name(s) => Some(s),
+                    _ => None,
+                };
+                Some((f.node, last, want))
+            }
+            FrameKind::DescScan { last } => Some((f.node, last, None)),
             _ => None,
         }
     }

@@ -168,6 +168,17 @@ pub struct EngineOptions {
     /// [`RunReport::obs`]. Off by default; when off the hot loops pay one
     /// null check per hook (measured ≤1% on the throughput sweep).
     pub telemetry: bool,
+    /// A DTD the input is promised to be valid against. Enables all three
+    /// schema analyses: projection-path pruning, descendant-reachability
+    /// skipping, and sibling-order cutoffs (earliest emission/purge). On
+    /// documents that violate the DTD, output may differ from the
+    /// schema-blind run — the promise is the caller's.
+    pub schema: Option<Arc<gcx_schema::Dtd>>,
+    /// Adopt sibling-order cutoffs from an in-stream `<!DOCTYPE ...>`
+    /// internal subset when no explicit schema was given. Only the
+    /// order/cutoff analysis is enabled this way (the matcher is already
+    /// built when the token arrives); unparsable subsets are ignored.
+    pub schema_from_doctype: bool,
 }
 
 impl EngineOptions {
@@ -182,6 +193,8 @@ impl EngineOptions {
             indent: None,
             max_buffer_bytes: None,
             telemetry: false,
+            schema: None,
+            schema_from_doctype: true,
         }
     }
 
@@ -227,11 +240,57 @@ impl EngineOptions {
         self.telemetry = true;
         self
     }
+
+    /// Attach a DTD the input is promised to be valid against (builder
+    /// style). See [`EngineOptions::schema`].
+    pub fn with_schema(mut self, dtd: Arc<gcx_schema::Dtd>) -> EngineOptions {
+        self.schema = Some(dtd);
+        self
+    }
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions::gcx()
+    }
+}
+
+/// What the schema analyses did during one run. Present in
+/// [`RunReport::schema`] exactly when a schema was in effect — explicitly
+/// via [`EngineOptions::schema`] or adopted from an in-stream DOCTYPE.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaReport {
+    /// Projection paths dropped as unsatisfiable against the DTD.
+    pub pruned_paths: u32,
+    /// Projection paths examined (pruned + kept).
+    pub total_paths: u32,
+    /// Subtrees the matcher skipped because the DTD proved no projected
+    /// name is reachable below them.
+    pub reach_cuts: u64,
+    /// Cursor scans ended early by a sibling-order cutoff (the DTD proved
+    /// no further match can arrive, before the parent's end tag).
+    pub early_scan_ends: u64,
+    /// signOff waits released early by a sibling-order cutoff — the
+    /// earliest-purge wins: roles drop before the binding's end tag.
+    pub early_signoffs: u64,
+    /// The sibling-order table came from an in-stream DOCTYPE rather than
+    /// an explicit [`EngineOptions::schema`].
+    pub doctype_adopted: bool,
+}
+
+impl SchemaReport {
+    /// Machine-readable form, embedded in [`RunReport::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"pruned_paths\":{},\"total_paths\":{},\"reach_cuts\":{},\
+             \"early_scan_ends\":{},\"early_signoffs\":{},\"doctype_adopted\":{}}}",
+            self.pruned_paths,
+            self.total_paths,
+            self.reach_cuts,
+            self.early_scan_ends,
+            self.early_signoffs,
+            self.doctype_adopted,
+        )
     }
 }
 
@@ -258,6 +317,9 @@ pub struct RunReport {
     /// Buffer-lifecycle and VM-frame telemetry (present exactly when
     /// [`EngineOptions::telemetry`] was on).
     pub obs: Option<ObsReport>,
+    /// Schema-analysis facts (present exactly when a schema was in
+    /// effect, explicit or DOCTYPE-adopted).
+    pub schema: Option<SchemaReport>,
 }
 
 impl RunReport {
@@ -293,6 +355,10 @@ impl RunReport {
         if let Some(obs) = &self.obs {
             s.push_str(",\"obs\":");
             s.push_str(&obs.to_json());
+        }
+        if let Some(schema) = &self.schema {
+            s.push_str(",\"schema\":");
+            s.push_str(&schema.to_json());
         }
         s.push('}');
         s
@@ -426,6 +492,9 @@ pub fn run_with_feed<F: BufferFeed, W: Write>(
         feed_calls: 0,
         max_pending_bytes: 0,
         obs,
+        // Feed-driven runs bypass the matcher/projector, so the schema
+        // analyses have nothing to hook into.
+        schema: None,
     })
 }
 

@@ -43,7 +43,7 @@ use gcx_ir::{
     PlanRoot, Program,
 };
 use gcx_query::ast::{AggFunc, CmpOp, RoleId, StrFunc, VarId};
-use gcx_xml::{FxBuildHasher, SymbolTable, XmlWriter};
+use gcx_xml::{FxBuildHasher, Symbol, SymbolTable, XmlWriter};
 use std::collections::HashMap;
 use std::io::Write;
 use std::rc::Rc;
@@ -142,6 +142,13 @@ enum Task {
     /// Wait for `node`'s end tag (signOff over a variable-rooted path:
     /// the binding's subtree must have finished streaming).
     WaitClosed(NodeId),
+    /// [`Task::WaitClosed`] with a schema shortcut: the signOff target's
+    /// first step is `child::want`, so once a DTD sibling-order cutoff
+    /// proves `want` exhausted under `node`, every node the target can
+    /// ever select is buffered and closed — the signOff may run before
+    /// `node`'s end tag. This is the paper's "earliest possible" moment
+    /// moved earlier by schema knowledge.
+    WaitClosedOrExhausted { node: NodeId, want: Symbol },
     /// Consume the rest of the input (signOff over a root-anchored path:
     /// the whole document is the region).
     DrainInput,
@@ -171,7 +178,7 @@ enum Task {
 /// Display names of the task-frame kinds, parallel to [`task_kind`].
 /// Frame timing attributes evaluation cost by kind — e.g. the Q8
 /// allocation cliff shows up as `CollectLoop`/`CollectClosed` dominance.
-const TASK_KIND_NAMES: [&str; 25] = [
+const TASK_KIND_NAMES: [&str; 26] = [
     "Exec",
     "Seq",
     "EndElement",
@@ -197,6 +204,7 @@ const TASK_KIND_NAMES: [&str; 25] = [
     "JoinBuildFinish",
     "JoinProbe",
     "JoinProbeLoop",
+    "WaitClosedOrExhausted",
 ];
 
 /// Index of a frame's kind in [`TASK_KIND_NAMES`].
@@ -227,6 +235,7 @@ fn task_kind(t: &Task) -> usize {
         Task::JoinBuildFinish { .. } => 22,
         Task::JoinProbe { .. } => 23,
         Task::JoinProbeLoop { .. } => 24,
+        Task::WaitClosedOrExhausted { .. } => 25,
     }
 }
 
@@ -260,15 +269,23 @@ pub(crate) enum Wait {
     /// A cursor scan is blocked at `parent`'s last buffered child:
     /// progress needs a following sibling (a first child when `after`
     /// is `None`) or `parent`'s end tag. Both nodes are pinned by the
-    /// blocked cursor frame.
+    /// blocked cursor frame. `want` (a child-axis name scan's target) is
+    /// a third unblock condition under a schema: a sibling-order cutoff
+    /// proving `want` exhausted ends the scan — necessary because a
+    /// *skipped* later sibling advances the cutoff without appending any
+    /// buffered sibling the other two conditions could see.
     Sibling {
         parent: NodeId,
         after: Option<NodeId>,
+        want: Option<Symbol>,
     },
     /// Blocked on `node`'s end tag (emit/collect/signOff waits). The
     /// node is referenced by the blocked frame and kept alive by its
     /// role instances or an enclosing cursor pin.
     Closed(NodeId),
+    /// Blocked on `node`'s end tag *or* a cutoff proving its `want`
+    /// children exhausted (schema-early signOff waits).
+    ClosedOrExhausted { node: NodeId, want: Symbol },
     /// Draining to end of input (query-end signOff anchor).
     Eof,
 }
@@ -465,7 +482,11 @@ impl Vm {
     /// no hint.
     fn need_input_cursor(&mut self) -> Result<StepOutcome, EngineError> {
         let wait = match self.cursors.last().and_then(|c| c.wait_hint()) {
-            Some((parent, after)) => Wait::Sibling { parent, after },
+            Some((parent, after, want)) => Wait::Sibling {
+                parent,
+                after,
+                want,
+            },
             None => Wait::Any,
         };
         self.need_input(wait)
@@ -481,12 +502,20 @@ impl Vm {
             Wait::Any => true,
             Wait::Eof => self.input_exhausted,
             Wait::Closed(n) => buf.is_closed(n),
-            Wait::Sibling { parent, after } => {
+            Wait::ClosedOrExhausted { node, want } => {
+                buf.is_closed(node) || buf.schema_sibling_exhausted(node, want)
+            }
+            Wait::Sibling {
+                parent,
+                after,
+                want,
+            } => {
                 buf.is_closed(parent)
                     || match after {
                         None => buf.first_child(parent).is_some(),
                         Some(c) => buf.next_sibling(c).is_some(),
                     }
+                    || want.is_some_and(|w| buf.schema_sibling_exhausted(parent, w))
             }
         }
     }
@@ -852,6 +881,18 @@ impl Vm {
                         return self.need_input(Wait::Closed(n));
                     }
                 }
+                Task::WaitClosedOrExhausted { node, want } => {
+                    if !buf.is_closed(node) {
+                        if buf.schema_sibling_exhausted(node, want) {
+                            // Earliest purge: the cutoff proves the signOff
+                            // region complete while `node` is still open.
+                            buf.schema_count_early_signoff();
+                        } else {
+                            self.tasks.push(Task::WaitClosedOrExhausted { node, want });
+                            return self.need_input(Wait::ClosedOrExhausted { node, want });
+                        }
+                    }
+                }
                 Task::DrainInput => {
                     if !self.input_exhausted {
                         self.tasks.push(Task::DrainInput);
@@ -1126,7 +1167,34 @@ impl Vm {
                     if plan.has_steps() {
                         match plan.root {
                             PlanRoot::Root => self.tasks.push(Task::DrainInput),
-                            PlanRoot::Var(_) => self.tasks.push(Task::WaitClosed(ctx)),
+                            PlanRoot::Var(_) => {
+                                // Schema shortcut: a target whose first step
+                                // is `child::name` selects only nodes inside
+                                // `name`-children of the binding. Once a
+                                // sibling-order cutoff proves that name
+                                // exhausted, those subtrees are all closed
+                                // (the cutoff's witness is a *later* sibling,
+                                // which follows their end tags), so the
+                                // region is complete before `ctx` closes.
+                                // Descendant-first targets get no shortcut.
+                                let early = if buf.schema_active() {
+                                    match self.path_steps[path.index()].first() {
+                                        Some(s) if matches!(s.axis, EAxis::Child) => match s.test {
+                                            crate::cursor::ETest::Name(w) => Some(w),
+                                            _ => None,
+                                        },
+                                        _ => None,
+                                    }
+                                } else {
+                                    None
+                                };
+                                match early {
+                                    Some(want) => self
+                                        .tasks
+                                        .push(Task::WaitClosedOrExhausted { node: ctx, want }),
+                                    None => self.tasks.push(Task::WaitClosed(ctx)),
+                                }
+                            }
                         }
                     }
                 }

@@ -48,7 +48,9 @@ pub mod session;
 pub mod stream;
 
 pub use buffer::{AttrBuf, BufferStats, BufferTree, NodeId};
-pub use engine::{run, run_query, run_with_feed, CompiledQuery, EngineOptions, RunReport};
+pub use engine::{
+    run, run_query, run_with_feed, CompiledQuery, EngineOptions, RunReport, SchemaReport,
+};
 pub use error::EngineError;
 pub use obs::{FeedSpan, ObsReport, RoleObs, TaskObs};
 pub use session::{Emitted, EvalSession};

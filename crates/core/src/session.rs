@@ -101,28 +101,49 @@ pub struct EvalSession {
     /// Telemetry enabled: record a [`FeedSpan`] per feed/commit call.
     telemetry: bool,
     feed_spans: Vec<FeedSpan>,
+    /// `(pruned, total)` projection-path counts when an explicit schema
+    /// pruned the matcher (None without one).
+    pruned_paths: Option<(u32, u32)>,
 }
 
 impl EvalSession {
     pub(crate) fn new(q: &CompiledQuery, opts: &EngineOptions) -> EvalSession {
+        // The once-at-startup symbol handshake: cloning the program's
+        // pre-interned table maps every query symbol into the session's
+        // (and thereby the tokenizer's) table. The schema analyses intern
+        // their DTD names here too — before any document bytes arrive, so
+        // stream and analyses agree on symbols.
+        let mut symbols = q.program.symbols().clone();
+        let mut buf = BufferTree::new(opts.purge);
+        buf.set_max_bytes(opts.max_buffer_bytes);
         // The projection NFA was compiled with the query; the per-run
         // matcher only instantiates mutable frame state over the shared
         // paths. Root roles (the paper's r1) are not materialized: the
         // virtual root is never purged, so its bookkeeping would be inert.
-        let (matcher, _root_roles) = StreamMatcher::new(q.program.matcher_paths());
-        let proj = Projector::new(matcher, opts.project, opts.timeline_every);
-        let mut buf = BufferTree::new(opts.purge);
-        buf.set_max_bytes(opts.max_buffer_bytes);
+        // With a schema: drop DTD-unsatisfiable paths, arm the matcher's
+        // descendant-reachability filter, and install sibling-order
+        // cutoffs in the buffer.
+        let (matcher, _root_roles, pruned_paths) = match &opts.schema {
+            Some(dtd) => {
+                let prune = dtd.prune(q.program.matcher_paths(), &symbols);
+                let reach = Arc::new(dtd.reach_filter(&mut symbols));
+                let (m, r) = StreamMatcher::with_reach(&prune.paths, Some(reach));
+                buf.set_schema(dtd.ord_table(&mut symbols), false);
+                (m, r, Some((prune.pruned.len() as u32, prune.total as u32)))
+            }
+            None => {
+                let (m, r) = StreamMatcher::new(q.program.matcher_paths());
+                (m, r, None)
+            }
+        };
+        let mut proj = Projector::new(matcher, opts.project, opts.timeline_every);
+        proj.set_doctype_adoption(opts.schema.is_none() && opts.schema_from_doctype);
         let out = XmlWriter::with_options(
             Vec::new(),
             WriterOptions {
                 indent: opts.indent.clone(),
             },
         );
-        // The once-at-startup symbol handshake: cloning the program's
-        // pre-interned table maps every query symbol into the session's
-        // (and thereby the tokenizer's) table.
-        let symbols = q.program.symbols().clone();
         let mut vm = Vm::new(Arc::clone(&q.program), opts.execute_signoffs);
         if opts.telemetry {
             buf.enable_telemetry(crate::obs::DEFAULT_TIMELINE_EVERY);
@@ -142,6 +163,7 @@ impl EvalSession {
             max_pending_bytes: 0,
             telemetry: opts.telemetry,
             feed_spans: Vec::new(),
+            pruned_paths,
         }
     }
 
@@ -224,6 +246,22 @@ impl EvalSession {
                 self.tok.window_peak(),
             )
         });
+        // A schema was in effect when the matcher was schema-built
+        // (explicit) or the buffer adopted a DOCTYPE's order table.
+        let schema = if self.pruned_paths.is_some() || self.buf.schema_active() {
+            let (early_scan_ends, early_signoffs, doctype_adopted) = self.buf.schema_counters();
+            let (pruned, total) = self.pruned_paths.unwrap_or((0, 0));
+            Some(crate::engine::SchemaReport {
+                pruned_paths: pruned,
+                total_paths: total,
+                reach_cuts: self.proj.reach_cuts(),
+                early_scan_ends,
+                early_signoffs,
+                doctype_adopted,
+            })
+        } else {
+            None
+        };
         Ok(RunReport {
             tokens: self.proj.tokens(),
             buffer: self.buf.stats(),
@@ -233,6 +271,7 @@ impl EvalSession {
             feed_calls: self.feed_calls,
             max_pending_bytes: self.max_pending_bytes,
             obs,
+            schema,
         })
     }
 

@@ -212,6 +212,10 @@ pub struct Projector {
     text_role_scratch: Vec<(RoleId, u32)>,
     /// Recycled child counters for closed elements.
     counter_pool: Vec<ChildCounters>,
+    /// Adopt sibling-order cutoffs from an in-stream DOCTYPE internal
+    /// subset (only when no schema is installed yet; parse failures are
+    /// ignored — an unusable DOCTYPE means "no schema", not an error).
+    adopt_doctype: bool,
 }
 
 impl Projector {
@@ -232,7 +236,20 @@ impl Projector {
             role_scratch: Vec::new(),
             text_role_scratch: Vec::new(),
             counter_pool: Vec::new(),
+            adopt_doctype: false,
         }
+    }
+
+    /// Enable or disable DOCTYPE schema adoption (off by default; the
+    /// session turns it on when no explicit schema is configured).
+    pub fn set_doctype_adoption(&mut self, adopt: bool) {
+        self.adopt_doctype = adopt;
+    }
+
+    /// Subtrees the matcher skipped on the DTD's descendant-reachability
+    /// proof (0 without a schema-built matcher).
+    pub fn reach_cuts(&self) -> u64 {
+        self.matcher.reach_cuts()
     }
 
     /// Structural tokens processed so far.
@@ -274,6 +291,10 @@ impl Projector {
                     let top = self.open.last_mut().expect("open stack never empty");
                     let ordinals = top.next_elem(name);
                     let (top_node, top_matched) = (top.node, top.matched);
+                    // Sibling-order cutoffs advance on *every* child name,
+                    // kept or projected away: a skipped later sibling is
+                    // just as much proof that earlier particles are done.
+                    buf.schema_note_child(top_node, name);
                     // Inside an unmatched region the matcher has no frame;
                     // children are unmatched too. Roles land in the reused
                     // scratch — no per-element vector.
@@ -359,8 +380,23 @@ impl Projector {
                 }
                 self.bump(buf);
             }
-            // Comments, PIs and the doctype are not part of the data model.
-            Token::Comment(_) | Token::ProcessingInstruction { .. } | Token::Doctype(_) => {}
+            Token::Doctype(payload) => {
+                // Not part of the data model, but a usable internal subset
+                // can seed the sibling-order analysis mid-stream (names
+                // interned here land before any document element's — the
+                // prolog precedes the root). Explicit schemas win; parse
+                // failures mean "no schema".
+                if self.adopt_doctype && !buf.schema_active() {
+                    if let Ok(view) = gcx_xml::DoctypeView::parse(payload) {
+                        if let Ok(dtd) = gcx_schema::Dtd::from_doctype_parts(view.name, view.subset)
+                        {
+                            buf.set_schema(dtd.ord_table(symbols), true);
+                        }
+                    }
+                }
+            }
+            // Comments and PIs are not part of the data model.
+            Token::Comment(_) | Token::ProcessingInstruction { .. } => {}
         }
     }
 

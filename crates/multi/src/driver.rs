@@ -73,6 +73,12 @@ pub struct BatchOptions {
     /// each per-query [`RunReport`] then carries an `obs` section
     /// (residency histograms, purge causes, live-bytes timeline).
     pub telemetry: bool,
+    /// A DTD the shared input is promised to be valid against. Applied at
+    /// the *merged matcher*: per-query path pruning plus the descendant-
+    /// reachability filter on the single shared scan. (Workers evaluate
+    /// over pre-matched channel events, so the buffer-side cutoff
+    /// analysis has no stream to observe there.)
+    pub schema: Option<Arc<gcx_schema::Dtd>>,
 }
 
 impl Default for BatchOptions {
@@ -84,6 +90,7 @@ impl Default for BatchOptions {
             chunk_size: 256,
             max_buffer_bytes: None,
             telemetry: false,
+            schema: None,
         }
     }
 }
@@ -259,7 +266,8 @@ impl SharedRun {
     ) -> Result<BatchReport, EngineError> {
         let started = Instant::now();
         let mut symbols = SymbolTable::new();
-        let (mut matcher, _root_roles) = MergedMatcher::build(queries, &mut symbols);
+        let (mut matcher, _root_roles) =
+            MergedMatcher::build_with_schema(queries, &mut symbols, self.opts.schema.as_deref());
         let engine_opts = EngineOptions {
             project: true,
             execute_signoffs: self.opts.execute_signoffs,
@@ -269,6 +277,11 @@ impl SharedRun {
             indent: self.opts.indent.clone(),
             max_buffer_bytes: self.opts.max_buffer_bytes,
             telemetry: self.opts.telemetry,
+            // Workers run over pre-matched channel events: the schema's
+            // stream-side analyses (matcher filter, cutoffs) live in the
+            // shared scan above, not in the per-query evaluators.
+            schema: None,
+            schema_from_doctype: false,
         };
 
         let mut input = input;

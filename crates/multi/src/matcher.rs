@@ -35,14 +35,33 @@ impl MergedMatcher {
         queries: &[CompiledQuery],
         symbols: &mut SymbolTable,
     ) -> (MergedMatcher, Vec<TaggedRole>) {
+        MergedMatcher::build_with_schema(queries, symbols, None)
+    }
+
+    /// [`MergedMatcher::build`] with an optional DTD the shared input is
+    /// promised to be valid against: each query's paths are pruned of
+    /// DTD-unsatisfiable ones before merging, and the merged NFA gets the
+    /// descendant-reachability filter.
+    pub fn build_with_schema(
+        queries: &[CompiledQuery],
+        symbols: &mut SymbolTable,
+        schema: Option<&gcx_schema::Dtd>,
+    ) -> (MergedMatcher, Vec<TaggedRole>) {
         let parts: Vec<CompiledPaths> = queries
             .iter()
-            .map(|q| CompiledPaths::compile(&q.analysis.roles, symbols))
+            .map(|q| {
+                let paths = CompiledPaths::compile(&q.analysis.roles, symbols);
+                match schema {
+                    Some(dtd) => dtd.prune(&paths, symbols).paths,
+                    None => paths,
+                }
+            })
             .collect();
         let merged = TaggedPaths::merge(parts.iter());
         let n_queries = queries.len() as u32;
         debug_assert_eq!(merged.n_tags(), n_queries);
-        let (inner, root_roles) = TaggedMatcher::new(merged);
+        let reach = schema.map(|dtd| std::sync::Arc::new(dtd.reach_filter(symbols)));
+        let (inner, root_roles) = TaggedMatcher::with_reach(merged, reach);
         (
             MergedMatcher {
                 inner,

@@ -25,11 +25,13 @@
 
 mod analysis;
 mod matcher;
+mod reach;
 mod roles;
 
 pub use analysis::{analyze, Analysis};
 pub use matcher::{
-    CompiledPaths, ElementOutcome, QueryTag, StreamMatcher, TaggedMatcher, TaggedOutcome,
-    TaggedPaths, TaggedRole,
+    CompiledPaths, ElementOutcome, QueryTag, StepView, StreamMatcher, TaggedMatcher, TaggedOutcome,
+    TaggedPaths, TaggedRole, TestView,
 };
+pub use reach::ReachFilter;
 pub use roles::{Anchor, RoleInfo, RoleOrigin, RoleTable};

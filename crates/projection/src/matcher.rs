@@ -29,13 +29,15 @@
 //! with its entire subtree** — no projection path can match inside. The
 //! preprojector uses this for constant-time skipping of irrelevant regions.
 
+use crate::reach::{test_reachable, ReachFilter};
 use crate::roles::RoleTable;
 use gcx_query::ast::{Axis, NodeTest, Pred, RoleId};
 use gcx_xml::{Symbol, SymbolTable};
+use std::sync::Arc;
 
 /// A node test compiled against the symbol table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CTest {
+pub(crate) enum CTest {
     Name(Symbol),
     Star,
     Text,
@@ -125,6 +127,70 @@ impl CompiledPaths {
     pub fn is_empty(&self) -> bool {
         self.paths.is_empty()
     }
+
+    /// The role assigned by path `p`.
+    pub fn role_of(&self, p: usize) -> RoleId {
+        self.paths[p].2
+    }
+
+    /// Read-only view of path `p`'s steps, for external analyses
+    /// (`gcx-schema` intersects them with DTD content models).
+    pub fn steps_of(&self, p: usize) -> impl Iterator<Item = StepView> + '_ {
+        let (first, len, _) = self.paths[p];
+        self.steps[first as usize..(first + len) as usize]
+            .iter()
+            .map(|s| StepView {
+                axis: s.axis,
+                test: match s.test {
+                    CTest::Name(n) => TestView::Name(n),
+                    CTest::Star => TestView::Star,
+                    CTest::Text => TestView::Text,
+                    CTest::AnyNode => TestView::AnyNode,
+                },
+                pos: s.pos,
+            })
+    }
+
+    /// A copy retaining only the paths whose `keep` flag is true (indexed
+    /// like [`CompiledPaths::role_of`]). Dead steps stay in the shared
+    /// arena — the matcher never visits steps of dropped paths.
+    pub fn filtered(&self, keep: &[bool]) -> CompiledPaths {
+        assert_eq!(keep.len(), self.paths.len(), "keep mask length mismatch");
+        CompiledPaths {
+            steps: self.steps.clone(),
+            paths: self
+                .paths
+                .iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(&p, _)| p)
+                .collect(),
+        }
+    }
+}
+
+/// Read-only node-test view for external analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestView {
+    /// A name test, resolved against the compile-time symbol table.
+    Name(Symbol),
+    /// `*`.
+    Star,
+    /// `text()`.
+    Text,
+    /// `node()`.
+    AnyNode,
+}
+
+/// Read-only view of one compiled step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepView {
+    /// The axis navigated.
+    pub axis: Axis,
+    /// The node test.
+    pub test: TestView,
+    /// 1-based `[k]` position, when present.
+    pub pos: Option<u32>,
 }
 
 /// Identifies which query of a merged batch a path/role belongs to.
@@ -295,12 +361,28 @@ pub struct TaggedMatcher {
     /// Recycled frames: popping a frame would otherwise drop (and entering
     /// one allocate) two `Vec`s per kept element.
     frame_pool: Vec<Frame>,
+    /// Schema-derived descendant reachability (None: schema-blind).
+    reach: Option<Arc<ReachFilter>>,
+    /// Descendant-state propagations the reach filter suppressed.
+    reach_cuts: u64,
 }
 
 impl TaggedMatcher {
     /// Create the matcher and compute the document root's roles (paths
     /// with zero steps, e.g. the paper's `r1: /`, per query).
     pub fn new(compiled: TaggedPaths) -> (TaggedMatcher, Vec<TaggedRole>) {
+        TaggedMatcher::with_reach(compiled, None)
+    }
+
+    /// [`TaggedMatcher::new`] with a schema-derived reachability filter:
+    /// descendant-axis states are not propagated into subtrees where the
+    /// DTD proves their test can never match. Sound for schema-valid
+    /// input; on other input the filter may skip subtrees the schema-blind
+    /// matcher would have buffered.
+    pub fn with_reach(
+        compiled: TaggedPaths,
+        reach: Option<Arc<ReachFilter>>,
+    ) -> (TaggedMatcher, Vec<TaggedRole>) {
         let mut root = Frame::default();
         let mut root_roles = Vec::new();
         for (p, info) in compiled.paths.iter().enumerate() {
@@ -321,6 +403,8 @@ impl TaggedMatcher {
             frames: vec![root],
             scratch: Vec::new(),
             frame_pool: Vec::new(),
+            reach,
+            reach_cuts: 0,
         };
         m.closure_with_name(0, None, &mut root_roles);
         dedupe_tagged(&mut root_roles);
@@ -330,6 +414,11 @@ impl TaggedMatcher {
     /// Current nesting depth (document root frame excluded).
     pub fn depth(&self) -> usize {
         self.frames.len() - 1
+    }
+
+    /// Descendant-state propagations the reach filter suppressed so far.
+    pub fn reach_cuts(&self) -> u64 {
+        self.reach_cuts
     }
 
     /// Run the epsilon closure on `frames[idx]`: `self::`/
@@ -386,6 +475,9 @@ impl TaggedMatcher {
     pub fn enter_element(&mut self, name: Symbol, out: &mut TaggedOutcome) {
         out.reset();
         self.scratch.clear();
+        // Closed-world reach info for this element, when the schema has
+        // any: descendant propagations are gated on it below.
+        let rinfo = self.reach.as_deref().and_then(|r| r.info(name));
         let parent = self.frames.len() - 1;
         // Transitions from the parent's states to this child.
         // Split borrows: iterate over a temporary copy of indices to allow
@@ -413,8 +505,12 @@ impl TaggedMatcher {
                     }
                 }
                 Axis::Descendant => {
-                    // Propagate for deeper descendants...
-                    self.scratch.push(st);
+                    // Propagate for deeper descendants — unless the schema
+                    // proves the test can never match below this element.
+                    match rinfo {
+                        Some(ri) if !test_reachable(ri, step.test) => self.reach_cuts += 1,
+                        _ => self.scratch.push(st),
+                    }
                     // ...and consume if this child matches.
                     if step.test.matches_element(name) {
                         self.scratch.push(St {
@@ -426,8 +522,17 @@ impl TaggedMatcher {
                 }
                 Axis::DescendantOrSelf => {
                     // The self part was handled by the parent's closure;
-                    // here only the "descendant" part remains: propagate.
-                    self.scratch.push(st);
+                    // here the "descendant" part propagates, and the state
+                    // must also survive for this element's own closure
+                    // (which consumes the self part against `name`), so
+                    // the reach gate additionally admits a self match.
+                    let self_match = step.test.matches_element(name);
+                    match rinfo {
+                        Some(ri) if !self_match && !test_reachable(ri, step.test) => {
+                            self.reach_cuts += 1
+                        }
+                        _ => self.scratch.push(st),
+                    }
                 }
                 Axis::SelfAxis => {
                     // Fully handled by closure on the parent; nothing
@@ -527,7 +632,17 @@ impl StreamMatcher {
     /// (`gcx-ir`'s program), and only the mutable per-run frame state is
     /// instantiated here.
     pub fn new(compiled: &CompiledPaths) -> (StreamMatcher, RoleAssignment) {
-        let (inner, tagged_roots) = TaggedMatcher::new(TaggedPaths::merge([compiled]));
+        StreamMatcher::with_reach(compiled, None)
+    }
+
+    /// [`StreamMatcher::new`] with a schema-derived reachability filter
+    /// (see [`TaggedMatcher::with_reach`]).
+    pub fn with_reach(
+        compiled: &CompiledPaths,
+        reach: Option<Arc<ReachFilter>>,
+    ) -> (StreamMatcher, RoleAssignment) {
+        let (inner, tagged_roots) =
+            TaggedMatcher::with_reach(TaggedPaths::merge([compiled]), reach);
         let root_roles = tagged_roots.into_iter().map(|(_, r, c)| (r, c)).collect();
         (
             StreamMatcher {
@@ -542,6 +657,11 @@ impl StreamMatcher {
     /// Current nesting depth (document root frame excluded).
     pub fn depth(&self) -> usize {
         self.inner.depth()
+    }
+
+    /// Descendant-state propagations the reach filter suppressed so far.
+    pub fn reach_cuts(&self) -> u64 {
+        self.inner.reach_cuts()
     }
 
     /// Process an element start tag. When the result's `keep` is false the

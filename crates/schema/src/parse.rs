@@ -1,0 +1,239 @@
+//! Hand-rolled parser for DTD element declarations.
+//!
+//! The input is either the body of an external DTD file (`--schema FILE`)
+//! or the internal subset captured from a `<!DOCTYPE ... [ ... ]>`
+//! declaration by the tokenizer. Only `<!ELEMENT ...>` declarations feed
+//! the schema model; `<!ATTLIST>`, `<!ENTITY>` and `<!NOTATION>` are
+//! skipped quote-aware, comments and processing instructions are skipped
+//! whole. Parameter-entity references are rejected with a typed error —
+//! the analyses must not run on a half-expanded grammar.
+
+use crate::{ContentExpr, ContentModel, ElementDecl, Rep, SchemaError};
+
+/// Parse a sequence of markup declarations into element declarations.
+pub(crate) fn parse_subset(input: &str) -> Result<Vec<ElementDecl>, SchemaError> {
+    let mut p = Parser {
+        s: input.as_bytes(),
+        pos: 0,
+    };
+    let mut decls = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            return Ok(decls);
+        }
+        if p.eat_str("<!--") {
+            p.skip_until("-->")?;
+        } else if p.eat_str("<?") {
+            p.skip_until("?>")?;
+        } else if p.eat_str("<!ELEMENT") {
+            decls.push(p.element_decl()?);
+        } else if p.eat_str("<!ATTLIST") || p.eat_str("<!ENTITY") || p.eat_str("<!NOTATION") {
+            p.skip_decl()?;
+        } else if p.peek() == Some(b'%') {
+            return Err(p.err("parameter-entity references are not supported"));
+        } else {
+            return Err(p.err("expected a markup declaration"));
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> SchemaError {
+        SchemaError::new(msg, self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.s.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, lit: &str) -> bool {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), SchemaError> {
+        match self.s[self.pos..]
+            .windows(end.len())
+            .position(|w| w == end.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err("unterminated declaration")),
+        }
+    }
+
+    /// Skip the remainder of a declaration we don't model, honouring
+    /// quoted strings (an ATTLIST default may contain `>`).
+    fn skip_decl(&mut self) -> Result<(), SchemaError> {
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated declaration")),
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(q @ (b'"' | b'\'')) => {
+                    self.pos += 1;
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == q {
+                            break;
+                        }
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, SchemaError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        // The subset slice is valid UTF-8 (it came from a validated
+        // document or file) and the accepted bytes are ASCII.
+        Ok(std::str::from_utf8(&self.s[start..self.pos])
+            .expect("names are ASCII")
+            .to_string())
+    }
+
+    fn element_decl(&mut self) -> Result<ElementDecl, SchemaError> {
+        self.skip_ws();
+        let name = self.name()?;
+        self.skip_ws();
+        let model = if self.eat_str("EMPTY") {
+            ContentModel::Empty
+        } else if self.eat_str("ANY") {
+            ContentModel::Any
+        } else if self.peek() == Some(b'(') {
+            self.group_model()?
+        } else {
+            return Err(self.err("expected EMPTY, ANY or a content group"));
+        };
+        self.skip_ws();
+        if !self.eat(b'>') {
+            return Err(self.err("expected '>' closing the element declaration"));
+        }
+        Ok(ElementDecl { name, model })
+    }
+
+    /// A parenthesised content spec: mixed content or a children model.
+    fn group_model(&mut self) -> Result<ContentModel, SchemaError> {
+        // Lookahead for mixed content: '(' S? '#PCDATA' ...
+        let save = self.pos;
+        self.pos += 1; // '('
+        self.skip_ws();
+        if self.eat_str("#PCDATA") {
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                if self.eat(b')') {
+                    break;
+                }
+                if !self.eat(b'|') {
+                    return Err(self.err("expected '|' or ')' in mixed content"));
+                }
+                self.skip_ws();
+                names.push(self.name()?);
+            }
+            // "(#PCDATA)*" and "(#PCDATA)" are both legal; with element
+            // alternatives the trailing '*' is mandatory.
+            if !self.eat(b'*') && !names.is_empty() {
+                return Err(self.err("mixed content with elements requires a trailing '*'"));
+            }
+            return Ok(ContentModel::Mixed(names));
+        }
+        self.pos = save;
+        let expr = self.cp()?;
+        Ok(ContentModel::Children(expr))
+    }
+
+    /// One content particle: name or group, with an optional repetition.
+    fn cp(&mut self) -> Result<ContentExpr, SchemaError> {
+        self.skip_ws();
+        let base = if self.eat(b'(') {
+            self.group()?
+        } else {
+            ContentExpr::Name(self.name()?)
+        };
+        let rep = if self.eat(b'?') {
+            Some(Rep::Opt)
+        } else if self.eat(b'*') {
+            Some(Rep::Star)
+        } else if self.eat(b'+') {
+            Some(Rep::Plus)
+        } else {
+            None
+        };
+        Ok(match rep {
+            Some(r) => ContentExpr::Repeat(Box::new(base), r),
+            None => base,
+        })
+    }
+
+    /// The inside of a group (after '('): a choice or a sequence.
+    fn group(&mut self) -> Result<ContentExpr, SchemaError> {
+        let first = self.cp()?;
+        self.skip_ws();
+        let sep = match self.peek() {
+            Some(b')') => {
+                self.pos += 1;
+                return Ok(first);
+            }
+            Some(s @ (b'|' | b',')) => s,
+            _ => return Err(self.err("expected '|', ',' or ')' in content group")),
+        };
+        let mut items = vec![first];
+        while self.eat(sep) {
+            items.push(self.cp()?);
+            self.skip_ws();
+        }
+        if !self.eat(b')') {
+            return Err(self.err("expected ')' closing the content group"));
+        }
+        Ok(if sep == b'|' {
+            ContentExpr::Choice(items)
+        } else {
+            ContentExpr::Seq(items)
+        })
+    }
+}

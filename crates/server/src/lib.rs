@@ -34,6 +34,8 @@
 //!
 //! ```text
 //! PUT  /queries/{name}      body = query text          → 201 / 400
+//!      headers: X-Gcx-Schema: xmark|none   (per-name DTD attachment;
+//!               overrides the server-wide --schema default)
 //! GET  /queries             newline-separated names    → 200
 //! GET  /queries/{name}      static-analysis report     → 200 / 404
 //! DELETE /queries/{name}                               → 204 / 404
@@ -113,6 +115,12 @@ pub struct ServerConfig {
     /// Run the plan optimizer on registered queries (`gcx serve
     /// --no-opt` turns it off; outputs are identical either way).
     pub optimize: bool,
+    /// Default DTD every eval's document is promised to be valid
+    /// against (`gcx serve --schema`). A query registered with an
+    /// `X-Gcx-Schema` header overrides this per name; `X-Gcx-Schema:
+    /// none` opts a query out entirely. Outputs are identical with or
+    /// without — the schema only shrinks buffers and latency.
+    pub schema: Option<Arc<gcx_schema::Dtd>>,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +134,7 @@ impl Default for ServerConfig {
             max_request_duration: Some(Duration::from_secs(300)),
             max_queries: 1024,
             optimize: true,
+            schema: None,
         }
     }
 }
@@ -142,6 +151,9 @@ struct Queue {
 struct QueryEntry {
     query: CompiledQuery,
     evals: Counter,
+    /// Per-name schema attachment: `Some(Some(dtd))` pins a DTD,
+    /// `Some(None)` opts out of the server default, `None` inherits it.
+    schema: Option<Option<Arc<gcx_schema::Dtd>>>,
 }
 
 /// State shared by the acceptor and every worker.
@@ -595,6 +607,20 @@ fn put_query<R: BufRead, W: Write>(
             return Ok(Outcome::KeepAlive);
         }
     };
+    // Per-query schema attachment: `X-Gcx-Schema: xmark` promises every
+    // document evaluated under this name validates against the bundled
+    // XMark DTD; `none` opts out of any server-wide default.
+    let schema = match head.header("x-gcx-schema") {
+        None => None,
+        Some("xmark") => Some(Some(gcx_schema::Dtd::xmark())),
+        Some("none") => Some(None),
+        Some(other) => {
+            shared.stats.client_errors.bump();
+            let msg = format!("unknown X-Gcx-Schema {other:?} (xmark|none)\n");
+            http::write_response(writer, 400, "Bad Request", &[], msg.as_bytes(), false)?;
+            return Ok(Outcome::KeepAlive);
+        }
+    };
     match CompiledQuery::compile_opts(&text, shared.config.optimize) {
         Ok(q) => {
             shared.stats.queries_compiled.bump();
@@ -612,6 +638,7 @@ fn put_query<R: BufRead, W: Write>(
             let entry = QueryEntry {
                 query: q,
                 evals: Counter::default(),
+                schema,
             };
             // Replacing a name keeps its eval count: the counter tracks
             // the name's traffic, not one compilation's.
@@ -861,6 +888,12 @@ fn eval<R: BufRead, W: Write>(
             drain_rejected(head, reader);
             return Ok(Outcome::Close);
         }
+    };
+    // Schema resolution: the query's own attachment wins (including an
+    // explicit opt-out), otherwise the server-wide default applies.
+    opts.schema = match &entry.schema {
+        Some(per_query) => per_query.clone(),
+        None => shared.config.schema.clone(),
     };
     opts.max_buffer_bytes = match effective_budget(
         shared.config.max_buffer_bytes,

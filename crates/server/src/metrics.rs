@@ -202,6 +202,16 @@ pub(crate) fn render(
             "Result bytes streamed by successful evals",
             stats.eval_output_bytes.get(),
         ),
+        (
+            "gcx_eval_early_scan_ends_total",
+            "Schema-driven early child-scan terminations in successful evals",
+            stats.eval_early_scan_ends.get(),
+        ),
+        (
+            "gcx_eval_early_signoffs_total",
+            "Schema-driven early sign-offs in successful evals",
+            stats.eval_early_signoffs.get(),
+        ),
     ] {
         prom::preamble(&mut out, name, help, "counter");
         prom::sample(&mut out, name, &[], value);

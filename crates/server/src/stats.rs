@@ -76,6 +76,12 @@ pub struct ServerStats {
     pub eval_output_bytes: Counter,
     /// High watermark of any single eval's peak buffer bytes.
     pub eval_peak_buffer_bytes: Counter,
+    /// Σ schema-driven early child-scan terminations over successful
+    /// evals (zero unless a schema is attached).
+    pub eval_early_scan_ends: Counter,
+    /// Σ schema-driven early sign-offs over successful evals (zero
+    /// unless a schema is attached).
+    pub eval_early_signoffs: Counter,
 }
 
 impl ServerStats {
@@ -87,6 +93,10 @@ impl ServerStats {
         self.eval_output_bytes.add(report.output_bytes);
         self.eval_peak_buffer_bytes
             .raise_to(report.buffer.peak_live_bytes);
+        if let Some(schema) = &report.schema {
+            self.eval_early_scan_ends.add(schema.early_scan_ends);
+            self.eval_early_signoffs.add(schema.early_signoffs);
+        }
     }
 
     /// The `GET /stats` document (hand-rolled JSON; no external deps).
@@ -110,7 +120,8 @@ impl ServerStats {
              \"rejected_busy\":{},\"rejected_buffer\":{},\
              \"client_errors\":{},\"server_errors\":{},\
              \"eval\":{{\"runs\":{},\"tokens\":{},\"purged_nodes\":{},\
-             \"output_bytes\":{},\"peak_buffer_bytes\":{}}}",
+             \"output_bytes\":{},\"peak_buffer_bytes\":{},\
+             \"early_scan_ends\":{},\"early_signoffs\":{}}}",
             uptime.as_secs_f64(),
             uptime.as_secs(),
             max_buffer_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
@@ -127,6 +138,8 @@ impl ServerStats {
             self.eval_purged.get(),
             self.eval_output_bytes.get(),
             self.eval_peak_buffer_bytes.get(),
+            self.eval_early_scan_ends.get(),
+            self.eval_early_signoffs.get(),
         );
         out.push_str(",\"per_query\":{");
         for (i, (name, evals)) in per_query.iter().enumerate() {
@@ -201,7 +214,8 @@ mod tests {
              \"rejected_busy\":0,\"rejected_buffer\":0,\
              \"client_errors\":0,\"server_errors\":0,\
              \"eval\":{\"runs\":0,\"tokens\":0,\"purged_nodes\":0,\
-             \"output_bytes\":0,\"peak_buffer_bytes\":0},\
+             \"output_bytes\":0,\"peak_buffer_bytes\":0,\
+             \"early_scan_ends\":0,\"early_signoffs\":0},\
              \"per_query\":{\"alpha\":2,\"q-weird.\\\"name\":1}}"
         );
     }

@@ -19,6 +19,10 @@ pub struct XmarkConfig {
     pub target_bytes: u64,
     /// RNG seed: equal seeds produce byte-identical documents.
     pub seed: u64,
+    /// Emit a `<!DOCTYPE site [...]>` declaration carrying the trimmed
+    /// XMark DTD ([`gcx_schema::XMARK_DTD`]) as an internal subset, so a
+    /// schema-aware consumer can adopt it straight from the stream.
+    pub doctype: bool,
 }
 
 impl XmarkConfig {
@@ -27,7 +31,14 @@ impl XmarkConfig {
         XmarkConfig {
             target_bytes,
             seed: 0x6C_78_67,
+            doctype: false,
         }
+    }
+
+    /// [`XmarkConfig::sized`] with the DOCTYPE declaration turned on.
+    pub fn with_doctype(mut self) -> XmarkConfig {
+        self.doctype = true;
+        self
     }
 
     /// Entity counts derived from the byte target.
@@ -188,6 +199,9 @@ pub fn generate<W: Write>(cfg: &XmarkConfig, sink: W) -> io::Result<u64> {
     let g = Gen { counts };
 
     write!(w, "<?xml version=\"1.0\" standalone=\"yes\"?>")?;
+    if cfg.doctype {
+        write!(w, "<!DOCTYPE site [\n{}]>", gcx_schema::XMARK_DTD)?;
+    }
     write!(w, "<site>")?;
     g.regions(&mut w, &mut rng)?;
     g.categories(&mut w, &mut rng)?;
@@ -493,11 +507,13 @@ mod tests {
         let cfg = XmarkConfig {
             target_bytes: 50_000,
             seed: 42,
+            doctype: false,
         };
         assert_eq!(generate_string(&cfg), generate_string(&cfg));
         let other = XmarkConfig {
             target_bytes: 50_000,
             seed: 43,
+            doctype: false,
         };
         assert_ne!(generate_string(&cfg), generate_string(&other));
     }
@@ -522,6 +538,32 @@ mod tests {
         let mut t = gcx_xml::Tokenizer::from_str(&doc);
         t.validate_to_end()
             .expect("generated document must be well-formed");
+    }
+
+    #[test]
+    fn doctype_is_emitted_and_adoptable() {
+        let plain = generate_string(&XmarkConfig::sized(50_000));
+        let doc = generate_string(&XmarkConfig::sized(50_000).with_doctype());
+        assert!(!plain.contains("<!DOCTYPE"));
+        let decl = doc.find("<!DOCTYPE site [").expect("declaration present");
+        assert!(decl > 0 && decl < doc.find("<site>").unwrap());
+        // The declaration only prepends: the document body is unchanged.
+        assert_eq!(
+            doc.find("<site>").map(|i| &doc[i..]),
+            Some(&plain[plain.find("<site>").unwrap()..])
+        );
+        // Still well-formed, and the subset round-trips into a usable DTD.
+        let mut t = gcx_xml::Tokenizer::from_str(&doc);
+        t.validate_to_end().expect("doctype document well-formed");
+        let payload_start = decl + "<!".len();
+        let payload_end = doc.find("]>").expect("subset end") + 1;
+        let view = gcx_xml::DoctypeView::parse(&doc[payload_start..payload_end])
+            .expect("emitted declaration parses");
+        assert_eq!(view.name, "site");
+        let dtd = gcx_schema::Dtd::from_doctype_parts(view.name, view.subset)
+            .expect("emitted subset builds a DTD");
+        assert_eq!(dtd.root(), Some("site"));
+        assert_eq!(dtd.len(), gcx_schema::Dtd::xmark().len());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Structured view of a `<!DOCTYPE ...>` declaration payload.
+//!
+//! The tokenizer delivers a [`Token::Doctype`](crate::Token::Doctype) as
+//! the verbatim text between `<!` and the matching `>` (internal subsets
+//! with nested `[...]` included). [`DoctypeView::parse`] splits that into
+//! the document-element name and the optional internal subset, so schema
+//! consumers never re-scan raw declaration syntax. Malformed declarations
+//! produce typed [`DoctypeError`]s — never panics: the engine treats an
+//! unusable DOCTYPE as "no schema", not as a fatal document error.
+
+use std::fmt;
+
+/// Why a DOCTYPE payload could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DoctypeError {
+    /// The payload does not begin with the `DOCTYPE` keyword.
+    NotADoctype,
+    /// No document-element name follows the keyword.
+    MissingName,
+    /// An internal subset was opened with `[` but never closed.
+    UnterminatedSubset,
+    /// Non-whitespace garbage followed the closing `]` of the subset.
+    TrailingGarbage,
+}
+
+impl fmt::Display for DoctypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoctypeError::NotADoctype => write!(f, "payload does not start with DOCTYPE"),
+            DoctypeError::MissingName => write!(f, "DOCTYPE has no document-element name"),
+            DoctypeError::UnterminatedSubset => {
+                write!(f, "DOCTYPE internal subset '[' is never closed")
+            }
+            DoctypeError::TrailingGarbage => {
+                write!(f, "unexpected content after DOCTYPE internal subset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DoctypeError {}
+
+/// A parsed `<!DOCTYPE ...>` declaration, borrowing from the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoctypeView<'a> {
+    /// The declared document-element name (`site` in `<!DOCTYPE site ...>`).
+    pub name: &'a str,
+    /// The internal subset between `[` and `]`, brackets excluded, when
+    /// one is present. External identifiers (`SYSTEM`/`PUBLIC ...`) are
+    /// skipped, not resolved.
+    pub subset: Option<&'a str>,
+}
+
+impl<'a> DoctypeView<'a> {
+    /// Parse a doctype token payload (the text between `<!` and `>`).
+    pub fn parse(payload: &'a str) -> Result<DoctypeView<'a>, DoctypeError> {
+        let rest = payload
+            .strip_prefix("DOCTYPE")
+            .ok_or(DoctypeError::NotADoctype)?;
+        // The keyword must be delimited: `DOCTYPEsite` is not a doctype.
+        if !rest.is_empty() && !rest.starts_with(|c: char| c.is_ascii_whitespace()) {
+            return Err(DoctypeError::NotADoctype);
+        }
+        let rest = rest.trim_start();
+        let name_len = rest
+            .find(|c: char| c.is_ascii_whitespace() || c == '[' || c == '>')
+            .unwrap_or(rest.len());
+        let name = &rest[..name_len];
+        if name.is_empty() {
+            return Err(DoctypeError::MissingName);
+        }
+        let after_name = &rest[name_len..];
+        let Some(open) = after_name.find('[') else {
+            // No internal subset; whatever follows is an external id (or
+            // nothing) — legal either way, and not our job to resolve.
+            return Ok(DoctypeView { name, subset: None });
+        };
+        // The subset runs to the matching `]` at depth zero: declarations
+        // inside never contain bare square brackets, but conditional-
+        // section syntax does, so track nesting rather than scanning for
+        // the first `]`.
+        let body = &after_name[open + 1..];
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, b) in body.bytes().enumerate() {
+            match b {
+                b'[' => depth += 1,
+                b']' if depth > 0 => depth -= 1,
+                b']' => {
+                    close = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            return Err(DoctypeError::UnterminatedSubset);
+        };
+        if !body[close + 1..].trim().is_empty() {
+            return Err(DoctypeError::TrailingGarbage);
+        }
+        Ok(DoctypeView {
+            name,
+            subset: Some(&body[..close]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_only() {
+        let v = DoctypeView::parse("DOCTYPE site").unwrap();
+        assert_eq!(v.name, "site");
+        assert_eq!(v.subset, None);
+    }
+
+    #[test]
+    fn external_id_is_skipped() {
+        let v = DoctypeView::parse("DOCTYPE site SYSTEM \"site.dtd\"").unwrap();
+        assert_eq!(v.name, "site");
+        assert_eq!(v.subset, None);
+    }
+
+    #[test]
+    fn internal_subset_is_extracted() {
+        let v = DoctypeView::parse("DOCTYPE site [ <!ELEMENT site (a, b)> ]").unwrap();
+        assert_eq!(v.name, "site");
+        assert_eq!(v.subset, Some(" <!ELEMENT site (a, b)> "));
+    }
+
+    #[test]
+    fn subset_directly_after_name() {
+        let v = DoctypeView::parse("DOCTYPE site[<!ELEMENT site (a)>]").unwrap();
+        assert_eq!(v.name, "site");
+        assert_eq!(v.subset, Some("<!ELEMENT site (a)>"));
+    }
+
+    #[test]
+    fn nested_brackets_in_subset() {
+        let v = DoctypeView::parse("DOCTYPE d [ <![INCLUDE[ <!ELEMENT d (x)> ]]> ]").unwrap();
+        assert_eq!(v.subset, Some(" <![INCLUDE[ <!ELEMENT d (x)> ]]> "));
+    }
+
+    #[test]
+    fn not_a_doctype() {
+        assert_eq!(
+            DoctypeView::parse("ELEMENT a (b)"),
+            Err(DoctypeError::NotADoctype)
+        );
+        assert_eq!(
+            DoctypeView::parse("DOCTYPEsite"),
+            Err(DoctypeError::NotADoctype)
+        );
+    }
+
+    #[test]
+    fn missing_name() {
+        assert_eq!(
+            DoctypeView::parse("DOCTYPE"),
+            Err(DoctypeError::MissingName)
+        );
+        assert_eq!(
+            DoctypeView::parse("DOCTYPE   "),
+            Err(DoctypeError::MissingName)
+        );
+        assert_eq!(
+            DoctypeView::parse("DOCTYPE [ <!ELEMENT a (b)> ]"),
+            Err(DoctypeError::MissingName),
+            "a bare subset is not a name"
+        );
+    }
+
+    #[test]
+    fn unterminated_subset() {
+        assert_eq!(
+            DoctypeView::parse("DOCTYPE site [ <!ELEMENT a (b)>"),
+            Err(DoctypeError::UnterminatedSubset)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage() {
+        assert_eq!(
+            DoctypeView::parse("DOCTYPE site [ ] junk"),
+            Err(DoctypeError::TrailingGarbage)
+        );
+    }
+
+    /// Drive the push tokenizer over `doc` in `chunk`-byte pieces and
+    /// return the first doctype payload (owned), or the tokenizer error.
+    fn doctype_chunked(doc: &str, chunk: usize) -> Result<Option<String>, String> {
+        let mut t = crate::PushTokenizer::new();
+        let mut fed = 0;
+        loop {
+            match t.step() {
+                Ok(crate::TokenStep::Token) => {
+                    if let crate::Token::Doctype(d) = t.token() {
+                        return Ok(Some(d.to_string()));
+                    }
+                }
+                Ok(crate::TokenStep::End) => return Ok(None),
+                Ok(crate::TokenStep::NeedMoreData) => {
+                    if fed < doc.len() {
+                        let next = (fed + chunk).min(doc.len());
+                        t.feed(&doc.as_bytes()[fed..next]);
+                        fed = next;
+                    } else {
+                        t.finish_input();
+                    }
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_survives_one_byte_feeds() {
+        let doc = "<!DOCTYPE site [ <!ELEMENT site (a, b)> <!ELEMENT a EMPTY> ]><site/>";
+        let whole = doctype_chunked(doc, doc.len()).unwrap().unwrap();
+        for chunk in [1, 2, 3, 7] {
+            let payload = doctype_chunked(doc, chunk).unwrap().unwrap();
+            assert_eq!(payload, whole, "chunk size {chunk}");
+            let v = DoctypeView::parse(&payload).unwrap();
+            assert_eq!(v.name, "site");
+            assert!(v.subset.unwrap().contains("<!ELEMENT site (a, b)>"));
+        }
+    }
+
+    #[test]
+    fn truncated_doctype_is_a_typed_tokenizer_error() {
+        // The stream ends inside the internal subset: the tokenizer must
+        // report a well-formedness error, never panic or hang.
+        let doc = "<!DOCTYPE site [ <!ELEMENT site (a";
+        for chunk in [1, doc.len()] {
+            let err = doctype_chunked(doc, chunk).unwrap_err();
+            assert!(err.contains("DOCTYPE"), "chunk {chunk}: {err}");
+        }
+    }
+}

@@ -33,6 +33,7 @@
 //! assert_eq!(tags, ["bib", "book"]);
 //! ```
 
+mod doctype;
 mod error;
 pub mod escape;
 mod pos;
@@ -42,6 +43,7 @@ mod token;
 mod tokenizer;
 mod writer;
 
+pub use doctype::{DoctypeError, DoctypeView};
 pub use error::{XmlError, XmlErrorKind, XmlResult};
 pub use pos::TextPos;
 pub use push::{PushTokenizer, TokenStep};

@@ -32,6 +32,7 @@
 //! | [`query`] | lexer, parser, AST, normalizer for the XQuery fragment |
 //! | [`projection`] | roles, projection paths, signOff insertion, stream NFA |
 //! | [`ir`] | the lower stage: flat, shareable compiled-query programs |
+//! | [`schema`] | DTD model: projection pruning, reachability, sibling-order cutoffs |
 //! | [`core`](mod@core) | buffer + active GC, preprojector, program executor, engine |
 //! | [`dom`] | full-buffering DOM baseline (differential oracle) |
 //! | [`xmark`] | XMark-like generator + the paper's benchmark queries |
@@ -51,7 +52,7 @@
 
 pub use gcx_core::{
     run, run_query, BufferStats, CompiledQuery, Emitted, EngineError, EngineOptions, EvalSession,
-    RunReport, Timeline,
+    RunReport, SchemaReport, Timeline,
 };
 
 /// The streaming XML substrate (tokenizer, writer, interning).
@@ -72,6 +73,12 @@ pub mod projection {
 /// The lower stage: flat, shareable compiled-query programs.
 pub mod ir {
     pub use gcx_ir::*;
+}
+
+/// DTD model + schema-driven analyses (projection pruning,
+/// descendant reachability, sibling-order cutoffs).
+pub mod schema {
+    pub use gcx_schema::*;
 }
 
 /// The runtime (buffer, preprojector, evaluator, engine API).
