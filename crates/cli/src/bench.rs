@@ -187,13 +187,16 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
     }
 
     // ---- batched shared-stream pass ----------------------------------------
-    let batch_opts = gcx_multi::BatchOptions::default();
+    // Prepared once: the iteration loop measures evaluation, not the
+    // per-batch NFA merge (which the plan caches across runs).
+    let batch_run = gcx_multi::SharedRun::new(gcx_multi::BatchOptions::default());
+    let batch_plan = batch_run.prepare(&queries);
     let mut batch_best_ms = f64::MAX;
     let mut batch_report = None;
     for _ in 0..iters {
         let start = Instant::now();
-        let report = gcx_multi::SharedRun::new(batch_opts.clone())
-            .run(&queries, std::io::Cursor::new(&doc[..]))
+        let report = batch_run
+            .run_prepared(&batch_plan, &queries, std::io::Cursor::new(&doc[..]))
             .map_err(|e| e.to_string())?;
         let ms = start.elapsed().as_secs_f64() * 1e3;
         if ms < batch_best_ms {
@@ -291,6 +294,68 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
         named.len(),
     );
 
+    // ---- partition-parallel sweep -------------------------------------------
+    // `--threads N` re-runs every query through `gcx_par::run_parallel`:
+    // outputs must stay byte-identical to the standalone sweep, and the
+    // per-query wall-clock, speedup, taken path and shard count are
+    // recorded under `parallel`. The `cpus` field keeps the numbers
+    // honest — a 4-thread sweep on a 1-core box measures overhead, not
+    // speedup.
+    let par_threads: usize = match flag_value(&flags, "--threads") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&t| t > 0)
+            .ok_or("--threads must be a positive number")?,
+        None => 0,
+    };
+    let mut par_json = String::new();
+    let mut par_ok = true;
+    if par_threads > 1 {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let par_opts = gcx_par::ParOptions::with_threads(par_threads);
+        par_json =
+            format!(",\"parallel\":{{\"threads\":{par_threads},\"cpus\":{cpus},\"queries\":[");
+        for (i, ((name, _), q)) in named.iter().zip(&queries).enumerate() {
+            let mut best_ms = f64::MAX;
+            let mut last = None;
+            for _ in 0..iters {
+                let start = Instant::now();
+                let outcome = gcx_par::run_parallel(q, &opts, &par_opts, &doc)
+                    .map_err(|e| format!("{name} (parallel): {e}"))?;
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                last = Some(outcome);
+            }
+            let outcome = last.expect("iters >= 1");
+            if outcome.output != single_outputs[i] {
+                par_ok = false;
+                eprintln!("WARNING: {name}: --threads changed the output!");
+            }
+            let speedup = singles[i].elapsed_ms / best_ms;
+            eprintln!(
+                "  {:<9} {:>8.1}ms  {:>5.2}x vs serial  path {:<9} {} shards",
+                name,
+                best_ms,
+                speedup,
+                outcome.path.as_str(),
+                outcome.shards,
+            );
+            if i > 0 {
+                par_json.push(',');
+            }
+            par_json.push_str(&format!(
+                "{{\"name\":\"{name}\",\"elapsed_ms\":{best_ms:.3},\"mb_per_s\":{:.3},\
+                 \"speedup\":{speedup:.3},\"shard_path\":\"{}\",\"shards\":{}}}",
+                doc_mb / (best_ms / 1e3),
+                outcome.path.as_str(),
+                outcome.shards,
+            ));
+        }
+        par_json.push_str(&format!("],\"outputs_match\":{par_ok}}}"));
+    }
+
     let tokens = singles.first().map(|s| s.tokens).unwrap_or(0);
     // Per-query average throughput: doc_mb per mean per-query time.
     let single_mb_s = doc_mb * named.len() as f64 / (single_total_ms / 1e3);
@@ -366,7 +431,9 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
             r.early_signoffs,
         ));
     }
-    json.push_str("]}}");
+    json.push_str("]}");
+    json.push_str(&par_json);
+    json.push('}');
 
     let mut f =
         std::fs::File::create(out_path).map_err(|e| format!("cannot create `{out_path}`: {e}"))?;
@@ -379,6 +446,9 @@ fn cmd_throughput(args: &[String]) -> Result<(), String> {
     }
     if !schema_ok {
         return Err("--schema changed an output or raised a buffer peak".into());
+    }
+    if !par_ok {
+        return Err("--threads changed an output".into());
     }
     let q8 = singles
         .iter()

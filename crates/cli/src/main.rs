@@ -60,14 +60,16 @@ USAGE:
   gcx run     <query.xq | -e QUERY> <input.xml> [--engine gcx|projection|full|dom]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
               [--obs] [--trace FILE] [--no-opt] [--schema xmark|FILE]
+              [--threads N]
   gcx multi   <batch.xq | --xmark> <input.xml> [--out-dir DIR]
               [--stats] [--stats-json] [--indent] [--max-buffer-bytes N]
               [--obs] [--trace FILE] [--no-opt] [--schema xmark|FILE]
   gcx serve   [--addr HOST:PORT] [--workers N] [--queue N]
               [--max-buffer-bytes N] [--read-timeout-secs S]
               [--max-request-secs S] [--no-opt] [--schema xmark|FILE]
+              [--eval-threads N]
   gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke] [--min-q8-mbs N]
-              [--out FILE]
+              [--threads N] [--out FILE]
   gcx bench   serve [--mb N] [--clients N] [--seed S] [--smoke] [--out FILE]
   gcx bench   obs-overhead [--mb N] [--iters K] [--seed S] [--smoke]
               [--min-q8-mbs N] [--out FILE]
@@ -144,6 +146,20 @@ program vs recompiling per request. Writes BENCH_server.json.
 and telemetry on — asserts outputs and buffer peaks are identical in
 both modes, and records the wall-clock delta. The same comparison is
 embedded in BENCH_throughput.json under `obs_overhead`.
+
+`--threads N` (run) partitions the document across N worker threads
+when the query is shard-safe: the input is read whole, split at
+guard-checked element boundaries, each shard evaluated by its own
+engine on its own thread, and the outputs merged in document order —
+byte-identical to a serial run (pinned by the parallel differential
+suite). Whole-document `count(...)` queries take a two-phase path
+(per-shard counts, summed); anything the shard-safety analysis cannot
+prove (e.g. Q8's cross-shard join) falls back to one thread with the
+reason under `--stats`/`--stats-json` (`shard_path`, `shards`,
+`threads`, `fallback`). `gcx serve --eval-threads N` applies the same
+budget to spooled request bodies and reports the taken path in the
+X-Gcx-Shard-Path response header; `gcx bench throughput --threads N`
+records a parallel sweep under `parallel` in BENCH_throughput.json.
 
 `--no-opt` (run, multi, serve) skips the gcx-ir plan optimizer (step
 fusion, shared path prefixes, exists caching, hash joins) and executes
@@ -312,6 +328,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let obs = flags.contains(&"--obs");
     let no_opt = flags.contains(&"--no-opt");
     let trace_path = take_trace(&flags)?;
+    let threads: usize = match bench::flag_value(&flags, "--threads") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&t| t > 0)
+            .ok_or("--threads must be a positive number")?,
+        None => 1,
+    };
 
     // One compiled artifact for every engine: the DOM oracle interprets
     // the normalized AST out of the same `CompiledQuery` the streaming
@@ -319,6 +343,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let q = CompiledQuery::compile_opts(&query_text, !no_opt).map_err(|e| e.to_string())?;
 
     if engine == "dom" {
+        if threads > 1 {
+            return Err(
+                "--threads needs a streaming engine (gcx|projection|full): the DOM oracle \
+                 cannot partition the document"
+                    .into(),
+            );
+        }
         if obs || trace_path.is_some() {
             return Err(
                 "--obs/--trace need a streaming engine (gcx|projection|full): the DOM \
@@ -365,8 +396,30 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     opts.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
     opts.telemetry = obs || trace_path.is_some();
     opts.schema = take_schema(&flags)?;
-    let input = open_input(input_path)?;
-    let report = if opts.telemetry {
+    let mut input = open_input(input_path)?;
+    // Partition facts for the stats report: (taken path, shard count,
+    // fallback reason). The plain streaming paths are honestly serial.
+    let mut shard_path = gcx_par::ShardPath::Serial;
+    let mut shards = 1usize;
+    let mut fallback: Option<String> = None;
+    let report = if threads > 1 {
+        // Partition-parallel evaluation needs the whole document (shards
+        // are byte ranges), so `--threads` trades streaming for cores.
+        let mut doc = Vec::new();
+        input
+            .read_to_end(&mut doc)
+            .map_err(|e| format!("input read: {e}"))?;
+        let outcome =
+            gcx_par::run_parallel(&q, &opts, &gcx_par::ParOptions::with_threads(threads), &doc)
+                .map_err(|e| e.to_string())?;
+        let mut out = BufWriter::new(std::io::stdout().lock());
+        out.write_all(&outcome.output).map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+        shard_path = outcome.path;
+        shards = outcome.shards;
+        fallback = outcome.fallback;
+        outcome.report
+    } else if opts.telemetry {
         // Drive the push session in chunks so the telemetry carries real
         // per-chunk feed spans (output and buffer peaks are bit-identical
         // to the pull-mode run — pinned by the chunk_splits suite).
@@ -381,7 +434,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         write_trace(path, &[("query".to_string(), &report)])?;
     }
     if stats_json {
-        let compile = format!("\"compile\":{{{}}}", compile_members(&q));
+        let par = format!(
+            "\"threads\":{threads},\"shards\":{shards},\"shard_path\":\"{}\"{}",
+            shard_path.as_str(),
+            fallback
+                .as_deref()
+                .map(|r| format!(
+                    ",\"fallback\":\"{}\"",
+                    r.replace('\\', "\\\\").replace('"', "\\\"")
+                ))
+                .unwrap_or_default(),
+        );
+        let compile = format!("{par},\"compile\":{{{}}}", compile_members(&q));
         eprintln!("{}", splice_json(&report.to_json(), &compile));
     } else if stats {
         eprintln!(
@@ -392,6 +456,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             report.buffer.purged,
             report.output_bytes
         );
+        if threads > 1 {
+            eprintln!(
+                "threads: {threads}   shards: {shards}   path: {}{}",
+                shard_path.as_str(),
+                fallback
+                    .as_deref()
+                    .map(|r| format!("   fallback: {r}"))
+                    .unwrap_or_default(),
+            );
+        }
     }
     Ok(())
 }
@@ -564,6 +638,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     config.max_buffer_bytes = take_max_buffer_bytes(&flags)?;
     config.optimize = !flags.contains(&"--no-opt");
     config.schema = take_schema(&flags)?;
+    if let Some(v) = flag_value("--eval-threads") {
+        config.eval_threads = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t > 0)
+            .ok_or("--eval-threads must be a positive number")?;
+    }
     if let Some(v) = flag_value("--read-timeout-secs") {
         let secs: u64 = v
             .parse()

@@ -676,6 +676,23 @@ fn stats_json_fields_are_documented_in_architecture_md() {
         "the batch must exercise both per_query shapes: {multi_stderr}"
     );
 
+    // A --threads run on a non-shard-safe query (the body copies the
+    // whole binding from the root) exercises the partition-parallel
+    // fields including `fallback`.
+    let par_run = gcx_bin()
+        .args(["run", "-e", "for $b in /bib return $b"])
+        .arg(&doc)
+        .args(["--threads", "2", "--stats-json"])
+        .output()
+        .unwrap();
+    assert!(par_run.status.success());
+    let par_keys = json_keys(&String::from_utf8_lossy(&par_run.stderr));
+    assert!(
+        par_keys.contains("fallback") && par_keys.contains("shard_path"),
+        "the --threads run must report its path and fallback reason"
+    );
+    keys.extend(par_keys);
+
     // A schema-aware run exercises the `schema` stats section.
     let sdoc = write_temp("schema-s.xml", "<site><regions></regions></site>");
     let schema_run = gcx_bin()

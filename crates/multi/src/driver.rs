@@ -36,7 +36,7 @@
 //! channel, which the driver observes on the next send.
 
 use crate::feed::{ChannelFeed, FeedEvent};
-use crate::matcher::MergedMatcher;
+use crate::matcher::{BatchPlan, MergedMatcher};
 use gcx_core::buffer::Ordinals;
 use gcx_core::{ChildCounters, CompiledQuery, EngineError, EngineOptions, RunReport};
 use gcx_query::ast::RoleId;
@@ -264,10 +264,37 @@ impl SharedRun {
         queries: &[CompiledQuery],
         input: R,
     ) -> Result<BatchReport, EngineError> {
+        self.run_prepared(&self.prepare(queries), queries, input)
+    }
+
+    /// Compile the batch's shared artifacts (merged projection NFA,
+    /// pre-interned symbol table, schema filter) once. Feeding the plan
+    /// back to [`SharedRun::run_prepared`] makes every further run of
+    /// the same batch compile nothing — the repeated-batch fast path.
+    pub fn prepare(&self, queries: &[CompiledQuery]) -> BatchPlan {
+        BatchPlan::new(queries, self.opts.schema.as_deref())
+    }
+
+    /// [`SharedRun::run`] against a prepared plan. `plan` must have been
+    /// built (by [`SharedRun::prepare`] with the same schema option) from
+    /// exactly this `queries` slice — same queries, same order; a plan
+    /// from a different batch projects the wrong paths.
+    pub fn run_prepared<R: Read>(
+        &self,
+        plan: &BatchPlan,
+        queries: &[CompiledQuery],
+        input: R,
+    ) -> Result<BatchReport, EngineError> {
+        assert_eq!(
+            plan.n_queries(),
+            queries.len(),
+            "batch plan was prepared for a different number of queries"
+        );
         let started = Instant::now();
-        let mut symbols = SymbolTable::new();
-        let (mut matcher, _root_roles) =
-            MergedMatcher::build_with_schema(queries, &mut symbols, self.opts.schema.as_deref());
+        // Interning during the scan is per-document: each run extends its
+        // own clone of the plan's pre-interned table.
+        let mut symbols = plan.symbols.clone();
+        let (mut matcher, _root_roles) = MergedMatcher::from_plan(plan);
         let engine_opts = EngineOptions {
             project: true,
             execute_signoffs: self.opts.execute_signoffs,

@@ -40,4 +40,4 @@ mod matcher;
 
 pub use driver::{run_batch, BatchOptions, BatchReport, QueryRun, SharedRun};
 pub use feed::{ChannelFeed, FeedEvent};
-pub use matcher::MergedMatcher;
+pub use matcher::{BatchPlan, MergedMatcher};

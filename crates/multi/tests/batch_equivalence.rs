@@ -115,3 +115,54 @@ fn join_query_in_a_batch() {
         assert_eq!(run.report.as_ref().unwrap().buffer.live, 0);
     }
 }
+
+#[test]
+fn prepared_plan_reuses_compilation_across_documents() {
+    // The repeated-batch fast path: prepare the merged NFA + symbol
+    // table once, then run several distinct documents through the same
+    // plan. Every run must be byte-identical to the compile-per-run
+    // path (and to standalone), including with a schema attached.
+    let queries = compile_batch();
+    let run = SharedRun::new(BatchOptions::default());
+    let plan = run.prepare(&queries);
+    assert_eq!(plan.n_queries(), queries.len());
+    for (kb, seed) in [(16u64, 1u64), (48, 2), (96, 3)] {
+        let mut cfg = XmarkConfig::sized(kb * 1024);
+        cfg.seed = seed;
+        let doc = generate_string(&cfg);
+        let prepared = run.run_prepared(&plan, &queries, doc.as_bytes()).unwrap();
+        let fresh = run.run(&queries, doc.as_bytes()).unwrap();
+        for (i, ((name, _), p)) in batch_texts().iter().zip(&prepared.queries).enumerate() {
+            let f = &fresh.queries[i];
+            assert_eq!(
+                p.output, f.output,
+                "{name} @ {kb}KB: prepared-plan output differs from compile-per-run"
+            );
+            assert_eq!(p.output, standalone(&queries[i], &doc).0);
+            assert_eq!(
+                p.report.as_ref().unwrap().buffer.peak_live,
+                f.report.as_ref().unwrap().buffer.peak_live,
+                "{name}: prepared-plan buffer peak drifted"
+            );
+        }
+        assert_eq!(prepared.tokens, fresh.tokens);
+    }
+
+    // Schema-aware plans share the pruned automaton + reach filter too.
+    let schema_run = SharedRun::new(BatchOptions {
+        schema: Some(gcx_schema::Dtd::xmark()),
+        ..BatchOptions::default()
+    });
+    let plan = schema_run.prepare(&queries);
+    let doc = generate_string(&XmarkConfig::sized(64 * 1024));
+    let prepared = schema_run
+        .run_prepared(&plan, &queries, doc.as_bytes())
+        .unwrap();
+    let fresh = schema_run.run(&queries, doc.as_bytes()).unwrap();
+    for ((name, _), (p, f)) in batch_texts()
+        .iter()
+        .zip(prepared.queries.iter().zip(&fresh.queries))
+    {
+        assert_eq!(p.output, f.output, "{name}: schema prepared-plan differs");
+    }
+}

@@ -120,6 +120,22 @@ impl Hist {
         self.max
     }
 
+    /// Fold another histogram into this one. Requires identical bucket
+    /// bounds (all engine histograms use the shared static bound sets,
+    /// so shard reports merge without rebinning).
+    pub fn merge(&mut self, other: &Hist) {
+        assert!(
+            std::ptr::eq(self.bounds, other.bounds) || self.bounds == other.bounds,
+            "merging histograms with different bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Bucket upper bounds (without the implicit `+Inf`).
     pub fn bounds(&self) -> &'static [u64] {
         self.bounds

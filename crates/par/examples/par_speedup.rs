@@ -1,0 +1,35 @@
+//! Quick wall-clock probe: serial vs parallel on generated XMark input.
+use gcx_core::{CompiledQuery, EngineOptions};
+use gcx_par::{run_parallel, ParOptions};
+use std::time::Instant;
+
+fn main() {
+    let mb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let mut cfg = gcx_xmark::XmarkConfig::sized(mb * 1024 * 1024);
+    cfg.seed = 7;
+    let doc = gcx_xmark::generate_string(&cfg);
+    let doc = doc.as_bytes();
+    for (name, text) in gcx_xmark::queries::paper_queries() {
+        let q = CompiledQuery::compile(text).unwrap();
+        let opts = EngineOptions::gcx();
+        let t0 = Instant::now();
+        let serial = run_parallel(&q, &opts, &ParOptions::with_threads(1), doc).unwrap();
+        let ts = t0.elapsed();
+        let t1 = Instant::now();
+        let par = run_parallel(&q, &opts, &ParOptions::with_threads(4), doc).unwrap();
+        let tp = t1.elapsed();
+        assert_eq!(serial.output, par.output, "{name} output mismatch");
+        println!(
+            "{name:12} serial {:>7.1}ms parallel {:>7.1}ms x{:.2} path={} shards={} {}",
+            ts.as_secs_f64() * 1e3,
+            tp.as_secs_f64() * 1e3,
+            ts.as_secs_f64() / tp.as_secs_f64(),
+            par.path.as_str(),
+            par.shards,
+            par.fallback.as_deref().unwrap_or("")
+        );
+    }
+}

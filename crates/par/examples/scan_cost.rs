@@ -1,0 +1,21 @@
+//! Boundary-scan throughput probe.
+use std::time::Instant;
+fn main() {
+    let mb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let mut cfg = gcx_xmark::XmarkConfig::sized(mb * 1024 * 1024);
+    cfg.seed = 7;
+    let doc = gcx_xmark::generate_string(&cfg);
+    let t = Instant::now();
+    let o = gcx_xml::scan_boundaries(doc.as_bytes(), 3).unwrap();
+    let dt = t.elapsed();
+    println!(
+        "{} bytes, {} events, {:.1}ms ({:.0} MB/s)",
+        doc.len(),
+        o.events.len(),
+        dt.as_secs_f64() * 1e3,
+        doc.len() as f64 / 1e6 / dt.as_secs_f64()
+    );
+}

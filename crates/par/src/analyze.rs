@@ -1,0 +1,364 @@
+//! Shard-safety analysis over the optimized IR.
+//!
+//! Decides, per compiled query, whether partition-parallel evaluation can
+//! reproduce the serial output byte for byte — and if so, what the merge
+//! has to do. The analysis never looks at the document; it produces
+//! *guard paths* that the splitter later checks against the concrete
+//! ancestor chain of every candidate split point (see
+//! [`crate::split`]).
+//!
+//! ## The safe shape
+//!
+//! A query is shard-safe when, after peeling static wrappers, it is a
+//! chain of `for` loops whose composed binding path is rooted at the
+//! document root, with a body confined to the innermost binding:
+//!
+//! ```text
+//! <w1><w2> {                        static wrappers (prefix/suffix)
+//!   for $a in /s1/s2 return        spine: Root-rooted,
+//!     for $b in $a//s3 return      chained through the previous var
+//!       BODY($b)                   every path rooted at $b (or vars
+//! } </w2></w1>                     bound from it); no joins
+//! ```
+//!
+//! Run over a sub-document that contains a *contiguous, complete* subset
+//! of the spine bindings (plus re-opened ancestors that the guard check
+//! proves can never themselves be bindings), such a query emits exactly
+//! `prefix · (its bindings' output) · suffix` — so shard outputs
+//! concatenate, in shard order, into the serial output. `signOff`
+//! statements anywhere are exempt from confinement: they only touch the
+//! shard-local buffer, never the output.
+//!
+//! Whole-document `count(...)` aggregates take the two-phase route
+//! instead: each shard counts its own matches and the merge sums — exact,
+//! because count is associative over a partition of the match set (no
+//! float re-association, unlike `sum`/`avg`, which stay serial).
+//!
+//! Everything else — cross-shard joins (Q8's `HashJoin`), bodies that
+//! re-enter the document root, positional predicates on the spine,
+//! multiple dynamic items per level (output interleaving would change) —
+//! reports `Unsafe` and the runtime falls back to the serial path.
+
+use gcx_ir::{
+    AttrPlan, CondId, CondIr, EAxis, ETest, EvalStep, Instr, InstrId, OperandIr, PlanRoot, Program,
+};
+use gcx_query::ast::VarId;
+
+/// How shard results recombine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Concatenate shard cores between the static prefix/suffix.
+    Concat,
+    /// Parse each shard core as an integer count and emit the sum.
+    SumCount,
+}
+
+/// One static wrapper element peeled off the query root.
+#[derive(Debug, Clone)]
+pub struct Wrapper {
+    /// Element name (raw program string).
+    pub name: String,
+    /// Literal attributes, in emission order (raw, unescaped).
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A guard step: an [`EvalStep`] with its name test resolved to a string,
+/// so the splitter can match it against raw document bytes.
+#[derive(Debug, Clone)]
+pub struct GStep {
+    /// Axis.
+    pub axis: EAxis,
+    /// Resolved node test.
+    pub test: GTest,
+}
+
+/// Resolved node test of a guard step.
+#[derive(Debug, Clone)]
+pub enum GTest {
+    /// Element with this name.
+    Name(String),
+    /// Any element.
+    Star,
+    /// Any text node (never matches an element).
+    Text,
+    /// Any node.
+    AnyNode,
+}
+
+/// One guard path: a split point is unsafe if any element left open at
+/// the split (any ancestor of the cut) could be selected by this path —
+/// its subtree, or its attributes, would then be divided or duplicated
+/// across shards.
+#[derive(Debug, Clone)]
+pub struct GuardPath {
+    /// Element steps, root-context first.
+    pub steps: Vec<GStep>,
+}
+
+/// The analysis result for a shard-safe query.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Merge mode.
+    pub mode: ShardMode,
+    /// Static wrappers, outermost first.
+    pub wrappers: Vec<Wrapper>,
+    /// Guard paths the splitter must respect.
+    pub guards: Vec<GuardPath>,
+}
+
+/// Whether (and how) a program can run partition-parallel.
+#[derive(Debug, Clone)]
+pub enum Analysis {
+    /// Shard-safe; the plan drives splitting and merging.
+    Safe(ShardPlan),
+    /// Not shard-safe, with the human-readable reason the CLI reports.
+    Unsafe(&'static str),
+}
+
+/// Analyze an optimized program for shard safety.
+pub fn analyze(p: &Program) -> Analysis {
+    match analyze_inner(p) {
+        Ok(plan) => Analysis::Safe(plan),
+        Err(reason) => Analysis::Unsafe(reason),
+    }
+}
+
+type AResult<T> = Result<T, &'static str>;
+
+fn analyze_inner(p: &Program) -> AResult<ShardPlan> {
+    let mut wrappers = Vec::new();
+    let mut cur = p.root();
+    // Peel static wrappers: constructed elements and sequences whose
+    // other items are output-free (signOffs, the optimizer's Nops).
+    let core = loop {
+        match p.instr(cur) {
+            Instr::Seq { first, len } => {
+                cur =
+                    single_dynamic_item(p, first, len)?.ok_or("the query emits nothing dynamic")?;
+            }
+            Instr::Element {
+                name,
+                attrs_first,
+                attrs_len,
+                content,
+            } => {
+                wrappers.push(Wrapper {
+                    name: p.str_(name).to_string(),
+                    attrs: p
+                        .attr_pairs(attrs_first, attrs_len)
+                        .iter()
+                        .map(|&(k, v)| (p.str_(k).to_string(), p.str_(v).to_string()))
+                        .collect(),
+                });
+                cur = content;
+            }
+            Instr::For { .. } | Instr::OutputPath(_) | Instr::Aggregate { .. } => break cur,
+            Instr::Nop | Instr::SignOff { .. } => return Err("the query emits nothing dynamic"),
+            Instr::Text(_) => return Err("static text at the query root"),
+            Instr::If { .. } => return Err("a top-level conditional over the whole document"),
+            Instr::HashJoin(_) => return Err("a join over the whole document"),
+        }
+    };
+    match p.instr(core) {
+        Instr::For { .. } => {
+            let guard = spine(p, core)?;
+            Ok(ShardPlan {
+                mode: ShardMode::Concat,
+                wrappers,
+                guards: vec![guard],
+            })
+        }
+        Instr::OutputPath(path) => {
+            let guard = root_guard(p, path)?;
+            Ok(ShardPlan {
+                mode: ShardMode::Concat,
+                wrappers,
+                guards: vec![guard],
+            })
+        }
+        Instr::Aggregate { func, path } => {
+            if func != gcx_query::ast::AggFunc::Count {
+                return Err("only count() aggregates partition exactly");
+            }
+            let guard = root_guard(p, path)?;
+            Ok(ShardPlan {
+                mode: ShardMode::SumCount,
+                wrappers,
+                guards: vec![guard],
+            })
+        }
+        _ => unreachable!("peel loop only breaks on For/OutputPath/Aggregate"),
+    }
+}
+
+/// Of a Seq's items, the single one that can produce output. `Ok(None)`
+/// when every item is output-free; `Err` when two could emit (their
+/// outputs would interleave differently across a shard seam).
+fn single_dynamic_item(p: &Program, first: u32, len: u32) -> AResult<Option<InstrId>> {
+    let mut dynamic = None;
+    for &item in p.seq_items(first, len) {
+        match p.instr(item) {
+            Instr::Nop | Instr::SignOff { .. } => {}
+            _ => {
+                if dynamic.replace(item).is_some() {
+                    return Err("two output-producing items at the same level");
+                }
+            }
+        }
+    }
+    Ok(dynamic)
+}
+
+/// Follow the chain of `for`s from the query core: the first must bind a
+/// Root-rooted path, each next one the previous variable; the final body
+/// must be confined to the innermost binding. Returns the guard for the
+/// composed spine path.
+fn spine(p: &Program, head: InstrId) -> AResult<GuardPath> {
+    let mut composed: Vec<EvalStep> = Vec::new();
+    let mut innermost: Option<VarId> = None;
+    let mut cur = head;
+    loop {
+        let Instr::For {
+            var, path, body, ..
+        } = p.instr(cur)
+        else {
+            unreachable!("spine() is only called on For instructions");
+        };
+        let plan = p.path(path);
+        match (plan.root, innermost) {
+            (PlanRoot::Root, None) => {}
+            (PlanRoot::Var(v), Some(inner)) if v == inner => {}
+            _ => return Err("a loop binds a path off the shard spine"),
+        }
+        composed.extend_from_slice(p.path_steps(plan));
+        innermost = Some(var);
+        let binds_attrs = plan.attr != AttrPlan::None;
+        // The body: either extends the spine with one more For over the
+        // fresh variable, or is a general body confined to it.
+        let next = match p.instr(body) {
+            Instr::Seq { first, len } => single_dynamic_item(p, first, len)?,
+            Instr::Nop | Instr::SignOff { .. } => None,
+            _ => Some(body),
+        };
+        match next {
+            Some(next_for)
+                if !binds_attrs
+                    && matches!(
+                        p.instr(next_for),
+                        Instr::For { path: np, .. }
+                            if p.path(np).root == PlanRoot::Var(var)
+                    ) =>
+            {
+                cur = next_for;
+            }
+            Some(other) => {
+                let mut allowed = vec![var];
+                confined(p, other, &mut allowed)?;
+                break;
+            }
+            None => break,
+        }
+    }
+    finish_guard(composed, p)
+}
+
+/// Guard for a Root-rooted output/aggregate path at the query core.
+fn root_guard(p: &Program, path: gcx_ir::PathId) -> AResult<GuardPath> {
+    let plan = p.path(path);
+    if plan.root != PlanRoot::Root {
+        return Err("a core path not rooted at the document");
+    }
+    finish_guard(p.path_steps(plan).to_vec(), p)
+}
+
+fn finish_guard(steps: Vec<EvalStep>, p: &Program) -> AResult<GuardPath> {
+    if steps.is_empty() {
+        return Err("the query binds the document root itself");
+    }
+    if steps.iter().any(|s| s.pos.is_some()) {
+        return Err("a positional predicate on the spine path");
+    }
+    let steps = steps
+        .iter()
+        .map(|s| GStep {
+            axis: s.axis,
+            test: match s.test {
+                ETest::Name(sym) => GTest::Name(p.symbols().resolve(sym).to_string()),
+                ETest::Star => GTest::Star,
+                ETest::Text => GTest::Text,
+                ETest::AnyNode => GTest::AnyNode,
+            },
+        })
+        .collect();
+    Ok(GuardPath { steps })
+}
+
+/// Check that every path an instruction subtree evaluates is rooted at a
+/// variable bound (transitively) from the spine's innermost binding —
+/// i.e. the body never re-enters the document outside its binding's
+/// subtree. signOffs are exempt: they mutate the shard-local buffer only.
+fn confined(p: &Program, id: InstrId, allowed: &mut Vec<VarId>) -> AResult<()> {
+    match p.instr(id) {
+        Instr::Nop | Instr::Text(_) | Instr::SignOff { .. } => Ok(()),
+        Instr::Seq { first, len } => {
+            for &item in p.seq_items(first, len) {
+                confined(p, item, allowed)?;
+            }
+            Ok(())
+        }
+        Instr::Element { content, .. } => confined(p, content, allowed),
+        Instr::OutputPath(path) | Instr::Aggregate { path, .. } => check_path(p, path, allowed),
+        Instr::For {
+            var, path, body, ..
+        } => {
+            check_path(p, path, allowed)?;
+            allowed.push(var);
+            confined(p, body, allowed)
+        }
+        Instr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            check_cond(p, cond, allowed)?;
+            confined(p, then_branch, allowed)?;
+            confined(p, else_branch, allowed)
+        }
+        Instr::HashJoin(_) => Err("a join against the whole document inside a loop body"),
+    }
+}
+
+fn check_path(p: &Program, path: gcx_ir::PathId, allowed: &[VarId]) -> AResult<()> {
+    match p.path(path).root {
+        PlanRoot::Var(v) if allowed.contains(&v) => Ok(()),
+        _ => Err("a loop body reads outside its binding's subtree"),
+    }
+}
+
+fn check_cond(p: &Program, id: CondId, allowed: &[VarId]) -> AResult<()> {
+    match p.cond(id) {
+        CondIr::Const(_) => Ok(()),
+        CondIr::Not(c) => check_cond(p, c, allowed),
+        CondIr::And(a, b) | CondIr::Or(a, b) => {
+            check_cond(p, a, allowed)?;
+            check_cond(p, b, allowed)
+        }
+        CondIr::Exists(path) | CondIr::CachedExists { path, .. } => check_path(p, path, allowed),
+        CondIr::Compare { lhs, rhs, .. }
+        | CondIr::StringFn {
+            haystack: lhs,
+            needle: rhs,
+            ..
+        } => {
+            check_operand(p, lhs, allowed)?;
+            check_operand(p, rhs, allowed)
+        }
+    }
+}
+
+fn check_operand(p: &Program, id: gcx_ir::OperandId, allowed: &[VarId]) -> AResult<()> {
+    match p.operand(id) {
+        OperandIr::Lit { .. } => Ok(()),
+        OperandIr::Path(path) => check_path(p, path, allowed),
+    }
+}

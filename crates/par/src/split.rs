@@ -1,0 +1,232 @@
+//! Split planning: turn a boundary scan plus the analysis' guard paths
+//! into per-shard byte ranges with synthesized ancestor context.
+//!
+//! A split point is the `<` of some start tag below the root. The
+//! elements *left open* at that offset (the tag's ancestors) are "cut":
+//! their content is divided between shards and their start tags are
+//! replayed in every later shard's prelude. The guard check
+//! ([`guard_matches_chain`]) proves, per candidate, that no cut element
+//! can itself be selected by any guard path — so no binding subtree is
+//! divided, no binding attribute is duplicated, and the re-opened
+//! ancestors can never introduce a spurious match (an element inside a
+//! shard range has exactly the serial document's ancestor name chain).
+//!
+//! Each shard's input document is assembled from byte ranges of the
+//! original (zero-copy), in order:
+//!
+//! ```text
+//! [0 .. root_open_end)          XML decl, DOCTYPE, root start tag
+//! ancestor start tags           verbatim spans, outermost first
+//! [start .. end)                the shard's content range
+//! synthesized end tags          close the elements open at `end`
+//! ```
+//!
+//! The last shard runs to the end of the original document, so the real
+//! root end tag (and any trailing comments/PIs) close it.
+
+use crate::analyze::{GStep, GTest, GuardPath};
+use gcx_ir::EAxis;
+use gcx_xml::{ScanEvent, ScanOutline};
+use std::ops::Range;
+
+/// One shard's input: byte ranges into the original document plus a
+/// synthesized tail of end tags.
+#[derive(Debug, Clone)]
+pub struct ShardInput {
+    /// Ranges of the original document, fed in order.
+    pub pieces: Vec<Range<usize>>,
+    /// Synthesized closing tags fed after the last piece (empty for the
+    /// final shard).
+    pub tail: Vec<u8>,
+}
+
+/// Plan up to `want` shards over the scanned document. Returns a single
+/// full-document shard when no guard-safe split point exists.
+pub fn plan_shards(
+    doc: &[u8],
+    outline: &ScanOutline,
+    guards: &[GuardPath],
+    want: usize,
+) -> Vec<ShardInput> {
+    let span = outline
+        .root_close_start
+        .saturating_sub(outline.root_open_end);
+    if want < 2 || span == 0 {
+        return vec![whole(doc)];
+    }
+    let targets: Vec<usize> = (1..want)
+        .map(|k| outline.root_open_end + span * k / want)
+        .collect();
+
+    // Walk the scan events keeping the open-element stack; at the first
+    // guard-safe candidate at-or-after each target, cut.
+    struct Split {
+        offset: usize,
+        ancestors: Vec<(Range<usize>, Range<usize>)>, // (tag span, name span)
+    }
+    let mut stack: Vec<(Range<usize>, Range<usize>)> = Vec::new();
+    let mut splits: Vec<Split> = Vec::new();
+    let mut t = 0usize;
+    for ev in &outline.events {
+        match *ev {
+            ScanEvent::Open(b) => {
+                if b.depth >= 1 && t < targets.len() && b.start >= targets[t] {
+                    let chains: Vec<&[u8]> =
+                        stack.iter().map(|(_, name)| &doc[name.clone()]).collect();
+                    let safe = (1..=chains.len())
+                        .all(|k| !guards.iter().any(|g| guard_matches_chain(g, &chains[..k])));
+                    if safe {
+                        splits.push(Split {
+                            offset: b.start,
+                            ancestors: stack.clone(),
+                        });
+                        while t < targets.len() && targets[t] <= b.start {
+                            t += 1;
+                        }
+                    }
+                }
+                if !b.self_closing {
+                    stack.push((b.start..b.tag_end, b.name_start..b.name_end));
+                }
+            }
+            ScanEvent::Close { .. } => {
+                stack.pop();
+            }
+        }
+    }
+
+    if splits.is_empty() {
+        return vec![whole(doc)];
+    }
+    let mut shards = Vec::with_capacity(splits.len() + 1);
+    let mut start = outline.root_open_end;
+    // Ancestors open at the *start* of the current shard (replayed into
+    // its prelude); the root (stack[0]) is already in `0..root_open_end`.
+    let mut open_at_start: Vec<(Range<usize>, Range<usize>)> = Vec::new();
+    for s in &splits {
+        shards.push(build_shard(
+            doc,
+            outline,
+            &open_at_start,
+            start..s.offset,
+            Some(&s.ancestors),
+        ));
+        start = s.offset;
+        open_at_start = s.ancestors.clone();
+    }
+    shards.push(build_shard(
+        doc,
+        outline,
+        &open_at_start,
+        start..doc.len(),
+        None,
+    ));
+    shards
+}
+
+fn whole(doc: &[u8]) -> ShardInput {
+    ShardInput {
+        pieces: std::iter::once(0..doc.len()).collect(),
+        tail: Vec::new(),
+    }
+}
+
+fn build_shard(
+    doc: &[u8],
+    outline: &ScanOutline,
+    open_at_start: &[(Range<usize>, Range<usize>)],
+    range: Range<usize>,
+    open_at_end: Option<&[(Range<usize>, Range<usize>)]>,
+) -> ShardInput {
+    let mut pieces = Vec::with_capacity(2 + open_at_start.len());
+    pieces.push(0..outline.root_open_end);
+    // Replay cut ancestors' start tags verbatim (attributes included);
+    // skip the root, whose start tag the shared prelude already carries.
+    for (tag, _) in open_at_start.iter().skip(1) {
+        pieces.push(tag.clone());
+    }
+    pieces.push(range);
+    let mut tail = Vec::new();
+    if let Some(open) = open_at_end {
+        for (_, name) in open.iter().rev() {
+            tail.extend_from_slice(b"</");
+            tail.extend_from_slice(&doc[name.clone()]);
+            tail.push(b'>');
+        }
+    }
+    ShardInput { pieces, tail }
+}
+
+/// Can `guard` select the element whose ancestor-or-self name chain
+/// (root element first) is `chain`? Standard NFA simulation: a state is
+/// "the index of the next unconsumed step"; child steps consume exactly
+/// one chain level, descendant steps one or more, `-or-self`/`self` axes
+/// admit zero-level (ε) matches against the current context node. The
+/// virtual document root is the initial context.
+pub fn guard_matches_chain(guard: &GuardPath, chain: &[&[u8]]) -> bool {
+    let steps = &guard.steps;
+    let n = steps.len();
+    let mut cur = vec![false; n + 1];
+    cur[0] = true;
+    eps_closure(steps, &mut cur, None);
+    for &name in chain {
+        let mut next = vec![false; n + 1];
+        for s in 0..n {
+            if !cur[s] {
+                continue;
+            }
+            match steps[s].axis {
+                EAxis::Child => {
+                    if elem_test(&steps[s].test, name) {
+                        next[s + 1] = true;
+                    }
+                }
+                EAxis::Descendant | EAxis::DescendantOrSelf => {
+                    if elem_test(&steps[s].test, name) {
+                        next[s + 1] = true;
+                    }
+                    // The step may also match deeper.
+                    next[s] = true;
+                }
+                EAxis::SelfAxis => {}
+            }
+        }
+        eps_closure(steps, &mut next, Some(name));
+        cur = next;
+    }
+    cur[n]
+}
+
+/// Zero-consumption transitions: `self::` and the self part of
+/// `descendant-or-self::` match the context node without descending.
+/// `ctx` is `None` for the virtual document root (matched only by
+/// `node()`), `Some(name)` for an element.
+fn eps_closure(steps: &[GStep], set: &mut [bool], ctx: Option<&[u8]>) {
+    let n = steps.len();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s in 0..n {
+            if !set[s] || set[s + 1] {
+                continue;
+            }
+            let eps = matches!(steps[s].axis, EAxis::SelfAxis | EAxis::DescendantOrSelf)
+                && match ctx {
+                    None => matches!(steps[s].test, GTest::AnyNode),
+                    Some(name) => elem_test(&steps[s].test, name),
+                };
+            if eps {
+                set[s + 1] = true;
+                changed = true;
+            }
+        }
+    }
+}
+
+fn elem_test(test: &GTest, name: &[u8]) -> bool {
+    match test {
+        GTest::Name(n) => n.as_bytes() == name,
+        GTest::Star | GTest::AnyNode => true,
+        GTest::Text => false,
+    }
+}

@@ -354,7 +354,10 @@ struct Frame {
 /// the property suite in `crates/multi` asserts this.
 #[derive(Debug)]
 pub struct TaggedMatcher {
-    compiled: TaggedPaths,
+    /// The merged automaton, shareable across matcher instances: a
+    /// prepared batch ([`gcx-multi`]'s `BatchPlan`) compiles once and
+    /// stamps out a fresh matcher per run from the same `Arc`.
+    compiled: Arc<TaggedPaths>,
     frames: Vec<Frame>,
     /// Scratch for building child state sets.
     scratch: Vec<St>,
@@ -381,6 +384,17 @@ impl TaggedMatcher {
     /// matcher would have buffered.
     pub fn with_reach(
         compiled: TaggedPaths,
+        reach: Option<Arc<ReachFilter>>,
+    ) -> (TaggedMatcher, Vec<TaggedRole>) {
+        TaggedMatcher::from_shared(Arc::new(compiled), reach)
+    }
+
+    /// [`TaggedMatcher::with_reach`] over an already-shared automaton:
+    /// only the per-run frame state is allocated, the compiled paths are
+    /// refcounted. This is the repeated-batch fast path — prepare the
+    /// merge once, stamp out a matcher per document.
+    pub fn from_shared(
+        compiled: Arc<TaggedPaths>,
         reach: Option<Arc<ReachFilter>>,
     ) -> (TaggedMatcher, Vec<TaggedRole>) {
         let mut root = Frame::default();

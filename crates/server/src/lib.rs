@@ -121,6 +121,14 @@ pub struct ServerConfig {
     /// none` opts a query out entirely. Outputs are identical with or
     /// without — the schema only shrinks buffers and latency.
     pub schema: Option<Arc<gcx_schema::Dtd>>,
+    /// Worker-thread budget for ONE eval request (`gcx serve
+    /// --eval-threads`). At the default `1` every request streams
+    /// through a single engine exactly as before. Above 1, each
+    /// request body is spooled whole and evaluated partition-parallel
+    /// ([`gcx_par::run_parallel`]) when the query is shard-safe —
+    /// byte-identical output, the taken path reported in the
+    /// `X-Gcx-Shard-Path` trailer.
+    pub eval_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +143,7 @@ impl Default for ServerConfig {
             max_queries: 1024,
             optimize: true,
             schema: None,
+            eval_threads: 1,
         }
     }
 }
@@ -915,13 +924,22 @@ fn eval<R: BufRead, W: Write>(
     }
 
     let started = Instant::now();
+    let eval_threads = shared.config.eval_threads;
+    // The shard-path trailer only exists when the parallel budget is on:
+    // at the default `eval_threads: 1` the response is bit-identical to
+    // what this server always sent.
+    let shard_trailer = if eval_threads > 1 {
+        ", X-Gcx-Shard-Path"
+    } else {
+        ""
+    };
     let success_head = format!(
         "HTTP/1.1 200 OK\r\n\
         Content-Type: application/xml\r\n\
         Transfer-Encoding: chunked\r\n\
         X-Gcx-Trace-Id: {trace_id}\r\n\
         Trailer: X-Gcx-Tokens, X-Gcx-Peak-Buffered-Nodes, X-Gcx-Peak-Buffer-Bytes, \
-        X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes, X-Gcx-Trace-Id\r\n\r\n"
+        X-Gcx-Purged-Nodes, X-Gcx-Output-Bytes, X-Gcx-Trace-Id{shard_trailer}\r\n\r\n"
     )
     .into_bytes();
 
@@ -936,10 +954,22 @@ fn eval<R: BufRead, W: Write>(
     };
     let mut body = BodyReader::for_request(head, &mut timed)?;
     let mut out = DeferredBody::new(&mut *writer, success_head, COMMIT_THRESHOLD);
-    let result = eval_push(&entry.query, &opts, &mut body, &mut out);
+    let mut shard_path: Option<String> = None;
+    let result = if eval_threads > 1 {
+        eval_spooled(
+            &entry.query,
+            &opts,
+            eval_threads,
+            &mut body,
+            &mut out,
+            &mut shard_path,
+        )
+    } else {
+        eval_push(&entry.query, &opts, &mut body, &mut out)
+    };
     match result {
         Ok(report) => {
-            let trailers: Vec<(&str, String)> = vec![
+            let mut trailers: Vec<(&str, String)> = vec![
                 ("X-Gcx-Tokens", report.tokens.to_string()),
                 (
                     "X-Gcx-Peak-Buffered-Nodes",
@@ -953,6 +983,9 @@ fn eval<R: BufRead, W: Write>(
                 ("X-Gcx-Output-Bytes", report.output_bytes.to_string()),
                 ("X-Gcx-Trace-Id", trace_id.clone()),
             ];
+            if let Some(p) = &shard_path {
+                trailers.push(("X-Gcx-Shard-Path", p.clone()));
+            }
             out.finish(&trailers)?;
             shared.stats.record_eval(&report);
             entry.evals.bump();
@@ -1051,6 +1084,41 @@ fn eval_push<R: BufRead, W: Write>(
     let report = session.finish()?;
     session.take_output(out)?;
     Ok(report)
+}
+
+/// Spooled-body evaluation for `eval_threads > 1`: partition-parallel
+/// runs need the whole document (shards are byte ranges), so the body is
+/// read to its end first and the merged result written once evaluation
+/// finishes — the streaming-while-uploading property is traded for
+/// cores. Output stays byte-identical to the streaming path; the path
+/// actually taken (`parallel`, `two_phase`, or an honest `serial`
+/// fallback) lands in `shard_path` for the response trailer.
+fn eval_spooled<R: BufRead, W: Write>(
+    q: &CompiledQuery,
+    opts: &EngineOptions,
+    threads: usize,
+    body: &mut BodyReader<'_, R>,
+    out: &mut W,
+    shard_path: &mut Option<String>,
+) -> Result<gcx_core::RunReport, EngineError> {
+    let mut doc = Vec::new();
+    loop {
+        let fed = {
+            let chunk = body.fill().map_err(|e| q.session(opts).input_io_error(e))?;
+            if chunk.is_empty() {
+                break;
+            }
+            doc.extend_from_slice(chunk);
+            chunk.len()
+        };
+        body.consume(fed);
+    }
+    let outcome =
+        gcx_par::run_parallel(q, opts, &gcx_par::ParOptions::with_threads(threads), &doc)?;
+    out.write_all(&outcome.output)
+        .map_err(|e| q.session(opts).input_io_error(e))?;
+    *shard_path = Some(outcome.path.as_str().to_string());
+    Ok(outcome.report)
 }
 
 #[cfg(test)]

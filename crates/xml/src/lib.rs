@@ -38,6 +38,7 @@ mod error;
 pub mod escape;
 mod pos;
 pub mod push;
+pub mod scan;
 mod sym;
 mod token;
 mod tokenizer;
@@ -47,6 +48,7 @@ pub use doctype::{DoctypeError, DoctypeView};
 pub use error::{XmlError, XmlErrorKind, XmlResult};
 pub use pos::TextPos;
 pub use push::{PushTokenizer, TokenStep};
+pub use scan::{scan_boundaries, Boundary, ScanError, ScanEvent, ScanOutline};
 pub use sym::{FxBuildHasher, FxHasher, Symbol, SymbolTable};
 pub use token::{Attr, Attrs, StartTag, Token};
 pub use tokenizer::{Tokenizer, TokenizerOptions};

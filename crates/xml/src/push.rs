@@ -972,7 +972,7 @@ pub(crate) fn memchr_tag_delim(hay: &[u8]) -> Option<usize> {
 
 /// Substring search: SWAR scan for the first needle byte, then verify the
 /// remainder. Needles here are ≤ 3 bytes, so verification is trivial.
-fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+pub(crate) fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
     debug_assert!(!needle.is_empty());
     if needle.len() == 1 {
         return memchr1(needle[0], hay);
