@@ -67,7 +67,7 @@ USAGE:
   gcx serve   [--addr HOST:PORT] [--workers N] [--queue N]
               [--max-buffer-bytes N] [--read-timeout-secs S]
               [--max-request-secs S] [--no-opt] [--schema xmark|FILE]
-              [--eval-threads N]
+              [--eval-threads N] [--max-spool-bytes N]
   gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke] [--min-q8-mbs N]
               [--threads N] [--out FILE]
   gcx bench   serve [--mb N] [--clients N] [--seed S] [--smoke] [--out FILE]
@@ -158,8 +158,11 @@ prove (e.g. Q8's cross-shard join) falls back to one thread with the
 reason under `--stats`/`--stats-json` (`shard_path`, `shards`,
 `threads`, `fallback`). `gcx serve --eval-threads N` applies the same
 budget to spooled request bodies and reports the taken path in the
-X-Gcx-Shard-Path response header; `gcx bench throughput --threads N`
-records a parallel sweep under `parallel` in BENCH_throughput.json.
+X-Gcx-Shard-Path response header; bodies larger than `--max-spool-bytes`
+(default 256m, 0 = unlimited) stream through the serial path instead of
+spooling, keeping per-request memory bounded. `gcx bench throughput
+--threads N` records a parallel sweep under `parallel` in
+BENCH_throughput.json.
 
 `--no-opt` (run, multi, serve) skips the gcx-ir plan optimizer (step
 fusion, shared path prefixes, exists caching, hash joins) and executes
@@ -439,10 +442,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             shard_path.as_str(),
             fallback
                 .as_deref()
-                .map(|r| format!(
-                    ",\"fallback\":\"{}\"",
-                    r.replace('\\', "\\\\").replace('"', "\\\"")
-                ))
+                .map(|r| format!(",\"fallback\":\"{}\"", gcx_obs::json_escape(r)))
                 .unwrap_or_default(),
         );
         let compile = format!("{par},\"compile\":{{{}}}", compile_members(&q));
@@ -644,6 +644,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .ok()
             .filter(|&t| t > 0)
             .ok_or("--eval-threads must be a positive number")?;
+    }
+    if let Some(v) = flag_value("--max-spool-bytes") {
+        let bytes = gcx_server::parse_byte_size(v)
+            .ok_or_else(|| format!("invalid byte size `{v}` (number with optional k/m/g)"))?;
+        // 0 = unlimited, mirroring the timeout flags.
+        config.max_spool_bytes = (bytes > 0).then_some(bytes);
     }
     if let Some(v) = flag_value("--read-timeout-secs") {
         let secs: u64 = v

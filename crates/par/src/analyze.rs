@@ -29,6 +29,23 @@
 //! statements anywhere are exempt from confinement: they only touch the
 //! shard-local buffer, never the output.
 //!
+//! Innermost bindings must stay whole, but an *intermediate* spine
+//! binding (Q6's `regions`) may be divided: its body is the rest of the
+//! spine, whose per-fragment outputs concatenate back in order. That
+//! holds only while bindings of one level cannot nest: XQuery orders
+//! output by binding — the outer binding's whole group before the
+//! nested one's — so dividing a binding whose subtree holds another
+//! binding of its own level would splice the nested group into the
+//! middle of the outer's. (Today's streaming engine flattens nested
+//! groups — each node is consumed by its outermost binding, unlike the
+//! dom/full reference engines — which happens to make such a division
+//! byte-invisible; shard safety must not lean on that attribution
+//! quirk.) A spine level reached purely by `child` steps has a fixed
+//! match depth and can never nest; any `descendant` step on the
+//! composed prefix can (`//a` under `<a><a>…`), so such prefixes become
+//! guards of their own ([`spine`]) and the splitter refuses to cut
+//! through their bindings.
+//!
 //! Whole-document `count(...)` aggregates take the two-phase route
 //! instead: each shard counts its own matches and the merge sums — exact,
 //! because count is associative over a partition of the match set (no
@@ -93,6 +110,19 @@ pub enum GTest {
 pub struct GuardPath {
     /// Element steps, root-context first.
     pub steps: Vec<GStep>,
+}
+
+impl GuardPath {
+    /// Whether two elements selected by this path can be nested in one
+    /// another. `child`/`self` steps pin every match to one fixed depth,
+    /// so matches are siblings-or-cousins and can never nest; any
+    /// descendant step lets the path select both `<a>` and an `<a>`
+    /// inside it.
+    pub fn can_nest(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s.axis, EAxis::Descendant | EAxis::DescendantOrSelf))
+    }
 }
 
 /// The analysis result for a shard-safe query.
@@ -161,11 +191,11 @@ fn analyze_inner(p: &Program) -> AResult<ShardPlan> {
     };
     match p.instr(core) {
         Instr::For { .. } => {
-            let guard = spine(p, core)?;
+            let guards = spine(p, core)?;
             Ok(ShardPlan {
                 mode: ShardMode::Concat,
                 wrappers,
-                guards: vec![guard],
+                guards,
             })
         }
         Instr::OutputPath(path) => {
@@ -211,10 +241,14 @@ fn single_dynamic_item(p: &Program, first: u32, len: u32) -> AResult<Option<Inst
 
 /// Follow the chain of `for`s from the query core: the first must bind a
 /// Root-rooted path, each next one the previous variable; the final body
-/// must be confined to the innermost binding. Returns the guard for the
-/// composed spine path.
-fn spine(p: &Program, head: InstrId) -> AResult<GuardPath> {
+/// must be confined to the innermost binding. Returns the guards for the
+/// spine: the fully composed path (innermost bindings must never be cut)
+/// plus every intermediate composed prefix whose matches could nest
+/// (see the module docs — dividing a binding that contains another
+/// binding of its own level reorders the serial per-binding groups).
+fn spine(p: &Program, head: InstrId) -> AResult<Vec<GuardPath>> {
     let mut composed: Vec<EvalStep> = Vec::new();
+    let mut guards: Vec<GuardPath> = Vec::new();
     let mut innermost: Option<VarId> = None;
     let mut cur = head;
     loop {
@@ -249,6 +283,14 @@ fn spine(p: &Program, head: InstrId) -> AResult<GuardPath> {
                             if p.path(np).root == PlanRoot::Var(var)
                     ) =>
             {
+                // `var` is an intermediate binding: the spine continues
+                // below it, so the splitter may divide its subtree —
+                // unless bindings of this level can nest, in which case
+                // the composed prefix becomes a guard of its own.
+                let prefix = finish_guard(composed.clone(), p)?;
+                if prefix.can_nest() {
+                    guards.push(prefix);
+                }
                 cur = next_for;
             }
             Some(other) => {
@@ -259,7 +301,8 @@ fn spine(p: &Program, head: InstrId) -> AResult<GuardPath> {
             None => break,
         }
     }
-    finish_guard(composed, p)
+    guards.push(finish_guard(composed, p)?);
+    Ok(guards)
 }
 
 /// Guard for a Root-rooted output/aggregate path at the query core.
@@ -312,8 +355,13 @@ fn confined(p: &Program, id: InstrId, allowed: &mut Vec<VarId>) -> AResult<()> {
             var, path, body, ..
         } => {
             check_path(p, path, allowed)?;
+            let scope = allowed.len();
             allowed.push(var);
-            confined(p, body, allowed)
+            let body_ok = confined(p, body, allowed);
+            // The binding is scoped to the body: a sibling item later in
+            // an enclosing Seq must not pass on the strength of it.
+            allowed.truncate(scope);
+            body_ok
         }
         Instr::If {
             cond,

@@ -6,10 +6,13 @@
 //! their content is divided between shards and their start tags are
 //! replayed in every later shard's prelude. The guard check
 //! ([`guard_matches_chain`]) proves, per candidate, that no cut element
-//! can itself be selected by any guard path — so no binding subtree is
-//! divided, no binding attribute is duplicated, and the re-opened
-//! ancestors can never introduce a spurious match (an element inside a
-//! shard range has exactly the serial document's ancestor name chain).
+//! can itself be selected by any guard path — so no innermost binding
+//! subtree is divided, no binding attribute is duplicated, no
+//! nesting-capable intermediate binding is cut (the analysis adds those
+//! composed prefixes to the guard list; see [`crate::analyze`]'s module
+//! docs), and the re-opened ancestors can never introduce a spurious
+//! match (an element inside a shard range has exactly the serial
+//! document's ancestor name chain).
 //!
 //! Each shard's input document is assembled from byte ranges of the
 //! original (zero-copy), in order:

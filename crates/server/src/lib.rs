@@ -129,6 +129,13 @@ pub struct ServerConfig {
     /// byte-identical output, the taken path reported in the
     /// `X-Gcx-Shard-Path` trailer.
     pub eval_threads: usize,
+    /// Spool-size cap for `eval_threads > 1` (None = unlimited). The
+    /// parallel path must hold the whole request body in memory (shards
+    /// are byte ranges), which would let a few large concurrent uploads
+    /// exhaust RAM no matter what `max_buffer_bytes` says; a body that
+    /// outgrows this cap is handed to the bounded-memory streaming path
+    /// instead (`X-Gcx-Shard-Path: serial`).
+    pub max_spool_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -144,6 +151,7 @@ impl Default for ServerConfig {
             optimize: true,
             schema: None,
             eval_threads: 1,
+            max_spool_bytes: Some(256 << 20),
         }
     }
 }
@@ -960,6 +968,7 @@ fn eval<R: BufRead, W: Write>(
             &entry.query,
             &opts,
             eval_threads,
+            shared.config.max_spool_bytes,
             &mut body,
             &mut out,
             &mut shard_path,
@@ -1068,7 +1077,17 @@ fn eval_push<R: BufRead, W: Write>(
     body: &mut BodyReader<'_, R>,
     out: &mut W,
 ) -> Result<gcx_core::RunReport, EngineError> {
-    let mut session = q.session(opts);
+    let session = q.session(opts);
+    eval_push_into(session, body, out)
+}
+
+/// [`eval_push`]'s loop over an already-created (possibly pre-fed)
+/// session — shared with the spool-cap overflow path of [`eval_spooled`].
+fn eval_push_into<R: BufRead, W: Write>(
+    mut session: gcx_core::EvalSession,
+    body: &mut BodyReader<'_, R>,
+    out: &mut W,
+) -> Result<gcx_core::RunReport, EngineError> {
     loop {
         let fed = {
             let chunk = body.fill().map_err(|e| session.input_io_error(e))?;
@@ -1093,10 +1112,17 @@ fn eval_push<R: BufRead, W: Write>(
 /// cores. Output stays byte-identical to the streaming path; the path
 /// actually taken (`parallel`, `two_phase`, or an honest `serial`
 /// fallback) lands in `shard_path` for the response trailer.
+///
+/// The spool is capped by [`ServerConfig::max_spool_bytes`]: a body that
+/// outgrows it is handed — spooled prefix first, rest of the stream
+/// after — to the same bounded-memory streaming loop the `eval_threads:
+/// 1` path runs, so per-request memory stays governed by the buffer
+/// budget no matter what clients upload.
 fn eval_spooled<R: BufRead, W: Write>(
     q: &CompiledQuery,
     opts: &EngineOptions,
     threads: usize,
+    spool_cap: Option<u64>,
     body: &mut BodyReader<'_, R>,
     out: &mut W,
     shard_path: &mut Option<String>,
@@ -1112,6 +1138,14 @@ fn eval_spooled<R: BufRead, W: Write>(
             chunk.len()
         };
         body.consume(fed);
+        if spool_cap.is_some_and(|cap| doc.len() as u64 > cap) {
+            *shard_path = Some(gcx_par::ShardPath::Serial.as_str().to_string());
+            let mut session = q.session(opts);
+            session.feed(&doc)?;
+            drop(doc);
+            session.take_output(out)?;
+            return eval_push_into(session, body, out);
+        }
     }
     let outcome =
         gcx_par::run_parallel(q, opts, &gcx_par::ParOptions::with_threads(threads), &doc)?;

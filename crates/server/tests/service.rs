@@ -525,6 +525,43 @@ fn eval_threads_spools_partitions_and_reports_the_path() {
 }
 
 #[test]
+fn spool_cap_overflows_to_the_streaming_path() {
+    // A body larger than max_spool_bytes must not be held in memory for
+    // partitioning: the request is handed to the bounded-memory
+    // streaming path mid-upload, answers 200 with byte-identical output,
+    // and reports the serial path honestly.
+    let mut cfg = gcx_xmark::XmarkConfig::sized(96 * 1024);
+    cfg.seed = 11;
+    let doc = gcx_xmark::generate_string(&cfg).into_bytes();
+    let items = "for $r in /site/regions return for $i in $r//item return $i/name";
+
+    let h = start(ServerConfig {
+        eval_threads: 4,
+        max_spool_bytes: Some(16 * 1024),
+        ..ServerConfig::default()
+    });
+    let addr = h.addr();
+    client::put_query(addr, "items", items).unwrap();
+
+    let (expected, _) = offline(items, &doc);
+    for mode in [BodyMode::Sized, BodyMode::Chunked { chunk_size: 4096 }] {
+        let r = client::eval(addr, "items", &doc, &[], mode).unwrap();
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        assert_eq!(r.body, expected, "mode {mode:?}");
+        assert_eq!(
+            r.trailer("x-gcx-shard-path"),
+            Some("serial"),
+            "mode {mode:?}"
+        );
+    }
+
+    h.shutdown();
+    // Under-cap partitioning on the same query is pinned by
+    // eval_threads_spools_partitions_and_reports_the_path, which runs
+    // with the default (256m) cap in place.
+}
+
+#[test]
 fn alternate_engines_and_healthz() {
     let h = start(ServerConfig::default());
     let addr = h.addr();

@@ -181,6 +181,97 @@ fn running_example_falls_back_via_guard() {
     assert_eq!(outcome.output, reference.0);
 }
 
+/// A chained query whose *intermediate* spine level can bind nested
+/// elements: `/r//a` selects both an `<a>` and an `<a>` inside it. Under
+/// XQuery's per-binding grouping (what the dom/full engines produce),
+/// cutting inside an outer binding would splice the nested binding's
+/// group into the middle of the outer's; the streaming engine currently
+/// flattens nested groups, which masks the division byte-wise, but shard
+/// safety must hold regardless of that attribution — so the analysis
+/// guards the descendant spine prefix itself.
+const NESTED_SPINE: &str = "for $x in /r//a return for $y in $x//b return $y/t";
+
+/// `count` top-level `<a>` blocks. Each block's outer binding owns `<b>`s
+/// of its own *and* two nested `<a>` bindings, padded so that almost any
+/// cut inside a block lands between a nested binding's `<b>` and later
+/// outer-binding material — exactly the shape whose groups a mid-block
+/// split would reorder.
+fn nested_doc(count: usize) -> String {
+    let pad = format!("<p>{}</p>", "x".repeat(180));
+    let mut doc = String::from("<r>");
+    for i in 0..count {
+        doc.push_str(&format!(
+            "<a><b><t>{i}.0</t></b>\
+             <a><b><t>{i}.1</t></b>{pad}</a>\
+             <a><b><t>{i}.2</t></b>{pad}</a>\
+             <b><t>{i}.3</t></b></a>"
+        ));
+    }
+    doc.push_str("</r>");
+    doc
+}
+
+#[test]
+fn nested_intermediate_bindings_shard_only_at_safe_boundaries() {
+    // The descendant spine prefix `/r//a` is a guard of its own: every
+    // candidate split inside an `<a>` is vetoed, splits land between
+    // top-level blocks, and the merge stays byte-identical to serial.
+    let q = CompiledQuery::compile(NESTED_SPINE).expect("compile");
+    let doc = nested_doc(64);
+    let doc = doc.as_bytes();
+    let reference = run_split(&q, doc, &[]);
+    for threads in [2usize, 4, 8] {
+        let outcome = run_parallel(
+            &q,
+            &EngineOptions::gcx(),
+            &ParOptions::with_threads(threads),
+            doc,
+        )
+        .expect("run_parallel");
+        assert_eq!(
+            outcome.output, reference.0,
+            "@ {threads} threads: a split divided a nested spine binding"
+        );
+        // Whole blocks are still safe to distribute: the veto must not
+        // degrade Q6-style sharding into a blanket serial fallback.
+        assert_eq!(
+            outcome.path,
+            ShardPath::Parallel,
+            "@ {threads} threads: fell back: {:?}",
+            outcome.fallback
+        );
+        assert!(outcome.shards > 1);
+    }
+}
+
+#[test]
+fn nested_bindings_with_no_safe_boundary_fall_back() {
+    // One outer `<a>` holds the whole document: every candidate split
+    // sits inside a divisible `/r//a` binding, so the guard rejects them
+    // all and the run degrades to serial with no output change. This is
+    // the regression tripwire for the interior-prefix guard: without it
+    // the splitter happily cuts through nested spine bindings.
+    let q = CompiledQuery::compile(NESTED_SPINE).expect("compile");
+    let mut doc = String::from("<r><a>");
+    for i in 0..32 {
+        doc.push_str(&format!(
+            "<a><b><t>{i}.1</t></b><b><t>{i}.2</t></b></a><b><t>{i}.3</t></b>"
+        ));
+    }
+    doc.push_str("</a></r>");
+    let doc = doc.as_bytes();
+    let reference = run_split(&q, doc, &[]);
+    let outcome = run_parallel(&q, &EngineOptions::gcx(), &ParOptions::with_threads(4), doc)
+        .expect("run_parallel");
+    assert_eq!(
+        outcome.path,
+        ShardPath::Serial,
+        "no split point avoids dividing a nested binding"
+    );
+    assert!(outcome.fallback.is_some());
+    assert_eq!(outcome.output, reference.0);
+}
+
 #[test]
 fn parallel_is_deterministic_across_runs() {
     let doc = xmark(48, 21);
