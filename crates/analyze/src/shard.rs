@@ -3,9 +3,17 @@
 //! Decides, per compiled query, whether partition-parallel evaluation can
 //! reproduce the serial output byte for byte — and if so, what the merge
 //! has to do. The analysis never looks at the document; it produces
-//! *guard paths* that the splitter later checks against the concrete
-//! ancestor chain of every candidate split point (see
-//! [`crate::split`]).
+//! *guard paths* that gcx-par's splitter later checks against the
+//! concrete ancestor chain of every candidate split point.
+//!
+//! Shard safety is a corollary of the streamability lattice: a
+//! [`Document`](crate::StreamClass::Document)-class query retains
+//! cross-item state (a value join, an unbounded aggregate, a positional
+//! predicate, a root re-entry) that no partition of the input can
+//! preserve, so [`analyze`] short-circuits to `Unsafe` with the
+//! classifier's own diagnostic before any structural matching runs. The
+//! structural walk below then only has to recognize the *shape* that
+//! partitions — it can assume document-level state is already ruled out.
 //!
 //! ## The safe shape
 //!
@@ -43,7 +51,7 @@
 //! quirk.) A spine level reached purely by `child` steps has a fixed
 //! match depth and can never nest; any `descendant` step on the
 //! composed prefix can (`//a` under `<a><a>…`), so such prefixes become
-//! guards of their own ([`spine`]) and the splitter refuses to cut
+//! guards of their own (`spine`) and the splitter refuses to cut
 //! through their bindings.
 //!
 //! Whole-document `count(...)` aggregates take the two-phase route
@@ -57,9 +65,12 @@
 //! reports `Unsafe` and the runtime falls back to the serial path.
 
 use gcx_ir::{
-    AttrPlan, CondId, CondIr, EAxis, ETest, EvalStep, Instr, InstrId, OperandIr, PlanRoot, Program,
+    walk_from, AttrPlan, EAxis, ETest, EvalStep, Instr, InstrId, IrVisitor, PathId, PathUse,
+    PlanRoot, Program, WalkCtx,
 };
 use gcx_query::ast::VarId;
+
+use crate::{analyze_program, Severity, StreamClass};
 
 /// How shard results recombine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,14 +153,26 @@ pub enum Analysis {
     /// Shard-safe; the plan drives splitting and merging.
     Safe(ShardPlan),
     /// Not shard-safe, with the human-readable reason the CLI reports.
-    Unsafe(&'static str),
+    Unsafe(String),
 }
 
 /// Analyze an optimized program for shard safety.
 pub fn analyze(p: &Program) -> Analysis {
+    // Lattice first: Document-class retention can never partition, and
+    // the classifier's diagnostic names the construct responsible.
+    let classes = analyze_program(p, None);
+    if classes.class == StreamClass::Document {
+        let reason = classes
+            .lints
+            .iter()
+            .find(|l| l.severity == Severity::Warning)
+            .map(|l| l.message.clone())
+            .unwrap_or_else(|| "the query retains document-level state".to_string());
+        return Analysis::Unsafe(reason);
+    }
     match analyze_inner(p) {
         Ok(plan) => Analysis::Safe(plan),
-        Err(reason) => Analysis::Unsafe(reason),
+        Err(reason) => Analysis::Unsafe(reason.to_string()),
     }
 }
 
@@ -294,8 +317,7 @@ fn spine(p: &Program, head: InstrId) -> AResult<Vec<GuardPath>> {
                 cur = next_for;
             }
             Some(other) => {
-                let mut allowed = vec![var];
-                confined(p, other, &mut allowed)?;
+                confined(p, other, var)?;
                 break;
             }
             None => break,
@@ -306,7 +328,7 @@ fn spine(p: &Program, head: InstrId) -> AResult<Vec<GuardPath>> {
 }
 
 /// Guard for a Root-rooted output/aggregate path at the query core.
-fn root_guard(p: &Program, path: gcx_ir::PathId) -> AResult<GuardPath> {
+fn root_guard(p: &Program, path: PathId) -> AResult<GuardPath> {
     let plan = p.path(path);
     if plan.root != PlanRoot::Root {
         return Err("a core path not rooted at the document");
@@ -340,73 +362,137 @@ fn finish_guard(steps: Vec<EvalStep>, p: &Program) -> AResult<GuardPath> {
 /// variable bound (transitively) from the spine's innermost binding —
 /// i.e. the body never re-enters the document outside its binding's
 /// subtree. signOffs are exempt: they mutate the shard-local buffer only.
-fn confined(p: &Program, id: InstrId, allowed: &mut Vec<VarId>) -> AResult<()> {
-    match p.instr(id) {
-        Instr::Nop | Instr::Text(_) | Instr::SignOff { .. } => Ok(()),
-        Instr::Seq { first, len } => {
-            for &item in p.seq_items(first, len) {
-                confined(p, item, allowed)?;
+fn confined(p: &Program, id: InstrId, base: VarId) -> AResult<()> {
+    struct Confined {
+        base: VarId,
+        err: Option<&'static str>,
+    }
+    impl IrVisitor for Confined {
+        fn enter_instr(&mut self, p: &Program, id: InstrId, _ctx: &WalkCtx) -> bool {
+            if self.err.is_some() {
+                return false;
             }
-            Ok(())
+            if matches!(p.instr(id), Instr::HashJoin(_)) {
+                self.err = Some("a join against the whole document inside a loop body");
+                return false;
+            }
+            true
         }
-        Instr::Element { content, .. } => confined(p, content, allowed),
-        Instr::OutputPath(path) | Instr::Aggregate { path, .. } => check_path(p, path, allowed),
-        Instr::For {
-            var, path, body, ..
-        } => {
-            check_path(p, path, allowed)?;
-            let scope = allowed.len();
-            allowed.push(var);
-            let body_ok = confined(p, body, allowed);
-            // The binding is scoped to the body: a sibling item later in
-            // an enclosing Seq must not pass on the strength of it.
-            allowed.truncate(scope);
-            body_ok
+
+        fn visit_path(&mut self, p: &Program, id: PathId, use_: PathUse, ctx: &WalkCtx) {
+            if self.err.is_some() || use_ == PathUse::SignOff {
+                return;
+            }
+            // The walk's frames carry exactly the loops opened inside
+            // the body, so a path is confined iff its root is the
+            // spine's innermost binding or a variable bound below it.
+            // Frames pop when a loop body is left, so a sibling item in
+            // an enclosing Seq never passes on the strength of them.
+            match p.path(id).root {
+                PlanRoot::Var(v) if v == self.base || ctx.in_scope(v) => {}
+                _ => self.err = Some("a loop body reads outside its binding's subtree"),
+            }
         }
-        Instr::If {
-            cond,
-            then_branch,
-            else_branch,
-        } => {
-            check_cond(p, cond, allowed)?;
-            confined(p, then_branch, allowed)?;
-            confined(p, else_branch, allowed)
-        }
-        Instr::HashJoin(_) => Err("a join against the whole document inside a loop body"),
+    }
+    let mut v = Confined { base, err: None };
+    walk_from(p, id, &mut v);
+    match v.err {
+        None => Ok(()),
+        Some(e) => Err(e),
     }
 }
 
-fn check_path(p: &Program, path: gcx_ir::PathId, allowed: &[VarId]) -> AResult<()> {
-    match p.path(path).root {
-        PlanRoot::Var(v) if allowed.contains(&v) => Ok(()),
-        _ => Err("a loop body reads outside its binding's subtree"),
-    }
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-fn check_cond(p: &Program, id: CondId, allowed: &[VarId]) -> AResult<()> {
-    match p.cond(id) {
-        CondIr::Const(_) => Ok(()),
-        CondIr::Not(c) => check_cond(p, c, allowed),
-        CondIr::And(a, b) | CondIr::Or(a, b) => {
-            check_cond(p, a, allowed)?;
-            check_cond(p, b, allowed)
-        }
-        CondIr::Exists(path) | CondIr::CachedExists { path, .. } => check_path(p, path, allowed),
-        CondIr::Compare { lhs, rhs, .. }
-        | CondIr::StringFn {
-            haystack: lhs,
-            needle: rhs,
-            ..
-        } => {
-            check_operand(p, lhs, allowed)?;
-            check_operand(p, rhs, allowed)
+    fn analyzed(q: &str) -> Analysis {
+        let query = gcx_query::compile(q).expect("query compiles");
+        let analysis = gcx_projection::analyze(&query);
+        let p = Program::compile(&query, &analysis);
+        let (opt, _) = gcx_ir::optimize(&p);
+        analyze(&opt)
+    }
+
+    fn expect_safe(q: &str) -> ShardPlan {
+        match analyzed(q) {
+            Analysis::Safe(plan) => plan,
+            Analysis::Unsafe(reason) => panic!("expected shard-safe, got: {reason}"),
         }
     }
-}
 
-fn check_operand(p: &Program, id: gcx_ir::OperandId, allowed: &[VarId]) -> AResult<()> {
-    match p.operand(id) {
-        OperandIr::Lit { .. } => Ok(()),
-        OperandIr::Path(path) => check_path(p, path, allowed),
+    fn expect_unsafe(q: &str) -> String {
+        match analyzed(q) {
+            Analysis::Unsafe(reason) => reason,
+            Analysis::Safe(_) => panic!("expected unsafe: {q}"),
+        }
+    }
+
+    #[test]
+    fn simple_spine_is_concat_with_one_guard() {
+        let plan = expect_safe("for $p in /site/people/person return $p/name");
+        assert_eq!(plan.mode, ShardMode::Concat);
+        assert!(plan.wrappers.is_empty());
+        assert_eq!(plan.guards.len(), 1);
+        assert_eq!(plan.guards[0].steps.len(), 3);
+    }
+
+    #[test]
+    fn wrappers_are_peeled_outermost_first() {
+        let plan =
+            expect_safe("<out><list>{ for $p in /site/people/person return $p/name }</list></out>");
+        let names: Vec<_> = plan.wrappers.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, ["out", "list"]);
+    }
+
+    #[test]
+    fn descendant_intermediate_binding_adds_prefix_guard() {
+        let plan = expect_safe("for $r in /site/regions return for $i in $r//item return $i/name");
+        // The composed prefix `/site/regions` is child-only (cannot
+        // nest), so only the full spine path guards.
+        assert_eq!(plan.guards.len(), 1);
+        assert!(plan.guards[0].can_nest());
+    }
+
+    #[test]
+    fn count_aggregate_goes_two_phase() {
+        let plan = expect_safe("<count>{ count(/site/regions//item) }</count>");
+        assert_eq!(plan.mode, ShardMode::SumCount);
+        assert_eq!(plan.wrappers.len(), 1);
+    }
+
+    #[test]
+    fn value_join_is_unsafe_via_document_class() {
+        // Q8's shape: the classifier calls this Document (value join),
+        // which short-circuits the structural walk.
+        let reason = expect_unsafe(
+            "for $p in /site/people/person return \
+               for $t in /site/closed_auctions/closed_auction return \
+                 if ($t/buyer/@person = $p/@id) then $p/name else ()",
+        );
+        assert!(!reason.is_empty());
+    }
+
+    #[test]
+    fn sum_aggregate_is_unsafe() {
+        let reason = expect_unsafe("<s>{ sum(/site/open_auctions/open_auction/current) }</s>");
+        assert!(!reason.is_empty());
+    }
+
+    #[test]
+    fn body_escaping_its_binding_is_unsafe() {
+        let reason = expect_unsafe(
+            "for $p in /site/people/person return \
+               if (exists(/site/regions)) then $p/name else ()",
+        );
+        assert!(!reason.is_empty());
+    }
+
+    #[test]
+    fn nested_body_loops_stay_confined() {
+        expect_safe(
+            "for $p in /site/people/person return \
+               for $w in $p/watches/watch return $w/@open_auction",
+        );
     }
 }

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Shared harness utilities for the GCX experiment regenerators.
 //!
 //! The binaries in `src/bin/` regenerate the paper's figures and tables:

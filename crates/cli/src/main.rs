@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! `gcx` — command-line interface for the GCX streaming XQuery engine.
 //!
 //! ```text
@@ -8,6 +9,7 @@
 //! gcx bench serve [--smoke]                 service load test (BENCH_server.json)
 //! gcx bench obs-overhead [--smoke]          telemetry on/off cost (BENCH_obs_overhead.json)
 //! gcx explain <query.xq|-e QUERY>           roles, rewritten query, program listing
+//! gcx analyze <query.xq|-e QUERY>           static streamability class, bound, lints
 //! gcx trace <query.xq|-e QUERY> <input.xml> buffer-occupancy trace (CSV)
 //! gcx generate <MB> [out.xml]               emit an XMark-like document
 //! gcx validate <input.xml>                  well-formedness check
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => bench::cmd_bench(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
@@ -68,12 +71,14 @@ USAGE:
               [--max-buffer-bytes N] [--read-timeout-secs S]
               [--max-request-secs S] [--no-opt] [--schema xmark|FILE]
               [--eval-threads N] [--max-spool-bytes N]
+              [--max-static-class constant|per-item|subtree|document]
   gcx bench   throughput [--mb N] [--iters K] [--seed S] [--smoke] [--min-q8-mbs N]
               [--threads N] [--out FILE]
   gcx bench   serve [--mb N] [--clients N] [--seed S] [--smoke] [--out FILE]
   gcx bench   obs-overhead [--mb N] [--iters K] [--seed S] [--smoke]
               [--min-q8-mbs N] [--out FILE]
   gcx explain <query.xq | -e QUERY> [--schema xmark|FILE]
+  gcx analyze <query.xq | -e QUERY> [--schema xmark|FILE] [--json]
   gcx trace   <query.xq | -e QUERY> <input.xml> [--every N]
   gcx generate <MB> [out.xml] [--seed N] [--doctype]
   gcx validate <input.xml>
@@ -176,7 +181,23 @@ flag exists for benchmarking and as a diagnostic escape hatch.
 roles, the rewritten query with signOff statements, the unoptimized
 gcx-ir program listing (instructions, conditions, path plans, step
 table), the optimizer's per-pass rewrite summary with before/after
-cost estimates, and the optimized program the engine executes."
+cost estimates, the optimized program the engine executes, and the
+static streamability analysis.
+
+`analyze` prints just that analysis: the query's streamability class
+(constant | per-item | subtree | document — how the worst-case buffer
+peak scales with the document), a symbolic bound, a per-binding class
+table, and structured lints (GCX-JOIN, GCX-POS, GCX-ROOT, GCX-AGG,
+GCX-SUBTREE, GCX-DTD) naming each construct that forces buffering and
+why. `--schema` lets DTD cardinality facts tighten region classes;
+`--json` emits the same analysis as JSON (the `analysis` object of
+`run --stats-json`). The verdict is sound but may be loose: a
+constant/per-item class is a promise (pinned by the workspace
+soundness suite), a document class is a warning, not a proof. `gcx
+serve --max-static-class CLASS` enforces the class at registration
+time: PUT /queries answers 422 with the lint diagnostics for any query
+above the cap, and every successful registration reports the class in
+the X-Gcx-Streamability response header."
     );
 }
 
@@ -445,7 +466,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .map(|r| format!(",\"fallback\":\"{}\"", gcx_obs::json_escape(r)))
                 .unwrap_or_default(),
         );
-        let compile = format!("{par},\"compile\":{{{}}}", compile_members(&q));
+        let analysis = gcx_analyze::analyze_program(&q.program, opts.schema.as_deref());
+        let compile = format!(
+            "{par},\"compile\":{{{}}},\"analysis\":{}",
+            compile_members(&q),
+            analysis.to_json()
+        );
         eprintln!("{}", splice_json(&report.to_json(), &compile));
     } else if stats {
         eprintln!(
@@ -651,6 +677,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         // 0 = unlimited, mirroring the timeout flags.
         config.max_spool_bytes = (bytes > 0).then_some(bytes);
     }
+    if let Some(v) = flag_value("--max-static-class") {
+        let class = gcx_analyze::StreamClass::parse(v).ok_or_else(|| {
+            format!("invalid class `{v}` (constant | per-item | subtree | document)")
+        })?;
+        config.admission_class = Some(class);
+    }
     if let Some(v) = flag_value("--read-timeout-secs") {
         let secs: u64 = v
             .parse()
@@ -694,6 +726,11 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let schema = take_schema(&flags)?;
     let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
     print!("{}", q.explain());
+    println!("\n== Streamability analysis ==");
+    print!(
+        "{}",
+        gcx_analyze::analyze_program(&q.program, schema.as_deref()).text()
+    );
     if let Some(dtd) = schema {
         let prune = dtd.prune(q.program.matcher_paths(), q.program.symbols());
         println!("\n== schema ==");
@@ -707,6 +744,20 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         for (role, path) in &prune.pruned {
             println!("  pruned {role}: {path}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (query_text, rest) = take_query(args)?;
+    let flags: Vec<&str> = rest.iter().map(String::as_str).collect();
+    let schema = take_schema(&flags)?;
+    let q = CompiledQuery::compile(&query_text).map_err(|e| e.to_string())?;
+    let a = gcx_analyze::analyze_program(&q.program, schema.as_deref());
+    if flags.contains(&"--json") {
+        println!("{}", a.to_json());
+    } else {
+        print!("{}", a.text());
     }
     Ok(())
 }

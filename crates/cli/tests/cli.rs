@@ -131,6 +131,67 @@ fn explain_matches_golden_listing() {
 }
 
 #[test]
+fn analyze_matches_golden_text() {
+    // Golden file for `gcx analyze` on the paper's running example:
+    // class, symbolic bound, per-binding table, lints. Regenerate with
+    //   gcx analyze crates/cli/tests/golden/paper.xq \
+    //     > crates/cli/tests/golden/analyze_paper.txt
+    // after an intentional classifier change.
+    let query = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/paper.xq");
+    let golden = include_str!("golden/analyze_paper.txt");
+    let out = gcx_bin().args(["analyze", query]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        golden,
+        "analyze output drifted from the golden text"
+    );
+}
+
+#[test]
+fn analyze_flags_a_join_and_emits_json() {
+    let join = "for $p in /site/people/person return \
+                  for $t in /site/closed_auctions/closed_auction return \
+                    if ($t/buyer/@person = $p/@id) then $p/name else ()";
+    let out = gcx_bin().args(["analyze", "-e", join]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("streamability: document"), "{text}");
+    assert!(text.contains("[warning] GCX-JOIN"), "{text}");
+
+    let out = gcx_bin()
+        .args(["analyze", "-e", join, "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"class\":\"document\""), "{json}");
+    assert!(json.contains("\"code\":\"GCX-JOIN\""), "{json}");
+}
+
+#[test]
+fn stats_json_carries_the_analysis_block() {
+    let doc = write_temp("analysis.xml", "<bib><book><title>T</title></book></bib>");
+    let out = gcx_bin()
+        .args(["run", "-e", "for $b in /bib/book return $b/title"])
+        .arg(&doc)
+        .args(["--stats-json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        json.contains("\"analysis\":{\"class\":\"per-item\""),
+        "{json}"
+    );
+    assert!(json.contains("\"bound\":"), "{json}");
+}
+
+#[test]
 fn trace_emits_csv() {
     let doc = write_temp("trace.xml", "<l><i/><i/></l>");
     let out = gcx_bin()

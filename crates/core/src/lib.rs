@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-core — the GCX streaming XQuery runtime
 //!
 //! The runtime half of the GCX system (VLDB'07): a main-memory streaming

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-dom — in-memory DOM and naive XQuery evaluator
 //!
 //! The full-buffering baseline of the GCX experiments: load the entire

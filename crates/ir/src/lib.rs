@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-ir — the compiled query program
 //!
 //! GCX's whole premise is that buffer minimization is decided at *compile
@@ -35,6 +36,7 @@ mod lower;
 mod optimize;
 mod program;
 mod step;
+mod walk;
 
 pub use optimize::{cost_estimate, optimize, OptReport, PassStat};
 pub use program::{
@@ -42,6 +44,7 @@ pub use program::{
     PathPlan, PlanRoot, Program, ProgramStats, StrId,
 };
 pub use step::{EAxis, ETest, EvalStep};
+pub use walk::{walk, walk_from, IrVisitor, PathUse, WalkCtx};
 
 /// Compile-time assertion that the shared artifact really is shareable.
 const fn _assert_send_sync<T: Send + Sync>() {}

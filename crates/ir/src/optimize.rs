@@ -35,6 +35,7 @@ use crate::program::{
     CondId, CondIr, Instr, InstrId, JoinPlan, OperandIr, PathId, PlanRoot, Program, ProgramStats,
 };
 use crate::step::{EAxis, ETest, EvalStep};
+use crate::walk::{walk, walk_from, IrVisitor, WalkCtx};
 use gcx_query::ast::{CmpOp, VarId};
 
 /// What one optimizer pass did, for `gcx explain` and `--stats-json`.
@@ -326,64 +327,45 @@ fn share_steps(p: &mut Program) -> PassStat {
 /// transient cursor pins within a single resume, so peaks are
 /// unchanged.
 fn cache_exists(p: &mut Program) -> PassStat {
-    fn walk_cond(p: &mut Program, id: CondId, innermost: Option<VarId>, slots: &mut u32) -> usize {
-        match p.cond(id) {
-            CondIr::Not(a) => walk_cond(p, a, innermost, slots),
-            CondIr::And(a, b) | CondIr::Or(a, b) => {
-                walk_cond(p, a, innermost, slots) + walk_cond(p, b, innermost, slots)
-            }
-            CondIr::Exists(path) => {
+    /// Collects loop-invariant `exists` probes in traversal order; the
+    /// mutation below assigns cache slots in that same order.
+    struct Invariant {
+        found: Vec<CondId>,
+    }
+    impl IrVisitor for Invariant {
+        fn enter_instr(&mut self, p: &Program, id: InstrId, _ctx: &WalkCtx) -> bool {
+            // A join's preserved fallback was vetted by its own pass;
+            // probes inside it are evaluated by the join machinery, not
+            // re-scanned per iteration.
+            !matches!(p.instr(id), Instr::HashJoin(_))
+        }
+        fn visit_cond(&mut self, p: &Program, id: CondId, ctx: &WalkCtx) {
+            if let CondIr::Exists(path) = p.cond(id) {
                 let invariant = match p.path(path).root {
                     // Probing from the document root: same context on
                     // every iteration.
-                    PlanRoot::Root => innermost.is_some(),
+                    PlanRoot::Root => ctx.depth() > 0,
                     // Probing from an outer loop's binding: invariant
                     // under the innermost loop.
-                    PlanRoot::Var(v) => innermost.is_some_and(|inner| inner != v),
+                    PlanRoot::Var(v) => ctx.innermost().is_some_and(|inner| inner != v),
                 };
                 if invariant {
-                    let slot = *slots;
-                    *slots += 1;
-                    p.conds[id.index()] = CondIr::CachedExists { path, slot };
-                    1
-                } else {
-                    0
+                    self.found.push(id);
                 }
             }
-            _ => 0,
         }
     }
-    fn walk_instr(
-        p: &mut Program,
-        id: InstrId,
-        innermost: Option<VarId>,
-        slots: &mut u32,
-    ) -> usize {
-        match p.instr(id) {
-            Instr::Seq { first, len } => {
-                let items: Vec<InstrId> = p.seq_items(first, len).to_vec();
-                items
-                    .into_iter()
-                    .map(|item| walk_instr(p, item, innermost, slots))
-                    .sum()
-            }
-            Instr::Element { content, .. } => walk_instr(p, content, innermost, slots),
-            Instr::For { var, body, .. } => walk_instr(p, body, Some(var), slots),
-            Instr::If {
-                cond,
-                then_branch,
-                else_branch,
-            } => {
-                walk_cond(p, cond, innermost, slots)
-                    + walk_instr(p, then_branch, innermost, slots)
-                    + walk_instr(p, else_branch, innermost, slots)
-            }
-            _ => 0,
-        }
+    let mut v = Invariant { found: Vec::new() };
+    walk(p, &mut v);
+    let cached = v.found.len();
+    for id in v.found {
+        let CondIr::Exists(path) = p.cond(id) else {
+            unreachable!("collected conds are Exists nodes");
+        };
+        let slot = p.exists_slots;
+        p.exists_slots += 1;
+        p.conds[id.index()] = CondIr::CachedExists { path, slot };
     }
-    let mut slots = p.exists_slots;
-    let cached = walk_instr(p, p.root(), None, &mut slots);
-    p.exists_slots = slots;
     PassStat {
         name: "exists-cache",
         changes: cached,
@@ -397,22 +379,18 @@ fn cache_exists(p: &mut Program) -> PassStat {
 /// branch may contain anything *except* signOffs of roles the index
 /// depends on; excluding all of them keeps the gate simple.
 fn has_signoff(p: &Program, id: InstrId) -> bool {
-    match p.instr(id) {
-        Instr::SignOff { .. } => true,
-        Instr::Seq { first, len } => p
-            .seq_items(first, len)
-            .iter()
-            .any(|&item| has_signoff(p, item)),
-        Instr::Element { content, .. } => has_signoff(p, content),
-        Instr::For { body, .. } => has_signoff(p, body),
-        Instr::HashJoin(j) => has_signoff(p, p.join(j).then_branch),
-        Instr::If {
-            then_branch,
-            else_branch,
-            ..
-        } => has_signoff(p, then_branch) || has_signoff(p, else_branch),
-        _ => false,
+    struct HasSignoff(bool);
+    impl IrVisitor for HasSignoff {
+        fn enter_instr(&mut self, p: &Program, id: InstrId, _ctx: &WalkCtx) -> bool {
+            if matches!(p.instr(id), Instr::SignOff { .. }) {
+                self.0 = true;
+            }
+            !self.0
+        }
     }
+    let mut v = HasSignoff(false);
+    walk_from(p, id, &mut v);
+    v.0
 }
 
 /// Roles signed off *inside* some `for` body. The join's multiplicity
@@ -421,35 +399,23 @@ fn has_signoff(p: &Program, id: InstrId) -> bool {
 /// entirely before the outer loop starts or after it completes, never
 /// between build and probe.
 fn roles_signed_off_in_loops(p: &Program) -> Vec<bool> {
-    fn walk(p: &Program, id: InstrId, in_loop: bool, out: &mut Vec<bool>) {
-        match p.instr(id) {
-            Instr::SignOff { role, .. } if in_loop => {
-                if out.len() <= role.index() {
-                    out.resize(role.index() + 1, false);
-                }
-                out[role.index()] = true;
-            }
-            Instr::Seq { first, len } => {
-                for &item in p.seq_items(first, len) {
-                    walk(p, item, in_loop, out);
+    struct InLoops(Vec<bool>);
+    impl IrVisitor for InLoops {
+        fn enter_instr(&mut self, p: &Program, id: InstrId, ctx: &WalkCtx) -> bool {
+            if let Instr::SignOff { role, .. } = p.instr(id) {
+                if ctx.depth() > 0 {
+                    if self.0.len() <= role.index() {
+                        self.0.resize(role.index() + 1, false);
+                    }
+                    self.0[role.index()] = true;
                 }
             }
-            Instr::Element { content, .. } => walk(p, content, in_loop, out),
-            Instr::For { body, .. } => walk(p, body, true, out),
-            Instr::If {
-                then_branch,
-                else_branch,
-                ..
-            } => {
-                walk(p, then_branch, in_loop, out);
-                walk(p, else_branch, in_loop, out);
-            }
-            _ => {}
+            true
         }
     }
-    let mut out = Vec::new();
-    walk(p, p.root(), false, &mut out);
-    out
+    let mut v = InLoops(Vec::new());
+    walk(p, &mut v);
+    v.0
 }
 
 /// True if the operand is independent of `var` (a literal, or a path
@@ -495,101 +461,103 @@ fn hash_joins(p: &mut Program) -> PassStat {
         instr: InstrId,
         plan: JoinPlan,
     }
-    fn walk(
-        p: &Program,
-        id: InstrId,
-        depth: u32,
-        in_loop_roles: &[bool],
-        out: &mut Vec<Candidate>,
-    ) {
-        match p.instr(id) {
-            Instr::Seq { first, len } => {
-                for &item in p.seq_items(first, len) {
-                    walk(p, item, depth, in_loop_roles, out);
-                }
-            }
-            Instr::Element { content, .. } => walk(p, content, depth, in_loop_roles, out),
-            Instr::If {
-                then_branch,
-                else_branch,
-                ..
-            } => {
-                walk(p, then_branch, depth, in_loop_roles, out);
-                walk(p, else_branch, depth, in_loop_roles, out);
-            }
-            Instr::For {
+    /// Detects candidates in `leave_instr` — post-order, so inner loops
+    /// are examined (and later rewritten) before outer ones.
+    struct Finder<'a> {
+        in_loop_roles: &'a [bool],
+        out: Vec<Candidate>,
+    }
+    impl IrVisitor for Finder<'_> {
+        fn enter_instr(&mut self, p: &Program, id: InstrId, _ctx: &WalkCtx) -> bool {
+            // An existing join's fallback is the exact loop this pass
+            // already rewrote — descending would re-detect it on every
+            // re-optimization.
+            !matches!(p.instr(id), Instr::HashJoin(_))
+        }
+        fn leave_instr(&mut self, p: &Program, id: InstrId, ctx: &WalkCtx) {
+            let Instr::For {
                 var,
                 path,
                 role,
                 body,
-            } => {
-                walk(p, body, depth + 1, in_loop_roles, out);
-                if depth == 0 {
-                    return;
-                }
-                let plan = p.path(path);
-                if plan.root != PlanRoot::Root || plan.attr != crate::program::AttrPlan::None {
-                    return;
-                }
-                let Instr::If {
-                    cond,
-                    then_branch,
-                    else_branch,
-                } = p.instr(body)
-                else {
-                    return;
-                };
-                if !matches!(p.instr(else_branch), Instr::Nop) {
-                    return;
-                }
-                let CondIr::Compare {
-                    op: CmpOp::Eq,
+            } = p.instr(id)
+            else {
+                return;
+            };
+            // The frame for this loop popped before `leave`, so depth()
+            // counts *enclosing* loops only.
+            if ctx.depth() == 0 {
+                return;
+            }
+            let plan = p.path(path);
+            if plan.root != PlanRoot::Root || plan.attr != crate::program::AttrPlan::None {
+                return;
+            }
+            let Instr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } = p.instr(body)
+            else {
+                return;
+            };
+            if !matches!(p.instr(else_branch), Instr::Nop) {
+                return;
+            }
+            let CondIr::Compare {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } = p.cond(cond)
+            else {
+                return;
+            };
+            let key_is_lhs = match (
+                operand_rooted_at(p, p.operand(lhs), var),
+                operand_rooted_at(p, p.operand(rhs), var),
+            ) {
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                _ => return,
+            };
+            let probe = if key_is_lhs { rhs } else { lhs };
+            if !operand_independent_of(p, p.operand(probe), var) {
+                return;
+            }
+            if has_signoff(p, then_branch) {
+                return;
+            }
+            if self
+                .in_loop_roles
+                .get(role.index())
+                .copied()
+                .unwrap_or(false)
+            {
+                return;
+            }
+            self.out.push(Candidate {
+                instr: id,
+                plan: JoinPlan {
+                    var,
+                    path,
+                    role,
                     lhs,
                     rhs,
-                } = p.cond(cond)
-                else {
-                    return;
-                };
-                let (key_is_lhs, key) = match (
-                    operand_rooted_at(p, p.operand(lhs), var),
-                    operand_rooted_at(p, p.operand(rhs), var),
-                ) {
-                    (Some(k), None) => (true, k),
-                    (None, Some(k)) => (false, k),
-                    _ => return,
-                };
-                let _ = key;
-                let probe = if key_is_lhs { rhs } else { lhs };
-                if !operand_independent_of(p, p.operand(probe), var) {
-                    return;
-                }
-                if has_signoff(p, then_branch) {
-                    return;
-                }
-                if in_loop_roles.get(role.index()).copied().unwrap_or(false) {
-                    return;
-                }
-                out.push(Candidate {
-                    instr: id,
-                    plan: JoinPlan {
-                        var,
-                        path,
-                        role,
-                        lhs,
-                        rhs,
-                        key_is_lhs,
-                        then_branch,
-                        // Patched below once the fallback copy exists.
-                        fallback: id,
-                    },
-                });
-            }
-            _ => {}
+                    key_is_lhs,
+                    then_branch,
+                    // Patched below once the fallback copy exists.
+                    fallback: id,
+                },
+            });
         }
     }
     let in_loop_roles = roles_signed_off_in_loops(p);
-    let mut found = Vec::new();
-    walk(p, p.root(), 0, &in_loop_roles, &mut found);
+    let mut finder = Finder {
+        in_loop_roles: &in_loop_roles,
+        out: Vec::new(),
+    };
+    walk(p, &mut finder);
+    let found = finder.out;
     let n = found.len();
     let mut names = Vec::new();
     for mut cand in found {

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-memtrack — heap high-watermark tracking allocator
 //!
 //! The paper's Figure 5 reports "the high watermark of non-swapped memory
@@ -67,6 +68,7 @@ fn on_dealloc(size: usize) {
 }
 
 // SAFETY: delegates directly to `System`; the bookkeeping never allocates.
+#[allow(unsafe_code)]
 unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = unsafe { System.alloc(layout) };

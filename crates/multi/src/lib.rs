@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-multi — multi-query shared-stream evaluation
 //!
 //! GCX minimizes buffers for *one* query over *one* stream. A production

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-obs — observability primitives for the GCX system
 //!
 //! Std-only building blocks shared by every layer that wants to be

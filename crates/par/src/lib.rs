@@ -1,8 +1,9 @@
+#![deny(unsafe_code)]
 //! # gcx-par — partition-parallel evaluation of one document across cores
 //!
 //! `gcx-multi` parallelizes across *queries*; this crate parallelizes
 //! within *one* document: the input is split at element boundaries into
-//! contiguous byte ranges, one sans-IO [`EvalSession`](gcx_core::EvalSession)
+//! contiguous byte ranges, one sans-IO [`EvalSession`]
 //! runs per shard on its own thread (fed its range plus a synthesized
 //! ancestor context), and the outputs merge back in strict document
 //! order — the data-partitioned XQuery scaling Apache VXQuery
@@ -27,11 +28,15 @@
 //! workspace root: all 11 paper queries, 1/2/4/8 threads, byte-identical
 //! outputs, per-shard buffer peaks within the serial peak.
 
-mod analyze;
 mod report;
 mod split;
 
-pub use analyze::{analyze, Analysis, GStep, GTest, GuardPath, ShardMode, ShardPlan, Wrapper};
+// The shard-safety analysis lives in gcx-analyze (`gcx_analyze::shard`),
+// where it is derived from the streamability classifier; re-exported
+// here so gcx-par's public API is unchanged.
+pub use gcx_analyze::shard::{
+    analyze, Analysis, GStep, GTest, GuardPath, ShardMode, ShardPlan, Wrapper,
+};
 pub use report::aggregate_reports;
 pub use split::{guard_matches_chain, plan_shards, ShardInput};
 

@@ -9,7 +9,7 @@
 //! can itself be selected by any guard path — so no innermost binding
 //! subtree is divided, no binding attribute is duplicated, no
 //! nesting-capable intermediate binding is cut (the analysis adds those
-//! composed prefixes to the guard list; see [`crate::analyze`]'s module
+//! composed prefixes to the guard list; see [`gcx_analyze::shard`]'s module
 //! docs), and the re-opened ancestors can never introduce a spurious
 //! match (an element inside a shard range has exactly the serial
 //! document's ancestor name chain).
@@ -27,7 +27,7 @@
 //! The last shard runs to the end of the original document, so the real
 //! root end tag (and any trailing comments/PIs) close it.
 
-use crate::analyze::{GStep, GTest, GuardPath};
+use crate::{GStep, GTest, GuardPath};
 use gcx_ir::EAxis;
 use gcx_xml::{ScanEvent, ScanOutline};
 use std::ops::Range;

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-projection — static analysis for the GCX engine
 //!
 //! This crate implements the compile-time half of *active garbage

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-query — frontend for the GCX XQuery fragment
 //!
 //! GCX evaluates the *composition-free* fragment of XQuery (Koch, TODS 2006)

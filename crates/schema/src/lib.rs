@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-schema — DTD model and schema analyses for GCX
 //!
 //! GCX's projection is schema-blind: the matcher must keep data alive

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-server — streaming XQuery as a bounded-memory network service
 //!
 //! GCX's buffer minimization makes XQuery evaluation possible on streams
@@ -136,6 +137,13 @@ pub struct ServerConfig {
     /// outgrows this cap is handed to the bounded-memory streaming path
     /// instead (`X-Gcx-Shard-Path: serial`).
     pub max_spool_bytes: Option<u64>,
+    /// Admission policy (`gcx serve --max-static-class`): the loosest
+    /// streamability class a query may have to be registered. A PUT
+    /// whose static class exceeds the cap answers `422` with the
+    /// analyzer's lint diagnostics and registers nothing. `None`
+    /// (default) admits everything; every successful registration still
+    /// reports its class in the `X-Gcx-Streamability` response header.
+    pub admission_class: Option<gcx_analyze::StreamClass>,
 }
 
 impl Default for ServerConfig {
@@ -152,6 +160,7 @@ impl Default for ServerConfig {
             schema: None,
             eval_threads: 1,
             max_spool_bytes: Some(256 << 20),
+            admission_class: None,
         }
     }
 }
@@ -641,6 +650,35 @@ fn put_query<R: BufRead, W: Write>(
     match CompiledQuery::compile_opts(&text, shared.config.optimize) {
         Ok(q) => {
             shared.stats.queries_compiled.bump();
+            // Static admission: classify against the DTD this name's
+            // evals will actually run under (the per-query X-Gcx-Schema
+            // override, else the server-wide default).
+            let effective_dtd = match &schema {
+                Some(over) => over.clone(),
+                None => shared.config.schema.clone(),
+            };
+            let analysis = gcx_analyze::analyze_program(&q.program, effective_dtd.as_deref());
+            let class = analysis.class.as_str();
+            if let Some(cap) = shared.config.admission_class {
+                if analysis.class > cap {
+                    shared.stats.client_errors.bump();
+                    let msg = format!(
+                        "query refused: static streamability class `{class}` exceeds the \
+                         server's `{}` admission cap\n{}",
+                        cap.as_str(),
+                        analysis.lint_lines().join("\n")
+                    );
+                    http::write_response(
+                        writer,
+                        422,
+                        "Unprocessable Entity",
+                        &[("X-Gcx-Streamability", class)],
+                        msg.as_bytes(),
+                        false,
+                    )?;
+                    return Ok(Outcome::KeepAlive);
+                }
+            }
             let mut registry = shared.registry.write().expect("registry poisoned");
             if !registry.contains_key(name) && registry.len() >= shared.config.max_queries {
                 drop(registry);
@@ -669,8 +707,24 @@ fn put_query<R: BufRead, W: Write>(
             } else {
                 (201, "Created")
             };
-            let msg = format!("compiled query {name:?}\n");
-            http::write_response(writer, status, reason, &[], msg.as_bytes(), false)?;
+            // The analyzer's warnings (join buffering, unbounded
+            // aggregates, ...) ride along after the confirmation line;
+            // info-severity lints stay out of the body.
+            let warnings: String = analysis
+                .lints
+                .iter()
+                .filter(|l| l.severity == gcx_analyze::Severity::Warning)
+                .map(|l| format!("warning: [{}] {}: {}\n", l.code, l.span, l.message))
+                .collect();
+            let msg = format!("compiled query {name:?}\n{warnings}");
+            http::write_response(
+                writer,
+                status,
+                reason,
+                &[("X-Gcx-Streamability", class)],
+                msg.as_bytes(),
+                false,
+            )?;
             Ok(Outcome::KeepAlive)
         }
         Err(e) => {

@@ -902,3 +902,53 @@ fn malformed_body_framing_gets_a_400_not_a_reset() {
     }
     h.shutdown();
 }
+
+/// Q8's shape: a value join the classifier marks `document`.
+const JOIN_QUERY: &str = "for $p in /site/people/person return \
+     for $t in /site/closed_auctions/closed_auction return \
+       if ($t/buyer/@person = $p/@id) then $p/name else ()";
+
+#[test]
+fn admission_policy_rejects_document_class_queries() {
+    let h = start(ServerConfig {
+        admission_class: Some(gcx_analyze::StreamClass::PerItem),
+        ..ServerConfig::default()
+    });
+    let addr = h.addr();
+
+    // Streaming query: admitted, class reported.
+    let r = client::put_query(addr, "titles", TITLES).unwrap();
+    assert_eq!(r.status, 201, "{}", String::from_utf8_lossy(&r.body));
+    assert_eq!(r.header("x-gcx-streamability"), Some("per-item"));
+
+    // Document-class join: refused with diagnostics, nothing registered.
+    let r = client::put_query(addr, "join", JOIN_QUERY).unwrap();
+    assert_eq!(r.status, 422, "{}", String::from_utf8_lossy(&r.body));
+    assert_eq!(r.header("x-gcx-streamability"), Some("document"));
+    let body = String::from_utf8_lossy(&r.body);
+    assert!(
+        body.contains("exceeds the server's `per-item` admission cap"),
+        "{body}"
+    );
+    assert!(body.contains("GCX-JOIN"), "{body}");
+    let r = client::get(addr, "/queries").unwrap();
+    assert_eq!(String::from_utf8_lossy(&r.body), "titles\n");
+    // The refused name does not evaluate.
+    let r = client::eval(addr, "join", DOC, &[], BodyMode::Sized).unwrap();
+    assert_eq!(r.status, 404);
+    h.shutdown();
+}
+
+#[test]
+fn default_policy_admits_everything_and_reports_class() {
+    let h = start(ServerConfig::default());
+    let addr = h.addr();
+    let r = client::put_query(addr, "join", JOIN_QUERY).unwrap();
+    assert_eq!(r.status, 201, "{}", String::from_utf8_lossy(&r.body));
+    assert_eq!(r.header("x-gcx-streamability"), Some("document"));
+    // The warning rides along in the body, after the confirmation line.
+    let body = String::from_utf8_lossy(&r.body);
+    assert!(body.starts_with("compiled query \"join\"\n"), "{body}");
+    assert!(body.contains("warning: [GCX-JOIN]"), "{body}");
+    h.shutdown();
+}

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Offline stand-in for the `criterion` benchmark harness.
 //!
 //! Supports the subset this workspace's benches use: groups, throughput

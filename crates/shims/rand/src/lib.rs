@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Offline stand-in for the `rand` crate.
 //!
 //! Implements exactly the API surface this workspace uses — seeded

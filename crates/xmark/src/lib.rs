@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx-xmark — XMark-like workload generation for the GCX experiments
 //!
 //! The paper evaluates GCX on documents from the XMark benchmark and on two

@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 //! # gcx-xml — streaming XML substrate for the GCX engine
 //!
 //! This crate provides everything the GCX streaming XQuery engine needs to

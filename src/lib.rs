@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # gcx — Dynamic Buffer Minimization in Streaming XQuery Evaluation
 //!
 //! A Rust reproduction of the **GCX** system (Koch, Scherzinger, Schmidt,
@@ -33,6 +34,7 @@
 //! | [`projection`] | roles, projection paths, signOff insertion, stream NFA |
 //! | [`ir`] | the lower stage: flat, shareable compiled-query programs |
 //! | [`schema`] | DTD model: projection pruning, reachability, sibling-order cutoffs |
+//! | [`analyze`] | static streamability classes, buffer-bound lints, shard safety |
 //! | [`core`](mod@core) | buffer + active GC, preprojector, program executor, engine |
 //! | [`dom`] | full-buffering DOM baseline (differential oracle) |
 //! | [`xmark`] | XMark-like generator + the paper's benchmark queries |
@@ -79,6 +81,11 @@ pub mod ir {
 /// descendant reachability, sibling-order cutoffs).
 pub mod schema {
     pub use gcx_schema::*;
+}
+
+/// Static streamability & buffer-bound analysis, lints, shard safety.
+pub mod analyze {
+    pub use gcx_analyze::*;
 }
 
 /// The runtime (buffer, preprojector, evaluator, engine API).

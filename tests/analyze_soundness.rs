@@ -1,0 +1,159 @@
+//! Differential soundness of the static streamability classifier
+//! (`gcx-analyze`): the class assigned *before any data arrives* must
+//! dominate the buffering the engine *actually does*, for every paper
+//! query, document size and chunking.
+//!
+//! Two directions, one implication:
+//!
+//! * a `Constant`/`PerItem` verdict promises the buffer peak does not
+//!   scale with document size — so an 8x larger document must not grow
+//!   the measured `peak_live` beyond noise;
+//! * contrapositively, a query whose measured peak *does* scale must
+//!   carry a `Subtree` or `Document` class (the classifier may be loose,
+//!   never tight).
+//!
+//! The classes themselves are pinned exactly, so a classifier change
+//! that silently loosens everything to `Document` fails too.
+
+use gcx::analyze::{analyze_program, StreamClass};
+use gcx::schema::Dtd;
+use gcx::xmark::{generate_string, queries, XmarkConfig};
+use gcx::{CompiledQuery, EngineOptions};
+
+fn xmark(kb: u64) -> String {
+    generate_string(&XmarkConfig::sized(kb * 1024))
+}
+
+/// Deterministic split-point generator (xorshift64*, no external deps).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn splits(&mut self, len: usize, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).map(|_| (self.next() as usize) % (len + 1)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Feed `doc` cut at `splits`, return the buffer's `peak_live`.
+fn peak_split(q: &CompiledQuery, doc: &[u8], splits: &[usize]) -> u64 {
+    let mut session = q.session(&EngineOptions::gcx());
+    let mut from = 0;
+    for &cut in splits {
+        let cut = cut.min(doc.len());
+        session.feed(&doc[from..cut]).expect("feed");
+        from = cut;
+    }
+    session.feed(&doc[from..]).expect("final feed");
+    let report = session.finish().expect("finish");
+    report.buffer.peak_live
+}
+
+/// Worst observed peak across a whole-document feed and two seeded
+/// chunkings — the static verdict has to hold for all of them.
+fn worst_peak(q: &CompiledQuery, doc: &[u8], rng: &mut XorShift) -> u64 {
+    let mut worst = peak_split(q, doc, &[]);
+    for n in [3usize, 17] {
+        worst = worst.max(peak_split(q, doc, &rng.splits(doc.len(), n)));
+    }
+    worst
+}
+
+/// The expected class of every paper query. Q8 buffers both join sides
+/// (`Document`); Q6_COUNT counts a whole document region (`Subtree`);
+/// everything else streams item by item.
+const EXPECTED: &[(&str, StreamClass)] = &[
+    ("Q1", StreamClass::PerItem),
+    ("Q6", StreamClass::PerItem),
+    ("Q8", StreamClass::Document),
+    ("Q13", StreamClass::PerItem),
+    ("Q20", StreamClass::PerItem),
+    ("Q2", StreamClass::PerItem),
+    ("Q3", StreamClass::PerItem),
+    ("Q14", StreamClass::PerItem),
+    ("Q17", StreamClass::PerItem),
+    ("Q19", StreamClass::PerItem),
+    ("Q6_COUNT", StreamClass::Subtree),
+];
+
+fn expected_class(name: &str) -> StreamClass {
+    EXPECTED
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, c)| c)
+        .unwrap_or_else(|| panic!("no expected class for {name}"))
+}
+
+#[test]
+fn static_class_dominates_observed_peak_growth() {
+    let small = xmark(64);
+    let large = xmark(512);
+    let xmark_dtd = Dtd::xmark();
+    let mut rng = XorShift(0x9E3779B97F4A7C15);
+    for (name, qtext) in queries::paper_queries() {
+        let q = CompiledQuery::compile(qtext).expect("compile");
+        let a = analyze_program(&q.program, None);
+        assert_eq!(a.class, expected_class(name), "{name}: class drifted");
+
+        // The DTD can only tighten, and only soundly: re-check dominance
+        // below against whichever class is tighter.
+        let with_dtd = analyze_program(&q.program, Some(&xmark_dtd)).class;
+        assert!(
+            with_dtd <= a.class,
+            "{name}: DTD loosened {:?} -> {with_dtd:?}",
+            a.class
+        );
+
+        let p_small = worst_peak(&q, small.as_bytes(), &mut rng);
+        let p_large = worst_peak(&q, large.as_bytes(), &mut rng);
+        let grows = p_large > p_small.max(8) * 2;
+        for class in [a.class, with_dtd] {
+            if class <= StreamClass::PerItem {
+                // 8x the input must not move a statically-bounded peak
+                // beyond entity-size noise.
+                assert!(
+                    !grows,
+                    "{name}: classified {class:?} but peak grew {p_small} -> {p_large} on 8x input"
+                );
+            }
+        }
+        if grows {
+            // Contrapositive, stated directly so a regression report
+            // names the right contract.
+            assert!(
+                a.class >= StreamClass::Subtree,
+                "{name}: measured peak scales ({p_small} -> {p_large}) \
+                 but the static class is {:?}",
+                a.class
+            );
+        }
+    }
+}
+
+#[test]
+fn document_class_queries_report_why() {
+    // Every Document verdict must carry at least one warning-severity
+    // lint naming the construct responsible — the admission policy's 422
+    // body and the shard fallback reason are built from it.
+    for (name, qtext) in queries::paper_queries() {
+        let q = CompiledQuery::compile(qtext).expect("compile");
+        let a = analyze_program(&q.program, None);
+        if a.class == StreamClass::Document {
+            assert!(
+                a.lints
+                    .iter()
+                    .any(|l| l.severity == gcx::analyze::Severity::Warning),
+                "{name}: Document class with no warning lint"
+            );
+        }
+    }
+}
